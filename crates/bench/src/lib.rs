@@ -1,0 +1,113 @@
+//! # `bench` — the paper-evaluation harness
+//!
+//! One binary per table/figure of the paper's evaluation section:
+//!
+//! * `table4` — matrix-transpose resource usage across the four
+//!   configurations (HLS default, HLS manual-opt, HIR no-opt, HIR auto-opt);
+//! * `table5` — LUT/FF/DSP/BRAM for all six benchmarks, HLS vs HIR (and the
+//!   hand-written Verilog FIFO baseline);
+//! * `table6` — code-generation time, HIR vs the HLS baseline;
+//! * `fig1` / `fig2` — the schedule-verifier diagnostics;
+//! * `fig3` — memory banking layout of a distributed-dimension memref.
+//!
+//! Criterion benches (`cargo bench`) measure the same compile-time quantity
+//! with statistical rigor.
+
+use std::time::{Duration, Instant};
+use synth::Resources;
+
+/// A resource row of Tables 4/5.
+#[derive(Clone, Debug)]
+pub struct ResourceRow {
+    pub label: String,
+    pub r: Resources,
+}
+
+/// Render rows as a paper-style table.
+pub fn render_resource_table(title: &str, rows: &[ResourceRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    let w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
+    out.push_str(&format!(
+        "{:<w$}  {:>8}  {:>8}  {:>6}  {:>6}\n",
+        "Design", "LUT", "FF", "DSP", "BRAM"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(w + 34)));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<w$}  {:>8}  {:>8}  {:>6}  {:>6}\n",
+            row.label, row.r.lut, row.r.ff, row.r.dsp, row.r.bram
+        ));
+    }
+    out
+}
+
+/// Median wall time of `f` over `runs` invocations (after one warmup).
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    let _ = f(); // warmup
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let s = Instant::now();
+            let _ = f();
+            s.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Compile a benchmark's HIR form (optimized) and estimate resources.
+///
+/// # Panics
+/// Panics on compile errors (benchmarks are expected to be valid).
+pub fn hir_resources(b: &kernels::Benchmark) -> Resources {
+    let mut m = (b.build_hir)();
+    let (design, _) = kernels::compile_hir(&mut m, true).expect("HIR compile");
+    synth::estimate_design(
+        &design,
+        &kernels::hir_top(b.hir_func),
+        &synth::CostModel::default(),
+    )
+}
+
+/// Compile a benchmark's HLS form and estimate resources.
+///
+/// # Panics
+/// Panics on compile errors.
+pub fn hls_resources(b: &kernels::Benchmark) -> Resources {
+    let k = (b.build_hls)();
+    let c = hls::compile(&k, &hls::SchedOptions::default()).expect("HLS compile");
+    synth::estimate_design(&c.design, &c.top, &synth::CostModel::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![ResourceRow {
+            label: "X".into(),
+            r: Resources {
+                lut: 1,
+                ff: 2,
+                dsp: 3,
+                bram: 4,
+            },
+        }];
+        let t = render_resource_table("T", &rows);
+        assert!(t.contains("LUT"));
+        assert!(t.contains('X'));
+    }
+
+    #[test]
+    fn median_is_stable() {
+        let d = median_time(5, || std::hint::black_box(40 + 2));
+        assert!(d < Duration::from_millis(50));
+    }
+}

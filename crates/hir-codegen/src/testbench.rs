@@ -1,0 +1,436 @@
+//! Simulation harness for generated designs.
+//!
+//! Drives a generated function module in the [`verilog::Simulator`]: pulses
+//! `start`, applies scalar arguments, and models the memories behind the
+//! module's memref argument buses (the role the testbench RAMs played in the
+//! paper's evaluation flow). Functional results are compared elsewhere
+//! against the HIR interpreter and software references.
+
+use crate::{bus, module_name, CodegenError};
+use hir::ops::FuncOp;
+use hir::types::MemrefInfo;
+use ir::Module;
+use std::collections::HashMap;
+use verilog::{Design, Simulator};
+
+/// An argument supplied to [`Harness::run`].
+#[derive(Clone, Debug)]
+pub enum HarnessArg {
+    /// Scalar value driven on the argument port.
+    Int(i128),
+    /// Backing data for a memref argument (length = number of elements).
+    Mem(Vec<i128>),
+    /// Another port onto the tensor of a previous argument.
+    SharedWith(usize),
+}
+
+impl HarnessArg {
+    /// Convenience constructor from plain data.
+    pub fn mem_from(data: &[i128]) -> Self {
+        HarnessArg::Mem(data.to_vec())
+    }
+
+    /// A zero-initialized memory of the given size.
+    pub fn zero_mem(len: usize) -> Self {
+        HarnessArg::Mem(vec![0; len])
+    }
+}
+
+/// Results of a harness run.
+#[derive(Clone, Debug)]
+pub struct HarnessReport {
+    /// Cycle index of the last observed activity (≈ design latency).
+    pub cycles: u64,
+    /// Captured scalar results (at their `result{i}_valid` pulses).
+    pub results: Vec<i128>,
+    /// Final contents of each memref argument's backing memory.
+    pub mems: HashMap<usize, Vec<i128>>,
+}
+
+struct MemModel {
+    arg_index: usize,
+    base: String,
+    info: MemrefInfo,
+    /// Flat storage: bank-major (`bank * bank_size + addr`).
+    data: Vec<i128>,
+    shared_with: Option<usize>,
+}
+
+/// Runs a generated HIR function module under RTL simulation.
+pub struct Harness {
+    sim: Simulator,
+    mems: Vec<MemModel>,
+    scalar_ports: Vec<(String, i128, u32)>,
+    result_ports: Vec<(String, String, u32)>,
+    activity_nets: Vec<String>,
+}
+
+impl Harness {
+    /// Build a harness for function `func` of the HIR module `m`, simulating
+    /// `design` (which must contain the generated module plus any external
+    /// blackbox implementations).
+    ///
+    /// # Errors
+    /// Fails when the design does not elaborate or arguments mismatch.
+    pub fn new(
+        design: &Design,
+        m: &Module,
+        func: FuncOp,
+        args: &[HarnessArg],
+    ) -> Result<Self, CodegenError> {
+        let top = module_name(&func.name(m));
+        let sim = Simulator::new(design, &top)
+            .map_err(|e| CodegenError(format!("failed to build simulator: {e}")))?;
+        let formal = func.args(m);
+        if formal.len() != args.len() {
+            return Err(CodegenError(format!(
+                "function takes {} arguments, harness got {}",
+                formal.len(),
+                args.len()
+            )));
+        }
+        let arg_names = func
+            .arg_names(m)
+            .unwrap_or_else(|| (0..formal.len()).map(|i| format!("arg{i}")).collect());
+
+        let mut mems = Vec::new();
+        let mut scalar_ports = Vec::new();
+        let mut mem_index_by_arg: HashMap<usize, usize> = HashMap::new();
+        for (i, (formal_v, actual)) in formal.iter().zip(args).enumerate() {
+            let ty = m.value_type(*formal_v);
+            let base: String = arg_names[i]
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            match (MemrefInfo::from_type(&ty), actual) {
+                (Some(info), HarnessArg::Mem(data)) => {
+                    if data.len() as u64 != info.num_elements() {
+                        return Err(CodegenError(format!(
+                            "argument {i}: memory has {} words, memref needs {}",
+                            data.len(),
+                            info.num_elements()
+                        )));
+                    }
+                    mem_index_by_arg.insert(i, mems.len());
+                    mems.push(MemModel {
+                        arg_index: i,
+                        base,
+                        info,
+                        data: data.clone(),
+                        shared_with: None,
+                    });
+                }
+                (Some(info), HarnessArg::SharedWith(j)) => {
+                    let &target = mem_index_by_arg
+                        .get(j)
+                        .ok_or_else(|| CodegenError(format!("SharedWith({j}) is not a memory")))?;
+                    mems.push(MemModel {
+                        arg_index: i,
+                        base,
+                        info,
+                        data: Vec::new(),
+                        shared_with: Some(target),
+                    });
+                }
+                (None, HarnessArg::Int(v)) => {
+                    let width = ty.bit_width().unwrap_or(32);
+                    scalar_ports.push((base, *v, width));
+                }
+                _ => {
+                    return Err(CodegenError(format!(
+                        "argument {i}: kind mismatch between {ty} and {actual:?}"
+                    )))
+                }
+            }
+        }
+
+        let mut result_ports = Vec::new();
+        for (i, rty) in func.result_types(m).iter().enumerate() {
+            result_ports.push((
+                format!("result{i}"),
+                format!("result{i}_valid"),
+                rty.bit_width().unwrap_or(32),
+            ));
+        }
+
+        // Activity: every memref bus enable in either direction.
+        let mut activity_nets = Vec::new();
+        for mm in &mems {
+            let banks = mm.info.num_banks();
+            for b in 0..banks {
+                if mm.info.port.can_read() {
+                    activity_nets.push(bus(&mm.base, b, banks, "rd_en"));
+                }
+                if mm.info.port.can_write() {
+                    activity_nets.push(bus(&mm.base, b, banks, "wr_en"));
+                }
+            }
+        }
+        for (_, valid, _) in &result_ports {
+            activity_nets.push(valid.clone());
+        }
+        // The design's own busy indicator covers internal-only phases.
+        activity_nets.push("busy".to_string());
+
+        Ok(Harness {
+            sim,
+            mems,
+            scalar_ports,
+            result_ports,
+            activity_nets,
+        })
+    }
+
+    /// Dump a VCD waveform of the whole run to `path`.
+    ///
+    /// # Errors
+    /// Fails if the file cannot be created.
+    pub fn dump_vcd(&mut self, path: &std::path::Path) -> Result<(), CodegenError> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CodegenError(format!("{}: {e}", path.display())))?;
+        self.sim
+            .start_vcd(Box::new(std::io::BufWriter::new(file)))
+            .map_err(|e| CodegenError(format!("vcd: {e}")))
+    }
+
+    /// Run the design: one `start` pulse at cycle 0, then clock until the
+    /// design is quiescent (no activity for a grace period) or `max_cycles`.
+    ///
+    /// # Errors
+    /// Propagates RTL assertion failures; times out after `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> Result<HarnessReport, CodegenError> {
+        const QUIESCENT_GRACE: u64 = 8;
+        for (name, v, w) in self.scalar_ports.clone() {
+            self.sim.set(&name, (v as u64) & mask(w));
+        }
+        self.sim.set("start", 1);
+
+        let mut results: Vec<Option<i128>> = vec![None; self.result_ports.len()];
+        let mut last_activity: u64 = 0;
+        let mut cycle: u64 = 0;
+        loop {
+            // Serve memories combinationally-visible state for this cycle.
+            self.serve_reads_pre();
+            // Observe activity + capture results before the edge.
+            let mut active = false;
+            for net in self.activity_nets.clone() {
+                if self.sim.get(&net) != 0 {
+                    active = true;
+                }
+            }
+            for (i, (port, valid, w)) in self.result_ports.clone().into_iter().enumerate() {
+                if self.sim.get(&valid) != 0 {
+                    let raw = self.sim.get(&port);
+                    results[i] = Some(sign(raw, w));
+                    active = true;
+                }
+            }
+            if active {
+                last_activity = cycle;
+            }
+            // Sample bus requests, clock, then apply them (sync RAM).
+            let requests = self.sample_requests();
+            self.sim
+                .step()
+                .map_err(|e| CodegenError(format!("RTL assertion failed: {e}")))?;
+            self.apply_requests(requests);
+            if cycle == 0 {
+                self.sim.set("start", 0);
+            }
+            cycle += 1;
+            if cycle > max_cycles {
+                return Err(CodegenError(format!(
+                    "simulation did not quiesce within {max_cycles} cycles"
+                )));
+            }
+            if cycle > last_activity + QUIESCENT_GRACE && cycle > 2 {
+                break;
+            }
+        }
+
+        let mut mems_out = HashMap::new();
+        for i in 0..self.mems.len() {
+            let mm = &self.mems[i];
+            if mm.shared_with.is_none() {
+                mems_out.insert(mm.arg_index, mm.data.clone());
+            }
+        }
+        Ok(HarnessReport {
+            cycles: last_activity,
+            results: results.into_iter().map(|r| r.unwrap_or(0)).collect(),
+            mems: mems_out,
+        })
+    }
+
+    /// For zero-latency (register-kind) argument memories, the read data must
+    /// be visible combinationally in the same cycle.
+    fn serve_reads_pre(&mut self) {
+        for i in 0..self.mems.len() {
+            let (base, info, shared) = (
+                self.mems[i].base.clone(),
+                self.mems[i].info.clone(),
+                self.mems[i].shared_with,
+            );
+            if info.kind.read_latency() != 0 || !info.port.can_read() {
+                continue;
+            }
+            let banks = info.num_banks();
+            let bank_size = info.bank_size();
+            for b in 0..banks {
+                let addr = self.sim.get(&bus(&base, b, banks, "addr"));
+                let idx = (b * bank_size + addr) as usize;
+                let store = shared.unwrap_or(i);
+                let v = self.mems[store].data.get(idx).copied().unwrap_or(0);
+                self.sim.set(&bus(&base, b, banks, "rd_data"), v as u64);
+            }
+        }
+    }
+
+    /// Capture all bus requests during the current cycle.
+    fn sample_requests(&mut self) -> Vec<Request> {
+        let mut out = Vec::new();
+        for i in 0..self.mems.len() {
+            let (base, info) = (self.mems[i].base.clone(), self.mems[i].info.clone());
+            let banks = info.num_banks();
+            for b in 0..banks {
+                if info.port.can_read() && info.kind.read_latency() > 0 {
+                    let en = self.sim.get(&bus(&base, b, banks, "rd_en"));
+                    if en != 0 {
+                        let addr = self.sim.get(&bus(&base, b, banks, "addr"));
+                        out.push(Request::Read {
+                            mem: i,
+                            bank: b,
+                            addr,
+                        });
+                    }
+                }
+                if info.port.can_write() {
+                    let en = self.sim.get(&bus(&base, b, banks, "wr_en"));
+                    if en != 0 {
+                        let addr = self.sim.get(&bus(&base, b, banks, "waddr"));
+                        let data = self.sim.get(&bus(&base, b, banks, "wr_data"));
+                        out.push(Request::Write {
+                            mem: i,
+                            bank: b,
+                            addr,
+                            data,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Apply the requests after the clock edge (synchronous RAM semantics).
+    /// Reads are served before writes land, so a same-cycle read at a
+    /// written address returns the old value (read-first RAM).
+    fn apply_requests(&mut self, requests: Vec<Request>) {
+        let mut ordered: Vec<Request> = Vec::with_capacity(requests.len());
+        let (reads, writes): (Vec<_>, Vec<_>) = requests
+            .into_iter()
+            .partition(|r| matches!(r, Request::Read { .. }));
+        ordered.extend(reads);
+        ordered.extend(writes);
+        for r in ordered {
+            match r {
+                Request::Read { mem, bank, addr } => {
+                    let (base, info, shared) = (
+                        self.mems[mem].base.clone(),
+                        self.mems[mem].info.clone(),
+                        self.mems[mem].shared_with,
+                    );
+                    let banks = info.num_banks();
+                    let idx = (bank * info.bank_size() + addr) as usize;
+                    let store = shared.unwrap_or(mem);
+                    let v = self.mems[store].data.get(idx).copied().unwrap_or(0);
+                    let w = info.elem.bit_width().unwrap_or(32);
+                    self.sim
+                        .set(&bus(&base, bank, banks, "rd_data"), (v as u64) & mask(w));
+                }
+                Request::Write {
+                    mem,
+                    bank,
+                    addr,
+                    data,
+                } => {
+                    let info = self.mems[mem].info.clone();
+                    let idx = (bank * info.bank_size() + addr) as usize;
+                    let store = self.mems[mem].shared_with.unwrap_or(mem);
+                    let w = info.elem.bit_width().unwrap_or(32);
+                    if idx < self.mems[store].data.len() {
+                        self.mems[store].data[idx] = sign(data & mask(w), w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum Request {
+    Read {
+        mem: usize,
+        bank: u64,
+        addr: u64,
+    },
+    Write {
+        mem: usize,
+        bank: u64,
+        addr: u64,
+        data: u64,
+    },
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn sign(v: u64, width: u32) -> i128 {
+    if width >= 64 {
+        return v as i64 as i128;
+    }
+    let s = 1u64 << (width - 1);
+    if v & s != 0 {
+        v as i128 - (1i128 << width)
+    } else {
+        v as i128
+    }
+}
+
+/// Flat storage helper: convert a row-major tensor into the bank-major
+/// layout the harness memories use, given the memref description.
+pub fn to_bank_major(info: &MemrefInfo, row_major: &[i128]) -> Vec<i128> {
+    let mut out = vec![0; row_major.len()];
+    let dims: Vec<u64> = info.dims.iter().map(|d| d.size()).collect();
+    for (flat_rm, &v) in row_major.iter().enumerate() {
+        // Decompose row-major index into coordinates.
+        let mut rem = flat_rm as u64;
+        let mut coords = vec![0u64; dims.len()];
+        for (k, &d) in dims.iter().enumerate().rev() {
+            coords[k] = rem % d;
+            rem /= d;
+        }
+        out[info.flat_index(&coords) as usize] = v;
+    }
+    out
+}
+
+/// Inverse of [`to_bank_major`].
+pub fn from_bank_major(info: &MemrefInfo, bank_major: &[i128]) -> Vec<i128> {
+    let mut out = vec![0; bank_major.len()];
+    let dims: Vec<u64> = info.dims.iter().map(|d| d.size()).collect();
+    for flat_rm in 0..bank_major.len() {
+        let mut rem = flat_rm as u64;
+        let mut coords = vec![0u64; dims.len()];
+        for (k, &d) in dims.iter().enumerate().rev() {
+            coords[k] = rem % d;
+            rem /= d;
+        }
+        out[flat_rm] = bank_major[info.flat_index(&coords) as usize];
+    }
+    out
+}

@@ -1,0 +1,335 @@
+//! End-to-end: build HIR designs, verify schedules, generate Verilog,
+//! simulate the RTL, and compare against the cycle-accurate HIR interpreter
+//! and a software reference.
+
+use hir::interp::{ArgValue, Interpreter};
+use hir::ops::FuncOp;
+use hir::types::{Dim, MemKind, MemrefInfo, Port};
+use hir::HirBuilder;
+use hir_codegen::testbench::{Harness, HarnessArg};
+use hir_codegen::{generate_design, CodegenOptions};
+use ir::{DiagnosticEngine, Module, Type};
+use verilog::{Design, Dir, Expr, VModule};
+
+fn verify_and_generate(m: &Module) -> Design {
+    let mut diags = DiagnosticEngine::new();
+    ir::verify_module(m, &hir::hir_registry(), &mut diags).expect("structural verification");
+    hir_verify::verify_schedule(m, &mut diags)
+        .unwrap_or_else(|_| panic!("schedule verification failed:\n{}", diags.render()));
+    generate_design(m, &CodegenOptions::default()).expect("codegen")
+}
+
+/// The paper's Listing 1: 16x16 matrix transpose.
+fn transpose_module(n: u64) -> Module {
+    let mut hb = HirBuilder::new();
+    let a = MemrefInfo::packed(&[n, n], Type::int(32), Port::Read, MemKind::BlockRam);
+    let c = a.with_port(Port::Write);
+    let f = hb.func(
+        "transpose",
+        &[("Ai", a.to_type()), ("Co", c.to_type())],
+        &[],
+    );
+    let t = f.time_var(hb.module());
+    let args = f.args(hb.module());
+    let (c0, cn, c1) = (hb.const_val(0), hb.const_val(n as i64), hb.const_val(1));
+    let i_loop = hb.for_loop(c0, cn, c1, t, 1, Type::int(32));
+    hb.in_loop(i_loop, |hb, i, ti| {
+        let j_loop = hb.for_loop(c0, cn, c1, ti, 1, Type::int(32));
+        hb.in_loop(j_loop, |hb, j, tj| {
+            let v = hb.mem_read(args[0], &[i, j], tj, 0);
+            let j1 = hb.delay(j, 1, tj, 0);
+            hb.mem_write(v, args[1], &[j1, i], tj, 1);
+            hb.yield_at(tj, 1);
+        });
+        let tf = j_loop.result_time(hb.module());
+        hb.yield_at(tf, 1);
+    });
+    hb.return_(&[]);
+    hb.finish()
+}
+
+#[test]
+fn transpose_rtl_matches_reference_and_interpreter() {
+    let n = 8u64;
+    let m = transpose_module(n);
+    let design = verify_and_generate(&m);
+
+    let input: Vec<i128> = (0..(n * n) as i128).map(|x| x * 3 - 50).collect();
+
+    // Software reference.
+    let mut expect = vec![0i128; (n * n) as usize];
+    for i in 0..n as usize {
+        for j in 0..n as usize {
+            expect[j * n as usize + i] = input[i * n as usize + j];
+        }
+    }
+
+    // HIR interpreter.
+    let interp = Interpreter::new(&m);
+    let report = interp
+        .run(
+            "transpose",
+            &[
+                ArgValue::tensor_from(&input),
+                ArgValue::uninit_tensor((n * n) as usize),
+            ],
+        )
+        .expect("interpreter");
+    let interp_out: Vec<i128> = report.tensors[&1]
+        .iter()
+        .map(|x| x.expect("fully written"))
+        .collect();
+    assert_eq!(interp_out, expect, "interpreter output");
+
+    // RTL simulation of the generated Verilog.
+    let func = FuncOp::wrap(&m, m.top_ops()[0]).unwrap();
+    let mut harness = Harness::new(
+        &design,
+        &m,
+        func,
+        &[
+            HarnessArg::mem_from(&input),
+            HarnessArg::zero_mem((n * n) as usize),
+        ],
+    )
+    .expect("harness");
+    let rtl = harness.run(100_000).expect("RTL sim");
+    assert_eq!(rtl.mems[&1], expect, "RTL output");
+
+    // Latency agreement: interpreter and RTL should be within a few cycles.
+    let diff = (rtl.cycles as i64 - report.cycles as i64).abs();
+    assert!(
+        diff <= 4,
+        "latency mismatch: RTL {} vs interp {}",
+        rtl.cycles,
+        report.cycles
+    );
+}
+
+#[test]
+fn pipelined_array_add_rtl() {
+    // II=1 pipelined loop: C[i] = A[i] + B[i].
+    let n = 64u64;
+    let mut hb = HirBuilder::new();
+    let a = MemrefInfo::packed(&[n], Type::int(32), Port::Read, MemKind::BlockRam);
+    let c = a.with_port(Port::Write);
+    let f = hb.func(
+        "vadd",
+        &[("A", a.to_type()), ("B", a.to_type()), ("C", c.to_type())],
+        &[],
+    );
+    let t = f.time_var(hb.module());
+    let args = f.args(hb.module());
+    let (c0, cn, c1) = (hb.const_val(0), hb.const_val(n as i64), hb.const_val(1));
+    let lp = hb.for_loop(c0, cn, c1, t, 1, Type::int(32));
+    hb.in_loop(lp, |hb, i, ti| {
+        let va = hb.mem_read(args[0], &[i], ti, 0);
+        let vb = hb.mem_read(args[1], &[i], ti, 0);
+        let s = hb.add(va, vb);
+        let i1 = hb.delay(i, 1, ti, 0);
+        hb.mem_write(s, args[2], &[i1], ti, 1);
+        hb.yield_at(ti, 1);
+    });
+    hb.return_(&[]);
+    let m = hb.finish();
+    let design = verify_and_generate(&m);
+
+    let a_data: Vec<i128> = (0..n as i128).collect();
+    let b_data: Vec<i128> = (0..n as i128).map(|x| 1000 - x).collect();
+    let func = FuncOp::wrap(&m, m.top_ops()[0]).unwrap();
+    let mut harness = Harness::new(
+        &design,
+        &m,
+        func,
+        &[
+            HarnessArg::mem_from(&a_data),
+            HarnessArg::mem_from(&b_data),
+            HarnessArg::zero_mem(n as usize),
+        ],
+    )
+    .expect("harness");
+    let rtl = harness.run(10_000).expect("RTL sim");
+    assert!(
+        rtl.mems[&2].iter().all(|&v| v == 1000),
+        "all sums must be 1000: {:?}",
+        rtl.mems[&2]
+    );
+    // Pipelined: latency ~ n + constant, NOT ~ 3n.
+    assert!(
+        rtl.cycles <= n + 8,
+        "loop not pipelined: {} cycles for {n} elements",
+        rtl.cycles
+    );
+}
+
+#[test]
+fn banked_unrolled_writes_rtl() {
+    // unroll_for writing 4 banks in parallel in a single cycle.
+    let mut hb = HirBuilder::new();
+    let out = MemrefInfo::new(
+        vec![Dim::Distributed(4)],
+        Type::int(16),
+        Port::Write,
+        MemKind::LutRam,
+    );
+    let f = hb.func("fanout", &[("O", out.to_type())], &[]);
+    let t = f.time_var(hb.module());
+    let args = f.args(hb.module());
+    let lp = hb.unroll_for(0, 4, 1, t, 0);
+    hb.in_unroll(lp, |hb, iv, ti| {
+        let v = hb.typed_const(5, Type::int(16));
+        let scaled = hb.mult(v, iv);
+        hb.mem_write(scaled, args[0], &[iv], ti, 0);
+        hb.yield_at(ti, 0);
+    });
+    hb.return_(&[]);
+    let m = hb.finish();
+    let design = verify_and_generate(&m);
+
+    let func = FuncOp::wrap(&m, m.top_ops()[0]).unwrap();
+    let mut harness = Harness::new(&design, &m, func, &[HarnessArg::zero_mem(4)]).expect("harness");
+    let rtl = harness.run(100).expect("RTL sim");
+    assert_eq!(rtl.mems[&0], vec![0, 5, 10, 15]);
+    assert!(
+        rtl.cycles <= 1,
+        "all writes must land in cycle 0, got {}",
+        rtl.cycles
+    );
+}
+
+#[test]
+fn call_to_external_verilog_module() {
+    // MAC with a 2-stage external multiplier (paper §5.4 interfacing).
+    let mut hb = HirBuilder::new();
+    hb.extern_func(
+        "mult2",
+        &[Type::int(32), Type::int(32)],
+        &[Type::int(32)],
+        &[2],
+    );
+    let f = hb.func(
+        "mac",
+        &[
+            ("a", Type::int(32)),
+            ("b", Type::int(32)),
+            ("c", Type::int(32)),
+        ],
+        &[2],
+    );
+    let t = f.time_var(hb.module());
+    let args = f.args(hb.module());
+    let prod = hb.call("mult2", &[args[0], args[1]], t, 0);
+    let c2 = hb.delay(args[2], 2, t, 0);
+    let sum = hb.add(prod[0], c2);
+    hb.return_(&[sum]);
+    let m = hb.finish();
+
+    let mut design = verify_and_generate(&m);
+    design.add(pipelined_mult_module("mult2", 32, 2));
+
+    let func = FuncOp::wrap(&m, m.top_ops()[1]).unwrap();
+    let mut harness = Harness::new(
+        &design,
+        &m,
+        func,
+        &[
+            HarnessArg::Int(6),
+            HarnessArg::Int(-7),
+            HarnessArg::Int(100),
+        ],
+    )
+    .expect("harness");
+    let rtl = harness.run(100).expect("RTL sim");
+    assert_eq!(rtl.results, vec![6 * -7 + 100]);
+}
+
+#[test]
+fn nested_function_call_rtl() {
+    // Caller invokes a small HIR callee that doubles a value.
+    let mut hb = HirBuilder::new();
+    let f1 = hb.func("double", &[("x", Type::int(32))], &[0]);
+    let x = f1.args(hb.module())[0];
+    let two = hb.typed_const(2, Type::int(32));
+    let d = hb.mult(x, two);
+    hb.return_(&[d]);
+
+    let f2 = hb.func("quadruple", &[("y", Type::int(32))], &[0]);
+    let t = f2.time_var(hb.module());
+    let y = f2.args(hb.module())[0];
+    let once = hb.call("double", &[y], t, 0);
+    let twice = hb.call("double", &[once[0]], t, 0);
+    hb.return_(&[twice[0]]);
+    let m = hb.finish();
+    let design = verify_and_generate(&m);
+
+    let func = FuncOp::wrap(&m, m.top_ops()[1]).unwrap();
+    let mut harness = Harness::new(&design, &m, func, &[HarnessArg::Int(11)]).expect("harness");
+    let rtl = harness.run(50).expect("RTL sim");
+    assert_eq!(rtl.results, vec![44]);
+}
+
+#[test]
+fn assertion_catches_out_of_bounds_at_runtime() {
+    // A loop that runs past the memory bound: the generated assertion fires.
+    let mut hb = HirBuilder::new();
+    let a = MemrefInfo::packed(&[8], Type::int(32), Port::Read, MemKind::BlockRam);
+    let f = hb.func("oob", &[("A", a.to_type())], &[]);
+    let t = f.time_var(hb.module());
+    let args = f.args(hb.module());
+    let (c0, c16, c1) = (hb.const_val(0), hb.const_val(16), hb.const_val(1));
+    let lp = hb.for_loop(c0, c16, c1, t, 1, Type::int(8));
+    hb.in_loop(lp, |hb, i, ti| {
+        hb.mem_read(args[0], &[i], ti, 0);
+        hb.yield_at(ti, 1);
+    });
+    hb.return_(&[]);
+    let m = hb.finish();
+    // Structural + schedule verification pass (bounds are runtime facts).
+    let design = verify_and_generate(&m);
+    let func = FuncOp::wrap(&m, m.top_ops()[0]).unwrap();
+    let mut harness = Harness::new(&design, &m, func, &[HarnessArg::zero_mem(8)]).expect("harness");
+    let err = harness.run(1000).unwrap_err();
+    assert!(err.0.contains("out of bounds"), "{err}");
+}
+
+#[test]
+fn generated_verilog_contains_paper_table3_constructs() {
+    let m = transpose_module(16);
+    let design = verify_and_generate(&m);
+    let text = verilog::print_design(&design);
+    assert!(text.contains("module hir_transpose"), "{text}");
+    assert!(text.contains("always @(posedge clk)"), "FSM/regs expected");
+    assert!(
+        text.contains("loop iteration pulse"),
+        "loop controller expected"
+    );
+    assert!(text.contains("Ai_rd_en"), "memory interface expected");
+    assert!(text.contains("Co_wr_en"), "memory interface expected");
+}
+
+/// A pipelined multiplier implementation used as an external blackbox.
+fn pipelined_mult_module(name: &str, width: u32, stages: u32) -> VModule {
+    let mut m = VModule::new(name);
+    m.port("clk", Dir::Input, 1);
+    m.port("start", Dir::Input, 1);
+    m.port("arg0", Dir::Input, width);
+    m.port("arg1", Dir::Input, width);
+    m.port("result0", Dir::Output, width);
+    let mut prev = "p0".to_string();
+    m.wire(&prev, width);
+    m.assign(
+        &prev,
+        Expr::bin(verilog::BinOp::Mul, Expr::r("arg0"), Expr::r("arg1")),
+    );
+    for s in 0..stages {
+        let reg = format!("stage{s}");
+        m.reg(&reg, width);
+        m.main_always().stmts.push(verilog::Stmt::NonBlocking {
+            lhs: verilog::LValue::Net(reg.clone()),
+            rhs: Expr::r(&prev),
+        });
+        prev = reg;
+    }
+    m.assign("result0", Expr::r(&prev));
+    m
+}

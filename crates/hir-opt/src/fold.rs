@@ -1,0 +1,259 @@
+//! Constant propagation/folding, common subexpression elimination and dead
+//! code elimination (paper §6.2).
+
+use hir::dialect::{attrkey, opname};
+use hir::ops::{self, ConstantOp};
+use ir::{
+    traits, AttrMap, Attribute, Module, OpId, Pass, PassContext, PassResult, RewritePattern,
+    RewriteStatus, Rewriter, ValueId,
+};
+use std::collections::HashMap;
+
+/// Fold combinational ops whose operands are all constants.
+pub struct FoldConstants;
+
+impl RewritePattern for FoldConstants {
+    fn name(&self) -> &str {
+        "hir-fold-constants"
+    }
+
+    fn match_and_rewrite(&self, op: OpId, rw: &mut Rewriter<'_>) -> RewriteStatus {
+        let m = rw.module();
+        let Some(kind) = ops::compute_kind(m, op) else {
+            return RewriteStatus::NoMatch;
+        };
+        let operands = m.op(op).operands().to_vec();
+        let mut ints = Vec::with_capacity(operands.len());
+        for &v in &operands {
+            let Some(def) = m.defining_op(v) else {
+                return RewriteStatus::NoMatch;
+            };
+            let Some(c) = ConstantOp::wrap(m, def) else {
+                return RewriteStatus::NoMatch;
+            };
+            let Some(i) = c.value_attr(m).as_int() else {
+                return RewriteStatus::NoMatch;
+            };
+            ints.push(i);
+        }
+        let folded = match eval(kind, &ints, m, op) {
+            Some(v) => v,
+            None => return RewriteStatus::NoMatch,
+        };
+        let result = m.op(op).results()[0];
+        let ty = m.value_type(result);
+        let loc = m.op(op).loc().clone();
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::VALUE.into(), Attribute::Int(folded, ty.clone()));
+        let m = rw.module_mut();
+        let new_const = m.create_op(opname::CONSTANT, vec![], vec![ty], attrs, loc);
+        m.insert_op_before(op, new_const);
+        let new_val = m.op(new_const).results()[0];
+        rw.replace_op(op, &[new_val]);
+        RewriteStatus::Changed
+    }
+}
+
+fn eval(kind: ops::ComputeKind, ints: &[i128], m: &Module, op: OpId) -> Option<i128> {
+    use ops::ComputeKind as K;
+    Some(match kind {
+        K::Add => ints[0].checked_add(ints[1])?,
+        K::Sub => ints[0].checked_sub(ints[1])?,
+        K::Mult => ints[0].checked_mul(ints[1])?,
+        K::And => ints[0] & ints[1],
+        K::Or => ints[0] | ints[1],
+        K::Xor => ints[0] ^ ints[1],
+        K::Not => !ints[0],
+        K::Shl => ints[0].checked_shl(u32::try_from(ints[1]).ok()?)?,
+        K::Shr => ints[0] >> i32::try_from(ints[1]).ok()?.clamp(0, 127),
+        K::Cmp(p) => i128::from(p.eval(ints[0], ints[1])),
+        K::Select => {
+            if ints[0] != 0 {
+                ints[1]
+            } else {
+                ints[2]
+            }
+        }
+        K::Trunc | K::Sext | K::Zext => ints[0],
+        K::Slice => {
+            let hi = m.op(op).attr(attrkey::HI)?.as_int()?;
+            let lo = m.op(op).attr(attrkey::LO)?.as_int()?;
+            (ints[0] >> lo) & ((1i128 << (hi - lo + 1)) - 1)
+        }
+    })
+}
+
+/// Algebraic identities: `x + 0`, `x * 1`, `x * 0`, `x & x`, `x | x`, ...
+pub struct AlgebraicSimplify;
+
+impl RewritePattern for AlgebraicSimplify {
+    fn name(&self) -> &str {
+        "hir-algebraic-simplify"
+    }
+
+    fn match_and_rewrite(&self, op: OpId, rw: &mut Rewriter<'_>) -> RewriteStatus {
+        let m = rw.module();
+        let name = m.op(op).name().as_str();
+        let operands = m.op(op).operands().to_vec();
+        let const_of = |m: &Module, v: ValueId| -> Option<i128> {
+            ConstantOp::wrap(m, m.defining_op(v)?).and_then(|c| c.value_attr(m).as_int())
+        };
+        let result = match m.op(op).results().first() {
+            Some(&r) => r,
+            None => return RewriteStatus::NoMatch,
+        };
+        // The replacement must preserve the result's type.
+        let same_type = |m: &Module, v: ValueId| m.value_type(v) == m.value_type(result);
+        let replacement: Option<ValueId> = match name {
+            opname::ADD => {
+                if const_of(m, operands[1]) == Some(0) && same_type(m, operands[0]) {
+                    Some(operands[0])
+                } else if const_of(m, operands[0]) == Some(0) && same_type(m, operands[1]) {
+                    Some(operands[1])
+                } else {
+                    None
+                }
+            }
+            opname::SUB => (const_of(m, operands[1]) == Some(0) && same_type(m, operands[0]))
+                .then_some(operands[0]),
+            opname::MULT => {
+                if const_of(m, operands[1]) == Some(1) && same_type(m, operands[0]) {
+                    Some(operands[0])
+                } else if const_of(m, operands[0]) == Some(1) && same_type(m, operands[1]) {
+                    Some(operands[1])
+                } else {
+                    None
+                }
+            }
+            opname::AND | opname::OR => {
+                (operands[0] == operands[1] && same_type(m, operands[0])).then_some(operands[0])
+            }
+            opname::SHL | opname::SHR => (const_of(m, operands[1]) == Some(0)
+                && same_type(m, operands[0]))
+            .then_some(operands[0]),
+            _ => None,
+        };
+        match replacement {
+            Some(v) => {
+                rw.replace_op(op, &[v]);
+                RewriteStatus::Changed
+            }
+            None => RewriteStatus::NoMatch,
+        }
+    }
+}
+
+/// Erase pure ops (and unused constants) whose results are all unused.
+pub struct Dce;
+
+impl RewritePattern for Dce {
+    fn name(&self) -> &str {
+        "hir-dce"
+    }
+
+    fn match_and_rewrite(&self, op: OpId, rw: &mut Rewriter<'_>) -> RewriteStatus {
+        let m = rw.module();
+        let name = m.op(op).name().as_str().to_string();
+        let erasable = rw.registry().op_has_trait(&name, traits::PURE)
+            || name == opname::DELAY
+            || name == opname::ALLOC;
+        if !erasable {
+            return RewriteStatus::NoMatch;
+        }
+        if m.op(op)
+            .results()
+            .iter()
+            .any(|&r| !m.value(r).uses().is_empty())
+        {
+            return RewriteStatus::NoMatch;
+        }
+        rw.erase_op(op);
+        RewriteStatus::Changed
+    }
+}
+
+/// CSE as a standalone pass: pure ops with identical (name, operands, attrs)
+/// in the same visibility scope are merged. Delays sharing (input, time,
+/// offset, by) are also merged — the de-duplication step of §6.4.
+pub struct CsePass;
+
+impl Pass for CsePass {
+    fn name(&self) -> &str {
+        "hir-cse"
+    }
+
+    fn run(&mut self, module: &mut Module, cx: &mut PassContext<'_>) -> PassResult {
+        let mut changed = false;
+        // Key: (name, operands, attrs rendered) -> first op seen.
+        let mut seen: HashMap<String, Vec<(OpId, ValueId)>> = HashMap::new();
+        let all = module.collect_all_ops();
+        for op in all {
+            if !module.is_live(op) {
+                continue;
+            }
+            let name = module.op(op).name().as_str().to_string();
+            let pure = cx.registry.op_has_trait(&name, traits::PURE);
+            let dedupable_delay = name == opname::DELAY;
+            if !pure && !dedupable_delay {
+                continue;
+            }
+            if module.op(op).results().len() != 1 {
+                continue;
+            }
+            let result = module.op(op).results()[0];
+            let key = format!(
+                "{name}|{:?}|{:?}|{}",
+                module.op(op).operands(),
+                module.op(op).attrs(),
+                module.value_type(result),
+            );
+            let candidates = seen.entry(key).or_default();
+            let mut merged = false;
+            for (prev, prev_result) in candidates.iter() {
+                if !module.is_live(*prev) {
+                    continue;
+                }
+                // The previous result must be visible where this op is.
+                if ir::value_visible_at(module, *prev_result, op) {
+                    module.replace_all_uses(result, *prev_result);
+                    module.erase_op(op);
+                    changed = true;
+                    merged = true;
+                    break;
+                }
+            }
+            if !merged && module.is_live(op) {
+                candidates.push((op, result));
+            }
+        }
+        if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        }
+    }
+}
+
+/// Greedy canonicalization pass: folding + algebraic identities + DCE.
+pub struct CanonicalizePass;
+
+impl Pass for CanonicalizePass {
+    fn name(&self) -> &str {
+        "hir-canonicalize"
+    }
+
+    fn run(&mut self, module: &mut Module, cx: &mut PassContext<'_>) -> PassResult {
+        let patterns: Vec<Box<dyn RewritePattern>> = vec![
+            Box::new(FoldConstants),
+            Box::new(AlgebraicSimplify),
+            Box::new(crate::strength::StrengthReduce),
+            Box::new(Dce),
+        ];
+        let stats = ir::apply_patterns_greedily(module, cx.registry, &patterns);
+        if stats.applications > 0 {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        }
+    }
+}

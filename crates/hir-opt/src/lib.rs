@@ -1,0 +1,357 @@
+//! # `hir-opt` — optimization passes for HIR (paper §6.2–§6.4)
+//!
+//! * [`fold`]: constant propagation/folding, algebraic identities, CSE and
+//!   DCE (§6.2);
+//! * [`strength`]: strength reduction of constant multiplies (§6.2);
+//! * [`precision`]: bit-width narrowing from constant loop bounds (§6.3,
+//!   responsible for the Table 4 flip-flop savings);
+//! * [`delay_elim`]: shift-register sharing across `hir.delay` ops (§6.4);
+//! * [`port_demote`]: dual-port → single-port RAM demotion when the explicit
+//!   schedule proves reads and writes never collide (§2).
+//!
+//! [`standard_pipeline`] assembles them in the order the HIR compiler runs.
+
+pub mod delay_elim;
+pub mod fold;
+pub mod port_demote;
+pub mod precision;
+pub mod retime;
+pub mod strength;
+
+pub use delay_elim::DelaySharePass;
+pub use fold::{AlgebraicSimplify, CanonicalizePass, CsePass, Dce, FoldConstants};
+pub use port_demote::PortDemotePass;
+pub use precision::{signed_width_for, PrecisionPass};
+pub use retime::{RetimeAcrossOps, RetimePass};
+pub use strength::StrengthReduce;
+
+use ir::PassManager;
+
+/// The standard `-O2`-style pipeline used for the paper's "HIR (auto opt)"
+/// configurations.
+pub fn standard_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(CanonicalizePass)
+        .add(CsePass)
+        .add(RetimePass)
+        .add(DelaySharePass::new())
+        .add(PrecisionPass::new())
+        .add(PortDemotePass::new())
+        .add(CanonicalizePass)
+        .add(CsePass);
+    pm
+}
+
+/// Run the standard pipeline over a module (convenience wrapper).
+///
+/// # Errors
+/// Returns the name of the first failed pass.
+pub fn optimize(module: &mut ir::Module) -> Result<(), String> {
+    let registry = hir::hir_registry();
+    let mut diags = ir::DiagnosticEngine::new();
+    standard_pipeline().run(module, &registry, &mut diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hir::interp::{ArgValue, Interpreter};
+    use hir::ops::{DelayOp, ForOp};
+    use hir::types::{MemKind, MemrefInfo, Port};
+    use hir::HirBuilder;
+    use ir::{DiagnosticEngine, Module, Type};
+
+    fn run_pipeline(m: &mut Module) {
+        optimize(m).expect("pipeline");
+        // Optimized IR must still verify.
+        let mut diags = DiagnosticEngine::new();
+        ir::verify_module(m, &hir::hir_registry(), &mut diags)
+            .unwrap_or_else(|_| panic!("post-opt verification failed:\n{}", diags.render()));
+        hir_verify::verify_schedule(m, &mut diags)
+            .unwrap_or_else(|_| panic!("post-opt schedule failed:\n{}", diags.render()));
+    }
+
+    fn count_ops(m: &Module, name: &str) -> usize {
+        m.collect_all_ops()
+            .into_iter()
+            .filter(|&o| m.is_live(o) && m.op(o).name().as_str() == name)
+            .count()
+    }
+
+    #[test]
+    fn folds_constants_and_removes_dead_code() {
+        let mut hb = HirBuilder::new();
+        let f = hb.func("k", &[("x", Type::int(32))], &[0]);
+        let x = f.args(hb.module())[0];
+        let a = hb.typed_const(3, Type::int(32));
+        let b = hb.typed_const(4, Type::int(32));
+        let ab = hb.mult(a, b); // folds to 12
+        let y = hb.add(x, ab);
+        let dead = hb.add(a, b); // unused
+        let _ = dead;
+        hb.return_(&[y]);
+        let mut m = hb.finish();
+        run_pipeline(&mut m);
+        assert_eq!(
+            count_ops(&m, hir::opname::MULT),
+            0,
+            "constant multiply folded"
+        );
+        // The dead add disappears; one live add remains.
+        assert_eq!(count_ops(&m, hir::opname::ADD), 1);
+    }
+
+    #[test]
+    fn cse_merges_identical_pure_ops() {
+        let mut hb = HirBuilder::new();
+        let f = hb.func("k", &[("x", Type::int(32))], &[0]);
+        let x = f.args(hb.module())[0];
+        let a = hb.add(x, x);
+        let b = hb.add(x, x); // identical
+        let s = hb.xor(a, b);
+        hb.return_(&[s]);
+        let mut m = hb.finish();
+        let registry = hir::hir_registry();
+        let mut diags = DiagnosticEngine::new();
+        let mut pm = ir::PassManager::new();
+        pm.add(CsePass);
+        pm.run(&mut m, &registry, &mut diags).unwrap();
+        assert_eq!(count_ops(&m, hir::opname::ADD), 1, "identical adds merged");
+    }
+
+    #[test]
+    fn strength_reduction_replaces_mult_by_shift() {
+        let mut hb = HirBuilder::new();
+        let f = hb.func("k", &[("x", Type::int(32))], &[0]);
+        let x = f.args(hb.module())[0];
+        let c8 = hb.typed_const(8, Type::int(32));
+        let y = hb.mult(x, c8); // -> x << 3
+        let c10 = hb.typed_const(10, Type::int(32));
+        let z = hb.mult(x, c10); // -> (x<<3) + (x<<1)
+        let out = hb.add(y, z);
+        hb.return_(&[out]);
+        let mut m = hb.finish();
+        run_pipeline(&mut m);
+        assert_eq!(count_ops(&m, hir::opname::MULT), 0, "multiplies eliminated");
+        assert!(count_ops(&m, hir::opname::SHL) >= 2);
+
+        // Semantics preserved.
+        let interp = Interpreter::new(&m);
+        let r = interp.run("k", &[ArgValue::Int(7)]).unwrap();
+        assert_eq!(r.results, vec![7 * 8 + 7 * 10]);
+    }
+
+    #[test]
+    fn precision_narrows_loop_counters_and_delays() {
+        let mut hb = HirBuilder::new();
+        let a = MemrefInfo::packed(&[16], Type::int(32), Port::Read, MemKind::BlockRam);
+        let c = a.with_port(Port::Write);
+        let f = hb.func("copy", &[("A", a.to_type()), ("C", c.to_type())], &[]);
+        let t = f.time_var(hb.module());
+        let args = f.args(hb.module());
+        let (c0, c16, c1) = (hb.const_val(0), hb.const_val(16), hb.const_val(1));
+        let lp = hb.for_loop(c0, c16, c1, t, 1, Type::int(32)); // oversized iv
+        hb.in_loop(lp, |hb, i, ti| {
+            let v = hb.mem_read(args[0], &[i], ti, 0);
+            let i1 = hb.delay(i, 1, ti, 0);
+            hb.mem_write(v, args[1], &[i1], ti, 1);
+            hb.yield_at(ti, 1);
+        });
+        hb.return_(&[]);
+        let mut m = hb.finish();
+        run_pipeline(&mut m);
+
+        let lp_op = m
+            .collect_all_ops()
+            .into_iter()
+            .find(|&o| m.is_live(o) && m.op(o).name().as_str() == hir::opname::FOR)
+            .unwrap();
+        let lp = ForOp(lp_op);
+        assert_eq!(
+            m.value_type(lp.induction_var(&m)).int_width(),
+            Some(6),
+            "iv narrowed to 6 bits (counts to 16)"
+        );
+        // The delayed copy of the iv narrowed too.
+        let delay_op = m
+            .collect_all_ops()
+            .into_iter()
+            .find(|&o| m.is_live(o) && m.op(o).name().as_str() == hir::opname::DELAY)
+            .unwrap();
+        assert_eq!(
+            m.value_type(DelayOp(delay_op).result(&m)).int_width(),
+            Some(6)
+        );
+
+        // Still functionally correct.
+        let interp = Interpreter::new(&m);
+        let data: Vec<i128> = (0..16).map(|x| x * 11).collect();
+        let r = interp
+            .run(
+                "copy",
+                &[ArgValue::tensor_from(&data), ArgValue::uninit_tensor(16)],
+            )
+            .unwrap();
+        let out: Vec<i128> = r.tensors[&1].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn delay_share_chains_shift_registers() {
+        let mut hb = HirBuilder::new();
+        let f = hb.func("k", &[("x", Type::int(32))], &[5]);
+        let t = f.time_var(hb.module());
+        let x = f.args(hb.module())[0];
+        let d2 = hb.delay(x, 2, t, 0);
+        let d5 = hb.delay(x, 5, t, 0);
+        // Keep both alive: re-delay d2 to t+5 and add.
+        let d2b = hb.delay(d2, 3, t, 2);
+        let s = hb.add(d5, d2b);
+        hb.return_(&[s]);
+        let mut m = hb.finish();
+        let registry = hir::hir_registry();
+        let mut diags = DiagnosticEngine::new();
+        let mut pm = ir::PassManager::new();
+        pm.add(DelaySharePass::new());
+        pm.run(&mut m, &registry, &mut diags).unwrap();
+        // The 5-delay now rides on the 2-delay: total registers 2+3+3=8
+        // instead of 2+5+3=10.
+        let total: i64 = m
+            .collect_all_ops()
+            .into_iter()
+            .filter(|&o| m.is_live(o))
+            .filter_map(|o| DelayOp::wrap(&m, o))
+            .map(|d| d.by(&m))
+            .sum();
+        assert!(
+            total <= 8,
+            "expected sharing to cut total registers, got {total}"
+        );
+
+        // Schedule still consistent.
+        let mut diags = DiagnosticEngine::new();
+        hir_verify::verify_schedule(&m, &mut diags)
+            .unwrap_or_else(|_| panic!("{}", diags.render()));
+    }
+
+    #[test]
+    fn port_demotion_merges_disjoint_ports() {
+        // Writes at even instants, reads at odd instants (II=2 loop):
+        // provably conflict-free, so r+w collapse to one rw port.
+        let mut hb = HirBuilder::new();
+        let f = hb.func("pd", &[], &[]);
+        let t = f.time_var(hb.module());
+        let (r, w) = hb.alloc_rw(&[16], Type::int(32), MemKind::BlockRam);
+        let (c0, c8, c1) = (hb.const_val(0), hb.const_val(8), hb.const_val(1));
+        let lp = hb.for_loop(c0, c8, c1, t, 1, Type::int(8));
+        hb.in_loop(lp, |hb, i, ti| {
+            let v = hb.typed_const(7, Type::int(32));
+            hb.mem_write(v, w, &[i], ti, 0); // offsets 0 mod 2
+            let i1 = hb.delay(i, 1, ti, 0);
+            hb.mem_read(r, &[i1], ti, 1); // offsets 1 mod 2
+            hb.yield_at(ti, 2);
+        });
+        hb.return_(&[]);
+        let mut m = hb.finish();
+        let registry = hir::hir_registry();
+        let mut diags = DiagnosticEngine::new();
+        let mut pm = ir::PassManager::new();
+        pm.add(PortDemotePass::new());
+        pm.run(&mut m, &registry, &mut diags).unwrap();
+
+        let alloc = m
+            .collect_all_ops()
+            .into_iter()
+            .find(|&o| m.is_live(o) && m.op(o).name().as_str() == hir::opname::ALLOC)
+            .unwrap();
+        assert_eq!(m.op(alloc).results().len(), 1, "single port remains");
+        let info = MemrefInfo::from_type(&m.value_type(m.op(alloc).results()[0])).unwrap();
+        assert_eq!(info.port, Port::ReadWrite);
+        assert!(m.op(alloc).attr("demoted_single_port").is_some());
+    }
+
+    #[test]
+    fn port_demotion_keeps_conflicting_ports() {
+        // Read and write in the SAME cycle: must keep two ports.
+        let mut hb = HirBuilder::new();
+        let f = hb.func("pd2", &[], &[]);
+        let t = f.time_var(hb.module());
+        let (r, w) = hb.alloc_rw(&[16], Type::int(32), MemKind::BlockRam);
+        let (c0, c8, c1) = (hb.const_val(0), hb.const_val(8), hb.const_val(1));
+        let c9 = hb.const_val(9);
+        let lp = hb.for_loop(c0, c8, c1, t, 1, Type::int(8));
+        hb.in_loop(lp, |hb, i, ti| {
+            let v = hb.mem_read(r, &[i], ti, 0);
+            let _ = v;
+            let k = hb.typed_const(1, Type::int(32));
+            hb.mem_write(k, w, &[c9], ti, 0); // same instant as the read
+            hb.yield_at(ti, 1);
+        });
+        hb.return_(&[]);
+        let mut m = hb.finish();
+        let registry = hir::hir_registry();
+        let mut diags = DiagnosticEngine::new();
+        let mut pm = ir::PassManager::new();
+        pm.add(PortDemotePass::new());
+        pm.run(&mut m, &registry, &mut diags).unwrap();
+        let alloc = m
+            .collect_all_ops()
+            .into_iter()
+            .find(|&o| m.is_live(o) && m.op(o).name().as_str() == hir::opname::ALLOC)
+            .unwrap();
+        assert_eq!(m.op(alloc).results().len(), 2, "ports must be preserved");
+    }
+
+    #[test]
+    fn optimized_transpose_still_simulates_correctly() {
+        // The Table 4 configuration: transpose, full pipeline, then check
+        // functional equivalence through the interpreter.
+        let n = 8u64;
+        let mut hb = HirBuilder::new();
+        let a = MemrefInfo::packed(&[n, n], Type::int(32), Port::Read, MemKind::BlockRam);
+        let c = a.with_port(Port::Write);
+        let f = hb.func(
+            "transpose",
+            &[("Ai", a.to_type()), ("Co", c.to_type())],
+            &[],
+        );
+        let t = f.time_var(hb.module());
+        let args = f.args(hb.module());
+        let (c0, cn, c1) = (hb.const_val(0), hb.const_val(n as i64), hb.const_val(1));
+        let i_loop = hb.for_loop(c0, cn, c1, t, 1, Type::int(32));
+        hb.in_loop(i_loop, |hb, i, ti| {
+            let j_loop = hb.for_loop(c0, cn, c1, ti, 1, Type::int(32));
+            hb.in_loop(j_loop, |hb, j, tj| {
+                let v = hb.mem_read(args[0], &[i, j], tj, 0);
+                let j1 = hb.delay(j, 1, tj, 0);
+                hb.mem_write(v, args[1], &[j1, i], tj, 1);
+                hb.yield_at(tj, 1);
+            });
+            let tf = j_loop.result_time(hb.module());
+            hb.yield_at(tf, 1);
+        });
+        hb.return_(&[]);
+        let mut m = hb.finish();
+        run_pipeline(&mut m);
+
+        let input: Vec<i128> = (0..(n * n) as i128).collect();
+        let interp = Interpreter::new(&m);
+        let r = interp
+            .run(
+                "transpose",
+                &[
+                    ArgValue::tensor_from(&input),
+                    ArgValue::uninit_tensor((n * n) as usize),
+                ],
+            )
+            .unwrap();
+        for i in 0..n as usize {
+            for j in 0..n as usize {
+                assert_eq!(
+                    r.tensors[&1][j * n as usize + i],
+                    Some(input[i * n as usize + j])
+                );
+            }
+        }
+    }
+}

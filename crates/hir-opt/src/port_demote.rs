@@ -1,0 +1,142 @@
+//! Dual-port → single-port RAM demotion (paper §2's motivating example):
+//! when a buffer is allocated with separate read and write ports but the
+//! explicit schedules prove the accesses never overlap in time, the two
+//! ports collapse into one read-write port, halving the RAM's port cost.
+
+use hir::dialect::attrkey;
+use hir::ops::{AllocOp, FuncOp, MemReadOp, MemWriteOp};
+use hir::types::{MemKind, MemrefInfo, Port};
+use hir_verify::ScheduleInfo;
+use ir::{AttrMap, Attribute, Module, OpId, Pass, PassContext, PassResult, ValueId};
+
+/// The port-demotion pass.
+#[derive(Debug, Default)]
+pub struct PortDemotePass {
+    /// Number of allocs demoted in the last run.
+    pub demoted: usize,
+}
+
+impl PortDemotePass {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Pass for PortDemotePass {
+    fn name(&self) -> &str {
+        "hir-port-demote"
+    }
+
+    fn run(&mut self, module: &mut Module, _cx: &mut PassContext<'_>) -> PassResult {
+        self.demoted = 0;
+        let tops = module.top_ops().to_vec();
+        for top in tops {
+            let Some(func) = FuncOp::wrap(module, top) else {
+                continue;
+            };
+            if func.is_external(module) {
+                continue;
+            }
+            let (info, diags) = hir_verify::schedule_info(module, func);
+            if diags.has_errors() {
+                continue; // cannot reason about a broken schedule
+            }
+            let allocs: Vec<OpId> = module
+                .collect_ops(top)
+                .into_iter()
+                .filter(|&op| AllocOp::wrap(module, op).is_some())
+                .collect();
+            for alloc in allocs {
+                if self.try_demote(module, alloc, &info) {
+                    self.demoted += 1;
+                }
+            }
+        }
+        if self.demoted > 0 {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        }
+    }
+}
+
+impl PortDemotePass {
+    fn try_demote(&self, module: &mut Module, alloc_op: OpId, sched: &ScheduleInfo) -> bool {
+        let alloc = AllocOp(alloc_op);
+        let ports = alloc.ports(module);
+        if ports.len() != 2 {
+            return false;
+        }
+        let infos: Vec<MemrefInfo> = ports
+            .iter()
+            .map(|&p| MemrefInfo::from_type(&module.value_type(p)).expect("verified"))
+            .collect();
+        // Exactly one read + one write port of RAM kind.
+        let (r_idx, w_idx) = match (infos[0].port, infos[1].port) {
+            (Port::Read, Port::Write) => (0, 1),
+            (Port::Write, Port::Read) => (1, 0),
+            _ => return false,
+        };
+        if infos[0].kind == MemKind::Reg {
+            return false; // register files have no port economics to win
+        }
+        // Collect all access instants per port.
+        let mut accesses: Vec<(ValueId, i64, bool)> = Vec::new(); // (root, offset, ok)
+        for &port in &ports {
+            for u in module.value(port).uses().to_vec() {
+                let (root, offset) = if let Some(r) = MemReadOp::wrap(module, u.op) {
+                    (r.time(module), r.offset(module))
+                } else if let Some(w) = MemWriteOp::wrap(module, u.op) {
+                    (w.time(module), w.offset(module))
+                } else {
+                    // Escapes (e.g. passed to a call): give up.
+                    return false;
+                };
+                accesses.push((root, offset, port == ports[r_idx]));
+            }
+        }
+        // Reads must provably never coincide with writes.
+        for i in 0..accesses.len() {
+            for j in (i + 1)..accesses.len() {
+                let (ra, oa, is_read_a) = accesses[i];
+                let (rb, ob, is_read_b) = accesses[j];
+                if is_read_a == is_read_b {
+                    continue; // same-direction conflicts are the verifier's job
+                }
+                if ra != rb {
+                    return false; // different scopes: cannot prove disjoint
+                }
+                let collide = match sched.root_ii.get(&ra) {
+                    Some(&ii) => (oa - ob).rem_euclid(ii) == 0,
+                    None => oa == ob,
+                };
+                if collide {
+                    return false;
+                }
+            }
+        }
+
+        // Rewrite: one read-write port replaces both.
+        let rw_info = infos[0].with_port(Port::ReadWrite);
+        let loc = module.op(alloc_op).loc().clone();
+        let mut attrs = AttrMap::new();
+        attrs.insert(
+            attrkey::KIND.into(),
+            Attribute::string(rw_info.kind.mnemonic()),
+        );
+        attrs.insert("demoted_single_port".into(), Attribute::Unit);
+        let new_alloc = module.create_op(
+            hir::opname::ALLOC,
+            vec![],
+            vec![rw_info.to_type()],
+            attrs,
+            loc,
+        );
+        module.insert_op_before(alloc_op, new_alloc);
+        let new_port = module.op(new_alloc).results()[0];
+        module.replace_all_uses(ports[r_idx], new_port);
+        module.replace_all_uses(ports[w_idx], new_port);
+        module.erase_op(alloc_op);
+        true
+    }
+}

@@ -1,0 +1,229 @@
+//! Retiming across combinational operations (paper §7.4).
+//!
+//! When both operands of a combinational op are the same-shape delay of
+//! earlier values — `op(delay(a, k), delay(b, k))` — the registers can be
+//! moved across the operator: `delay(op(a, b), k)`. Two shift registers of
+//! the operand widths collapse into one of the result width. This is the
+//! register-motion half of retiming; the schedule verifier re-checks the
+//! result, exactly as §7.4 prescribes for manual retiming.
+
+use hir::dialect::{attrkey, opname};
+use hir::ops::{self, DelayOp};
+use ir::{Attribute, Module, OpId, RewritePattern, RewriteStatus, Rewriter};
+
+/// `op(delay(a,k), delay(b,k))` → `delay(op(a,b), k)` when profitable.
+pub struct RetimeAcrossOps;
+
+impl RewritePattern for RetimeAcrossOps {
+    fn name(&self) -> &str {
+        "hir-retime-across-ops"
+    }
+
+    fn match_and_rewrite(&self, op: OpId, rw: &mut Rewriter<'_>) -> RewriteStatus {
+        let m = rw.module();
+        // Binary combinational ops only (same-instant operand semantics).
+        let Some(kind) = ops::compute_kind(m, op) else {
+            return RewriteStatus::NoMatch;
+        };
+        use hir::ops::ComputeKind as K;
+        if !matches!(
+            kind,
+            K::Add | K::Sub | K::Mult | K::And | K::Or | K::Xor | K::Cmp(_)
+        ) {
+            return RewriteStatus::NoMatch;
+        }
+        let operands = m.op(op).operands().to_vec();
+        if operands.len() != 2 {
+            return RewriteStatus::NoMatch;
+        }
+        let delays: Vec<DelayOp> = operands
+            .iter()
+            .filter_map(|&v| m.defining_op(v).and_then(|d| DelayOp::wrap(m, d)))
+            .collect();
+        if delays.len() != 2 {
+            return RewriteStatus::NoMatch;
+        }
+        let (d0, d1) = (delays[0], delays[1]);
+        // Same delay amount, same time root, same offset.
+        if d0.by(m) != d1.by(m)
+            || d0.by(m) == 0
+            || d0.time(m) != d1.time(m)
+            || d0.offset(m) != d1.offset(m)
+        {
+            return RewriteStatus::NoMatch;
+        }
+        // Profitable when the result is no wider than the operands combined
+        // (always true for same-width ops; comparisons shrink to 1 bit).
+        let w_in: u32 = operands
+            .iter()
+            .map(|&v| m.value_type(v).bit_width().unwrap_or(32))
+            .sum();
+        let result = m.op(op).results()[0];
+        let w_out = m.value_type(result).bit_width().unwrap_or(32);
+        if w_out >= w_in {
+            return RewriteStatus::NoMatch;
+        }
+        // The delayed op's result must only feed THIS op; otherwise the
+        // shift registers are shared and removing them saves nothing.
+        for d in [&d0, &d1] {
+            if m.value(d.result(m)).uses().len() != 1 {
+                return RewriteStatus::NoMatch;
+            }
+        }
+
+        let by = d0.by(m);
+        let time = d0.time(m);
+        let offset = d0.offset(m);
+        let res_ty = m.value_type(result);
+        let loc = m.op(op).loc().clone();
+        let name = m.op(op).name().clone();
+        let attrs = m.op(op).attrs().clone();
+        let (a, b) = (d0.input(m), d1.input(m));
+
+        let m = rw.module_mut();
+        // op(a, b) computed at the delays' input instant...
+        let early = m.create_op(name, vec![a, b], vec![res_ty.clone()], attrs, loc.clone());
+        m.insert_op_before(op, early);
+        let early_v = m.op(early).results()[0];
+        // ...then one delay of the (narrower) result.
+        let mut dattrs = ir::AttrMap::new();
+        dattrs.insert(attrkey::BY.into(), Attribute::index(by as i128));
+        dattrs.insert(attrkey::OFFSET.into(), Attribute::index(offset as i128));
+        let delayed = m.create_op(
+            opname::DELAY,
+            vec![early_v, time],
+            vec![res_ty],
+            dattrs,
+            loc,
+        );
+        m.insert_op_before(op, delayed);
+        let delayed_v = m.op(delayed).results()[0];
+        rw.replace_op(op, &[delayed_v]);
+        RewriteStatus::Changed
+    }
+}
+
+/// Retiming as a standalone pass (DCE cleans up the orphaned delays).
+#[derive(Debug, Default)]
+pub struct RetimePass;
+
+impl ir::Pass for RetimePass {
+    fn name(&self) -> &str {
+        "hir-retime"
+    }
+
+    fn run(&mut self, module: &mut Module, cx: &mut ir::PassContext<'_>) -> ir::PassResult {
+        let patterns: Vec<Box<dyn RewritePattern>> =
+            vec![Box::new(RetimeAcrossOps), Box::new(crate::fold::Dce)];
+        let stats = ir::apply_patterns_greedily(module, cx.registry, &patterns);
+        if stats.applications > 0 {
+            ir::PassResult::Changed
+        } else {
+            ir::PassResult::Unchanged
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hir::interp::{ArgValue, Interpreter};
+    use hir::HirBuilder;
+    use ir::Type;
+
+    fn count_delay_bits(m: &Module) -> i64 {
+        m.collect_all_ops()
+            .into_iter()
+            .filter(|&o| m.is_live(o))
+            .filter_map(|o| DelayOp::wrap(m, o))
+            .map(|d| d.by(m) * m.value_type(d.result(m)).int_width().unwrap_or(0) as i64)
+            .sum()
+    }
+
+    #[test]
+    fn merges_parallel_shift_registers() {
+        // cmp(delay(x,3), delay(y,3)): two 32-bit x3 shift registers become
+        // one 1-bit x3 register after retiming.
+        let mut hb = HirBuilder::new();
+        let f = hb.func("r", &[("x", Type::int(32)), ("y", Type::int(32))], &[3]);
+        let t = f.time_var(hb.module());
+        let args = f.args(hb.module());
+        let dx = hb.delay(args[0], 3, t, 0);
+        let dy = hb.delay(args[1], 3, t, 0);
+        let lt = hb.cmp(hir::CmpPredicate::Lt, dx, dy);
+        let wide = hb.zext(lt, Type::int(32));
+        hb.return_(&[wide]);
+        let mut m = hb.finish();
+
+        let before_bits = count_delay_bits(&m);
+        assert_eq!(before_bits, 2 * 3 * 32);
+
+        let registry = hir::hir_registry();
+        let mut diags = ir::DiagnosticEngine::new();
+        let mut pm = ir::PassManager::new();
+        pm.add(RetimePass);
+        pm.run(&mut m, &registry, &mut diags).unwrap();
+
+        let after_bits = count_delay_bits(&m);
+        assert_eq!(after_bits, 3, "one 1-bit x3 shift register remains");
+
+        // Schedule still valid, semantics preserved.
+        let mut diags = ir::DiagnosticEngine::new();
+        hir_verify::verify_schedule(&m, &mut diags)
+            .unwrap_or_else(|_| panic!("{}", diags.render()));
+        let r = Interpreter::new(&m)
+            .run("r", &[ArgValue::Int(3), ArgValue::Int(9)])
+            .unwrap();
+        assert_eq!(r.results, vec![1]);
+        let r = Interpreter::new(&m)
+            .run("r", &[ArgValue::Int(9), ArgValue::Int(3)])
+            .unwrap();
+        assert_eq!(r.results, vec![0]);
+    }
+
+    #[test]
+    fn does_not_fire_when_result_is_wider() {
+        // add(delay(x,2), delay(y,2)) keeps 32+32 -> 32: moving the delay
+        // saves 32 bits, so it SHOULD fire; but mult to 64 would not.
+        let mut hb = HirBuilder::new();
+        let f = hb.func("r", &[("x", Type::int(32)), ("y", Type::int(32))], &[2]);
+        let t = f.time_var(hb.module());
+        let args = f.args(hb.module());
+        let dx = hb.delay(args[0], 2, t, 0);
+        let dy = hb.delay(args[1], 2, t, 0);
+        let s = hb.add(dx, dy);
+        hb.return_(&[s]);
+        let mut m = hb.finish();
+        let registry = hir::hir_registry();
+        let mut diags = ir::DiagnosticEngine::new();
+        let mut pm = ir::PassManager::new();
+        pm.add(RetimePass);
+        pm.run(&mut m, &registry, &mut diags).unwrap();
+        assert_eq!(
+            count_delay_bits(&m),
+            2 * 32,
+            "64 operand bits -> 32 result bits"
+        );
+    }
+
+    #[test]
+    fn does_not_fire_on_shared_delays() {
+        // The delayed value feeds two consumers: registers cannot be moved.
+        let mut hb = HirBuilder::new();
+        let f = hb.func("r", &[("x", Type::int(32)), ("y", Type::int(32))], &[2]);
+        let t = f.time_var(hb.module());
+        let args = f.args(hb.module());
+        let dx = hb.delay(args[0], 2, t, 0);
+        let dy = hb.delay(args[1], 2, t, 0);
+        let c = hb.cmp(hir::CmpPredicate::Lt, dx, dy);
+        let picked = hb.select(c, dx, dy); // dx/dy used again here
+        hb.return_(&[picked]);
+        let mut m = hb.finish();
+        let registry = hir::hir_registry();
+        let mut diags = ir::DiagnosticEngine::new();
+        let mut pm = ir::PassManager::new();
+        pm.add(RetimePass);
+        pm.run(&mut m, &registry, &mut diags).unwrap();
+        assert_eq!(count_delay_bits(&m), 2 * 2 * 32, "shared delays must stay");
+    }
+}

@@ -1,0 +1,159 @@
+//! Static memory-port conflict detection (paper §2, §4.5).
+//!
+//! Each memref value is one port of an on-chip buffer. Two *different*
+//! accesses through the same port in the same clock cycle are undefined
+//! behaviour unless they provably hit the same address or provably land in
+//! different banks (a distributed-dimension index differs statically).
+//!
+//! Within a loop of static initiation interval `II`, two accesses at offsets
+//! `o1`, `o2` from the iteration time collide iff `o1 ≡ o2 (mod II)`.
+
+use crate::validity::ScheduleInfo;
+use hir::dialect::opname;
+use hir::ops::{ConstantOp, FuncOp, MemReadOp, MemWriteOp};
+use hir::types::MemrefInfo;
+use ir::{Diagnostic, DiagnosticEngine, Module, OpId, ValueId};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Index {
+    /// Statically known (a `hir.constant` operand).
+    Const(i64),
+    /// Dynamic; identified by its SSA value.
+    Dynamic(ValueId),
+}
+
+#[derive(Clone, Debug)]
+struct Access {
+    op: OpId,
+    root: ValueId,
+    offset: i64,
+    indices: Vec<Index>,
+    is_read: bool,
+    /// Access sits inside an `hir.if` branch: statically unknowable.
+    predicated: bool,
+}
+
+/// Detect port conflicts in `func`, emitting diagnostics. Returns the number
+/// of conflicts found.
+pub fn check_port_conflicts(
+    m: &Module,
+    func: FuncOp,
+    info: &ScheduleInfo,
+    diags: &mut DiagnosticEngine,
+) -> usize {
+    if func.is_external(m) {
+        return 0;
+    }
+    // Group accesses by memref value (port).
+    let mut per_port: HashMap<ValueId, Vec<Access>> = HashMap::new();
+    m.walk(func.id(), &mut |op| {
+        let (mem, indices, is_read, root, offset) = match m.op(op).name().as_str() {
+            opname::MEM_READ => {
+                let r = MemReadOp(op);
+                let Some(t) = hir::ops::time_operand(m, op) else {
+                    return;
+                };
+                (r.memref(m), r.indices(m), true, t, r.offset(m))
+            }
+            opname::MEM_WRITE => {
+                let w = MemWriteOp(op);
+                let Some(t) = hir::ops::time_operand(m, op) else {
+                    return;
+                };
+                (w.memref(m), w.indices(m), false, t, w.offset(m))
+            }
+            _ => return,
+        };
+        let indices = indices
+            .into_iter()
+            .map(
+                |v| match m.defining_op(v).and_then(|d| ConstantOp::wrap(m, d)) {
+                    Some(c) => Index::Const(c.int_value(m)),
+                    None => Index::Dynamic(v),
+                },
+            )
+            .collect();
+        let predicated = m.enclosing_op(op, opname::IF).is_some();
+        per_port.entry(mem).or_default().push(Access {
+            op,
+            root,
+            offset,
+            indices,
+            is_read,
+            predicated,
+        });
+    });
+
+    let mut conflicts = 0;
+    for (mem, accesses) in per_port {
+        let Some(memref_info) = MemrefInfo::from_type(&m.value_type(mem)) else {
+            continue;
+        };
+        for i in 0..accesses.len() {
+            for j in (i + 1)..accesses.len() {
+                let (a, b) = (&accesses[i], &accesses[j]);
+                if a.predicated || b.predicated {
+                    // Gated by runtime conditions; the interpreter and the
+                    // generated RTL assertions check these dynamically.
+                    continue;
+                }
+                if a.root != b.root {
+                    // Different scopes: cannot reason statically; the
+                    // interpreter/Verilog assertions check at runtime.
+                    continue;
+                }
+                // Inside a loop with static II the port is exercised every II
+                // cycles: offsets collide iff congruent mod II. Elsewhere the
+                // schedule runs once: offsets collide iff equal.
+                let collide = match info.root_ii.get(&a.root) {
+                    Some(&ii) => (a.offset - b.offset).rem_euclid(ii) == 0,
+                    None => a.offset == b.offset,
+                };
+                if !collide {
+                    continue;
+                }
+                // Exemption 1: a distributed dimension differs statically.
+                let different_bank = memref_info
+                    .dims
+                    .iter()
+                    .zip(a.indices.iter().zip(&b.indices))
+                    .any(|(dim, (ia, ib))| {
+                        dim.is_distributed()
+                            && matches!((ia, ib), (Index::Const(x), Index::Const(y)) if x != y)
+                    });
+                if different_bank {
+                    continue;
+                }
+                // Exemption 2: provably the same address (all indices equal).
+                let same_address = a.indices == b.indices;
+                if same_address && a.is_read && b.is_read {
+                    continue;
+                }
+                conflicts += 1;
+                let what = match (a.is_read, b.is_read) {
+                    (true, true) => "reads",
+                    (false, false) => "writes",
+                    _ => "a read and a write",
+                };
+                diags.emit(
+                    Diagnostic::error(
+                        m.op(b.op).loc().clone(),
+                        format!(
+                            "Schedule error: two {what} on the same memory port in the same \
+                             cycle (offsets {} and {})!",
+                            a.offset, b.offset
+                        ),
+                    )
+                    .with_snippet(hir::pretty_op(m, b.op))
+                    .with_note_snippet(
+                        m.op(a.op).loc().clone(),
+                        "Conflicting access here.",
+                        hir::pretty_op(m, a.op),
+                    ),
+                );
+            }
+        }
+    }
+    conflicts
+}

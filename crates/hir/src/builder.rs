@@ -1,0 +1,705 @@
+//! `HirBuilder`: an ergonomic API for constructing HIR designs, used by the
+//! paper-listing kernels, the examples and the tests.
+//!
+//! The builder owns the [`ir::Module`] while building and hands it back via
+//! [`HirBuilder::finish`].
+//!
+//! # Examples
+//!
+//! The paper's Listing 1 (matrix transpose) reduces to:
+//!
+//! ```
+//! use hir::{HirBuilder, types::{MemrefInfo, Port, MemKind}};
+//! use ir::Type;
+//!
+//! let mut hb = HirBuilder::new();
+//! let a = MemrefInfo::packed(&[16, 16], Type::int(32), Port::Read, MemKind::BlockRam);
+//! let c = a.with_port(Port::Write);
+//! let f = hb.func("transpose", &[("Ai", a.to_type()), ("Co", c.to_type())], &[]);
+//! let t = f.time_var(hb.module());
+//! let args = f.args(hb.module());
+//! let (c0, c16, c1) = (hb.const_val(0), hb.const_val(16), hb.const_val(1));
+//! let i_loop = hb.for_loop(c0, c16, c1, t, 1, Type::int(32));
+//! hb.in_loop(i_loop, |hb, i, ti| {
+//!     let j_loop = hb.for_loop(c0, c16, c1, ti, 1, Type::int(32));
+//!     hb.in_loop(j_loop, |hb, j, tj| {
+//!         let v = hb.mem_read(args[0], &[i, j], tj, 0);
+//!         let j1 = hb.delay(j, 1, tj, 0);
+//!         hb.mem_write(v, args[1], &[j1, i], tj, 1);
+//!         hb.yield_at(tj, 1);
+//!     });
+//!     let tf = hir::ops::ForOp::wrap(hb.module(), j_loop.id()).unwrap().result_time(hb.module());
+//!     hb.yield_at(tf, 1);
+//! });
+//! hb.return_(&[]);
+//! let module = hb.finish();
+//! assert_eq!(module.top_ops().len(), 1);
+//! ```
+
+use crate::dialect::{attrkey, opname, CmpPredicate};
+use crate::ops::{ForOp, FuncOp, IfOp, UnrollForOp};
+use crate::types::{const_type, is_const, time_type, Dim, MemKind, MemrefInfo, Port};
+use ir::{AttrMap, Attribute, BlockId, Location, Module, OpId, SymbolTable, Type, ValueId};
+use std::collections::HashMap;
+
+/// Builder for HIR modules. See module docs for an example.
+#[derive(Debug)]
+pub struct HirBuilder {
+    module: Module,
+    /// Insertion stack: innermost block last.
+    stack: Vec<BlockId>,
+    /// Cached `hir.constant` values for the current function.
+    const_cache: HashMap<i128, ValueId>,
+    /// Entry block of the current function: constants are hoisted here so
+    /// they dominate every use in nested regions.
+    entry: Option<BlockId>,
+    /// Insertion index for the next hoisted constant.
+    const_pos: usize,
+    /// Location applied to subsequently created ops.
+    loc: Location,
+}
+
+impl HirBuilder {
+    /// Start a fresh module.
+    pub fn new() -> Self {
+        HirBuilder {
+            module: Module::new(),
+            stack: Vec::new(),
+            const_cache: HashMap::new(),
+            entry: None,
+            const_pos: 0,
+            loc: Location::unknown(),
+        }
+    }
+
+    /// Continue building into an existing module.
+    pub fn from_module(module: Module) -> Self {
+        HirBuilder {
+            module,
+            stack: Vec::new(),
+            const_cache: HashMap::new(),
+            entry: None,
+            const_pos: 0,
+            loc: Location::unknown(),
+        }
+    }
+
+    /// Read access to the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Finish building and take the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+
+    /// Set the source location applied to subsequently created ops.
+    pub fn set_loc(&mut self, loc: Location) {
+        self.loc = loc;
+    }
+
+    fn block(&self) -> BlockId {
+        *self
+            .stack
+            .last()
+            .expect("no insertion block: call func() first")
+    }
+
+    fn push_op(
+        &mut self,
+        name: &str,
+        operands: Vec<ValueId>,
+        results: Vec<Type>,
+        attrs: AttrMap,
+    ) -> OpId {
+        let op = self
+            .module
+            .create_op(name, operands, results, attrs, self.loc.clone());
+        self.module.append_op(self.block(), op);
+        op
+    }
+
+    // ------------------------------------------------------------- functions
+
+    /// Begin a function; subsequent ops go into its body until the next
+    /// `func`/`extern_func` call. Returns the function handle.
+    pub fn func(&mut self, name: &str, args: &[(&str, Type)], result_delays: &[i64]) -> FuncOp {
+        let mut attrs = AttrMap::new();
+        attrs.insert(ir::SYM_NAME.into(), Attribute::string(name));
+        attrs.insert(
+            attrkey::ARG_NAMES.into(),
+            Attribute::Array(args.iter().map(|(n, _)| Attribute::string(*n)).collect()),
+        );
+        if !result_delays.is_empty() {
+            attrs.insert(
+                attrkey::RESULT_DELAYS.into(),
+                Attribute::Array(
+                    result_delays
+                        .iter()
+                        .map(|&d| Attribute::index(d as i128))
+                        .collect(),
+                ),
+            );
+        }
+        let f = self
+            .module
+            .create_op(opname::FUNC, vec![], vec![], attrs, self.loc.clone());
+        self.module.push_top(f);
+        let region = self.module.add_region(f);
+        let mut arg_types: Vec<Type> = args.iter().map(|(_, t)| t.clone()).collect();
+        arg_types.push(time_type());
+        let entry = self.module.add_block(region, arg_types);
+        self.stack.clear();
+        self.stack.push(entry);
+        self.const_cache.clear();
+        self.entry = Some(entry);
+        self.const_pos = 0;
+        FuncOp(f)
+    }
+
+    /// Declare an external (blackbox Verilog) function.
+    pub fn extern_func(
+        &mut self,
+        name: &str,
+        arg_types: &[Type],
+        result_types: &[Type],
+        result_delays: &[i64],
+    ) -> FuncOp {
+        assert_eq!(
+            result_types.len(),
+            result_delays.len(),
+            "one delay per result"
+        );
+        let mut attrs = AttrMap::new();
+        attrs.insert(ir::SYM_NAME.into(), Attribute::string(name));
+        attrs.insert(attrkey::EXTERNAL.into(), Attribute::Unit);
+        attrs.insert(
+            attrkey::ARG_TYPES.into(),
+            Attribute::Array(
+                arg_types
+                    .iter()
+                    .map(|t| Attribute::Type(t.clone()))
+                    .collect(),
+            ),
+        );
+        attrs.insert(
+            attrkey::RESULT_TYPES.into(),
+            Attribute::Array(
+                result_types
+                    .iter()
+                    .map(|t| Attribute::Type(t.clone()))
+                    .collect(),
+            ),
+        );
+        attrs.insert(
+            attrkey::RESULT_DELAYS.into(),
+            Attribute::Array(
+                result_delays
+                    .iter()
+                    .map(|&d| Attribute::index(d as i128))
+                    .collect(),
+            ),
+        );
+        let f = self
+            .module
+            .create_op(opname::FUNC, vec![], vec![], attrs, self.loc.clone());
+        self.module.push_top(f);
+        FuncOp(f)
+    }
+
+    /// Terminate the current function body.
+    pub fn return_(&mut self, values: &[ValueId]) {
+        self.push_op(opname::RETURN, values.to_vec(), vec![], AttrMap::new());
+    }
+
+    // ------------------------------------------------------------- constants
+
+    /// A `!hir.const` constant (cached per function and hoisted to the
+    /// entry block so it dominates uses in every nested region).
+    pub fn const_val(&mut self, v: i64) -> ValueId {
+        if let Some(&cached) = self.const_cache.get(&(v as i128)) {
+            return cached;
+        }
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::VALUE.into(), Attribute::index(v as i128));
+        let op = self.module.create_op(
+            opname::CONSTANT,
+            vec![],
+            vec![const_type()],
+            attrs,
+            self.loc.clone(),
+        );
+        let entry = self.entry.expect("no function open: call func() first");
+        self.module.insert_op(entry, self.const_pos, op);
+        self.const_pos += 1;
+        let val = self.module.op(op).results()[0];
+        self.const_cache.insert(v as i128, val);
+        val
+    }
+
+    /// A typed integer constant (e.g. an `i32` literal for the datapath).
+    pub fn typed_const(&mut self, v: i64, ty: Type) -> ValueId {
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::VALUE.into(), Attribute::Int(v as i128, ty.clone()));
+        let op = self.push_op(opname::CONSTANT, vec![], vec![ty], attrs);
+        self.module.op(op).results()[0]
+    }
+
+    // --------------------------------------------------------------- compute
+
+    fn binary_result_type(&self, a: ValueId, b: ValueId) -> Type {
+        let ta = self.module.value_type(a);
+        let tb = self.module.value_type(b);
+        match (is_const(&ta), is_const(&tb)) {
+            (true, true) => const_type(),
+            (true, false) => tb,
+            (false, true) => ta,
+            (false, false) => {
+                if ta.is_float() {
+                    assert_eq!(ta, tb, "float binary op operands must match");
+                    return ta;
+                }
+                let wa = ta.int_width().expect("binary op on non-integer");
+                let wb = tb.int_width().expect("binary op on non-integer");
+                if wa >= wb {
+                    ta
+                } else {
+                    tb
+                }
+            }
+        }
+    }
+
+    fn binary(&mut self, name: &str, a: ValueId, b: ValueId) -> ValueId {
+        let ty = self.binary_result_type(a, b);
+        let op = self.push_op(name, vec![a, b], vec![ty], AttrMap::new());
+        self.module.op(op).results()[0]
+    }
+
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(opname::ADD, a, b)
+    }
+    pub fn sub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(opname::SUB, a, b)
+    }
+    pub fn mult(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(opname::MULT, a, b)
+    }
+    pub fn and(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(opname::AND, a, b)
+    }
+    pub fn or(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(opname::OR, a, b)
+    }
+    pub fn xor(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(opname::XOR, a, b)
+    }
+    pub fn shl(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(opname::SHL, a, b)
+    }
+    pub fn shr(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(opname::SHR, a, b)
+    }
+
+    pub fn not(&mut self, a: ValueId) -> ValueId {
+        let ty = self.module.value_type(a);
+        let op = self.push_op(opname::NOT, vec![a], vec![ty], AttrMap::new());
+        self.module.op(op).results()[0]
+    }
+
+    pub fn cmp(&mut self, pred: CmpPredicate, a: ValueId, b: ValueId) -> ValueId {
+        let mut attrs = AttrMap::new();
+        attrs.insert(
+            attrkey::PREDICATE.into(),
+            Attribute::string(pred.mnemonic()),
+        );
+        let op = self.push_op(opname::CMP, vec![a, b], vec![Type::i1()], attrs);
+        self.module.op(op).results()[0]
+    }
+
+    pub fn select(&mut self, cond: ValueId, a: ValueId, b: ValueId) -> ValueId {
+        let ty = self.module.value_type(a);
+        let op = self.push_op(opname::SELECT, vec![cond, a, b], vec![ty], AttrMap::new());
+        self.module.op(op).results()[0]
+    }
+
+    pub fn trunc(&mut self, v: ValueId, ty: Type) -> ValueId {
+        let op = self.push_op(opname::TRUNC, vec![v], vec![ty], AttrMap::new());
+        self.module.op(op).results()[0]
+    }
+
+    pub fn zext(&mut self, v: ValueId, ty: Type) -> ValueId {
+        let op = self.push_op(opname::ZEXT, vec![v], vec![ty], AttrMap::new());
+        self.module.op(op).results()[0]
+    }
+
+    pub fn sext(&mut self, v: ValueId, ty: Type) -> ValueId {
+        let op = self.push_op(opname::SEXT, vec![v], vec![ty], AttrMap::new());
+        self.module.op(op).results()[0]
+    }
+
+    pub fn slice(&mut self, v: ValueId, hi: u32, lo: u32) -> ValueId {
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::HI.into(), Attribute::index(hi as i128));
+        attrs.insert(attrkey::LO.into(), Attribute::index(lo as i128));
+        let op = self.push_op(opname::SLICE, vec![v], vec![Type::int(hi - lo + 1)], attrs);
+        self.module.op(op).results()[0]
+    }
+
+    // -------------------------------------------------------------- schedule
+
+    /// `hir.delay %v by <by> at %t offset <offset>`.
+    pub fn delay(&mut self, v: ValueId, by: i64, t: ValueId, offset: i64) -> ValueId {
+        let ty = self.module.value_type(v);
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::BY.into(), Attribute::index(by as i128));
+        attrs.insert(attrkey::OFFSET.into(), Attribute::index(offset as i128));
+        let op = self.push_op(opname::DELAY, vec![v, t], vec![ty], attrs);
+        self.module.op(op).results()[0]
+    }
+
+    // ---------------------------------------------------------------- memory
+
+    /// Allocate a tensor with the given dims/elem/kind, one result per port.
+    pub fn alloc(
+        &mut self,
+        dims: &[Dim],
+        elem: Type,
+        kind: MemKind,
+        ports: &[Port],
+    ) -> Vec<ValueId> {
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::KIND.into(), Attribute::string(kind.mnemonic()));
+        let types: Vec<Type> = ports
+            .iter()
+            .map(|&p| MemrefInfo::new(dims.to_vec(), elem.clone(), p, kind).to_type())
+            .collect();
+        let op = self.push_op(opname::ALLOC, vec![], types, attrs);
+        self.module.op(op).results().to_vec()
+    }
+
+    /// Convenience: a 1-d or n-d fully packed read+write pair.
+    pub fn alloc_rw(&mut self, shape: &[u64], elem: Type, kind: MemKind) -> (ValueId, ValueId) {
+        let dims: Vec<Dim> = shape.iter().map(|&n| Dim::Packed(n)).collect();
+        let ports = self.alloc(&dims, elem, kind, &[Port::Read, Port::Write]);
+        (ports[0], ports[1])
+    }
+
+    /// `hir.mem_read %mem[indices] at %t offset <offset>`.
+    pub fn mem_read(
+        &mut self,
+        mem: ValueId,
+        indices: &[ValueId],
+        t: ValueId,
+        offset: i64,
+    ) -> ValueId {
+        let info = MemrefInfo::from_type(&self.module.value_type(mem)).expect("memref operand");
+        let mut operands = vec![mem];
+        operands.extend_from_slice(indices);
+        operands.push(t);
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::OFFSET.into(), Attribute::index(offset as i128));
+        let op = self.push_op(opname::MEM_READ, operands, vec![info.elem], attrs);
+        self.module.op(op).results()[0]
+    }
+
+    /// `hir.mem_write %v to %mem[indices] at %t offset <offset>`.
+    pub fn mem_write(
+        &mut self,
+        v: ValueId,
+        mem: ValueId,
+        indices: &[ValueId],
+        t: ValueId,
+        offset: i64,
+    ) {
+        let mut operands = vec![v, mem];
+        operands.extend_from_slice(indices);
+        operands.push(t);
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::OFFSET.into(), Attribute::index(offset as i128));
+        self.push_op(opname::MEM_WRITE, operands, vec![], attrs);
+    }
+
+    // --------------------------------------------------------------- control
+
+    /// Create a `hir.for` loop. Populate the body with [`HirBuilder::in_loop`].
+    pub fn for_loop(
+        &mut self,
+        lb: ValueId,
+        ub: ValueId,
+        step: ValueId,
+        t: ValueId,
+        offset: i64,
+        iv_type: Type,
+    ) -> ForOp {
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::OFFSET.into(), Attribute::index(offset as i128));
+        let op = self.push_op(opname::FOR, vec![lb, ub, step, t], vec![time_type()], attrs);
+        let region = self.module.add_region(op);
+        self.module.add_block(region, vec![iv_type, time_type()]);
+        ForOp(op)
+    }
+
+    /// Build the body of a `hir.for`: the closure receives `(builder,
+    /// induction var, iteration time)` and must call
+    /// [`HirBuilder::yield_at`] exactly once (anywhere in the body — the
+    /// paper's §4.2: textual order carries no meaning).
+    pub fn in_loop(&mut self, lp: ForOp, f: impl FnOnce(&mut Self, ValueId, ValueId)) {
+        let body = lp.body(&self.module);
+        let iv = lp.induction_var(&self.module);
+        let ti = lp.iter_time(&self.module);
+        self.stack.push(body);
+        f(self, iv, ti);
+        self.stack.pop();
+    }
+
+    /// Create a `hir.unroll_for` loop with static bounds.
+    pub fn unroll_for(
+        &mut self,
+        lb: i64,
+        ub: i64,
+        step: i64,
+        t: ValueId,
+        offset: i64,
+    ) -> UnrollForOp {
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::LB.into(), Attribute::index(lb as i128));
+        attrs.insert(attrkey::UB.into(), Attribute::index(ub as i128));
+        attrs.insert(attrkey::STEP.into(), Attribute::index(step as i128));
+        attrs.insert(attrkey::OFFSET.into(), Attribute::index(offset as i128));
+        let op = self.push_op(opname::UNROLL_FOR, vec![t], vec![time_type()], attrs);
+        let region = self.module.add_region(op);
+        self.module
+            .add_block(region, vec![const_type(), time_type()]);
+        UnrollForOp(op)
+    }
+
+    /// Build the body of a `hir.unroll_for`.
+    pub fn in_unroll(&mut self, lp: UnrollForOp, f: impl FnOnce(&mut Self, ValueId, ValueId)) {
+        let body = lp.body(&self.module);
+        let iv = lp.induction_var(&self.module);
+        let ti = lp.iter_time(&self.module);
+        self.stack.push(body);
+        f(self, iv, ti);
+        self.stack.pop();
+    }
+
+    /// `hir.yield at %t offset <offset>`: schedule the next iteration.
+    pub fn yield_at(&mut self, t: ValueId, offset: i64) {
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::OFFSET.into(), Attribute::index(offset as i128));
+        self.push_op(opname::YIELD, vec![t], vec![], attrs);
+    }
+
+    /// `hir.call @callee(args) at %t offset <offset>`. Result types are
+    /// resolved from the callee's signature (which must already be defined).
+    pub fn call(
+        &mut self,
+        callee: &str,
+        args: &[ValueId],
+        t: ValueId,
+        offset: i64,
+    ) -> Vec<ValueId> {
+        let table = SymbolTable::build(&self.module);
+        let callee_op = table
+            .lookup(callee)
+            .unwrap_or_else(|| panic!("call to undefined function '@{callee}'"));
+        let f = FuncOp::wrap(&self.module, callee_op).expect("callee is not a hir.func");
+        let result_types = f.result_types(&self.module);
+        let mut operands = args.to_vec();
+        operands.push(t);
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::CALLEE.into(), Attribute::symbol(callee));
+        attrs.insert(attrkey::OFFSET.into(), Attribute::index(offset as i128));
+        let op = self.push_op(opname::CALL, operands, result_types, attrs);
+        self.module.op(op).results().to_vec()
+    }
+
+    /// Create a `hir.if`; populate branches with [`HirBuilder::in_then`] /
+    /// [`HirBuilder::in_else`].
+    pub fn if_op(&mut self, cond: ValueId, t: ValueId, offset: i64, with_else: bool) -> IfOp {
+        let mut attrs = AttrMap::new();
+        attrs.insert(attrkey::OFFSET.into(), Attribute::index(offset as i128));
+        let op = self.push_op(opname::IF, vec![cond, t], vec![], attrs);
+        let then_region = self.module.add_region(op);
+        self.module.add_block(then_region, vec![]);
+        if with_else {
+            let else_region = self.module.add_region(op);
+            self.module.add_block(else_region, vec![]);
+        }
+        IfOp(op)
+    }
+
+    /// Build the then-branch of an `hir.if`.
+    pub fn in_then(&mut self, ifop: IfOp, f: impl FnOnce(&mut Self)) {
+        let block = ifop.then_block(&self.module);
+        self.stack.push(block);
+        f(self);
+        self.stack.pop();
+    }
+
+    /// Build the else-branch of an `hir.if`.
+    ///
+    /// # Panics
+    /// Panics if the op was created without an else region.
+    pub fn in_else(&mut self, ifop: IfOp, f: impl FnOnce(&mut Self)) {
+        let block = ifop
+            .else_block(&self.module)
+            .expect("if has no else region");
+        self.stack.push(block);
+        f(self);
+        self.stack.pop();
+    }
+
+    /// Add an else region to an `hir.if` created without one.
+    ///
+    /// # Panics
+    /// Panics if the op already has an else region.
+    pub fn add_else_block(&mut self, ifop: IfOp) -> BlockId {
+        assert!(
+            ifop.else_block(&self.module).is_none(),
+            "hir.if already has an else region"
+        );
+        let region = self.module.add_region(ifop.id());
+        self.module.add_block(region, vec![])
+    }
+
+    // ------------------------------------------------------------ low level
+
+    /// Push an explicit insertion block (parser/tooling use; pair with
+    /// [`HirBuilder::pop_block`]).
+    pub fn push_block(&mut self, block: BlockId) {
+        self.stack.push(block);
+    }
+
+    /// Pop the innermost insertion block.
+    ///
+    /// # Panics
+    /// Panics when the stack would become unbalanced (no function open).
+    pub fn pop_block(&mut self) {
+        assert!(self.stack.len() > 1, "cannot pop the function body block");
+        self.stack.pop();
+    }
+
+    /// Create an arbitrary HIR op at the insertion point and return its
+    /// first result. Escape hatch for parsers and generic tooling.
+    ///
+    /// # Panics
+    /// Panics if the op produces no results.
+    pub fn raw_op(
+        &mut self,
+        name: &str,
+        operands: Vec<ValueId>,
+        results: Vec<Type>,
+        attrs: AttrMap,
+    ) -> ValueId {
+        let op = self.push_op(name, operands, results, attrs);
+        self.module.op(op).results()[0]
+    }
+}
+
+impl Default for HirBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::hir_registry;
+    use ir::DiagnosticEngine;
+
+    #[test]
+    fn constants_are_cached_per_function() {
+        let mut hb = HirBuilder::new();
+        hb.func("a", &[], &[]);
+        let c1 = hb.const_val(5);
+        let c2 = hb.const_val(5);
+        assert_eq!(c1, c2);
+        hb.return_(&[]);
+        hb.func("b", &[], &[]);
+        let c3 = hb.const_val(5);
+        assert_ne!(c1, c3, "cache must reset per function");
+        hb.return_(&[]);
+    }
+
+    #[test]
+    fn built_transpose_verifies() {
+        // The doc-test example, checked against the structural verifier.
+        let mut hb = HirBuilder::new();
+        let a = MemrefInfo::packed(&[16, 16], Type::int(32), Port::Read, MemKind::BlockRam);
+        let c = a.with_port(Port::Write);
+        let f = hb.func(
+            "transpose",
+            &[("Ai", a.to_type()), ("Co", c.to_type())],
+            &[],
+        );
+        let t = f.time_var(hb.module());
+        let args = f.args(hb.module());
+        let (c0, c16, c1) = (hb.const_val(0), hb.const_val(16), hb.const_val(1));
+        let i_loop = hb.for_loop(c0, c16, c1, t, 1, Type::int(32));
+        hb.in_loop(i_loop, |hb, i, ti| {
+            let j_loop = hb.for_loop(c0, c16, c1, ti, 1, Type::int(32));
+            hb.in_loop(j_loop, |hb, j, tj| {
+                let v = hb.mem_read(args[0], &[i, j], tj, 0);
+                let j1 = hb.delay(j, 1, tj, 0);
+                hb.mem_write(v, args[1], &[j1, i], tj, 1);
+                hb.yield_at(tj, 1);
+            });
+            let tf = j_loop.result_time(hb.module());
+            hb.yield_at(tf, 1);
+        });
+        hb.return_(&[]);
+        let module = hb.finish();
+
+        let reg = hir_registry();
+        let mut diags = DiagnosticEngine::new();
+        assert!(
+            ir::verify_module(&module, &reg, &mut diags).is_ok(),
+            "verifier errors:\n{}",
+            diags.render()
+        );
+    }
+
+    #[test]
+    fn call_resolves_result_types() {
+        let mut hb = HirBuilder::new();
+        hb.extern_func(
+            "mult2stage",
+            &[Type::int(32), Type::int(32)],
+            &[Type::int(32)],
+            &[2],
+        );
+        let f = hb.func("mac", &[("a", Type::int(32)), ("b", Type::int(32))], &[]);
+        let t = f.time_var(hb.module());
+        let args = f.args(hb.module());
+        let results = hb.call("mult2stage", &[args[0], args[1]], t, 0);
+        assert_eq!(results.len(), 1);
+        assert_eq!(hb.module().value_type(results[0]), Type::int(32));
+        hb.return_(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined function")]
+    fn call_to_unknown_function_panics() {
+        let mut hb = HirBuilder::new();
+        let f = hb.func("f", &[], &[]);
+        let t = f.time_var(hb.module());
+        hb.call("nope", &[], t, 0);
+    }
+
+    #[test]
+    fn unroll_for_iterations() {
+        let mut hb = HirBuilder::new();
+        let f = hb.func("u", &[], &[]);
+        let t = f.time_var(hb.module());
+        let lp = hb.unroll_for(0, 8, 2, t, 0);
+        hb.in_unroll(lp, |hb, _iv, ti| hb.yield_at(ti, 0));
+        hb.return_(&[]);
+        let m = hb.finish();
+        let lp = UnrollForOp::wrap(&m, m.collect_all_ops()[1]).unwrap();
+        assert_eq!(lp.iterations(&m), vec![0, 2, 4, 6]);
+    }
+}

@@ -1,0 +1,442 @@
+//! Paper-style pretty printer for HIR.
+//!
+//! Produces the human-readable syntax used throughout the paper's listings
+//! (e.g. `hir.mem_write %v to %C[%i] at %ti offset 1`), used for examples and
+//! for diagnostic snippets. The canonical, round-trippable form remains
+//! [`ir::print_module`].
+
+use crate::dialect::{attrkey, opname};
+use crate::ops;
+use crate::types::{self, MemrefInfo};
+use ir::{Module, OpId, ValueId};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Pretty-print every function in the module.
+pub fn pretty_module(m: &Module) -> String {
+    let mut out = String::new();
+    for &top in m.top_ops() {
+        out.push_str(&pretty_func(m, top));
+        out.push('\n');
+    }
+    out
+}
+
+/// Pretty-print one `hir.func` (or any op tree).
+pub fn pretty_func(m: &Module, func: OpId) -> String {
+    let mut p = Pretty::new(m);
+    p.print_tree(func, 0);
+    p.out
+}
+
+/// Pretty-print a single op line (without its region bodies), used for
+/// diagnostics like the paper's Figure 1b.
+pub fn pretty_op(m: &Module, op: OpId) -> String {
+    let mut p = Pretty::new(m);
+    // Pre-name every value in the enclosing function so operand names are
+    // stable regardless of which op we print.
+    let mut root = op;
+    while let Some(parent) = m.op(root).parent() {
+        root = m.block_parent_op(parent);
+    }
+    p.assign_names(root);
+    p.print_op_line(op)
+}
+
+struct Pretty<'m> {
+    m: &'m Module,
+    names: HashMap<ValueId, String>,
+    next: usize,
+    out: String,
+}
+
+impl<'m> Pretty<'m> {
+    fn new(m: &'m Module) -> Self {
+        Pretty {
+            m,
+            names: HashMap::new(),
+            next: 0,
+            out: String::new(),
+        }
+    }
+
+    fn assign_names(&mut self, root: OpId) {
+        // Walk in print order: block args then results.
+        let m = self.m;
+        m.walk(root, &mut |op| {
+            for &r in m.op(op).regions() {
+                for &b in m.region(r).blocks() {
+                    for &a in m.block(b).args() {
+                        self.name(a);
+                    }
+                }
+            }
+            for &res in m.op(op).results() {
+                self.name(res);
+            }
+        });
+    }
+
+    fn name(&mut self, v: ValueId) -> String {
+        if let Some(n) = self.names.get(&v) {
+            return n.clone();
+        }
+        // Constants get their literal value as name, like the paper (%16);
+        // a typed constant with the same value gets a disambiguated name so
+        // the printed text stays parseable.
+        let n = if let Some(def) = self.m.defining_op(v) {
+            if let Some(c) = ops::ConstantOp::wrap(self.m, def) {
+                if let Some(i) = c.value_attr(self.m).as_int() {
+                    let base = format!("%c{i}");
+                    if self.names.values().any(|existing| existing == &base) {
+                        self.fresh()
+                    } else {
+                        base
+                    }
+                } else {
+                    self.fresh()
+                }
+            } else {
+                self.fresh()
+            }
+        } else {
+            self.fresh()
+        };
+        self.names.insert(v, n.clone());
+        n
+    }
+
+    fn fresh(&mut self) -> String {
+        let n = format!("%{}", self.next);
+        self.next += 1;
+        n
+    }
+
+    fn indent(&mut self, depth: usize) {
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn print_tree(&mut self, op: OpId, depth: usize) {
+        let m = self.m;
+        let name = m.op(op).name().as_str().to_string();
+        self.indent(depth);
+        match name.as_str() {
+            opname::FUNC => {
+                let f = ops::FuncOp(op);
+                if f.is_external(m) {
+                    let args = f
+                        .arg_types(m)
+                        .iter()
+                        .map(|t| type_str(t))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let results = f
+                        .result_types(m)
+                        .iter()
+                        .zip(f.result_delays(m).iter().chain(std::iter::repeat(&0)))
+                        .map(|(t, d)| format!("{} delay {d}", type_str(t)))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let line =
+                        format!("hir.func extern @{}({args}) -> ({results})\n", f.name(m));
+                    self.out.push_str(&line);
+                    return;
+                }
+                let t = self.name(f.time_var(m));
+                let mut header = format!("hir.func @{} at {t}(", f.name(m));
+                let arg_names = f.arg_names(m);
+                for (i, a) in f.args(m).iter().enumerate() {
+                    if i > 0 {
+                        header.push_str(", ");
+                    }
+                    let n = self.name(*a);
+                    let ty = m.value_type(*a);
+                    let label = arg_names
+                        .as_ref()
+                        .and_then(|ns| ns.get(i).cloned())
+                        .unwrap_or_else(|| n.clone());
+                    let _ = write!(header, "{n} /*{label}*/ : {}", type_str(&ty));
+                }
+                header.push(')');
+                // Result signature: types with their declared delays.
+                let rtypes = f.result_types(m);
+                if !rtypes.is_empty() {
+                    let delays = f.result_delays(m);
+                    let results = rtypes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| {
+                            format!("{} delay {}", type_str(t), delays.get(i).copied().unwrap_or(0))
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let _ = write!(header, " -> ({results})");
+                }
+                header.push_str(" {\n");
+                self.out.push_str(&header);
+                let body = f.body(m);
+                for &o in m.block(body).ops().to_vec().iter() {
+                    self.print_tree(o, depth + 1);
+                }
+                self.indent(depth);
+                self.out.push_str("}\n");
+            }
+            opname::FOR => {
+                let lp = ops::ForOp(op);
+                let iv = self.name(lp.induction_var(m));
+                let ti = self.name(lp.iter_time(m));
+                let tf = self.name(lp.result_time(m));
+                let lb = self.name(lp.lower_bound(m));
+                let ub = self.name(lp.upper_bound(m));
+                let step = self.name(lp.step(m));
+                let t = self.name(lp.time(m));
+                let iv_ty = m.value_type(lp.induction_var(m));
+                let line = format!(
+                    "{tf} = hir.for {iv} : {iv_ty} = {lb} to {ub} step {step} iter_time({ti} = {t} offset {}) {{\n",
+                    lp.offset(m)
+                );
+                self.out.push_str(&line);
+                for &o in m.block(lp.body(m)).ops().to_vec().iter() {
+                    self.print_tree(o, depth + 1);
+                }
+                self.indent(depth);
+                self.out.push_str("}\n");
+            }
+            opname::UNROLL_FOR => {
+                let lp = ops::UnrollForOp(op);
+                let iv = self.name(lp.induction_var(m));
+                let ti = self.name(lp.iter_time(m));
+                let tf = self.name(lp.result_time(m));
+                let t = self.name(lp.time(m));
+                let line = format!(
+                    "{tf} = hir.unroll_for {iv} = {} to {} step {} iter_time({ti} = {t} offset {}) {{\n",
+                    lp.lb(m),
+                    lp.ub(m),
+                    lp.step(m),
+                    lp.offset(m)
+                );
+                self.out.push_str(&line);
+                for &o in m.block(lp.body(m)).ops().to_vec().iter() {
+                    self.print_tree(o, depth + 1);
+                }
+                self.indent(depth);
+                self.out.push_str("}\n");
+            }
+            opname::IF => {
+                let i = ops::IfOp(op);
+                let c = self.name(i.condition(m));
+                let t = self.name(i.time(m));
+                let line = format!("hir.if {c} at {t} offset {} {{\n", i.offset(m));
+                self.out.push_str(&line);
+                for &o in m.block(i.then_block(m)).ops().to_vec().iter() {
+                    self.print_tree(o, depth + 1);
+                }
+                if let Some(e) = i.else_block(m) {
+                    self.indent(depth);
+                    self.out.push_str("} else {\n");
+                    for &o in m.block(e).ops().to_vec().iter() {
+                        self.print_tree(o, depth + 1);
+                    }
+                }
+                self.indent(depth);
+                self.out.push_str("}\n");
+            }
+            _ => {
+                let line = self.print_op_line(op);
+                self.out.push_str(&line);
+                self.out.push('\n');
+            }
+        }
+    }
+
+    /// One-line pretty form of a non-region op.
+    fn print_op_line(&mut self, op: OpId) -> String {
+        let m = self.m;
+        let data = m.op(op);
+        let name = data.name().as_str().to_string();
+        match name.as_str() {
+            opname::CONSTANT => {
+                let c = ops::ConstantOp(op);
+                let res = self.name(c.result(m));
+                format!("{res} = hir.constant {}", c.value_attr(m))
+            }
+            opname::YIELD => {
+                let y = ops::YieldOp(op);
+                let t = self.name(y.time(m));
+                format!("hir.yield at {t} offset {}", y.offset(m))
+            }
+            opname::RETURN => {
+                let vals: Vec<String> = data.operands().iter().map(|&v| self.name(v)).collect();
+                if vals.is_empty() {
+                    "hir.return".to_string()
+                } else {
+                    format!("hir.return {}", vals.join(", "))
+                }
+            }
+            opname::DELAY => {
+                let d = ops::DelayOp(op);
+                let res = self.name(d.result(m));
+                let input = self.name(d.input(m));
+                let t = self.name(d.time(m));
+                format!(
+                    "{res} = hir.delay {input} by {} at {t} offset {} : {}",
+                    d.by(m),
+                    d.offset(m),
+                    m.value_type(d.result(m))
+                )
+            }
+            opname::MEM_READ => {
+                let r = ops::MemReadOp(op);
+                let res = self.name(r.result(m));
+                let mem = self.name(r.memref(m));
+                let idx: Vec<String> = r.indices(m).iter().map(|&v| self.name(v)).collect();
+                let t = self.name(r.time(m));
+                format!(
+                    "{res} = hir.mem_read {mem}[{}] at {t} offset {} : {}",
+                    idx.join(", "),
+                    r.offset(m),
+                    m.value_type(r.result(m))
+                )
+            }
+            opname::MEM_WRITE => {
+                let w = ops::MemWriteOp(op);
+                let v = self.name(w.value(m));
+                let mem = self.name(w.memref(m));
+                let idx: Vec<String> = w.indices(m).iter().map(|&x| self.name(x)).collect();
+                let t = self.name(w.time(m));
+                format!(
+                    "hir.mem_write {v} to {mem}[{}] at {t} offset {}",
+                    idx.join(", "),
+                    w.offset(m)
+                )
+            }
+            opname::ALLOC => {
+                let a = ops::AllocOp(op);
+                let ports: Vec<String> = a.ports(m).iter().map(|&p| self.name(p)).collect();
+                let types: Vec<String> =
+                    a.ports(m).iter().map(|&p| type_str(&m.value_type(p))).collect();
+                format!("{} = hir.alloc() : ({})", ports.join(", "), types.join(", "))
+            }
+            opname::CALL => {
+                let c = ops::CallOp(op);
+                let results: Vec<String> = data.results().iter().map(|&v| self.name(v)).collect();
+                let args: Vec<String> = c.args(m).iter().map(|&v| self.name(v)).collect();
+                let t = self.name(c.time(m));
+                let prefix = if results.is_empty() {
+                    String::new()
+                } else {
+                    format!("{} = ", results.join(", "))
+                };
+                format!(
+                    "{prefix}hir.call @{}({}) at {t} offset {}",
+                    c.callee(m),
+                    args.join(", "),
+                    c.offset(m)
+                )
+            }
+            _ => {
+                // Generic compute ops: `%r = hir.add (%a, %b) : (i32, i32) -> (i32)`.
+                let results: Vec<String> = data.results().iter().map(|&v| self.name(v)).collect();
+                let operands: Vec<String> = data.operands().iter().map(|&v| self.name(v)).collect();
+                let in_tys: Vec<String> = data
+                    .operands()
+                    .iter()
+                    .map(|&v| type_str(&m.value_type(v)))
+                    .collect();
+                let out_tys: Vec<String> = data
+                    .results()
+                    .iter()
+                    .map(|&v| type_str(&m.value_type(v)))
+                    .collect();
+                let prefix = if results.is_empty() {
+                    String::new()
+                } else {
+                    format!("{} = ", results.join(", "))
+                };
+                let mut line = format!("{prefix}{name} ({})", operands.join(", "));
+                let _ = write!(
+                    line,
+                    " : ({}) -> ({})",
+                    in_tys.join(", "),
+                    out_tys.join(", ")
+                );
+                if let Some(p) = data.attr(attrkey::PREDICATE).and_then(|a| a.as_str()) {
+                    let _ = write!(line, " {{{p}}}");
+                }
+                if let (Some(hi), Some(lo)) = (
+                    data.attr(attrkey::HI).and_then(|a| a.as_int()),
+                    data.attr(attrkey::LO).and_then(|a| a.as_int()),
+                ) {
+                    let _ = write!(line, " {{{hi}:{lo}}}");
+                }
+                line
+            }
+        }
+    }
+}
+
+fn type_str(ty: &ir::Type) -> String {
+    if let Some(info) = MemrefInfo::from_type(ty) {
+        info.to_string()
+    } else if types::is_time(ty) {
+        "!hir.time".to_string()
+    } else if types::is_const(ty) {
+        "!hir.const".to_string()
+    } else {
+        ty.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HirBuilder;
+    use crate::types::{MemKind, MemrefInfo, Port};
+    use ir::Type;
+
+    #[test]
+    fn pretty_prints_paper_like_syntax() {
+        let mut hb = HirBuilder::new();
+        let a = MemrefInfo::packed(&[128], Type::int(32), Port::Read, MemKind::BlockRam);
+        let c = a.with_port(Port::Write);
+        let f = hb.func("array_add", &[("A", a.to_type()), ("C", c.to_type())], &[]);
+        let t = f.time_var(hb.module());
+        let args = f.args(hb.module());
+        let (c0, c128, c1) = (hb.const_val(0), hb.const_val(128), hb.const_val(1));
+        let lp = hb.for_loop(c0, c128, c1, t, 1, Type::int(8));
+        hb.in_loop(lp, |hb, i, ti| {
+            let v = hb.mem_read(args[0], &[i], ti, 0);
+            let s = hb.add(v, v);
+            hb.mem_write(s, args[1], &[i], ti, 1);
+            hb.yield_at(ti, 1);
+        });
+        hb.return_(&[]);
+        let m = hb.finish();
+        let text = pretty_module(&m);
+        assert!(text.contains("hir.func @array_add at"), "{text}");
+        assert!(text.contains("hir.for"), "{text}");
+        assert!(text.contains("hir.mem_read"), "{text}");
+        assert!(text.contains("offset 1"), "{text}");
+        assert!(text.contains("hir.yield at"), "{text}");
+        assert!(
+            text.contains("%c128"),
+            "constants should print with literal names: {text}"
+        );
+    }
+
+    #[test]
+    fn pretty_op_single_line() {
+        let mut hb = HirBuilder::new();
+        let f = hb.func("f", &[("x", Type::int(32))], &[]);
+        let x = f.args(hb.module())[0];
+        let s = hb.add(x, x);
+        hb.return_(&[s]);
+        let m = hb.finish();
+        let add_op = m.defining_op(s).unwrap();
+        let line = pretty_op(&m, add_op);
+        assert!(line.contains("hir.add"), "{line}");
+        assert!(line.contains("(i32, i32) -> (i32)"), "{line}");
+    }
+}

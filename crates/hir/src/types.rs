@@ -1,0 +1,483 @@
+//! HIR dialect types: `!hir.time`, `!hir.const` and `!hir.memref`.
+//!
+//! The memref type (paper §4.4) describes a multidimensional tensor held in
+//! on-chip memory. Each dimension is either *packed* (elements laid out
+//! within one buffer) or *distributed* (elements spread across banks, paper
+//! Figure 3). A memref value represents **one port** of the underlying
+//! tensor storage, with read, write or read-write permission.
+
+use ir::{Attribute, Type};
+use std::fmt;
+
+/// Access permission of a memref port (paper §4.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Read-only port (`r`).
+    Read,
+    /// Write-only port (`w`).
+    Write,
+    /// Read-write port (`rw`).
+    ReadWrite,
+}
+
+impl Port {
+    /// Short mnemonic used in the type syntax.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Port::Read => "r",
+            Port::Write => "w",
+            Port::ReadWrite => "rw",
+        }
+    }
+
+    /// Parse from the mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        match s {
+            "r" => Some(Port::Read),
+            "w" => Some(Port::Write),
+            "rw" => Some(Port::ReadWrite),
+            _ => None,
+        }
+    }
+
+    /// Whether reads are allowed through this port.
+    pub fn can_read(self) -> bool {
+        matches!(self, Port::Read | Port::ReadWrite)
+    }
+
+    /// Whether writes are allowed through this port.
+    pub fn can_write(self) -> bool {
+        matches!(self, Port::Write | Port::ReadWrite)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// One dimension of a memref.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Packed dimension: varies *within* a bank.
+    Packed(u64),
+    /// Distributed dimension: varies *across* banks. Must be indexed with
+    /// compile-time constants (paper §4.4).
+    Distributed(u64),
+}
+
+impl Dim {
+    /// Extent of the dimension.
+    pub fn size(self) -> u64 {
+        match self {
+            Dim::Packed(n) | Dim::Distributed(n) => n,
+        }
+    }
+
+    /// Whether this dimension is distributed across banks.
+    pub fn is_distributed(self) -> bool {
+        matches!(self, Dim::Distributed(_))
+    }
+}
+
+/// Physical memory kind a tensor is bound to (paper §3, Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Flip-flop register file: zero-latency reads.
+    Reg,
+    /// Distributed (LUT) RAM: 1-cycle reads, cheap for small buffers.
+    LutRam,
+    /// Block RAM: 1-cycle reads, for larger buffers.
+    BlockRam,
+}
+
+impl MemKind {
+    /// Read latency in cycles (paper §4.1: "Memory reads may take zero or
+    /// one cycle depending on whether the memref is implemented using
+    /// registers or on-chip buffers").
+    pub fn read_latency(self) -> u32 {
+        match self {
+            MemKind::Reg => 0,
+            MemKind::LutRam | MemKind::BlockRam => 1,
+        }
+    }
+
+    /// Mnemonic used in the type syntax and `hir.alloc`'s `kind` attribute.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MemKind::Reg => "reg",
+            MemKind::LutRam => "lutram",
+            MemKind::BlockRam => "bram",
+        }
+    }
+
+    /// Parse from the mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        match s {
+            "reg" => Some(MemKind::Reg),
+            "lutram" => Some(MemKind::LutRam),
+            "bram" => Some(MemKind::BlockRam),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// Decoded form of a `!hir.memref` type.
+///
+/// # Examples
+///
+/// ```
+/// use hir::types::{MemrefInfo, Dim, Port, MemKind};
+/// use ir::Type;
+///
+/// // The paper's Figure 3: !hir.memref<3*2*i32, packing=[1], r>
+/// // (dimension 0 distributed, dimension 1 packed).
+/// let m = MemrefInfo::new(
+///     vec![Dim::Distributed(3), Dim::Packed(2)],
+///     Type::int(32),
+///     Port::Read,
+///     MemKind::BlockRam,
+/// );
+/// assert_eq!(m.num_banks(), 3);
+/// assert_eq!(m.bank_size(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MemrefInfo {
+    /// Dimensions, outermost first.
+    pub dims: Vec<Dim>,
+    /// Element type.
+    pub elem: Type,
+    /// Port permission of this memref value.
+    pub port: Port,
+    /// Physical kind of the backing storage.
+    pub kind: MemKind,
+}
+
+impl MemrefInfo {
+    /// Create a memref description.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or any dimension has extent 0.
+    pub fn new(dims: Vec<Dim>, elem: Type, port: Port, kind: MemKind) -> Self {
+        assert!(!dims.is_empty(), "memref must have at least one dimension");
+        assert!(
+            dims.iter().all(|d| d.size() > 0),
+            "memref dimensions must be non-zero"
+        );
+        MemrefInfo {
+            dims,
+            elem,
+            port,
+            kind,
+        }
+    }
+
+    /// All dims packed, the common case.
+    pub fn packed(shape: &[u64], elem: Type, port: Port, kind: MemKind) -> Self {
+        MemrefInfo::new(
+            shape.iter().map(|&n| Dim::Packed(n)).collect(),
+            elem,
+            port,
+            kind,
+        )
+    }
+
+    /// Total number of elements.
+    pub fn num_elements(&self) -> u64 {
+        self.dims.iter().map(|d| d.size()).product()
+    }
+
+    /// Number of banks (product of distributed dims; 1 when none).
+    pub fn num_banks(&self) -> u64 {
+        self.dims
+            .iter()
+            .filter(|d| d.is_distributed())
+            .map(|d| d.size())
+            .product()
+    }
+
+    /// Elements per bank (product of packed dims; 1 when all distributed).
+    pub fn bank_size(&self) -> u64 {
+        self.dims
+            .iter()
+            .filter(|d| !d.is_distributed())
+            .map(|d| d.size())
+            .product()
+    }
+
+    /// Read latency of this memref's storage.
+    pub fn read_latency(&self) -> u32 {
+        self.kind.read_latency()
+    }
+
+    /// Bank index selected by a full index vector (row-major over the
+    /// distributed dims, outermost first).
+    ///
+    /// # Panics
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    pub fn bank_index(&self, index: &[u64]) -> u64 {
+        self.check_index(index);
+        let mut bank = 0u64;
+        for (dim, &i) in self.dims.iter().zip(index) {
+            if dim.is_distributed() {
+                bank = bank * dim.size() + i;
+            }
+        }
+        bank
+    }
+
+    /// Linear offset within the selected bank (row-major over packed dims).
+    ///
+    /// # Panics
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    pub fn linear_index(&self, index: &[u64]) -> u64 {
+        self.check_index(index);
+        let mut lin = 0u64;
+        for (dim, &i) in self.dims.iter().zip(index) {
+            if !dim.is_distributed() {
+                lin = lin * dim.size() + i;
+            }
+        }
+        lin
+    }
+
+    /// Flat element number combining bank and in-bank offset; a bijection
+    /// from valid indices to `0..num_elements()`.
+    pub fn flat_index(&self, index: &[u64]) -> u64 {
+        self.bank_index(index) * self.bank_size() + self.linear_index(index)
+    }
+
+    fn check_index(&self, index: &[u64]) {
+        assert_eq!(index.len(), self.dims.len(), "memref index rank mismatch");
+        for (dim, &i) in self.dims.iter().zip(index) {
+            assert!(
+                i < dim.size(),
+                "memref index {i} out of bounds for dim of size {}",
+                dim.size()
+            );
+        }
+    }
+
+    /// Minimum address bits needed per bank (0 for single-element banks).
+    pub fn addr_bits(&self) -> u32 {
+        bits_for(self.bank_size().saturating_sub(1))
+    }
+
+    /// Encode into an `ir` dialect type.
+    pub fn to_type(&self) -> Type {
+        let dims: Vec<Attribute> = self
+            .dims
+            .iter()
+            .map(|d| match d {
+                Dim::Packed(n) => Attribute::index(*n as i128),
+                Dim::Distributed(n) => Attribute::Array(vec![Attribute::index(*n as i128)]),
+            })
+            .collect();
+        Type::dialect(
+            "hir",
+            "memref",
+            vec![
+                Attribute::Array(dims),
+                Attribute::Type(self.elem.clone()),
+                Attribute::string(self.port.mnemonic()),
+                Attribute::string(self.kind.mnemonic()),
+            ],
+        )
+    }
+
+    /// Decode from an `ir` type; `None` if it is not a well-formed memref.
+    pub fn from_type(ty: &Type) -> Option<Self> {
+        if !ty.is_dialect("hir", "memref") {
+            return None;
+        }
+        let params = ty.dialect_params()?;
+        let [dims_attr, elem_attr, port_attr, kind_attr] = params else {
+            return None;
+        };
+        let dims = dims_attr
+            .as_array()?
+            .iter()
+            .map(|a| match a {
+                Attribute::Int(n, _) if *n > 0 => Some(Dim::Packed(*n as u64)),
+                Attribute::Array(inner) => match inner.as_slice() {
+                    [Attribute::Int(n, _)] if *n > 0 => Some(Dim::Distributed(*n as u64)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()?;
+        if dims.is_empty() {
+            return None;
+        }
+        let elem = elem_attr.as_type()?.clone();
+        let port = Port::from_mnemonic(port_attr.as_str()?)?;
+        let kind = MemKind::from_mnemonic(kind_attr.as_str()?)?;
+        Some(MemrefInfo {
+            dims,
+            elem,
+            port,
+            kind,
+        })
+    }
+
+    /// Same tensor shape/element/kind, different port.
+    pub fn with_port(&self, port: Port) -> Self {
+        MemrefInfo {
+            port,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for MemrefInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "!hir.memref<")?;
+        for d in &self.dims {
+            match d {
+                Dim::Packed(n) => write!(f, "{n}*")?,
+                Dim::Distributed(n) => write!(f, "[{n}]*")?,
+            }
+        }
+        write!(f, "{}, {}, {}>", self.elem, self.port, self.kind)
+    }
+}
+
+/// Number of bits needed to represent `v` (at least 1).
+pub fn bits_for(v: u64) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+/// The `!hir.time` type: a time variable (paper §4.2).
+pub fn time_type() -> Type {
+    Type::dialect("hir", "time", vec![])
+}
+
+/// The `!hir.const` type: a compile-time constant integer (paper §4.3).
+pub fn const_type() -> Type {
+    Type::dialect("hir", "const", vec![])
+}
+
+/// Whether `ty` is `!hir.time`.
+pub fn is_time(ty: &Type) -> bool {
+    ty.is_dialect("hir", "time")
+}
+
+/// Whether `ty` is `!hir.const`.
+pub fn is_const(ty: &Type) -> bool {
+    ty.is_dialect("hir", "const")
+}
+
+/// Whether `ty` is a `!hir.memref`.
+pub fn is_memref(ty: &Type) -> bool {
+    ty.is_dialect("hir", "memref")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3() -> MemrefInfo {
+        // Figure 3: 3x2 i32 with dim 0 distributed, dim 1 packed.
+        MemrefInfo::new(
+            vec![Dim::Distributed(3), Dim::Packed(2)],
+            Type::int(32),
+            Port::Read,
+            MemKind::BlockRam,
+        )
+    }
+
+    #[test]
+    fn figure3_banking() {
+        let m = fig3();
+        assert_eq!(m.num_banks(), 3);
+        assert_eq!(m.bank_size(), 2);
+        assert_eq!(m.num_elements(), 6);
+        // Element (i, j) goes to bank i, offset j.
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(m.bank_index(&[i, j]), i);
+                assert_eq!(m.linear_index(&[i, j]), j);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_index_is_bijective() {
+        let m = MemrefInfo::new(
+            vec![Dim::Packed(4), Dim::Distributed(3), Dim::Packed(5)],
+            Type::int(8),
+            Port::ReadWrite,
+            MemKind::LutRam,
+        );
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..4 {
+            for b in 0..3 {
+                for c in 0..5 {
+                    let f = m.flat_index(&[a, b, c]);
+                    assert!(f < m.num_elements());
+                    assert!(seen.insert(f), "collision at {:?}", (a, b, c));
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, m.num_elements());
+    }
+
+    #[test]
+    fn type_roundtrip() {
+        let m = fig3();
+        let t = m.to_type();
+        let back = MemrefInfo::from_type(&t).expect("decode");
+        assert_eq!(m, back);
+        assert!(is_memref(&t));
+        assert!(!is_memref(&Type::int(32)));
+    }
+
+    #[test]
+    fn ports_and_kinds() {
+        assert!(Port::Read.can_read() && !Port::Read.can_write());
+        assert!(!Port::Write.can_read() && Port::Write.can_write());
+        assert!(Port::ReadWrite.can_read() && Port::ReadWrite.can_write());
+        assert_eq!(MemKind::Reg.read_latency(), 0);
+        assert_eq!(MemKind::BlockRam.read_latency(), 1);
+        assert_eq!(Port::from_mnemonic("rw"), Some(Port::ReadWrite));
+        assert_eq!(MemKind::from_mnemonic("bram"), Some(MemKind::BlockRam));
+        assert_eq!(MemKind::from_mnemonic("nope"), None);
+    }
+
+    #[test]
+    fn addr_bits() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        let m = MemrefInfo::packed(&[16, 16], Type::int(32), Port::Read, MemKind::BlockRam);
+        assert_eq!(m.addr_bits(), 8);
+    }
+
+    #[test]
+    fn time_and_const_types() {
+        assert!(is_time(&time_type()));
+        assert!(is_const(&const_type()));
+        assert!(!is_time(&const_type()));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn wrong_rank_panics() {
+        fig3().bank_index(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        fig3().linear_index(&[0, 2]);
+    }
+}

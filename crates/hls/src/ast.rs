@@ -1,0 +1,317 @@
+//! The C-like kernel IR accepted by the HLS baseline compiler.
+//!
+//! Mirrors the subset of C that Vivado HLS kernels in the paper's evaluation
+//! use: scalar locals, multidimensional arrays, counted `for` loops with
+//! `#pragma HLS pipeline II=n` / `unroll` / `array_partition` equivalents,
+//! conditionals, and integer arithmetic.
+
+use std::fmt;
+
+/// Direction of an array interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrayDir {
+    In,
+    Out,
+    InOut,
+}
+
+/// An array declaration (argument or local buffer).
+#[derive(Clone, Debug)]
+pub struct ArrayDecl {
+    pub name: String,
+    pub elem_width: u32,
+    pub dims: Vec<u64>,
+    /// Dimensions completely partitioned into banks
+    /// (`#pragma HLS array_partition complete dim=k`, 0-based here).
+    pub partition_dims: Vec<usize>,
+    /// Interface arrays are ports; locals become on-chip RAM.
+    pub is_arg: bool,
+    pub dir: ArrayDir,
+}
+
+impl ArrayDecl {
+    /// Number of banks after partitioning.
+    pub fn num_banks(&self) -> u64 {
+        self.partition_dims.iter().map(|&d| self.dims[d]).product()
+    }
+
+    /// Elements per bank.
+    pub fn bank_size(&self) -> u64 {
+        let total: u64 = self.dims.iter().product();
+        total / self.num_banks()
+    }
+
+    /// Total number of elements.
+    pub fn num_elements(&self) -> u64 {
+        self.dims.iter().product()
+    }
+}
+
+/// A scalar argument or local variable.
+#[derive(Clone, Debug)]
+pub struct ScalarDecl {
+    pub name: String,
+    pub width: u32,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl KOp {
+    /// Whether this is a comparison (1-bit result).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            KOp::Eq | KOp::Ne | KOp::Lt | KOp::Le | KOp::Gt | KOp::Ge
+        )
+    }
+}
+
+/// Expressions.
+#[derive(Clone, Debug)]
+pub enum KExpr {
+    /// Integer literal with a width.
+    Const(i64, u32),
+    /// Scalar variable or loop counter reference.
+    Var(String),
+    /// `a[i][j]` read.
+    ArrayRead { array: String, indices: Vec<KExpr> },
+    /// Binary operation.
+    Bin {
+        op: KOp,
+        lhs: Box<KExpr>,
+        rhs: Box<KExpr>,
+    },
+    /// `cond ? a : b`.
+    Select {
+        cond: Box<KExpr>,
+        then: Box<KExpr>,
+        els: Box<KExpr>,
+    },
+}
+
+#[allow(clippy::should_implement_trait)] // `add`/`mul` are expression constructors
+impl KExpr {
+    pub fn c(v: i64, w: u32) -> KExpr {
+        KExpr::Const(v, w)
+    }
+    pub fn var(name: impl Into<String>) -> KExpr {
+        KExpr::Var(name.into())
+    }
+    pub fn read(array: impl Into<String>, indices: Vec<KExpr>) -> KExpr {
+        KExpr::ArrayRead {
+            array: array.into(),
+            indices,
+        }
+    }
+    pub fn bin(op: KOp, lhs: KExpr, rhs: KExpr) -> KExpr {
+        KExpr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+    pub fn add(lhs: KExpr, rhs: KExpr) -> KExpr {
+        KExpr::bin(KOp::Add, lhs, rhs)
+    }
+    pub fn mul(lhs: KExpr, rhs: KExpr) -> KExpr {
+        KExpr::bin(KOp::Mul, lhs, rhs)
+    }
+}
+
+/// Loop pragmas (`#pragma HLS ...`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoopPragmas {
+    /// Pipeline with a *requested* initiation interval; the scheduler may
+    /// settle for a larger feasible II (exactly like Vivado HLS).
+    pub pipeline_ii: Option<u32>,
+    /// Fully unroll the loop.
+    pub unroll: bool,
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum KStmt {
+    /// `var = expr;` (scalar local, single assignment per iteration).
+    Assign { var: String, expr: KExpr },
+    /// `array[i][j] = expr;`
+    Store {
+        array: String,
+        indices: Vec<KExpr>,
+        value: KExpr,
+    },
+    /// Counted for loop with constant bounds.
+    For {
+        var: String,
+        lb: i64,
+        ub: i64,
+        step: i64,
+        pragmas: LoopPragmas,
+        body: Vec<KStmt>,
+    },
+    /// `if (cond) { .. } else { .. }` — lowered to predicated execution.
+    If {
+        cond: KExpr,
+        then: Vec<KStmt>,
+        els: Vec<KStmt>,
+    },
+}
+
+/// A complete kernel.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    pub name: String,
+    pub scalars: Vec<ScalarDecl>,
+    pub arrays: Vec<ArrayDecl>,
+    pub locals: Vec<ScalarDecl>,
+    /// Loop-variable widths: Vivado HLS defaults counters to the C type
+    /// (32-bit `int`) unless the source narrows them — the "manual
+    /// optimization" of the paper's Table 4 sets these smaller.
+    pub loop_var_width: u32,
+    pub body: Vec<KStmt>,
+}
+
+impl Kernel {
+    pub fn new(name: impl Into<String>) -> Self {
+        Kernel {
+            name: name.into(),
+            scalars: Vec::new(),
+            arrays: Vec::new(),
+            locals: Vec::new(),
+            loop_var_width: 32,
+            body: Vec::new(),
+        }
+    }
+
+    /// Add an input array argument.
+    pub fn in_array(&mut self, name: &str, elem_width: u32, dims: &[u64]) -> &mut Self {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            elem_width,
+            dims: dims.to_vec(),
+            partition_dims: vec![],
+            is_arg: true,
+            dir: ArrayDir::In,
+        });
+        self
+    }
+
+    /// Add an output array argument.
+    pub fn out_array(&mut self, name: &str, elem_width: u32, dims: &[u64]) -> &mut Self {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            elem_width,
+            dims: dims.to_vec(),
+            partition_dims: vec![],
+            is_arg: true,
+            dir: ArrayDir::Out,
+        });
+        self
+    }
+
+    /// Add a local buffer (on-chip RAM), optionally partitioned.
+    pub fn local_array(
+        &mut self,
+        name: &str,
+        elem_width: u32,
+        dims: &[u64],
+        partition_dims: &[usize],
+    ) -> &mut Self {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            elem_width,
+            dims: dims.to_vec(),
+            partition_dims: partition_dims.to_vec(),
+            is_arg: false,
+            dir: ArrayDir::InOut,
+        });
+        self
+    }
+
+    /// Add a scalar argument.
+    pub fn scalar_arg(&mut self, name: &str, width: u32) -> &mut Self {
+        self.scalars.push(ScalarDecl {
+            name: name.into(),
+            width,
+        });
+        self
+    }
+
+    /// Declare a scalar local.
+    pub fn local(&mut self, name: &str, width: u32) -> &mut Self {
+        self.locals.push(ScalarDecl {
+            name: name.into(),
+            width,
+        });
+        self
+    }
+
+    /// Find an array by name.
+    pub fn array(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Width of a named scalar/local (loop vars get `loop_var_width`).
+    pub fn scalar_width(&self, name: &str) -> Option<u32> {
+        self.scalars
+            .iter()
+            .chain(&self.locals)
+            .find(|s| s.name == name)
+            .map(|s| s.width)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {}(...)", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_banking_math() {
+        let a = ArrayDecl {
+            name: "w".into(),
+            elem_width: 32,
+            dims: vec![4, 8],
+            partition_dims: vec![0],
+            is_arg: false,
+            dir: ArrayDir::InOut,
+        };
+        assert_eq!(a.num_banks(), 4);
+        assert_eq!(a.bank_size(), 8);
+        assert_eq!(a.num_elements(), 32);
+    }
+
+    #[test]
+    fn kernel_builder() {
+        let mut k = Kernel::new("vadd");
+        k.in_array("a", 32, &[64])
+            .in_array("b", 32, &[64])
+            .out_array("c", 32, &[64]);
+        k.local("t", 32);
+        assert_eq!(k.arrays.len(), 3);
+        assert_eq!(k.scalar_width("t"), Some(32));
+        assert!(k.array("a").is_some());
+        assert!(k.array("zz").is_none());
+    }
+}

@@ -1,0 +1,709 @@
+//! Lowering a scheduled kernel to HIR.
+//!
+//! The baseline HLS compiler emits HIR with *explicit* schedules (exactly
+//! the target role the paper's §9.2 proposes for HLS compilers) and then
+//! reuses `hir-codegen` for RTL. All the characteristic resource overheads
+//! of an HLS flow appear naturally:
+//!
+//! * loop counters default to the C `int` width (32 bits),
+//! * every value crossing a schedule stage boundary gets pipeline
+//!   registers (`hir.delay`), the "more aggressive pipelining" the paper
+//!   observes in HLS register counts,
+//! * conservative operator chaining stretches schedules.
+
+use crate::ast::{ArrayDir, KOp, KStmt, Kernel};
+use crate::schedule::{
+    build_dfg, schedule_pipelined, schedule_sequential, ArrayBinding, DfgNode, SchedOptions,
+    ScheduleError, ScheduledDfg,
+};
+use hir::types::{Dim, MemKind, MemrefInfo, Port};
+use hir::{CmpPredicate, HirBuilder};
+use ir::{Type, ValueId};
+use std::collections::HashMap;
+
+/// Statistics describing the compilation effort and outcome.
+#[derive(Clone, Debug, Default)]
+pub struct CompileStats {
+    /// Loops scheduled.
+    pub loops: usize,
+    /// Total II-search attempts across all pipelined loops.
+    pub schedule_attempts: u32,
+    /// Achieved initiation intervals per pipelined loop.
+    pub achieved_iis: Vec<u32>,
+    /// DFG nodes scheduled in total.
+    pub nodes_scheduled: usize,
+    /// Functional units after binding and mux inputs added by sharing.
+    pub shared_multipliers: u32,
+    pub mux_inputs: u32,
+    /// Total slack reported by the SDC legalization solves.
+    pub sdc_slack: i64,
+}
+
+struct ArrayPorts {
+    read: Option<ValueId>,
+    write: Option<ValueId>,
+}
+
+/// Where the schedule currently stands: `offset` cycles after `root`.
+#[derive(Clone, Copy, Debug)]
+struct TimePos {
+    root: ValueId,
+    offset: i64,
+}
+
+/// Memory kind chosen for an array, mirroring Vivado's defaults: interface
+/// arrays are BRAM; completely-partitioned locals are registers; small
+/// locals are LUTRAM.
+pub fn array_memkind(decl: &crate::ast::ArrayDecl) -> MemKind {
+    if decl.is_arg {
+        MemKind::BlockRam
+    } else if decl.bank_size() == 1 {
+        MemKind::Reg
+    } else if decl.bank_size() <= 64 {
+        MemKind::LutRam
+    } else {
+        MemKind::BlockRam
+    }
+}
+
+fn binding_for(kind: MemKind) -> ArrayBinding {
+    match kind {
+        MemKind::Reg => ArrayBinding {
+            read_latency: 0,
+            read_ports: 1 << 16,
+            write_ports: 1,
+        },
+        MemKind::LutRam | MemKind::BlockRam => ArrayBinding {
+            read_latency: 1,
+            read_ports: 1,
+            write_ports: 1,
+        },
+    }
+}
+
+fn memref_dims(decl: &crate::ast::ArrayDecl) -> Vec<Dim> {
+    decl.dims
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            if decl.partition_dims.contains(&i) {
+                Dim::Distributed(n)
+            } else {
+                Dim::Packed(n)
+            }
+        })
+        .collect()
+}
+
+/// Lower `kernel` (already through the frontend) to an HIR module.
+///
+/// # Errors
+/// Fails on unsupported constructs or infeasible schedules.
+pub fn emit_kernel(
+    kernel: &Kernel,
+    opts: &SchedOptions,
+) -> Result<(ir::Module, CompileStats), ScheduleError> {
+    let mut hb = HirBuilder::new();
+
+    // Function signature: scalars then interface arrays.
+    let mut arg_decls: Vec<(String, Type)> = Vec::new();
+    for s in &kernel.scalars {
+        arg_decls.push((s.name.clone(), Type::int(s.width)));
+    }
+    for a in kernel.arrays.iter().filter(|a| a.is_arg) {
+        let port = match a.dir {
+            ArrayDir::In => Port::Read,
+            ArrayDir::Out => Port::Write,
+            ArrayDir::InOut => Port::ReadWrite,
+        };
+        let info = MemrefInfo::new(
+            memref_dims(a),
+            Type::int(a.elem_width),
+            port,
+            array_memkind(a),
+        );
+        arg_decls.push((a.name.clone(), info.to_type()));
+    }
+    let named: Vec<(&str, Type)> = arg_decls
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.clone()))
+        .collect();
+    let func = hb.func(&format!("hls_{}", kernel.name), &named, &[]);
+    let t = func.time_var(hb.module());
+    let func_args = func.args(hb.module());
+
+    let mut em = Emitter {
+        kernel,
+        opts: opts.clone(),
+        arrays: HashMap::new(),
+        bindings: HashMap::new(),
+        loop_vars: HashMap::new(),
+        loop_var_names: Vec::new(),
+        scalar_args: HashMap::new(),
+        stats: CompileStats::default(),
+    };
+
+    // Bind argument values and bindings.
+    let mut ai = 0;
+    for s in &kernel.scalars {
+        em.scalar_args.insert(s.name.clone(), func_args[ai]);
+        ai += 1;
+    }
+    for a in kernel.arrays.iter().filter(|a| a.is_arg) {
+        let v = func_args[ai];
+        ai += 1;
+        let ports = match a.dir {
+            ArrayDir::In => ArrayPorts {
+                read: Some(v),
+                write: None,
+            },
+            ArrayDir::Out => ArrayPorts {
+                read: None,
+                write: Some(v),
+            },
+            ArrayDir::InOut => ArrayPorts {
+                read: Some(v),
+                write: Some(v),
+            },
+        };
+        em.arrays.insert(a.name.clone(), ports);
+        em.bindings
+            .insert(a.name.clone(), binding_for(array_memkind(a)));
+    }
+    // Local buffers.
+    for a in kernel.arrays.iter().filter(|a| !a.is_arg) {
+        let kind = array_memkind(a);
+        let ports = hb.alloc(
+            &memref_dims(a),
+            Type::int(a.elem_width),
+            kind,
+            &[Port::Read, Port::Write],
+        );
+        em.arrays.insert(
+            a.name.clone(),
+            ArrayPorts {
+                read: Some(ports[0]),
+                write: Some(ports[1]),
+            },
+        );
+        em.bindings.insert(a.name.clone(), binding_for(kind));
+    }
+
+    // Body, starting one cycle after the call.
+    em.emit_stmts(&mut hb, &kernel.body, TimePos { root: t, offset: 1 })?;
+    hb.return_(&[]);
+    Ok((hb.finish(), em.stats))
+}
+
+struct Emitter<'k> {
+    kernel: &'k Kernel,
+    opts: SchedOptions,
+    arrays: HashMap<String, ArrayPorts>,
+    bindings: HashMap<String, ArrayBinding>,
+    loop_vars: HashMap<String, ValueId>,
+    loop_var_names: Vec<String>,
+    scalar_args: HashMap<String, ValueId>,
+    stats: CompileStats,
+}
+
+impl Emitter<'_> {
+    /// Emit a statement list starting at `pos`; returns the position after.
+    fn emit_stmts(
+        &mut self,
+        hb: &mut HirBuilder,
+        stmts: &[KStmt],
+        mut pos: TimePos,
+    ) -> Result<TimePos, ScheduleError> {
+        let mut group: Vec<KStmt> = Vec::new();
+        for s in stmts {
+            match s {
+                KStmt::For { .. } => {
+                    if !group.is_empty() {
+                        pos = self.emit_group(hb, &std::mem::take(&mut group), pos, None)?;
+                    }
+                    pos = self.emit_for(hb, s, pos)?;
+                }
+                KStmt::If { .. } => {
+                    return Err(ScheduleError(
+                        "the HLS baseline does not support data-dependent control flow".into(),
+                    ))
+                }
+                other => group.push(other.clone()),
+            }
+        }
+        if !group.is_empty() {
+            pos = self.emit_group(hb, &group, pos, None)?;
+        }
+        Ok(pos)
+    }
+
+    fn emit_for(
+        &mut self,
+        hb: &mut HirBuilder,
+        stmt: &KStmt,
+        pos: TimePos,
+    ) -> Result<TimePos, ScheduleError> {
+        let KStmt::For {
+            var,
+            lb,
+            ub,
+            step,
+            pragmas,
+            body,
+        } = stmt
+        else {
+            unreachable!()
+        };
+        self.stats.loops += 1;
+        let iv_w = self.kernel.loop_var_width;
+        let lbv = hb.const_val(*lb);
+        let ubv = hb.const_val(*ub);
+        let stepv = hb.const_val(*step);
+        let lp = hb.for_loop(lbv, ubv, stepv, pos.root, pos.offset, Type::int(iv_w));
+        let iv = lp.induction_var(hb.module());
+        let ti = lp.iter_time(hb.module());
+        self.loop_vars.insert(var.clone(), iv);
+        self.loop_var_names.push(var.clone());
+
+        let straight_line = body
+            .iter()
+            .all(|s| !matches!(s, KStmt::For { .. } | KStmt::If { .. }));
+        let mut result: Result<(), ScheduleError> = Ok(());
+        // Cycles of in-flight work still draining when the loop's `%tf`
+        // fires (pipelined loops issue their last iteration II cycles after
+        // the previous one, but its body takes `length` cycles).
+        let mut drain: i64 = 0;
+        if straight_line {
+            let pipeline = pragmas.pipeline_ii;
+            let body_clone = body.clone();
+            hb.in_loop(lp, |hb, _iv, ti_inner| {
+                debug_assert_eq!(ti_inner, ti);
+                match self.emit_group_inner(
+                    hb,
+                    &body_clone,
+                    TimePos {
+                        root: ti,
+                        offset: 0,
+                    },
+                    pipeline,
+                ) {
+                    Ok((end, ii)) => {
+                        let length = end.offset.max(1);
+                        let yoff = match ii {
+                            Some(ii) => ii as i64,
+                            None => length,
+                        };
+                        drain = (length - yoff).max(0);
+                        hb.yield_at(ti, yoff);
+                    }
+                    Err(e) => {
+                        // Still terminate the body so the IR stays valid.
+                        hb.yield_at(ti, 1);
+                        result = Err(e);
+                    }
+                }
+            });
+        } else {
+            let body_clone = body.clone();
+            hb.in_loop(lp, |hb, _iv, ti_inner| {
+                match self.emit_stmts(
+                    hb,
+                    &body_clone,
+                    TimePos {
+                        root: ti_inner,
+                        offset: 0,
+                    },
+                ) {
+                    Ok(end) => {
+                        hb.yield_at(end.root, end.offset.max(1));
+                    }
+                    Err(e) => {
+                        hb.yield_at(ti_inner, 1);
+                        result = Err(e);
+                    }
+                }
+            });
+        }
+        result?;
+        self.loop_var_names.pop();
+        self.loop_vars.remove(var);
+        Ok(TimePos {
+            root: lp.result_time(hb.module()),
+            offset: drain.max(1),
+        })
+    }
+
+    /// Schedule and emit one straight-line group; returns the end position.
+    fn emit_group(
+        &mut self,
+        hb: &mut HirBuilder,
+        stmts: &[KStmt],
+        pos: TimePos,
+        pipeline: Option<u32>,
+    ) -> Result<TimePos, ScheduleError> {
+        let (end, _) = self.emit_group_inner(hb, stmts, pos, pipeline)?;
+        Ok(end)
+    }
+
+    fn emit_group_inner(
+        &mut self,
+        hb: &mut HirBuilder,
+        stmts: &[KStmt],
+        pos: TimePos,
+        pipeline: Option<u32>,
+    ) -> Result<(TimePos, Option<u32>), ScheduleError> {
+        let nodes = build_dfg(self.kernel, stmts, &self.loop_var_names)?;
+        self.stats.nodes_scheduled += nodes.len();
+        let sched = match pipeline {
+            Some(req) => schedule_pipelined(nodes, &self.bindings, &self.opts, req)?,
+            None => schedule_sequential(nodes, &self.bindings, &self.opts)?,
+        };
+        self.stats.schedule_attempts += sched.attempts;
+        self.stats.sdc_slack += sched.sdc_slack;
+        if let Some(ii) = sched.ii {
+            self.stats.achieved_iis.push(ii);
+        }
+        self.bind_stats(&sched);
+        self.emit_scheduled(hb, &sched, pos)?;
+        Ok((
+            TimePos {
+                root: pos.root,
+                offset: pos.offset + sched.length as i64,
+            },
+            sched.ii,
+        ))
+    }
+
+    /// Post-scheduling binding: count shared multipliers and the mux inputs
+    /// resource sharing would add (reported as compiler-effort statistics).
+    fn bind_stats(&mut self, sched: &ScheduledDfg) {
+        let mut mult_stages: HashMap<u32, u32> = HashMap::new();
+        let modulo = sched.ii.unwrap_or(u32::MAX);
+        for (i, n) in sched.nodes.iter().enumerate() {
+            if let DfgNode::Bin { op: KOp::Mul, .. } = n {
+                let slot = if modulo == u32::MAX {
+                    sched.slots[i].avail
+                } else {
+                    sched.slots[i].avail % modulo
+                };
+                *mult_stages.entry(slot).or_default() += 1;
+            }
+        }
+        let concurrent = mult_stages.values().copied().max().unwrap_or(0);
+        let total: u32 = mult_stages.values().sum();
+        self.stats.shared_multipliers += concurrent;
+        if total > concurrent {
+            self.stats.mux_inputs += (total - concurrent) * 2;
+        }
+    }
+
+    /// Emit a scheduled DFG at `pos`. Value stages are tracked as
+    /// *absolute* offsets from `pos.root` so that function-scope values
+    /// (valid at offset 0) delay correctly into later schedule stages.
+    fn emit_scheduled(
+        &mut self,
+        hb: &mut HirBuilder,
+        sched: &ScheduledDfg,
+        pos: TimePos,
+    ) -> Result<(), ScheduleError> {
+        let mut table = ValueTable {
+            values: vec![None; sched.nodes.len()],
+            delayed: HashMap::new(),
+            root: pos.root,
+        };
+        let abs = |s: u32| pos.offset + s as i64;
+
+        for (i, node) in sched.nodes.iter().enumerate() {
+            let slot = sched.slots[i];
+            match node {
+                DfgNode::Const(v, w) => {
+                    let val = hb.typed_const(*v, Type::int(*w));
+                    table.values[i] = Some((val, VStage::Always));
+                }
+                DfgNode::LoopVar(name) => {
+                    let v = *self.loop_vars.get(name).ok_or_else(|| {
+                        ScheduleError(format!("loop variable '{name}' not in scope"))
+                    })?;
+                    table.values[i] = Some((v, VStage::At(0)));
+                }
+                DfgNode::ScalarArg(name) => {
+                    let v = *self
+                        .scalar_args
+                        .get(name)
+                        .ok_or_else(|| ScheduleError(format!("scalar '{name}' not found")))?;
+                    table.values[i] = Some((v, VStage::At(0)));
+                }
+                DfgNode::Bin { op, lhs, rhs } => {
+                    let s = abs(slot.avail);
+                    let a = table.at(hb, *lhs, s);
+                    let b = table.at(hb, *rhs, s);
+                    let v = match op {
+                        KOp::Add => hb.add(a, b),
+                        KOp::Sub => hb.sub(a, b),
+                        KOp::Mul => hb.mult(a, b),
+                        KOp::And => hb.and(a, b),
+                        KOp::Or => hb.or(a, b),
+                        KOp::Xor => hb.xor(a, b),
+                        KOp::Shl => hb.shl(a, b),
+                        KOp::Shr => hb.shr(a, b),
+                        KOp::Eq => hb.cmp(CmpPredicate::Eq, a, b),
+                        KOp::Ne => hb.cmp(CmpPredicate::Ne, a, b),
+                        KOp::Lt => hb.cmp(CmpPredicate::Lt, a, b),
+                        KOp::Le => hb.cmp(CmpPredicate::Le, a, b),
+                        KOp::Gt => hb.cmp(CmpPredicate::Gt, a, b),
+                        KOp::Ge => hb.cmp(CmpPredicate::Ge, a, b),
+                    };
+                    table.values[i] = Some((v, VStage::At(s)));
+                }
+                DfgNode::Select { cond, then, els } => {
+                    let s = abs(slot.avail);
+                    let c = table.at(hb, *cond, s);
+                    let a = table.at(hb, *then, s);
+                    let b = table.at(hb, *els, s);
+                    let v = hb.select(c, a, b);
+                    table.values[i] = Some((v, VStage::At(s)));
+                }
+                DfgNode::Load { array, indices, .. } => {
+                    let issue = abs(slot.issue);
+                    let avail = abs(slot.avail);
+                    let v =
+                        self.emit_load(hb, sched, &mut table, array, indices, issue, avail, pos)?;
+                    table.values[i] = Some((v, VStage::At(avail)));
+                }
+                DfgNode::Store {
+                    array,
+                    indices,
+                    value,
+                    ..
+                } => {
+                    let issue = abs(slot.issue);
+                    let data = table.at(hb, *value, issue);
+                    self.emit_store(hb, sched, &mut table, array, indices, data, issue, pos)?;
+                    table.values[i] = Some((data, VStage::At(issue)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-dimension access plan: constant bank index, dynamic bank
+    /// index (needs decode hardware), or a packed (address) index.
+    fn index_plan(
+        &self,
+        sched: &ScheduledDfg,
+        array: &str,
+        indices: &[usize],
+    ) -> Result<Vec<IndexPlan>, ScheduleError> {
+        let decl = self
+            .kernel
+            .array(array)
+            .ok_or_else(|| ScheduleError(format!("unknown array '{array}'")))?;
+        let mut out = Vec::with_capacity(indices.len());
+        for (d, &n) in indices.iter().enumerate() {
+            if decl.partition_dims.contains(&d) {
+                match &sched.nodes[n] {
+                    DfgNode::Const(v, _) => out.push(IndexPlan::ConstBank(*v)),
+                    _ => out.push(IndexPlan::DynamicBank {
+                        node: n,
+                        size: decl.dims[d],
+                    }),
+                }
+            } else {
+                out.push(IndexPlan::Packed(n));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Enumerate all bank combinations of the dynamic distributed dims.
+    fn bank_combos(plan: &[IndexPlan]) -> Vec<Vec<i64>> {
+        let mut combos: Vec<Vec<i64>> = vec![vec![]];
+        for p in plan {
+            if let IndexPlan::DynamicBank { size, .. } = p {
+                let mut next = Vec::new();
+                for c in &combos {
+                    for b in 0..*size as i64 {
+                        let mut c2 = c.clone();
+                        c2.push(b);
+                        next.push(c2);
+                    }
+                }
+                combos = next;
+            }
+        }
+        combos
+    }
+
+    /// A load; dynamic partitioned dims become a read-all-banks +
+    /// select-tree decode (the banking mux a real HLS tool infers).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_load(
+        &mut self,
+        hb: &mut HirBuilder,
+        sched: &ScheduledDfg,
+        table: &mut ValueTable,
+        array: &str,
+        indices: &[usize],
+        issue: i64,
+        avail: i64,
+        pos: TimePos,
+    ) -> Result<ValueId, ScheduleError> {
+        let plan = self.index_plan(sched, array, indices)?;
+        let port = self
+            .arrays
+            .get(array)
+            .and_then(|p| p.read)
+            .ok_or_else(|| ScheduleError(format!("array '{array}' is not readable")))?;
+        let combos = Self::bank_combos(&plan);
+        if combos.len() == 1 {
+            // All banks static: a single access.
+            let mut idx = Vec::new();
+            for p in &plan {
+                match p {
+                    IndexPlan::ConstBank(v) => idx.push(hb.const_val(*v)),
+                    IndexPlan::Packed(n) => idx.push(table.at(hb, *n, issue)),
+                    IndexPlan::DynamicBank { .. } => unreachable!(),
+                }
+            }
+            return Ok(hb.mem_read(port, &idx, pos.root, issue));
+        }
+        // Read every candidate bank and select by the dynamic indices.
+        let mut selected: Option<ValueId> = None;
+        for combo in combos {
+            let mut idx = Vec::new();
+            let mut ci = 0;
+            let mut hit: Option<ValueId> = None;
+            for p in &plan {
+                match p {
+                    IndexPlan::ConstBank(v) => idx.push(hb.const_val(*v)),
+                    IndexPlan::Packed(n) => idx.push(table.at(hb, *n, issue)),
+                    IndexPlan::DynamicBank { node, .. } => {
+                        let b = combo[ci];
+                        ci += 1;
+                        idx.push(hb.const_val(b));
+                        let sel_idx = table.at(hb, *node, avail);
+                        let cb = hb.const_val(b);
+                        let eq = hb.cmp(hir::CmpPredicate::Eq, sel_idx, cb);
+                        hit = Some(match hit {
+                            None => eq,
+                            Some(prev) => hb.and(prev, eq),
+                        });
+                    }
+                }
+            }
+            let v = hb.mem_read(port, &idx, pos.root, issue);
+            selected = Some(match selected {
+                None => v,
+                Some(prev) => hb.select(hit.expect("dynamic dim present"), v, prev),
+            });
+        }
+        Ok(selected.expect("at least one bank"))
+    }
+
+    /// A store; dynamic partitioned dims become per-bank predicated writes.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_store(
+        &mut self,
+        hb: &mut HirBuilder,
+        sched: &ScheduledDfg,
+        table: &mut ValueTable,
+        array: &str,
+        indices: &[usize],
+        data: ValueId,
+        issue: i64,
+        pos: TimePos,
+    ) -> Result<(), ScheduleError> {
+        let plan = self.index_plan(sched, array, indices)?;
+        let port = self
+            .arrays
+            .get(array)
+            .and_then(|p| p.write)
+            .ok_or_else(|| ScheduleError(format!("array '{array}' is not writable")))?;
+        let combos = Self::bank_combos(&plan);
+        if combos.len() == 1 {
+            let mut idx = Vec::new();
+            for p in &plan {
+                match p {
+                    IndexPlan::ConstBank(v) => idx.push(hb.const_val(*v)),
+                    IndexPlan::Packed(n) => idx.push(table.at(hb, *n, issue)),
+                    IndexPlan::DynamicBank { .. } => unreachable!(),
+                }
+            }
+            hb.mem_write(data, port, &idx, pos.root, issue);
+            return Ok(());
+        }
+        for combo in combos {
+            let mut idx = Vec::new();
+            let mut ci = 0;
+            let mut hit: Option<ValueId> = None;
+            for p in &plan {
+                match p {
+                    IndexPlan::ConstBank(v) => idx.push(hb.const_val(*v)),
+                    IndexPlan::Packed(n) => idx.push(table.at(hb, *n, issue)),
+                    IndexPlan::DynamicBank { node, .. } => {
+                        let b = combo[ci];
+                        ci += 1;
+                        idx.push(hb.const_val(b));
+                        let sel_idx = table.at(hb, *node, issue);
+                        let cb = hb.const_val(b);
+                        let eq = hb.cmp(hir::CmpPredicate::Eq, sel_idx, cb);
+                        hit = Some(match hit {
+                            None => eq,
+                            Some(prev) => hb.and(prev, eq),
+                        });
+                    }
+                }
+            }
+            let g = hb.if_op(hit.expect("dynamic dim present"), pos.root, issue, false);
+            hb.in_then(g, |hb| hb.mem_write(data, port, &idx, pos.root, issue));
+        }
+        Ok(())
+    }
+}
+
+/// How one memref dimension is indexed by an access.
+#[derive(Clone, Copy, Debug)]
+enum IndexPlan {
+    /// Distributed dim with a compile-time-constant index.
+    ConstBank(i64),
+    /// Distributed dim indexed dynamically: decode hardware required.
+    DynamicBank { node: usize, size: u64 },
+    /// Packed dim (part of the in-bank address).
+    Packed(usize),
+}
+
+/// When a DFG value is valid.
+#[derive(Clone, Copy, Debug)]
+enum VStage {
+    /// Constants: valid at every instant.
+    Always,
+    /// Valid at this absolute offset from the group\'s root.
+    At(i64),
+}
+
+struct ValueTable {
+    values: Vec<Option<(ValueId, VStage)>>,
+    /// Delay cache: (node, target offset) -> delayed value.
+    delayed: HashMap<(usize, i64), ValueId>,
+    root: ValueId,
+}
+
+impl ValueTable {
+    /// The value of node `n` at absolute offset `target`, delaying if
+    /// needed (the per-stage registering characteristic of HLS output).
+    fn at(&mut self, hb: &mut HirBuilder, n: usize, target: i64) -> ValueId {
+        let (v, stage) = self.values[n].expect("DFG is topologically ordered");
+        match stage {
+            VStage::Always => v,
+            VStage::At(def) if def == target => v,
+            VStage::At(def) => {
+                assert!(target > def, "consumer scheduled before producer");
+                let root = self.root;
+                *self
+                    .delayed
+                    .entry((n, target))
+                    .or_insert_with(|| hb.delay(v, target - def, root, def))
+            }
+        }
+    }
+}

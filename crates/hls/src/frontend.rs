@@ -1,0 +1,202 @@
+//! Frontend passes over the kernel IR: full loop unrolling and constant
+//! folding (the "LLVM-style" cleanup a commercial HLS frontend performs
+//! before scheduling).
+
+use crate::ast::{KExpr, KOp, KStmt, Kernel};
+use std::collections::HashMap;
+
+/// Run the frontend: expand `unroll` loops and fold constants.
+pub fn run_frontend(kernel: &Kernel) -> Kernel {
+    let mut out = kernel.clone();
+    let env = HashMap::new();
+    out.body = expand_stmts(&kernel.body, &env);
+    out
+}
+
+fn expand_stmts(stmts: &[KStmt], env: &HashMap<String, i64>) -> Vec<KStmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            KStmt::Assign { var, expr } => {
+                out.push(KStmt::Assign {
+                    var: var.clone(),
+                    expr: subst_fold(expr, env),
+                });
+            }
+            KStmt::Store {
+                array,
+                indices,
+                value,
+            } => out.push(KStmt::Store {
+                array: array.clone(),
+                indices: indices.iter().map(|e| subst_fold(e, env)).collect(),
+                value: subst_fold(value, env),
+            }),
+            KStmt::For {
+                var,
+                lb,
+                ub,
+                step,
+                pragmas,
+                body,
+            } => {
+                if pragmas.unroll {
+                    let mut i = *lb;
+                    while i < *ub {
+                        let mut env2 = env.clone();
+                        env2.insert(var.clone(), i);
+                        out.extend(expand_stmts(body, &env2));
+                        i += step;
+                    }
+                } else {
+                    out.push(KStmt::For {
+                        var: var.clone(),
+                        lb: *lb,
+                        ub: *ub,
+                        step: *step,
+                        pragmas: *pragmas,
+                        body: expand_stmts(body, env),
+                    });
+                }
+            }
+            KStmt::If { cond, then, els } => out.push(KStmt::If {
+                cond: subst_fold(cond, env),
+                then: expand_stmts(then, env),
+                els: expand_stmts(els, env),
+            }),
+        }
+    }
+    out
+}
+
+/// Substitute unrolled loop variables and fold constant subexpressions.
+pub fn subst_fold(e: &KExpr, env: &HashMap<String, i64>) -> KExpr {
+    match e {
+        KExpr::Const(..) => e.clone(),
+        KExpr::Var(name) => match env.get(name) {
+            Some(&v) => KExpr::Const(v, 32),
+            None => e.clone(),
+        },
+        KExpr::ArrayRead { array, indices } => KExpr::ArrayRead {
+            array: array.clone(),
+            indices: indices.iter().map(|x| subst_fold(x, env)).collect(),
+        },
+        KExpr::Bin { op, lhs, rhs } => {
+            let l = subst_fold(lhs, env);
+            let r = subst_fold(rhs, env);
+            if let (KExpr::Const(a, wa), KExpr::Const(b, wb)) = (&l, &r) {
+                if let Some(v) = fold(*op, *a, *b) {
+                    return KExpr::Const(v, (*wa).max(*wb));
+                }
+            }
+            KExpr::Bin {
+                op: *op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }
+        }
+        KExpr::Select { cond, then, els } => {
+            let c = subst_fold(cond, env);
+            if let KExpr::Const(v, _) = c {
+                return if v != 0 {
+                    subst_fold(then, env)
+                } else {
+                    subst_fold(els, env)
+                };
+            }
+            KExpr::Select {
+                cond: Box::new(c),
+                then: Box::new(subst_fold(then, env)),
+                els: Box::new(subst_fold(els, env)),
+            }
+        }
+    }
+}
+
+fn fold(op: KOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        KOp::Add => a.checked_add(b)?,
+        KOp::Sub => a.checked_sub(b)?,
+        KOp::Mul => a.checked_mul(b)?,
+        KOp::And => a & b,
+        KOp::Or => a | b,
+        KOp::Xor => a ^ b,
+        KOp::Shl => a.checked_shl(u32::try_from(b).ok()?)?,
+        KOp::Shr => a >> b.clamp(0, 63),
+        KOp::Eq => i64::from(a == b),
+        KOp::Ne => i64::from(a != b),
+        KOp::Lt => i64::from(a < b),
+        KOp::Le => i64::from(a <= b),
+        KOp::Gt => i64::from(a > b),
+        KOp::Ge => i64::from(a >= b),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::LoopPragmas;
+
+    #[test]
+    fn unrolls_and_folds() {
+        let mut k = Kernel::new("u");
+        k.out_array("o", 32, &[4]);
+        k.body = vec![KStmt::For {
+            var: "i".into(),
+            lb: 0,
+            ub: 4,
+            step: 1,
+            pragmas: LoopPragmas {
+                pipeline_ii: None,
+                unroll: true,
+            },
+            body: vec![KStmt::Store {
+                array: "o".into(),
+                indices: vec![KExpr::var("i")],
+                value: KExpr::mul(KExpr::var("i"), KExpr::c(3, 32)),
+            }],
+        }];
+        let out = run_frontend(&k);
+        assert_eq!(out.body.len(), 4, "four replicas");
+        match &out.body[2] {
+            KStmt::Store { indices, value, .. } => {
+                assert!(matches!(indices[0], KExpr::Const(2, _)));
+                assert!(matches!(value, KExpr::Const(6, _)), "2*3 folded");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_unroll() {
+        let mut k = Kernel::new("u2");
+        k.out_array("o", 32, &[2, 2]);
+        k.body = vec![KStmt::For {
+            var: "i".into(),
+            lb: 0,
+            ub: 2,
+            step: 1,
+            pragmas: LoopPragmas {
+                pipeline_ii: None,
+                unroll: true,
+            },
+            body: vec![KStmt::For {
+                var: "j".into(),
+                lb: 0,
+                ub: 2,
+                step: 1,
+                pragmas: LoopPragmas {
+                    pipeline_ii: None,
+                    unroll: true,
+                },
+                body: vec![KStmt::Store {
+                    array: "o".into(),
+                    indices: vec![KExpr::var("i"), KExpr::var("j")],
+                    value: KExpr::c(1, 32),
+                }],
+            }],
+        }];
+        let out = run_frontend(&k);
+        assert_eq!(out.body.len(), 4);
+    }
+}

@@ -1,0 +1,260 @@
+//! A simple generational slot arena used for all IR entities.
+//!
+//! Every IR object (operation, value, block, region) lives in an arena owned
+//! by the enclosing [`crate::Module`] and is referred to by a small copyable
+//! id. Generations catch use-after-erase bugs in passes: accessing an erased
+//! slot panics with a clear message instead of silently aliasing a new
+//! entity.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Raw index + generation pair identifying a slot in an [`Arena`].
+///
+/// The type parameter ties the id to the entity type it indexes so that an
+/// operation id can never be used to look up a value, etc.
+pub struct Id<T> {
+    index: u32,
+    generation: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Id<T> {
+    #[inline]
+    pub(crate) fn new(index: u32, generation: u32) -> Self {
+        Id {
+            index,
+            generation,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The raw slot index. Stable for the lifetime of the entity; reused
+    /// after erasure (with a bumped generation).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl<T> Clone for Id<T> {
+    #[inline]
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Id<T> {}
+impl<T> PartialEq for Id<T> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.generation == other.generation
+    }
+}
+impl<T> Eq for Id<T> {}
+impl<T> std::hash::Hash for Id<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+        self.generation.hash(state);
+    }
+}
+impl<T> PartialOrd for Id<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Id<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.index, self.generation).cmp(&(other.index, other.generation))
+    }
+}
+impl<T> fmt::Debug for Id<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}g{}", self.index, self.generation)
+    }
+}
+
+enum Slot<T> {
+    Occupied { generation: u32, data: T },
+    Free { next_generation: u32 },
+}
+
+/// Generational arena. See module docs.
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Arena<T> {
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live entities.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    pub fn alloc(&mut self, data: T) -> Id<T> {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            let generation = match *slot {
+                Slot::Free { next_generation } => next_generation,
+                Slot::Occupied { .. } => unreachable!("free list pointed at occupied slot"),
+            };
+            *slot = Slot::Occupied { generation, data };
+            Id::new(index, generation)
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(Slot::Occupied {
+                generation: 0,
+                data,
+            });
+            Id::new(index, 0)
+        }
+    }
+
+    /// Returns `true` if `id` refers to a live entity.
+    pub fn contains(&self, id: Id<T>) -> bool {
+        matches!(
+            self.slots.get(id.index()),
+            Some(Slot::Occupied { generation, .. }) if *generation == id.generation
+        )
+    }
+
+    /// # Panics
+    /// Panics if `id` was erased or never allocated in this arena.
+    #[track_caller]
+    pub fn get(&self, id: Id<T>) -> &T {
+        match self.slots.get(id.index()) {
+            Some(Slot::Occupied { generation, data }) if *generation == id.generation => data,
+            _ => panic!("stale or foreign arena id {:?}", id),
+        }
+    }
+
+    /// # Panics
+    /// Panics if `id` was erased or never allocated in this arena.
+    #[track_caller]
+    pub fn get_mut(&mut self, id: Id<T>) -> &mut T {
+        match self.slots.get_mut(id.index()) {
+            Some(Slot::Occupied { generation, data }) if *generation == id.generation => data,
+            _ => panic!("stale or foreign arena id {:?}", id),
+        }
+    }
+
+    /// Erase an entity, recycling its slot.
+    ///
+    /// # Panics
+    /// Panics if `id` is already stale.
+    #[track_caller]
+    pub fn erase(&mut self, id: Id<T>) -> T {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .expect("arena id out of range");
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == id.generation => {
+                let next = *generation + 1;
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Free {
+                        next_generation: next,
+                    },
+                );
+                self.free.push(id.index() as u32);
+                self.live -= 1;
+                match old {
+                    Slot::Occupied { data, .. } => data,
+                    Slot::Free { .. } => unreachable!(),
+                }
+            }
+            _ => panic!("double erase or stale arena id {:?}", id),
+        }
+    }
+
+    /// Iterate over all live `(id, &data)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id<T>, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Slot::Occupied { generation, data } => Some((Id::new(i as u32, *generation), data)),
+                Slot::Free { .. } => None,
+            })
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let mut a = Arena::new();
+        let x = a.alloc(41);
+        let y = a.alloc(42);
+        assert_eq!(*a.get(x), 41);
+        assert_eq!(*a.get(y), 42);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn erase_recycles_slot_with_new_generation() {
+        let mut a = Arena::new();
+        let x = a.alloc("a");
+        assert_eq!(a.erase(x), "a");
+        let y = a.alloc("b");
+        assert_eq!(y.index(), x.index());
+        assert_ne!(x, y, "recycled slot must get a fresh generation");
+        assert!(!a.contains(x));
+        assert!(a.contains(y));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_access_panics() {
+        let mut a = Arena::new();
+        let x = a.alloc(1u8);
+        a.erase(x);
+        let _ = a.get(x);
+    }
+
+    #[test]
+    fn iter_skips_erased() {
+        let mut a = Arena::new();
+        let ids: Vec<_> = (0..5).map(|i| a.alloc(i)).collect();
+        a.erase(ids[1]);
+        a.erase(ids[3]);
+        let live: Vec<i32> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(live, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn mutation_through_get_mut() {
+        let mut a = Arena::new();
+        let x = a.alloc(vec![1]);
+        a.get_mut(x).push(2);
+        assert_eq!(a.get(x), &vec![1, 2]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Attributes: constant metadata attached to operations and dialect types.
+//!
+//! As in MLIR, attributes are immutable values with structural equality.
+//! Integer attributes carry arbitrary-precision-ish payloads as `i128`, which
+//! comfortably covers every bit width HIR designs use (≤ 64-bit data paths).
+
+use crate::types::Type;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Attribute {
+    /// Unit attribute: presence is the information (e.g. `pipelined`).
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Integer with an associated type (width/signedness interpretation).
+    Int(i128, Type),
+    /// Float (stored as f64 bits; `Eq`/`Hash` use the bit pattern).
+    Float(f64, Type),
+    /// String.
+    String(String),
+    /// A type used as an attribute.
+    Type(Type),
+    /// Ordered list.
+    Array(Vec<Attribute>),
+    /// String-keyed dictionary.
+    Dict(BTreeMap<String, Attribute>),
+    /// Reference to a symbol (e.g. a callee function) — `@name`.
+    SymbolRef(String),
+}
+
+impl Eq for Attribute {}
+
+impl std::hash::Hash for Attribute {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Attribute::Unit => {}
+            Attribute::Bool(b) => b.hash(state),
+            Attribute::Int(v, t) => {
+                v.hash(state);
+                t.hash(state);
+            }
+            Attribute::Float(v, t) => {
+                v.to_bits().hash(state);
+                t.hash(state);
+            }
+            Attribute::String(s) => s.hash(state),
+            Attribute::Type(t) => t.hash(state),
+            Attribute::Array(a) => a.hash(state),
+            Attribute::Dict(d) => {
+                for (k, v) in d {
+                    k.hash(state);
+                    v.hash(state);
+                }
+            }
+            Attribute::SymbolRef(s) => s.hash(state),
+        }
+    }
+}
+
+impl Attribute {
+    /// An integer attribute with the signless `iN` type of the given width.
+    pub fn int(value: i128, width: u32) -> Self {
+        Attribute::Int(value, Type::int(width))
+    }
+
+    /// An `index`-typed integer attribute.
+    pub fn index(value: i128) -> Self {
+        Attribute::Int(value, Type::index())
+    }
+
+    /// An `f32`-typed float attribute.
+    pub fn f32(value: f32) -> Self {
+        Attribute::Float(value as f64, Type::f32())
+    }
+
+    /// An `f64`-typed float attribute.
+    pub fn f64(value: f64) -> Self {
+        Attribute::Float(value, Type::f64())
+    }
+
+    /// A string attribute.
+    pub fn string(s: impl Into<String>) -> Self {
+        Attribute::String(s.into())
+    }
+
+    /// A symbol reference attribute `@name`.
+    pub fn symbol(s: impl Into<String>) -> Self {
+        Attribute::SymbolRef(s.into())
+    }
+
+    /// Extract an integer payload regardless of its type.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Attribute::Int(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a float payload.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Attribute::Float(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attribute::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract a symbol-ref payload.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            Attribute::SymbolRef(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract a type payload.
+    pub fn as_type(&self) -> Option<&Type> {
+        match self {
+            Attribute::Type(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Extract an array payload.
+    pub fn as_array(&self) -> Option<&[Attribute]> {
+        match self {
+            Attribute::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Extract a bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Attribute::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\t' => write!(f, "\\t")?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attribute::Unit => write!(f, "unit"),
+            Attribute::Bool(b) => write!(f, "{b}"),
+            Attribute::Int(v, t) => write!(f, "{v} : {t}"),
+            Attribute::Float(v, t) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1} : {t}")
+                } else {
+                    write!(f, "{v} : {t}")
+                }
+            }
+            Attribute::String(s) => escape(s, f),
+            Attribute::Type(t) => write!(f, "{t}"),
+            Attribute::Array(a) => {
+                write!(f, "[")?;
+                for (i, x) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Attribute::Dict(d) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in d.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} = {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Attribute::SymbolRef(s) => write!(f, "@{s}"),
+        }
+    }
+}
+
+/// The named attribute map carried by every operation.
+pub type AttrMap = BTreeMap<String, Attribute>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Attribute::int(5, 32).as_int(), Some(5));
+        assert_eq!(Attribute::string("x").as_str(), Some("x"));
+        assert_eq!(Attribute::symbol("foo").as_symbol(), Some("foo"));
+        assert_eq!(Attribute::Bool(true).as_bool(), Some(true));
+        assert_eq!(Attribute::int(5, 32).as_str(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Attribute::int(7, 32).to_string(), "7 : i32");
+        assert_eq!(Attribute::index(3).to_string(), "3 : index");
+        assert_eq!(Attribute::string("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(
+            Attribute::Array(vec![Attribute::index(1), Attribute::index(2)]).to_string(),
+            "[1 : index, 2 : index]"
+        );
+        assert_eq!(Attribute::symbol("f").to_string(), "@f");
+        assert_eq!(Attribute::f64(2.0).to_string(), "2.0 : f64");
+    }
+
+    #[test]
+    fn hash_and_eq_consistent_for_floats() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Attribute::f64(1.5));
+        assert!(set.contains(&Attribute::f64(1.5)));
+        assert!(!set.contains(&Attribute::f64(2.5)));
+    }
+}

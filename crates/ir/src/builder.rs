@@ -1,0 +1,248 @@
+//! Insertion-point builder for constructing IR, in the style of MLIR's
+//! `OpBuilder`.
+
+use crate::attributes::{AttrMap, Attribute};
+use crate::location::Location;
+use crate::module::{BlockId, Module, OpId, OpName, RegionId, ValueId};
+use crate::types::Type;
+
+/// Where newly built ops are inserted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertPoint {
+    /// Append to module top level.
+    TopLevel,
+    /// Append to the end of a block.
+    BlockEnd(BlockId),
+    /// Insert before an existing op.
+    Before(OpId),
+}
+
+/// A builder holding a mutable module and an insertion point.
+///
+/// # Examples
+///
+/// ```
+/// use ir::{Module, Builder, Type, Attribute, Location};
+///
+/// let mut m = Module::new();
+/// let mut b = Builder::new(&mut m);
+/// let c = b.op("x.const")
+///     .attr("value", Attribute::index(4))
+///     .result(Type::index())
+///     .build();
+/// assert_eq!(b.module().op(c).attr("value"), Some(&Attribute::index(4)));
+/// ```
+#[derive(Debug)]
+pub struct Builder<'m> {
+    module: &'m mut Module,
+    point: InsertPoint,
+    loc: Location,
+}
+
+impl<'m> Builder<'m> {
+    /// Builder inserting at module top level with unknown locations.
+    pub fn new(module: &'m mut Module) -> Self {
+        Builder {
+            module,
+            point: InsertPoint::TopLevel,
+            loc: Location::Unknown,
+        }
+    }
+
+    /// Access the underlying module.
+    pub fn module(&mut self) -> &mut Module {
+        self.module
+    }
+
+    /// Read-only access to the underlying module.
+    pub fn module_ref(&self) -> &Module {
+        self.module
+    }
+
+    /// Current insertion point.
+    pub fn insert_point(&self) -> InsertPoint {
+        self.point
+    }
+
+    /// Move the insertion point.
+    pub fn set_insert_point(&mut self, point: InsertPoint) {
+        self.point = point;
+    }
+
+    /// Insert at the end of `block`.
+    pub fn at_block_end(&mut self, block: BlockId) -> &mut Self {
+        self.point = InsertPoint::BlockEnd(block);
+        self
+    }
+
+    /// Set the location applied to subsequently built ops.
+    pub fn set_loc(&mut self, loc: Location) {
+        self.loc = loc;
+    }
+
+    /// The location applied to subsequently built ops.
+    pub fn loc(&self) -> &Location {
+        &self.loc
+    }
+
+    /// Start building an operation with the given name.
+    pub fn op(&mut self, name: impl Into<OpName>) -> OpBuilder<'_, 'm> {
+        let loc = self.loc.clone();
+        OpBuilder {
+            builder: self,
+            name: name.into(),
+            operands: Vec::new(),
+            result_types: Vec::new(),
+            attrs: AttrMap::new(),
+            regions: 0,
+            loc,
+        }
+    }
+
+    /// Add an empty region + entry block with the given arg types to `op`.
+    /// Returns `(region, entry_block)`.
+    pub fn region_with_entry(&mut self, op: OpId, arg_types: Vec<Type>) -> (RegionId, BlockId) {
+        let r = self.module.add_region(op);
+        let b = self.module.add_block(r, arg_types);
+        (r, b)
+    }
+}
+
+/// Fluent single-operation builder; created by [`Builder::op`].
+#[derive(Debug)]
+pub struct OpBuilder<'b, 'm> {
+    builder: &'b mut Builder<'m>,
+    name: OpName,
+    operands: Vec<ValueId>,
+    result_types: Vec<Type>,
+    attrs: AttrMap,
+    regions: usize,
+    loc: Location,
+}
+
+impl OpBuilder<'_, '_> {
+    /// Append one operand.
+    pub fn operand(mut self, v: ValueId) -> Self {
+        self.operands.push(v);
+        self
+    }
+
+    /// Append several operands.
+    pub fn operands(mut self, vs: impl IntoIterator<Item = ValueId>) -> Self {
+        self.operands.extend(vs);
+        self
+    }
+
+    /// Append one result type.
+    pub fn result(mut self, ty: Type) -> Self {
+        self.result_types.push(ty);
+        self
+    }
+
+    /// Append several result types.
+    pub fn results(mut self, tys: impl IntoIterator<Item = Type>) -> Self {
+        self.result_types.extend(tys);
+        self
+    }
+
+    /// Set a named attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: Attribute) -> Self {
+        self.attrs.insert(key.into(), value);
+        self
+    }
+
+    /// Request `n` empty regions (no blocks) on the built op.
+    pub fn regions(mut self, n: usize) -> Self {
+        self.regions = n;
+        self
+    }
+
+    /// Override the builder's current location for this op.
+    pub fn loc(mut self, loc: Location) -> Self {
+        self.loc = loc;
+        self
+    }
+
+    /// Create the op and insert it at the builder's insertion point.
+    pub fn build(self) -> OpId {
+        let m = &mut *self.builder.module;
+        let op = m.create_op(
+            self.name,
+            self.operands,
+            self.result_types,
+            self.attrs,
+            self.loc,
+        );
+        for _ in 0..self.regions {
+            m.add_region(op);
+        }
+        match self.builder.point {
+            InsertPoint::TopLevel => m.push_top(op),
+            InsertPoint::BlockEnd(b) => m.append_op(b, op),
+            InsertPoint::Before(anchor) => m.insert_op_before(anchor, op),
+        }
+        op
+    }
+
+    /// Create the op detached (not inserted anywhere).
+    pub fn build_detached(self) -> OpId {
+        let m = &mut *self.builder.module;
+        let op = m.create_op(
+            self.name,
+            self.operands,
+            self.result_types,
+            self.attrs,
+            self.loc,
+        );
+        for _ in 0..self.regions {
+            m.add_region(op);
+        }
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_into_blocks() {
+        let mut m = Module::new();
+        let mut b = Builder::new(&mut m);
+        let f = b.op("t.func").build();
+        let (_, entry) = b.region_with_entry(f, vec![Type::int(32)]);
+        b.at_block_end(entry);
+        let c = b.op("t.const").result(Type::int(32)).build();
+        let v = b.module().op(c).results()[0];
+        let add = b
+            .op("t.add")
+            .operand(v)
+            .operand(v)
+            .result(Type::int(32))
+            .build();
+        assert_eq!(m.block(entry).ops().len(), 2);
+        assert_eq!(m.op(add).operands().len(), 2);
+    }
+
+    #[test]
+    fn insert_before_anchor() {
+        let mut m = Module::new();
+        let mut b = Builder::new(&mut m);
+        let f = b.op("t.func").build();
+        let (_, entry) = b.region_with_entry(f, vec![]);
+        b.at_block_end(entry);
+        let last = b.op("t.last").build();
+        b.set_insert_point(InsertPoint::Before(last));
+        let first = b.op("t.first").build();
+        assert_eq!(m.block(entry).ops(), &[first, last]);
+    }
+
+    #[test]
+    fn location_propagates() {
+        let mut m = Module::new();
+        let mut b = Builder::new(&mut m);
+        b.set_loc(Location::file_line_col("x.mlir", 4, 2));
+        let op = b.op("t.zed").build();
+        assert_eq!(m.op(op).loc().file_line(), Some(("x.mlir", 4, 2)));
+    }
+}

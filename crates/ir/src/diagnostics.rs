@@ -1,0 +1,269 @@
+//! Diagnostic engine.
+//!
+//! Reproduces the reporting style of the paper's Figures 1b and 2b: a primary
+//! `error:` with a location and message, followed by attached `note:` lines
+//! (e.g. "Prior definition here.") each with their own location and an
+//! optional source snippet (the pretty-printed operation).
+
+use crate::location::Location;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    Note,
+    Remark,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Remark => write!(f, "remark"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A secondary note attached to a diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Note {
+    pub loc: Location,
+    pub message: String,
+    /// Pretty-printed IR (or source line) shown beneath the note.
+    pub snippet: Option<String>,
+}
+
+/// A single diagnostic: severity, location, message, notes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub loc: Location,
+    pub message: String,
+    pub snippet: Option<String>,
+    pub notes: Vec<Note>,
+}
+
+impl Diagnostic {
+    /// Create an error diagnostic.
+    pub fn error(loc: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            loc,
+            message: message.into(),
+            snippet: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Create a warning diagnostic.
+    pub fn warning(loc: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(loc, message)
+        }
+    }
+
+    /// Attach the offending IR snippet.
+    pub fn with_snippet(mut self, snippet: impl Into<String>) -> Self {
+        self.snippet = Some(snippet.into());
+        self
+    }
+
+    /// Attach a note ("Prior definition here.") at another location.
+    pub fn with_note(mut self, loc: Location, message: impl Into<String>) -> Self {
+        self.notes.push(Note {
+            loc,
+            message: message.into(),
+            snippet: None,
+        });
+        self
+    }
+
+    /// Attach a note with an IR snippet.
+    pub fn with_note_snippet(
+        mut self,
+        loc: Location,
+        message: impl Into<String>,
+        snippet: impl Into<String>,
+    ) -> Self {
+        self.notes.push(Note {
+            loc,
+            message: message.into(),
+            snippet: Some(snippet.into()),
+        });
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}:", self.loc, self.severity)?;
+        writeln!(f, "{}", self.message)?;
+        if let Some(s) = &self.snippet {
+            for line in s.lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        for note in &self.notes {
+            writeln!(f)?;
+            writeln!(f, "{}: note: {}", note.loc, note.message)?;
+            if let Some(s) = &note.snippet {
+                for line in s.lines() {
+                    writeln!(f, "  {line}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Collects diagnostics emitted by verifiers and passes.
+#[derive(Debug, Default)]
+pub struct DiagnosticEngine {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a diagnostic.
+    pub fn emit(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Convenience: record an error at `loc`.
+    pub fn error(&mut self, loc: Location, message: impl Into<String>) {
+        self.emit(Diagnostic::error(loc, message));
+    }
+
+    /// All diagnostics in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of errors recorded.
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Whether any errors were recorded.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Render every diagnostic to a single string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&d.to_string());
+        }
+        out
+    }
+
+    /// Drain diagnostics, leaving the engine empty.
+    pub fn take(&mut self) -> Vec<Diagnostic> {
+        std::mem::take(&mut self.diags)
+    }
+}
+
+/// Maps file names to source text so diagnostics can show real source lines.
+#[derive(Debug, Default)]
+pub struct SourceManager {
+    files: HashMap<String, String>,
+}
+
+impl SourceManager {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a file's contents.
+    pub fn add_file(&mut self, name: impl Into<String>, contents: impl Into<String>) {
+        self.files.insert(name.into(), contents.into());
+    }
+
+    /// Look up a 1-based line of a registered file.
+    pub fn line(&self, file: &str, line: u32) -> Option<&str> {
+        self.files
+            .get(file)?
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+    }
+
+    /// Fill in missing snippets of a diagnostic from registered sources.
+    pub fn attach_snippets(&self, diag: &mut Diagnostic) {
+        if diag.snippet.is_none() {
+            if let Some((file, line, _)) = diag.loc.file_line() {
+                diag.snippet = self.line(file, line).map(str::to_owned);
+            }
+        }
+        for note in &mut diag.notes {
+            if note.snippet.is_none() {
+                if let Some((file, line, _)) = note.loc.file_line() {
+                    note.snippet = self.line(file, line).map(str::to_owned);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_like_figure_1b() {
+        let d = Diagnostic::error(
+            Location::file_line_col("test/HIR/err_add.mlir", 13, 5),
+            "Schedule error: mismatched delay (0 vs 1) in address 0!",
+        )
+        .with_snippet("hir.mem_write %c to %C[%i] at %ti offset %1")
+        .with_note_snippet(
+            Location::file_line_col("test/HIR/err_add.mlir", 8, 3),
+            "Prior definition here.",
+            "hir.for %i : i8 = %0 to %128 step %1 iter_time(%ti = %t offset %1)",
+        );
+        let text = d.to_string();
+        assert!(text.starts_with("test/HIR/err_add.mlir:13:5: error:\n"));
+        assert!(text.contains("mismatched delay (0 vs 1)"));
+        assert!(text.contains("test/HIR/err_add.mlir:8:3: note: Prior definition here."));
+    }
+
+    #[test]
+    fn engine_counts_errors() {
+        let mut eng = DiagnosticEngine::new();
+        assert!(!eng.has_errors());
+        eng.emit(Diagnostic::warning(Location::unknown(), "w"));
+        assert!(!eng.has_errors());
+        eng.error(Location::unknown(), "e");
+        assert!(eng.has_errors());
+        assert_eq!(eng.error_count(), 1);
+        assert_eq!(eng.diagnostics().len(), 2);
+    }
+
+    #[test]
+    fn source_manager_lines() {
+        let mut sm = SourceManager::new();
+        sm.add_file("a.mlir", "line one\nline two\nline three");
+        assert_eq!(sm.line("a.mlir", 2), Some("line two"));
+        assert_eq!(sm.line("a.mlir", 9), None);
+        assert_eq!(sm.line("missing", 1), None);
+
+        let mut d = Diagnostic::error(Location::file_line_col("a.mlir", 3, 1), "x");
+        sm.attach_snippets(&mut d);
+        assert_eq!(d.snippet.as_deref(), Some("line three"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Dialect and operation registration.
+//!
+//! A [`Dialect`] contributes a set of [`OpSpec`]s: per-op structural
+//! constraints, trait flags and a verifier callback. The [`DialectRegistry`]
+//! plays the role of MLIR's `MLIRContext`: the verifier and passes consult it
+//! to check and transform ops generically.
+
+use crate::diagnostics::DiagnosticEngine;
+use crate::module::{Module, OpId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Trait flags an op can carry (a tiny subset of MLIR's op traits).
+pub mod traits {
+    /// Must be the last op in its block.
+    pub const TERMINATOR: u32 = 1 << 0;
+    /// No side effects: eligible for CSE and DCE.
+    pub const PURE: u32 = 1 << 1;
+    /// Materializes a compile-time constant (has a `value` attribute).
+    pub const CONSTANT_LIKE: u32 = 1 << 2;
+    /// Commutative binary op (operands may be canonically reordered).
+    pub const COMMUTATIVE: u32 = 1 << 3;
+    /// Writes or reads memory / has observable effects tied to time.
+    pub const MEMORY_EFFECT: u32 = 1 << 4;
+    /// Defines a new scheduling scope with its own time variable.
+    pub const TIME_SCOPE: u32 = 1 << 5;
+    /// Symbol-defining op (e.g. a function).
+    pub const SYMBOL: u32 = 1 << 6;
+}
+
+/// Expected count for operands/results/regions: exact or variadic minimum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly `n`.
+    Exact(usize),
+    /// At least `n`.
+    AtLeast(usize),
+    /// Anything.
+    Any,
+}
+
+impl Arity {
+    /// Whether `n` satisfies this arity constraint.
+    pub fn check(self, n: usize) -> bool {
+        match self {
+            Arity::Exact(k) => n == k,
+            Arity::AtLeast(k) => n >= k,
+            Arity::Any => true,
+        }
+    }
+}
+
+impl fmt::Display for Arity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arity::Exact(k) => write!(f, "exactly {k}"),
+            Arity::AtLeast(k) => write!(f, "at least {k}"),
+            Arity::Any => write!(f, "any number of"),
+        }
+    }
+}
+
+/// Per-op verification callback.
+pub type OpVerifier = fn(&Module, OpId, &mut DiagnosticEngine);
+
+/// Static description of one operation kind.
+#[derive(Clone)]
+pub struct OpSpec {
+    name: String,
+    traits: u32,
+    operands: Arity,
+    results: Arity,
+    regions: Arity,
+    verifier: Option<OpVerifier>,
+    summary: String,
+}
+
+impl OpSpec {
+    /// Start describing an op with the fully-qualified `dialect.op` name.
+    pub fn new(name: impl Into<String>) -> Self {
+        OpSpec {
+            name: name.into(),
+            traits: 0,
+            operands: Arity::Any,
+            results: Arity::Any,
+            regions: Arity::Exact(0),
+            verifier: None,
+            summary: String::new(),
+        }
+    }
+
+    /// Add trait flags (see [`traits`]).
+    pub fn with_traits(mut self, t: u32) -> Self {
+        self.traits |= t;
+        self
+    }
+
+    /// Constrain the operand count.
+    pub fn with_operands(mut self, a: Arity) -> Self {
+        self.operands = a;
+        self
+    }
+
+    /// Constrain the result count.
+    pub fn with_results(mut self, a: Arity) -> Self {
+        self.results = a;
+        self
+    }
+
+    /// Constrain the region count.
+    pub fn with_regions(mut self, a: Arity) -> Self {
+        self.regions = a;
+        self
+    }
+
+    /// Install a semantic verifier run after structural checks.
+    pub fn with_verifier(mut self, v: OpVerifier) -> Self {
+        self.verifier = Some(v);
+        self
+    }
+
+    /// One-line human-readable summary (shown by `--help`-style listings).
+    pub fn with_summary(mut self, s: impl Into<String>) -> Self {
+        self.summary = s.into();
+        self
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    pub fn has_trait(&self, t: u32) -> bool {
+        self.traits & t != 0
+    }
+    pub fn operand_arity(&self) -> Arity {
+        self.operands
+    }
+    pub fn result_arity(&self) -> Arity {
+        self.results
+    }
+    pub fn region_arity(&self) -> Arity {
+        self.regions
+    }
+    pub fn verifier(&self) -> Option<OpVerifier> {
+        self.verifier
+    }
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+}
+
+impl fmt::Debug for OpSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpSpec")
+            .field("name", &self.name)
+            .field("traits", &format_args!("{:#b}", self.traits))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A dialect: a named bundle of op specs.
+#[derive(Debug, Default)]
+pub struct Dialect {
+    name: String,
+    ops: Vec<OpSpec>,
+}
+
+impl Dialect {
+    pub fn new(name: impl Into<String>) -> Self {
+        Dialect {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register an op spec; its name must be prefixed by this dialect.
+    ///
+    /// # Panics
+    /// Panics if the spec's name is not within this dialect.
+    pub fn add_op(&mut self, spec: OpSpec) -> &mut Self {
+        assert!(
+            spec.name().starts_with(&format!("{}.", self.name)),
+            "op {} registered on wrong dialect {}",
+            spec.name(),
+            self.name
+        );
+        self.ops.push(spec);
+        self
+    }
+
+    pub fn ops(&self) -> &[OpSpec] {
+        &self.ops
+    }
+}
+
+/// The registry of all loaded dialects (MLIR's context role).
+#[derive(Debug, Default)]
+pub struct DialectRegistry {
+    dialects: Vec<String>,
+    specs: HashMap<String, OpSpec>,
+}
+
+impl DialectRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load a dialect, registering all its op specs.
+    pub fn register(&mut self, dialect: Dialect) {
+        for spec in &dialect.ops {
+            self.specs.insert(spec.name().to_string(), spec.clone());
+        }
+        self.dialects.push(dialect.name);
+    }
+
+    /// Names of loaded dialects.
+    pub fn dialects(&self) -> &[String] {
+        &self.dialects
+    }
+
+    /// Look up the spec for an op name.
+    pub fn spec(&self, name: &str) -> Option<&OpSpec> {
+        self.specs.get(name)
+    }
+
+    /// Whether the op has the given trait; unknown ops have no traits.
+    pub fn op_has_trait(&self, name: &str, t: u32) -> bool {
+        self.spec(name).is_some_and(|s| s.has_trait(t))
+    }
+
+    /// Iterate all registered op specs in name order.
+    pub fn all_specs(&self) -> Vec<&OpSpec> {
+        let mut v: Vec<&OpSpec> = self.specs.values().collect();
+        v.sort_by(|a, b| a.name().cmp(b.name()));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_checks() {
+        assert!(Arity::Exact(2).check(2));
+        assert!(!Arity::Exact(2).check(3));
+        assert!(Arity::AtLeast(1).check(5));
+        assert!(!Arity::AtLeast(1).check(0));
+        assert!(Arity::Any.check(0));
+    }
+
+    #[test]
+    fn registry_lookup_and_traits() {
+        let mut d = Dialect::new("x");
+        d.add_op(OpSpec::new("x.add").with_traits(traits::PURE | traits::COMMUTATIVE));
+        d.add_op(OpSpec::new("x.store").with_traits(traits::MEMORY_EFFECT));
+        let mut reg = DialectRegistry::new();
+        reg.register(d);
+        assert!(reg.op_has_trait("x.add", traits::PURE));
+        assert!(reg.op_has_trait("x.add", traits::COMMUTATIVE));
+        assert!(!reg.op_has_trait("x.store", traits::PURE));
+        assert!(!reg.op_has_trait("y.unknown", traits::PURE));
+        assert_eq!(reg.dialects(), &["x".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dialect")]
+    fn cross_dialect_registration_rejected() {
+        let mut d = Dialect::new("x");
+        d.add_op(OpSpec::new("y.add"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Source locations, mirroring MLIR's location tracking (§5.5 of the paper:
+//! HIR uses location info to map generated Verilog back to IR constructs).
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A source location attached to every operation.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// Unknown provenance.
+    #[default]
+    Unknown,
+    /// `file:line:col`.
+    FileLineCol { file: Rc<str>, line: u32, col: u32 },
+    /// A named location wrapping another (e.g. `loc("fused")`).
+    Name { name: Rc<str>, child: Rc<Location> },
+}
+
+impl Location {
+    /// An unknown location.
+    pub fn unknown() -> Self {
+        Location::Unknown
+    }
+
+    /// A `file:line:col` location.
+    pub fn file_line_col(file: impl Into<Rc<str>>, line: u32, col: u32) -> Self {
+        Location::FileLineCol {
+            file: file.into(),
+            line,
+            col,
+        }
+    }
+
+    /// Wrap a location with a name.
+    pub fn named(name: impl Into<Rc<str>>, child: Location) -> Self {
+        Location::Name {
+            name: name.into(),
+            child: Rc::new(child),
+        }
+    }
+
+    /// The innermost file/line/col, if any.
+    pub fn file_line(&self) -> Option<(&str, u32, u32)> {
+        match self {
+            Location::Unknown => None,
+            Location::FileLineCol { file, line, col } => Some((file, *line, *col)),
+            Location::Name { child, .. } => child.file_line(),
+        }
+    }
+
+    /// Whether any concrete source position is known.
+    pub fn is_known(&self) -> bool {
+        self.file_line().is_some()
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Unknown => write!(f, "loc(unknown)"),
+            Location::FileLineCol { file, line, col } => write!(f, "{file}:{line}:{col}"),
+            Location::Name { name, child } => write!(f, "{name}@{child}"),
+        }
+    }
+}
+
+impl fmt::Debug for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_line_lookup_through_names() {
+        let base = Location::file_line_col("k.mlir", 13, 5);
+        let named = Location::named("mem_write", base.clone());
+        assert_eq!(named.file_line(), Some(("k.mlir", 13, 5)));
+        assert!(named.is_known());
+        assert!(!Location::unknown().is_known());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Location::file_line_col("a.mlir", 2, 7).to_string(),
+            "a.mlir:2:7"
+        );
+        assert_eq!(Location::unknown().to_string(), "loc(unknown)");
+    }
+}

@@ -1,0 +1,850 @@
+//! The IR object graph: operations, SSA values, blocks and regions, all owned
+//! by a [`Module`].
+//!
+//! The design follows MLIR: an *operation* has operands, typed results, named
+//! attributes, nested *regions*; a region holds *blocks*; a block holds block
+//! arguments and an ordered list of operations. A [`Module`] owns the arenas
+//! for all four entity kinds plus an ordered list of top-level operations
+//! (HIR functions).
+//!
+//! All mutation goes through `Module` methods so that use-def chains stay
+//! consistent.
+
+use crate::arena::{Arena, Id};
+use crate::attributes::{AttrMap, Attribute};
+use crate::location::Location;
+use crate::types::Type;
+use std::fmt;
+use std::rc::Rc;
+
+/// Id of an operation.
+pub type OpId = Id<OpData>;
+/// Id of an SSA value (operation result or block argument).
+pub type ValueId = Id<ValueData>;
+/// Id of a block.
+pub type BlockId = Id<BlockData>;
+/// Id of a region.
+pub type RegionId = Id<RegionData>;
+
+/// Fully-qualified operation name, e.g. `hir.for`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpName(Rc<str>);
+
+impl OpName {
+    pub fn new(full: impl AsRef<str>) -> Self {
+        OpName(Rc::from(full.as_ref()))
+    }
+
+    /// The full `dialect.op` string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The dialect prefix (`hir` in `hir.for`); empty if unqualified.
+    pub fn dialect(&self) -> &str {
+        self.0.split_once('.').map_or("", |(d, _)| d)
+    }
+
+    /// The op suffix (`for` in `hir.for`).
+    pub fn op(&self) -> &str {
+        self.0.split_once('.').map_or(&self.0, |(_, o)| o)
+    }
+}
+
+impl fmt::Display for OpName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl fmt::Debug for OpName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl From<&str> for OpName {
+    fn from(s: &str) -> Self {
+        OpName::new(s)
+    }
+}
+
+/// How a value came to exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueDef {
+    /// The `index`-th result of an operation.
+    OpResult { op: OpId, index: usize },
+    /// The `index`-th argument of a block.
+    BlockArg { block: BlockId, index: usize },
+}
+
+/// One use of a value: operand `operand_index` of `op`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Use {
+    pub op: OpId,
+    pub operand_index: usize,
+}
+
+/// Payload of an SSA value.
+#[derive(Debug)]
+pub struct ValueData {
+    ty: Type,
+    def: ValueDef,
+    uses: Vec<Use>,
+}
+
+impl ValueData {
+    pub fn ty(&self) -> &Type {
+        &self.ty
+    }
+    pub fn def(&self) -> ValueDef {
+        self.def
+    }
+    pub fn uses(&self) -> &[Use] {
+        &self.uses
+    }
+}
+
+/// Payload of an operation.
+#[derive(Debug)]
+pub struct OpData {
+    name: OpName,
+    operands: Vec<ValueId>,
+    results: Vec<ValueId>,
+    attrs: AttrMap,
+    regions: Vec<RegionId>,
+    loc: Location,
+    parent: Option<BlockId>,
+}
+
+impl OpData {
+    pub fn name(&self) -> &OpName {
+        &self.name
+    }
+    pub fn operands(&self) -> &[ValueId] {
+        &self.operands
+    }
+    pub fn results(&self) -> &[ValueId] {
+        &self.results
+    }
+    pub fn attrs(&self) -> &AttrMap {
+        &self.attrs
+    }
+    pub fn attr(&self, key: &str) -> Option<&Attribute> {
+        self.attrs.get(key)
+    }
+    pub fn regions(&self) -> &[RegionId] {
+        &self.regions
+    }
+    pub fn loc(&self) -> &Location {
+        &self.loc
+    }
+    /// The block containing this op, or `None` for top-level ops.
+    pub fn parent(&self) -> Option<BlockId> {
+        self.parent
+    }
+}
+
+/// Payload of a block.
+#[derive(Debug)]
+pub struct BlockData {
+    args: Vec<ValueId>,
+    ops: Vec<OpId>,
+    parent: RegionId,
+}
+
+impl BlockData {
+    pub fn args(&self) -> &[ValueId] {
+        &self.args
+    }
+    pub fn ops(&self) -> &[OpId] {
+        &self.ops
+    }
+    pub fn parent(&self) -> RegionId {
+        self.parent
+    }
+}
+
+/// Payload of a region.
+#[derive(Debug)]
+pub struct RegionData {
+    blocks: Vec<BlockId>,
+    parent: OpId,
+}
+
+impl RegionData {
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+    pub fn parent(&self) -> OpId {
+        self.parent
+    }
+}
+
+/// Owner of the whole IR graph.
+///
+/// # Examples
+///
+/// ```
+/// use ir::{Module, Type, Attribute, Location};
+///
+/// let mut m = Module::new();
+/// let c = m.create_op(
+///     "hir.constant",
+///     vec![],
+///     vec![Type::index()],
+///     [("value".to_string(), Attribute::index(7))].into_iter().collect(),
+///     Location::unknown(),
+/// );
+/// m.push_top(c);
+/// assert_eq!(m.op(c).results().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Module {
+    ops: Arena<OpData>,
+    values: Arena<ValueData>,
+    blocks: Arena<BlockData>,
+    regions: Arena<RegionData>,
+    top: Vec<OpId>,
+}
+
+impl Module {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---------------------------------------------------------------- reads
+
+    pub fn op(&self, id: OpId) -> &OpData {
+        self.ops.get(id)
+    }
+    pub fn value(&self, id: ValueId) -> &ValueData {
+        self.values.get(id)
+    }
+    pub fn block(&self, id: BlockId) -> &BlockData {
+        self.blocks.get(id)
+    }
+    pub fn region(&self, id: RegionId) -> &RegionData {
+        self.regions.get(id)
+    }
+
+    /// Whether `id` still refers to a live operation.
+    pub fn is_live(&self, id: OpId) -> bool {
+        self.ops.contains(id)
+    }
+
+    /// Top-level operations in order (e.g. HIR functions).
+    pub fn top_ops(&self) -> &[OpId] {
+        &self.top
+    }
+
+    /// Type of a value.
+    pub fn value_type(&self, v: ValueId) -> Type {
+        self.values.get(v).ty.clone()
+    }
+
+    /// Number of live operations in the module.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operation defining `v`, if it is an op result.
+    pub fn defining_op(&self, v: ValueId) -> Option<OpId> {
+        match self.value(v).def {
+            ValueDef::OpResult { op, .. } => Some(op),
+            ValueDef::BlockArg { .. } => None,
+        }
+    }
+
+    /// The region's parent operation, walking up from a block.
+    pub fn block_parent_op(&self, b: BlockId) -> OpId {
+        let r = self.block(b).parent;
+        self.region(r).parent
+    }
+
+    /// Iterate over every live op id (unordered).
+    pub fn all_ops(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.ops.iter().map(|(id, _)| id)
+    }
+
+    // ------------------------------------------------------------- creation
+
+    /// Create a detached operation with fresh result values.
+    ///
+    /// The op must subsequently be placed with [`Module::push_top`],
+    /// [`Module::append_op`] or [`Module::insert_op`].
+    pub fn create_op(
+        &mut self,
+        name: impl Into<OpName>,
+        operands: Vec<ValueId>,
+        result_types: Vec<Type>,
+        attrs: AttrMap,
+        loc: Location,
+    ) -> OpId {
+        let id = self.ops.alloc(OpData {
+            name: name.into(),
+            operands: operands.clone(),
+            results: Vec::new(),
+            attrs,
+            regions: Vec::new(),
+            loc,
+            parent: None,
+        });
+        for (i, &v) in operands.iter().enumerate() {
+            self.values.get_mut(v).uses.push(Use {
+                op: id,
+                operand_index: i,
+            });
+        }
+        let results: Vec<ValueId> = result_types
+            .into_iter()
+            .enumerate()
+            .map(|(index, ty)| {
+                self.values.alloc(ValueData {
+                    ty,
+                    def: ValueDef::OpResult { op: id, index },
+                    uses: Vec::new(),
+                })
+            })
+            .collect();
+        self.ops.get_mut(id).results = results;
+        id
+    }
+
+    /// Add an empty region to `op`, returning its id.
+    pub fn add_region(&mut self, op: OpId) -> RegionId {
+        let r = self.regions.alloc(RegionData {
+            blocks: Vec::new(),
+            parent: op,
+        });
+        self.ops.get_mut(op).regions.push(r);
+        r
+    }
+
+    /// Append a block with the given argument types to a region.
+    pub fn add_block(&mut self, region: RegionId, arg_types: Vec<Type>) -> BlockId {
+        let b = self.blocks.alloc(BlockData {
+            args: Vec::new(),
+            ops: Vec::new(),
+            parent: region,
+        });
+        let args: Vec<ValueId> = arg_types
+            .into_iter()
+            .enumerate()
+            .map(|(index, ty)| {
+                self.values.alloc(ValueData {
+                    ty,
+                    def: ValueDef::BlockArg { block: b, index },
+                    uses: Vec::new(),
+                })
+            })
+            .collect();
+        self.blocks.get_mut(b).args = args;
+        self.regions.get_mut(region).blocks.push(b);
+        b
+    }
+
+    /// Place a detached op at module top level.
+    ///
+    /// # Panics
+    /// Panics if the op is already placed.
+    pub fn push_top(&mut self, op: OpId) {
+        assert!(self.op(op).parent.is_none(), "op is already inside a block");
+        self.top.push(op);
+    }
+
+    /// Append a detached op to the end of `block`.
+    pub fn append_op(&mut self, block: BlockId, op: OpId) {
+        assert!(self.op(op).parent.is_none(), "op is already inside a block");
+        self.ops.get_mut(op).parent = Some(block);
+        self.blocks.get_mut(block).ops.push(op);
+    }
+
+    /// Insert a detached op into `block` at position `index`.
+    pub fn insert_op(&mut self, block: BlockId, index: usize, op: OpId) {
+        assert!(self.op(op).parent.is_none(), "op is already inside a block");
+        self.ops.get_mut(op).parent = Some(block);
+        self.blocks.get_mut(block).ops.insert(index, op);
+    }
+
+    /// Insert a detached op immediately before `before` in its block.
+    ///
+    /// # Panics
+    /// Panics if `before` is not inside a block.
+    pub fn insert_op_before(&mut self, before: OpId, op: OpId) {
+        let block = self
+            .op(before)
+            .parent
+            .expect("anchor op has no parent block");
+        let index = self.position_in_block(before);
+        self.insert_op(block, index, op);
+    }
+
+    /// Position of an op inside its parent block.
+    pub fn position_in_block(&self, op: OpId) -> usize {
+        let block = self.op(op).parent.expect("op has no parent block");
+        self.block(block)
+            .ops
+            .iter()
+            .position(|&o| o == op)
+            .expect("op missing from its parent block list")
+    }
+
+    // ------------------------------------------------------------- mutation
+
+    /// Replace operand `index` of `op` with `value`, updating use lists.
+    pub fn set_operand(&mut self, op: OpId, index: usize, value: ValueId) {
+        let old = self.ops.get(op).operands[index];
+        if old == value {
+            return;
+        }
+        self.values
+            .get_mut(old)
+            .uses
+            .retain(|u| !(u.op == op && u.operand_index == index));
+        self.values.get_mut(value).uses.push(Use {
+            op,
+            operand_index: index,
+        });
+        self.ops.get_mut(op).operands[index] = value;
+    }
+
+    /// Replace every use of `old` with `new`.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        assert_ne!(old, new, "replacing a value with itself");
+        let uses = std::mem::take(&mut self.values.get_mut(old).uses);
+        for u in &uses {
+            self.ops.get_mut(u.op).operands[u.operand_index] = new;
+        }
+        self.values.get_mut(new).uses.extend(uses);
+    }
+
+    /// Set (or overwrite) a named attribute on an op.
+    pub fn set_attr(&mut self, op: OpId, key: impl Into<String>, value: Attribute) {
+        self.ops.get_mut(op).attrs.insert(key.into(), value);
+    }
+
+    /// Remove a named attribute from an op.
+    pub fn remove_attr(&mut self, op: OpId, key: &str) -> Option<Attribute> {
+        self.ops.get_mut(op).attrs.remove(key)
+    }
+
+    /// Change the type of a value in place (used by precision optimization).
+    pub fn set_value_type(&mut self, v: ValueId, ty: Type) {
+        self.values.get_mut(v).ty = ty;
+    }
+
+    /// Detach `op` from its parent block (or the top level) without erasing.
+    pub fn detach_op(&mut self, op: OpId) {
+        match self.op(op).parent {
+            Some(block) => {
+                self.blocks.get_mut(block).ops.retain(|&o| o != op);
+                self.ops.get_mut(op).parent = None;
+            }
+            None => self.top.retain(|&o| o != op),
+        }
+    }
+
+    /// Erase an op, its regions, and its results.
+    ///
+    /// # Panics
+    /// Panics if any result still has uses.
+    pub fn erase_op(&mut self, op: OpId) {
+        for &r in &self.op(op).results.clone() {
+            assert!(
+                self.value(r).uses.is_empty(),
+                "erasing op {} whose result still has uses",
+                self.op(op).name()
+            );
+        }
+        self.detach_op(op);
+        self.erase_op_inner(op);
+    }
+
+    fn erase_op_inner(&mut self, op: OpId) {
+        let data = self.ops.get(op);
+        let operands = data.operands.clone();
+        let results = data.results.clone();
+        let regions = data.regions.clone();
+        for (i, v) in operands.into_iter().enumerate() {
+            self.values
+                .get_mut(v)
+                .uses
+                .retain(|u| !(u.op == op && u.operand_index == i));
+        }
+        for r in regions {
+            self.erase_region_inner(r);
+        }
+        for v in results {
+            self.values.erase(v);
+        }
+        self.ops.erase(op);
+    }
+
+    fn erase_region_inner(&mut self, region: RegionId) {
+        for b in self.regions.get(region).blocks.clone() {
+            // Erase ops in reverse so later uses disappear before defs.
+            for o in self.blocks.get(b).ops.clone().into_iter().rev() {
+                self.erase_op_inner(o);
+            }
+            for a in self.blocks.get(b).args.clone() {
+                self.values.erase(a);
+            }
+            self.blocks.erase(b);
+        }
+        self.regions.erase(region);
+    }
+
+    // ----------------------------------------------------------------- walk
+
+    /// Pre-order walk of `root` and every op nested in its regions.
+    pub fn walk(&self, root: OpId, f: &mut dyn FnMut(OpId)) {
+        f(root);
+        for &r in self.op(root).regions() {
+            for &b in self.region(r).blocks() {
+                for &o in self.block(b).ops() {
+                    self.walk(o, f);
+                }
+            }
+        }
+    }
+
+    /// Post-order walk (children before parents).
+    pub fn walk_post(&self, root: OpId, f: &mut dyn FnMut(OpId)) {
+        for &r in self.op(root).regions() {
+            for &b in self.region(r).blocks() {
+                for &o in self.block(b).ops() {
+                    self.walk_post(o, f);
+                }
+            }
+        }
+        f(root);
+    }
+
+    /// Collect, in pre-order, `root` and all nested ops. Useful when the
+    /// visitor needs `&mut Module`.
+    pub fn collect_ops(&self, root: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        self.walk(root, &mut |op| out.push(op));
+        out
+    }
+
+    /// Collect every op in the module, walking all top-level ops.
+    pub fn collect_all_ops(&self) -> Vec<OpId> {
+        let mut out = Vec::new();
+        for &t in &self.top {
+            self.walk(t, &mut |op| out.push(op));
+        }
+        out
+    }
+
+    /// Whether `maybe_ancestor` is `op` itself or encloses it via regions.
+    pub fn is_ancestor(&self, maybe_ancestor: OpId, op: OpId) -> bool {
+        let mut cur = op;
+        loop {
+            if cur == maybe_ancestor {
+                return true;
+            }
+            match self.op(cur).parent {
+                Some(b) => cur = self.block_parent_op(b),
+                None => return false,
+            }
+        }
+    }
+
+    /// Find the enclosing op with the given name, starting from `op`'s parent.
+    pub fn enclosing_op(&self, op: OpId, name: &str) -> Option<OpId> {
+        let mut cur = self.op(op).parent?;
+        loop {
+            let parent = self.block_parent_op(cur);
+            if self.op(parent).name().as_str() == name {
+                return Some(parent);
+            }
+            cur = self.op(parent).parent?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Module {
+        Module::new()
+    }
+
+    #[test]
+    fn op_name_parsing() {
+        let n = OpName::new("hir.mem_read");
+        assert_eq!(n.dialect(), "hir");
+        assert_eq!(n.op(), "mem_read");
+        assert_eq!(n.to_string(), "hir.mem_read");
+    }
+
+    #[test]
+    fn create_and_use_values() {
+        let mut m = mk();
+        let c = m.create_op(
+            "t.const",
+            vec![],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let v = m.op(c).results()[0];
+        let add = m.create_op(
+            "t.add",
+            vec![v, v],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        assert_eq!(m.value(v).uses().len(), 2);
+        assert_eq!(m.op(add).operands(), &[v, v]);
+        assert_eq!(m.defining_op(v), Some(c));
+    }
+
+    #[test]
+    fn regions_blocks_and_args() {
+        let mut m = mk();
+        let f = m.create_op(
+            "t.func",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let r = m.add_region(f);
+        let b = m.add_block(r, vec![Type::int(8), Type::index()]);
+        assert_eq!(m.block(b).args().len(), 2);
+        let arg0 = m.block(b).args()[0];
+        assert_eq!(m.value_type(arg0), Type::int(8));
+        assert_eq!(m.block_parent_op(b), f);
+    }
+
+    #[test]
+    fn replace_all_uses_moves_use_list() {
+        let mut m = mk();
+        let a = m.create_op(
+            "t.a",
+            vec![],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let b = m.create_op(
+            "t.b",
+            vec![],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let va = m.op(a).results()[0];
+        let vb = m.op(b).results()[0];
+        let user = m.create_op(
+            "t.use",
+            vec![va, va],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.replace_all_uses(va, vb);
+        assert!(m.value(va).uses().is_empty());
+        assert_eq!(m.value(vb).uses().len(), 2);
+        assert_eq!(m.op(user).operands(), &[vb, vb]);
+    }
+
+    #[test]
+    fn erase_op_recursively_erases_region_contents() {
+        let mut m = mk();
+        let f = m.create_op(
+            "t.func",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let r = m.add_region(f);
+        let b = m.add_block(r, vec![]);
+        let c = m.create_op(
+            "t.const",
+            vec![],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.append_op(b, c);
+        let v = m.op(c).results()[0];
+        let u = m.create_op(
+            "t.use",
+            vec![v],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.append_op(b, u);
+        m.push_top(f);
+        assert_eq!(m.op_count(), 3);
+        m.erase_op(f);
+        assert_eq!(m.op_count(), 0);
+        assert!(m.top_ops().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "still has uses")]
+    fn erase_used_op_panics() {
+        let mut m = mk();
+        let c = m.create_op(
+            "t.const",
+            vec![],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let v = m.op(c).results()[0];
+        let _u = m.create_op(
+            "t.use",
+            vec![v],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.erase_op(c);
+    }
+
+    #[test]
+    fn insertion_order_and_position() {
+        let mut m = mk();
+        let f = m.create_op(
+            "t.func",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let r = m.add_region(f);
+        let b = m.add_block(r, vec![]);
+        let o1 = m.create_op("t.one", vec![], vec![], AttrMap::new(), Location::unknown());
+        let o2 = m.create_op("t.two", vec![], vec![], AttrMap::new(), Location::unknown());
+        let o3 = m.create_op(
+            "t.three",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.append_op(b, o1);
+        m.append_op(b, o3);
+        m.insert_op_before(o3, o2);
+        let names: Vec<_> = m
+            .block(b)
+            .ops()
+            .iter()
+            .map(|&o| m.op(o).name().to_string())
+            .collect();
+        assert_eq!(names, vec!["t.one", "t.two", "t.three"]);
+        assert_eq!(m.position_in_block(o2), 1);
+    }
+
+    #[test]
+    fn walk_orders() {
+        let mut m = mk();
+        let f = m.create_op(
+            "t.func",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let r = m.add_region(f);
+        let b = m.add_block(r, vec![]);
+        let inner = m.create_op(
+            "t.loop",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let r2 = m.add_region(inner);
+        let b2 = m.add_block(r2, vec![]);
+        let leaf = m.create_op(
+            "t.leaf",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.append_op(b2, leaf);
+        m.append_op(b, inner);
+        m.push_top(f);
+
+        let mut pre = Vec::new();
+        m.walk(f, &mut |o| pre.push(m.op(o).name().to_string()));
+        assert_eq!(pre, vec!["t.func", "t.loop", "t.leaf"]);
+
+        let mut post = Vec::new();
+        m.walk_post(f, &mut |o| post.push(m.op(o).name().to_string()));
+        assert_eq!(post, vec!["t.leaf", "t.loop", "t.func"]);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let mut m = mk();
+        let f = m.create_op(
+            "t.func",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let r = m.add_region(f);
+        let b = m.add_block(r, vec![]);
+        let leaf = m.create_op(
+            "t.leaf",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.append_op(b, leaf);
+        assert!(m.is_ancestor(f, leaf));
+        assert!(!m.is_ancestor(leaf, f));
+        assert_eq!(m.enclosing_op(leaf, "t.func"), Some(f));
+        assert_eq!(m.enclosing_op(leaf, "t.other"), None);
+    }
+
+    #[test]
+    fn set_operand_updates_uses() {
+        let mut m = mk();
+        let a = m.create_op(
+            "t.a",
+            vec![],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let b = m.create_op(
+            "t.b",
+            vec![],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let va = m.op(a).results()[0];
+        let vb = m.op(b).results()[0];
+        let u = m.create_op(
+            "t.use",
+            vec![va],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.set_operand(u, 0, vb);
+        assert!(m.value(va).uses().is_empty());
+        assert_eq!(
+            m.value(vb).uses(),
+            &[Use {
+                op: u,
+                operand_index: 0
+            }]
+        );
+    }
+}

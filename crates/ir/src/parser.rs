@@ -1,0 +1,1001 @@
+//! Parser for the generic textual form produced by [`crate::printer`].
+//!
+//! The IR is round-trippable: `parse_module(print_module(m))` reconstructs an
+//! isomorphic module. Errors carry line/column positions.
+
+use crate::attributes::{AttrMap, Attribute};
+use crate::location::Location;
+use crate::module::{Module, OpId, ValueId};
+use crate::types::Type;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+// --------------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Percent(usize),    // %12
+    Str(String),       // "hir.for"
+    Int(i128),         // 42, -3
+    Float(f64),        // 2.0
+    Ident(String),     // value, i32, unit, bb
+    BangIdent(String), // !hir.memref  (stored as "hir.memref")
+    AtIdent(String),   // @main
+    Caret,             // ^
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Lt,
+    Gt,
+    Colon,
+    Comma,
+    Eq,
+    Arrow, // ->
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek_byte()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek_byte() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // Line comments: `//` to end of line.
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(b) = self.peek_byte() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(b) = self.peek_byte() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+                s.push(b as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn next(&mut self) -> Result<(Tok, u32, u32)> {
+        self.skip_ws();
+        let (line, col) = (self.line, self.col);
+        let Some(b) = self.peek_byte() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match b {
+            b'%' => {
+                self.bump();
+                let id = self.lex_ident();
+                let n = id
+                    .parse::<usize>()
+                    .map_err(|_| self.err(format!("invalid value id %{id}")))?;
+                Tok::Percent(n)
+            }
+            b'@' => {
+                self.bump();
+                Tok::AtIdent(self.lex_ident())
+            }
+            b'!' => {
+                self.bump();
+                Tok::BangIdent(self.lex_ident())
+            }
+            b'^' => {
+                self.bump();
+                self.lex_ident(); // consume the block label, unused
+                Tok::Caret
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(c) => s.push(c as char),
+                            None => return Err(self.err("unterminated string")),
+                        },
+                        Some(c) => s.push(c as char),
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+                Tok::Str(s)
+            }
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                self.bump();
+                Tok::RBracket
+            }
+            b'<' => {
+                self.bump();
+                Tok::Lt
+            }
+            b'>' => {
+                self.bump();
+                Tok::Gt
+            }
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b'=' => {
+                self.bump();
+                Tok::Eq
+            }
+            b'-' => {
+                self.bump();
+                if self.peek_byte() == Some(b'>') {
+                    self.bump();
+                    Tok::Arrow
+                } else {
+                    return self.lex_number(true).map(|t| (t, line, col));
+                }
+            }
+            b'0'..=b'9' => return self.lex_number(false).map(|t| (t, line, col)),
+            _ if b.is_ascii_alphabetic() || b == b'_' => Tok::Ident(self.lex_ident()),
+            other => return Err(self.err(format!("unexpected character '{}'", other as char))),
+        };
+        Ok((tok, line, col))
+    }
+
+    fn lex_number(&mut self, negative: bool) -> Result<Tok> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(b) = self.peek_byte() {
+            match b {
+                b'0'..=b'9' => {
+                    text.push(b as char);
+                    self.bump();
+                }
+                b'.' if !is_float
+                    && matches!(self.src.get(self.pos + 1), Some(c) if c.is_ascii_digit()) =>
+                {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                }
+                b'e' | b'E' if is_float => {
+                    text.push(b as char);
+                    self.bump();
+                    if matches!(self.peek_byte(), Some(b'-' | b'+')) {
+                        text.push(self.bump().unwrap() as char);
+                    }
+                }
+                _ => break,
+            }
+        }
+        if text.is_empty() {
+            return Err(self.err("expected number"));
+        }
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.err("invalid float"))?;
+            Ok(Tok::Float(if negative { -v } else { v }))
+        } else {
+            let v: i128 = text.parse().map_err(|_| self.err("invalid integer"))?;
+            Ok(Tok::Int(if negative { -v } else { v }))
+        }
+    }
+}
+
+// -------------------------------------------------------------------- parser
+
+/// Parse a module from its generic textual form.
+///
+/// # Errors
+/// Returns a [`ParseError`] with position info on malformed input.
+pub fn parse_module(src: &str) -> Result<Module> {
+    let mut p = Parser::new(src)?;
+    let mut module = Module::new();
+    let mut values: HashMap<usize, ValueId> = HashMap::new();
+    let mut tops = Vec::new();
+    while p.tok != Tok::Eof {
+        let op = p.parse_op(&mut module, &mut values)?;
+        tops.push(op);
+    }
+    for t in tops {
+        module.push_top(t);
+    }
+    Ok(module)
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Tok,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self> {
+        let mut lexer = Lexer::new(src);
+        let (tok, line, col) = lexer.next()?;
+        Ok(Parser {
+            lexer,
+            tok,
+            line,
+            col,
+        })
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Result<Tok> {
+        let (tok, line, col) = self.lexer.next()?;
+        self.line = line;
+        self.col = col;
+        Ok(std::mem::replace(&mut self.tok, tok))
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<()> {
+        if self.tok == want {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want:?}, found {:?}", self.tok)))
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<bool> {
+        if &self.tok == want {
+            self.advance()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// op := (%N (, %N)* `=`)? "name" `(` uses `)` regions? attrs? `:` functype loc?
+    fn parse_op(
+        &mut self,
+        module: &mut Module,
+        values: &mut HashMap<usize, ValueId>,
+    ) -> Result<OpId> {
+        // Optional results.
+        let mut result_ids = Vec::new();
+        if let Tok::Percent(n) = self.tok {
+            result_ids.push(n);
+            self.advance()?;
+            while self.eat(&Tok::Comma)? {
+                match self.tok {
+                    Tok::Percent(n) => {
+                        result_ids.push(n);
+                        self.advance()?;
+                    }
+                    _ => return Err(self.err("expected result value after ','")),
+                }
+            }
+            self.expect(Tok::Eq)?;
+        }
+
+        let name = match std::mem::replace(&mut self.tok, Tok::Eof) {
+            Tok::Str(s) => {
+                self.advance()?;
+                s
+            }
+            other => {
+                self.tok = other;
+                return Err(self.err("expected quoted op name"));
+            }
+        };
+
+        // Operand uses.
+        self.expect(Tok::LParen)?;
+        let mut operand_ids = Vec::new();
+        if self.tok != Tok::RParen {
+            loop {
+                match self.tok {
+                    Tok::Percent(n) => {
+                        operand_ids.push(n);
+                        self.advance()?;
+                    }
+                    _ => return Err(self.err("expected operand value")),
+                }
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+
+        // Regions are parsed into a deferred representation so that the op can
+        // be created (with its result values) before block contents reference
+        // outer values.
+        let mut parsed_regions: Vec<Vec<ParsedBlock>> = Vec::new();
+        if self.tok == Tok::LParen {
+            self.advance()?;
+            loop {
+                parsed_regions.push(self.parse_region_tokens()?);
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+
+        // Attributes.
+        let mut attrs = AttrMap::new();
+        if self.tok == Tok::LBrace {
+            self.advance()?;
+            if self.tok != Tok::RBrace {
+                loop {
+                    let key = match std::mem::replace(&mut self.tok, Tok::Eof) {
+                        Tok::Ident(s) => {
+                            self.advance()?;
+                            s
+                        }
+                        other => {
+                            self.tok = other;
+                            return Err(self.err("expected attribute name"));
+                        }
+                    };
+                    self.expect(Tok::Eq)?;
+                    let val = self.parse_attr()?;
+                    attrs.insert(key, val);
+                    if !self.eat(&Tok::Comma)? {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::RBrace)?;
+        }
+
+        // Function type.
+        self.expect(Tok::Colon)?;
+        self.expect(Tok::LParen)?;
+        let mut operand_types = Vec::new();
+        if self.tok != Tok::RParen {
+            loop {
+                operand_types.push(self.parse_type()?);
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Arrow)?;
+        self.expect(Tok::LParen)?;
+        let mut result_types = Vec::new();
+        if self.tok != Tok::RParen {
+            loop {
+                result_types.push(self.parse_type()?);
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+
+        // Optional location.
+        let mut loc = Location::unknown();
+        if self.tok == Tok::Ident("loc".into()) {
+            self.advance()?;
+            self.expect(Tok::LParen)?;
+            let file = match std::mem::replace(&mut self.tok, Tok::Eof) {
+                Tok::Str(s) => {
+                    self.advance()?;
+                    s
+                }
+                other => {
+                    self.tok = other;
+                    return Err(self.err("expected file string in loc"));
+                }
+            };
+            self.expect(Tok::Colon)?;
+            let line = self.parse_u32()?;
+            self.expect(Tok::Colon)?;
+            let col = self.parse_u32()?;
+            self.expect(Tok::RParen)?;
+            loc = Location::file_line_col(file, line, col);
+        }
+
+        if operand_ids.len() != operand_types.len() {
+            return Err(self.err(format!(
+                "op '{name}' has {} operands but {} operand types",
+                operand_ids.len(),
+                operand_types.len()
+            )));
+        }
+        if result_ids.len() != result_types.len() {
+            return Err(self.err(format!(
+                "op '{name}' binds {} results but lists {} result types",
+                result_ids.len(),
+                result_types.len()
+            )));
+        }
+
+        let operands: Vec<ValueId> = operand_ids
+            .iter()
+            .map(|n| {
+                values
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| self.err(format!("use of undefined value %{n}")))
+            })
+            .collect::<Result<_>>()?;
+
+        let op = module.create_op(name.as_str(), operands, result_types, attrs, loc);
+        for (i, n) in result_ids.iter().enumerate() {
+            values.insert(*n, module.op(op).results()[i]);
+        }
+
+        // Materialize regions.
+        for blocks in parsed_regions {
+            let region = module.add_region(op);
+            for pb in blocks {
+                let block =
+                    module.add_block(region, pb.args.iter().map(|(_, t)| t.clone()).collect());
+                for (i, (n, _)) in pb.args.iter().enumerate() {
+                    values.insert(*n, module.block(block).args()[i]);
+                }
+                for src in pb.ops {
+                    let mut sub = Parser::new(&src)?;
+                    let inner = sub.parse_op(module, values)?;
+                    module.append_op(block, inner);
+                }
+            }
+        }
+        Ok(op)
+    }
+
+    fn parse_u32(&mut self) -> Result<u32> {
+        match self.tok {
+            Tok::Int(v) if v >= 0 && v <= u32::MAX as i128 => {
+                self.advance()?;
+                Ok(v as u32)
+            }
+            _ => Err(self.err("expected integer")),
+        }
+    }
+
+    /// Capture a region's blocks as re-parsable op strings. We re-lex op by op
+    /// because ops must be created in the module *after* their parent op, but
+    /// the grammar nests them inside. Each captured op is a balanced chunk of
+    /// source text.
+    fn parse_region_tokens(&mut self) -> Result<Vec<ParsedBlock>> {
+        self.expect(Tok::LBrace)?;
+        let mut blocks = Vec::new();
+        let mut current = ParsedBlock::default();
+        let mut started = false;
+        loop {
+            match &self.tok {
+                Tok::RBrace => {
+                    self.advance()?;
+                    if started || !current.ops.is_empty() || !current.args.is_empty() {
+                        blocks.push(current);
+                    }
+                    return Ok(blocks);
+                }
+                Tok::Caret => {
+                    if started {
+                        blocks.push(std::mem::take(&mut current));
+                    }
+                    started = true;
+                    self.advance()?;
+                    self.expect(Tok::LParen)?;
+                    if self.tok != Tok::RParen {
+                        loop {
+                            let n = match self.tok {
+                                Tok::Percent(n) => n,
+                                _ => return Err(self.err("expected block argument")),
+                            };
+                            self.advance()?;
+                            self.expect(Tok::Colon)?;
+                            let t = self.parse_type()?;
+                            current.args.push((n, t));
+                            if !self.eat(&Tok::Comma)? {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    self.expect(Tok::Colon)?;
+                }
+                Tok::Eof => return Err(self.err("unterminated region")),
+                _ => {
+                    started = true;
+                    current.ops.push(self.capture_op_text()?);
+                }
+            }
+        }
+    }
+
+    /// Capture the source text of one op (including nested regions) starting
+    /// at the current token, by scanning with balanced delimiters until the
+    /// op's trailing function type (and optional loc) ends.
+    fn capture_op_text(&mut self) -> Result<String> {
+        let mut out = String::new();
+        let mut depth = 0usize;
+        // Phase 1: everything up to the ':' that starts the function type at
+        // depth 0.
+        loop {
+            match &self.tok {
+                Tok::Colon if depth == 0 => {
+                    out.push_str(" :");
+                    self.advance()?;
+                    break;
+                }
+                Tok::Eof => return Err(self.err("unterminated operation")),
+                t => {
+                    if matches!(t, Tok::LParen | Tok::LBrace | Tok::LBracket | Tok::Lt) {
+                        depth += 1;
+                    }
+                    if matches!(t, Tok::RParen | Tok::RBrace | Tok::RBracket | Tok::Gt) {
+                        depth = depth
+                            .checked_sub(1)
+                            .ok_or_else(|| self.err("unbalanced delimiters"))?;
+                    }
+                    push_tok(&mut out, t);
+                    self.advance()?;
+                }
+            }
+        }
+        // Phase 2: function type `(...) -> (...)`.
+        for _ in 0..2 {
+            self.capture_balanced_parens(&mut out)?;
+            if self.tok == Tok::Arrow {
+                out.push_str(" ->");
+                self.advance()?;
+            }
+        }
+        // Phase 3: optional `loc(...)`.
+        if self.tok == Tok::Ident("loc".into()) {
+            out.push_str(" loc");
+            self.advance()?;
+            self.capture_balanced_parens(&mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn capture_balanced_parens(&mut self, out: &mut String) -> Result<()> {
+        if self.tok != Tok::LParen {
+            return Err(self.err(format!("expected '(' in op type, found {:?}", self.tok)));
+        }
+        let mut depth = 0usize;
+        loop {
+            match &self.tok {
+                Tok::LParen => depth += 1,
+                Tok::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        push_tok(out, &Tok::RParen);
+                        self.advance()?;
+                        return Ok(());
+                    }
+                }
+                Tok::Eof => return Err(self.err("unbalanced parentheses")),
+                _ => {}
+            }
+            push_tok(out, &self.tok.clone());
+            self.advance()?;
+        }
+    }
+
+    fn parse_attr(&mut self) -> Result<Attribute> {
+        match std::mem::replace(&mut self.tok, Tok::Eof) {
+            Tok::Ident(id) if id == "unit" => {
+                self.advance()?;
+                Ok(Attribute::Unit)
+            }
+            Tok::Ident(id) if id == "true" => {
+                self.advance()?;
+                Ok(Attribute::Bool(true))
+            }
+            Tok::Ident(id) if id == "false" => {
+                self.advance()?;
+                Ok(Attribute::Bool(false))
+            }
+            Tok::Int(v) => {
+                self.advance()?;
+                self.expect(Tok::Colon)?;
+                let t = self.parse_type()?;
+                Ok(Attribute::Int(v, t))
+            }
+            Tok::Float(v) => {
+                self.advance()?;
+                self.expect(Tok::Colon)?;
+                let t = self.parse_type()?;
+                Ok(Attribute::Float(v, t))
+            }
+            Tok::Str(s) => {
+                self.advance()?;
+                Ok(Attribute::String(s))
+            }
+            Tok::AtIdent(s) => {
+                self.advance()?;
+                Ok(Attribute::SymbolRef(s))
+            }
+            Tok::LBracket => {
+                self.tok = Tok::LBracket;
+                self.advance()?;
+                let mut elems = Vec::new();
+                if self.tok != Tok::RBracket {
+                    loop {
+                        elems.push(self.parse_attr()?);
+                        if !self.eat(&Tok::Comma)? {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+                Ok(Attribute::Array(elems))
+            }
+            Tok::LBrace => {
+                self.tok = Tok::LBrace;
+                self.advance()?;
+                let mut dict = BTreeMap::new();
+                if self.tok != Tok::RBrace {
+                    loop {
+                        let key = match std::mem::replace(&mut self.tok, Tok::Eof) {
+                            Tok::Ident(s) => {
+                                self.advance()?;
+                                s
+                            }
+                            other => {
+                                self.tok = other;
+                                return Err(self.err("expected dict key"));
+                            }
+                        };
+                        self.expect(Tok::Eq)?;
+                        dict.insert(key, self.parse_attr()?);
+                        if !self.eat(&Tok::Comma)? {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                Ok(Attribute::Dict(dict))
+            }
+            other => {
+                self.tok = other;
+                let t = self.parse_type()?;
+                Ok(Attribute::Type(t))
+            }
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<Type> {
+        match std::mem::replace(&mut self.tok, Tok::Eof) {
+            Tok::Ident(id) => {
+                self.advance()?;
+                parse_scalar_type_name(&id)
+                    .ok_or_else(|| self.err(format!("unknown type '{id}'")))
+                    .and_then(|t| {
+                        if let Some(t) = t {
+                            return Ok(t);
+                        }
+                        // tuple<...>
+                        if id == "tuple" {
+                            self.expect(Tok::Lt)?;
+                            let mut elems = Vec::new();
+                            if self.tok != Tok::Gt {
+                                loop {
+                                    elems.push(self.parse_type()?);
+                                    if !self.eat(&Tok::Comma)? {
+                                        break;
+                                    }
+                                }
+                            }
+                            self.expect(Tok::Gt)?;
+                            Ok(Type::tuple(elems))
+                        } else {
+                            Err(self.err(format!("unknown type '{id}'")))
+                        }
+                    })
+            }
+            Tok::BangIdent(full) => {
+                self.advance()?;
+                let (dialect, mnemonic) = full
+                    .split_once('.')
+                    .ok_or_else(|| self.err(format!("malformed dialect type !{full}")))?;
+                let (dialect, mnemonic) = (dialect.to_string(), mnemonic.to_string());
+                let mut params = Vec::new();
+                if self.tok == Tok::Lt {
+                    self.advance()?;
+                    if self.tok != Tok::Gt {
+                        loop {
+                            params.push(self.parse_attr()?);
+                            if !self.eat(&Tok::Comma)? {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::Gt)?;
+                }
+                Ok(Type::dialect(dialect, mnemonic, params))
+            }
+            Tok::LParen => {
+                self.tok = Tok::LParen;
+                self.advance()?;
+                let mut inputs = Vec::new();
+                if self.tok != Tok::RParen {
+                    loop {
+                        inputs.push(self.parse_type()?);
+                        if !self.eat(&Tok::Comma)? {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Arrow)?;
+                self.expect(Tok::LParen)?;
+                let mut results = Vec::new();
+                if self.tok != Tok::RParen {
+                    loop {
+                        results.push(self.parse_type()?);
+                        if !self.eat(&Tok::Comma)? {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                Ok(Type::function(inputs, results))
+            }
+            other => {
+                self.tok = other;
+                Err(self.err(format!("expected type, found {:?}", self.tok)))
+            }
+        }
+    }
+}
+
+/// `Ok(Some(t))` for scalar names, `Ok(None)` for names needing more parsing.
+fn parse_scalar_type_name(id: &str) -> Option<Option<Type>> {
+    match id {
+        "index" => return Some(Some(Type::index())),
+        "none" => return Some(Some(Type::none())),
+        "f32" => return Some(Some(Type::f32())),
+        "f64" => return Some(Some(Type::f64())),
+        "tuple" => return Some(None),
+        _ => {}
+    }
+    for (prefix, mk) in [
+        ("si", Type::signed_int as fn(u32) -> Type),
+        ("ui", Type::unsigned_int as fn(u32) -> Type),
+        ("i", Type::int as fn(u32) -> Type),
+    ] {
+        if let Some(rest) = id.strip_prefix(prefix) {
+            if let Ok(width) = rest.parse::<u32>() {
+                if width > 0 {
+                    return Some(Some(mk(width)));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[derive(Default)]
+struct ParsedBlock {
+    args: Vec<(usize, Type)>,
+    ops: Vec<String>,
+}
+
+fn push_tok(out: &mut String, t: &Tok) {
+    use std::fmt::Write;
+    out.push(' ');
+    match t {
+        Tok::Percent(n) => {
+            let _ = write!(out, "%{n}");
+        }
+        Tok::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Tok::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Tok::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Tok::Ident(s) => out.push_str(s),
+        Tok::BangIdent(s) => {
+            let _ = write!(out, "!{s}");
+        }
+        Tok::AtIdent(s) => {
+            let _ = write!(out, "@{s}");
+        }
+        Tok::Caret => out.push('^'),
+        Tok::LParen => out.push('('),
+        Tok::RParen => out.push(')'),
+        Tok::LBrace => out.push('{'),
+        Tok::RBrace => out.push('}'),
+        Tok::LBracket => out.push('['),
+        Tok::RBracket => out.push(']'),
+        Tok::Lt => out.push('<'),
+        Tok::Gt => out.push('>'),
+        Tok::Colon => out.push(':'),
+        Tok::Comma => out.push(','),
+        Tok::Eq => out.push('='),
+        Tok::Arrow => out.push_str("->"),
+        Tok::Eof => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    #[test]
+    fn parse_flat_op() {
+        let m = parse_module("%0 = \"hir.constant\"() {value = 16 : index} : () -> (index)\n")
+            .expect("parse");
+        assert_eq!(m.top_ops().len(), 1);
+        let op = m.top_ops()[0];
+        assert_eq!(m.op(op).name().as_str(), "hir.constant");
+        assert_eq!(m.op(op).attr("value"), Some(&Attribute::index(16)));
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let src = r#"
+%0 = "hir.constant"() {value = 0 : index} : () -> (index)
+"t.func"(%0) ({
+^bb(%1: i32, %2: !hir.time):
+  %3 = "t.add"(%1, %1) : (i32, i32) -> (i32)
+  "t.yield"(%2) : (!hir.time) -> ()
+}) {sym_name = "main"} : (index) -> ()
+"#;
+        let m = parse_module(src).expect("parse");
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed).expect("reparse");
+        assert_eq!(printed, print_module(&m2), "round-trip must be a fixpoint");
+        assert!(printed.contains("!hir.time"));
+    }
+
+    #[test]
+    fn parse_dialect_type_params() {
+        let src = r#"%0 = "x.a"() : () -> (!hir.memref<[16 : index, 16 : index], i32, "r">)"#;
+        let m = parse_module(src).expect("parse");
+        let v = m.op(m.top_ops()[0]).results()[0];
+        let t = m.value_type(v);
+        assert!(t.is_dialect("hir", "memref"));
+        assert_eq!(t.dialect_params().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn undefined_value_is_error() {
+        let err = parse_module("\"x.a\"(%7) : (i32) -> ()").unwrap_err();
+        assert!(err.message.contains("undefined value %7"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let src = "// header comment\n%0 = \"x.c\"() : () -> (i1) // trailing\n";
+        let m = parse_module(src).expect("parse");
+        assert_eq!(m.top_ops().len(), 1);
+    }
+
+    #[test]
+    fn parse_location() {
+        let src = "\"x.c\"() : () -> () loc(\"k.mlir\":3:9)";
+        let m = parse_module(src).expect("parse");
+        assert_eq!(
+            m.op(m.top_ops()[0]).loc().file_line(),
+            Some(("k.mlir", 3, 9))
+        );
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse_module("\n  $bad").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+    }
+}

@@ -1,0 +1,203 @@
+//! Pass infrastructure: a [`Pass`] trait, a [`PassManager`] with timing
+//! statistics, and [`PassResult`] bookkeeping.
+//!
+//! Timing statistics feed the paper's Table 6 experiment (HIR code
+//! generation time vs. the HLS baseline).
+
+use crate::diagnostics::DiagnosticEngine;
+use crate::dialect::DialectRegistry;
+use crate::module::Module;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Outcome of one pass run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassResult {
+    /// Pass ran and left the module unchanged.
+    Unchanged,
+    /// Pass ran and modified the module.
+    Changed,
+    /// Pass found errors (reported through the diagnostic engine).
+    Failed,
+}
+
+/// Everything a pass may touch.
+pub struct PassContext<'a> {
+    pub registry: &'a DialectRegistry,
+    pub diags: &'a mut DiagnosticEngine,
+}
+
+/// A module-level transformation or analysis.
+pub trait Pass {
+    /// Stable pass name (shown in statistics).
+    fn name(&self) -> &str;
+
+    /// Run on the module.
+    fn run(&mut self, module: &mut Module, cx: &mut PassContext<'_>) -> PassResult;
+}
+
+/// Timing record for one executed pass.
+#[derive(Clone, Debug)]
+pub struct PassTiming {
+    pub name: String,
+    pub duration: Duration,
+    pub result: PassResult,
+}
+
+/// Runs a pipeline of passes in order, recording per-pass wall time.
+///
+/// # Examples
+///
+/// ```
+/// use ir::{Module, PassManager, Pass, PassResult, PassContext, DialectRegistry, DiagnosticEngine};
+///
+/// struct Nop;
+/// impl Pass for Nop {
+///     fn name(&self) -> &str { "nop" }
+///     fn run(&mut self, _m: &mut Module, _cx: &mut PassContext<'_>) -> PassResult {
+///         PassResult::Unchanged
+///     }
+/// }
+///
+/// let mut pm = PassManager::new();
+/// pm.add(Nop);
+/// let mut m = Module::new();
+/// let reg = DialectRegistry::new();
+/// let mut diags = DiagnosticEngine::new();
+/// assert!(pm.run(&mut m, &reg, &mut diags).is_ok());
+/// assert_eq!(pm.timings().len(), 1);
+/// ```
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    timings: Vec<PassTiming>,
+    /// Stop at the first failing pass (default true).
+    pub abort_on_failure: bool,
+}
+
+impl PassManager {
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            timings: Vec::new(),
+            abort_on_failure: true,
+        }
+    }
+
+    /// Append a pass to the pipeline.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Run all passes in order.
+    ///
+    /// # Errors
+    /// Returns `Err(pass_name)` naming the first failed pass.
+    pub fn run(
+        &mut self,
+        module: &mut Module,
+        registry: &DialectRegistry,
+        diags: &mut DiagnosticEngine,
+    ) -> Result<(), String> {
+        self.timings.clear();
+        for pass in &mut self.passes {
+            let start = Instant::now();
+            let result = {
+                let mut cx = PassContext { registry, diags };
+                pass.run(module, &mut cx)
+            };
+            self.timings.push(PassTiming {
+                name: pass.name().to_string(),
+                duration: start.elapsed(),
+                result,
+            });
+            if result == PassResult::Failed && self.abort_on_failure {
+                return Err(pass.name().to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-pass timings of the last `run`.
+    pub fn timings(&self) -> &[PassTiming] {
+        &self.timings
+    }
+
+    /// Total wall time of the last `run`.
+    pub fn total_time(&self) -> Duration {
+        self.timings.iter().map(|t| t.duration).sum()
+    }
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field(
+                "passes",
+                &self
+                    .passes
+                    .iter()
+                    .map(|p| p.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .field("timings", &self.timings)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::AttrMap;
+    use crate::location::Location;
+
+    struct Adder;
+    impl Pass for Adder {
+        fn name(&self) -> &str {
+            "adder"
+        }
+        fn run(&mut self, m: &mut Module, _cx: &mut PassContext<'_>) -> PassResult {
+            let op = m.create_op("t.x", vec![], vec![], AttrMap::new(), Location::unknown());
+            m.push_top(op);
+            PassResult::Changed
+        }
+    }
+
+    struct Failer;
+    impl Pass for Failer {
+        fn name(&self) -> &str {
+            "failer"
+        }
+        fn run(&mut self, _m: &mut Module, cx: &mut PassContext<'_>) -> PassResult {
+            cx.diags.error(Location::unknown(), "boom");
+            PassResult::Failed
+        }
+    }
+
+    #[test]
+    fn runs_in_order_and_times() {
+        let mut pm = PassManager::new();
+        pm.add(Adder).add(Adder);
+        let mut m = Module::new();
+        let reg = DialectRegistry::new();
+        let mut diags = DiagnosticEngine::new();
+        pm.run(&mut m, &reg, &mut diags).unwrap();
+        assert_eq!(m.top_ops().len(), 2);
+        assert_eq!(pm.timings().len(), 2);
+        assert!(pm.total_time() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn aborts_on_failure() {
+        let mut pm = PassManager::new();
+        pm.add(Failer).add(Adder);
+        let mut m = Module::new();
+        let reg = DialectRegistry::new();
+        let mut diags = DiagnosticEngine::new();
+        let err = pm.run(&mut m, &reg, &mut diags).unwrap_err();
+        assert_eq!(err, "failer");
+        assert!(m.top_ops().is_empty(), "later passes must not run");
+        assert!(diags.has_errors());
+    }
+}

@@ -1,0 +1,265 @@
+//! Textual IR printer (MLIR-style generic form).
+//!
+//! The generic form is fully round-trippable through [`crate::parser`]:
+//!
+//! ```text
+//! %0 = "hir.constant"() {value = 16 : index} : () -> (index)
+//! "hir.for"(%0) ({
+//! ^bb0(%1: i32, %2: !hir.time):
+//!   "hir.yield"(%2) : (!hir.time) -> ()
+//! }) : (index) -> ()
+//! ```
+//!
+//! Dialects can register *pretty* printers elsewhere (e.g. HIR's paper-style
+//! syntax); this module is the canonical form used for tests and tools.
+
+use crate::module::{BlockId, Module, OpId, RegionId, ValueId};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Printer configuration.
+#[derive(Clone, Debug, Default)]
+pub struct PrintOptions {
+    /// Append `loc("file":line:col)` to each op that has a known location.
+    pub locations: bool,
+}
+
+/// Print the whole module in generic form.
+pub fn print_module(module: &Module) -> String {
+    print_module_with(module, &PrintOptions::default())
+}
+
+/// Print the whole module with explicit options.
+pub fn print_module_with(module: &Module, opts: &PrintOptions) -> String {
+    let mut p = Printer::new(module, opts.clone());
+    for &op in module.top_ops() {
+        p.print_op(op, 0);
+    }
+    p.out
+}
+
+/// Print a single op (and its regions) in generic form.
+pub fn print_op(module: &Module, op: OpId) -> String {
+    let mut p = Printer::new(module, PrintOptions::default());
+    p.print_op(op, 0);
+    p.out
+}
+
+struct Printer<'m> {
+    module: &'m Module,
+    opts: PrintOptions,
+    names: HashMap<ValueId, usize>,
+    next: usize,
+    out: String,
+}
+
+impl<'m> Printer<'m> {
+    fn new(module: &'m Module, opts: PrintOptions) -> Self {
+        Printer {
+            module,
+            opts,
+            names: HashMap::new(),
+            next: 0,
+            out: String::new(),
+        }
+    }
+
+    fn name(&mut self, v: ValueId) -> usize {
+        if let Some(&n) = self.names.get(&v) {
+            return n;
+        }
+        let n = self.next;
+        self.next += 1;
+        self.names.insert(v, n);
+        n
+    }
+
+    fn indent(&mut self, depth: usize) {
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn print_op(&mut self, op: OpId, depth: usize) {
+        self.indent(depth);
+        let data = self.module.op(op);
+        if !data.results().is_empty() {
+            for (i, &r) in data.results().iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let n = self.name(r);
+                let _ = write!(self.out, "%{n}");
+            }
+            self.out.push_str(" = ");
+        }
+        let _ = write!(self.out, "\"{}\"(", data.name());
+        for (i, &o) in data.operands().iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let n = self.name(o);
+            let _ = write!(self.out, "%{n}");
+        }
+        self.out.push(')');
+
+        if !data.regions().is_empty() {
+            self.out.push_str(" (");
+            let regions = data.regions().to_vec();
+            for (i, r) in regions.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.print_region(*r, depth);
+            }
+            self.out.push(')');
+        }
+
+        if !data.attrs().is_empty() {
+            self.out.push_str(" {");
+            let attrs: Vec<(String, String)> = data
+                .attrs()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_string()))
+                .collect();
+            for (i, (k, v)) in attrs.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let _ = write!(self.out, "{k} = {v}");
+            }
+            self.out.push('}');
+        }
+
+        // Trailing function type.
+        self.out.push_str(" : (");
+        for (i, &o) in data.operands().iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let t = self.module.value_type(o);
+            let _ = write!(self.out, "{t}");
+        }
+        self.out.push_str(") -> (");
+        for (i, &r) in data.results().iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let t = self.module.value_type(r);
+            let _ = write!(self.out, "{t}");
+        }
+        self.out.push(')');
+
+        if self.opts.locations {
+            if let Some((file, line, col)) = data.loc().file_line() {
+                let _ = write!(self.out, " loc(\"{file}\":{line}:{col})");
+            }
+        }
+        self.out.push('\n');
+    }
+
+    fn print_region(&mut self, region: RegionId, depth: usize) {
+        self.out.push_str("{\n");
+        let blocks = self.module.region(region).blocks().to_vec();
+        for b in blocks {
+            self.print_block(b, depth + 1);
+        }
+        self.indent(depth);
+        self.out.push('}');
+    }
+
+    fn print_block(&mut self, block: BlockId, depth: usize) {
+        let args = self.module.block(block).args().to_vec();
+        if !args.is_empty() {
+            self.indent(depth - 1);
+            self.out.push_str("^bb(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let n = self.name(*a);
+                let t = self.module.value_type(*a);
+                let _ = write!(self.out, "%{n}: {t}");
+            }
+            self.out.push_str("):\n");
+        }
+        let ops = self.module.block(block).ops().to_vec();
+        for o in ops {
+            self.print_op(o, depth);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AttrMap, Attribute};
+    use crate::location::Location;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_flat_op() {
+        let mut m = Module::new();
+        let mut attrs = AttrMap::new();
+        attrs.insert("value".into(), Attribute::index(16));
+        let c = m.create_op(
+            "hir.constant",
+            vec![],
+            vec![Type::index()],
+            attrs,
+            Location::unknown(),
+        );
+        m.push_top(c);
+        let text = print_module(&m);
+        assert_eq!(
+            text,
+            "%0 = \"hir.constant\"() {value = 16 : index} : () -> (index)\n"
+        );
+    }
+
+    #[test]
+    fn prints_nested_regions_with_block_args() {
+        let mut m = Module::new();
+        let f = m.create_op(
+            "t.func",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let r = m.add_region(f);
+        let b = m.add_block(r, vec![Type::int(32)]);
+        let arg = m.block(b).args()[0];
+        let add = m.create_op(
+            "t.add",
+            vec![arg, arg],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.append_op(b, add);
+        m.push_top(f);
+        let text = print_module(&m);
+        assert!(text.contains("\"t.func\"() ({"), "{text}");
+        assert!(text.contains("^bb(%0: i32):"), "{text}");
+        assert!(
+            text.contains("%1 = \"t.add\"(%0, %0) : (i32, i32) -> (i32)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prints_locations_when_requested() {
+        let mut m = Module::new();
+        let c = m.create_op(
+            "t.c",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::file_line_col("k.mlir", 3, 9),
+        );
+        m.push_top(c);
+        let text = print_module_with(&m, &PrintOptions { locations: true });
+        assert!(text.contains("loc(\"k.mlir\":3:9)"), "{text}");
+    }
+}

@@ -1,0 +1,298 @@
+//! Worklist-driven pattern rewriting (MLIR's greedy pattern driver).
+//!
+//! Patterns match a single op and either rewrite it (returning
+//! [`RewriteStatus::Changed`]) or decline. The driver visits every op,
+//! re-queueing users of replaced values until a fixpoint is reached.
+
+use crate::dialect::DialectRegistry;
+use crate::module::{Module, OpId, ValueId};
+use std::collections::VecDeque;
+
+/// Result of one pattern application attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RewriteStatus {
+    /// Pattern did not apply.
+    NoMatch,
+    /// Pattern rewrote the IR; `op` may now be invalid.
+    Changed,
+}
+
+/// A rewrite pattern on a single operation.
+pub trait RewritePattern {
+    /// Pattern name (for debugging).
+    fn name(&self) -> &str;
+
+    /// Attempt to match and rewrite `op`.
+    ///
+    /// Implementations must perform all IR mutation through `rewriter` so the
+    /// driver can track what changed.
+    fn match_and_rewrite(&self, op: OpId, rewriter: &mut Rewriter<'_>) -> RewriteStatus;
+}
+
+/// Mutation interface handed to patterns; records changes for the driver.
+pub struct Rewriter<'m> {
+    module: &'m mut Module,
+    registry: &'m DialectRegistry,
+    /// Ops whose operands changed (users of replaced values).
+    touched: Vec<OpId>,
+    /// Ops erased during the current pattern application.
+    erased: Vec<OpId>,
+}
+
+impl<'m> Rewriter<'m> {
+    /// Read access to the module.
+    pub fn module(&self) -> &Module {
+        self.module
+    }
+
+    /// Mutable access for mutations not covered by the helpers below.
+    /// Prefer the tracked helpers where possible.
+    pub fn module_mut(&mut self) -> &mut Module {
+        self.module
+    }
+
+    /// The dialect registry (to query op traits).
+    pub fn registry(&self) -> &DialectRegistry {
+        self.registry
+    }
+
+    /// Replace all uses of `old` with `new`, re-queueing the affected users.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        let users: Vec<OpId> = self.module.value(old).uses().iter().map(|u| u.op).collect();
+        self.module.replace_all_uses(old, new);
+        self.touched.extend(users);
+    }
+
+    /// Replace the op's results with `new_values` and erase it.
+    ///
+    /// # Panics
+    /// Panics if result/new value counts differ.
+    pub fn replace_op(&mut self, op: OpId, new_values: &[ValueId]) {
+        let results = self.module.op(op).results().to_vec();
+        assert_eq!(
+            results.len(),
+            new_values.len(),
+            "replacement arity mismatch"
+        );
+        for (old, &new) in results.iter().zip(new_values) {
+            if *old != new {
+                self.replace_all_uses(*old, new);
+            }
+        }
+        self.erase_op(op);
+    }
+
+    /// Erase an op whose results are unused.
+    pub fn erase_op(&mut self, op: OpId) {
+        // Re-queue defining ops of the operands: they may become dead.
+        for &operand in self.module.op(op).operands() {
+            if let Some(def) = self.module.defining_op(operand) {
+                self.touched.push(def);
+            }
+        }
+        self.module.erase_op(op);
+        self.erased.push(op);
+    }
+}
+
+/// Statistics from a driver run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Number of successful pattern applications.
+    pub applications: usize,
+    /// Number of driver iterations over the worklist.
+    pub iterations: usize,
+}
+
+/// Apply `patterns` greedily until fixpoint over all ops under the module's
+/// top-level ops. Returns statistics.
+pub fn apply_patterns_greedily(
+    module: &mut Module,
+    registry: &DialectRegistry,
+    patterns: &[Box<dyn RewritePattern>],
+) -> RewriteStats {
+    let mut stats = RewriteStats::default();
+    // Seed with every op, innermost first so folding propagates outward.
+    let mut worklist: VecDeque<OpId> = VecDeque::new();
+    for &top in module.top_ops() {
+        let mut post = Vec::new();
+        module.walk_post(top, &mut |op| post.push(op));
+        worklist.extend(post);
+    }
+
+    // Bound iterations defensively: patterns should converge, but a buggy
+    // pattern pair must not hang the compiler.
+    let max_applications = 64 + module.op_count() * 16 * (1 + patterns.len());
+
+    while let Some(op) = worklist.pop_front() {
+        stats.iterations += 1;
+        if !module.is_live(op) {
+            continue;
+        }
+        for pattern in patterns {
+            let mut rewriter = Rewriter {
+                module,
+                registry,
+                touched: Vec::new(),
+                erased: Vec::new(),
+            };
+            match pattern.match_and_rewrite(op, &mut rewriter) {
+                RewriteStatus::NoMatch => continue,
+                RewriteStatus::Changed => {
+                    let touched = std::mem::take(&mut rewriter.touched);
+                    stats.applications += 1;
+                    assert!(
+                        stats.applications <= max_applications,
+                        "rewrite driver exceeded {max_applications} applications; \
+                         pattern '{}' likely loops",
+                        pattern.name()
+                    );
+                    for t in touched {
+                        if module.is_live(t) {
+                            worklist.push_back(t);
+                        }
+                    }
+                    if module.is_live(op) {
+                        // Re-run remaining patterns on the updated op later.
+                        worklist.push_back(op);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AttrMap, Attribute};
+    use crate::location::Location;
+    use crate::types::Type;
+
+    /// Folds "t.double(const c)" into a constant 2c.
+    struct FoldDouble;
+    impl RewritePattern for FoldDouble {
+        fn name(&self) -> &str {
+            "fold-double"
+        }
+        fn match_and_rewrite(&self, op: OpId, rw: &mut Rewriter<'_>) -> RewriteStatus {
+            let m = rw.module();
+            if m.op(op).name().as_str() != "t.double" {
+                return RewriteStatus::NoMatch;
+            }
+            let src = m.op(op).operands()[0];
+            let Some(def) = m.defining_op(src) else {
+                return RewriteStatus::NoMatch;
+            };
+            if m.op(def).name().as_str() != "t.const" {
+                return RewriteStatus::NoMatch;
+            }
+            let v = m.op(def).attr("value").and_then(|a| a.as_int()).unwrap();
+            let loc = m.op(op).loc().clone();
+            let mut attrs = AttrMap::new();
+            attrs.insert("value".into(), Attribute::int(v * 2, 32));
+            let m = rw.module_mut();
+            let new_op = m.create_op("t.const", vec![], vec![Type::int(32)], attrs, loc);
+            m.insert_op_before(op, new_op);
+            let new_val = m.op(new_op).results()[0];
+            rw.replace_op(op, &[new_val]);
+            RewriteStatus::Changed
+        }
+    }
+
+    /// Erases dead "t.const" ops.
+    struct DceConst;
+    impl RewritePattern for DceConst {
+        fn name(&self) -> &str {
+            "dce-const"
+        }
+        fn match_and_rewrite(&self, op: OpId, rw: &mut Rewriter<'_>) -> RewriteStatus {
+            let m = rw.module();
+            if m.op(op).name().as_str() != "t.const" {
+                return RewriteStatus::NoMatch;
+            }
+            if m.op(op)
+                .results()
+                .iter()
+                .any(|&r| !m.value(r).uses().is_empty())
+            {
+                return RewriteStatus::NoMatch;
+            }
+            rw.erase_op(op);
+            RewriteStatus::Changed
+        }
+    }
+
+    #[test]
+    fn folds_to_fixpoint_and_cleans_up() {
+        let mut m = Module::new();
+        let f = m.create_op(
+            "t.func",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let r = m.add_region(f);
+        let b = m.add_block(r, vec![]);
+        let mut attrs = AttrMap::new();
+        attrs.insert("value".into(), Attribute::int(3, 32));
+        let c = m.create_op(
+            "t.const",
+            vec![],
+            vec![Type::int(32)],
+            attrs,
+            Location::unknown(),
+        );
+        m.append_op(b, c);
+        let cv = m.op(c).results()[0];
+        // double(double(3)) -> 12
+        let d1 = m.create_op(
+            "t.double",
+            vec![cv],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.append_op(b, d1);
+        let d1v = m.op(d1).results()[0];
+        let d2 = m.create_op(
+            "t.double",
+            vec![d1v],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.append_op(b, d2);
+        let d2v = m.op(d2).results()[0];
+        let sink = m.create_op(
+            "t.sink",
+            vec![d2v],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.append_op(b, sink);
+        m.push_top(f);
+
+        let reg = DialectRegistry::new();
+        let patterns: Vec<Box<dyn RewritePattern>> = vec![Box::new(FoldDouble), Box::new(DceConst)];
+        let stats = apply_patterns_greedily(&mut m, &reg, &patterns);
+        assert!(stats.applications >= 2, "{stats:?}");
+
+        // The sink's operand is now a constant 12 and intermediates are gone.
+        let sink_operand = m.op(sink).operands()[0];
+        let def = m.defining_op(sink_operand).unwrap();
+        assert_eq!(m.op(def).name().as_str(), "t.const");
+        assert_eq!(m.op(def).attr("value").unwrap().as_int(), Some(12));
+        let remaining: Vec<String> = m
+            .block(b)
+            .ops()
+            .iter()
+            .map(|&o| m.op(o).name().to_string())
+            .collect();
+        assert_eq!(remaining, vec!["t.const", "t.sink"]);
+    }
+}

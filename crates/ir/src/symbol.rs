@@ -1,0 +1,96 @@
+//! Symbol tables: resolve `@name` references to symbol-defining ops.
+//!
+//! Symbol-defining ops (HIR functions, external module declarations) carry a
+//! `sym_name` string attribute at module top level.
+
+use crate::module::{Module, OpId};
+use std::collections::HashMap;
+
+/// Attribute key under which symbols store their name.
+pub const SYM_NAME: &str = "sym_name";
+
+/// A snapshot symbol table over a module's top-level ops.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    map: HashMap<String, OpId>,
+}
+
+impl SymbolTable {
+    /// Build the table from all top-level ops carrying `sym_name`.
+    ///
+    /// # Panics
+    /// Panics on duplicate symbol names (the verifier reports those first in
+    /// well-formed pipelines).
+    pub fn build(module: &Module) -> Self {
+        let mut map = HashMap::new();
+        for &op in module.top_ops() {
+            if let Some(name) = module.op(op).attr(SYM_NAME).and_then(|a| a.as_str()) {
+                let prev = map.insert(name.to_string(), op);
+                assert!(prev.is_none(), "duplicate symbol '@{name}'");
+            }
+        }
+        SymbolTable { map }
+    }
+
+    /// Resolve a symbol name.
+    pub fn lookup(&self, name: &str) -> Option<OpId> {
+        self.map.get(name).copied()
+    }
+
+    /// All `(name, op)` pairs, sorted by name.
+    pub fn iter_sorted(&self) -> Vec<(&str, OpId)> {
+        let mut v: Vec<(&str, OpId)> = self.map.iter().map(|(k, &o)| (k.as_str(), o)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no symbols are defined.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AttrMap, Attribute};
+    use crate::location::Location;
+
+    fn func(m: &mut Module, name: &str) -> OpId {
+        let mut attrs = AttrMap::new();
+        attrs.insert(SYM_NAME.into(), Attribute::string(name));
+        let f = m.create_op("t.func", vec![], vec![], attrs, Location::unknown());
+        m.push_top(f);
+        f
+    }
+
+    #[test]
+    fn builds_and_resolves() {
+        let mut m = Module::new();
+        let a = func(&mut m, "a");
+        let b = func(&mut m, "b");
+        let t = SymbolTable::build(&m);
+        assert_eq!(t.lookup("a"), Some(a));
+        assert_eq!(t.lookup("b"), Some(b));
+        assert_eq!(t.lookup("c"), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.iter_sorted().iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol")]
+    fn duplicate_symbols_panic() {
+        let mut m = Module::new();
+        func(&mut m, "dup");
+        func(&mut m, "dup");
+        let _ = SymbolTable::build(&m);
+    }
+}

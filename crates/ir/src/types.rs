@@ -1,0 +1,330 @@
+//! The IR type system.
+//!
+//! Mirrors MLIR's design: a small set of builtin types plus an open-ended
+//! *dialect type* escape hatch. A dialect type carries its dialect name, a
+//! mnemonic, and a list of [`Attribute`] parameters; dialects (such as HIR)
+//! layer typed accessors on top.
+//!
+//! [`Type`] is a cheap handle (`Rc` internally) with structural equality, so
+//! it can be cloned freely and used as a map key.
+
+use crate::attributes::Attribute;
+use std::fmt;
+use std::rc::Rc;
+
+/// Signedness of an integer type.
+///
+/// HIR follows MLIR's `arith` convention: most integers are signless and the
+/// operation decides the interpretation, but the frontend may mark types
+/// explicitly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Signedness {
+    /// Interpretation chosen by the consuming operation (MLIR `iN`).
+    Signless,
+    /// Two's complement signed (`siN`).
+    Signed,
+    /// Unsigned (`uiN`).
+    Unsigned,
+}
+
+/// Floating point format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FloatKind {
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64.
+    F64,
+}
+
+impl FloatKind {
+    /// Bit width of the format.
+    pub fn width(self) -> u32 {
+        match self {
+            FloatKind::F32 => 32,
+            FloatKind::F64 => 64,
+        }
+    }
+}
+
+/// Structural payload of a [`Type`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TypeKind {
+    /// Arbitrary bit-width integer, e.g. `i32`, `i1`.
+    Integer { width: u32, signedness: Signedness },
+    /// IEEE float, `f32` or `f64`.
+    Float(FloatKind),
+    /// Platform-independent index type (loop bounds, constants).
+    Index,
+    /// Absence of a value (used for ops with no results in function types).
+    None,
+    /// Function type `(inputs) -> (results)`.
+    Function {
+        inputs: Vec<Type>,
+        results: Vec<Type>,
+    },
+    /// Tuple of types.
+    Tuple(Vec<Type>),
+    /// A dialect-defined type: `!dialect.mnemonic<params>`.
+    Dialect {
+        dialect: String,
+        mnemonic: String,
+        params: Vec<Attribute>,
+    },
+}
+
+/// A handle to a type. Cheap to clone; equality is structural.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Type(Rc<TypeKind>);
+
+impl Type {
+    /// Create a type from a raw [`TypeKind`].
+    pub fn from_kind(kind: TypeKind) -> Self {
+        Type(Rc::new(kind))
+    }
+
+    /// Signless integer of the given width.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero.
+    pub fn int(width: u32) -> Self {
+        assert!(width > 0, "integer types must have a positive width");
+        Type::from_kind(TypeKind::Integer {
+            width,
+            signedness: Signedness::Signless,
+        })
+    }
+
+    /// Signed integer of the given width (`siN`).
+    pub fn signed_int(width: u32) -> Self {
+        assert!(width > 0, "integer types must have a positive width");
+        Type::from_kind(TypeKind::Integer {
+            width,
+            signedness: Signedness::Signed,
+        })
+    }
+
+    /// Unsigned integer of the given width (`uiN`).
+    pub fn unsigned_int(width: u32) -> Self {
+        assert!(width > 0, "integer types must have a positive width");
+        Type::from_kind(TypeKind::Integer {
+            width,
+            signedness: Signedness::Unsigned,
+        })
+    }
+
+    /// The 1-bit integer (`i1`), used for booleans and enables.
+    pub fn i1() -> Self {
+        Type::int(1)
+    }
+
+    /// IEEE binary32.
+    pub fn f32() -> Self {
+        Type::from_kind(TypeKind::Float(FloatKind::F32))
+    }
+
+    /// IEEE binary64.
+    pub fn f64() -> Self {
+        Type::from_kind(TypeKind::Float(FloatKind::F64))
+    }
+
+    /// The index type.
+    pub fn index() -> Self {
+        Type::from_kind(TypeKind::Index)
+    }
+
+    /// The none type.
+    pub fn none() -> Self {
+        Type::from_kind(TypeKind::None)
+    }
+
+    /// A function type.
+    pub fn function(inputs: Vec<Type>, results: Vec<Type>) -> Self {
+        Type::from_kind(TypeKind::Function { inputs, results })
+    }
+
+    /// A tuple type.
+    pub fn tuple(elems: Vec<Type>) -> Self {
+        Type::from_kind(TypeKind::Tuple(elems))
+    }
+
+    /// A dialect type `!dialect.mnemonic<params>`.
+    pub fn dialect(
+        dialect: impl Into<String>,
+        mnemonic: impl Into<String>,
+        params: Vec<Attribute>,
+    ) -> Self {
+        Type::from_kind(TypeKind::Dialect {
+            dialect: dialect.into(),
+            mnemonic: mnemonic.into(),
+            params,
+        })
+    }
+
+    /// Borrow the structural payload.
+    pub fn kind(&self) -> &TypeKind {
+        &self.0
+    }
+
+    /// Integer width if this is an integer type.
+    pub fn int_width(&self) -> Option<u32> {
+        match self.kind() {
+            TypeKind::Integer { width, .. } => Some(*width),
+            _ => None,
+        }
+    }
+
+    /// Whether this is any integer type.
+    pub fn is_integer(&self) -> bool {
+        matches!(self.kind(), TypeKind::Integer { .. })
+    }
+
+    /// Whether this is a float type.
+    pub fn is_float(&self) -> bool {
+        matches!(self.kind(), TypeKind::Float(_))
+    }
+
+    /// Whether this is the index type.
+    pub fn is_index(&self) -> bool {
+        matches!(self.kind(), TypeKind::Index)
+    }
+
+    /// Whether this is a dialect type with the given dialect and mnemonic.
+    pub fn is_dialect(&self, dialect: &str, mnemonic: &str) -> bool {
+        matches!(self.kind(), TypeKind::Dialect { dialect: d, mnemonic: m, .. }
+                 if d == dialect && m == mnemonic)
+    }
+
+    /// Dialect type parameters, if this is a dialect type.
+    pub fn dialect_params(&self) -> Option<&[Attribute]> {
+        match self.kind() {
+            TypeKind::Dialect { params, .. } => Some(params),
+            _ => None,
+        }
+    }
+
+    /// Total bit width of the type if it is a fixed-width scalar.
+    pub fn bit_width(&self) -> Option<u32> {
+        match self.kind() {
+            TypeKind::Integer { width, .. } => Some(*width),
+            TypeKind::Float(k) => Some(k.width()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            TypeKind::Integer { width, signedness } => {
+                let prefix = match signedness {
+                    Signedness::Signless => "i",
+                    Signedness::Signed => "si",
+                    Signedness::Unsigned => "ui",
+                };
+                write!(f, "{prefix}{width}")
+            }
+            TypeKind::Float(FloatKind::F32) => write!(f, "f32"),
+            TypeKind::Float(FloatKind::F64) => write!(f, "f64"),
+            TypeKind::Index => write!(f, "index"),
+            TypeKind::None => write!(f, "none"),
+            TypeKind::Function { inputs, results } => {
+                write!(f, "(")?;
+                for (i, t) in inputs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ") -> (")?;
+                for (i, t) in results.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            TypeKind::Tuple(elems) => {
+                write!(f, "tuple<")?;
+                for (i, t) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ">")
+            }
+            TypeKind::Dialect {
+                dialect,
+                mnemonic,
+                params,
+            } => {
+                write!(f, "!{dialect}.{mnemonic}")?;
+                if !params.is_empty() {
+                    write!(f, "<")?;
+                    for (i, p) in params.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{p}")?;
+                    }
+                    write!(f, ">")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_equality() {
+        assert_eq!(Type::int(32), Type::int(32));
+        assert_ne!(Type::int(32), Type::int(16));
+        assert_ne!(Type::int(32), Type::signed_int(32));
+        assert_ne!(Type::f32(), Type::f64());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::int(1).to_string(), "i1");
+        assert_eq!(Type::signed_int(8).to_string(), "si8");
+        assert_eq!(Type::unsigned_int(7).to_string(), "ui7");
+        assert_eq!(Type::f32().to_string(), "f32");
+        assert_eq!(Type::index().to_string(), "index");
+        assert_eq!(
+            Type::function(vec![Type::int(32)], vec![Type::int(32)]).to_string(),
+            "(i32) -> (i32)"
+        );
+    }
+
+    #[test]
+    fn dialect_type_display() {
+        let t = Type::dialect("hir", "time", vec![]);
+        assert_eq!(t.to_string(), "!hir.time");
+        assert!(t.is_dialect("hir", "time"));
+        assert!(!t.is_dialect("hir", "const"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive width")]
+    fn zero_width_int_rejected() {
+        let _ = Type::int(0);
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(Type::int(17).bit_width(), Some(17));
+        assert_eq!(Type::f64().bit_width(), Some(64));
+        assert_eq!(Type::index().bit_width(), None);
+    }
+}

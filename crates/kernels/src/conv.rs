@@ -1,0 +1,390 @@
+//! 2-d 3×3 convolution (paper Table 5): a streaming line-buffered design.
+//!
+//! Pixels stream in one per cycle; two line buffers and a 3×3 window of
+//! registers supply the nine taps. The weights are the constant Gaussian
+//! kernel [1 2 1; 2 4 2; 1 2 1] — powers of two, so strength reduction
+//! keeps the whole design DSP-free (Table 5 shows zero DSPs for both
+//! compilers).
+
+use hir::types::{Dim, MemKind, MemrefInfo, Port};
+use hir::HirBuilder;
+use hls::{KExpr, KStmt, Kernel, LoopPragmas};
+use ir::{Location, Module, Type, ValueId};
+
+/// HIR function name.
+pub const FUNC: &str = "conv2d";
+
+/// The constant 3×3 kernel.
+pub const KERNEL: [[i128; 3]; 3] = [[1, 2, 1], [2, 4, 2], [1, 2, 1]];
+
+fn log2(n: u64) -> u32 {
+    assert!(n.is_power_of_two(), "conv size must be a power of two");
+    n.trailing_zeros()
+}
+
+/// Build the streaming HIR design for an `h`×`w` image (powers of two).
+/// `out[y][x]` holds the window sum ending at pixel `(y, x)`; the first two
+/// rows/columns are warm-up values (see [`reference()`]).
+pub fn hir_conv(h: u64, w: u64, iv_width: u32) -> Module {
+    let (hbits, wbits) = (log2(h), log2(w));
+    let flat_w = (hbits + wbits + 2).max(8).min(iv_width.max(8));
+    let mut hb = HirBuilder::new();
+    hb.set_loc(Location::file_line_col("kernels/conv.hir", 1, 1));
+    let img = MemrefInfo::packed(&[h, w], Type::int(32), Port::Read, MemKind::BlockRam);
+    let out = img.with_port(Port::Write);
+    let f = hb.func(FUNC, &[("img", img.to_type()), ("out", out.to_type())], &[]);
+    let t = f.time_var(hb.module());
+    let args = f.args(hb.module());
+
+    // Two line buffers (banked pair) and the 3x3 window registers.
+    let lb = hb.alloc(
+        &[Dim::Distributed(2), Dim::Packed(w)],
+        Type::int(32),
+        MemKind::LutRam,
+        &[Port::Read, Port::Write],
+    );
+    let win = hb.alloc(
+        &[Dim::Distributed(3), Dim::Distributed(3)],
+        Type::int(32),
+        MemKind::Reg,
+        &[Port::Read, Port::Write],
+    );
+    let (c0, c1) = (hb.const_val(0), hb.const_val(1));
+    let zero = hb.typed_const(0, Type::int(32));
+
+    // Initialize the window registers (one cycle) and the line buffers
+    // (one pipelined pass over the width).
+    for r in 0..3 {
+        for c in 0..3 {
+            let (cr, cc) = (hb.const_val(r), hb.const_val(c));
+            hb.mem_write(zero, win[1], &[cr, cc], t, 1);
+        }
+    }
+    let cw = hb.const_val(w as i64);
+    let init = hb.for_loop(c0, cw, c1, t, 2, Type::int(flat_w));
+    hb.in_loop(init, |hb, x, ti| {
+        hb.mem_write(zero, lb[1], &[c0, x], ti, 0);
+        hb.mem_write(zero, lb[1], &[c1, x], ti, 0);
+        hb.yield_at(ti, 1);
+    });
+    let t_init = init.result_time(hb.module());
+
+    // Main streaming loop over all pixels, II = 1.
+    let cnn = hb.const_val((h * w) as i64);
+    let main = hb.for_loop(c0, cnn, c1, t_init, 1, Type::int(flat_w));
+    hb.in_loop(main, |hb, flat, ti| {
+        let y = hb.slice(flat, hbits + wbits - 1, wbits);
+        let x = hb.slice(flat, wbits - 1, 0);
+        let pix = hb.mem_read(args[0], &[y, x], ti, 0); // valid ti+1
+        let top = hb.mem_read(lb[0], &[c0, x], ti, 0); // valid ti+1
+        let mid = hb.mem_read(lb[0], &[c1, x], ti, 0);
+        let x1 = hb.delay(x, 1, ti, 0);
+        let y1 = hb.delay(y, 1, ti, 0);
+
+        // Shift the window left and insert the new column at ti+1.
+        let mut wvals: Vec<Vec<ValueId>> = Vec::new();
+        for r in 0..3 {
+            let mut row = Vec::new();
+            for c in 0..3 {
+                let (cr, cc) = (hb.const_val(r), hb.const_val(c));
+                row.push(hb.mem_read(win[0], &[cr, cc], ti, 1));
+            }
+            wvals.push(row);
+        }
+        for r in 0..3 {
+            for c in 0..2 {
+                let (cr, cc) = (hb.const_val(r), hb.const_val(c));
+                hb.mem_write(wvals[r as usize][c as usize + 1], win[1], &[cr, cc], ti, 1);
+            }
+        }
+        let (cr0, cr1, cr2, cc2) = (
+            hb.const_val(0),
+            hb.const_val(1),
+            hb.const_val(2),
+            hb.const_val(2),
+        );
+        hb.mem_write(top, win[1], &[cr0, cc2], ti, 1);
+        hb.mem_write(mid, win[1], &[cr1, cc2], ti, 1);
+        hb.mem_write(pix, win[1], &[cr2, cc2], ti, 1);
+        // Line buffers scroll: lb[0][x] <- lb[1][x], lb[1][x] <- pix.
+        hb.mem_write(mid, lb[1], &[c0, x1], ti, 1);
+        hb.mem_write(pix, lb[1], &[c1, x1], ti, 1);
+
+        // Weighted sum of the *new* window contents (columns shifted, new
+        // rightmost column), all valid at ti+1.
+        let new_col = [top, mid, pix];
+        let mut sum: Option<ValueId> = None;
+        for r in 0..3usize {
+            for c in 0..3usize {
+                let v = if c == 2 { new_col[r] } else { wvals[r][c + 1] };
+                let weight = KERNEL[r][c];
+                let wconst = hb.typed_const(weight as i64, Type::int(32));
+                let term = hb.mult(v, wconst);
+                sum = Some(match sum {
+                    None => term,
+                    Some(prev) => hb.add(prev, term),
+                });
+            }
+        }
+        hb.mem_write(sum.unwrap(), args[1], &[y1, x1], ti, 1);
+        hb.yield_at(ti, 1);
+    });
+    hb.return_(&[]);
+    hb.finish()
+}
+
+/// The HLS form: identical streaming structure via local arrays.
+pub fn hls_conv(h: u64, w: u64, manual_opt: bool) -> Kernel {
+    let mut k = Kernel::new(FUNC);
+    k.in_array("img", 32, &[h, w]).out_array("out", 32, &[h, w]);
+    k.local_array("lb", 32, &[2, w], &[0]);
+    k.local_array("win", 32, &[3, 3], &[0, 1]);
+    if manual_opt {
+        k.loop_var_width = hir_opt::signed_width_for(0, (h * w) as i128);
+    }
+    let pipe = LoopPragmas {
+        pipeline_ii: Some(1),
+        unroll: false,
+    };
+    let unroll = LoopPragmas {
+        pipeline_ii: None,
+        unroll: true,
+    };
+    let mut main_body: Vec<KStmt> = vec![
+        KStmt::Assign {
+            var: "pix".into(),
+            expr: KExpr::read("img", vec![KExpr::var("y"), KExpr::var("x")]),
+        },
+        KStmt::Assign {
+            var: "top".into(),
+            expr: KExpr::read("lb", vec![KExpr::c(0, 1), KExpr::var("x")]),
+        },
+        KStmt::Assign {
+            var: "mid".into(),
+            expr: KExpr::read("lb", vec![KExpr::c(1, 1), KExpr::var("x")]),
+        },
+    ];
+    // Read the window.
+    for r in 0..3 {
+        for c in 0..3 {
+            main_body.push(KStmt::Assign {
+                var: format!("w{r}{c}"),
+                expr: KExpr::read("win", vec![KExpr::c(r, 2), KExpr::c(c, 2)]),
+            });
+        }
+    }
+    // Shift + insert.
+    for r in 0..3 {
+        for c in 0..2 {
+            main_body.push(KStmt::Store {
+                array: "win".into(),
+                indices: vec![KExpr::c(r, 2), KExpr::c(c, 2)],
+                value: KExpr::var(format!("w{r}{}", c + 1)),
+            });
+        }
+    }
+    for (r, v) in [(0, "top"), (1, "mid"), (2, "pix")] {
+        main_body.push(KStmt::Store {
+            array: "win".into(),
+            indices: vec![KExpr::c(r, 2), KExpr::c(2, 2)],
+            value: KExpr::var(v),
+        });
+    }
+    main_body.push(KStmt::Store {
+        array: "lb".into(),
+        indices: vec![KExpr::c(0, 1), KExpr::var("x")],
+        value: KExpr::var("mid"),
+    });
+    main_body.push(KStmt::Store {
+        array: "lb".into(),
+        indices: vec![KExpr::c(1, 1), KExpr::var("x")],
+        value: KExpr::var("pix"),
+    });
+    // Weighted sum of the shifted window.
+    let mut sum: Option<KExpr> = None;
+    for r in 0..3usize {
+        for c in 0..3usize {
+            let v = if c == 2 {
+                KExpr::var(["top", "mid", "pix"][r])
+            } else {
+                KExpr::var(format!("w{r}{}", c + 1))
+            };
+            let term = KExpr::mul(v, KExpr::c(KERNEL[r][c] as i64, 32));
+            sum = Some(match sum {
+                None => term,
+                Some(prev) => KExpr::add(prev, term),
+            });
+        }
+    }
+    main_body.push(KStmt::Store {
+        array: "out".into(),
+        indices: vec![KExpr::var("y"), KExpr::var("x")],
+        value: sum.unwrap(),
+    });
+
+    k.body = vec![
+        // Clear the window registers.
+        KStmt::For {
+            var: "zr".into(),
+            lb: 0,
+            ub: 3,
+            step: 1,
+            pragmas: unroll,
+            body: vec![KStmt::For {
+                var: "zc".into(),
+                lb: 0,
+                ub: 3,
+                step: 1,
+                pragmas: unroll,
+                body: vec![KStmt::Store {
+                    array: "win".into(),
+                    indices: vec![KExpr::var("zr"), KExpr::var("zc")],
+                    value: KExpr::c(0, 32),
+                }],
+            }],
+        },
+        // Clear the line buffers.
+        KStmt::For {
+            var: "zx".into(),
+            lb: 0,
+            ub: w as i64,
+            step: 1,
+            pragmas: pipe,
+            body: vec![
+                KStmt::Store {
+                    array: "lb".into(),
+                    indices: vec![KExpr::c(0, 1), KExpr::var("zx")],
+                    value: KExpr::c(0, 32),
+                },
+                KStmt::Store {
+                    array: "lb".into(),
+                    indices: vec![KExpr::c(1, 1), KExpr::var("zx")],
+                    value: KExpr::c(0, 32),
+                },
+            ],
+        },
+        // Main streaming loop.
+        KStmt::For {
+            var: "y".into(),
+            lb: 0,
+            ub: h as i64,
+            step: 1,
+            pragmas: LoopPragmas::default(),
+            body: vec![KStmt::For {
+                var: "x".into(),
+                lb: 0,
+                ub: w as i64,
+                step: 1,
+                pragmas: pipe,
+                body: main_body,
+            }],
+        },
+    ];
+    k
+}
+
+/// Software reference, mirroring the streaming semantics exactly: the
+/// window/line buffers start zeroed; `out[y][x]` is the weighted sum of the
+/// 3×3 neighbourhood ending at `(y, x)` (so interior pixels at `(y, x)` for
+/// `y, x >= 2` hold the true convolution of the window with its upper-left
+/// corner at `(y-2, x-2)`).
+pub fn reference(h: u64, w: u64, img: &[i128]) -> Vec<i128> {
+    let (h, w) = (h as usize, w as usize);
+    let mut out = vec![0i128; h * w];
+    let mut lb = vec![[0i128; 2]; w];
+    let mut win = [[0i128; 3]; 3];
+    for y in 0..h {
+        for x in 0..w {
+            let pix = img[y * w + x];
+            let top = lb[x][0];
+            let mid = lb[x][1];
+            // Shift left, insert the new column.
+            for r in 0..3 {
+                for c in 0..2 {
+                    win[r][c] = win[r][c + 1];
+                }
+            }
+            win[0][2] = top;
+            win[1][2] = mid;
+            win[2][2] = pix;
+            lb[x][0] = mid;
+            lb[x][1] = pix;
+            let mut sum = 0i128;
+            for r in 0..3 {
+                for c in 0..3 {
+                    sum += win[r][c] * KERNEL[r][c];
+                }
+            }
+            out[y * w + x] = sum as i32 as i128;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hir::interp::{ArgValue, Interpreter};
+
+    #[test]
+    fn reference_interior_is_true_convolution() {
+        let (h, w) = (8u64, 8u64);
+        let img: Vec<i128> = (0..(h * w) as i128).collect();
+        let out = reference(h, w, &img);
+        // Check one interior pixel against the direct formula.
+        let (y, x) = (5usize, 6usize);
+        let mut expect = 0i128;
+        for r in 0..3 {
+            for c in 0..3 {
+                expect += img[(y - 2 + r) * w as usize + (x - 2 + c)] * KERNEL[r][c];
+            }
+        }
+        assert_eq!(out[y * w as usize + x], expect);
+    }
+
+    #[test]
+    fn hir_matches_reference() {
+        let (h, w) = (8u64, 8u64);
+        let m = hir_conv(h, w, 32);
+        let mut diags = ir::DiagnosticEngine::new();
+        hir_verify::verify_schedule(&m, &mut diags)
+            .unwrap_or_else(|_| panic!("{}", diags.render()));
+        let img: Vec<i128> = (0..(h * w) as i128).map(|v| (v * 3) % 256).collect();
+        let r = Interpreter::new(&m)
+            .run(
+                FUNC,
+                &[
+                    ArgValue::tensor_from(&img),
+                    ArgValue::uninit_tensor((h * w) as usize),
+                ],
+            )
+            .expect("simulate");
+        let out: Vec<i128> = r.tensors[&1].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(out, reference(h, w, &img));
+        // Streaming: ~w init + h*w main cycles.
+        assert!(
+            r.cycles <= w + h * w + 16,
+            "not streaming: {} cycles",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn hls_matches_reference() {
+        let (h, w) = (4u64, 8u64);
+        let k = hls_conv(h, w, false);
+        let c = hls::compile(&k, &hls::SchedOptions::default()).expect("compile");
+        let img: Vec<i128> = (0..(h * w) as i128).map(|v| v % 17).collect();
+        let r = Interpreter::new(&c.hir_module)
+            .run(
+                "hls_conv2d",
+                &[
+                    ArgValue::tensor_from(&img),
+                    ArgValue::uninit_tensor((h * w) as usize),
+                ],
+            )
+            .expect("simulate");
+        let out: Vec<i128> = r.tensors[&1].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(out, reference(h, w, &img));
+    }
+}

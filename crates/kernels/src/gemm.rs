@@ -1,0 +1,359 @@
+//! GEMM (paper Table 5/6): a fully unrolled N×N multiplier array.
+//!
+//! Loads two N×N matrices into banked on-chip buffers, multiplies them with
+//! an N×N grid of processing elements (one multiply-accumulate per output
+//! element per cycle — `unroll_for` nested two deep, paper §7.3), and
+//! writes the result back. With N=16 and 32-bit data this instantiates 256
+//! multipliers (the paper's 768 DSP blocks at 3 DSPs per 32×32 multiply).
+
+use hir::types::{Dim, MemKind, MemrefInfo, Port};
+use hir::HirBuilder;
+use hls::{KExpr, KStmt, Kernel, LoopPragmas};
+use ir::{Location, Module, Type, ValueId};
+
+/// HIR function name.
+pub const FUNC: &str = "gemm";
+
+fn log2(n: u64) -> u32 {
+    assert!(n.is_power_of_two(), "gemm size must be a power of two");
+    n.trailing_zeros()
+}
+
+/// Build the HIR design for N×N (N a power of two).
+pub fn hir_gemm(n: u64, iv_width: u32) -> Module {
+    let bits = log2(n);
+    let flat_w = (2 * bits + 2).max(iv_width.min(32)).min(32);
+    let mut hb = HirBuilder::new();
+    hb.set_loc(Location::file_line_col("kernels/gemm.hir", 1, 1));
+    let a_t = MemrefInfo::packed(&[n, n], Type::int(32), Port::Read, MemKind::BlockRam);
+    let c_t = a_t.with_port(Port::Write);
+    let f = hb.func(
+        FUNC,
+        &[
+            ("A", a_t.to_type()),
+            ("B", a_t.to_type()),
+            ("C", c_t.to_type()),
+        ],
+        &[],
+    );
+    let t = f.time_var(hb.module());
+    let args = f.args(hb.module());
+
+    // Banked local buffers: A by row, B by column, accumulators by both.
+    let a_buf = hb.alloc(
+        &[Dim::Distributed(n), Dim::Packed(n)],
+        Type::int(32),
+        MemKind::LutRam,
+        &[Port::Read, Port::Write],
+    );
+    let b_buf = hb.alloc(
+        &[Dim::Packed(n), Dim::Distributed(n)],
+        Type::int(32),
+        MemKind::LutRam,
+        &[Port::Read, Port::Write],
+    );
+    let acc = hb.alloc(
+        &[Dim::Distributed(n), Dim::Distributed(n)],
+        Type::int(32),
+        MemKind::Reg,
+        &[Port::Read, Port::Write],
+    );
+
+    let (c0, c1) = (hb.const_val(0), hb.const_val(1));
+    let cnn = hb.const_val((n * n) as i64);
+    let cn = hb.const_val(n as i64);
+
+    // Phase 1: load A and B (one element of each per cycle, II=1). The
+    // banked buffers are written through per-bank predicated writes.
+    let load = hb.for_loop(c0, cnn, c1, t, 1, Type::int(flat_w));
+    hb.in_loop(load, |hb, flat, ti| {
+        let row = hb.slice(flat, 2 * bits - 1, bits);
+        let col = hb.slice(flat, bits - 1, 0);
+        let va = hb.mem_read(args[0], &[row, col], ti, 0); // valid ti+1
+        let vb = hb.mem_read(args[1], &[row, col], ti, 0);
+        let row1 = hb.delay(row, 1, ti, 0);
+        let col1 = hb.delay(col, 1, ti, 0);
+        // A_buf[row][col] <- va: write lands in bank `row`.
+        for bank in 0..n {
+            let cb = hb.const_val(bank as i64);
+            let is_row = hb.cmp(hir::CmpPredicate::Eq, row1, cb);
+            let g = hb.if_op(is_row, ti, 1, false);
+            hb.in_then(g, |hb| hb.mem_write(va, a_buf[1], &[cb, col1], ti, 1));
+            // B_buf[row][col] <- vb: bank `col`.
+            let is_col = hb.cmp(hir::CmpPredicate::Eq, col1, cb);
+            let g2 = hb.if_op(is_col, ti, 1, false);
+            hb.in_then(g2, |hb| hb.mem_write(vb, b_buf[1], &[row1, cb], ti, 1));
+        }
+        hb.yield_at(ti, 1);
+    });
+    let t_loaded = load.result_time(hb.module());
+
+    // Phase 2: clear the accumulators — every bank in a single cycle.
+    let zero = hb.typed_const(0, Type::int(32));
+    let init = hb.unroll_for(0, n as i64, 1, t_loaded, 1);
+    hb.in_unroll(init, |hb, i, tu| {
+        let inner = hb.unroll_for(0, n as i64, 1, tu, 0);
+        hb.in_unroll(inner, |hb, j, tv| {
+            hb.mem_write(zero, acc[1], &[i, j], tv, 0);
+            hb.yield_at(tv, 0);
+        });
+        hb.yield_at(tu, 0);
+    });
+    let t_init = init.result_time(hb.module());
+
+    // Phase 3: the PE grid. Pipelined k-loop (II=1) containing the fully
+    // unrolled i/j grid: every cycle all N*N accumulators take
+    // acc[i][j] += A_buf[i][k] * B_buf[k][j].
+    let kloop = hb.for_loop(c0, cn, c1, t_init, 1, Type::int(iv_width));
+    hb.in_loop(kloop, |hb, kv, tk| {
+        let grid_i = hb.unroll_for(0, n as i64, 1, tk, 0);
+        hb.in_unroll(grid_i, |hb, i, tgi| {
+            let grid_j = hb.unroll_for(0, n as i64, 1, tgi, 0);
+            hb.in_unroll(grid_j, |hb, j, tgj| {
+                let a = hb.mem_read(a_buf[0], &[i, kv], tgj, 0); // valid +1
+                let b = hb.mem_read(b_buf[0], &[kv, j], tgj, 0);
+                let prod = hb.mult(a, b);
+                let cur = hb.mem_read(acc[0], &[i, j], tgj, 1); // regs: +1
+                let sum = hb.add(cur, prod);
+                hb.mem_write(sum, acc[1], &[i, j], tgj, 1);
+                hb.yield_at(tgj, 0);
+            });
+            hb.yield_at(tgi, 0);
+        });
+        hb.yield_at(tk, 1);
+    });
+    let t_done = kloop.result_time(hb.module());
+
+    // Phase 4: write back, one element per cycle, selecting the right
+    // accumulator bank through a combinational select tree.
+    let wb = hb.for_loop(c0, cnn, c1, t_done, 1, Type::int(flat_w));
+    hb.in_loop(wb, |hb, flat, ti| {
+        let row = hb.slice(flat, 2 * bits - 1, bits);
+        let col = hb.slice(flat, bits - 1, 0);
+        let mut selected: Option<ValueId> = None;
+        for i in 0..n {
+            for j in 0..n {
+                let (ci, cj) = (hb.const_val(i as i64), hb.const_val(j as i64));
+                let v = hb.mem_read(acc[0], &[ci, cj], ti, 0); // regs: +0
+                let is_i = hb.cmp(hir::CmpPredicate::Eq, row, ci);
+                let is_j = hb.cmp(hir::CmpPredicate::Eq, col, cj);
+                let hit = hb.and(is_i, is_j);
+                selected = Some(match selected {
+                    None => v,
+                    Some(prev) => hb.select(hit, v, prev),
+                });
+            }
+        }
+        hb.mem_write(selected.unwrap(), args[2], &[row, col], ti, 0);
+        hb.yield_at(ti, 1);
+    });
+    hb.return_(&[]);
+    hb.finish()
+}
+
+/// The HLS form: same structure through pragmas (pipeline + full unroll +
+/// complete array partitioning).
+pub fn hls_gemm(n: u64, manual_opt: bool) -> Kernel {
+    let mut k = Kernel::new(FUNC);
+    k.in_array("A", 32, &[n, n])
+        .in_array("B", 32, &[n, n])
+        .out_array("C", 32, &[n, n]);
+    if manual_opt {
+        k.loop_var_width = hir_opt::signed_width_for(0, (n * n) as i128);
+    }
+    k.local_array("a_buf", 32, &[n, n], &[0]);
+    k.local_array("b_buf", 32, &[n, n], &[1]);
+    k.local_array("acc", 32, &[n, n], &[0, 1]);
+    let pipe = LoopPragmas {
+        pipeline_ii: Some(1),
+        unroll: false,
+    };
+    let unroll = LoopPragmas {
+        pipeline_ii: None,
+        unroll: true,
+    };
+    k.body = vec![
+        // Load A and B row by row (the unrolled column loop writes each
+        // partitioned bank with a constant index).
+        KStmt::For {
+            var: "r".into(),
+            lb: 0,
+            ub: n as i64,
+            step: 1,
+            pragmas: LoopPragmas::default(),
+            body: vec![KStmt::For {
+                var: "cc".into(),
+                lb: 0,
+                ub: n as i64,
+                step: 1,
+                pragmas: pipe,
+                body: vec![
+                    KStmt::Store {
+                        array: "a_buf".into(),
+                        indices: vec![KExpr::var("r"), KExpr::var("cc")],
+                        value: KExpr::read("A", vec![KExpr::var("r"), KExpr::var("cc")]),
+                    },
+                    KStmt::Store {
+                        array: "b_buf".into(),
+                        indices: vec![KExpr::var("r"), KExpr::var("cc")],
+                        value: KExpr::read("B", vec![KExpr::var("r"), KExpr::var("cc")]),
+                    },
+                ],
+            }],
+        },
+        // Zero accumulators.
+        KStmt::For {
+            var: "zi".into(),
+            lb: 0,
+            ub: n as i64,
+            step: 1,
+            pragmas: unroll,
+            body: vec![KStmt::For {
+                var: "zj".into(),
+                lb: 0,
+                ub: n as i64,
+                step: 1,
+                pragmas: unroll,
+                body: vec![KStmt::Store {
+                    array: "acc".into(),
+                    indices: vec![KExpr::var("zi"), KExpr::var("zj")],
+                    value: KExpr::c(0, 32),
+                }],
+            }],
+        },
+        // The PE grid: pipelined k, fully unrolled i/j.
+        KStmt::For {
+            var: "k".into(),
+            lb: 0,
+            ub: n as i64,
+            step: 1,
+            pragmas: pipe,
+            body: vec![KStmt::For {
+                var: "i".into(),
+                lb: 0,
+                ub: n as i64,
+                step: 1,
+                pragmas: unroll,
+                body: vec![KStmt::For {
+                    var: "j".into(),
+                    lb: 0,
+                    ub: n as i64,
+                    step: 1,
+                    pragmas: unroll,
+                    body: vec![KStmt::Store {
+                        array: "acc".into(),
+                        indices: vec![KExpr::var("i"), KExpr::var("j")],
+                        value: KExpr::add(
+                            KExpr::read("acc", vec![KExpr::var("i"), KExpr::var("j")]),
+                            KExpr::mul(
+                                KExpr::read("a_buf", vec![KExpr::var("i"), KExpr::var("k")]),
+                                KExpr::read("b_buf", vec![KExpr::var("k"), KExpr::var("j")]),
+                            ),
+                        ),
+                    }],
+                }],
+            }],
+        },
+        // Write back row by row.
+        KStmt::For {
+            var: "wr".into(),
+            lb: 0,
+            ub: n as i64,
+            step: 1,
+            pragmas: LoopPragmas::default(),
+            body: vec![KStmt::For {
+                var: "wc".into(),
+                lb: 0,
+                ub: n as i64,
+                step: 1,
+                pragmas: unroll,
+                body: vec![KStmt::Store {
+                    array: "C".into(),
+                    indices: vec![KExpr::var("wr"), KExpr::var("wc")],
+                    value: KExpr::read("acc", vec![KExpr::var("wr"), KExpr::var("wc")]),
+                }],
+            }],
+        },
+    ];
+    k
+}
+
+/// Software reference (wrapping i32 arithmetic).
+pub fn reference(n: u64, a: &[i128], b: &[i128]) -> Vec<i128> {
+    let n = n as usize;
+    let mut c = vec![0i128; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s: i64 = 0;
+            for k in 0..n {
+                s = s.wrapping_add(
+                    (a[i * n + k] as i32 as i64).wrapping_mul(b[k * n + j] as i32 as i64) as i32
+                        as i64,
+                );
+                s = s as i32 as i64;
+            }
+            c[i * n + j] = s as i128;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hir::interp::{ArgValue, Interpreter};
+
+    #[test]
+    fn hir_matches_reference() {
+        let n = 4u64;
+        let m = hir_gemm(n, 32);
+        let mut diags = ir::DiagnosticEngine::new();
+        hir_verify::verify_schedule(&m, &mut diags)
+            .unwrap_or_else(|_| panic!("{}", diags.render()));
+        let nn = (n * n) as usize;
+        let a: Vec<i128> = (0..nn as i128).map(|x| x - 7).collect();
+        let b: Vec<i128> = (0..nn as i128).map(|x| 3 * x % 11 - 5).collect();
+        let r = Interpreter::new(&m)
+            .run(
+                FUNC,
+                &[
+                    ArgValue::tensor_from(&a),
+                    ArgValue::tensor_from(&b),
+                    ArgValue::uninit_tensor(nn),
+                ],
+            )
+            .expect("simulate");
+        let out: Vec<i128> = r.tensors[&2].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(out, reference(n, &a, &b));
+        // n*n load + n compute + n*n writeback + constants.
+        assert!(
+            r.cycles <= 2 * n * n + n + 24,
+            "PE grid not parallel: {} cycles",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn hls_matches_reference() {
+        let n = 4u64;
+        let k = hls_gemm(n, false);
+        let c = hls::compile(&k, &hls::SchedOptions::default()).expect("compile");
+        let nn = (n * n) as usize;
+        let a: Vec<i128> = (1..=nn as i128).collect();
+        let b: Vec<i128> = (0..nn as i128).map(|x| x % 5 - 2).collect();
+        // Local arrays are bank-major; interface arrays here are packed so
+        // plain row-major data is fine.
+        let r = Interpreter::new(&c.hir_module)
+            .run(
+                "hls_gemm",
+                &[
+                    ArgValue::tensor_from(&a),
+                    ArgValue::tensor_from(&b),
+                    ArgValue::uninit_tensor(nn),
+                ],
+            )
+            .expect("simulate");
+        let out: Vec<i128> = r.tensors[&2].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(out, reference(n, &a, &b));
+    }
+}

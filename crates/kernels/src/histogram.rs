@@ -1,0 +1,193 @@
+//! Histogram (paper Table 5/6): counts value occurrences of an image into
+//! a local buffer, then writes the final histogram out. Demonstrates
+//! data-dependent memory accesses; the read-modify-write through a 1-cycle
+//! block RAM pins the accumulation loop at II=2 in both compilers.
+
+use hir::types::{MemKind, MemrefInfo, Port};
+use hir::HirBuilder;
+use hls::{KExpr, KStmt, Kernel, LoopPragmas};
+use ir::{Location, Module, Type};
+
+/// HIR function name.
+pub const FUNC: &str = "histogram";
+
+/// Build the HIR design: `pixels` image elements in `0..bins`.
+pub fn hir_histogram(pixels: u64, bins: u64, iv_width: u32) -> Module {
+    let mut hb = HirBuilder::new();
+    hb.set_loc(Location::file_line_col("kernels/histogram.hir", 1, 1));
+    let img = MemrefInfo::packed(&[pixels], Type::int(32), Port::Read, MemKind::BlockRam);
+    let out = MemrefInfo::packed(&[bins], Type::int(32), Port::Write, MemKind::BlockRam);
+    let f = hb.func(
+        FUNC,
+        &[("img", img.to_type()), ("hist", out.to_type())],
+        &[],
+    );
+    let t = f.time_var(hb.module());
+    let args = f.args(hb.module());
+    let (acc_r, acc_w) = hb.alloc_rw(&[bins], Type::int(32), MemKind::BlockRam);
+    let (c0, c1) = (hb.const_val(0), hb.const_val(1));
+    let cbins = hb.const_val(bins as i64);
+    let cpix = hb.const_val(pixels as i64);
+
+    // Phase 1: clear the local accumulator (II=1).
+    let zero = hb.typed_const(0, Type::int(32));
+    let clear = hb.for_loop(c0, cbins, c1, t, 1, Type::int(iv_width));
+    hb.in_loop(clear, |hb, b, ti| {
+        hb.mem_write(zero, acc_w, &[b], ti, 0);
+        hb.yield_at(ti, 1);
+    });
+    let t1 = clear.result_time(hb.module());
+
+    // Phase 2: accumulate. Read img[p] (1 cycle), read acc[v] (1 cycle),
+    // increment, write back. The RMW through block RAM forces II=2.
+    let accum = hb.for_loop(c0, cpix, c1, t1, 1, Type::int(iv_width));
+    hb.in_loop(accum, |hb, p, ti| {
+        let v = hb.mem_read(args[0], &[p], ti, 0); // valid ti+1
+        let cur = hb.mem_read(acc_r, &[v], ti, 1); // valid ti+2
+        let one = hb.typed_const(1, Type::int(32));
+        let inc = hb.add(cur, one);
+        let v2 = hb.delay(v, 1, ti, 1); // address aligned to ti+2
+        hb.mem_write(inc, acc_w, &[v2], ti, 2);
+        hb.yield_at(ti, 2);
+    });
+    let t2 = accum.result_time(hb.module());
+
+    // Phase 3: copy the accumulator to the output interface (II=1).
+    let copy = hb.for_loop(c0, cbins, c1, t2, 1, Type::int(iv_width));
+    hb.in_loop(copy, |hb, b, ti| {
+        let v = hb.mem_read(acc_r, &[b], ti, 0);
+        let b1 = hb.delay(b, 1, ti, 0);
+        hb.mem_write(v, args[1], &[b1], ti, 1);
+        hb.yield_at(ti, 1);
+    });
+    hb.return_(&[]);
+    hb.finish()
+}
+
+/// The HLS form.
+pub fn hls_histogram(pixels: u64, bins: u64, manual_opt: bool) -> Kernel {
+    let mut k = Kernel::new(FUNC);
+    k.in_array("img", 32, &[pixels])
+        .out_array("hist", 32, &[bins]);
+    k.local_array("acc", 32, &[bins], &[]);
+    if manual_opt {
+        k.loop_var_width = hir_opt::signed_width_for(0, pixels.max(bins) as i128);
+    }
+    let pipeline = LoopPragmas {
+        pipeline_ii: Some(1),
+        unroll: false,
+    };
+    k.body = vec![
+        KStmt::For {
+            var: "z".into(),
+            lb: 0,
+            ub: bins as i64,
+            step: 1,
+            pragmas: pipeline,
+            body: vec![KStmt::Store {
+                array: "acc".into(),
+                indices: vec![KExpr::var("z")],
+                value: KExpr::c(0, 32),
+            }],
+        },
+        KStmt::For {
+            var: "p".into(),
+            lb: 0,
+            ub: pixels as i64,
+            step: 1,
+            pragmas: pipeline,
+            body: vec![
+                KStmt::Assign {
+                    var: "v".into(),
+                    expr: KExpr::read("img", vec![KExpr::var("p")]),
+                },
+                KStmt::Store {
+                    array: "acc".into(),
+                    indices: vec![KExpr::var("v")],
+                    value: KExpr::add(KExpr::read("acc", vec![KExpr::var("v")]), KExpr::c(1, 32)),
+                },
+            ],
+        },
+        KStmt::For {
+            var: "o".into(),
+            lb: 0,
+            ub: bins as i64,
+            step: 1,
+            pragmas: pipeline,
+            body: vec![KStmt::Store {
+                array: "hist".into(),
+                indices: vec![KExpr::var("o")],
+                value: KExpr::read("acc", vec![KExpr::var("o")]),
+            }],
+        },
+    ];
+    k
+}
+
+/// Software reference.
+pub fn reference(bins: u64, img: &[i128]) -> Vec<i128> {
+    let mut out = vec![0i128; bins as usize];
+    for &v in img {
+        out[v as usize] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hir::interp::{ArgValue, Interpreter};
+
+    #[test]
+    fn hir_matches_reference() {
+        let (pixels, bins) = (128, 16);
+        let m = hir_histogram(pixels, bins, 32);
+        let mut diags = ir::DiagnosticEngine::new();
+        hir_verify::verify_schedule(&m, &mut diags)
+            .unwrap_or_else(|_| panic!("{}", diags.render()));
+        let img: Vec<i128> = (0..pixels as i128)
+            .map(|x| (x * x + 3) % bins as i128)
+            .collect();
+        let r = Interpreter::new(&m)
+            .run(
+                FUNC,
+                &[
+                    ArgValue::tensor_from(&img),
+                    ArgValue::uninit_tensor(bins as usize),
+                ],
+            )
+            .expect("simulate");
+        let out: Vec<i128> = r.tensors[&1].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(out, reference(bins, &img));
+        // ~bins + 2*pixels + bins cycles.
+        assert!(
+            r.cycles <= bins + 2 * pixels + bins + 16,
+            "latency {}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn hls_matches_reference() {
+        let (pixels, bins) = (64, 8);
+        let k = hls_histogram(pixels, bins, false);
+        let c = hls::compile(&k, &hls::SchedOptions::default()).expect("compile");
+        assert!(
+            c.stats.achieved_iis.iter().any(|&ii| ii >= 2),
+            "{:?}",
+            c.stats.achieved_iis
+        );
+        let img: Vec<i128> = (0..pixels as i128).map(|x| x % bins as i128).collect();
+        let r = Interpreter::new(&c.hir_module)
+            .run(
+                "hls_histogram",
+                &[
+                    ArgValue::tensor_from(&img),
+                    ArgValue::uninit_tensor(bins as usize),
+                ],
+            )
+            .expect("simulate");
+        let out: Vec<i128> = r.tensors[&1].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(out, reference(bins, &img));
+    }
+}

@@ -1,0 +1,178 @@
+//! # `kernels` — the paper's benchmark suite
+//!
+//! Every benchmark of the paper's evaluation (§8), built twice:
+//!
+//! * **HIR**: hand-scheduled designs following the paper's listings
+//!   (explicit schedules, pipelined loops, banked buffers, `unroll_for`
+//!   grids);
+//! * **HLS**: C-like kernels with pragmas for the baseline compiler.
+//!
+//! Plus software references, random workload generators, and the
+//! hand-written Verilog FIFO baseline.
+
+pub mod conv;
+pub mod errors;
+pub mod fifo;
+pub mod fir;
+pub mod gemm;
+pub mod histogram;
+pub mod stencil;
+pub mod transpose;
+pub mod workload;
+
+use hir::ops::FuncOp;
+use ir::Module;
+
+/// A benchmark in both compiler forms, as used by the table harnesses.
+pub struct Benchmark {
+    /// Display name (matches the paper's tables).
+    pub name: &'static str,
+    /// Build the hand-scheduled HIR module (unoptimized frontend widths).
+    pub build_hir: fn() -> Module,
+    /// HIR top-level function name.
+    pub hir_func: &'static str,
+    /// Build the HLS kernel (Vivado-default widths).
+    pub build_hls: fn() -> hls::Kernel,
+}
+
+/// Default problem sizes (the paper's where stated: 16×16 GEMM, 64-element
+/// stencil, etc.).
+pub mod sizes {
+    pub const TRANSPOSE_N: u64 = 16;
+    pub const STENCIL_N: u64 = 64;
+    pub const HISTOGRAM_PIXELS: u64 = 256;
+    pub const HISTOGRAM_BINS: u64 = 256;
+    pub const GEMM_N: u64 = 16;
+    pub const CONV_H: u64 = 16;
+    pub const CONV_W: u64 = 16;
+    pub const FIFO_DEPTH: u64 = 512;
+    pub const FIFO_CMDS: u64 = 64;
+}
+
+/// The five compiled benchmarks of Tables 5/6 (FIFO is handled separately:
+/// its baseline is hand-written Verilog, not an HLS kernel).
+pub fn compiled_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "Matrix transpose",
+            build_hir: || transpose::hir_transpose(sizes::TRANSPOSE_N, 32),
+            hir_func: transpose::FUNC,
+            build_hls: || transpose::hls_transpose(sizes::TRANSPOSE_N, true),
+        },
+        Benchmark {
+            name: "Stencil-1d",
+            build_hir: || stencil::hir_stencil(sizes::STENCIL_N, 32),
+            hir_func: stencil::FUNC,
+            build_hls: || stencil::hls_stencil(sizes::STENCIL_N, true),
+        },
+        Benchmark {
+            name: "Histogram",
+            build_hir: || {
+                histogram::hir_histogram(sizes::HISTOGRAM_PIXELS, sizes::HISTOGRAM_BINS, 32)
+            },
+            hir_func: histogram::FUNC,
+            build_hls: || {
+                histogram::hls_histogram(sizes::HISTOGRAM_PIXELS, sizes::HISTOGRAM_BINS, true)
+            },
+        },
+        Benchmark {
+            name: "GEMM",
+            build_hir: || gemm::hir_gemm(sizes::GEMM_N, 32),
+            hir_func: gemm::FUNC,
+            build_hls: || gemm::hls_gemm(sizes::GEMM_N, true),
+        },
+        Benchmark {
+            name: "Convolution",
+            build_hir: || conv::hir_conv(sizes::CONV_H, sizes::CONV_W, 32),
+            hir_func: conv::FUNC,
+            build_hls: || conv::hls_conv(sizes::CONV_H, sizes::CONV_W, true),
+        },
+    ]
+}
+
+/// Run the full HIR pipeline (verify → optimize → verify → codegen) and
+/// return the generated design plus compile time.
+///
+/// # Errors
+/// Returns a rendered diagnostic/compile error message.
+pub fn compile_hir(
+    module: &mut Module,
+    optimize: bool,
+) -> Result<(verilog::Design, std::time::Duration), String> {
+    let start = std::time::Instant::now();
+    let mut diags = ir::DiagnosticEngine::new();
+    ir::verify_module(module, &hir::hir_registry(), &mut diags).map_err(|_| diags.render())?;
+    hir_verify::verify_schedule(module, &mut diags).map_err(|_| diags.render())?;
+    if optimize {
+        hir_opt::optimize(module).map_err(|p| format!("pass '{p}' failed"))?;
+        let mut diags = ir::DiagnosticEngine::new();
+        hir_verify::verify_schedule(module, &mut diags).map_err(|_| diags.render())?;
+    }
+    let design = hir_codegen::generate_design(module, &hir_codegen::CodegenOptions::default())
+        .map_err(|e| e.to_string())?;
+    Ok((design, start.elapsed()))
+}
+
+/// Top Verilog module name for an HIR benchmark function.
+pub fn hir_top(func: &str) -> String {
+    hir_codegen::module_name(func)
+}
+
+/// Resolve the `FuncOp` of a benchmark function.
+///
+/// # Panics
+/// Panics when the function is missing (programming error in a harness).
+pub fn find_func(module: &Module, name: &str) -> FuncOp {
+    let table = ir::SymbolTable::build(module);
+    FuncOp::wrap(
+        module,
+        table.lookup(name).expect("benchmark function exists"),
+    )
+    .expect("symbol is a hir.func")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_compile_through_both_pipelines() {
+        for b in compiled_benchmarks() {
+            let mut m = (b.build_hir)();
+            let (design, _) = compile_hir(&mut m, false)
+                .unwrap_or_else(|e| panic!("{} HIR compile failed:\n{e}", b.name));
+            assert!(design.find(&hir_top(b.hir_func)).is_some(), "{}", b.name);
+
+            let k = (b.build_hls)();
+            let c = hls::compile(&k, &hls::SchedOptions::default())
+                .unwrap_or_else(|e| panic!("{} HLS compile failed: {e}", b.name));
+            assert!(c.design.find(&c.top).is_some(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn optimization_reduces_transpose_resources() {
+        // The Table 4 claim: precision optimization cuts FF count sharply.
+        let model = synth::CostModel::default();
+        let mut no_opt = transpose::hir_transpose(sizes::TRANSPOSE_N, 32);
+        let (d1, _) = compile_hir(&mut no_opt, false).unwrap();
+        let r_no_opt = synth::estimate_design(&d1, &hir_top(transpose::FUNC), &model);
+
+        let mut auto_opt = transpose::hir_transpose(sizes::TRANSPOSE_N, 32);
+        let (d2, _) = compile_hir(&mut auto_opt, true).unwrap();
+        let r_auto = synth::estimate_design(&d2, &hir_top(transpose::FUNC), &model);
+
+        assert!(
+            r_auto.ff < r_no_opt.ff,
+            "precision opt must cut FFs: {} -> {}",
+            r_no_opt.ff,
+            r_auto.ff
+        );
+        assert!(
+            r_auto.lut <= r_no_opt.lut,
+            "{} -> {}",
+            r_no_opt.lut,
+            r_auto.lut
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Matrix transpose (paper Listing 1, Tables 4/5/6).
+//!
+//! Reads an N×N matrix through one memory interface and writes its
+//! transpose through another. The inner loop is pipelined at II=1; the
+//! outer loop is sequential.
+
+use hir::types::{MemKind, MemrefInfo, Port};
+use hir::HirBuilder;
+use hls::{KExpr, KStmt, Kernel, LoopPragmas};
+use ir::{Location, Module, Type};
+
+/// HIR function name.
+pub const FUNC: &str = "transpose";
+
+/// Build the HIR design. `iv_width` models the source-level counter width
+/// (32 = unoptimized frontend output, narrowed by the precision pass).
+pub fn hir_transpose(n: u64, iv_width: u32) -> Module {
+    let mut hb = HirBuilder::new();
+    hb.set_loc(Location::file_line_col("kernels/transpose.hir", 1, 1));
+    let a = MemrefInfo::packed(&[n, n], Type::int(32), Port::Read, MemKind::BlockRam);
+    let c = a.with_port(Port::Write);
+    let f = hb.func(FUNC, &[("Ai", a.to_type()), ("Co", c.to_type())], &[]);
+    let t = f.time_var(hb.module());
+    let args = f.args(hb.module());
+    let (c0, cn, c1) = (hb.const_val(0), hb.const_val(n as i64), hb.const_val(1));
+    let i_loop = hb.for_loop(c0, cn, c1, t, 1, Type::int(iv_width));
+    hb.in_loop(i_loop, |hb, i, ti| {
+        let j_loop = hb.for_loop(c0, cn, c1, ti, 1, Type::int(iv_width));
+        hb.in_loop(j_loop, |hb, j, tj| {
+            let v = hb.mem_read(args[0], &[i, j], tj, 0);
+            let j1 = hb.delay(j, 1, tj, 0);
+            hb.mem_write(v, args[1], &[j1, i], tj, 1);
+            hb.yield_at(tj, 1);
+        });
+        let tf = j_loop.result_time(hb.module());
+        hb.yield_at(tf, 1);
+    });
+    hb.return_(&[]);
+    hb.finish()
+}
+
+/// The HLS form. `manual_opt` narrows the loop counters the way the paper's
+/// manually-optimized Vivado HLS source does (Table 4's second row).
+pub fn hls_transpose(n: u64, manual_opt: bool) -> Kernel {
+    let mut k = Kernel::new(FUNC);
+    k.in_array("Ai", 32, &[n, n]).out_array("Co", 32, &[n, n]);
+    if manual_opt {
+        k.loop_var_width = hir_opt::signed_width_for(0, n as i128);
+    }
+    k.body = vec![KStmt::For {
+        var: "i".into(),
+        lb: 0,
+        ub: n as i64,
+        step: 1,
+        pragmas: LoopPragmas::default(),
+        body: vec![KStmt::For {
+            var: "j".into(),
+            lb: 0,
+            ub: n as i64,
+            step: 1,
+            pragmas: LoopPragmas {
+                pipeline_ii: Some(1),
+                unroll: false,
+            },
+            body: vec![KStmt::Store {
+                array: "Co".into(),
+                indices: vec![KExpr::var("j"), KExpr::var("i")],
+                value: KExpr::read("Ai", vec![KExpr::var("i"), KExpr::var("j")]),
+            }],
+        }],
+    }];
+    k
+}
+
+/// Software reference.
+pub fn reference(n: u64, input: &[i128]) -> Vec<i128> {
+    let n = n as usize;
+    let mut out = vec![0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            out[j * n + i] = input[i * n + j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hir::interp::{ArgValue, Interpreter};
+
+    #[test]
+    fn hir_matches_reference() {
+        let n = 16;
+        let m = hir_transpose(n, 32);
+        let mut diags = ir::DiagnosticEngine::new();
+        hir_verify::verify_schedule(&m, &mut diags).expect("schedule");
+        let input: Vec<i128> = (0..(n * n) as i128).map(|x| x * 7 - 300).collect();
+        let r = Interpreter::new(&m)
+            .run(
+                FUNC,
+                &[
+                    ArgValue::tensor_from(&input),
+                    ArgValue::uninit_tensor((n * n) as usize),
+                ],
+            )
+            .expect("simulate");
+        let out: Vec<i128> = r.tensors[&1].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(out, reference(n, &input));
+    }
+
+    #[test]
+    fn hls_matches_reference() {
+        let n = 8;
+        let k = hls_transpose(n, false);
+        let c = hls::compile(&k, &hls::SchedOptions::default()).expect("compile");
+        let input: Vec<i128> = (0..(n * n) as i128).collect();
+        let r = Interpreter::new(&c.hir_module)
+            .run(
+                "hls_transpose",
+                &[
+                    ArgValue::tensor_from(&input),
+                    ArgValue::uninit_tensor((n * n) as usize),
+                ],
+            )
+            .expect("simulate");
+        let out: Vec<i128> = r.tensors[&1].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(out, reference(n, &input));
+    }
+}

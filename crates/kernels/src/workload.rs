@@ -1,0 +1,72 @@
+//! Deterministic random workload generation for the benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible RNG for benchmark inputs.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `len` random 32-bit values (as i128).
+pub fn random_i32s(seed: u64, len: usize) -> Vec<i128> {
+    let mut r = rng(seed);
+    (0..len)
+        .map(|_| r.gen_range(-1_000_000i64..1_000_000) as i128)
+        .collect()
+}
+
+/// `len` random values in `0..bound` (histogram pixels, FIFO commands...).
+pub fn random_bounded(seed: u64, len: usize, bound: i128) -> Vec<i128> {
+    let mut r = rng(seed);
+    (0..len)
+        .map(|_| r.gen_range(0..bound as i64) as i128)
+        .collect()
+}
+
+/// A random FIFO command stream that never underflows or overflows.
+pub fn random_fifo_commands(seed: u64, len: usize, depth: usize) -> Vec<i128> {
+    let mut r = rng(seed);
+    let mut occupancy = 0usize;
+    (0..len)
+        .map(|_| {
+            let want_push = r.gen_bool(0.6);
+            if want_push && occupancy < depth {
+                occupancy += 1;
+                crate::fifo::CMD_PUSH
+            } else if occupancy > 0 {
+                occupancy -= 1;
+                crate::fifo::CMD_POP
+            } else {
+                crate::fifo::CMD_NOP
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_i32s(7, 16), random_i32s(7, 16));
+        assert_ne!(random_i32s(7, 16), random_i32s(8, 16));
+    }
+
+    #[test]
+    fn fifo_commands_never_underflow() {
+        let cmds = random_fifo_commands(3, 200, 8);
+        let mut occ = 0i64;
+        for c in cmds {
+            if c == crate::fifo::CMD_PUSH {
+                occ += 1;
+            }
+            if c == crate::fifo::CMD_POP {
+                occ -= 1;
+            }
+            assert!(occ >= 0);
+            assert!(occ <= 8);
+        }
+    }
+}

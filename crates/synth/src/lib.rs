@@ -1,0 +1,617 @@
+//! # `synth` — FPGA resource estimation (the Vivado-synthesis stand-in)
+//!
+//! Maps a [`verilog::Design`] onto a Xilinx-7-series-like fabric and counts
+//! LUTs, flip-flops, DSP blocks and block RAMs, using the well-known
+//! mapping rules for that architecture:
+//!
+//! * a `w`-bit add/subtract costs `w` LUTs (carry chain);
+//! * a wide multiply maps to DSP48-style blocks (25×18 each); narrow or
+//!   constant multiplies stay in LUTs;
+//! * bitwise logic and 2:1 muxes pack two bits per LUT6;
+//! * registers cost one FF per bit;
+//! * memories map by their `ram_style` attribute — block RAM (18Kb units),
+//!   distributed LUT RAM (64×1 per LUT single-port, 32×1 dual-port) or
+//!   plain registers;
+//! * comparisons use the carry chain at roughly one LUT per two bits.
+//!
+//! The paper's Tables 4 and 5 compare *relative* LUT/FF/DSP/BRAM usage of
+//! HIR-generated versus HLS-generated RTL. A deterministic mapper preserves
+//! those relations because the differences originate in the RTL itself
+//! (extra pipeline registers, wider counters, handshake logic), not in
+//! vendor-tool heuristics.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+use verilog::{BinOp, Design, Expr, MemDecl, NetKind, Stmt, UnOp, VModule};
+
+/// Counted FPGA resources.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Resources {
+    pub lut: u64,
+    pub ff: u64,
+    pub dsp: u64,
+    pub bram: u64,
+}
+
+impl Resources {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, o: Resources) -> Resources {
+        Resources {
+            lut: self.lut + o.lut,
+            ff: self.ff + o.ff,
+            dsp: self.dsp + o.dsp,
+            bram: self.bram + o.bram,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, o: Resources) {
+        *self = *self + o;
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT={} FF={} DSP={} BRAM={}",
+            self.lut, self.ff, self.dsp, self.bram
+        )
+    }
+}
+
+/// Tunable cost model (defaults approximate a 7-series fabric).
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Minimum operand width for a multiply to claim a DSP block.
+    pub dsp_mult_threshold: u32,
+    /// DSP multiplier geometry (25x18 on 7-series).
+    pub dsp_a_width: u32,
+    pub dsp_b_width: u32,
+    /// Block RAM unit capacity in bits (BRAM18).
+    pub bram_bits: u64,
+    /// Max native BRAM word width before cascading.
+    pub bram_max_width: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            dsp_mult_threshold: 11,
+            dsp_a_width: 25,
+            dsp_b_width: 18,
+            bram_bits: 18 * 1024,
+            bram_max_width: 18,
+        }
+    }
+}
+
+/// Estimate resources of `top` (recursively including its instances).
+///
+/// # Panics
+/// Panics if an instantiated module is missing from the design — external
+/// blackboxes must be present (or use [`estimate_module`] per module).
+pub fn estimate_design(design: &Design, top: &str, model: &CostModel) -> Resources {
+    let mut memo: HashMap<String, Resources> = HashMap::new();
+    estimate_rec(design, top, model, &mut memo)
+}
+
+/// Per-module breakdown of `top`'s resources: `(module name, instance
+/// count, per-instance resources)`, sorted by total LUT contribution.
+pub fn estimate_breakdown(
+    design: &Design,
+    top: &str,
+    model: &CostModel,
+) -> Vec<(String, u64, Resources)> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    fn count(design: &Design, name: &str, counts: &mut HashMap<String, u64>) {
+        *counts.entry(name.to_string()).or_default() += 1;
+        if let Some(m) = design.find(name) {
+            for inst in &m.instances {
+                count(design, &inst.module, counts);
+            }
+        }
+    }
+    count(design, top, &mut counts);
+    let mut rows: Vec<(String, u64, Resources)> = counts
+        .into_iter()
+        .filter_map(|(name, n)| {
+            design.find(&name).map(|m| (name, n, estimate_module(m, model)))
+        })
+        .collect();
+    rows.sort_by_key(|(_, n, r)| std::cmp::Reverse(n * r.lut));
+    rows
+}
+
+fn estimate_rec(
+    design: &Design,
+    name: &str,
+    model: &CostModel,
+    memo: &mut HashMap<String, Resources>,
+) -> Resources {
+    if let Some(&r) = memo.get(name) {
+        return r;
+    }
+    let module = design
+        .find(name)
+        .unwrap_or_else(|| panic!("module '{name}' not found in design (missing blackbox?)"));
+    let mut total = estimate_module(module, model);
+    for inst in &module.instances {
+        total += estimate_rec(design, &inst.module, model, memo);
+    }
+    memo.insert(name.to_string(), total);
+    total
+}
+
+/// Estimate one module in isolation (instances excluded).
+pub fn estimate_module(m: &VModule, model: &CostModel) -> Resources {
+    let mut r = Resources::new();
+
+    // Registers.
+    for n in &m.nets {
+        if n.kind == NetKind::Reg {
+            r.ff += n.width as u64;
+        }
+    }
+    for p in &m.ports {
+        if p.is_reg {
+            r.ff += p.width as u64;
+        }
+    }
+
+    // Memories.
+    for mem in &m.memories {
+        r += memory_cost(m, mem, model);
+    }
+
+    // Combinational logic.
+    let mut est = ExprEstimator {
+        m,
+        model,
+        r: Resources::new(),
+    };
+    for a in &m.assigns {
+        est.expr(&a.rhs);
+    }
+    for blk in &m.always {
+        for s in &blk.stmts {
+            est.stmt(s);
+        }
+    }
+    r += est.r;
+    r
+}
+
+fn memory_cost(m: &VModule, mem: &MemDecl, model: &CostModel) -> Resources {
+    let mut r = Resources::new();
+    let style = mem.style.as_deref().unwrap_or("bram");
+    match style {
+        "bram" => {
+            let width_units = mem.width.div_ceil(model.bram_max_width) as u64;
+            let depth_bits = mem.depth * model.bram_max_width as u64;
+            let depth_units = depth_bits.div_ceil(model.bram_bits).max(1);
+            r.bram += width_units * depth_units;
+        }
+        "lutram" => {
+            // Dual-port when reads and writes use distinct addressing.
+            let dual = is_dual_ported(m, &mem.name);
+            let per_lut_depth = if dual { 32 } else { 64 };
+            r.lut += mem.depth.div_ceil(per_lut_depth).max(1) * mem.width as u64;
+        }
+        _ => {
+            r.ff += mem.depth * mem.width as u64;
+            // Asynchronous read mux over the register file.
+            r.lut += (mem.depth.saturating_sub(1)) * (mem.width as u64).div_ceil(2);
+        }
+    }
+    r
+}
+
+/// A memory is dual-ported if it is both read and written and the module
+/// drives them through different address expressions.
+fn is_dual_ported(m: &VModule, mem_name: &str) -> bool {
+    let mut read_addrs: Vec<String> = Vec::new();
+    let mut write_addrs: Vec<String> = Vec::new();
+    for a in &m.assigns {
+        collect_mem_reads(&a.rhs, mem_name, &mut read_addrs);
+    }
+    for blk in &m.always {
+        for s in &blk.stmts {
+            scan_stmt(s, mem_name, &mut read_addrs, &mut write_addrs);
+        }
+    }
+    if read_addrs.is_empty() || write_addrs.is_empty() {
+        return false;
+    }
+    read_addrs.iter().any(|ra| !write_addrs.contains(ra))
+}
+
+fn scan_stmt(
+    s: &Stmt,
+    mem_name: &str,
+    read_addrs: &mut Vec<String>,
+    write_addrs: &mut Vec<String>,
+) {
+    match s {
+        Stmt::NonBlocking { lhs, rhs } => {
+            if let verilog::LValue::MemElem { mem, addr } = lhs {
+                if mem == mem_name {
+                    write_addrs.push(verilog::print_expr(addr));
+                }
+            }
+            collect_mem_reads(rhs, mem_name, read_addrs);
+        }
+        Stmt::If { cond, then, els } => {
+            collect_mem_reads(cond, mem_name, read_addrs);
+            for t in then {
+                scan_stmt(t, mem_name, read_addrs, write_addrs);
+            }
+            for e in els {
+                scan_stmt(e, mem_name, read_addrs, write_addrs);
+            }
+        }
+        Stmt::Assert { .. } => {}
+    }
+}
+
+fn collect_mem_reads(e: &Expr, mem_name: &str, out: &mut Vec<String>) {
+    match e {
+        Expr::MemRead { mem, addr } => {
+            if mem == mem_name {
+                out.push(verilog::print_expr(addr));
+            }
+            collect_mem_reads(addr, mem_name, out);
+        }
+        Expr::Slice { base, .. } => collect_mem_reads(base, mem_name, out),
+        Expr::Unary { arg, .. } => collect_mem_reads(arg, mem_name, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_mem_reads(lhs, mem_name, out);
+            collect_mem_reads(rhs, mem_name, out);
+        }
+        Expr::Ternary { cond, then, els } => {
+            collect_mem_reads(cond, mem_name, out);
+            collect_mem_reads(then, mem_name, out);
+            collect_mem_reads(els, mem_name, out);
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                collect_mem_reads(p, mem_name, out);
+            }
+        }
+        Expr::SignExtend { arg, .. } => collect_mem_reads(arg, mem_name, out),
+        Expr::Const { .. } | Expr::Ref(_) => {}
+    }
+}
+
+struct ExprEstimator<'a> {
+    m: &'a VModule,
+    model: &'a CostModel,
+    r: Resources,
+}
+
+impl ExprEstimator<'_> {
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::NonBlocking { lhs, rhs } => {
+                if let verilog::LValue::MemElem { addr, .. } = lhs {
+                    self.expr(addr);
+                }
+                self.expr(rhs);
+            }
+            Stmt::If { cond, then, els } => {
+                self.expr(cond);
+                for t in then {
+                    self.stmt(t);
+                }
+                for e in els {
+                    self.stmt(e);
+                }
+            }
+            Stmt::Assert { .. } => {} // simulation-only
+        }
+    }
+
+    /// Width of an expression, for costing.
+    fn width(&self, e: &Expr) -> u32 {
+        match e {
+            Expr::Const { width, .. } => *width,
+            Expr::Ref(n) => self.m.width_of(n).unwrap_or(1),
+            Expr::MemRead { mem, .. } => self.m.width_of(mem).unwrap_or(32),
+            Expr::Slice { hi, lo, .. } => hi - lo + 1,
+            Expr::Unary { op, arg } => match op {
+                UnOp::Not => self.width(arg),
+                UnOp::LNot | UnOp::RedOr => 1,
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                if op.is_comparison() {
+                    1
+                } else if *op == BinOp::Mul {
+                    (self.width(lhs) + self.width(rhs)).min(64)
+                } else {
+                    self.width(lhs).max(self.width(rhs))
+                }
+            }
+            Expr::Ternary { then, els, .. } => self.width(then).max(self.width(els)),
+            Expr::Concat(parts) => parts.iter().map(|p| self.width(p)).sum(),
+            Expr::SignExtend { to, .. } => *to,
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const { .. } | Expr::Ref(_) => {}
+            Expr::MemRead { addr, .. } => self.expr(addr),
+            Expr::Slice { base, .. } => self.expr(base),
+            Expr::Unary { op, arg } => {
+                self.expr(arg);
+                let w = self.width(arg) as u64;
+                match op {
+                    UnOp::Not => {} // absorbed into downstream LUTs
+                    UnOp::LNot | UnOp::RedOr => self.r.lut += w.div_ceil(6),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                let wl = self.width(lhs);
+                let wr = self.width(rhs);
+                let w = wl.max(wr) as u64;
+                match op {
+                    BinOp::Add | BinOp::Sub => self.r.lut += w,
+                    BinOp::Mul => self.mult(lhs, rhs, wl, wr),
+                    BinOp::And | BinOp::Or | BinOp::Xor => self.r.lut += w.div_ceil(2),
+                    BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+                        if matches!(**rhs, Expr::Const { .. }) {
+                            // Constant shift: pure wiring.
+                        } else {
+                            // Barrel shifter.
+                            let stages = (64 - (w.max(2) - 1).leading_zeros()) as u64;
+                            self.r.lut += w * stages / 2;
+                        }
+                    }
+                    BinOp::Eq | BinOp::Ne => self.r.lut += w.div_ceil(3),
+                    BinOp::SLt | BinOp::SLe | BinOp::SGt | BinOp::SGe | BinOp::ULt | BinOp::ULe => {
+                        self.r.lut += w.div_ceil(2)
+                    }
+                }
+            }
+            Expr::Ternary { cond, then, els } => {
+                self.expr(cond);
+                self.expr(then);
+                self.expr(els);
+                let w = self.width(then).max(self.width(els)) as u64;
+                self.r.lut += w.div_ceil(2);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    self.expr(p);
+                }
+            }
+            Expr::SignExtend { arg, .. } => self.expr(arg),
+        }
+    }
+
+    fn mult(&mut self, lhs: &Expr, rhs: &Expr, wl: u32, wr: u32) {
+        let lhs_const = matches!(lhs, Expr::Const { .. });
+        let rhs_const = matches!(rhs, Expr::Const { .. });
+        if lhs_const || rhs_const {
+            // Constant multiply: shift-add network in LUTs.
+            let (cw, vw) = if lhs_const { (wl, wr) } else { (wr, wl) };
+            self.r.lut += (vw as u64) * (cw as u64).div_ceil(8).max(1);
+            return;
+        }
+        let small = wl.min(wr);
+        let big = wl.max(wr);
+        if small < self.model.dsp_mult_threshold {
+            // Small multiply in fabric: ~ w*w/2 LUTs.
+            self.r.lut += (wl as u64 * wr as u64).div_ceil(2);
+        } else {
+            // Area-based DSP48 tiling: a 32x32 multiply costs 3 blocks on
+            // 7-series (two 25x18 partial products plus a cascade).
+            let area = big as u64 * small as u64;
+            let unit = self.model.dsp_a_width as u64 * self.model.dsp_b_width as u64;
+            self.r.dsp += area.div_ceil(unit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verilog::{Dir, Expr, LValue, VModule};
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn registers_count_as_ffs() {
+        let mut m = VModule::new("t");
+        m.reg("a", 8);
+        m.reg("b", 32);
+        m.wire("c", 16);
+        let r = estimate_module(&m, &model());
+        assert_eq!(r.ff, 40);
+        assert_eq!(r.lut, 0);
+    }
+
+    #[test]
+    fn adders_cost_one_lut_per_bit() {
+        let mut m = VModule::new("t");
+        m.port("a", Dir::Input, 32);
+        m.port("b", Dir::Input, 32);
+        m.wire("s", 32);
+        m.assign("s", Expr::add(Expr::r("a"), Expr::r("b")));
+        let r = estimate_module(&m, &model());
+        assert_eq!(r.lut, 32);
+    }
+
+    #[test]
+    fn wide_multiply_claims_dsp_narrow_stays_in_luts() {
+        let mut m = VModule::new("t");
+        m.port("a", Dir::Input, 32);
+        m.port("b", Dir::Input, 32);
+        m.port("x", Dir::Input, 6);
+        m.port("y", Dir::Input, 6);
+        m.wire("p", 64);
+        m.wire("q", 12);
+        m.assign("p", Expr::bin(BinOp::Mul, Expr::r("a"), Expr::r("b")));
+        m.assign("q", Expr::bin(BinOp::Mul, Expr::r("x"), Expr::r("y")));
+        let r = estimate_module(&m, &model());
+        // 32x32 on 25x18 DSPs: ceil(1024/450) = 3 (two partials + cascade).
+        assert_eq!(r.dsp, 3);
+        assert!(r.lut >= 18, "narrow multiply in LUTs, got {}", r.lut);
+    }
+
+    #[test]
+    fn constant_multiply_uses_no_dsp() {
+        let mut m = VModule::new("t");
+        m.port("a", Dir::Input, 32);
+        m.wire("p", 40);
+        m.assign("p", Expr::bin(BinOp::Mul, Expr::r("a"), Expr::c(100, 8)));
+        let r = estimate_module(&m, &model());
+        assert_eq!(r.dsp, 0);
+        assert!(r.lut > 0);
+    }
+
+    #[test]
+    fn bram_and_lutram_mapping() {
+        let mut m = VModule::new("t");
+        m.memory("big", 32, 1024, Some("bram")); // 2 width units of 18
+        m.memory("small", 8, 32, Some("lutram"));
+        let r = estimate_module(&m, &model());
+        assert_eq!(r.bram, 2);
+        // 32-deep single-port lutram: 1 LUT per bit -> 8 LUTs.
+        assert_eq!(r.lut, 8);
+    }
+
+    #[test]
+    fn dual_port_lutram_costs_double() {
+        let mut single = VModule::new("s");
+        single.port("clk", Dir::Input, 1);
+        single.port("addr", Dir::Input, 6);
+        single.memory("ram", 8, 64, Some("lutram"));
+        single.wire("q", 8);
+        single.assign(
+            "q",
+            Expr::MemRead {
+                mem: "ram".into(),
+                addr: Box::new(Expr::r("addr")),
+            },
+        );
+        single.main_always().stmts.push(Stmt::NonBlocking {
+            lhs: LValue::MemElem {
+                mem: "ram".into(),
+                addr: Expr::r("addr"),
+            },
+            rhs: Expr::c(0, 8),
+        });
+        let r_single = estimate_module(&single, &model());
+
+        let mut dual = VModule::new("d");
+        dual.port("clk", Dir::Input, 1);
+        dual.port("raddr", Dir::Input, 6);
+        dual.port("waddr", Dir::Input, 6);
+        dual.memory("ram", 8, 64, Some("lutram"));
+        dual.wire("q", 8);
+        dual.assign(
+            "q",
+            Expr::MemRead {
+                mem: "ram".into(),
+                addr: Box::new(Expr::r("raddr")),
+            },
+        );
+        dual.main_always().stmts.push(Stmt::NonBlocking {
+            lhs: LValue::MemElem {
+                mem: "ram".into(),
+                addr: Expr::r("waddr"),
+            },
+            rhs: Expr::c(0, 8),
+        });
+        let r_dual = estimate_module(&dual, &model());
+        assert!(
+            r_dual.lut > r_single.lut,
+            "dual-port LUTRAM must cost more: {} vs {}",
+            r_dual.lut,
+            r_single.lut
+        );
+    }
+
+    #[test]
+    fn hierarchical_estimation_sums_instances() {
+        let mut child = VModule::new("child");
+        child.reg("r", 16);
+        let mut top = VModule::new("top");
+        top.reg("r", 4);
+        top.instances.push(verilog::Instance {
+            module: "child".into(),
+            name: "u0".into(),
+            connections: vec![],
+        });
+        top.instances.push(verilog::Instance {
+            module: "child".into(),
+            name: "u1".into(),
+            connections: vec![],
+        });
+        let mut d = Design::new();
+        d.add(child);
+        d.add(top);
+        let r = estimate_design(&d, "top", &model());
+        assert_eq!(r.ff, 4 + 16 + 16);
+    }
+
+    #[test]
+    fn assertions_are_free() {
+        let mut m = VModule::new("t");
+        m.port("clk", Dir::Input, 1);
+        m.main_always().stmts.push(Stmt::Assert {
+            guard: Expr::r("clk"),
+            cond: Expr::r("clk"),
+            message: "x".into(),
+        });
+        let r = estimate_module(&m, &model());
+        assert_eq!(r, Resources::new());
+    }
+
+    #[test]
+    fn breakdown_accounts_for_instance_multiplicity() {
+        let mut child = VModule::new("child");
+        child.reg("r", 16);
+        let mut top = VModule::new("top");
+        top.reg("r", 4);
+        for i in 0..3 {
+            top.instances.push(verilog::Instance {
+                module: "child".into(),
+                name: format!("u{i}"),
+                connections: vec![],
+            });
+        }
+        let mut d = Design::new();
+        d.add(child);
+        d.add(top);
+        let rows = estimate_breakdown(&d, "top", &model());
+        let child_row = rows.iter().find(|(n, _, _)| n == "child").unwrap();
+        assert_eq!(child_row.1, 3, "three instances");
+        assert_eq!(child_row.2.ff, 16, "per-instance resources");
+        // Breakdown totals match the flat estimate.
+        let total: u64 = rows.iter().map(|(_, n, r)| n * r.ff).sum();
+        assert_eq!(total, estimate_design(&d, "top", &model()).ff);
+    }
+
+    #[test]
+    fn register_file_mapping() {
+        let mut m = VModule::new("t");
+        m.memory("rf", 32, 2, Some("reg"));
+        let r = estimate_module(&m, &model());
+        assert_eq!(r.ff, 64);
+        assert!(r.lut >= 16, "read mux expected, got {}", r.lut);
+    }
+}

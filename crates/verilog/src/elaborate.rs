@@ -1,0 +1,282 @@
+//! Elaboration: flatten a hierarchical [`Design`] into a single module.
+//!
+//! Instances are inlined recursively; every net of an instance `u` of module
+//! `M` becomes `u__<net>` in the flat module. Input-port connections become
+//! continuous assigns into the child's port wire; output-port connections
+//! must be plain net references in the parent and become assigns out of the
+//! child's port wire.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Elaboration failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElabError(pub String);
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error: {}", self.0)
+    }
+}
+impl std::error::Error for ElabError {}
+
+/// Flatten `top` and everything it instantiates into one module.
+///
+/// # Errors
+/// Returns an error on unknown modules/ports or non-net output connections.
+pub fn flatten(design: &Design, top: &str) -> Result<VModule, ElabError> {
+    let top_module = design
+        .find(top)
+        .ok_or_else(|| ElabError(format!("no module named '{top}'")))?;
+    let mut out = VModule::new(top.to_string());
+    out.ports = top_module.ports.clone();
+    inline(design, top_module, "", &mut out)?;
+    Ok(out)
+}
+
+fn prefixed(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}__{name}")
+    }
+}
+
+fn inline(
+    design: &Design,
+    module: &VModule,
+    prefix: &str,
+    out: &mut VModule,
+) -> Result<(), ElabError> {
+    // Locals: nets and memories, renamed.
+    for n in &module.nets {
+        out.nets.push(NetDecl {
+            name: prefixed(prefix, &n.name),
+            ..n.clone()
+        });
+    }
+    for m in &module.memories {
+        out.memories.push(MemDecl {
+            name: prefixed(prefix, &m.name),
+            ..m.clone()
+        });
+    }
+    // Non-top ports become wires.
+    if !prefix.is_empty() {
+        for p in &module.ports {
+            out.nets.push(NetDecl {
+                name: prefixed(prefix, &p.name),
+                kind: NetKind::Wire,
+                width: p.width,
+                init: None,
+            });
+        }
+    }
+    for a in &module.assigns {
+        out.assigns.push(Assign {
+            lhs: prefixed(prefix, &a.lhs),
+            rhs: rename_expr(&a.rhs, prefix),
+            comment: a.comment.clone(),
+        });
+    }
+    for blk in &module.always {
+        let stmts = blk.stmts.iter().map(|s| rename_stmt(s, prefix)).collect();
+        out.always.push(AlwaysBlock { stmts });
+    }
+    for inst in &module.instances {
+        let child = design
+            .find(&inst.module)
+            .ok_or_else(|| ElabError(format!("instance of unknown module '{}'", inst.module)))?;
+        let child_prefix = prefixed(prefix, &inst.name);
+        let mut connected: HashMap<&str, ()> = HashMap::new();
+        for (port, expr) in &inst.connections {
+            let decl = child.find_port(port).ok_or_else(|| {
+                ElabError(format!("module '{}' has no port '{port}'", inst.module))
+            })?;
+            connected.insert(port.as_str(), ());
+            let port_net = prefixed(&child_prefix, port);
+            match decl.dir {
+                Dir::Input => out.assigns.push(Assign {
+                    lhs: port_net,
+                    rhs: rename_expr(expr, prefix),
+                    comment: None,
+                }),
+                Dir::Output => match expr {
+                    Expr::Ref(parent_net) => out.assigns.push(Assign {
+                        lhs: prefixed(prefix, parent_net),
+                        rhs: Expr::Ref(port_net),
+                        comment: None,
+                    }),
+                    other => {
+                        return Err(ElabError(format!(
+                            "output port '{port}' of instance '{}' must connect to a net, \
+                             got {other:?}",
+                            inst.name
+                        )))
+                    }
+                },
+            }
+        }
+        for p in &child.ports {
+            if p.dir == Dir::Input && !connected.contains_key(p.name.as_str()) {
+                return Err(ElabError(format!(
+                    "input port '{}' of instance '{}' is unconnected",
+                    p.name, inst.name
+                )));
+            }
+        }
+        inline(design, child, &child_prefix, out)?;
+    }
+    Ok(())
+}
+
+fn rename_expr(e: &Expr, prefix: &str) -> Expr {
+    match e {
+        Expr::Const { .. } => e.clone(),
+        Expr::Ref(n) => Expr::Ref(prefixed(prefix, n)),
+        Expr::MemRead { mem, addr } => Expr::MemRead {
+            mem: prefixed(prefix, mem),
+            addr: Box::new(rename_expr(addr, prefix)),
+        },
+        Expr::Slice { base, hi, lo } => Expr::Slice {
+            base: Box::new(rename_expr(base, prefix)),
+            hi: *hi,
+            lo: *lo,
+        },
+        Expr::Unary { op, arg } => Expr::Unary {
+            op: *op,
+            arg: Box::new(rename_expr(arg, prefix)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rename_expr(lhs, prefix)),
+            rhs: Box::new(rename_expr(rhs, prefix)),
+        },
+        Expr::Ternary { cond, then, els } => Expr::Ternary {
+            cond: Box::new(rename_expr(cond, prefix)),
+            then: Box::new(rename_expr(then, prefix)),
+            els: Box::new(rename_expr(els, prefix)),
+        },
+        Expr::Concat(parts) => Expr::Concat(parts.iter().map(|p| rename_expr(p, prefix)).collect()),
+        Expr::SignExtend { arg, from, to } => Expr::SignExtend {
+            arg: Box::new(rename_expr(arg, prefix)),
+            from: *from,
+            to: *to,
+        },
+    }
+}
+
+fn rename_stmt(s: &Stmt, prefix: &str) -> Stmt {
+    match s {
+        Stmt::NonBlocking { lhs, rhs } => Stmt::NonBlocking {
+            lhs: match lhs {
+                LValue::Net(n) => LValue::Net(prefixed(prefix, n)),
+                LValue::MemElem { mem, addr } => LValue::MemElem {
+                    mem: prefixed(prefix, mem),
+                    addr: rename_expr(addr, prefix),
+                },
+            },
+            rhs: rename_expr(rhs, prefix),
+        },
+        Stmt::If { cond, then, els } => Stmt::If {
+            cond: rename_expr(cond, prefix),
+            then: then.iter().map(|t| rename_stmt(t, prefix)).collect(),
+            els: els.iter().map(|t| rename_stmt(t, prefix)).collect(),
+        },
+        Stmt::Assert {
+            guard,
+            cond,
+            message,
+        } => Stmt::Assert {
+            guard: rename_expr(guard, prefix),
+            cond: rename_expr(cond, prefix),
+            message: message.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn child() -> VModule {
+        let mut m = VModule::new("inc");
+        m.port("clk", Dir::Input, 1);
+        m.port("x", Dir::Input, 8);
+        m.port("y", Dir::Output, 8);
+        m.assign("y", Expr::add(Expr::r("x"), Expr::c(1, 8)));
+        m
+    }
+
+    fn parent() -> VModule {
+        let mut m = VModule::new("top");
+        m.port("clk", Dir::Input, 1);
+        m.port("a", Dir::Input, 8);
+        m.port("b", Dir::Output, 8);
+        m.wire("mid", 8);
+        m.instances.push(Instance {
+            module: "inc".into(),
+            name: "u0".into(),
+            connections: vec![
+                ("clk".into(), Expr::r("clk")),
+                ("x".into(), Expr::r("a")),
+                ("y".into(), Expr::r("mid")),
+            ],
+        });
+        m.instances.push(Instance {
+            module: "inc".into(),
+            name: "u1".into(),
+            connections: vec![
+                ("clk".into(), Expr::r("clk")),
+                ("x".into(), Expr::r("mid")),
+                ("y".into(), Expr::r("b")),
+            ],
+        });
+        m
+    }
+
+    #[test]
+    fn flattens_two_levels() {
+        let mut d = Design::new();
+        d.add(child());
+        d.add(parent());
+        let flat = flatten(&d, "top").expect("flatten");
+        // Child nets prefixed; output port connection produced an assign.
+        assert!(flat.nets.iter().any(|n| n.name == "u0__x"));
+        assert!(flat.nets.iter().any(|n| n.name == "u1__y"));
+        assert!(flat.assigns.iter().any(|a| a.lhs == "mid"));
+        assert!(flat.assigns.iter().any(|a| a.lhs == "b"));
+        // Two copies of the child's adder logic.
+        let adders = flat
+            .assigns
+            .iter()
+            .filter(|a| matches!(&a.rhs, Expr::Binary { op: BinOp::Add, .. }))
+            .count();
+        assert_eq!(adders, 2);
+    }
+
+    #[test]
+    fn unknown_module_reported() {
+        let mut d = Design::new();
+        d.add(parent());
+        let err = flatten(&d, "top").unwrap_err();
+        assert!(err.0.contains("unknown module 'inc'"), "{err}");
+    }
+
+    #[test]
+    fn unconnected_input_reported() {
+        let mut d = Design::new();
+        d.add(child());
+        let mut p = VModule::new("top");
+        p.port("clk", Dir::Input, 1);
+        p.instances.push(Instance {
+            module: "inc".into(),
+            name: "u0".into(),
+            connections: vec![("clk".into(), Expr::r("clk"))],
+        });
+        d.add(p);
+        let err = flatten(&d, "top").unwrap_err();
+        assert!(err.0.contains("unconnected"), "{err}");
+    }
+}

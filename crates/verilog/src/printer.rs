@@ -1,0 +1,282 @@
+//! Verilog-2001 pretty printer for the [`crate::ast`] subset.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Print a whole design.
+pub fn print_design(design: &Design) -> String {
+    let mut out = String::new();
+    for (i, m) in design.modules.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_module(m));
+    }
+    out
+}
+
+/// Print one module.
+pub fn print_module(m: &VModule) -> String {
+    let mut out = String::new();
+    for c in &m.comments {
+        let _ = writeln!(out, "// {c}");
+    }
+    let _ = write!(out, "module {}(", m.name);
+    for (i, p) in m.ports.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&p.name);
+    }
+    let _ = writeln!(out, ");");
+
+    for p in &m.ports {
+        let dir = match p.dir {
+            Dir::Input => "input",
+            Dir::Output => "output",
+        };
+        let reg = if p.is_reg { " reg" } else { "" };
+        let _ = writeln!(out, "  {dir}{reg} {}{};", range(p.width), p.name);
+    }
+    for n in &m.nets {
+        let kw = match n.kind {
+            NetKind::Wire => "wire",
+            NetKind::Reg => "reg",
+        };
+        match (n.kind, n.init) {
+            (NetKind::Reg, Some(v)) => {
+                let _ = writeln!(
+                    out,
+                    "  {kw} {}{} = {}'d{v};",
+                    range(n.width),
+                    n.name,
+                    n.width
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "  {kw} {}{};", range(n.width), n.name);
+            }
+        }
+    }
+    for mem in &m.memories {
+        if let Some(style) = &mem.style {
+            let _ = writeln!(out, "  (* ram_style = \"{style}\" *)");
+        }
+        let _ = writeln!(
+            out,
+            "  reg {}{} [0:{}];",
+            range(mem.width),
+            mem.name,
+            mem.depth.saturating_sub(1)
+        );
+    }
+
+    for a in &m.assigns {
+        if let Some(c) = &a.comment {
+            let _ = writeln!(out, "  // {c}");
+        }
+        let _ = writeln!(out, "  assign {} = {};", a.lhs, print_expr(&a.rhs));
+    }
+
+    for inst in &m.instances {
+        let _ = writeln!(out, "  {} {}(", inst.module, inst.name);
+        for (i, (port, expr)) in inst.connections.iter().enumerate() {
+            let comma = if i + 1 == inst.connections.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(out, "    .{port}({}){comma}", print_expr(expr));
+        }
+        let _ = writeln!(out, "  );");
+    }
+
+    for blk in &m.always {
+        if blk.stmts.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  always @(posedge clk) begin");
+        for s in &blk.stmts {
+            print_stmt(&mut out, s, 2);
+        }
+        let _ = writeln!(out, "  end");
+    }
+
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+fn range(width: u32) -> String {
+    if width <= 1 {
+        String::new()
+    } else {
+        format!("[{}:0] ", width - 1)
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match s {
+        Stmt::NonBlocking { lhs, rhs } => {
+            let l = match lhs {
+                LValue::Net(n) => n.clone(),
+                LValue::MemElem { mem, addr } => format!("{mem}[{}]", print_expr(addr)),
+            };
+            let _ = writeln!(out, "{pad}{l} <= {};", print_expr(rhs));
+        }
+        Stmt::If { cond, then, els } => {
+            let _ = writeln!(out, "{pad}if ({}) begin", print_expr(cond));
+            for t in then {
+                print_stmt(out, t, depth + 1);
+            }
+            if els.is_empty() {
+                let _ = writeln!(out, "{pad}end");
+            } else {
+                let _ = writeln!(out, "{pad}end else begin");
+                for e in els {
+                    print_stmt(out, e, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}end");
+            }
+        }
+        Stmt::Assert {
+            guard,
+            cond,
+            message,
+        } => {
+            let _ = writeln!(out, "{pad}// synthesis translate_off");
+            let _ = writeln!(
+                out,
+                "{pad}if (({}) && !({})) $error(\"{message}\");",
+                print_expr(guard),
+                print_expr(cond)
+            );
+            let _ = writeln!(out, "{pad}// synthesis translate_on");
+        }
+    }
+}
+
+/// Print an expression with full parenthesization (safe and simple).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Const { value, width } => format!("{width}'d{value}"),
+        Expr::Ref(n) => n.clone(),
+        Expr::MemRead { mem, addr } => format!("{mem}[{}]", print_expr(addr)),
+        Expr::Slice { base, hi, lo } => {
+            if hi == lo {
+                format!("{}[{hi}]", print_expr(base))
+            } else {
+                format!("{}[{hi}:{lo}]", print_expr(base))
+            }
+        }
+        Expr::Unary { op, arg } => {
+            let t = match op {
+                UnOp::Not => "~",
+                UnOp::LNot => "!",
+                UnOp::RedOr => "|",
+            };
+            format!("{t}({})", print_expr(arg))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            if op.is_signed() {
+                format!(
+                    "($signed({}) {} $signed({}))",
+                    print_expr(lhs),
+                    op.token(),
+                    print_expr(rhs)
+                )
+            } else {
+                format!("({} {} {})", print_expr(lhs), op.token(), print_expr(rhs))
+            }
+        }
+        Expr::Ternary { cond, then, els } => {
+            format!(
+                "({} ? {} : {})",
+                print_expr(cond),
+                print_expr(then),
+                print_expr(els)
+            )
+        }
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(print_expr).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::SignExtend { arg, from, to } => {
+            let a = print_expr(arg);
+            if to <= from {
+                a
+            } else {
+                format!("{{{{{}{{{a}[{}]}}}}, {a}}}", to - from, from - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_a_complete_module() {
+        let mut m = VModule::new("counter");
+        m.port("clk", Dir::Input, 1);
+        m.port("en", Dir::Input, 1);
+        m.port("count", Dir::Output, 8);
+        m.reg("value", 8);
+        m.assign("count", Expr::r("value"));
+        m.main_always().stmts.push(Stmt::If {
+            cond: Expr::r("en"),
+            then: vec![Stmt::NonBlocking {
+                lhs: LValue::Net("value".into()),
+                rhs: Expr::add(Expr::r("value"), Expr::c(1, 8)),
+            }],
+            els: vec![],
+        });
+        let text = print_module(&m);
+        assert!(text.contains("module counter(clk, en, count);"), "{text}");
+        assert!(text.contains("input clk;"), "{text}");
+        assert!(text.contains("output [7:0] count;"), "{text}");
+        assert!(text.contains("reg [7:0] value = 8'd0;"), "{text}");
+        assert!(text.contains("assign count = value;"), "{text}");
+        assert!(text.contains("always @(posedge clk) begin"), "{text}");
+        assert!(text.contains("value <= (value + 8'd1);"), "{text}");
+        assert!(text.ends_with("endmodule\n"), "{text}");
+    }
+
+    #[test]
+    fn prints_signed_comparison_and_memory() {
+        let mut m = VModule::new("x");
+        m.port("clk", Dir::Input, 1);
+        m.memory("buf", 32, 16, Some("lutram"));
+        m.wire("lt", 1);
+        m.assign("lt", Expr::bin(BinOp::SLt, Expr::r("a"), Expr::r("b")));
+        let text = print_module(&m);
+        assert!(text.contains("(* ram_style = \"lutram\" *)"), "{text}");
+        assert!(text.contains("reg [31:0] buf [0:15];"), "{text}");
+        assert!(text.contains("($signed(a) < $signed(b))"), "{text}");
+    }
+
+    #[test]
+    fn sign_extend_prints_replication() {
+        let e = Expr::SignExtend {
+            arg: Box::new(Expr::r("x")),
+            from: 8,
+            to: 12,
+        };
+        assert_eq!(print_expr(&e), "{{4{x[7]}}, x}");
+    }
+
+    #[test]
+    fn assertion_prints_translate_off_guard() {
+        let mut m = VModule::new("a");
+        m.port("clk", Dir::Input, 1);
+        m.main_always().stmts.push(Stmt::Assert {
+            guard: Expr::r("en"),
+            cond: Expr::bin(BinOp::ULt, Expr::r("addr"), Expr::c(16, 8)),
+            message: "address out of bounds".into(),
+        });
+        let text = print_module(&m);
+        assert!(text.contains("translate_off"), "{text}");
+        assert!(text.contains("$error(\"address out of bounds\")"), "{text}");
+    }
+}

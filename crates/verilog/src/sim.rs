@@ -1,0 +1,1057 @@
+//! Cycle-accurate two-state simulator for the synthesizable subset.
+//!
+//! The simulator flattens the design, compiles expressions to an index-based
+//! form, topologically orders the continuous assigns (rejecting
+//! combinational loops), and then alternates *settle* (combinational
+//! evaluation) and *step* (one `posedge clk`, non-blocking semantics).
+//! Immediate assertions — the automatic UB guards the HIR code generator
+//! inserts (paper §4.5) — abort the simulation with a message.
+
+use crate::ast::*;
+use crate::elaborate::{flatten, ElabError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime simulation failure (a fired assertion or an engine limit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VSimError {
+    pub cycle: u64,
+    pub message: String,
+}
+
+impl fmt::Display for VSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}: {}", self.cycle, self.message)
+    }
+}
+impl std::error::Error for VSimError {}
+
+/// Construction failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    Elab(ElabError),
+    UnknownNet(String),
+    CombinationalLoop(Vec<String>),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Elab(e) => write!(f, "{e}"),
+            BuildError::UnknownNet(n) => write!(f, "reference to undeclared net '{n}'"),
+            BuildError::CombinationalLoop(nets) => {
+                write!(f, "combinational loop through: {}", nets.join(" -> "))
+            }
+        }
+    }
+}
+impl std::error::Error for BuildError {}
+
+impl From<ElabError> for BuildError {
+    fn from(e: ElabError) -> Self {
+        BuildError::Elab(e)
+    }
+}
+
+// Compiled expression: net/memory references resolved to indices, result
+// widths precomputed.
+#[derive(Clone, Debug)]
+enum CExpr {
+    Const {
+        value: u64,
+        width: u32,
+    },
+    Net {
+        index: usize,
+        width: u32,
+    },
+    MemRead {
+        mem: usize,
+        addr: Box<CExpr>,
+        width: u32,
+    },
+    Slice {
+        base: Box<CExpr>,
+        hi: u32,
+        lo: u32,
+    },
+    Unary {
+        op: UnOp,
+        arg: Box<CExpr>,
+        width: u32,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<CExpr>,
+        rhs: Box<CExpr>,
+        width: u32,
+    },
+    Ternary {
+        cond: Box<CExpr>,
+        then: Box<CExpr>,
+        els: Box<CExpr>,
+        width: u32,
+    },
+    Concat {
+        parts: Vec<CExpr>,
+        width: u32,
+    },
+    SignExtend {
+        arg: Box<CExpr>,
+        from: u32,
+        to: u32,
+    },
+}
+
+impl CExpr {
+    fn width(&self) -> u32 {
+        match self {
+            CExpr::Const { width, .. }
+            | CExpr::Net { width, .. }
+            | CExpr::MemRead { width, .. }
+            | CExpr::Unary { width, .. }
+            | CExpr::Binary { width, .. }
+            | CExpr::Ternary { width, .. }
+            | CExpr::Concat { width, .. } => *width,
+            CExpr::Slice { hi, lo, .. } => hi - lo + 1,
+            CExpr::SignExtend { to, .. } => *to,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum CStmt {
+    AssignNet {
+        net: usize,
+        rhs: CExpr,
+    },
+    AssignMem {
+        mem: usize,
+        addr: CExpr,
+        rhs: CExpr,
+    },
+    If {
+        cond: CExpr,
+        then: Vec<CStmt>,
+        els: Vec<CStmt>,
+    },
+    Assert {
+        guard: CExpr,
+        cond: CExpr,
+        message: String,
+    },
+}
+
+/// VCD (value-change-dump) waveform recording state.
+struct Vcd {
+    out: Box<dyn std::io::Write>,
+    /// (net index, identifier code) pairs being traced.
+    traced: Vec<(usize, String)>,
+    last: Vec<Option<u64>>,
+}
+
+/// The simulator. See module docs.
+pub struct Simulator {
+    net_names: Vec<String>,
+    net_index: HashMap<String, usize>,
+    net_width: Vec<u32>,
+    values: Vec<u64>,
+    mem_names: Vec<String>,
+    mem_index: HashMap<String, usize>,
+    mem_width: Vec<u32>,
+    memories: Vec<Vec<u64>>,
+    /// Continuous assigns in topological order: (net, expr).
+    assigns: Vec<(usize, CExpr)>,
+    always: Vec<CStmt>,
+    cycle: u64,
+    dirty: bool,
+    vcd: Option<Vcd>,
+}
+
+impl Simulator {
+    /// Flatten `top` within `design` and compile it for simulation.
+    ///
+    /// # Errors
+    /// Fails on elaboration errors, undeclared nets, or combinational loops.
+    pub fn new(design: &Design, top: &str) -> Result<Self, BuildError> {
+        let flat = flatten(design, top)?;
+        Self::from_flat(&flat)
+    }
+
+    /// Build from an already-flat module (no instances).
+    pub fn from_flat(flat: &VModule) -> Result<Self, BuildError> {
+        let mut sim = Simulator {
+            net_names: Vec::new(),
+            net_index: HashMap::new(),
+            net_width: Vec::new(),
+            values: Vec::new(),
+            mem_names: Vec::new(),
+            mem_index: HashMap::new(),
+            mem_width: Vec::new(),
+            memories: Vec::new(),
+            assigns: Vec::new(),
+            always: Vec::new(),
+            cycle: 0,
+            dirty: true,
+            vcd: None,
+        };
+        for p in &flat.ports {
+            sim.add_net(&p.name, p.width, 0);
+        }
+        for n in &flat.nets {
+            sim.add_net(&n.name, n.width, n.init.unwrap_or(0));
+        }
+        for m in &flat.memories {
+            sim.mem_index.insert(m.name.clone(), sim.memories.len());
+            sim.mem_names.push(m.name.clone());
+            sim.mem_width.push(m.width);
+            sim.memories.push(vec![0; m.depth as usize]);
+        }
+
+        // Compile assigns and order them topologically.
+        let mut compiled: Vec<(usize, CExpr, Vec<usize>)> = Vec::new();
+        for a in &flat.assigns {
+            let net = sim.net(&a.lhs)?;
+            let rhs = sim.compile(&a.rhs)?;
+            let mut deps = Vec::new();
+            collect_deps(&rhs, &mut deps);
+            compiled.push((net, rhs, deps));
+        }
+        sim.assigns = topo_sort(&sim.net_names, compiled)?;
+
+        for blk in &flat.always {
+            for s in &blk.stmts {
+                let c = sim.compile_stmt(s)?;
+                sim.always.push(c);
+            }
+        }
+        Ok(sim)
+    }
+
+    fn add_net(&mut self, name: &str, width: u32, init: u64) {
+        let idx = self.values.len();
+        self.net_index.insert(name.to_string(), idx);
+        self.net_names.push(name.to_string());
+        self.net_width.push(width.max(1));
+        self.values.push(init & mask(width.max(1)));
+    }
+
+    fn net(&self, name: &str) -> Result<usize, BuildError> {
+        self.net_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| BuildError::UnknownNet(name.to_string()))
+    }
+
+    fn compile(&self, e: &Expr) -> Result<CExpr, BuildError> {
+        Ok(match e {
+            Expr::Const { value, width } => CExpr::Const {
+                value: *value,
+                width: *width,
+            },
+            Expr::Ref(n) => {
+                let index = self.net(n)?;
+                CExpr::Net {
+                    index,
+                    width: self.net_width[index],
+                }
+            }
+            Expr::MemRead { mem, addr } => {
+                let m = *self
+                    .mem_index
+                    .get(mem)
+                    .ok_or_else(|| BuildError::UnknownNet(mem.clone()))?;
+                CExpr::MemRead {
+                    mem: m,
+                    addr: Box::new(self.compile(addr)?),
+                    width: self.mem_width[m],
+                }
+            }
+            Expr::Slice { base, hi, lo } => CExpr::Slice {
+                base: Box::new(self.compile(base)?),
+                hi: *hi,
+                lo: *lo,
+            },
+            Expr::Unary { op, arg } => {
+                let arg = self.compile(arg)?;
+                let width = match op {
+                    UnOp::Not => arg.width(),
+                    UnOp::LNot | UnOp::RedOr => 1,
+                };
+                CExpr::Unary {
+                    op: *op,
+                    arg: Box::new(arg),
+                    width,
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lhs = self.compile(lhs)?;
+                let rhs = self.compile(rhs)?;
+                let width = if op.is_comparison() {
+                    1
+                } else if *op == BinOp::Mul {
+                    (lhs.width() + rhs.width()).min(64)
+                } else {
+                    lhs.width().max(rhs.width())
+                };
+                CExpr::Binary {
+                    op: *op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    width,
+                }
+            }
+            Expr::Ternary { cond, then, els } => {
+                let then = self.compile(then)?;
+                let els = self.compile(els)?;
+                let width = then.width().max(els.width());
+                CExpr::Ternary {
+                    cond: Box::new(self.compile(cond)?),
+                    then: Box::new(then),
+                    els: Box::new(els),
+                    width,
+                }
+            }
+            Expr::Concat(parts) => {
+                let parts: Vec<CExpr> = parts
+                    .iter()
+                    .map(|p| self.compile(p))
+                    .collect::<Result<_, _>>()?;
+                let width = parts.iter().map(CExpr::width).sum::<u32>().min(64);
+                CExpr::Concat { parts, width }
+            }
+            Expr::SignExtend { arg, from, to } => CExpr::SignExtend {
+                arg: Box::new(self.compile(arg)?),
+                from: *from,
+                to: *to,
+            },
+        })
+    }
+
+    fn compile_stmt(&self, s: &Stmt) -> Result<CStmt, BuildError> {
+        Ok(match s {
+            Stmt::NonBlocking { lhs, rhs } => match lhs {
+                LValue::Net(n) => CStmt::AssignNet {
+                    net: self.net(n)?,
+                    rhs: self.compile(rhs)?,
+                },
+                LValue::MemElem { mem, addr } => CStmt::AssignMem {
+                    mem: *self
+                        .mem_index
+                        .get(mem)
+                        .ok_or_else(|| BuildError::UnknownNet(mem.clone()))?,
+                    addr: self.compile(addr)?,
+                    rhs: self.compile(rhs)?,
+                },
+            },
+            Stmt::If { cond, then, els } => CStmt::If {
+                cond: self.compile(cond)?,
+                then: then
+                    .iter()
+                    .map(|t| self.compile_stmt(t))
+                    .collect::<Result<_, _>>()?,
+                els: els
+                    .iter()
+                    .map(|t| self.compile_stmt(t))
+                    .collect::<Result<_, _>>()?,
+            },
+            Stmt::Assert {
+                guard,
+                cond,
+                message,
+            } => CStmt::Assert {
+                guard: self.compile(guard)?,
+                cond: self.compile(cond)?,
+                message: message.clone(),
+            },
+        })
+    }
+
+    // ------------------------------------------------------------------ API
+
+    /// Drive an input port. Takes effect at the next settle.
+    ///
+    /// # Panics
+    /// Panics on an unknown net name.
+    pub fn set(&mut self, name: &str, value: u64) {
+        let idx = self.net_index[name];
+        self.values[idx] = value & mask(self.net_width[idx]);
+        self.dirty = true;
+    }
+
+    /// Read a net's current value (settling combinational logic first).
+    ///
+    /// # Panics
+    /// Panics on an unknown net name.
+    pub fn get(&mut self, name: &str) -> u64 {
+        if self.dirty {
+            self.settle();
+        }
+        self.values[self.net_index[name]]
+    }
+
+    /// Read a net as a sign-extended integer.
+    pub fn get_signed(&mut self, name: &str) -> i64 {
+        let idx = self.net_index[name];
+        let w = self.net_width[idx];
+        let v = self.get(name);
+        sign_extend(v, w) as i64
+    }
+
+    /// Preload a memory word (testbench initialization).
+    ///
+    /// # Panics
+    /// Panics on unknown memory or out-of-range address.
+    pub fn write_mem(&mut self, name: &str, addr: u64, value: u64) {
+        let m = self.mem_index[name];
+        let w = self.mem_width[m];
+        self.memories[m][addr as usize] = value & mask(w);
+    }
+
+    /// Read a memory word.
+    ///
+    /// # Panics
+    /// Panics on unknown memory or out-of-range address.
+    pub fn read_mem(&self, name: &str, addr: u64) -> u64 {
+        self.memories[self.mem_index[name]][addr as usize]
+    }
+
+    /// Whether a memory with this (flattened) name exists.
+    pub fn has_mem(&self, name: &str) -> bool {
+        self.mem_index.contains_key(name)
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Start dumping a VCD waveform of every net to `out` (e.g. a file).
+    /// One VCD timestep per clock cycle; values are sampled after each
+    /// settle.
+    ///
+    /// # Errors
+    /// Propagates write errors from emitting the header.
+    pub fn start_vcd(&mut self, mut out: Box<dyn std::io::Write>) -> std::io::Result<()> {
+        use std::io::Write;
+        writeln!(out, "$timescale 1ns $end")?;
+        writeln!(out, "$scope module top $end")?;
+        let mut traced = Vec::new();
+        for (i, name) in self.net_names.iter().enumerate() {
+            let code = vcd_code(i);
+            writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                self.net_width[i], code, name
+            )?;
+            traced.push((i, code));
+        }
+        writeln!(out, "$upscope $end")?;
+        writeln!(out, "$enddefinitions $end")?;
+        let last = vec![None; self.values.len()];
+        self.vcd = Some(Vcd { out, traced, last });
+        self.emit_vcd();
+        Ok(())
+    }
+
+    fn emit_vcd(&mut self) {
+        if self.dirty {
+            self.settle();
+        }
+        let Some(vcd) = &mut self.vcd else { return };
+        use std::io::Write;
+        let _ = writeln!(vcd.out, "#{}", self.cycle);
+        for (i, code) in &vcd.traced {
+            let v = self.values[*i];
+            if vcd.last[*i] != Some(v) {
+                vcd.last[*i] = Some(v);
+                if self.net_width[*i] == 1 {
+                    let _ = writeln!(vcd.out, "{v}{code}");
+                } else {
+                    let _ = writeln!(vcd.out, "b{:b} {code}", v);
+                }
+            }
+        }
+    }
+
+    /// Evaluate all continuous assigns (in topological order).
+    pub fn settle(&mut self) {
+        // Two iterations would be needed only for stale memory reads; assigns
+        // are topologically ordered so one pass suffices.
+        for i in 0..self.assigns.len() {
+            let (net, expr) = (self.assigns[i].0, &self.assigns[i].1);
+            let v = eval(expr, &self.values, &self.memories);
+            self.values[net] = v & mask(self.net_width[net]);
+        }
+        self.dirty = false;
+    }
+
+    /// Advance one clock edge with non-blocking semantics.
+    ///
+    /// # Errors
+    /// Returns an error when an assertion fires.
+    pub fn step(&mut self) -> Result<(), VSimError> {
+        if self.dirty {
+            self.settle();
+        }
+        let mut net_updates: Vec<(usize, u64)> = Vec::new();
+        let mut mem_updates: Vec<(usize, u64, u64)> = Vec::new();
+        let mut failure: Option<String> = None;
+        for i in 0..self.always.len() {
+            let stmt = self.always[i].clone();
+            self.exec(&stmt, &mut net_updates, &mut mem_updates, &mut failure);
+        }
+        if let Some(message) = failure {
+            return Err(VSimError {
+                cycle: self.cycle,
+                message,
+            });
+        }
+        for (net, v) in net_updates {
+            self.values[net] = v & mask(self.net_width[net]);
+        }
+        for (mem, addr, v) in mem_updates {
+            let depth = self.memories[mem].len() as u64;
+            if addr < depth {
+                self.memories[mem][addr as usize] = v & mask(self.mem_width[mem]);
+            }
+            // Out-of-range writes are dropped; assertions catch them first.
+        }
+        self.cycle += 1;
+        self.settle();
+        if self.vcd.is_some() {
+            self.emit_vcd();
+        }
+        Ok(())
+    }
+
+    /// Run `n` clock cycles.
+    ///
+    /// # Errors
+    /// Propagates the first assertion failure.
+    pub fn run(&mut self, n: u64) -> Result<(), VSimError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Step until `net` becomes non-zero, up to `max_cycles`.
+    ///
+    /// # Errors
+    /// Fails on assertion or timeout.
+    pub fn step_until(&mut self, net: &str, max_cycles: u64) -> Result<u64, VSimError> {
+        let start = self.cycle;
+        loop {
+            if self.get(net) != 0 {
+                return Ok(self.cycle - start);
+            }
+            if self.cycle - start >= max_cycles {
+                return Err(VSimError {
+                    cycle: self.cycle,
+                    message: format!("'{net}' did not assert within {max_cycles} cycles"),
+                });
+            }
+            self.step()?;
+        }
+    }
+
+    fn exec(
+        &self,
+        stmt: &CStmt,
+        net_updates: &mut Vec<(usize, u64)>,
+        mem_updates: &mut Vec<(usize, u64, u64)>,
+        failure: &mut Option<String>,
+    ) {
+        match stmt {
+            CStmt::AssignNet { net, rhs } => {
+                net_updates.push((*net, eval(rhs, &self.values, &self.memories)));
+            }
+            CStmt::AssignMem { mem, addr, rhs } => {
+                let a = eval(addr, &self.values, &self.memories);
+                let v = eval(rhs, &self.values, &self.memories);
+                mem_updates.push((*mem, a, v));
+            }
+            CStmt::If { cond, then, els } => {
+                let branch = if eval(cond, &self.values, &self.memories) != 0 {
+                    then
+                } else {
+                    els
+                };
+                for s in branch {
+                    self.exec(s, net_updates, mem_updates, failure);
+                }
+            }
+            CStmt::Assert {
+                guard,
+                cond,
+                message,
+            } => {
+                if failure.is_none()
+                    && eval(guard, &self.values, &self.memories) != 0
+                    && eval(cond, &self.values, &self.memories) == 0
+                {
+                    *failure = Some(message.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Short printable VCD identifier for signal `i`.
+fn vcd_code(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (i % 94) as u8) as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn sign_extend(v: u64, width: u32) -> i128 {
+    if width >= 64 {
+        return v as i64 as i128;
+    }
+    let sign = 1u64 << (width - 1);
+    if v & sign != 0 {
+        v as i128 - (1i128 << width)
+    } else {
+        v as i128
+    }
+}
+
+fn eval(e: &CExpr, values: &[u64], memories: &[Vec<u64>]) -> u64 {
+    match e {
+        CExpr::Const { value, width } => value & mask(*width),
+        CExpr::Net { index, .. } => values[*index],
+        CExpr::MemRead { mem, addr, width } => {
+            let a = eval(addr, values, memories) as usize;
+            memories[*mem].get(a).copied().unwrap_or(0) & mask(*width)
+        }
+        CExpr::Slice { base, hi, lo } => {
+            let v = eval(base, values, memories);
+            (v >> lo) & mask(hi - lo + 1)
+        }
+        CExpr::Unary { op, arg, width } => {
+            let a = eval(arg, values, memories);
+            let r = match op {
+                UnOp::Not => !a,
+                UnOp::LNot => u64::from(a == 0),
+                UnOp::RedOr => u64::from(a != 0),
+            };
+            r & mask(*width)
+        }
+        CExpr::Binary {
+            op,
+            lhs,
+            rhs,
+            width,
+        } => {
+            let a = eval(lhs, values, memories);
+            let b = eval(rhs, values, memories);
+            let (aw, bw) = (lhs.width(), rhs.width());
+            let r: u64 = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => {
+                    if b >= 64 {
+                        0
+                    } else {
+                        a.wrapping_shl(b as u32)
+                    }
+                }
+                BinOp::LShr => {
+                    if b >= 64 {
+                        0
+                    } else {
+                        a.wrapping_shr(b as u32)
+                    }
+                }
+                BinOp::AShr => {
+                    let sa = sign_extend(a, aw);
+                    (sa >> b.min(127) as i32) as u64
+                }
+                BinOp::Eq => u64::from(a == b),
+                BinOp::Ne => u64::from(a != b),
+                BinOp::SLt => u64::from(sign_extend(a, aw) < sign_extend(b, bw)),
+                BinOp::SLe => u64::from(sign_extend(a, aw) <= sign_extend(b, bw)),
+                BinOp::SGt => u64::from(sign_extend(a, aw) > sign_extend(b, bw)),
+                BinOp::SGe => u64::from(sign_extend(a, aw) >= sign_extend(b, bw)),
+                BinOp::ULt => u64::from(a < b),
+                BinOp::ULe => u64::from(a <= b),
+            };
+            r & mask(*width)
+        }
+        CExpr::Ternary {
+            cond,
+            then,
+            els,
+            width,
+        } => {
+            let r = if eval(cond, values, memories) != 0 {
+                eval(then, values, memories)
+            } else {
+                eval(els, values, memories)
+            };
+            r & mask(*width)
+        }
+        CExpr::Concat { parts, width } => {
+            let mut acc: u64 = 0;
+            for p in parts {
+                let w = p.width().min(63);
+                acc = (acc << w) | (eval(p, values, memories) & mask(w));
+            }
+            acc & mask(*width)
+        }
+        CExpr::SignExtend { arg, from, to } => {
+            let v = eval(arg, values, memories);
+            (sign_extend(v & mask(*from), *from) as u64) & mask(*to)
+        }
+    }
+}
+
+fn collect_deps(e: &CExpr, out: &mut Vec<usize>) {
+    match e {
+        CExpr::Const { .. } => {}
+        CExpr::Net { index, .. } => out.push(*index),
+        CExpr::MemRead { addr, .. } => collect_deps(addr, out),
+        CExpr::Slice { base, .. } => collect_deps(base, out),
+        CExpr::Unary { arg, .. } => collect_deps(arg, out),
+        CExpr::Binary { lhs, rhs, .. } => {
+            collect_deps(lhs, out);
+            collect_deps(rhs, out);
+        }
+        CExpr::Ternary {
+            cond, then, els, ..
+        } => {
+            collect_deps(cond, out);
+            collect_deps(then, out);
+            collect_deps(els, out);
+        }
+        CExpr::Concat { parts, .. } => {
+            for p in parts {
+                collect_deps(p, out);
+            }
+        }
+        CExpr::SignExtend { arg, .. } => collect_deps(arg, out),
+    }
+}
+
+/// Order assigns so every net is computed after the nets it reads. Nets that
+/// are not assign targets (ports, regs) are sources.
+fn topo_sort(
+    net_names: &[String],
+    compiled: Vec<(usize, CExpr, Vec<usize>)>,
+) -> Result<Vec<(usize, CExpr)>, BuildError> {
+    let mut producer: HashMap<usize, usize> = HashMap::new(); // net -> assign idx
+    for (i, (net, _, _)) in compiled.iter().enumerate() {
+        producer.insert(*net, i);
+    }
+    let n = compiled.len();
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, (_, _, deps)) in compiled.iter().enumerate() {
+        for d in deps {
+            if let Some(&p) = producer.get(d) {
+                dependents[p].push(i);
+                indegree[i] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &j in &dependents[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    if order.len() != n {
+        let cyclic: Vec<String> = (0..n)
+            .filter(|&i| indegree[i] > 0)
+            .map(|i| net_names[compiled[i].0].clone())
+            .collect();
+        return Err(BuildError::CombinationalLoop(cyclic));
+    }
+    let mut result = Vec::with_capacity(n);
+    let mut items: Vec<Option<(usize, CExpr)>> = compiled
+        .into_iter()
+        .map(|(net, e, _)| Some((net, e)))
+        .collect();
+    for i in order {
+        result.push(items[i].take().expect("each assign emitted once"));
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> Design {
+        let mut m = VModule::new("counter");
+        m.port("clk", Dir::Input, 1);
+        m.port("en", Dir::Input, 1);
+        m.port("count", Dir::Output, 8);
+        m.reg("value", 8);
+        m.assign("count", Expr::r("value"));
+        m.main_always().stmts.push(Stmt::If {
+            cond: Expr::r("en"),
+            then: vec![Stmt::NonBlocking {
+                lhs: LValue::Net("value".into()),
+                rhs: Expr::add(Expr::r("value"), Expr::c(1, 8)),
+            }],
+            els: vec![],
+        });
+        let mut d = Design::new();
+        d.add(m);
+        d
+    }
+
+    #[test]
+    fn counter_counts() {
+        let d = counter();
+        let mut sim = Simulator::new(&d, "counter").expect("build");
+        sim.set("en", 1);
+        sim.run(5).unwrap();
+        assert_eq!(sim.get("count"), 5);
+        sim.set("en", 0);
+        sim.run(3).unwrap();
+        assert_eq!(sim.get("count"), 5);
+        assert_eq!(sim.cycle(), 8);
+    }
+
+    #[test]
+    fn counter_wraps_at_width() {
+        let d = counter();
+        let mut sim = Simulator::new(&d, "counter").expect("build");
+        sim.set("en", 1);
+        sim.run(256).unwrap();
+        assert_eq!(sim.get("count"), 0, "8-bit counter wraps");
+    }
+
+    #[test]
+    fn chained_comb_assigns_settle_in_order() {
+        let mut m = VModule::new("chain");
+        m.port("clk", Dir::Input, 1);
+        m.port("x", Dir::Input, 8);
+        m.port("y", Dir::Output, 8);
+        m.wire("a", 8);
+        m.wire("b", 8);
+        // Declared out of dependency order on purpose.
+        m.assign("y", Expr::add(Expr::r("b"), Expr::c(1, 8)));
+        m.assign("b", Expr::add(Expr::r("a"), Expr::c(1, 8)));
+        m.assign("a", Expr::add(Expr::r("x"), Expr::c(1, 8)));
+        let mut d = Design::new();
+        d.add(m);
+        let mut sim = Simulator::new(&d, "chain").expect("build");
+        sim.set("x", 10);
+        assert_eq!(sim.get("y"), 13);
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        let mut m = VModule::new("loopy");
+        m.port("clk", Dir::Input, 1);
+        m.wire("a", 1);
+        m.wire("b", 1);
+        m.assign("a", Expr::r("b"));
+        m.assign("b", Expr::r("a"));
+        let mut d = Design::new();
+        d.add(m);
+        match Simulator::new(&d, "loopy") {
+            Err(BuildError::CombinationalLoop(nets)) => {
+                assert_eq!(nets.len(), 2);
+            }
+            Err(other) => panic!("expected loop error, got {other:?}"),
+            Ok(_) => panic!("expected loop error, build succeeded"),
+        }
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut m = VModule::new("memtest");
+        m.port("clk", Dir::Input, 1);
+        m.port("we", Dir::Input, 1);
+        m.port("waddr", Dir::Input, 4);
+        m.port("wdata", Dir::Input, 32);
+        m.port("raddr", Dir::Input, 4);
+        m.port("rdata", Dir::Output, 32);
+        m.memory("ram", 32, 16, None);
+        // Synchronous read register.
+        m.reg("rdata_r", 32);
+        m.assign("rdata", Expr::r("rdata_r"));
+        m.main_always().stmts.push(Stmt::If {
+            cond: Expr::r("we"),
+            then: vec![Stmt::NonBlocking {
+                lhs: LValue::MemElem {
+                    mem: "ram".into(),
+                    addr: Expr::r("waddr"),
+                },
+                rhs: Expr::r("wdata"),
+            }],
+            els: vec![],
+        });
+        m.main_always().stmts.push(Stmt::NonBlocking {
+            lhs: LValue::Net("rdata_r".into()),
+            rhs: Expr::MemRead {
+                mem: "ram".into(),
+                addr: Box::new(Expr::r("raddr")),
+            },
+        });
+        let mut d = Design::new();
+        d.add(m);
+        let mut sim = Simulator::new(&d, "memtest").expect("build");
+        sim.set("we", 1);
+        sim.set("waddr", 3);
+        sim.set("wdata", 12345);
+        sim.step().unwrap();
+        sim.set("we", 0);
+        sim.set("raddr", 3);
+        sim.step().unwrap();
+        assert_eq!(sim.get("rdata"), 12345);
+        // Read BEFORE the write lands sees the old value (non-blocking).
+        assert_eq!(sim.read_mem("ram", 3), 12345);
+    }
+
+    #[test]
+    fn assertion_fires() {
+        let mut m = VModule::new("guarded");
+        m.port("clk", Dir::Input, 1);
+        m.port("en", Dir::Input, 1);
+        m.port("addr", Dir::Input, 8);
+        m.main_always().stmts.push(Stmt::Assert {
+            guard: Expr::r("en"),
+            cond: Expr::bin(BinOp::ULt, Expr::r("addr"), Expr::c(16, 8)),
+            message: "address out of bounds".into(),
+        });
+        let mut d = Design::new();
+        d.add(m);
+        let mut sim = Simulator::new(&d, "guarded").expect("build");
+        sim.set("en", 0);
+        sim.set("addr", 200);
+        sim.step().expect("guard off: no failure");
+        sim.set("en", 1);
+        let err = sim.step().unwrap_err();
+        assert!(err.message.contains("address out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn hierarchical_design_simulates() {
+        // Reuse the elaborate test structure: two chained incrementers.
+        let mut inc = VModule::new("inc");
+        inc.port("clk", Dir::Input, 1);
+        inc.port("x", Dir::Input, 8);
+        inc.port("y", Dir::Output, 8);
+        inc.assign("y", Expr::add(Expr::r("x"), Expr::c(1, 8)));
+        let mut top = VModule::new("top");
+        top.port("clk", Dir::Input, 1);
+        top.port("a", Dir::Input, 8);
+        top.port("b", Dir::Output, 8);
+        top.wire("mid", 8);
+        top.instances.push(Instance {
+            module: "inc".into(),
+            name: "u0".into(),
+            connections: vec![
+                ("clk".into(), Expr::r("clk")),
+                ("x".into(), Expr::r("a")),
+                ("y".into(), Expr::r("mid")),
+            ],
+        });
+        top.instances.push(Instance {
+            module: "inc".into(),
+            name: "u1".into(),
+            connections: vec![
+                ("clk".into(), Expr::r("clk")),
+                ("x".into(), Expr::r("mid")),
+                ("y".into(), Expr::r("b")),
+            ],
+        });
+        let mut d = Design::new();
+        d.add(inc);
+        d.add(top);
+        let mut sim = Simulator::new(&d, "top").expect("build");
+        sim.set("a", 7);
+        assert_eq!(sim.get("b"), 9);
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        let mut m = VModule::new("s");
+        m.port("clk", Dir::Input, 1);
+        m.port("a", Dir::Input, 8);
+        m.port("b", Dir::Input, 8);
+        m.port("lt", Dir::Output, 1);
+        m.port("ext", Dir::Output, 16);
+        m.assign("lt", Expr::bin(BinOp::SLt, Expr::r("a"), Expr::r("b")));
+        m.assign(
+            "ext",
+            Expr::SignExtend {
+                arg: Box::new(Expr::r("a")),
+                from: 8,
+                to: 16,
+            },
+        );
+        let mut d = Design::new();
+        d.add(m);
+        let mut sim = Simulator::new(&d, "s").expect("build");
+        sim.set("a", 0xFF); // -1
+        sim.set("b", 1);
+        assert_eq!(sim.get("lt"), 1, "-1 < 1 signed");
+        assert_eq!(sim.get("ext"), 0xFFFF, "sign extension");
+        assert_eq!(sim.get_signed("ext"), -1);
+    }
+
+    #[test]
+    fn vcd_dump_records_changes() {
+        let d = counter();
+        let mut sim = Simulator::new(&d, "counter").expect("build");
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::rc::Rc::new(std::cell::RefCell::new(buf));
+        struct W(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+        impl std::io::Write for W {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        sim.start_vcd(Box::new(W(shared.clone()))).unwrap();
+        sim.set("en", 1);
+        sim.run(3).unwrap();
+        let text = String::from_utf8(shared.borrow().clone()).unwrap();
+        assert!(text.contains("$var wire 8"), "{text}");
+        assert!(text.contains("$enddefinitions"), "{text}");
+        assert!(text.contains("#3"), "timestep markers: {text}");
+        assert!(text.contains("b11 "), "count=3 change: {text}");
+    }
+
+    #[test]
+    fn step_until_timeout() {
+        let d = counter();
+        let mut sim = Simulator::new(&d, "counter").expect("build");
+        sim.set("en", 0);
+        let err = sim.step_until("count", 10).unwrap_err();
+        assert!(err.message.contains("did not assert"), "{err}");
+    }
+}

@@ -1,0 +1,53 @@
+//! A miniature DSL frontend targeting HIR (the paper's §1/§5.2 thesis):
+//! a filter designer writes only the taps; the generator emits a verified,
+//! fully pipelined FIR filter whose schedule and hardware follow from the
+//! coefficients — including per-coefficient strength reduction.
+//!
+//! Run with: `cargo run --example fir_dsl`
+
+use hir_suite::hir::interp::{ArgValue, Interpreter};
+use hir_suite::kernels::fir;
+
+fn main() {
+    let n = 48u64;
+    let x: Vec<i128> = (0..n as i128)
+        .map(|v| if v % 8 < 4 { 100 } else { -100 })
+        .collect();
+
+    for (name, taps) in [
+        ("moving average (4)", vec![1i64, 1, 1, 1]),
+        ("binomial smoother", vec![1, 4, 6, 4, 1]),
+        ("edge detector", vec![1, 0, -1]),
+    ] {
+        let module = fir::hir_fir(n, &taps, 32);
+        let mut diags = hir_suite::ir::DiagnosticEngine::new();
+        hir_suite::hir_verify::verify_schedule(&module, &mut diags).expect("generated & verified");
+
+        let r = Interpreter::new(&module)
+            .run(
+                fir::FUNC,
+                &[
+                    ArgValue::tensor_from(&x),
+                    ArgValue::uninit_tensor(n as usize),
+                ],
+            )
+            .expect("simulate");
+        let y: Vec<i128> = r.tensors[&1].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(y, fir::reference(&taps, &x));
+
+        let mut m2 = fir::hir_fir(n, &taps, 32);
+        let (design, _) = hir_suite::kernels::compile_hir(&mut m2, true).expect("compile");
+        let res = hir_suite::synth::estimate_design(
+            &design,
+            &hir_suite::kernels::hir_top(fir::FUNC),
+            &hir_suite::synth::CostModel::default(),
+        );
+        println!(
+            "{name:<20} taps {:?}: latency {} cycles (II=1), {res}",
+            taps, r.cycles
+        );
+    }
+
+    println!("\nEach filter was generated, schedule-verified, optimized and estimated");
+    println!("from nothing but its tap vector — the DSL-to-hardware path of the paper.");
+}

@@ -1,0 +1,169 @@
+//! `hirc` — the HIR compiler driver.
+//!
+//! Reads a module in the generic textual IR format, verifies it
+//! (structure + schedule), optionally runs the optimization pipeline, and
+//! emits Verilog (default), pretty-printed HIR, or canonical IR.
+//!
+//! ```text
+//! hirc design.mlir                      # verify + emit Verilog to stdout
+//! hirc design.mlir --opt -o out.v       # optimize first
+//! hirc design.mlir --emit=pretty        # paper-style HIR syntax
+//! hirc design.mlir --verify-only        # exit 0/1 with diagnostics
+//! hirc design.mlir --timing             # report per-pass wall time
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Options {
+    input: String,
+    output: Option<String>,
+    emit: String,
+    optimize: bool,
+    verify_only: bool,
+    timing: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        input: String::new(),
+        output: None,
+        emit: "verilog".into(),
+        optimize: false,
+        verify_only: false,
+        timing: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--opt" => opts.optimize = true,
+            "--verify-only" => opts.verify_only = true,
+            "--timing" => opts.timing = true,
+            "-o" => opts.output = Some(args.next().ok_or("-o needs a path")?),
+            _ if a.starts_with("--emit=") => {
+                opts.emit = a["--emit=".len()..].to_string();
+                if !["verilog", "pretty", "ir"].contains(&opts.emit.as_str()) {
+                    return Err(format!("unknown --emit kind '{}'", opts.emit));
+                }
+            }
+            "--help" | "-h" => {
+                return Err("usage: hirc <input.mlir> [--opt] [--verify-only] \
+                            [--emit=verilog|pretty|ir] [--timing] [-o out]"
+                    .into())
+            }
+            _ if !a.starts_with('-') && opts.input.is_empty() => opts.input = a,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err("no input file (try --help)".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hirc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hirc: cannot read '{}': {e}", opts.input);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let start = std::time::Instant::now();
+    // Two surface syntaxes: the paper-style pretty form (starts with
+    // `hir.func`) and the generic MLIR-like form (quoted op names).
+    let pretty_input = source
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with("//"))
+        .is_some_and(|l| l.starts_with("hir.func"));
+    let mut module = if pretty_input {
+        match hir::parse_pretty(&source) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{}:{e}", opts.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match ir::parse_module(&source) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{}:{e}", opts.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let t_parse = start.elapsed();
+
+    let registry = hir::hir_registry();
+    let mut diags = ir::DiagnosticEngine::new();
+    let t0 = std::time::Instant::now();
+    if ir::verify_module(&module, &registry, &mut diags).is_err()
+        || hir_verify::verify_schedule(&module, &mut diags).is_err()
+    {
+        eprintln!("{}", diags.render());
+        return ExitCode::FAILURE;
+    }
+    let t_verify = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    if opts.optimize {
+        if let Err(pass) = hir_opt::optimize(&mut module) {
+            eprintln!("hirc: optimization pass '{pass}' failed");
+            return ExitCode::FAILURE;
+        }
+        // Re-verify: passes must preserve schedule validity.
+        let mut diags = ir::DiagnosticEngine::new();
+        if hir_verify::verify_schedule(&module, &mut diags).is_err() {
+            eprintln!("hirc: internal error — optimized module fails verification:");
+            eprintln!("{}", diags.render());
+            return ExitCode::FAILURE;
+        }
+    }
+    let t_opt = t0.elapsed();
+
+    if opts.verify_only {
+        eprintln!("hirc: ok");
+        return ExitCode::SUCCESS;
+    }
+
+    let t0 = std::time::Instant::now();
+    let text = match opts.emit.as_str() {
+        "pretty" => hir::pretty_module(&module),
+        "ir" => ir::print_module(&module),
+        _ => match hir_codegen::generate_design(&module, &hir_codegen::CodegenOptions::default()) {
+            Ok(design) => verilog::print_design(&design),
+            Err(e) => {
+                eprintln!("hirc: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let t_emit = t0.elapsed();
+
+    let ok = match &opts.output {
+        Some(path) => std::fs::write(path, &text).map_err(|e| format!("{path}: {e}")),
+        None => std::io::stdout()
+            .write_all(text.as_bytes())
+            .map_err(|e| e.to_string()),
+    };
+    if let Err(e) = ok {
+        eprintln!("hirc: {e}");
+        return ExitCode::FAILURE;
+    }
+    if opts.timing {
+        eprintln!(
+            "hirc timing: parse {t_parse:?}, verify {t_verify:?}, optimize {t_opt:?}, emit {t_emit:?}"
+        );
+    }
+    ExitCode::SUCCESS
+}

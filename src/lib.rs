@@ -1,0 +1,10 @@
+//! HIR suite: umbrella crate re-exporting the whole toolchain.
+pub use hir;
+pub use hir_codegen;
+pub use hir_opt;
+pub use hir_verify;
+pub use hls;
+pub use ir;
+pub use kernels;
+pub use synth;
+pub use verilog;

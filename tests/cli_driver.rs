@@ -1,0 +1,174 @@
+//! End-to-end tests of the `hirc` compiler driver binary.
+
+use std::process::Command;
+
+fn hirc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hirc"))
+}
+
+/// A valid design in the generic textual format, produced by printing the
+/// transpose kernel.
+fn transpose_source() -> String {
+    let m = kernels::transpose::hir_transpose(4, 32);
+    ir::print_module(&m)
+}
+
+#[test]
+fn compiles_textual_ir_to_verilog() {
+    let dir = std::env::temp_dir().join("hirc_test_ok");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("transpose.mlir");
+    std::fs::write(&input, transpose_source()).unwrap();
+    let out = hirc().arg(&input).output().expect("run hirc");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let verilog = String::from_utf8_lossy(&out.stdout);
+    assert!(verilog.contains("module hir_transpose"), "{verilog}");
+    assert!(verilog.contains("always @(posedge clk)"));
+}
+
+#[test]
+fn emit_pretty_and_ir_modes() {
+    let dir = std::env::temp_dir().join("hirc_test_modes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("t.mlir");
+    std::fs::write(&input, transpose_source()).unwrap();
+
+    let out = hirc().arg(&input).arg("--emit=pretty").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hir.for"));
+
+    let out = hirc().arg(&input).arg("--emit=ir").output().unwrap();
+    assert!(out.status.success());
+    // Canonical output must itself be parseable.
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(ir::parse_module(&text).is_ok());
+}
+
+#[test]
+fn verify_only_rejects_schedule_errors() {
+    let dir = std::env::temp_dir().join("hirc_test_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("bad.mlir");
+    let bad = kernels::errors::figure1_array_add(false);
+    std::fs::write(&input, ir::print_module(&bad)).unwrap();
+    let out = hirc().arg(&input).arg("--verify-only").output().unwrap();
+    assert!(!out.status.success(), "schedule error must fail the build");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mismatched delay (0 vs 1)"), "{err}");
+}
+
+#[test]
+fn optimize_flag_runs_pipeline_and_output_still_compiles() {
+    let dir = std::env::temp_dir().join("hirc_test_opt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("t.mlir");
+    std::fs::write(&input, transpose_source()).unwrap();
+    let outfile = dir.join("t.v");
+    let out = hirc()
+        .arg(&input)
+        .arg("--opt")
+        .arg("--timing")
+        .arg("-o")
+        .arg(&outfile)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("hirc timing"));
+    let v = std::fs::read_to_string(&outfile).unwrap();
+    assert!(v.contains("module hir_transpose"));
+}
+
+#[test]
+fn parse_errors_have_positions() {
+    let dir = std::env::temp_dir().join("hirc_test_parse");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("garbage.mlir");
+    std::fs::write(&input, "not an ir module $$$").unwrap();
+    let out = hirc().arg(&input).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn compiles_checked_in_pretty_designs() {
+    // The .hir design files in designs/ are first-class inputs.
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = hirc()
+        .arg(format!("{root}/designs/transpose.hir"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("module hir_transpose"));
+
+    let out = hirc()
+        .arg(format!("{root}/designs/mac.hir"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The deliberate Figure 1a error file must FAIL verification with the
+    // paper's diagnostic.
+    let out = hirc()
+        .arg(format!("{root}/designs/err_add.hir"))
+        .arg("--verify-only")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("mismatched delay (0 vs 1) in address 0"),
+        "{err}"
+    );
+}
+
+#[test]
+fn stencil_and_unrolled_designs_compile_and_run() {
+    use hir_suite::hir::interp::{ArgValue, Interpreter};
+    let root = env!("CARGO_MANIFEST_DIR");
+
+    // The stencil design file: parse, verify, simulate against the kernels
+    // crate's reference.
+    let src = std::fs::read_to_string(format!("{root}/designs/stencil.hir")).unwrap();
+    let m = hir_suite::hir::parse_pretty(&src).expect("parse stencil.hir");
+    let mut diags = ir::DiagnosticEngine::new();
+    hir_suite::hir_verify::verify_schedule(&m, &mut diags)
+        .unwrap_or_else(|_| panic!("{}", diags.render()));
+    let input: Vec<i128> = (0..64).map(|x| x * 5 % 37).collect();
+    let r = Interpreter::new(&m)
+        .run(
+            "stencil_1d",
+            &[ArgValue::tensor_from(&input), ArgValue::uninit_tensor(64)],
+        )
+        .expect("simulate");
+    let expect = kernels::stencil::reference(64, &input);
+    for i in 0..64 {
+        assert_eq!(r.tensors[&1][i], Some(expect[i]), "B[{i}]");
+    }
+
+    // Listing 4: all four lanes write in the same cycle.
+    let src = std::fs::read_to_string(format!("{root}/designs/unrolled.hir")).unwrap();
+    let m = hir_suite::hir::parse_pretty(&src).expect("parse unrolled.hir");
+    let r = Interpreter::new(&m)
+        .run("lanes", &[ArgValue::uninit_tensor(4)])
+        .expect("simulate");
+    assert_eq!(
+        r.tensors[&0],
+        vec![Some(0), Some(7), Some(14), Some(21)]
+    );
+    assert!(r.cycles <= 1, "lanes must run in parallel, took {}", r.cycles);
+}
