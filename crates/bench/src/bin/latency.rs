@@ -14,22 +14,22 @@ fn measure(
     interp_args: Vec<ArgValue>,
     rtl_args: Vec<HarnessArg>,
 ) {
-    let interp = Interpreter::new(&m).run(func, &interp_args).expect("interp");
+    let interp = Interpreter::new(&m)
+        .run(func, &interp_args)
+        .expect("interp");
     let (design, _) = kernels::compile_hir(&mut m, false).expect("compile");
     let f = kernels::find_func(&m, func);
     let mut h = Harness::new(&design, &m, f, &rtl_args).expect("harness");
     let rtl = h.run(1_000_000).expect("RTL");
-    println!(
-        "{:<18} {:>12} {:>10}",
-        name,
-        interp.cycles,
-        rtl.cycles
-    );
+    println!("{:<18} {:>12} {:>10}", name, interp.cycles, rtl.cycles);
 }
 
 fn main() {
     println!("## Design latency (cycles): interpreter vs generated RTL\n");
-    println!("{:<18} {:>12} {:>10}", "Benchmark", "interpreter", "RTL sim");
+    println!(
+        "{:<18} {:>12} {:>10}",
+        "Benchmark", "interpreter", "RTL sim"
+    );
     println!("{}", "-".repeat(42));
 
     let n = sizes::TRANSPOSE_N;
@@ -58,7 +58,10 @@ fn main() {
             ArgValue::tensor_from(&input),
             ArgValue::uninit_tensor(n as usize),
         ],
-        vec![HarnessArg::mem_from(&input), HarnessArg::zero_mem(n as usize)],
+        vec![
+            HarnessArg::mem_from(&input),
+            HarnessArg::zero_mem(n as usize),
+        ],
     );
 
     let (pixels, bins) = (sizes::HISTOGRAM_PIXELS, sizes::HISTOGRAM_BINS);

@@ -1,0 +1,112 @@
+//! Profiles the standard optimization pipeline over the kernels suite.
+//!
+//! Compiles every benchmark through verify → optimize → codegen several
+//! times and writes `BENCH_pass_profile.json`: per-pass mean wall time and
+//! op counts for each kernel, plus the aggregate mean per pass across the
+//! suite. A human-readable summary goes to stdout.
+
+use obs::json::escape;
+use std::collections::BTreeMap;
+
+const REPS: usize = 5;
+const OUT_FILE: &str = "BENCH_pass_profile.json";
+
+struct PassSample {
+    total_ns: u128,
+    runs: usize,
+    ops_before: usize,
+    ops_after: usize,
+}
+
+fn main() {
+    let registry = hir::hir_registry();
+    let mut kernels_json = Vec::new();
+    // Aggregate mean per pass name across the whole suite.
+    let mut aggregate: BTreeMap<String, PassSample> = BTreeMap::new();
+
+    for b in kernels::compiled_benchmarks() {
+        // name -> accumulated samples over REPS runs (passes can repeat in
+        // the pipeline; repeated instances are folded together).
+        let mut samples: BTreeMap<String, PassSample> = BTreeMap::new();
+        for _ in 0..REPS {
+            let mut m = (b.build_hir)();
+            let mut diags = ir::DiagnosticEngine::new();
+            ir::verify_module(&m, &registry, &mut diags).expect("verify");
+            hir_verify::verify_schedule(&m, &mut diags).expect("schedule");
+            let mut pm = hir_opt::standard_pipeline();
+            pm.run(&mut m, &registry, &mut diags).expect("pipeline");
+            for t in pm.timings() {
+                let s = samples.entry(t.name.clone()).or_insert(PassSample {
+                    total_ns: 0,
+                    runs: 0,
+                    ops_before: t.ops_before,
+                    ops_after: t.ops_after,
+                });
+                s.total_ns += t.duration.as_nanos();
+                s.runs += 1;
+                s.ops_before = s.ops_before.max(t.ops_before);
+                s.ops_after = s.ops_after.min(t.ops_after);
+            }
+            // Codegen keeps the profile honest about end-to-end compile cost.
+            hir_codegen::generate_design(&m, &hir_codegen::CodegenOptions::default())
+                .expect("codegen");
+        }
+
+        println!("{}", b.name);
+        let mut pass_json = Vec::new();
+        for (name, s) in &samples {
+            let mean_ns = s.total_ns / s.runs as u128;
+            println!(
+                "  {:<20} mean {:>10}  ops {} -> {}",
+                name,
+                obs::format_duration_ns(mean_ns as u64),
+                s.ops_before,
+                s.ops_after,
+            );
+            pass_json.push(format!(
+                r#"      {{"pass":"{}","mean_ns":{},"runs":{},"ops_before":{},"ops_after":{}}}"#,
+                escape(name),
+                mean_ns,
+                s.runs,
+                s.ops_before,
+                s.ops_after,
+            ));
+            let agg = aggregate.entry(name.clone()).or_insert(PassSample {
+                total_ns: 0,
+                runs: 0,
+                ops_before: 0,
+                ops_after: 0,
+            });
+            agg.total_ns += s.total_ns;
+            agg.runs += s.runs;
+        }
+        kernels_json.push(format!(
+            "    {{\"kernel\":\"{}\",\"func\":\"{}\",\"reps\":{},\"passes\":[\n{}\n    ]}}",
+            escape(b.name),
+            escape(b.hir_func),
+            REPS,
+            pass_json.join(",\n"),
+        ));
+    }
+
+    let mut agg_json = Vec::new();
+    for (name, s) in &aggregate {
+        agg_json.push(format!(
+            r#"    {{"pass":"{}","mean_ns":{},"runs":{}}}"#,
+            escape(name),
+            s.total_ns / s.runs as u128,
+            s.runs,
+        ));
+    }
+
+    let doc = format!(
+        "{{\n  \"kernels\": [\n{}\n  ],\n  \"aggregate\": [\n{}\n  ]\n}}\n",
+        kernels_json.join(",\n"),
+        agg_json.join(",\n"),
+    );
+    // The emitter and the parser live in the same crate: prove the file is
+    // well-formed before writing it.
+    obs::json::parse(&doc).expect("generated JSON is valid");
+    std::fs::write(OUT_FILE, &doc).expect("write profile");
+    println!("\nwrote {OUT_FILE}");
+}

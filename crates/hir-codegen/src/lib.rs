@@ -82,6 +82,7 @@ pub fn module_name(func: &str) -> String {
 /// Fails on constructs the generator cannot lower (e.g. dynamic distributed
 /// indices), which the verifier rejects first in normal pipelines.
 pub fn generate_design(m: &Module, options: &CodegenOptions) -> Result<Design> {
+    let _span = obs::span("generate_design");
     let mut design = Design::new();
     for &top in m.top_ops() {
         let Some(func) = FuncOp::wrap(m, top) else {
@@ -90,7 +91,13 @@ pub fn generate_design(m: &Module, options: &CodegenOptions) -> Result<Design> {
         if func.is_external(m) {
             continue; // provided as a blackbox by the environment
         }
-        design.add(generate_func(m, func, options)?);
+        let vm = generate_func(m, func, options)?;
+        obs::counter_add("codegen", "modules", 1);
+        obs::counter_add("codegen", "nets", vm.nets.len() as u64);
+        obs::counter_add("codegen", "memories", vm.memories.len() as u64);
+        obs::counter_add("codegen", "instances", vm.instances.len() as u64);
+        obs::counter_add("codegen", "assigns", vm.assigns.len() as u64);
+        design.add(vm);
     }
     Ok(design)
 }

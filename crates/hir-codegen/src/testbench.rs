@@ -423,14 +423,14 @@ pub fn to_bank_major(info: &MemrefInfo, row_major: &[i128]) -> Vec<i128> {
 pub fn from_bank_major(info: &MemrefInfo, bank_major: &[i128]) -> Vec<i128> {
     let mut out = vec![0; bank_major.len()];
     let dims: Vec<u64> = info.dims.iter().map(|d| d.size()).collect();
-    for flat_rm in 0..bank_major.len() {
+    for (flat_rm, slot) in out.iter_mut().enumerate() {
         let mut rem = flat_rm as u64;
         let mut coords = vec![0u64; dims.len()];
         for (k, &d) in dims.iter().enumerate().rev() {
             coords[k] = rem % d;
             rem /= d;
         }
-        out[flat_rm] = bank_major[info.flat_index(&coords) as usize];
+        *slot = bank_major[info.flat_index(&coords) as usize];
     }
     out
 }

@@ -97,6 +97,7 @@ impl Pass for DelaySharePass {
                 }
             }
         }
+        obs::counter_add("opt", "delay_registers_saved", self.registers_saved as u64);
         if self.registers_saved > 0 {
             PassResult::Changed
         } else {

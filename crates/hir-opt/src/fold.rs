@@ -183,7 +183,7 @@ impl Pass for CsePass {
     }
 
     fn run(&mut self, module: &mut Module, cx: &mut PassContext<'_>) -> PassResult {
-        let mut changed = false;
+        let mut merges: u64 = 0;
         // Key: (name, operands, attrs rendered) -> first op seen.
         let mut seen: HashMap<String, Vec<(OpId, ValueId)>> = HashMap::new();
         let all = module.collect_all_ops();
@@ -217,7 +217,7 @@ impl Pass for CsePass {
                 if ir::value_visible_at(module, *prev_result, op) {
                     module.replace_all_uses(result, *prev_result);
                     module.erase_op(op);
-                    changed = true;
+                    merges += 1;
                     merged = true;
                     break;
                 }
@@ -226,7 +226,8 @@ impl Pass for CsePass {
                 candidates.push((op, result));
             }
         }
-        if changed {
+        obs::counter_add("opt", "cse_merges", merges);
+        if merges > 0 {
             PassResult::Changed
         } else {
             PassResult::Unchanged
@@ -250,6 +251,7 @@ impl Pass for CanonicalizePass {
             Box::new(Dce),
         ];
         let stats = ir::apply_patterns_greedily(module, cx.registry, &patterns);
+        obs::counter_add("opt", "canonicalize_rewrites", stats.applications as u64);
         if stats.applications > 0 {
             PassResult::Changed
         } else {

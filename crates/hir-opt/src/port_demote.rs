@@ -52,6 +52,7 @@ impl Pass for PortDemotePass {
                 }
             }
         }
+        obs::counter_add("opt", "ports_demoted", self.demoted as u64);
         if self.demoted > 0 {
             PassResult::Changed
         } else {

@@ -80,6 +80,7 @@ impl Pass for PrecisionPass {
             self.narrowed += 1;
             propagate_narrowing(module, iv, width, &mut self.narrowed);
         }
+        obs::counter_add("opt", "values_narrowed", self.narrowed as u64);
         if self.narrowed > 0 {
             PassResult::Changed
         } else {

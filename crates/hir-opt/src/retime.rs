@@ -116,6 +116,7 @@ impl ir::Pass for RetimePass {
         let patterns: Vec<Box<dyn RewritePattern>> =
             vec![Box::new(RetimeAcrossOps), Box::new(crate::fold::Dce)];
         let stats = ir::apply_patterns_greedily(module, cx.registry, &patterns);
+        obs::counter_add("opt", "retime_rewrites", stats.applications as u64);
         if stats.applications > 0 {
             ir::PassResult::Changed
         } else {

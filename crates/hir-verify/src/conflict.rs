@@ -87,6 +87,7 @@ pub fn check_port_conflicts(
 
     let mut conflicts = 0;
     for (mem, accesses) in per_port {
+        obs::counter_add("verify", "port_accesses_checked", accesses.len() as u64);
         let Some(memref_info) = MemrefInfo::from_type(&m.value_type(mem)) else {
             continue;
         };
@@ -155,5 +156,6 @@ pub fn check_port_conflicts(
             }
         }
     }
+    obs::counter_add("verify", "port_conflicts", conflicts as u64);
     conflicts
 }

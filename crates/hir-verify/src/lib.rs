@@ -31,16 +31,20 @@ use ir::{DiagnosticEngine, Module, Pass, PassContext, PassResult, SymbolTable};
 /// Emits diagnostics and returns `Err(error_count)` when schedule errors are
 /// found.
 pub fn verify_schedule(m: &Module, diags: &mut DiagnosticEngine) -> Result<(), usize> {
+    let _span = obs::span("verify_schedule");
     let before = diags.error_count();
     let symbols = SymbolTable::build(m);
     for &top in m.top_ops() {
         let Some(func) = FuncOp::wrap(m, top) else {
             continue;
         };
+        obs::counter_add("verify", "functions", 1);
         let info = validity::analyze_function(m, func, &symbols, diags);
+        obs::counter_add("verify", "values_analyzed", info.validity.len() as u64);
         conflict::check_port_conflicts(m, func, &info, diags);
     }
     let found = diags.error_count() - before;
+    obs::counter_add("verify", "schedule_errors", found as u64);
     if found == 0 {
         Ok(())
     } else {
@@ -459,7 +463,11 @@ mod more_tests {
         hb.return_(&[]);
         let m = hb.finish();
         let mut diags = DiagnosticEngine::new();
-        assert!(verify_schedule(&m, &mut diags).is_ok(), "{}", diags.render());
+        assert!(
+            verify_schedule(&m, &mut diags).is_ok(),
+            "{}",
+            diags.render()
+        );
     }
 
     #[test]

@@ -1052,7 +1052,11 @@ mod tests {
         assert_eq!(ir::Type::f32().bit_width(), Some(32));
         // Every registered op documents itself.
         for spec in reg.all_specs() {
-            assert!(!spec.summary().is_empty(), "{} lacks a summary", spec.name());
+            assert!(
+                !spec.summary().is_empty(),
+                "{} lacks a summary",
+                spec.name()
+            );
         }
     }
 

@@ -95,11 +95,21 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, last_comment: None }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            last_comment: None,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> PrettyParseError {
-        PrettyParseError { line: self.line, col: self.col, message: message.into() }
+        PrettyParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -170,7 +180,9 @@ impl<'a> Lexer<'a> {
         self.last_comment = None;
         self.skip_trivia()?;
         let (line, col) = (self.line, self.col);
-        let Some(b) = self.peek() else { return Ok((Tok::Eof, line, col)) };
+        let Some(b) = self.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
         let tok = match b {
             b'%' => {
                 self.bump();
@@ -247,8 +259,9 @@ impl<'a> Lexer<'a> {
             }
             b'0'..=b'9' => {
                 let text = self.ident();
-                let v: i64 =
-                    text.parse().map_err(|_| self.err(format!("invalid number {text}")))?;
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("invalid number {text}")))?;
                 Tok::Int(v)
             }
             _ if b.is_ascii_alphabetic() || b == b'_' => Tok::Ident(self.ident()),
@@ -273,11 +286,21 @@ impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Result<Self> {
         let mut lexer = Lexer::new(src);
         let (tok, line, col) = lexer.next()?;
-        Ok(Parser { lexer, tok, line, col, values: HashMap::new() })
+        Ok(Parser {
+            lexer,
+            tok,
+            line,
+            col,
+            values: HashMap::new(),
+        })
     }
 
     fn err(&self, message: impl Into<String>) -> PrettyParseError {
-        PrettyParseError { line: self.line, col: self.col, message: message.into() }
+        PrettyParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
     }
 
     fn advance(&mut self) -> Result<Tok> {
@@ -469,7 +492,11 @@ impl<'a> Parser<'a> {
                 let vname = self.value_name()?;
                 // A `/*label*/` comment right after the value names the
                 // port; default to the SSA name.
-                let label = self.lexer.last_comment.take().unwrap_or_else(|| vname.clone());
+                let label = self
+                    .lexer
+                    .last_comment
+                    .take()
+                    .unwrap_or_else(|| vname.clone());
                 self.expect(&Tok::Colon)?;
                 let ty = self.parse_type()?;
                 args.push((vname, label, ty));
@@ -494,8 +521,10 @@ impl<'a> Parser<'a> {
             self.expect(&Tok::RParen)?;
         }
 
-        let named: Vec<(&str, Type)> =
-            args.iter().map(|(_, label, t)| (label.as_str(), t.clone())).collect();
+        let named: Vec<(&str, Type)> = args
+            .iter()
+            .map(|(_, label, t)| (label.as_str(), t.clone()))
+            .collect();
         let f = hb.func(&name, &named, &result_delays);
         let formal = f.args(hb.module());
         for ((vname, _, _), v) in args.iter().zip(formal) {
@@ -1026,8 +1055,8 @@ hir.func @transpose at %t(
         hb.return_(&[s]);
         let m = hb.finish();
         let text = pretty_module(&m);
-        let reparsed = parse_pretty(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        let reparsed =
+            parse_pretty(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
         assert_eq!(text, pretty_module(&reparsed), "pretty fixpoint");
     }
 

@@ -129,7 +129,7 @@ impl<'m> Pretty<'m> {
                     let args = f
                         .arg_types(m)
                         .iter()
-                        .map(|t| type_str(t))
+                        .map(type_str)
                         .collect::<Vec<_>>()
                         .join(", ");
                     let results = f
@@ -139,8 +139,7 @@ impl<'m> Pretty<'m> {
                         .map(|(t, d)| format!("{} delay {d}", type_str(t)))
                         .collect::<Vec<_>>()
                         .join(", ");
-                    let line =
-                        format!("hir.func extern @{}({args}) -> ({results})\n", f.name(m));
+                    let line = format!("hir.func extern @{}({args}) -> ({results})\n", f.name(m));
                     self.out.push_str(&line);
                     return;
                 }
@@ -168,7 +167,11 @@ impl<'m> Pretty<'m> {
                         .iter()
                         .enumerate()
                         .map(|(i, t)| {
-                            format!("{} delay {}", type_str(t), delays.get(i).copied().unwrap_or(0))
+                            format!(
+                                "{} delay {}",
+                                type_str(t),
+                                delays.get(i).copied().unwrap_or(0)
+                            )
                         })
                         .collect::<Vec<_>>()
                         .join(", ");
@@ -315,9 +318,16 @@ impl<'m> Pretty<'m> {
             opname::ALLOC => {
                 let a = ops::AllocOp(op);
                 let ports: Vec<String> = a.ports(m).iter().map(|&p| self.name(p)).collect();
-                let types: Vec<String> =
-                    a.ports(m).iter().map(|&p| type_str(&m.value_type(p))).collect();
-                format!("{} = hir.alloc() : ({})", ports.join(", "), types.join(", "))
+                let types: Vec<String> = a
+                    .ports(m)
+                    .iter()
+                    .map(|&p| type_str(&m.value_type(p)))
+                    .collect();
+                format!(
+                    "{} = hir.alloc() : ({})",
+                    ports.join(", "),
+                    types.join(", ")
+                )
             }
             opname::CALL => {
                 let c = ops::CallOp(op);

@@ -52,7 +52,10 @@ pub use module::{
     BlockId, Module, OpData, OpId, OpName, RegionId, Use, ValueData, ValueDef, ValueId,
 };
 pub use parser::{parse_module, ParseError};
-pub use pass::{Pass, PassContext, PassManager, PassResult, PassTiming};
+pub use pass::{
+    IrPrintInstrumentation, Pass, PassContext, PassInstrumentation, PassManager, PassResult,
+    PassTiming,
+};
 pub use printer::{print_module, print_module_with, print_op, PrintOptions};
 pub use rewrite::{apply_patterns_greedily, RewritePattern, RewriteStats, RewriteStatus, Rewriter};
 pub use symbol::{SymbolTable, SYM_NAME};

@@ -1,8 +1,12 @@
-//! Pass infrastructure: a [`Pass`] trait, a [`PassManager`] with timing
-//! statistics, and [`PassResult`] bookkeeping.
+//! Pass infrastructure: a [`Pass`] trait, a [`PassManager`] with MLIR-style
+//! [`PassInstrumentation`] hooks, and [`PassResult`] bookkeeping.
 //!
-//! Timing statistics feed the paper's Table 6 experiment (HIR code
-//! generation time vs. the HLS baseline).
+//! Every pass run is measured: wall time, live-op-count delta, and
+//! diagnostics emitted are recorded in [`PassTiming`] (rendered by
+//! [`PassManager::timing_report`]) and mirrored into the global [`obs`]
+//! sink as a nested span per pass plus `passes.*` counters. These numbers
+//! feed the paper's Table 6 experiment (HIR code-generation time vs. the
+//! HLS baseline) and every performance comparison in the repo.
 
 use crate::diagnostics::DiagnosticEngine;
 use crate::dialect::DialectRegistry;
@@ -21,6 +25,16 @@ pub enum PassResult {
     Failed,
 }
 
+impl PassResult {
+    fn label(self) -> &'static str {
+        match self {
+            PassResult::Unchanged => "unchanged",
+            PassResult::Changed => "changed",
+            PassResult::Failed => "FAILED",
+        }
+    }
+}
+
 /// Everything a pass may touch.
 pub struct PassContext<'a> {
     pub registry: &'a DialectRegistry,
@@ -36,15 +50,88 @@ pub trait Pass {
     fn run(&mut self, module: &mut Module, cx: &mut PassContext<'_>) -> PassResult;
 }
 
-/// Timing record for one executed pass.
+/// Observes pass execution from outside the pass (MLIR's
+/// `PassInstrumentation`): `run_before_pass` fires with the module exactly
+/// as the pass will see it, `run_after_pass` with the module the pass left
+/// behind. Instrumentations run in registration order before a pass and in
+/// the same order after it.
+pub trait PassInstrumentation {
+    fn run_before_pass(&mut self, _pass: &dyn Pass, _module: &Module) {}
+    fn run_after_pass(&mut self, _pass: &dyn Pass, _module: &Module, _result: PassResult) {}
+}
+
+/// Built-in instrumentation that prints the IR around passes (the engine
+/// behind `hirc --print-ir-before-all` / `--print-ir-after-all`). Output
+/// goes through a caller-supplied sink so drivers can route it to stderr
+/// and tests can capture it.
+pub struct IrPrintInstrumentation {
+    before: bool,
+    after: bool,
+    sink: Box<dyn FnMut(&str)>,
+}
+
+impl IrPrintInstrumentation {
+    pub fn new(before: bool, after: bool, sink: impl FnMut(&str) + 'static) -> Self {
+        IrPrintInstrumentation {
+            before,
+            after,
+            sink: Box::new(sink),
+        }
+    }
+
+    /// Convenience: dump to stderr, MLIR-style.
+    pub fn to_stderr(before: bool, after: bool) -> Self {
+        Self::new(before, after, |text| eprint!("{text}"))
+    }
+}
+
+impl PassInstrumentation for IrPrintInstrumentation {
+    fn run_before_pass(&mut self, pass: &dyn Pass, module: &Module) {
+        if self.before {
+            let text = crate::printer::print_module(module);
+            (self.sink)(&format!(
+                "// ----- IR dump before {} -----\n{text}",
+                pass.name()
+            ));
+        }
+    }
+
+    fn run_after_pass(&mut self, pass: &dyn Pass, module: &Module, result: PassResult) {
+        if self.after {
+            let text = crate::printer::print_module(module);
+            (self.sink)(&format!(
+                "// ----- IR dump after {} ({}) -----\n{text}",
+                pass.name(),
+                result.label()
+            ));
+        }
+    }
+}
+
+/// Execution record for one pass.
 #[derive(Clone, Debug)]
 pub struct PassTiming {
     pub name: String,
     pub duration: Duration,
     pub result: PassResult,
+    /// Live operations in the module before the pass ran.
+    pub ops_before: usize,
+    /// Live operations after the pass ran.
+    pub ops_after: usize,
+    /// Diagnostics the pass emitted.
+    pub diagnostics: usize,
 }
 
-/// Runs a pipeline of passes in order, recording per-pass wall time.
+impl PassTiming {
+    /// Net change in live op count (negative = ops removed).
+    pub fn op_delta(&self) -> i64 {
+        self.ops_after as i64 - self.ops_before as i64
+    }
+}
+
+/// Runs a pipeline of passes in order, recording per-pass wall time,
+/// op-count deltas, and diagnostics, and notifying registered
+/// [`PassInstrumentation`]s around every pass.
 ///
 /// # Examples
 ///
@@ -66,10 +153,12 @@ pub struct PassTiming {
 /// let mut diags = DiagnosticEngine::new();
 /// assert!(pm.run(&mut m, &reg, &mut diags).is_ok());
 /// assert_eq!(pm.timings().len(), 1);
+/// assert_eq!(pm.timings()[0].op_delta(), 0);
 /// ```
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
+    instrumentations: Vec<Box<dyn PassInstrumentation>>,
     timings: Vec<PassTiming>,
     /// Stop at the first failing pass (default true).
     pub abort_on_failure: bool,
@@ -79,6 +168,7 @@ impl PassManager {
     pub fn new() -> Self {
         PassManager {
             passes: Vec::new(),
+            instrumentations: Vec::new(),
             timings: Vec::new(),
             abort_on_failure: true,
         }
@@ -87,6 +177,12 @@ impl PassManager {
     /// Append a pass to the pipeline.
     pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
         self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Register an instrumentation observing every subsequent `run`.
+    pub fn add_instrumentation(&mut self, ins: impl PassInstrumentation + 'static) -> &mut Self {
+        self.instrumentations.push(Box::new(ins));
         self
     }
 
@@ -102,15 +198,51 @@ impl PassManager {
     ) -> Result<(), String> {
         self.timings.clear();
         for pass in &mut self.passes {
+            let ops_before = module.op_count();
+            let diags_before = diags.diagnostics().len();
+            for ins in &mut self.instrumentations {
+                ins.run_before_pass(pass.as_ref(), module);
+            }
+            let mut span = obs::span(format!("pass {}", pass.name()));
             let start = Instant::now();
             let result = {
                 let mut cx = PassContext { registry, diags };
                 pass.run(module, &mut cx)
             };
+            let duration = start.elapsed();
+            let ops_after = module.op_count();
+            let diagnostics = diags.diagnostics().len() - diags_before;
+            span.arg("ops_before", ops_before)
+                .arg("ops_after", ops_after)
+                .arg("result", result.label());
+            drop(span);
+            obs::counter_add("passes", "runs", 1);
+            match result {
+                PassResult::Changed => obs::counter_add("passes", "changed", 1),
+                PassResult::Failed => obs::counter_add("passes", "failed", 1),
+                PassResult::Unchanged => {}
+            }
+            obs::counter_add("passes", "diagnostics", diagnostics as u64);
+            obs::counter_add(
+                "passes",
+                "ops_removed",
+                ops_before.saturating_sub(ops_after) as u64,
+            );
+            obs::counter_add(
+                "passes",
+                "ops_added",
+                ops_after.saturating_sub(ops_before) as u64,
+            );
+            for ins in &mut self.instrumentations {
+                ins.run_after_pass(pass.as_ref(), module, result);
+            }
             self.timings.push(PassTiming {
                 name: pass.name().to_string(),
-                duration: start.elapsed(),
+                duration,
                 result,
+                ops_before,
+                ops_after,
+                diagnostics,
             });
             if result == PassResult::Failed && self.abort_on_failure {
                 return Err(pass.name().to_string());
@@ -127,6 +259,76 @@ impl PassManager {
     /// Total wall time of the last `run`.
     pub fn total_time(&self) -> Duration {
         self.timings.iter().map(|t| t.duration).sum()
+    }
+
+    /// Render the last `run` as an aligned table: per-pass wall time, live
+    /// op-count delta, and result, with a `total` footer row.
+    pub fn timing_report(&self) -> String {
+        let name_w = self
+            .timings
+            .iter()
+            .map(|t| t.name.len())
+            .max()
+            .unwrap_or(4)
+            .max("total".len());
+        let mut rows: Vec<(String, String, String, String)> = self
+            .timings
+            .iter()
+            .map(|t| {
+                (
+                    t.name.clone(),
+                    obs::format_duration_ns(t.duration.as_nanos() as u64),
+                    format_delta(t.op_delta()),
+                    t.result.label().to_string(),
+                )
+            })
+            .collect();
+        let total_delta: i64 = self.timings.iter().map(PassTiming::op_delta).sum();
+        let total = (
+            "total".to_string(),
+            obs::format_duration_ns(self.total_time().as_nanos() as u64),
+            format_delta(total_delta),
+            String::new(),
+        );
+        let time_w = rows
+            .iter()
+            .map(|r| r.1.len())
+            .chain([total.1.len(), "time".len()])
+            .max()
+            .unwrap();
+        let delta_w = rows
+            .iter()
+            .map(|r| r.2.len())
+            .chain([total.2.len(), "Δops".chars().count()])
+            .max()
+            .unwrap();
+        rows.push(total);
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>time_w$}  {:>delta_w$}  result\n",
+            "pass", "time", "Δops",
+        ));
+        let rule_len = name_w + time_w + delta_w + 12;
+        out.push_str(&format!("{}\n", "-".repeat(rule_len)));
+        let n = rows.len();
+        for (i, (name, time, delta, result)) in rows.into_iter().enumerate() {
+            if i + 1 == n {
+                out.push_str(&format!("{}\n", "-".repeat(rule_len)));
+            }
+            let line = format!("{name:<name_w$}  {time:>time_w$}  {delta:>delta_w$}  {result}");
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_delta(delta: i64) -> String {
+    match delta.cmp(&0) {
+        std::cmp::Ordering::Greater => format!("+{delta}"),
+        std::cmp::Ordering::Equal => "0".to_string(),
+        std::cmp::Ordering::Less => delta.to_string(),
     }
 }
 
@@ -151,6 +353,8 @@ mod tests {
     use super::*;
     use crate::attributes::AttrMap;
     use crate::location::Location;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     struct Adder;
     impl Pass for Adder {
@@ -199,5 +403,153 @@ mod tests {
         assert_eq!(err, "failer");
         assert!(m.top_ops().is_empty(), "later passes must not run");
         assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn timings_record_op_deltas_and_diagnostics() {
+        let mut pm = PassManager::new();
+        pm.abort_on_failure = false;
+        pm.add(Adder).add(Failer);
+        let mut m = Module::new();
+        let reg = DialectRegistry::new();
+        let mut diags = DiagnosticEngine::new();
+        pm.run(&mut m, &reg, &mut diags).unwrap();
+        let t = pm.timings();
+        assert_eq!(t[0].ops_before, 0);
+        assert_eq!(t[0].ops_after, 1);
+        assert_eq!(t[0].op_delta(), 1);
+        assert_eq!(t[0].diagnostics, 0);
+        assert_eq!(t[1].op_delta(), 0);
+        assert_eq!(t[1].diagnostics, 1);
+    }
+
+    /// Logs every instrumentation callback into a shared vector.
+    struct Logger {
+        log: Rc<RefCell<Vec<String>>>,
+    }
+    impl PassInstrumentation for Logger {
+        fn run_before_pass(&mut self, pass: &dyn Pass, module: &Module) {
+            self.log
+                .borrow_mut()
+                .push(format!("before:{}:{}", pass.name(), module.op_count()));
+        }
+        fn run_after_pass(&mut self, pass: &dyn Pass, module: &Module, result: PassResult) {
+            self.log.borrow_mut().push(format!(
+                "after:{}:{}:{:?}",
+                pass.name(),
+                module.op_count(),
+                result
+            ));
+        }
+    }
+
+    #[test]
+    fn instrumentation_ordering_and_module_visibility() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut pm = PassManager::new();
+        pm.add(Adder).add(Adder);
+        pm.add_instrumentation(Logger { log: log.clone() });
+        let mut m = Module::new();
+        let reg = DialectRegistry::new();
+        let mut diags = DiagnosticEngine::new();
+        pm.run(&mut m, &reg, &mut diags).unwrap();
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                // before sees the pre-pass module, after the post-pass one.
+                "before:adder:0",
+                "after:adder:1:Changed",
+                "before:adder:1",
+                "after:adder:2:Changed",
+            ]
+        );
+    }
+
+    #[test]
+    fn multiple_instrumentations_run_in_registration_order() {
+        struct Tag {
+            tag: &'static str,
+            log: Rc<RefCell<Vec<String>>>,
+        }
+        impl PassInstrumentation for Tag {
+            fn run_before_pass(&mut self, _pass: &dyn Pass, _m: &Module) {
+                self.log.borrow_mut().push(format!("{}:before", self.tag));
+            }
+            fn run_after_pass(&mut self, _pass: &dyn Pass, _m: &Module, _r: PassResult) {
+                self.log.borrow_mut().push(format!("{}:after", self.tag));
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut pm = PassManager::new();
+        pm.add(Adder);
+        pm.add_instrumentation(Tag {
+            tag: "first",
+            log: log.clone(),
+        });
+        pm.add_instrumentation(Tag {
+            tag: "second",
+            log: log.clone(),
+        });
+        let mut m = Module::new();
+        let reg = DialectRegistry::new();
+        let mut diags = DiagnosticEngine::new();
+        pm.run(&mut m, &reg, &mut diags).unwrap();
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                "first:before",
+                "second:before",
+                "first:after",
+                "second:after"
+            ]
+        );
+    }
+
+    #[test]
+    fn ir_print_instrumentation_dumps_parseable_ir() {
+        let dumps = Rc::new(RefCell::new(Vec::<String>::new()));
+        let sink = {
+            let dumps = dumps.clone();
+            move |text: &str| dumps.borrow_mut().push(text.to_string())
+        };
+        let mut pm = PassManager::new();
+        pm.add(Adder);
+        pm.add_instrumentation(IrPrintInstrumentation::new(true, true, sink));
+        let mut m = Module::new();
+        let reg = DialectRegistry::new();
+        let mut diags = DiagnosticEngine::new();
+        pm.run(&mut m, &reg, &mut diags).unwrap();
+        let dumps = dumps.borrow();
+        assert_eq!(dumps.len(), 2);
+        assert!(dumps[0].starts_with("// ----- IR dump before adder -----\n"));
+        assert!(dumps[1].starts_with("// ----- IR dump after adder (changed) -----\n"));
+        // Each dump body round-trips through the parser.
+        for d in dumps.iter() {
+            let body: String = d
+                .lines()
+                .filter(|l| !l.starts_with("// -----"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            crate::parser::parse_module(&body)
+                .unwrap_or_else(|e| panic!("dump must reparse: {e}\n{body}"));
+        }
+    }
+
+    #[test]
+    fn timing_report_has_delta_column_and_total_footer() {
+        let mut pm = PassManager::new();
+        pm.add(Adder).add(Adder);
+        let mut m = Module::new();
+        let reg = DialectRegistry::new();
+        let mut diags = DiagnosticEngine::new();
+        pm.run(&mut m, &reg, &mut diags).unwrap();
+        let report = pm.timing_report();
+        assert!(report.contains("pass"), "{report}");
+        assert!(report.contains("Δops"), "{report}");
+        assert!(report.contains("adder"), "{report}");
+        assert!(report.contains("+1"), "{report}");
+        let total_line = report.lines().last().unwrap();
+        assert!(total_line.starts_with("total"), "{report}");
+        assert!(total_line.contains("+2"), "{report}");
     }
 }

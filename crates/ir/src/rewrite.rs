@@ -141,6 +141,7 @@ pub fn apply_patterns_greedily(
                 RewriteStatus::Changed => {
                     let touched = std::mem::take(&mut rewriter.touched);
                     stats.applications += 1;
+                    obs::counter_add("rewrite", pattern.name(), 1);
                     assert!(
                         stats.applications <= max_applications,
                         "rewrite driver exceeded {max_applications} applications; \

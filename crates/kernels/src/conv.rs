@@ -203,13 +203,13 @@ pub fn hls_conv(h: u64, w: u64, manual_opt: bool) -> Kernel {
     // Weighted sum of the shifted window.
     let mut sum: Option<KExpr> = None;
     for r in 0..3usize {
-        for c in 0..3usize {
+        for (c, &k) in KERNEL[r].iter().enumerate() {
             let v = if c == 2 {
                 KExpr::var(["top", "mid", "pix"][r])
             } else {
                 KExpr::var(format!("w{r}{}", c + 1))
             };
-            let term = KExpr::mul(v, KExpr::c(KERNEL[r][c] as i64, 32));
+            let term = KExpr::mul(v, KExpr::c(k as i64, 32));
             sum = Some(match sum {
                 None => term,
                 Some(prev) => KExpr::add(prev, term),
@@ -299,10 +299,8 @@ pub fn reference(h: u64, w: u64, img: &[i128]) -> Vec<i128> {
             let top = lb[x][0];
             let mid = lb[x][1];
             // Shift left, insert the new column.
-            for r in 0..3 {
-                for c in 0..2 {
-                    win[r][c] = win[r][c + 1];
-                }
+            for row in &mut win {
+                row.copy_within(1.., 0);
             }
             win[0][2] = top;
             win[1][2] = mid;

@@ -1,0 +1,128 @@
+//! Chrome trace-event serialization.
+//!
+//! Emits the JSON Object Format of the Trace Event spec: a `traceEvents`
+//! array of complete (`"ph":"X"`) events plus `thread_name` metadata, one
+//! *thread* (track) per pipeline stage, so `chrome://tracing` and Perfetto
+//! render each stage as its own row with passes nested inside it by time.
+
+use crate::json::escape;
+use crate::SpanRecord;
+
+/// Serialize spans as a Chrome trace-event JSON document.
+///
+/// Tracks are assigned thread ids in order of first appearance; every track
+/// gets a `thread_name` metadata record so viewers show stage names instead
+/// of numeric tids. Timestamps are microseconds with nanosecond precision
+/// kept in the fraction.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut tracks: Vec<&str> = Vec::new();
+    for s in spans {
+        if !tracks.iter().any(|t| *t == s.track) {
+            tracks.push(&s.track);
+        }
+    }
+    let tid = |track: &str| tracks.iter().position(|t| *t == track).unwrap() + 1;
+
+    let mut events: Vec<String> = Vec::new();
+    for (i, t) in tracks.iter().enumerate() {
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"{}"}}}}"#,
+            i + 1,
+            escape(t)
+        ));
+    }
+
+    // Sort by start time so viewers that expect ordered input are happy.
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.dur_ns)));
+    for s in ordered {
+        let mut args = String::new();
+        for (k, v) in &s.args {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            args.push_str(&format!(r#""{}":"{}""#, escape(k), escape(v)));
+        }
+        events.push(format!(
+            r#"{{"name":"{}","cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":1,"tid":{},"args":{{{}}}}}"#,
+            escape(&s.name),
+            escape(&s.track),
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+            tid(&s.track),
+            args
+        ));
+    }
+
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n",
+        events.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn record(track: &str, name: &str, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            track: track.into(),
+            name: name.into(),
+            start_ns,
+            dur_ns,
+            depth: 0,
+            args: vec![("k".into(), "v\"1".into())],
+        }
+    }
+
+    #[test]
+    fn trace_parses_and_has_one_track_per_stage() {
+        let spans = vec![
+            record("parse", "parse file", 0, 1_000),
+            record("opt", "pass cse", 2_000, 500),
+            record("opt", "pass fold", 2_600, 400),
+        ];
+        let text = chrome_trace(&spans);
+        let doc = json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 thread_name metadata + 3 spans.
+        assert_eq!(events.len(), 5);
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+        let span_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(span_events.len(), 3);
+        // Both opt spans share a tid, distinct from parse's.
+        let tid_of = |name: &str| {
+            span_events
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(name))
+                .unwrap()
+                .get("tid")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert_eq!(tid_of("pass cse"), tid_of("pass fold"));
+        assert_ne!(tid_of("parse file"), tid_of("pass cse"));
+        // Microsecond timestamps preserve sub-µs precision.
+        let cse = span_events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("pass cse"))
+            .unwrap();
+        assert_eq!(cse.get("ts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(cse.get("dur").unwrap().as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let doc = json::parse(&chrome_trace(&[])).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+}

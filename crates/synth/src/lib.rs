@@ -124,7 +124,9 @@ pub fn estimate_breakdown(
     let mut rows: Vec<(String, u64, Resources)> = counts
         .into_iter()
         .filter_map(|(name, n)| {
-            design.find(&name).map(|m| (name, n, estimate_module(m, model)))
+            design
+                .find(&name)
+                .map(|m| (name, n, estimate_module(m, model)))
         })
         .collect();
     rows.sort_by_key(|(_, n, r)| std::cmp::Reverse(n * r.lut));

@@ -163,6 +163,9 @@ pub struct Simulator {
     /// Continuous assigns in topological order: (net, expr).
     assigns: Vec<(usize, CExpr)>,
     always: Vec<CStmt>,
+    /// Memory read ports appearing in the assign network: each is sampled
+    /// once per settled cycle (reported as `sim.mem_read_events`).
+    mem_read_ports: u64,
     cycle: u64,
     dirty: bool,
     vcd: Option<Vcd>,
@@ -191,6 +194,7 @@ impl Simulator {
             memories: Vec::new(),
             assigns: Vec::new(),
             always: Vec::new(),
+            mem_read_ports: 0,
             cycle: 0,
             dirty: true,
             vcd: None,
@@ -218,6 +222,7 @@ impl Simulator {
             compiled.push((net, rhs, deps));
         }
         sim.assigns = topo_sort(&sim.net_names, compiled)?;
+        sim.mem_read_ports = sim.assigns.iter().map(|(_, e)| count_mem_reads(e)).sum();
 
         for blk in &flat.always {
             for s in &blk.stmts {
@@ -507,6 +512,10 @@ impl Simulator {
                 message,
             });
         }
+        obs::counter_add("sim", "cycles", 1);
+        obs::counter_add("sim", "net_updates", net_updates.len() as u64);
+        obs::counter_add("sim", "mem_write_events", mem_updates.len() as u64);
+        obs::counter_add("sim", "mem_read_events", self.mem_read_ports);
         for (net, v) in net_updates {
             self.values[net] = v & mask(self.net_width[net]);
         }
@@ -722,6 +731,21 @@ fn eval(e: &CExpr, values: &[u64], memories: &[Vec<u64>]) -> u64 {
             let v = eval(arg, values, memories);
             (sign_extend(v & mask(*from), *from) as u64) & mask(*to)
         }
+    }
+}
+
+fn count_mem_reads(e: &CExpr) -> u64 {
+    match e {
+        CExpr::Const { .. } | CExpr::Net { .. } => 0,
+        CExpr::MemRead { addr, .. } => 1 + count_mem_reads(addr),
+        CExpr::Slice { base, .. } => count_mem_reads(base),
+        CExpr::Unary { arg, .. } => count_mem_reads(arg),
+        CExpr::Binary { lhs, rhs, .. } => count_mem_reads(lhs) + count_mem_reads(rhs),
+        CExpr::Ternary {
+            cond, then, els, ..
+        } => count_mem_reads(cond) + count_mem_reads(then) + count_mem_reads(els),
+        CExpr::Concat { parts, .. } => parts.iter().map(count_mem_reads).sum(),
+        CExpr::SignExtend { arg, .. } => count_mem_reads(arg),
     }
 }
 

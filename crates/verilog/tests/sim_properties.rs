@@ -15,12 +15,19 @@ enum Tree {
 }
 
 fn arb_tree() -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![Just(Tree::A), Just(Tree::B), any::<u8>().prop_map(Tree::Const)];
+    let leaf = prop_oneof![
+        Just(Tree::A),
+        Just(Tree::B),
+        any::<u8>().prop_map(Tree::Const)
+    ];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
             (any::<u8>(), inner.clone()).prop_map(|(k, a)| Tree::Un(k, Box::new(a))),
-            (any::<u8>(), inner.clone(), inner)
-                .prop_map(|(k, a, b)| Tree::Bin(k, Box::new(a), Box::new(b))),
+            (any::<u8>(), inner.clone(), inner).prop_map(|(k, a, b)| Tree::Bin(
+                k,
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }
@@ -37,7 +44,10 @@ fn to_expr(t: &Tree) -> Expr {
                 0 => UnOp::Not,
                 _ => UnOp::RedOr,
             };
-            Expr::Unary { op, arg: Box::new(to_expr(a)) }
+            Expr::Unary {
+                op,
+                arg: Box::new(to_expr(a)),
+            }
         }
         Tree::Bin(k, a, b) => {
             let op = match k % 8 {

@@ -1,0 +1,18 @@
+"hir.func"() ({
+^bb(%0: !hir.memref<[16 : index, 16 : index], i32, "r", "bram">, %1: !hir.memref<[16 : index, 16 : index], i32, "w", "bram">, %2: !hir.time):
+  %3 = "hir.constant"() {value = 0 : index} : () -> (!hir.const)
+  %4 = "hir.constant"() {value = 1 : index} : () -> (!hir.const)
+  %5 = "hir.constant"() {value = 16 : index} : () -> (!hir.const)
+  %6 = "hir.for"(%3, %5, %4, %2) ({
+  ^bb(%7: i32, %8: !hir.time):
+    %9 = "hir.for"(%3, %5, %4, %8) ({
+    ^bb(%10: i32, %11: !hir.time):
+      %12 = "hir.mem_read"(%0, %7, %10, %11) {offset = 0 : index} : (!hir.memref<[16 : index, 16 : index], i32, "r", "bram">, i32, i32, !hir.time) -> (i32)
+      %13 = "hir.delay"(%10, %11) {by = 1 : index, offset = 0 : index} : (i32, !hir.time) -> (i32)
+      "hir.mem_write"(%12, %1, %13, %7, %11) {offset = 1 : index} : (i32, !hir.memref<[16 : index, 16 : index], i32, "w", "bram">, i32, i32, !hir.time) -> ()
+      "hir.yield"(%11) {offset = 1 : index} : (!hir.time) -> ()
+    }) {offset = 1 : index} : (!hir.const, !hir.const, !hir.const, !hir.time) -> (!hir.time)
+    "hir.yield"(%9) {offset = 1 : index} : (!hir.time) -> ()
+  }) {offset = 1 : index} : (!hir.const, !hir.const, !hir.const, !hir.time) -> (!hir.time)
+  "hir.return"() : () -> ()
+}) {arg_names = ["Ai", "Co"], sym_name = "transpose"} : () -> ()

@@ -10,10 +10,28 @@
 //! hirc design.mlir --emit=pretty        # paper-style HIR syntax
 //! hirc design.mlir --verify-only        # exit 0/1 with diagnostics
 //! hirc design.mlir --timing             # report per-pass wall time
+//! hirc design.mlir --opt --stats        # counter table from all stages
+//! hirc design.mlir --profile=t.json     # Chrome trace-event profile
+//! hirc design.mlir --print-ir-after-all # dump IR between passes
 //! ```
 
 use std::io::Write;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: hirc <input.mlir> [options]
+
+options:
+  --opt                  run the standard optimization pipeline
+  --verify-only          stop after verification (exit 0/1)
+  --emit=KIND            output kind: verilog (default), pretty, ir
+  -o PATH                write output to PATH instead of stdout
+  --timing               per-pass wall time and op-count deltas (stderr)
+  --stats                counter/statistic table from every stage (stderr)
+  --profile=PATH         write a Chrome trace-event JSON profile to PATH
+  --print-ir-before-all  dump IR to stderr before each pass
+  --print-ir-after-all   dump IR to stderr after each pass
+  --help, -h             show this help
+";
 
 struct Options {
     input: String,
@@ -22,9 +40,14 @@ struct Options {
     optimize: bool,
     verify_only: bool,
     timing: bool,
+    stats: bool,
+    profile: Option<String>,
+    print_ir_before_all: bool,
+    print_ir_after_all: bool,
 }
 
-fn parse_args() -> Result<Options, String> {
+/// `Ok(None)` means `--help`: usage has been printed to stdout, exit 0.
+fn parse_args() -> Result<Option<Options>, String> {
     let mut opts = Options {
         input: String::new(),
         output: None,
@@ -32,6 +55,10 @@ fn parse_args() -> Result<Options, String> {
         optimize: false,
         verify_only: false,
         timing: false,
+        stats: false,
+        profile: None,
+        print_ir_before_all: false,
+        print_ir_after_all: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -39,7 +66,16 @@ fn parse_args() -> Result<Options, String> {
             "--opt" => opts.optimize = true,
             "--verify-only" => opts.verify_only = true,
             "--timing" => opts.timing = true,
+            "--stats" => opts.stats = true,
+            "--print-ir-before-all" => opts.print_ir_before_all = true,
+            "--print-ir-after-all" => opts.print_ir_after_all = true,
             "-o" => opts.output = Some(args.next().ok_or("-o needs a path")?),
+            _ if a.starts_with("--profile=") => {
+                opts.profile = Some(a["--profile=".len()..].to_string());
+                if opts.profile.as_deref() == Some("") {
+                    return Err("--profile needs a path".into());
+                }
+            }
             _ if a.starts_with("--emit=") => {
                 opts.emit = a["--emit=".len()..].to_string();
                 if !["verilog", "pretty", "ir"].contains(&opts.emit.as_str()) {
@@ -47,9 +83,8 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--help" | "-h" => {
-                return Err("usage: hirc <input.mlir> [--opt] [--verify-only] \
-                            [--emit=verilog|pretty|ir] [--timing] [-o out]"
-                    .into())
+                print!("{USAGE}");
+                return Ok(None);
             }
             _ if !a.starts_with('-') && opts.input.is_empty() => opts.input = a,
             other => return Err(format!("unknown argument '{other}'")),
@@ -58,17 +93,26 @@ fn parse_args() -> Result<Options, String> {
     if opts.input.is_empty() {
         return Err("no input file (try --help)".into());
     }
-    Ok(opts)
+    Ok(Some(opts))
 }
+
+/// Bound on the smoke simulation run under `--stats`/`--profile`: long enough
+/// to exercise the datapath, short enough to stay negligible next to codegen.
+const SMOKE_CYCLES: u64 = 64;
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
-        Ok(o) => o,
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("hirc: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // Recording costs nothing unless a reporting flag asks for it.
+    let observing = opts.stats || opts.profile.is_some() || opts.timing;
+    obs::set_enabled(observing);
+
     let source = match std::fs::read_to_string(&opts.input) {
         Ok(s) => s,
         Err(e) => {
@@ -85,39 +129,54 @@ fn main() -> ExitCode {
         .map(str::trim)
         .find(|l| !l.is_empty() && !l.starts_with("//"))
         .is_some_and(|l| l.starts_with("hir.func"));
-    let mut module = if pretty_input {
-        match hir::parse_pretty(&source) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("{}:{e}", opts.input);
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        match ir::parse_module(&source) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("{}:{e}", opts.input);
-                return ExitCode::FAILURE;
-            }
+    let parsed = {
+        let mut s = obs::span_in("parse", "parse input");
+        s.arg("file", &opts.input);
+        if pretty_input {
+            hir::parse_pretty(&source).map_err(|e| e.to_string())
+        } else {
+            ir::parse_module(&source).map_err(|e| e.to_string())
         }
     };
+    let mut module = match parsed {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{}:{e}", opts.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    obs::counter_add("parse", "ops_parsed", module.op_count() as u64);
     let t_parse = start.elapsed();
 
     let registry = hir::hir_registry();
     let mut diags = ir::DiagnosticEngine::new();
     let t0 = std::time::Instant::now();
-    if ir::verify_module(&module, &registry, &mut diags).is_err()
-        || hir_verify::verify_schedule(&module, &mut diags).is_err()
-    {
+    let verify_failed = {
+        let _s = obs::span_in("verify", "verify module");
+        ir::verify_module(&module, &registry, &mut diags).is_err()
+            || hir_verify::verify_schedule(&module, &mut diags).is_err()
+    };
+    if verify_failed {
         eprintln!("{}", diags.render());
         return ExitCode::FAILURE;
     }
     let t_verify = t0.elapsed();
 
     let t0 = std::time::Instant::now();
+    let mut pm = hir_opt::standard_pipeline();
+    if opts.print_ir_before_all || opts.print_ir_after_all {
+        pm.add_instrumentation(ir::IrPrintInstrumentation::to_stderr(
+            opts.print_ir_before_all,
+            opts.print_ir_after_all,
+        ));
+    }
     if opts.optimize {
-        if let Err(pass) = hir_opt::optimize(&mut module) {
+        let run = {
+            let _s = obs::span_in("opt", "optimization pipeline");
+            let mut opt_diags = ir::DiagnosticEngine::new();
+            pm.run(&mut module, &registry, &mut opt_diags)
+        };
+        if let Err(pass) = run {
             eprintln!("hirc: optimization pass '{pass}' failed");
             return ExitCode::FAILURE;
         }
@@ -133,22 +192,61 @@ fn main() -> ExitCode {
 
     if opts.verify_only {
         eprintln!("hirc: ok");
-        return ExitCode::SUCCESS;
+        return finish(
+            &opts,
+            t_parse,
+            t_verify,
+            t_opt,
+            std::time::Duration::ZERO,
+            &pm,
+        );
     }
 
     let t0 = std::time::Instant::now();
+    let mut design = None;
     let text = match opts.emit.as_str() {
         "pretty" => hir::pretty_module(&module),
         "ir" => ir::print_module(&module),
-        _ => match hir_codegen::generate_design(&module, &hir_codegen::CodegenOptions::default()) {
-            Ok(design) => verilog::print_design(&design),
-            Err(e) => {
-                eprintln!("hirc: {e}");
-                return ExitCode::FAILURE;
+        _ => {
+            let generated = {
+                let _s = obs::span_in("codegen", "generate design");
+                hir_codegen::generate_design(&module, &hir_codegen::CodegenOptions::default())
+            };
+            match generated {
+                Ok(d) => {
+                    let _s = obs::span_in("emit", "print verilog");
+                    let text = verilog::print_design(&d);
+                    design = Some(d);
+                    text
+                }
+                Err(e) => {
+                    eprintln!("hirc: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        },
+        }
     };
     let t_emit = t0.elapsed();
+
+    // Under --stats/--profile, exercise the emitted design in the simulator
+    // for a bounded number of cycles so the report covers the sim stage too.
+    if let Some(design) = design
+        .as_ref()
+        .filter(|_| opts.stats || opts.profile.is_some())
+    {
+        if let Some(top) = design.modules.last() {
+            let mut s = obs::span_in("sim", "smoke simulation");
+            s.arg("top", &top.name).arg("cycles", SMOKE_CYCLES);
+            match verilog::sim::Simulator::new(design, &top.name) {
+                Ok(mut sim) => {
+                    // An assertion firing on an undriven design is not a
+                    // compile error; the smoke run is best-effort.
+                    let _ = sim.run(SMOKE_CYCLES);
+                }
+                Err(e) => eprintln!("hirc: smoke simulation skipped: {e}"),
+            }
+        }
+    }
 
     let ok = match &opts.output {
         Some(path) => std::fs::write(path, &text).map_err(|e| format!("{path}: {e}")),
@@ -160,10 +258,34 @@ fn main() -> ExitCode {
         eprintln!("hirc: {e}");
         return ExitCode::FAILURE;
     }
+    finish(&opts, t_parse, t_verify, t_opt, t_emit, &pm)
+}
+
+/// Render the requested reports (timing, stats, profile) and exit.
+fn finish(
+    opts: &Options,
+    t_parse: std::time::Duration,
+    t_verify: std::time::Duration,
+    t_opt: std::time::Duration,
+    t_emit: std::time::Duration,
+    pm: &ir::PassManager,
+) -> ExitCode {
     if opts.timing {
         eprintln!(
             "hirc timing: parse {t_parse:?}, verify {t_verify:?}, optimize {t_opt:?}, emit {t_emit:?}"
         );
+        if !pm.timings().is_empty() {
+            eprint!("{}", pm.timing_report());
+        }
+    }
+    if opts.stats {
+        eprint!("{}", obs::stats_table());
+    }
+    if let Some(path) = &opts.profile {
+        if let Err(e) = std::fs::write(path, obs::chrome_trace()) {
+            eprintln!("hirc: cannot write profile '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

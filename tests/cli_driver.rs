@@ -137,6 +137,144 @@ fn compiles_checked_in_pretty_designs() {
 }
 
 #[test]
+fn help_prints_usage_to_stdout_and_exits_zero() {
+    let out = hirc().arg("--help").output().unwrap();
+    assert!(out.status.success(), "--help must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: hirc"), "{stdout}");
+    assert!(stdout.contains("--stats"), "{stdout}");
+    assert!(out.stderr.is_empty(), "usage must go to stdout");
+
+    let out = hirc().arg("-h").output().unwrap();
+    assert!(out.status.success(), "-h must exit 0");
+}
+
+#[test]
+fn stats_flag_reports_counters_from_all_stages() {
+    let dir = std::env::temp_dir().join("hirc_test_stats");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("t.mlir");
+    std::fs::write(&input, transpose_source()).unwrap();
+    let out = hirc()
+        .arg(&input)
+        .arg("--opt")
+        .arg("--stats")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    for scope in ["parse", "verify", "passes", "codegen", "sim"] {
+        assert!(err.contains(scope), "missing scope '{scope}' in:\n{err}");
+    }
+    assert!(err.contains("cycles"), "{err}");
+    assert!(err.contains("values_analyzed"), "{err}");
+}
+
+#[test]
+fn print_ir_after_all_dumps_round_trip() {
+    let dir = std::env::temp_dir().join("hirc_test_dumps");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("t.mlir");
+    std::fs::write(&input, transpose_source()).unwrap();
+    let out = hirc()
+        .arg(&input)
+        .arg("--opt")
+        .arg("--print-ir-after-all")
+        .arg("--emit=ir")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    // One banner per pass in the standard pipeline.
+    assert_eq!(err.matches("// ----- IR dump after ").count(), 8, "{err}");
+    // Stripping banner lines leaves a sequence of parseable modules.
+    for chunk in err.split("// ----- IR dump after ").skip(1) {
+        let body: String = chunk
+            .lines()
+            .skip(1) // the rest of the banner line
+            .map(|l| format!("{l}\n"))
+            .collect();
+        // Each dump runs until the next banner, which split removed.
+        ir::parse_module(&body).unwrap_or_else(|e| panic!("dump not parseable: {e}\n{body}"));
+    }
+}
+
+#[test]
+fn profile_emits_valid_chrome_trace_with_one_span_per_pass() {
+    let dir = std::env::temp_dir().join("hirc_test_profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("t.mlir");
+    std::fs::write(&input, transpose_source()).unwrap();
+    let profile = dir.join("trace.json");
+    let out = hirc()
+        .arg(&input)
+        .arg("--opt")
+        .arg(format!("--profile={}", profile.display()))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&profile).unwrap();
+    let doc = obs::json::parse(&text).expect("profile must be valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    let pass_spans: Vec<_> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("name")
+                    .and_then(|n| n.as_str())
+                    .is_some_and(|n| n.starts_with("pass "))
+        })
+        .collect();
+    assert_eq!(pass_spans.len(), 8, "one span per executed pipeline pass");
+    // All pass spans live on the same (opt) track, and stage tracks exist.
+    let tids: std::collections::BTreeSet<String> = pass_spans
+        .iter()
+        .map(|e| format!("{:?}", e.get("tid").unwrap()))
+        .collect();
+    assert_eq!(tids.len(), 1, "pass spans share the opt track");
+    let track_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|n| n.as_str())
+        })
+        .collect();
+    for stage in ["parse", "verify", "opt", "codegen", "sim"] {
+        assert!(
+            track_names.contains(&stage),
+            "missing track '{stage}': {track_names:?}"
+        );
+    }
+}
+
+#[test]
+fn checked_in_example_mlir_files_compile() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    for name in ["transpose", "mac", "stencil"] {
+        let out = hirc()
+            .arg(format!("{root}/examples/{name}.mlir"))
+            .arg("--opt")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "examples/{name}.mlir: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
 fn stencil_and_unrolled_designs_compile_and_run() {
     use hir_suite::hir::interp::{ArgValue, Interpreter};
     let root = env!("CARGO_MANIFEST_DIR");
@@ -166,9 +304,10 @@ fn stencil_and_unrolled_designs_compile_and_run() {
     let r = Interpreter::new(&m)
         .run("lanes", &[ArgValue::uninit_tensor(4)])
         .expect("simulate");
-    assert_eq!(
-        r.tensors[&0],
-        vec![Some(0), Some(7), Some(14), Some(21)]
+    assert_eq!(r.tensors[&0], vec![Some(0), Some(7), Some(14), Some(21)]);
+    assert!(
+        r.cycles <= 1,
+        "lanes must run in parallel, took {}",
+        r.cycles
     );
-    assert!(r.cycles <= 1, "lanes must run in parallel, took {}", r.cycles);
 }

@@ -61,10 +61,14 @@ fn rule2_reversed_bounds() {
     hb.in_loop(lp, |hb, _i, ti| hb.yield_at(ti, 1));
     hb.return_(&[]);
     let m = hb.finish();
-    let err = Interpreter::new(&m).run("rev", &[ArgValue::Int(5)]).unwrap_err();
+    let err = Interpreter::new(&m)
+        .run("rev", &[ArgValue::Int(5)])
+        .unwrap_err();
     assert!(err.message.contains("lower bound"), "{err}");
     // Equal bounds (zero-trip) are fine.
-    Interpreter::new(&m).run("rev", &[ArgValue::Int(0)]).expect("zero-trip loop is defined");
+    Interpreter::new(&m)
+        .run("rev", &[ArgValue::Int(0)])
+        .expect("zero-trip loop is defined");
 }
 
 /// Rule 3 — same-port same-cycle conflict: caught statically when provable,
@@ -118,8 +122,12 @@ fn rule4_loop_reentry() {
     let mut hb = HirBuilder::new();
     let f = hb.func("re", &[], &[]);
     let t = f.time_var(hb.module());
-    let (c0, c2, c1, c5) =
-        (hb.const_val(0), hb.const_val(2), hb.const_val(1), hb.const_val(5));
+    let (c0, c2, c1, c5) = (
+        hb.const_val(0),
+        hb.const_val(2),
+        hb.const_val(1),
+        hb.const_val(5),
+    );
     let outer = hb.for_loop(c0, c2, c1, t, 1, Type::int(8));
     hb.in_loop(outer, |hb, _i, ti| {
         let inner = hb.for_loop(c0, c5, c1, ti, 0, Type::int(8));
