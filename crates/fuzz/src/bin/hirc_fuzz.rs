@@ -1,0 +1,140 @@
+//! `hirc-fuzz` — deterministic mutational fuzzer for the HIR pipeline.
+//!
+//! ```text
+//! hirc-fuzz --iters=500 --seed=1 --corpus=examples --save=fuzz-crashes
+//! ```
+//!
+//! Each iteration derives a mutant from the corpus (reproducible from
+//! `(seed, iteration)` alone), runs it through parse → verify → optimize →
+//! print → codegen, and records any panic that escapes a stage. Exit code 0
+//! means the *diagnostics, never panics* contract held for every iteration;
+//! 1 means at least one crash (saved under `--save` for `hirc-reduce`);
+//! 2 means usage error.
+
+use hir_fuzz::{load_corpus, mutant, run_pipeline};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: hirc-fuzz [options]
+
+options:
+  --iters=N      number of fuzz iterations (default 500)
+  --seed=N       base RNG seed; (seed, iteration) reproduces a case (default 1)
+  --corpus=DIR   directory of .mlir seed files (default examples)
+  --save=DIR     write crashing inputs here (default fuzz-crashes)
+  --max-mutations=N  max stacked mutations per input (default 4)
+  --help, -h     show this help
+";
+
+struct Options {
+    iters: u64,
+    seed: u64,
+    corpus: String,
+    save: String,
+    max_mutations: usize,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        iters: 500,
+        seed: 1,
+        corpus: "examples".into(),
+        save: "fuzz-crashes".into(),
+        max_mutations: 4,
+    };
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--iters=") {
+            opts.iters = v.parse().map_err(|_| format!("bad --iters '{v}'"))?;
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            opts.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
+        } else if let Some(v) = a.strip_prefix("--corpus=") {
+            opts.corpus = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--save=") {
+            opts.save = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--max-mutations=") {
+            opts.max_mutations = v
+                .parse()
+                .map_err(|_| format!("bad --max-mutations '{v}'"))?;
+        } else if a == "--help" || a == "-h" {
+            print!("{USAGE}");
+            return Ok(None);
+        } else {
+            return Err(format!("unknown argument '{a}'"));
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hirc-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The harness catches panics itself; the default hook would spray one
+    // backtrace per triggered bug into the log.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let corpus = match load_corpus(std::path::Path::new(&opts.corpus)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("hirc-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "hirc-fuzz: {} corpus file(s), {} iterations, seed {}",
+        corpus.len(),
+        opts.iters,
+        opts.seed
+    );
+
+    let mut crashes: u64 = 0;
+    let mut outcomes = [0u64; 3]; // [rejected, verified, codegen_ok]
+    for iter in 0..opts.iters {
+        // Fresh RNG per iteration: any crash reproduces from (seed, iter)
+        // without replaying the previous iterations.
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ (iter.wrapping_mul(0x9E37_79B9)));
+        let (_, base) = &corpus[rng.gen_range(0..corpus.len())];
+        let input = mutant(base, opts.max_mutations, &mut rng);
+        match run_pipeline(&input) {
+            Ok(o) => {
+                let bucket = if o.codegen_ok {
+                    2
+                } else if o.verified && o.parse_errors == 0 {
+                    1
+                } else {
+                    0
+                };
+                outcomes[bucket] += 1;
+            }
+            Err(report) => {
+                crashes += 1;
+                let dir = std::path::Path::new(&opts.save);
+                let _ = std::fs::create_dir_all(dir);
+                let path = dir.join(format!("crash-seed{}-iter{iter}.mlir", opts.seed));
+                match std::fs::write(&path, &input) {
+                    Ok(()) => eprintln!(
+                        "hirc-fuzz: iter {iter}: {report} -- input saved to {}",
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("hirc-fuzz: iter {iter}: {report} -- could not save input: {e}")
+                    }
+                }
+            }
+        }
+    }
+    eprintln!(
+        "hirc-fuzz: {} iterations: {} rejected/partial, {} verified, {} through codegen, {} panic(s)",
+        opts.iters, outcomes[0], outcomes[1], outcomes[2], crashes
+    );
+    if crashes > 0 {
+        eprintln!("hirc-fuzz: contract violated; reduce with: hirc-reduce <saved-input>");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

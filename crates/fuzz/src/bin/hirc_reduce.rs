@@ -1,0 +1,88 @@
+//! `hirc-reduce` — greedy test-case reducer for pipeline crashes.
+//!
+//! ```text
+//! hirc-reduce fuzz-crashes/crash-seed1-iter42.mlir -o reduced.mlir
+//! ```
+//!
+//! Establishes the baseline panic (stage name) for the input, then deletes
+//! line chunks and trailing characters while the candidate still panics in
+//! the same stage. The reduced case goes to `-o` (or stdout) and is ready to
+//! attach to a bug report. Exit codes: 0 reduced, 1 input does not panic,
+//! 2 usage error.
+
+use hir_fuzz::{reduce_lines, reduce_tail, run_pipeline};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: hirc-reduce <crash.mlir> [-o out.mlir]
+";
+
+fn main() -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-o" => match args.next() {
+                Some(p) => output = Some(p),
+                None => {
+                    eprintln!("hirc-reduce: -o needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if !a.starts_with('-') && input.is_none() => input = Some(a),
+            other => {
+                eprintln!("hirc-reduce: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("hirc-reduce: no input file (try --help)");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hirc-reduce: cannot read '{input}': {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Panics are the object of study here; keep the hook quiet.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let Err(baseline) = run_pipeline(&source) else {
+        eprintln!("hirc-reduce: input does not panic the pipeline; nothing to reduce");
+        return ExitCode::from(1);
+    };
+    eprintln!("hirc-reduce: baseline: {baseline}");
+
+    // "Still interesting" = still panics in the same stage. Messages may
+    // drift as context is deleted; the stage is the stable signature.
+    let mut tested: u64 = 0;
+    let mut still_fails = |candidate: &str| {
+        tested += 1;
+        matches!(run_pipeline(candidate), Err(r) if r.stage == baseline.stage)
+    };
+    let reduced = reduce_tail(&reduce_lines(&source, &mut still_fails), &mut still_fails);
+    eprintln!(
+        "hirc-reduce: {} -> {} bytes in {tested} probe(s)",
+        source.len(),
+        reduced.len()
+    );
+
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &reduced) {
+                eprintln!("hirc-reduce: cannot write '{path}': {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("hirc-reduce: wrote {path}");
+        }
+        None => print!("{reduced}"),
+    }
+    ExitCode::SUCCESS
+}

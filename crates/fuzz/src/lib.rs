@@ -1,0 +1,455 @@
+//! Deterministic mutational fuzzing for the HIR compiler pipeline.
+//!
+//! The robustness contract of the toolchain is *diagnostics, never panics*:
+//! arbitrary input may be rejected with errors but must not crash the
+//! compiler. This crate enforces the contract mechanically:
+//!
+//! * [`mutate`] derives corrupted inputs from the `examples/` corpus with a
+//!   seed-driven mix of byte- and token-level mutations (bit flips, splices,
+//!   token swaps, keyword injection). Everything is driven by the vendored
+//!   SplitMix64 [`rand`] stand-in, so a `(seed, iteration)` pair always
+//!   reproduces the same input.
+//! * [`run_pipeline`] pushes a candidate through the same stages `hirc` runs
+//!   — parse (with recovery) → verify → optimize → print/round-trip →
+//!   codegen — each under `catch_unwind`, and reports the first stage whose
+//!   code panics rather than returning diagnostics.
+//! * [`reduce_lines`] greedily shrinks a crashing input while a caller
+//!   predicate (typically "still panics in the same stage") holds, powering
+//!   the `hirc-reduce` binary.
+//!
+//! The `hirc-fuzz` binary wires these together for CI smoke runs.
+
+use rand::{rngs::StdRng, Rng, RngCore};
+
+// ---------------------------------------------------------------------------
+// Panic-observing pipeline harness
+// ---------------------------------------------------------------------------
+
+/// A panic escaping one of the pipeline stages: the fuzz bug report.
+#[derive(Clone, Debug)]
+pub struct PanicReport {
+    /// Stage whose code panicked (`parse`, `verify`, `optimize`, `print`,
+    /// `roundtrip`, `codegen`).
+    pub stage: &'static str,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for PanicReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panic in stage '{}': {}", self.stage, self.message)
+    }
+}
+
+/// How far a (possibly corrupted) input made it through the pipeline with
+/// clean diagnostics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineOutcome {
+    /// Number of parse errors reported by the recovering parser.
+    pub parse_errors: usize,
+    /// Structure + schedule verification both passed.
+    pub verified: bool,
+    /// The standard optimization pipeline ran without internal errors.
+    pub optimized: bool,
+    /// Verilog generation succeeded.
+    pub codegen_ok: bool,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn guard<T>(stage: &'static str, f: impl FnOnce() -> T) -> Result<T, PanicReport> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|p| PanicReport {
+        stage,
+        message: panic_message(&*p),
+    })
+}
+
+/// Run `source` through the full compile pipeline, containing each stage in
+/// `catch_unwind`.
+///
+/// Returns `Ok` with how far the input got (rejection with diagnostics is a
+/// *success* for the robustness contract) or `Err` naming the stage that
+/// panicked.
+///
+/// # Errors
+/// A [`PanicReport`] for the first stage whose code panics.
+pub fn run_pipeline(source: &str) -> Result<PipelineOutcome, PanicReport> {
+    let mut outcome = PipelineOutcome::default();
+
+    // Same front-end dispatch as hirc: pretty form vs generic form.
+    let pretty_input = source
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with("//"))
+        .is_some_and(|l| l.starts_with("hir.func"));
+    let (mut module, n_errors) = guard("parse", || {
+        if pretty_input {
+            let r = hir::parse_pretty_recover(source, 0);
+            (r.module, r.errors.len())
+        } else {
+            let r = ir::parse_module_recover(source, 0);
+            (r.module, r.errors.len())
+        }
+    })?;
+    outcome.parse_errors = n_errors;
+
+    let registry = hir::hir_registry();
+    outcome.verified = guard("verify", || {
+        let mut diags = ir::DiagnosticEngine::new();
+        ir::verify_module(&module, &registry, &mut diags).is_ok()
+            && hir_verify::verify_schedule(&module, &mut diags).is_ok()
+    })?;
+
+    // Printers must handle anything the parser produced, including partially
+    // recovered modules.
+    guard("print", || {
+        let _ = ir::print_module(&module);
+        let _ = hir::pretty_module(&module);
+    })?;
+    guard("roundtrip", || {
+        let text = ir::print_module(&module);
+        let _ = ir::parse_module_recover(&text, 0);
+    })?;
+
+    // Passes and codegen assume verified IR (as in MLIR); run them only on
+    // modules that passed both verifiers.
+    if outcome.verified && n_errors == 0 {
+        outcome.optimized = guard("optimize", || {
+            let mut pm = hir_opt::standard_pipeline();
+            let mut diags = ir::DiagnosticEngine::new();
+            pm.run(&mut module, &registry, &mut diags).is_ok()
+        })?;
+        outcome.codegen_ok = guard("codegen", || {
+            hir_codegen::generate_design(&module, &hir_codegen::CodegenOptions::default()).is_ok()
+        })?;
+    }
+    Ok(outcome)
+}
+
+// ---------------------------------------------------------------------------
+// Mutation engine
+// ---------------------------------------------------------------------------
+
+/// Keywords and fragments from both HIR syntaxes: injecting these drives the
+/// fuzzer into deeper parser states than raw byte noise would.
+const DICTIONARY: &[&str] = &[
+    "hir.func",
+    "hir.alloc",
+    "hir.for",
+    "hir.yield",
+    "hir.return",
+    "hir.time",
+    "hir.delay",
+    "!hir.time",
+    "!hir.memref",
+    "!hir.const",
+    "offset",
+    "at",
+    "iter_time",
+    "->",
+    "i32",
+    "i1",
+    "f32",
+    "index",
+    "%t",
+    "%0",
+    "%arg0",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "\"",
+    ":",
+    ",",
+    "=",
+    "0",
+    "1",
+    "16",
+    "4294967295",
+    "-1",
+];
+
+/// Apply one random mutation to `input`, returning the mutant.
+///
+/// Mutations are a mix of byte-level (flip, insert, delete, duplicate-span,
+/// truncate) and token-level (delete/duplicate/swap a whitespace-token,
+/// splice a dictionary keyword) operators. Deterministic in `rng`.
+pub fn mutate(input: &[u8], rng: &mut StdRng) -> Vec<u8> {
+    let mut out = input.to_vec();
+    if out.is_empty() {
+        out.extend_from_slice(DICTIONARY[rng.gen_range(0..DICTIONARY.len())].as_bytes());
+        return out;
+    }
+    match rng.gen_range(0..8u32) {
+        // Flip a random bit.
+        0 => {
+            let i = rng.gen_range(0..out.len());
+            out[i] ^= 1 << rng.gen_range(0..8u32);
+        }
+        // Insert a random byte (biased towards printable ASCII).
+        1 => {
+            let i = rng.gen_range(0..out.len() + 1);
+            let b = if rng.gen_bool(0.8) {
+                rng.gen_range(0x20u32..0x7f) as u8
+            } else {
+                rng.next_u64() as u8
+            };
+            out.insert(i, b);
+        }
+        // Delete a short span.
+        2 => {
+            let i = rng.gen_range(0..out.len());
+            let len = rng.gen_range(1..9usize).min(out.len() - i);
+            out.drain(i..i + len);
+        }
+        // Duplicate a span somewhere else.
+        3 => {
+            let i = rng.gen_range(0..out.len());
+            let len = rng.gen_range(1..17usize).min(out.len() - i);
+            let span: Vec<u8> = out[i..i + len].to_vec();
+            let j = rng.gen_range(0..out.len() + 1);
+            out.splice(j..j, span);
+        }
+        // Truncate the tail.
+        4 => {
+            let keep = rng.gen_range(0..out.len());
+            out.truncate(keep);
+        }
+        // Inject a dictionary token at a random position.
+        5 => {
+            let tok = DICTIONARY[rng.gen_range(0..DICTIONARY.len())];
+            let j = rng.gen_range(0..out.len() + 1);
+            out.splice(j..j, tok.bytes());
+        }
+        // Delete or duplicate one whitespace-separated token.
+        6 => {
+            let text = String::from_utf8_lossy(&out).into_owned();
+            let mut toks: Vec<&str> = text.split_whitespace().collect();
+            if toks.len() > 1 {
+                let i = rng.gen_range(0..toks.len());
+                if rng.gen_bool(0.5) {
+                    toks.remove(i);
+                } else {
+                    let t = toks[i];
+                    toks.insert(i, t);
+                }
+                out = toks.join(" ").into_bytes();
+            }
+        }
+        // Swap two whole lines (breaks SSA dominance / schedule order).
+        _ => {
+            let text = String::from_utf8_lossy(&out).into_owned();
+            let mut lines: Vec<&str> = text.lines().collect();
+            if lines.len() > 1 {
+                let i = rng.gen_range(0..lines.len());
+                let j = rng.gen_range(0..lines.len());
+                lines.swap(i, j);
+                out = lines.join("\n").into_bytes();
+            }
+        }
+    }
+    out
+}
+
+/// Derive a fuzz candidate from `base` with `1..=rounds` stacked mutations.
+pub fn mutant(base: &[u8], rounds: usize, rng: &mut StdRng) -> String {
+    let n = rng.gen_range(1..rounds.max(1) + 1);
+    let mut data = base.to_vec();
+    for _ in 0..n {
+        data = mutate(&data, rng);
+    }
+    String::from_utf8_lossy(&data).into_owned()
+}
+
+// ---------------------------------------------------------------------------
+// Reducer
+// ---------------------------------------------------------------------------
+
+/// Greedily shrink `source` by deleting line chunks while `keeps_failing`
+/// still holds (ddmin-style: halving chunk sizes down to single lines).
+///
+/// The predicate receives each candidate and must return `true` when the
+/// candidate still exhibits the behaviour being isolated (e.g. panics in the
+/// same stage). The final result always satisfies the predicate.
+pub fn reduce_lines(source: &str, mut keeps_failing: impl FnMut(&str) -> bool) -> String {
+    let mut lines: Vec<String> = source.lines().map(String::from).collect();
+    let mut chunk = lines.len().max(1);
+    while chunk > 0 {
+        let mut i = 0;
+        while i < lines.len() {
+            let end = (i + chunk).min(lines.len());
+            let mut candidate = lines.clone();
+            candidate.drain(i..end);
+            let text = candidate.join("\n");
+            if keeps_failing(&text) {
+                lines = candidate; // keep the deletion; same index is new text
+            } else {
+                i = end;
+            }
+        }
+        chunk /= 2;
+    }
+    lines.join("\n")
+}
+
+/// Character-level tail reduction on the (already line-reduced) text: trim
+/// trailing characters while the predicate holds. Cheap and often strips
+/// noise the line pass cannot.
+pub fn reduce_tail(source: &str, mut keeps_failing: impl FnMut(&str) -> bool) -> String {
+    let mut text = source.to_string();
+    let mut cut = text.len() / 2;
+    while cut > 0 {
+        while text.len() > cut {
+            let mut candidate = text.clone();
+            let new_len = text.len() - cut;
+            // Truncate on a char boundary.
+            let mut n = new_len;
+            while n > 0 && !candidate.is_char_boundary(n) {
+                n -= 1;
+            }
+            candidate.truncate(n);
+            if keeps_failing(&candidate) {
+                text = candidate;
+            } else {
+                break;
+            }
+        }
+        cut /= 2;
+    }
+    text
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+/// Load the fuzz corpus: every `.mlir` file under `dir`, sorted by name for
+/// deterministic iteration order.
+///
+/// # Errors
+/// Returns an error string when the directory cannot be read or holds no
+/// `.mlir` files.
+pub fn load_corpus(dir: &std::path::Path) -> Result<Vec<(String, Vec<u8>)>, String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+    for entry in rd.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("mlir") {
+            let data = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            files.push((path.display().to_string(), data));
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    if files.is_empty() {
+        return Err(format!("no .mlir files in {}", dir.display()));
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn quiet<T>(f: impl FnOnce() -> T + std::panic::UnwindSafe) -> T {
+        // Keep expected panics out of test output.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(hook);
+        r
+    }
+
+    const VALID: &str = r#"
+"hir.func"() {arg_types = [i32, i32], external = unit, result_delays = [2 : index], result_types = [i32], sym_name = "mult"} : () -> ()
+"#;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let base = b"hir.func @f at %t () -> () { }";
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| mutant(base, 4, &mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| mutant(base, 4, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(8);
+            (0..10).map(|_| mutant(base, 4, &mut rng)).collect()
+        };
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn pipeline_accepts_trivial_valid_module() {
+        let outcome = run_pipeline(VALID).expect("no panic");
+        assert_eq!(outcome.parse_errors, 0);
+        assert!(outcome.verified);
+    }
+
+    #[test]
+    fn pipeline_reports_diagnostics_not_panics_on_garbage() {
+        for garbage in [
+            "",
+            "}}}}((((",
+            "hir.func \u{0} @x",
+            "%1 = \"a.b\"(%9) : (i32) -> (i32)",
+            "hir.func @f at %t(%x : !hir.memref<oops>",
+        ] {
+            let outcome = quiet(|| run_pipeline(garbage)).unwrap_or_else(|r| {
+                panic!("contract violated on {garbage:?}: {r}");
+            });
+            let _ = outcome; // rejection is fine; panicking is not
+        }
+    }
+
+    #[test]
+    fn mini_fuzz_smoke_holds_the_contract() {
+        // A small in-test smoke run; CI runs the real 500-iteration binary.
+        let base = VALID.as_bytes();
+        quiet(|| {
+            for seed in 0..60u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let input = mutant(base, 4, &mut rng);
+                if let Err(report) = run_pipeline(&input) {
+                    panic!("seed {seed}: {report}\ninput:\n{input}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn reducer_shrinks_to_the_failing_line() {
+        let input = "line one\nline two\nBOOM here\nline four\nline five";
+        let reduced = reduce_lines(input, |s| s.contains("BOOM"));
+        assert_eq!(reduced, "BOOM here");
+        let reduced = reduce_tail(&reduced, |s| s.contains("BOOM"));
+        assert_eq!(reduced, "BOOM");
+    }
+
+    #[test]
+    fn reducer_result_always_satisfies_predicate() {
+        let input = (0..32)
+            .map(|i| format!("line {i} {}", if i == 13 || i == 27 { "X" } else { "" }))
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Needs BOTH markers: forces the reducer to keep two separated lines.
+        let pred = |s: &str| s.matches('X').count() >= 2;
+        let reduced = reduce_lines(&input, pred);
+        assert!(pred(&reduced));
+        assert_eq!(reduced.lines().count(), 2);
+    }
+}

@@ -487,7 +487,8 @@ impl<'m> FuncCodegen<'m> {
             opname::ALLOC => {
                 let alloc = AllocOp(op);
                 for (i, port) in alloc.ports(m).into_iter().enumerate() {
-                    let info = MemrefInfo::from_type(&m.value_type(port)).expect("verified");
+                    let info = MemrefInfo::from_type(&m.value_type(port))
+                        .ok_or_else(|| self.err("hir.alloc result is not a memref type"))?;
                     self.ports.insert(
                         port,
                         PortInfo {
@@ -634,12 +635,14 @@ impl<'m> FuncCodegen<'m> {
                     .op(op)
                     .attr(hir::attrkey::HI)
                     .and_then(|a| a.as_int())
-                    .unwrap() as u32;
+                    .ok_or_else(|| self.err("hir.slice is missing its integer 'hi' attribute"))?
+                    as u32;
                 let lo = m
                     .op(op)
                     .attr(hir::attrkey::LO)
                     .and_then(|a| a.as_int())
-                    .unwrap() as u32;
+                    .ok_or_else(|| self.err("hir.slice is missing its integer 'lo' attribute"))?
+                    as u32;
                 Expr::Slice {
                     base: Box::new(self.to_expr(&vals[0], in_width(0))),
                     hi,
@@ -772,17 +775,16 @@ impl<'m> FuncCodegen<'m> {
         let (bank, addr) = self.linearize(&info, &indices, &enable, &loc)?;
         let width = info.elem.bit_width().unwrap_or(32);
         let wire = self.read_data_wire(port_id, bank, width);
-        self.ports
-            .get_mut(&port_id)
-            .unwrap()
-            .reads
-            .push(PortAccess {
+        match self.ports.get_mut(&port_id) {
+            Some(port) => port.reads.push(PortAccess {
                 enable,
                 addr,
                 wdata: None,
                 bank,
                 loc,
-            });
+            }),
+            None => return Err(self.err("read through unmapped memref")),
+        }
         env.insert(r.result(m), CgVal::Wire(wire, width));
         Ok(())
     }
@@ -840,17 +842,16 @@ impl<'m> FuncCodegen<'m> {
         let width = info.elem.bit_width().unwrap_or(32);
         let data = self.value(w.value(m), env)?;
         let data = self.to_expr(&data, width);
-        self.ports
-            .get_mut(&port_id)
-            .unwrap()
-            .writes
-            .push(PortAccess {
+        match self.ports.get_mut(&port_id) {
+            Some(port) => port.writes.push(PortAccess {
                 enable,
                 addr,
                 wdata: Some(data),
                 bank,
                 loc,
-            });
+            }),
+            None => return Err(self.err("write through unmapped memref")),
+        }
         Ok(())
     }
 
@@ -1011,12 +1012,25 @@ impl<'m> FuncCodegen<'m> {
             vec![("clk".into(), Expr::r("clk")), ("start".into(), pulse)];
 
         let callee_args = callee.arg_types(m);
-        let callee_arg_names: Vec<String> = callee
+        let mut callee_arg_names: Vec<String> = callee
             .arg_names(m)
-            .unwrap_or_else(|| (0..callee_args.len()).map(|i| format!("arg{i}")).collect())
+            .unwrap_or_default()
             .iter()
             .map(|n| sanitize(n))
             .collect();
+        // An arg_names attribute may be shorter than the signature; pad with
+        // positional names rather than indexing past it.
+        while callee_arg_names.len() < callee_args.len() {
+            callee_arg_names.push(format!("arg{}", callee_arg_names.len()));
+        }
+        if call.args(m).len() != callee_args.len() {
+            return Err(self.err(format!(
+                "call to @{} passes {} argument(s) but the callee declares {}",
+                call.callee(m),
+                call.args(m).len(),
+                callee_args.len()
+            )));
+        }
         for (i, actual) in call.args(m).iter().enumerate() {
             let formal_ty = &callee_args[i];
             let pname = &callee_arg_names[i];
@@ -1209,10 +1223,13 @@ impl<'m> FuncCodegen<'m> {
                 writes.iter().map(|a| (a.enable.clone(), a.addr.clone())),
                 addr_w,
             );
+            // Every write access carries data by construction; fall back to
+            // zero rather than panic if that invariant ever breaks.
             let wr_data = mux_chain(
-                writes
-                    .iter()
-                    .map(|a| (a.enable.clone(), a.wdata.clone().unwrap())),
+                writes.iter().map(|a| {
+                    let data = a.wdata.clone().unwrap_or_else(|| Expr::c(0, width));
+                    (a.enable.clone(), data)
+                }),
                 width,
             );
 

@@ -13,6 +13,11 @@ use ir::Module;
 use std::collections::HashMap;
 use verilog::{Design, Simulator};
 
+/// Default cycle bound for harness runs and for `hirc`'s `--sim-max-cycles`
+/// flag: generous enough for every design in `examples/`, small enough that a
+/// hung controller fails in well under a second of wall time.
+pub const DEFAULT_SIM_MAX_CYCLES: u64 = 100_000;
+
 /// An argument supplied to [`Harness::run`].
 #[derive(Clone, Debug)]
 pub enum HarnessArg {
@@ -200,6 +205,14 @@ impl Harness {
     /// Propagates RTL assertion failures; times out after `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> Result<HarnessReport, CodegenError> {
         const QUIESCENT_GRACE: u64 = 8;
+        // Belt and braces: arm the simulator's own watchdog too, so even a
+        // future loop in this harness cannot spin past the caller's bound.
+        self.sim.set_cycle_budget(Some(
+            self.sim
+                .cycle()
+                .saturating_add(max_cycles)
+                .saturating_add(1),
+        ));
         for (name, v, w) in self.scalar_ports.clone() {
             self.sim.set(&name, (v as u64) & mask(w));
         }

@@ -45,11 +45,79 @@ pub fn standard_pipeline() -> PassManager {
 /// Run the standard pipeline over a module (convenience wrapper).
 ///
 /// # Errors
-/// Returns the name of the first failed pass.
+/// Returns the rendered [`ir::PipelineError`] of the first failed pass.
 pub fn optimize(module: &mut ir::Module) -> Result<(), String> {
     let registry = hir::hir_registry();
     let mut diags = ir::DiagnosticEngine::new();
-    standard_pipeline().run(module, &registry, &mut diags)
+    standard_pipeline()
+        .run(module, &registry, &mut diags)
+        .map_err(|e| e.to_string())
+}
+
+/// Always-panicking pass, registered as `test-panic`: the test hook for the
+/// crash-containment machinery (`--crash-reproducer`, exit code 3). Kept in
+/// the real registry so end-to-end driver tests can trigger a genuine
+/// mid-pipeline panic with `--pipeline=hir-canonicalize,test-panic,...`.
+pub struct PanicTestPass;
+
+impl ir::Pass for PanicTestPass {
+    fn name(&self) -> &str {
+        "test-panic"
+    }
+    fn run(&mut self, _m: &mut ir::Module, _cx: &mut ir::PassContext<'_>) -> ir::PassResult {
+        panic!("deliberate panic from the test-panic pass")
+    }
+}
+
+/// Look up a pass by its stable name (the name each pass reports via
+/// [`ir::Pass::name`]). This is the registry behind `--pipeline=` and crash
+/// reproducer re-execution.
+pub fn pass_by_name(name: &str) -> Option<Box<dyn ir::Pass>> {
+    Some(match name {
+        "hir-canonicalize" => Box::new(CanonicalizePass),
+        "hir-cse" => Box::new(CsePass),
+        "hir-retime" => Box::new(RetimePass),
+        "hir-delay-share" => Box::new(DelaySharePass::new()),
+        "hir-precision-opt" => Box::new(PrecisionPass::new()),
+        "hir-port-demote" => Box::new(PortDemotePass::new()),
+        "test-panic" => Box::new(PanicTestPass),
+        _ => return None,
+    })
+}
+
+/// Names accepted by [`pass_by_name`], for "did you mean" help text.
+/// (The fold/strength/DCE rewrites are patterns inside `hir-canonicalize`,
+/// not standalone passes, so they are not listed here.)
+pub fn registered_pass_names() -> &'static [&'static str] {
+    &[
+        "hir-canonicalize",
+        "hir-cse",
+        "hir-retime",
+        "hir-delay-share",
+        "hir-precision-opt",
+        "hir-port-demote",
+        "test-panic",
+    ]
+}
+
+/// Build a pipeline from pass names (comma-split `--pipeline=` values or a
+/// reproducer's embedded pipeline).
+///
+/// # Errors
+/// Returns a message naming the first unknown pass.
+pub fn pipeline_from_names<S: AsRef<str>>(names: &[S]) -> Result<PassManager, String> {
+    let mut pm = PassManager::new();
+    for name in names {
+        let name = name.as_ref();
+        let pass = pass_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown pass '{name}' (known passes: {})",
+                registered_pass_names().join(", ")
+            )
+        })?;
+        pm.add_boxed(pass);
+    }
+    Ok(pm)
 }
 
 #[cfg(test)]
@@ -76,6 +144,30 @@ mod tests {
             .into_iter()
             .filter(|&o| m.is_live(o) && m.op(o).name().as_str() == name)
             .count()
+    }
+
+    #[test]
+    fn registry_covers_every_standard_pipeline_pass() {
+        for name in standard_pipeline().pass_names() {
+            assert!(pass_by_name(&name).is_some(), "unregistered pass {name}");
+        }
+        for name in registered_pass_names() {
+            let pass = pass_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(pass.name(), *name, "registry name must match Pass::name");
+        }
+        assert!(pass_by_name("no-such-pass").is_none());
+    }
+
+    #[test]
+    fn pipeline_from_names_builds_and_rejects() {
+        let pm = pipeline_from_names(&["hir-cse", "hir-canonicalize"]).unwrap();
+        assert_eq!(pm.pass_names(), vec!["hir-cse", "hir-canonicalize"]);
+        let err = pipeline_from_names(&["hir-cse", "bogus"]).unwrap_err();
+        assert!(err.contains("unknown pass 'bogus'"), "{err}");
+        assert!(
+            err.contains("hir-canonicalize"),
+            "lists known passes: {err}"
+        );
     }
 
     #[test]

@@ -68,10 +68,15 @@ impl PortDemotePass {
         if ports.len() != 2 {
             return false;
         }
-        let infos: Vec<MemrefInfo> = ports
+        // Non-memref port types mean malformed-but-unverified IR; skip the
+        // alloc rather than assume the verifier ran before us.
+        let Some(infos) = ports
             .iter()
-            .map(|&p| MemrefInfo::from_type(&module.value_type(p)).expect("verified"))
-            .collect();
+            .map(|&p| MemrefInfo::from_type(&module.value_type(p)))
+            .collect::<Option<Vec<MemrefInfo>>>()
+        else {
+            return false;
+        };
         // Exactly one read + one write port of RAM kind.
         let (r_idx, w_idx) = match (infos[0].port, infos[1].port) {
             (Port::Read, Port::Write) => (0, 1),

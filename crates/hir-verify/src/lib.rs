@@ -383,7 +383,8 @@ mod tests {
         let mut diags = DiagnosticEngine::new();
         let mut module = m;
         let err = pm.run(&mut module, &reg, &mut diags).unwrap_err();
-        assert_eq!(err, "hir-schedule-verify");
+        assert_eq!(err.pass_name(), "hir-schedule-verify");
+        assert!(!err.is_internal(), "diagnosed failure, not a crash");
     }
 }
 

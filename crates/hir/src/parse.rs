@@ -54,6 +54,66 @@ pub fn parse_pretty(source: &str) -> Result<Module> {
     Ok(hb.finish())
 }
 
+/// Default cap on recorded errors in recovery mode.
+pub const DEFAULT_ERROR_LIMIT: usize = 20;
+
+/// Outcome of [`parse_pretty_recover`].
+#[derive(Debug)]
+pub struct RecoveredPretty {
+    /// Best-effort module; only meaningful when `errors` is empty.
+    pub module: Module,
+    /// All parse errors, in source order.
+    pub errors: Vec<PrettyParseError>,
+    /// Recovery stopped early because the error limit was reached.
+    pub hit_error_limit: bool,
+}
+
+/// Parse with error recovery at function granularity: on a parse failure the
+/// error is recorded and the parser skips to the next `hir.func`, so one run
+/// reports the first error of every broken function in the file. (Function
+/// granularity is what makes recovery safe here: [`HirBuilder::func`] resets
+/// all builder state, discarding whatever a broken function left behind.)
+///
+/// `error_limit` caps the number of recorded errors (0 means
+/// [`DEFAULT_ERROR_LIMIT`]).
+pub fn parse_pretty_recover(source: &str, error_limit: usize) -> RecoveredPretty {
+    let limit = if error_limit == 0 {
+        DEFAULT_ERROR_LIMIT
+    } else {
+        error_limit
+    };
+    let mut errors = Vec::new();
+    let mut p = match Parser::new(source) {
+        Ok(p) => p,
+        Err(e) => {
+            return RecoveredPretty {
+                module: Module::new(),
+                errors: vec![e],
+                hit_error_limit: false,
+            }
+        }
+    };
+    let mut hb = HirBuilder::new();
+    let mut hit_error_limit = false;
+    while p.tok != Tok::Eof {
+        if errors.len() >= limit {
+            hit_error_limit = true;
+            break;
+        }
+        if let Err(e) = p.parse_func(&mut hb) {
+            errors.push(e);
+            if !p.synchronize_to_func() {
+                break;
+            }
+        }
+    }
+    RecoveredPretty {
+        module: hb.finish(),
+        errors,
+        hit_error_limit,
+    }
+}
+
 // --------------------------------------------------------------------- lexer
 
 #[derive(Clone, Debug, PartialEq)]
@@ -310,6 +370,28 @@ impl<'a> Parser<'a> {
         Ok(std::mem::replace(&mut self.tok, tok))
     }
 
+    /// Skip tokens until the next `hir.func` keyword (the only top-level
+    /// construct), always consuming at least one token so recovery makes
+    /// progress. Returns `false` when the end of input is reached first.
+    fn synchronize_to_func(&mut self) -> bool {
+        loop {
+            match self.advance() {
+                Ok(_) => {}
+                Err(_) => {
+                    // Lexer error mid-skip: drop the offending byte and keep
+                    // scanning; these cascades are not worth reporting.
+                    self.lexer.bump();
+                    continue;
+                }
+            }
+            match &self.tok {
+                Tok::Eof => return false,
+                Tok::Ident(s) if s == "hir.func" => return true,
+                _ => {}
+            }
+        }
+    }
+
     fn expect(&mut self, want: &Tok) -> Result<()> {
         if &self.tok == want {
             self.advance()?;
@@ -448,7 +530,10 @@ impl<'a> Parser<'a> {
                 }
                 other => {
                     self.tok = other;
-                    return Err(self.err("expected memref dimension or element type"));
+                    return Err(self.err(format!(
+                        "expected memref dimension (e.g. `16*`) or element type, found {:?}",
+                        self.tok
+                    )));
                 }
             }
         }
@@ -601,10 +686,13 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Err(self.err(format!(
-                    "offset %{name} is not a recognizable constant (use an integer literal)"
+                    "offset %{name} is not a recognizable constant \
+                     (use an integer literal or a %c<N> constant name)"
                 )))
             }
-            other => Err(self.err(format!("expected offset, found {other:?}"))),
+            other => Err(self.err(format!(
+                "expected an integer offset or %c<N> constant, found {other:?}"
+            ))),
         }
     }
 
@@ -1067,5 +1155,76 @@ hir.func @transpose at %t(
         let err = parse_pretty("hir.func @f at %t() {\n  %v = hir.mem_read %nope[%i] at %t\n}")
             .unwrap_err();
         assert!(err.message.contains("undefined value"), "{err}");
+    }
+
+    #[test]
+    fn offset_errors_name_the_offending_token() {
+        let err =
+            parse_pretty("hir.func @f at %t() {\n  %d = hir.delay %t by %bogus at %t offset 0\n}")
+                .unwrap_err();
+        assert!(err.message.contains("%bogus"), "{err}");
+        assert_eq!(err.line, 2);
+
+        let err =
+            parse_pretty("hir.func @f at %t() {\n  hir.yield at %t offset @sym\n}").unwrap_err();
+        assert!(err.message.contains("Symbol"), "names the token: {err}");
+    }
+
+    #[test]
+    fn memref_param_errors_name_the_offending_token() {
+        let err = parse_pretty("hir.func @f at %t(%A : !hir.memref<@oops*i32, r, bram>) {\n}")
+            .unwrap_err();
+        assert!(
+            err.message.contains("expected memref dimension") && err.message.contains("Symbol"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn recovery_reports_one_error_per_broken_function() {
+        let src = r#"
+hir.func @good at %t(%x : i32) -> (i32 delay 0) {
+  %y = hir.add (%x, %x) : (i32, i32) -> (i32)
+  hir.return %y
+}
+hir.func @broken1 at %t() {
+  %v = hir.bogus_unknown_thing ???
+}
+hir.func @broken2 at %t() {
+  %v = hir.mem_read %undefined[%i] at %t offset 0 : i32
+}
+hir.func @also_good at %t() {
+  hir.return
+}
+"#;
+        let r = parse_pretty_recover(src, 0);
+        assert_eq!(r.errors.len(), 2, "{:?}", r.errors);
+        assert!(!r.hit_error_limit);
+        assert!(r.errors[0].line >= 6, "{:?}", r.errors[0]);
+        assert!(r.errors[1].message.contains("undefined value"));
+        // Both good functions survived.
+        assert_eq!(r.module.top_ops().len(), 4, "partial funcs stay in module");
+    }
+
+    #[test]
+    fn recovery_matches_strict_parse_on_valid_input() {
+        let src = "hir.func @g at %t() {\n  hir.return\n}\n";
+        let r = parse_pretty_recover(src, 0);
+        assert!(r.errors.is_empty(), "{:?}", r.errors);
+        assert_eq!(
+            pretty_module(&r.module),
+            pretty_module(&parse_pretty(src).unwrap())
+        );
+    }
+
+    #[test]
+    fn recovery_honors_error_limit() {
+        let mut src = String::new();
+        for i in 0..8 {
+            src.push_str(&format!("hir.func @f{i} at %t() {{\n  hir.oops ???\n}}\n"));
+        }
+        let r = parse_pretty_recover(&src, 2);
+        assert_eq!(r.errors.len(), 2);
+        assert!(r.hit_error_limit);
     }
 }

@@ -45,6 +45,7 @@ pub fn pretty_op(m: &Module, op: OpId) -> String {
 
 struct Pretty<'m> {
     m: &'m Module,
+    registry: ir::DialectRegistry,
     names: HashMap<ValueId, String>,
     next: usize,
     out: String,
@@ -54,9 +55,67 @@ impl<'m> Pretty<'m> {
     fn new(m: &'m Module) -> Self {
         Pretty {
             m,
+            registry: crate::dialect::hir_registry(),
             names: HashMap::new(),
             next: 0,
             out: String::new(),
+        }
+    }
+
+    /// Whether `op` is well-formed enough for its specialized pretty form.
+    ///
+    /// The per-op arms below index operands, results, regions, block
+    /// arguments and attributes at fixed positions — guarantees that hold
+    /// only for spec-conforming ops. Partially recovered modules from the
+    /// error-tolerant parsers can violate them, so anything non-conforming
+    /// is printed in the generic form instead.
+    fn spec_conforms(&self, op: OpId) -> bool {
+        let m = self.m;
+        let data = m.op(op);
+        let name = data.name().as_str();
+        let Some(spec) = self.registry.spec(name) else {
+            return true; // unknown ops already use the generic form
+        };
+        if !spec.operand_arity().check(data.operands().len())
+            || !spec.result_arity().check(data.results().len())
+            || !spec.region_arity().check(data.regions().len())
+            || !data
+                .regions()
+                .iter()
+                .all(|&r| !m.region(r).blocks().is_empty())
+        {
+            return false;
+        }
+        let first_block_args = |min: usize| {
+            data.regions().first().is_some_and(|&r| {
+                m.region(r)
+                    .blocks()
+                    .first()
+                    .is_some_and(|&b| m.block(b).args().len() >= min)
+            })
+        };
+        match name {
+            opname::FUNC => {
+                let named = data.attr(ir::SYM_NAME).and_then(|a| a.as_str()).is_some();
+                // Externals have no body; everyone else needs the entry
+                // block with at least the start-time argument.
+                named && (ops::FuncOp(op).is_external(m) || first_block_args(1))
+            }
+            // Induction variable + iteration time.
+            opname::FOR => first_block_args(2),
+            opname::UNROLL_FOR => {
+                first_block_args(2)
+                    && [attrkey::LB, attrkey::UB, attrkey::STEP]
+                        .iter()
+                        .all(|k| data.attr(k).and_then(|a| a.as_int()).is_some())
+            }
+            opname::CALL => data
+                .attr(attrkey::CALLEE)
+                .and_then(|a| a.as_symbol())
+                .is_some(),
+            opname::CONSTANT => data.attr(attrkey::VALUE).is_some(),
+            opname::DELAY => data.attr(attrkey::BY).and_then(|a| a.as_int()).is_some(),
+            _ => true,
         }
     }
 
@@ -85,8 +144,11 @@ impl<'m> Pretty<'m> {
         // a typed constant with the same value gets a disambiguated name so
         // the printed text stays parseable.
         let n = if let Some(def) = self.m.defining_op(v) {
-            if let Some(c) = ops::ConstantOp::wrap(self.m, def) {
-                if let Some(i) = c.value_attr(self.m).as_int() {
+            // Read the attribute leniently: this runs inside diagnostic
+            // rendering, where the constant may be the malformed op (e.g. a
+            // missing 'value' attribute) being reported.
+            if ops::ConstantOp::wrap(self.m, def).is_some() {
+                if let Some(i) = self.m.op(def).attr(attrkey::VALUE).and_then(|a| a.as_int()) {
                     let base = format!("%c{i}");
                     if self.names.values().any(|existing| existing == &base) {
                         self.fresh()
@@ -122,6 +184,19 @@ impl<'m> Pretty<'m> {
         let m = self.m;
         let name = m.op(op).name().as_str().to_string();
         self.indent(depth);
+        if !self.spec_conforms(op) {
+            let line = self.generic_op_line(op);
+            self.out.push_str(&line);
+            self.out.push('\n');
+            for &r in m.op(op).regions().to_vec().iter() {
+                for &b in m.region(r).blocks().to_vec().iter() {
+                    for &o in m.block(b).ops().to_vec().iter() {
+                        self.print_tree(o, depth + 1);
+                    }
+                }
+            }
+            return;
+        }
         match name.as_str() {
             opname::FUNC => {
                 let f = ops::FuncOp(op);
@@ -257,6 +332,9 @@ impl<'m> Pretty<'m> {
     /// One-line pretty form of a non-region op.
     fn print_op_line(&mut self, op: OpId) -> String {
         let m = self.m;
+        if !self.spec_conforms(op) {
+            return self.generic_op_line(op);
+        }
         let data = m.op(op);
         let name = data.name().as_str().to_string();
         match name.as_str() {
@@ -346,44 +424,50 @@ impl<'m> Pretty<'m> {
                     c.offset(m)
                 )
             }
-            _ => {
-                // Generic compute ops: `%r = hir.add (%a, %b) : (i32, i32) -> (i32)`.
-                let results: Vec<String> = data.results().iter().map(|&v| self.name(v)).collect();
-                let operands: Vec<String> = data.operands().iter().map(|&v| self.name(v)).collect();
-                let in_tys: Vec<String> = data
-                    .operands()
-                    .iter()
-                    .map(|&v| type_str(&m.value_type(v)))
-                    .collect();
-                let out_tys: Vec<String> = data
-                    .results()
-                    .iter()
-                    .map(|&v| type_str(&m.value_type(v)))
-                    .collect();
-                let prefix = if results.is_empty() {
-                    String::new()
-                } else {
-                    format!("{} = ", results.join(", "))
-                };
-                let mut line = format!("{prefix}{name} ({})", operands.join(", "));
-                let _ = write!(
-                    line,
-                    " : ({}) -> ({})",
-                    in_tys.join(", "),
-                    out_tys.join(", ")
-                );
-                if let Some(p) = data.attr(attrkey::PREDICATE).and_then(|a| a.as_str()) {
-                    let _ = write!(line, " {{{p}}}");
-                }
-                if let (Some(hi), Some(lo)) = (
-                    data.attr(attrkey::HI).and_then(|a| a.as_int()),
-                    data.attr(attrkey::LO).and_then(|a| a.as_int()),
-                ) {
-                    let _ = write!(line, " {{{hi}:{lo}}}");
-                }
-                line
-            }
+            _ => self.generic_op_line(op),
         }
+    }
+
+    /// Generic one-line form, safe for any op regardless of shape:
+    /// `%r = hir.add (%a, %b) : (i32, i32) -> (i32)`.
+    fn generic_op_line(&mut self, op: OpId) -> String {
+        let m = self.m;
+        let data = m.op(op);
+        let name = data.name().as_str().to_string();
+        let results: Vec<String> = data.results().iter().map(|&v| self.name(v)).collect();
+        let operands: Vec<String> = data.operands().iter().map(|&v| self.name(v)).collect();
+        let in_tys: Vec<String> = data
+            .operands()
+            .iter()
+            .map(|&v| type_str(&m.value_type(v)))
+            .collect();
+        let out_tys: Vec<String> = data
+            .results()
+            .iter()
+            .map(|&v| type_str(&m.value_type(v)))
+            .collect();
+        let prefix = if results.is_empty() {
+            String::new()
+        } else {
+            format!("{} = ", results.join(", "))
+        };
+        let mut line = format!("{prefix}{name} ({})", operands.join(", "));
+        let _ = write!(
+            line,
+            " : ({}) -> ({})",
+            in_tys.join(", "),
+            out_tys.join(", ")
+        );
+        if let Some(p) = data.attr(attrkey::PREDICATE).and_then(|a| a.as_str()) {
+            let _ = write!(line, " {{{p}}}");
+        }
+        if let (Some(hi), Some(lo)) = (
+            data.attr(attrkey::HI).and_then(|a| a.as_int()),
+            data.attr(attrkey::LO).and_then(|a| a.as_int()),
+        ) {
+            let _ = write!(line, " {{{hi}:{lo}}}");
+        }
+        line
     }
 }
 

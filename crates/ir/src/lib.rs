@@ -38,6 +38,7 @@ pub mod module;
 pub mod parser;
 pub mod pass;
 pub mod printer;
+pub mod reproducer;
 pub mod rewrite;
 pub mod symbol;
 pub mod types;
@@ -51,12 +52,15 @@ pub use location::Location;
 pub use module::{
     BlockId, Module, OpData, OpId, OpName, RegionId, Use, ValueData, ValueDef, ValueId,
 };
-pub use parser::{parse_module, ParseError};
+pub use parser::{
+    parse_module, parse_module_recover, ParseError, RecoveredParse, DEFAULT_ERROR_LIMIT,
+};
 pub use pass::{
     IrPrintInstrumentation, Pass, PassContext, PassInstrumentation, PassManager, PassResult,
-    PassTiming,
+    PassTiming, PipelineError,
 };
 pub use printer::{print_module, print_module_with, print_op, PrintOptions};
+pub use reproducer::{format_reproducer, parse_reproducer, Reproducer, REPRODUCER_HEADER};
 pub use rewrite::{apply_patterns_greedily, RewritePattern, RewriteStats, RewriteStatus, Rewriter};
 pub use symbol::{SymbolTable, SYM_NAME};
 pub use types::{FloatKind, Signedness, Type, TypeKind};

@@ -296,6 +296,68 @@ pub fn parse_module(src: &str) -> Result<Module> {
     Ok(module)
 }
 
+/// Default cap on recorded errors in recovery mode (MLIR uses a similar
+/// bound to keep cascades readable).
+pub const DEFAULT_ERROR_LIMIT: usize = 20;
+
+/// Outcome of [`parse_module_recover`]: whatever parsed plus every error.
+#[derive(Debug)]
+pub struct RecoveredParse {
+    /// Ops that parsed cleanly. Only meaningful when `errors` is empty —
+    /// with errors present it is a best-effort partial module.
+    pub module: Module,
+    /// All parse errors, in source order.
+    pub errors: Vec<ParseError>,
+    /// Recovery stopped early because `error_limit` was reached.
+    pub hit_error_limit: bool,
+}
+
+/// Parse with error recovery: on a parse failure, record the error,
+/// synchronize to the next top-level operation boundary, and continue, so
+/// one run reports every error in the file instead of bailing at the first.
+///
+/// `error_limit` caps the number of recorded errors (0 means
+/// [`DEFAULT_ERROR_LIMIT`]).
+pub fn parse_module_recover(src: &str, error_limit: usize) -> RecoveredParse {
+    let limit = if error_limit == 0 {
+        DEFAULT_ERROR_LIMIT
+    } else {
+        error_limit
+    };
+    let mut errors = Vec::new();
+    let mut p = Parser::new_lenient(src, &mut errors);
+    let mut module = Module::new();
+    let mut values: HashMap<usize, ValueId> = HashMap::new();
+    let mut tops = Vec::new();
+    let mut hit_error_limit = false;
+    while p.tok != Tok::Eof {
+        if errors.len() >= limit {
+            hit_error_limit = true;
+            break;
+        }
+        let op_start_line = p.line;
+        match p.parse_op(&mut module, &mut values) {
+            Ok(op) => tops.push(op),
+            Err(e) => {
+                errors.push(e);
+                p.synchronize(op_start_line, &mut errors);
+            }
+        }
+    }
+    errors.truncate(limit);
+    if errors.len() >= limit && p.tok != Tok::Eof {
+        hit_error_limit = true;
+    }
+    for t in tops {
+        module.push_top(t);
+    }
+    RecoveredParse {
+        module,
+        errors,
+        hit_error_limit,
+    }
+}
+
 struct Parser<'a> {
     lexer: Lexer<'a>,
     tok: Tok,
@@ -315,11 +377,72 @@ impl<'a> Parser<'a> {
         })
     }
 
+    /// Like [`Parser::new`] but never fails: leading lexer errors are
+    /// recorded and the offending bytes skipped.
+    fn new_lenient(src: &'a str, errors: &mut Vec<ParseError>) -> Self {
+        let mut lexer = Lexer::new(src);
+        let (tok, line, col) = loop {
+            match lexer.next() {
+                Ok(t) => break t,
+                Err(e) => {
+                    errors.push(e);
+                    lexer.bump();
+                }
+            }
+        };
+        Parser {
+            lexer,
+            tok,
+            line,
+            col,
+        }
+    }
+
     fn err(&self, message: impl Into<String>) -> ParseError {
         ParseError {
             line: self.line,
             col: self.col,
             message: message.into(),
+        }
+    }
+
+    /// Advance, recording (rather than returning) lexer errors and skipping
+    /// the offending bytes. Used during error recovery, where the parser
+    /// must always make progress.
+    fn advance_lenient(&mut self, errors: &mut Vec<ParseError>) {
+        loop {
+            match self.lexer.next() {
+                Ok((tok, line, col)) => {
+                    self.line = line;
+                    self.col = col;
+                    self.tok = tok;
+                    return;
+                }
+                Err(e) => {
+                    errors.push(e);
+                    self.lexer.bump();
+                }
+            }
+        }
+    }
+
+    /// Skip to a plausible start of the next top-level operation: a `%N` or
+    /// quoted op name outside any delimiter nesting, on a line after
+    /// `from_line` (the line the failed op started on). Closers beyond the
+    /// error's nesting are consumed on the way. If the parser is already at
+    /// such a boundary (e.g. the failure was inside an already-consumed
+    /// nested region), this is a no-op.
+    fn synchronize(&mut self, from_line: u32, errors: &mut Vec<ParseError>) {
+        let mut depth: i64 = 0;
+        loop {
+            match &self.tok {
+                Tok::Eof => return,
+                Tok::LParen | Tok::LBrace | Tok::LBracket => depth += 1,
+                Tok::RParen | Tok::RBrace | Tok::RBracket => depth -= 1,
+                Tok::Percent(_) | Tok::Str(_) if depth <= 0 && self.line > from_line => return,
+                _ => {}
+            }
+            self.advance_lenient(errors);
         }
     }
 
@@ -354,6 +477,9 @@ impl<'a> Parser<'a> {
         module: &mut Module,
         values: &mut HashMap<usize, ValueId>,
     ) -> Result<OpId> {
+        // Anchor for errors that are only detectable after the op text has
+        // been consumed (undefined operands, broken nested regions).
+        let (op_line, op_col) = (self.line, self.col);
         // Optional results.
         let mut result_ids = Vec::new();
         if let Tok::Percent(n) = self.tok {
@@ -510,10 +636,11 @@ impl<'a> Parser<'a> {
         let operands: Vec<ValueId> = operand_ids
             .iter()
             .map(|n| {
-                values
-                    .get(n)
-                    .copied()
-                    .ok_or_else(|| self.err(format!("use of undefined value %{n}")))
+                values.get(n).copied().ok_or_else(|| ParseError {
+                    line: op_line,
+                    col: op_col,
+                    message: format!("use of undefined value %{n} in op '{name}'"),
+                })
             })
             .collect::<Result<_>>()?;
 
@@ -532,8 +659,16 @@ impl<'a> Parser<'a> {
                     values.insert(*n, module.block(block).args()[i]);
                 }
                 for src in pb.ops {
-                    let mut sub = Parser::new(&src)?;
-                    let inner = sub.parse_op(module, values)?;
+                    // Captured region text has its own (meaningless)
+                    // coordinates; remap failures to the enclosing op so
+                    // recovery and humans both see a real location.
+                    let remap = |e: ParseError| ParseError {
+                        line: op_line,
+                        col: op_col,
+                        message: format!("in region of '{name}': {}", e.message),
+                    };
+                    let mut sub = Parser::new(&src).map_err(remap)?;
+                    let inner = sub.parse_op(module, values).map_err(remap)?;
                     module.append_op(block, inner);
                 }
             }
@@ -997,5 +1132,72 @@ mod tests {
     fn error_positions_reported() {
         let err = parse_module("\n  $bad").unwrap_err();
         assert_eq!((err.line, err.col), (2, 3));
+    }
+
+    #[test]
+    fn recovery_reports_every_error() {
+        // Three distinct broken ops plus one good one.
+        let src = r#"%0 = "x.c"() : () -> (i32)
+%1 = bad_unquoted_name() : () -> (i32)
+"x.u"(%9) : (i32) -> ()
+%2 = "x.c"() : () -> (badtype)
+"x.d"(%0) : (i32) -> ()
+"#;
+        let r = parse_module_recover(src, 0);
+        assert_eq!(r.errors.len(), 3, "{:?}", r.errors);
+        assert!(!r.hit_error_limit);
+        // Errors arrive in source order with positions on the right lines.
+        assert_eq!(r.errors[0].line, 2);
+        assert!(r.errors[0].message.contains("expected quoted op name"));
+        assert_eq!(r.errors[1].line, 3);
+        assert!(r.errors[1].message.contains("undefined value %9"));
+        assert_eq!(r.errors[2].line, 4);
+        // The good ops still parsed.
+        assert_eq!(r.module.top_ops().len(), 2);
+    }
+
+    #[test]
+    fn recovery_strict_agreement_on_valid_input() {
+        let src = "%0 = \"x.c\"() : () -> (i1)\n\"x.u\"(%0) : (i1) -> ()\n";
+        let r = parse_module_recover(src, 0);
+        assert!(r.errors.is_empty(), "{:?}", r.errors);
+        assert_eq!(
+            print_module(&r.module),
+            print_module(&parse_module(src).unwrap())
+        );
+    }
+
+    #[test]
+    fn recovery_honors_error_limit() {
+        let mut src = String::new();
+        for _ in 0..10 {
+            src.push_str("%0 = broken() : () -> (i32)\n");
+        }
+        let r = parse_module_recover(&src, 3);
+        assert_eq!(r.errors.len(), 3);
+        assert!(r.hit_error_limit);
+    }
+
+    #[test]
+    fn recovery_survives_lexer_garbage() {
+        let src = "$$$ ### ???\n%0 = \"x.c\"() : () -> (i1)\n";
+        let r = parse_module_recover(src, 0);
+        assert!(!r.errors.is_empty());
+        assert_eq!(r.module.top_ops().len(), 1, "{:?}", r.errors);
+    }
+
+    #[test]
+    fn recovery_skips_broken_nested_region_as_one_unit() {
+        // The error is inside a region: recovery resumes at the next
+        // top-level op, not inside the broken one.
+        let src = r#""t.func"() ({
+  %1 = "t.add"(%77, %77) : (i32, i32) -> (i32)
+}) : () -> ()
+%5 = "x.c"() : () -> (i1)
+"#;
+        let r = parse_module_recover(src, 0);
+        assert_eq!(r.errors.len(), 1, "{:?}", r.errors);
+        assert!(r.errors[0].message.contains("undefined value %77"));
+        assert_eq!(r.module.top_ops().len(), 1);
     }
 }

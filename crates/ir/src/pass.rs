@@ -10,8 +10,11 @@
 
 use crate::diagnostics::DiagnosticEngine;
 use crate::dialect::DialectRegistry;
+use crate::location::Location;
 use crate::module::Module;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Outcome of one pass run.
@@ -34,6 +37,57 @@ impl PassResult {
         }
     }
 }
+
+/// Why a pipeline run stopped early.
+///
+/// `PassFailed` is the "expected" failure mode — the pass reported errors
+/// through the diagnostic engine and returned [`PassResult::Failed`]. The
+/// other two variants are *internal* errors: a panic contained by the pass
+/// manager, or (under [`PassManager::verify_each`]) a module the structural
+/// verifier rejects after a pass that claimed success. Drivers map
+/// [`PipelineError::is_internal`] to a distinct exit code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A pass reported failure through diagnostics.
+    PassFailed { pass: String },
+    /// A pass panicked; the unwind was contained by the pass manager.
+    PassPanicked { pass: String, message: String },
+    /// `verify_each` found the module invalid after this pass ran.
+    VerifyFailed { pass: String },
+}
+
+impl PipelineError {
+    /// Name of the pass the pipeline stopped at.
+    pub fn pass_name(&self) -> &str {
+        match self {
+            PipelineError::PassFailed { pass }
+            | PipelineError::PassPanicked { pass, .. }
+            | PipelineError::VerifyFailed { pass } => pass,
+        }
+    }
+
+    /// Whether this is a compiler bug (panic / broken invariant) rather than
+    /// a diagnosed input problem.
+    pub fn is_internal(&self) -> bool {
+        !matches!(self, PipelineError::PassFailed { .. })
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::PassFailed { pass } => write!(f, "pass '{pass}' failed"),
+            PipelineError::PassPanicked { pass, message } => {
+                write!(f, "pass '{pass}' panicked: {message}")
+            }
+            PipelineError::VerifyFailed { pass } => {
+                write!(f, "module fails verification after pass '{pass}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Everything a pass may touch.
 pub struct PassContext<'a> {
@@ -162,6 +216,17 @@ pub struct PassManager {
     timings: Vec<PassTiming>,
     /// Stop at the first failing pass (default true).
     pub abort_on_failure: bool,
+    /// Run the structural verifier after every pass and abort (with
+    /// [`PipelineError::VerifyFailed`]) on the first pass that breaks the
+    /// module — MLIR's `-verify-each`. Localizes miscompiles to one pass.
+    pub verify_each: bool,
+    /// When set, write an MLIR-style crash reproducer (pre-pass IR snapshot
+    /// plus the remaining pipeline) to this path whenever a pass panics or
+    /// fails `verify_each`. Snapshots are only taken when this is set, so
+    /// the happy path pays nothing.
+    pub crash_reproducer: Option<PathBuf>,
+    /// Where the last `run` actually wrote a reproducer, if it did.
+    reproducer_written: Option<PathBuf>,
 }
 
 impl PassManager {
@@ -171,6 +236,9 @@ impl PassManager {
             instrumentations: Vec::new(),
             timings: Vec::new(),
             abort_on_failure: true,
+            verify_each: false,
+            crash_reproducer: None,
+            reproducer_written: None,
         }
     }
 
@@ -178,6 +246,22 @@ impl PassManager {
     pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
         self.passes.push(Box::new(pass));
         self
+    }
+
+    /// Append an already-boxed pass (registry / pipeline-parsing use).
+    pub fn add_boxed(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Names of the registered passes, in pipeline order.
+    pub fn pass_names(&self) -> Vec<String> {
+        self.passes.iter().map(|p| p.name().to_string()).collect()
+    }
+
+    /// Path of the reproducer written by the last `run`, if any.
+    pub fn reproducer_path(&self) -> Option<&Path> {
+        self.reproducer_written.as_deref()
     }
 
     /// Register an instrumentation observing every subsequent `run`.
@@ -188,29 +272,66 @@ impl PassManager {
 
     /// Run all passes in order.
     ///
+    /// Each pass body executes under `catch_unwind`: a panicking pass does
+    /// not take the process down but is converted into a structured
+    /// diagnostic naming the pass, a [`PipelineError::PassPanicked`], and —
+    /// when [`PassManager::crash_reproducer`] is set — a reproducer file
+    /// containing the pre-pass IR and the remaining pipeline.
+    ///
     /// # Errors
-    /// Returns `Err(pass_name)` naming the first failed pass.
+    /// Returns the [`PipelineError`] describing the first failed pass.
     pub fn run(
         &mut self,
         module: &mut Module,
         registry: &DialectRegistry,
         diags: &mut DiagnosticEngine,
-    ) -> Result<(), String> {
+    ) -> Result<(), PipelineError> {
         self.timings.clear();
-        for pass in &mut self.passes {
+        self.reproducer_written = None;
+        let n_passes = self.passes.len();
+        for idx in 0..n_passes {
+            // Snapshot the IR before the pass only when a reproducer was
+            // requested: printing every module is too expensive to do
+            // unconditionally.
+            let snapshot = self
+                .crash_reproducer
+                .is_some()
+                .then(|| crate::printer::print_module(module));
+            let pass = &mut self.passes[idx];
+            let name = pass.name().to_string();
             let ops_before = module.op_count();
             let diags_before = diags.diagnostics().len();
             for ins in &mut self.instrumentations {
                 ins.run_before_pass(pass.as_ref(), module);
             }
-            let mut span = obs::span(format!("pass {}", pass.name()));
+            let mut span = obs::span(format!("pass {name}"));
             let start = Instant::now();
-            let result = {
+            let outcome = {
                 let mut cx = PassContext { registry, diags };
-                pass.run(module, &mut cx)
+                // The module and context are exclusively borrowed here; on
+                // unwind we stop the pipeline immediately (and say so), so
+                // observing their torn state is intentional, not UB.
+                catch_unwind(AssertUnwindSafe(|| pass.run(module, &mut cx)))
             };
             let duration = start.elapsed();
+            let (result, panic_msg) = match outcome {
+                Ok(r) => (r, None),
+                Err(payload) => (PassResult::Failed, Some(panic_message(payload.as_ref()))),
+            };
             let ops_after = module.op_count();
+            if let Some(msg) = &panic_msg {
+                diags.emit(
+                    crate::diagnostics::Diagnostic::error(
+                        Location::unknown(),
+                        format!("pass '{name}' panicked: {msg}"),
+                    )
+                    .with_note(
+                        Location::unknown(),
+                        "this is a compiler bug, not an input error; \
+                         rerun with --crash-reproducer=PATH to capture a test case",
+                    ),
+                );
+            }
             let diagnostics = diags.diagnostics().len() - diags_before;
             span.arg("ops_before", ops_before)
                 .arg("ops_after", ops_after)
@@ -221,6 +342,9 @@ impl PassManager {
                 PassResult::Changed => obs::counter_add("passes", "changed", 1),
                 PassResult::Failed => obs::counter_add("passes", "failed", 1),
                 PassResult::Unchanged => {}
+            }
+            if panic_msg.is_some() {
+                obs::counter_add("passes", "panicked", 1);
             }
             obs::counter_add("passes", "diagnostics", diagnostics as u64);
             obs::counter_add(
@@ -233,22 +357,68 @@ impl PassManager {
                 "ops_added",
                 ops_after.saturating_sub(ops_before) as u64,
             );
+            let pass = &mut self.passes[idx];
             for ins in &mut self.instrumentations {
                 ins.run_after_pass(pass.as_ref(), module, result);
             }
             self.timings.push(PassTiming {
-                name: pass.name().to_string(),
+                name: name.clone(),
                 duration,
                 result,
                 ops_before,
                 ops_after,
                 diagnostics,
             });
+            if let Some(message) = panic_msg {
+                let err = PipelineError::PassPanicked {
+                    pass: name,
+                    message,
+                };
+                self.write_reproducer(idx, snapshot, &err.to_string(), diags);
+                return Err(err);
+            }
             if result == PassResult::Failed && self.abort_on_failure {
-                return Err(pass.name().to_string());
+                return Err(PipelineError::PassFailed { pass: name });
+            }
+            if self.verify_each && crate::verifier::verify_module(module, registry, diags).is_err()
+            {
+                let err = PipelineError::VerifyFailed { pass: name };
+                diags.emit(crate::diagnostics::Diagnostic::error(
+                    Location::unknown(),
+                    err.to_string(),
+                ));
+                self.write_reproducer(idx, snapshot, &err.to_string(), diags);
+                return Err(err);
             }
         }
         Ok(())
+    }
+
+    /// Write a crash reproducer for the pass at `idx` (when configured):
+    /// the pre-pass snapshot plus the remaining pipeline, so re-running the
+    /// file re-triggers the failure.
+    fn write_reproducer(
+        &mut self,
+        idx: usize,
+        snapshot: Option<String>,
+        error: &str,
+        diags: &mut DiagnosticEngine,
+    ) {
+        let (Some(path), Some(ir_text)) = (self.crash_reproducer.clone(), snapshot) else {
+            return;
+        };
+        let pipeline: Vec<String> = self.passes[idx..]
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        let text = crate::reproducer::format_reproducer(error, &pipeline, &ir_text);
+        match std::fs::write(&path, text) {
+            Ok(()) => self.reproducer_written = Some(path),
+            Err(e) => diags.emit(crate::diagnostics::Diagnostic::warning(
+                Location::unknown(),
+                format!("could not write crash reproducer '{}': {e}", path.display()),
+            )),
+        }
     }
 
     /// Per-pass timings of the last `run`.
@@ -321,6 +491,19 @@ impl PassManager {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Extract a human-readable message from a `catch_unwind` payload.
+/// `panic!("...")` yields `&'static str`; `panic!("{x}")` yields `String`;
+/// anything else (custom payloads) gets a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -400,9 +583,157 @@ mod tests {
         let reg = DialectRegistry::new();
         let mut diags = DiagnosticEngine::new();
         let err = pm.run(&mut m, &reg, &mut diags).unwrap_err();
-        assert_eq!(err, "failer");
+        assert_eq!(
+            err,
+            PipelineError::PassFailed {
+                pass: "failer".into()
+            }
+        );
+        assert_eq!(err.pass_name(), "failer");
+        assert!(
+            !err.is_internal(),
+            "diagnosed failure is not a compiler bug"
+        );
         assert!(m.top_ops().is_empty(), "later passes must not run");
         assert!(diags.has_errors());
+    }
+
+    struct Panicker;
+    impl Pass for Panicker {
+        fn name(&self) -> &str {
+            "panicker"
+        }
+        fn run(&mut self, _m: &mut Module, _cx: &mut PassContext<'_>) -> PassResult {
+            panic!("deliberate test panic")
+        }
+    }
+
+    /// Silence the default panic hook for the duration of a closure so
+    /// deliberately-panicking tests do not spam stderr. The hook is global,
+    /// so tests using this must not rely on other threads' panic output.
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn panicking_pass_is_contained_and_diagnosed() {
+        with_quiet_panics(|| {
+            let mut pm = PassManager::new();
+            pm.add(Panicker).add(Adder);
+            let mut m = Module::new();
+            let reg = DialectRegistry::new();
+            let mut diags = DiagnosticEngine::new();
+            let err = pm.run(&mut m, &reg, &mut diags).unwrap_err();
+            assert_eq!(
+                err,
+                PipelineError::PassPanicked {
+                    pass: "panicker".into(),
+                    message: "deliberate test panic".into()
+                }
+            );
+            assert!(err.is_internal());
+            assert!(m.top_ops().is_empty(), "later passes must not run");
+            // The panic became a diagnostic naming the pass.
+            let rendered = diags.render();
+            assert!(
+                rendered.contains("pass 'panicker' panicked: deliberate test panic"),
+                "{rendered}"
+            );
+            // Timings still record the aborted pass.
+            assert_eq!(pm.timings().len(), 1);
+            assert_eq!(pm.timings()[0].result, PassResult::Failed);
+        });
+    }
+
+    #[test]
+    fn panic_writes_roundtrippable_reproducer() {
+        with_quiet_panics(|| {
+            let dir = std::env::temp_dir().join("hir-pass-tests");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("panic-repro.mlir");
+            let _ = std::fs::remove_file(&path);
+
+            let mut pm = PassManager::new();
+            pm.crash_reproducer = Some(path.clone());
+            pm.add(Adder).add(Panicker).add(Adder);
+            let mut m = Module::new();
+            let reg = DialectRegistry::new();
+            let mut diags = DiagnosticEngine::new();
+            let err = pm.run(&mut m, &reg, &mut diags).unwrap_err();
+            assert_eq!(err.pass_name(), "panicker");
+            assert_eq!(pm.reproducer_path(), Some(path.as_path()));
+
+            let text = std::fs::read_to_string(&path).unwrap();
+            let repro = crate::reproducer::parse_reproducer(&text).expect("has header");
+            // Remaining pipeline starts at the crashing pass.
+            assert_eq!(repro.pipeline, vec!["panicker", "adder"]);
+            assert!(repro.error.contains("panicker"));
+            // The snapshot is the *pre-pass* IR: Adder ran once before the
+            // panic, so exactly one op — and the file re-parses as a module.
+            let m2 = crate::parser::parse_module(&repro.ir).expect("reproducer IR parses");
+            assert_eq!(m2.top_ops().len(), 1);
+            let _ = std::fs::remove_file(&path);
+        });
+    }
+
+    #[test]
+    fn no_reproducer_without_flag_and_none_on_success() {
+        let mut pm = PassManager::new();
+        pm.add(Adder);
+        let mut m = Module::new();
+        let reg = DialectRegistry::new();
+        let mut diags = DiagnosticEngine::new();
+        pm.run(&mut m, &reg, &mut diags).unwrap();
+        assert_eq!(pm.reproducer_path(), None);
+    }
+
+    /// Emits an op unknown to the loaded `t` dialect, which the structural
+    /// verifier rejects — simulating a pass that corrupts the module while
+    /// still returning success.
+    struct Breaker;
+    impl Pass for Breaker {
+        fn name(&self) -> &str {
+            "breaker"
+        }
+        fn run(&mut self, m: &mut Module, _cx: &mut PassContext<'_>) -> PassResult {
+            let op = m.create_op(
+                "t.not_a_registered_op",
+                vec![],
+                vec![],
+                AttrMap::new(),
+                Location::unknown(),
+            );
+            m.push_top(op);
+            PassResult::Changed
+        }
+    }
+
+    #[test]
+    fn verify_each_localizes_module_breaking_pass() {
+        let mut d = crate::dialect::Dialect::new("t");
+        d.add_op(crate::dialect::OpSpec::new("t.x"));
+        let mut reg = DialectRegistry::new();
+        reg.register(d);
+        let mut pm = PassManager::new();
+        pm.verify_each = true;
+        pm.add(Adder).add(Breaker).add(Adder);
+        let mut m = Module::new();
+        let mut diags = DiagnosticEngine::new();
+        let err = pm.run(&mut m, &reg, &mut diags).unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::VerifyFailed {
+                pass: "breaker".into()
+            }
+        );
+        assert!(err.is_internal());
+        assert!(diags.has_errors());
+        // Only the adder+breaker ran; the final adder did not.
+        assert_eq!(pm.timings().len(), 2);
     }
 
     #[test]

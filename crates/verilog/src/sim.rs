@@ -167,6 +167,9 @@ pub struct Simulator {
     /// once per settled cycle (reported as `sim.mem_read_events`).
     mem_read_ports: u64,
     cycle: u64,
+    /// Watchdog: total cycles the simulation may run before `step` refuses
+    /// with a clean error instead of looping forever on a hung design.
+    cycle_budget: Option<u64>,
     dirty: bool,
     vcd: Option<Vcd>,
 }
@@ -196,6 +199,7 @@ impl Simulator {
             always: Vec::new(),
             mem_read_ports: 0,
             cycle: 0,
+            cycle_budget: None,
             dirty: true,
             vcd: None,
         };
@@ -431,6 +435,14 @@ impl Simulator {
         self.cycle
     }
 
+    /// Cap the total number of cycles this simulator may execute. Once the
+    /// budget is reached, [`step`](Self::step) fails with a clean watchdog
+    /// error rather than letting a hung design spin forever. `None` (the
+    /// default) removes the cap.
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.cycle_budget = budget;
+    }
+
     /// Start dumping a VCD waveform of every net to `out` (e.g. a file).
     /// One VCD timestep per clock cycle; values are sampled after each
     /// settle.
@@ -494,8 +506,20 @@ impl Simulator {
     /// Advance one clock edge with non-blocking semantics.
     ///
     /// # Errors
-    /// Returns an error when an assertion fires.
+    /// Returns an error when an assertion fires or the cycle budget set via
+    /// [`set_cycle_budget`](Self::set_cycle_budget) is exhausted.
     pub fn step(&mut self) -> Result<(), VSimError> {
+        if let Some(budget) = self.cycle_budget {
+            if self.cycle >= budget {
+                return Err(VSimError {
+                    cycle: self.cycle,
+                    message: format!(
+                        "cycle budget of {budget} cycles exhausted (watchdog; \
+                         raise with set_cycle_budget or --sim-max-cycles)"
+                    ),
+                });
+            }
+        }
         if self.dirty {
             self.settle();
         }
@@ -1077,5 +1101,23 @@ mod tests {
         sim.set("en", 0);
         let err = sim.step_until("count", 10).unwrap_err();
         assert!(err.message.contains("did not assert"), "{err}");
+    }
+
+    #[test]
+    fn cycle_budget_watchdog_stops_runaway_runs() {
+        let d = counter();
+        let mut sim = Simulator::new(&d, "counter").expect("build");
+        sim.set_cycle_budget(Some(10));
+        sim.run(10).unwrap(); // exactly the budget is fine
+        let err = sim.step().unwrap_err();
+        assert_eq!(err.cycle, 10);
+        assert!(err.message.contains("cycle budget"), "{err}");
+        // Raising the budget lets the run continue where it stopped.
+        sim.set_cycle_budget(Some(12));
+        sim.run(2).unwrap();
+        assert_eq!(sim.cycle(), 12);
+        sim.set_cycle_budget(None);
+        sim.run(5).unwrap();
+        assert_eq!(sim.cycle(), 17);
     }
 }

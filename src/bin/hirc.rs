@@ -13,7 +13,12 @@
 //! hirc design.mlir --opt --stats        # counter table from all stages
 //! hirc design.mlir --profile=t.json     # Chrome trace-event profile
 //! hirc design.mlir --print-ir-after-all # dump IR between passes
+//! hirc repro.mlir                       # crash reproducers re-run themselves
 //! ```
+//!
+//! All diagnostics go to stderr; only the requested artifact goes to stdout.
+//! Exit codes distinguish *user* errors (1) from *compiler* bugs (3) so that
+//! scripts and the fuzz harness can triage failures mechanically.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -21,24 +26,52 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: hirc <input.mlir> [options]
 
 options:
-  --opt                  run the standard optimization pipeline
-  --verify-only          stop after verification (exit 0/1)
-  --emit=KIND            output kind: verilog (default), pretty, ir
-  -o PATH                write output to PATH instead of stdout
-  --timing               per-pass wall time and op-count deltas (stderr)
-  --stats                counter/statistic table from every stage (stderr)
-  --profile=PATH         write a Chrome trace-event JSON profile to PATH
-  --print-ir-before-all  dump IR to stderr before each pass
-  --print-ir-after-all   dump IR to stderr after each pass
-  --help, -h             show this help
+  --opt                    run the standard optimization pipeline
+  --pipeline=a,b,c         run an explicit comma-separated pass pipeline
+  --verify-only            stop after verification
+  --verify-each            re-verify the module after every pass
+  --crash-reproducer=PATH  on pass panic or verifier failure, write an
+                           MLIR-style reproducer (pre-pass IR + remaining
+                           pipeline) to PATH
+  --error-limit=N          stop reporting parse errors after N (default 20)
+  --emit=KIND              output kind: verilog (default), pretty, ir
+  -o PATH                  write output to PATH instead of stdout
+  --sim-max-cycles=N       cycle watchdog for the smoke simulation run under
+                           --stats/--profile (default 64)
+  --timing                 per-pass wall time and op-count deltas (stderr)
+  --stats                  counter/statistic table from every stage (stderr)
+  --profile=PATH           write a Chrome trace-event JSON profile to PATH
+  --print-ir-before-all    dump IR to stderr before each pass
+  --print-ir-after-all     dump IR to stderr after each pass
+  --help, -h               show this help
+
+Inputs beginning with `// HIR crash reproducer` are detected automatically:
+the pipeline recorded in the file is re-run on the embedded IR (an explicit
+--pipeline= overrides it).
+
+exit codes:
+  0  success
+  1  diagnostics reported (parse, verify, pass, or codegen errors)
+  2  usage error (bad flags, unknown pass names)
+  3  internal error (pass panic, or the module fails verification after a
+     pass) -- always a compiler bug; please attach the crash reproducer
 ";
+
+const EXIT_DIAGNOSTICS: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_INTERNAL: u8 = 3;
 
 struct Options {
     input: String,
     output: Option<String>,
     emit: String,
     optimize: bool,
+    pipeline: Option<Vec<String>>,
     verify_only: bool,
+    verify_each: bool,
+    crash_reproducer: Option<String>,
+    error_limit: usize,
+    sim_max_cycles: Option<u64>,
     timing: bool,
     stats: bool,
     profile: Option<String>,
@@ -53,7 +86,12 @@ fn parse_args() -> Result<Option<Options>, String> {
         output: None,
         emit: "verilog".into(),
         optimize: false,
+        pipeline: None,
         verify_only: false,
+        verify_each: false,
+        crash_reproducer: None,
+        error_limit: 0, // 0 = parser default
+        sim_max_cycles: None,
         timing: false,
         stats: false,
         profile: None,
@@ -65,11 +103,48 @@ fn parse_args() -> Result<Option<Options>, String> {
         match a.as_str() {
             "--opt" => opts.optimize = true,
             "--verify-only" => opts.verify_only = true,
+            "--verify-each" => opts.verify_each = true,
             "--timing" => opts.timing = true,
             "--stats" => opts.stats = true,
             "--print-ir-before-all" => opts.print_ir_before_all = true,
             "--print-ir-after-all" => opts.print_ir_after_all = true,
             "-o" => opts.output = Some(args.next().ok_or("-o needs a path")?),
+            _ if a.starts_with("--pipeline=") => {
+                let spec = &a["--pipeline=".len()..];
+                let names: Vec<String> = spec
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if names.is_empty() {
+                    return Err("--pipeline needs at least one pass name".into());
+                }
+                opts.pipeline = Some(names);
+            }
+            _ if a.starts_with("--crash-reproducer=") => {
+                let path = &a["--crash-reproducer=".len()..];
+                if path.is_empty() {
+                    return Err("--crash-reproducer needs a path".into());
+                }
+                opts.crash_reproducer = Some(path.to_string());
+            }
+            _ if a.starts_with("--error-limit=") => {
+                let n = &a["--error-limit=".len()..];
+                opts.error_limit = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--error-limit needs a number, got '{n}'"))?;
+                if opts.error_limit == 0 {
+                    return Err("--error-limit must be at least 1".into());
+                }
+            }
+            _ if a.starts_with("--sim-max-cycles=") => {
+                let n = &a["--sim-max-cycles=".len()..];
+                opts.sim_max_cycles = Some(
+                    n.parse::<u64>()
+                        .map_err(|_| format!("--sim-max-cycles needs a number, got '{n}'"))?,
+                );
+            }
             _ if a.starts_with("--profile=") => {
                 opts.profile = Some(a["--profile=".len()..].to_string());
                 if opts.profile.as_deref() == Some("") {
@@ -106,7 +181,7 @@ fn main() -> ExitCode {
         Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("hirc: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     // Recording costs nothing unless a reporting flag asks for it.
@@ -117,9 +192,20 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("hirc: cannot read '{}': {e}", opts.input);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     };
+
+    // A crash reproducer carries its own pipeline; re-run it faithfully so a
+    // bare `hirc repro.mlir` re-triggers the recorded crash.
+    let reproducer_pipeline: Option<Vec<String>> = ir::parse_reproducer(&source).map(|r| {
+        eprintln!(
+            "hirc: input is a crash reproducer (error: {}); re-running pipeline [{}]",
+            r.error,
+            r.pipeline.join(",")
+        );
+        r.pipeline
+    });
 
     let start = std::time::Instant::now();
     // Two surface syntaxes: the paper-style pretty form (starts with
@@ -129,22 +215,43 @@ fn main() -> ExitCode {
         .map(str::trim)
         .find(|l| !l.is_empty() && !l.starts_with("//"))
         .is_some_and(|l| l.starts_with("hir.func"));
-    let parsed = {
+    // Recovering parse: collect every syntax error in one run instead of
+    // stopping at the first.
+    let (module, parse_errors, hit_limit) = {
         let mut s = obs::span_in("parse", "parse input");
         s.arg("file", &opts.input);
         if pretty_input {
-            hir::parse_pretty(&source).map_err(|e| e.to_string())
+            let r = hir::parse_pretty_recover(&source, opts.error_limit);
+            let errs: Vec<(u32, u32, String)> = r
+                .errors
+                .into_iter()
+                .map(|e| (e.line, e.col, e.message))
+                .collect();
+            (r.module, errs, r.hit_error_limit)
         } else {
-            ir::parse_module(&source).map_err(|e| e.to_string())
+            let r = ir::parse_module_recover(&source, opts.error_limit);
+            let errs: Vec<(u32, u32, String)> = r
+                .errors
+                .into_iter()
+                .map(|e| (e.line, e.col, e.message))
+                .collect();
+            (r.module, errs, r.hit_error_limit)
         }
     };
-    let mut module = match parsed {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("{}:{e}", opts.input);
-            return ExitCode::FAILURE;
+    if !parse_errors.is_empty() {
+        for (line, col, message) in &parse_errors {
+            eprintln!("{}:{line}:{col}: error: {message}", opts.input);
         }
-    };
+        if hit_limit {
+            eprintln!(
+                "hirc: stopped after {} errors (raise with --error-limit=N)",
+                parse_errors.len()
+            );
+        }
+        eprintln!("hirc: {} parse error(s)", parse_errors.len());
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    }
+    let mut module = module;
     obs::counter_add("parse", "ops_parsed", module.op_count() as u64);
     let t_parse = start.elapsed();
 
@@ -158,34 +265,60 @@ fn main() -> ExitCode {
     };
     if verify_failed {
         eprintln!("{}", diags.render());
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_DIAGNOSTICS);
     }
     let t_verify = t0.elapsed();
 
+    // Pipeline selection: an explicit --pipeline wins, then a reproducer's
+    // recorded pipeline, then the standard pipeline under --opt.
+    let explicit = opts.pipeline.clone().or(reproducer_pipeline);
+    let run_passes = opts.optimize || explicit.is_some();
     let t0 = std::time::Instant::now();
-    let mut pm = hir_opt::standard_pipeline();
+    let mut pm = match &explicit {
+        Some(names) => match hir_opt::pipeline_from_names(names) {
+            Ok(pm) => pm,
+            Err(e) => {
+                eprintln!("hirc: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+        None => hir_opt::standard_pipeline(),
+    };
+    pm.verify_each = opts.verify_each;
+    pm.crash_reproducer = opts.crash_reproducer.clone().map(Into::into);
     if opts.print_ir_before_all || opts.print_ir_after_all {
         pm.add_instrumentation(ir::IrPrintInstrumentation::to_stderr(
             opts.print_ir_before_all,
             opts.print_ir_after_all,
         ));
     }
-    if opts.optimize {
+    if run_passes {
+        let mut opt_diags = ir::DiagnosticEngine::new();
         let run = {
             let _s = obs::span_in("opt", "optimization pipeline");
-            let mut opt_diags = ir::DiagnosticEngine::new();
             pm.run(&mut module, &registry, &mut opt_diags)
         };
-        if let Err(pass) = run {
-            eprintln!("hirc: optimization pass '{pass}' failed");
-            return ExitCode::FAILURE;
+        if !opt_diags.diagnostics().is_empty() {
+            eprintln!("{}", opt_diags.render());
+        }
+        if let Err(err) = run {
+            eprintln!("hirc: {err}");
+            if let Some(path) = pm.reproducer_path() {
+                eprintln!("hirc: crash reproducer written to {}", path.display());
+            }
+            let code = if err.is_internal() {
+                EXIT_INTERNAL
+            } else {
+                EXIT_DIAGNOSTICS
+            };
+            return ExitCode::from(code);
         }
         // Re-verify: passes must preserve schedule validity.
         let mut diags = ir::DiagnosticEngine::new();
         if hir_verify::verify_schedule(&module, &mut diags).is_err() {
             eprintln!("hirc: internal error — optimized module fails verification:");
             eprintln!("{}", diags.render());
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INTERNAL);
         }
     }
     let t_opt = t0.elapsed();
@@ -221,7 +354,7 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("hirc: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
                 }
             }
         }
@@ -235,13 +368,17 @@ fn main() -> ExitCode {
         .filter(|_| opts.stats || opts.profile.is_some())
     {
         if let Some(top) = design.modules.last() {
+            let cycles = opts.sim_max_cycles.unwrap_or(SMOKE_CYCLES);
             let mut s = obs::span_in("sim", "smoke simulation");
-            s.arg("top", &top.name).arg("cycles", SMOKE_CYCLES);
+            s.arg("top", &top.name).arg("cycles", cycles);
             match verilog::sim::Simulator::new(design, &top.name) {
                 Ok(mut sim) => {
+                    // The watchdog guards the run even if the step loop is
+                    // ever replaced by an open-ended one.
+                    sim.set_cycle_budget(Some(cycles));
                     // An assertion firing on an undriven design is not a
                     // compile error; the smoke run is best-effort.
-                    let _ = sim.run(SMOKE_CYCLES);
+                    let _ = sim.run(cycles);
                 }
                 Err(e) => eprintln!("hirc: smoke simulation skipped: {e}"),
             }
@@ -256,7 +393,7 @@ fn main() -> ExitCode {
     };
     if let Err(e) = ok {
         eprintln!("hirc: {e}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_DIAGNOSTICS);
     }
     finish(&opts, t_parse, t_verify, t_opt, t_emit, &pm)
 }
@@ -284,7 +421,7 @@ fn finish(
     if let Some(path) = &opts.profile {
         if let Err(e) = std::fs::write(path, obs::chrome_trace()) {
             eprintln!("hirc: cannot write profile '{path}': {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     }
     ExitCode::SUCCESS

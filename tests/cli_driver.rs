@@ -275,6 +275,164 @@ fn checked_in_example_mlir_files_compile() {
 }
 
 #[test]
+fn exit_codes_distinguish_usage_diagnostics_and_internal_errors() {
+    let dir = std::env::temp_dir().join("hirc_test_exit_codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("t.mlir");
+    std::fs::write(&input, transpose_source()).unwrap();
+
+    // 2: bad flag.
+    let out = hirc().arg("--definitely-not-a-flag").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+
+    // 2: unknown pass name.
+    let out = hirc()
+        .arg(&input)
+        .arg("--pipeline=no-such-pass")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown pass is a usage error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown pass 'no-such-pass'"), "{err}");
+    assert!(err.contains("known passes"), "{err}");
+
+    // 1: input diagnostics (schedule error).
+    let bad = dir.join("bad.mlir");
+    std::fs::write(
+        &bad,
+        ir::print_module(&kernels::errors::figure1_array_add(false)),
+    )
+    .unwrap();
+    let out = hirc().arg(&bad).arg("--verify-only").output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "diagnostics exit with 1");
+
+    // 3: internal error (deliberately panicking pass).
+    let out = hirc()
+        .arg(&input)
+        .arg("--pipeline=test-panic")
+        .arg("--emit=ir")
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "a pass panic is an internal error"
+    );
+
+    // 0: clean compile.
+    let out = hirc().arg(&input).arg("--verify-only").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // The exit-code contract is documented in --help.
+    let out = hirc().arg("--help").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exit codes"), "{stdout}");
+}
+
+#[test]
+fn panicking_pass_writes_reproducer_that_retriggers_the_crash() {
+    let dir = std::env::temp_dir().join("hirc_test_reproducer");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("t.mlir");
+    std::fs::write(&input, transpose_source()).unwrap();
+    let repro = dir.join("repro.mlir");
+    let _ = std::fs::remove_file(&repro);
+
+    let out = hirc()
+        .arg(&input)
+        .arg("--pipeline=hir-cse,test-panic,hir-canonicalize")
+        .arg(format!("--crash-reproducer={}", repro.display()))
+        .arg("--emit=ir")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    // The diagnostic names the crashing pass...
+    assert!(err.contains("pass 'test-panic' panicked"), "{err}");
+    assert!(err.contains("crash reproducer written"), "{err}");
+
+    // ...and the reproducer file records IR + the remaining pipeline.
+    let text = std::fs::read_to_string(&repro).unwrap();
+    let parsed = ir::parse_reproducer(&text).expect("reproducer header");
+    assert_eq!(parsed.pipeline, vec!["test-panic", "hir-canonicalize"]);
+
+    // Feeding the reproducer back re-triggers the recorded crash (exit 3).
+    let out = hirc().arg(&repro).arg("--emit=ir").output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "reproducer must re-trigger");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("input is a crash reproducer"), "{err}");
+    assert!(err.contains("pass 'test-panic' panicked"), "{err}");
+}
+
+#[test]
+fn recovering_parser_reports_every_error_through_the_cli() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = hirc()
+        .arg(format!("{root}/tests/corpus/malformed/multi_errors.mlir"))
+        .arg("--verify-only")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    let n = err.matches(": error: ").count();
+    assert!(
+        n >= 3,
+        "expected >= 3 positioned diagnostics, got {n}:\n{err}"
+    );
+    // file:line:col prefixes make the errors clickable.
+    assert!(err.contains("multi_errors.mlir:"), "{err}");
+}
+
+#[test]
+fn error_limit_flag_caps_cli_diagnostics() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = hirc()
+        .arg(format!("{root}/tests/corpus/malformed/multi_errors.mlir"))
+        .arg("--error-limit=1")
+        .arg("--verify-only")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(err.matches(": error: ").count(), 1, "{err}");
+    assert!(err.contains("--error-limit"), "{err}");
+}
+
+#[test]
+fn verify_each_localizes_and_sim_budget_flag_is_accepted() {
+    let dir = std::env::temp_dir().join("hirc_test_veach");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("t.mlir");
+    std::fs::write(&input, transpose_source()).unwrap();
+
+    // --verify-each on a healthy pipeline is a no-op.
+    let out = hirc()
+        .arg(&input)
+        .arg("--opt")
+        .arg("--verify-each")
+        .arg("--emit=ir")
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --sim-max-cycles bounds the smoke simulation under --stats.
+    let out = hirc()
+        .arg(&input)
+        .arg("--stats")
+        .arg("--sim-max-cycles=16")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("sim"), "{err}");
+}
+
+#[test]
 fn stencil_and_unrolled_designs_compile_and_run() {
     use hir_suite::hir::interp::{ArgValue, Interpreter};
     let root = env!("CARGO_MANIFEST_DIR");

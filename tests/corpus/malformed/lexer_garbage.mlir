@@ -1,0 +1,4 @@
+// Bytes the lexer itself rejects, mixed with recoverable op syntax.
+%0 = "test.a"() : () -> (i32)
+$$$ ??? @@@
+%1 = "test.b"(%0) : (i32) -> (i32)

@@ -1,0 +1,8 @@
+// Several independent syntax/semantic errors: the recovering parser must
+// report ALL of them in one run, not stop at the first.
+%0 = "test.a"() : () -> (i32)
+%1 = "test.b"(%99) : (i32) -> (i32)
+%2 = "test.c"( : () -> (i32)
+%3 = "test.d"() : () -> (i32)
+%4 = "test.e"(%98) : (i32) -> (i32)
+%5 = "test.f"(%0) : (i32) -> (i32)
