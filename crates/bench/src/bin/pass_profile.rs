@@ -2,14 +2,23 @@
 //!
 //! Compiles every benchmark through verify → optimize → codegen several
 //! times and writes `BENCH_pass_profile.json`: per-pass mean wall time and
-//! op counts for each kernel, plus the aggregate mean per pass across the
-//! suite. A human-readable summary goes to stdout.
+//! op counts for each kernel, a total-pipeline wall-clock row, a GEMM
+//! scaling section (N = 8/16/32) that documents near-linear pass cost, and
+//! the aggregate mean per pass across the suite. A human-readable summary
+//! goes to stdout.
+//!
+//! Flags:
+//!   --quick            fewer repetitions (CI smoke mode)
+//!   --out=PATH         write the JSON somewhere other than the default
+//!   --check-ops=PATH   compare per-kernel/per-pass `ops_after` against a
+//!                      previously written profile; exit 1 on any drift
 
 use obs::json::escape;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
-const REPS: usize = 5;
 const OUT_FILE: &str = "BENCH_pass_profile.json";
+const GEMM_SCALING_NS: [u64; 3] = [8, 16, 32];
 
 struct PassSample {
     total_ns: u128,
@@ -18,60 +27,144 @@ struct PassSample {
     ops_after: usize,
 }
 
-fn main() {
+struct KernelProfile {
+    samples: BTreeMap<String, PassSample>,
+    /// Mean wall-clock of one full pipeline run (verify + optimize).
+    total_ns: u128,
+}
+
+/// Run verify → standard pipeline `reps` times over freshly built modules.
+fn profile_pipeline(build: &dyn Fn() -> ir::Module, reps: usize, codegen: bool) -> KernelProfile {
     let registry = hir::hir_registry();
+    let mut samples: BTreeMap<String, PassSample> = BTreeMap::new();
+    let mut total_ns = 0u128;
+    for _ in 0..reps {
+        let mut m = build();
+        let mut diags = ir::DiagnosticEngine::new();
+        let start = Instant::now();
+        ir::verify_module(&m, &registry, &mut diags).expect("verify");
+        hir_verify::verify_schedule(&m, &mut diags).expect("schedule");
+        let mut pm = hir_opt::standard_pipeline();
+        pm.run(&mut m, &registry, &mut diags).expect("pipeline");
+        total_ns += start.elapsed().as_nanos();
+        // Passes can repeat in the pipeline; repeated instances fold together.
+        for t in pm.timings() {
+            let s = samples.entry(t.name.clone()).or_insert(PassSample {
+                total_ns: 0,
+                runs: 0,
+                ops_before: t.ops_before,
+                ops_after: t.ops_after,
+            });
+            s.total_ns += t.duration.as_nanos();
+            s.runs += 1;
+            s.ops_before = s.ops_before.max(t.ops_before);
+            s.ops_after = s.ops_after.min(t.ops_after);
+        }
+        if codegen {
+            // Codegen keeps the profile honest about end-to-end compile cost.
+            hir_codegen::generate_design(&m, &hir_codegen::CodegenOptions::default())
+                .expect("codegen");
+        }
+    }
+    KernelProfile {
+        samples,
+        total_ns: total_ns / reps as u128,
+    }
+}
+
+/// Extract `(kernel, pass) -> ops_after` from a parsed profile document.
+fn ops_after_map(doc: &obs::json::Value) -> BTreeMap<(String, String), usize> {
+    let mut out = BTreeMap::new();
+    for section in ["kernels", "gemm_scaling"] {
+        let Some(kernels) = doc.get(section).and_then(|v| v.as_array()) else {
+            continue;
+        };
+        for k in kernels {
+            let Some(name) = k.get("kernel").and_then(|v| v.as_str()) else {
+                continue;
+            };
+            let Some(passes) = k.get("passes").and_then(|v| v.as_array()) else {
+                continue;
+            };
+            for p in passes {
+                if let (Some(pass), Some(ops)) = (
+                    p.get("pass").and_then(|v| v.as_str()),
+                    p.get("ops_after").and_then(|v| v.as_f64()),
+                ) {
+                    out.insert((name.to_string(), pass.to_string()), ops as usize);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn kernel_json(name: &str, func: &str, reps: usize, prof: &KernelProfile) -> String {
+    let mut pass_json = Vec::new();
+    for (pass, s) in &prof.samples {
+        pass_json.push(format!(
+            r#"      {{"pass":"{}","mean_ns":{},"runs":{},"ops_before":{},"ops_after":{}}}"#,
+            escape(pass),
+            s.total_ns / s.runs as u128,
+            s.runs,
+            s.ops_before,
+            s.ops_after,
+        ));
+    }
+    format!(
+        "    {{\"kernel\":\"{}\",\"func\":\"{}\",\"reps\":{},\"total_pipeline_ns\":{},\"passes\":[\n{}\n    ]}}",
+        escape(name),
+        escape(func),
+        reps,
+        prof.total_ns,
+        pass_json.join(",\n"),
+    )
+}
+
+fn print_profile(name: &str, prof: &KernelProfile) {
+    println!("{name}");
+    for (pass, s) in &prof.samples {
+        println!(
+            "  {:<20} mean {:>10}  ops {} -> {}",
+            pass,
+            obs::format_duration_ns((s.total_ns / s.runs as u128) as u64),
+            s.ops_before,
+            s.ops_after,
+        );
+    }
+    println!(
+        "  {:<20} mean {:>10}",
+        "total pipeline",
+        obs::format_duration_ns(prof.total_ns as u64),
+    );
+}
+
+fn main() {
+    let mut reps = 5usize;
+    let mut out_file = OUT_FILE.to_string();
+    let mut check_ops: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            reps = 2;
+        } else if let Some(path) = arg.strip_prefix("--out=") {
+            out_file = path.to_string();
+        } else if let Some(path) = arg.strip_prefix("--check-ops=") {
+            check_ops = Some(path.to_string());
+        } else {
+            eprintln!("unknown flag {arg} (expected --quick, --out=, --check-ops=)");
+            std::process::exit(2);
+        }
+    }
+
     let mut kernels_json = Vec::new();
     // Aggregate mean per pass name across the whole suite.
     let mut aggregate: BTreeMap<String, PassSample> = BTreeMap::new();
 
     for b in kernels::compiled_benchmarks() {
-        // name -> accumulated samples over REPS runs (passes can repeat in
-        // the pipeline; repeated instances are folded together).
-        let mut samples: BTreeMap<String, PassSample> = BTreeMap::new();
-        for _ in 0..REPS {
-            let mut m = (b.build_hir)();
-            let mut diags = ir::DiagnosticEngine::new();
-            ir::verify_module(&m, &registry, &mut diags).expect("verify");
-            hir_verify::verify_schedule(&m, &mut diags).expect("schedule");
-            let mut pm = hir_opt::standard_pipeline();
-            pm.run(&mut m, &registry, &mut diags).expect("pipeline");
-            for t in pm.timings() {
-                let s = samples.entry(t.name.clone()).or_insert(PassSample {
-                    total_ns: 0,
-                    runs: 0,
-                    ops_before: t.ops_before,
-                    ops_after: t.ops_after,
-                });
-                s.total_ns += t.duration.as_nanos();
-                s.runs += 1;
-                s.ops_before = s.ops_before.max(t.ops_before);
-                s.ops_after = s.ops_after.min(t.ops_after);
-            }
-            // Codegen keeps the profile honest about end-to-end compile cost.
-            hir_codegen::generate_design(&m, &hir_codegen::CodegenOptions::default())
-                .expect("codegen");
-        }
-
-        println!("{}", b.name);
-        let mut pass_json = Vec::new();
-        for (name, s) in &samples {
-            let mean_ns = s.total_ns / s.runs as u128;
-            println!(
-                "  {:<20} mean {:>10}  ops {} -> {}",
-                name,
-                obs::format_duration_ns(mean_ns as u64),
-                s.ops_before,
-                s.ops_after,
-            );
-            pass_json.push(format!(
-                r#"      {{"pass":"{}","mean_ns":{},"runs":{},"ops_before":{},"ops_after":{}}}"#,
-                escape(name),
-                mean_ns,
-                s.runs,
-                s.ops_before,
-                s.ops_after,
-            ));
-            let agg = aggregate.entry(name.clone()).or_insert(PassSample {
+        let prof = profile_pipeline(&b.build_hir, reps, true);
+        print_profile(b.name, &prof);
+        for (pass, s) in &prof.samples {
+            let agg = aggregate.entry(pass.clone()).or_insert(PassSample {
                 total_ns: 0,
                 runs: 0,
                 ops_before: 0,
@@ -80,12 +173,35 @@ fn main() {
             agg.total_ns += s.total_ns;
             agg.runs += s.runs;
         }
-        kernels_json.push(format!(
-            "    {{\"kernel\":\"{}\",\"func\":\"{}\",\"reps\":{},\"passes\":[\n{}\n    ]}}",
-            escape(b.name),
-            escape(b.hir_func),
-            REPS,
-            pass_json.join(",\n"),
+        kernels_json.push(kernel_json(b.name, b.hir_func, reps, &prof));
+    }
+
+    // GEMM scaling: the op count grows ~N², so near-linear pass hot paths
+    // show up as total pipeline time growing ~4x per N doubling (and far
+    // from the ~16x a quadratic pass would cost).
+    println!("\nGEMM scaling");
+    let mut scaling_json = Vec::new();
+    for n in GEMM_SCALING_NS {
+        let build = move || kernels::gemm::hir_gemm(n, 32);
+        // Codegen is skipped here: this section isolates pipeline scaling.
+        let prof = profile_pipeline(&build, reps, false);
+        let ops = prof
+            .samples
+            .values()
+            .map(|s| s.ops_before)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "  N={:<3} ops {:>6}  total pipeline mean {:>10}",
+            n,
+            ops,
+            obs::format_duration_ns(prof.total_ns as u64),
+        );
+        scaling_json.push(kernel_json(
+            &format!("GEMM N={n}"),
+            kernels::gemm::FUNC,
+            reps,
+            &prof,
         ));
     }
 
@@ -100,13 +216,45 @@ fn main() {
     }
 
     let doc = format!(
-        "{{\n  \"kernels\": [\n{}\n  ],\n  \"aggregate\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"kernels\": [\n{}\n  ],\n  \"gemm_scaling\": [\n{}\n  ],\n  \"aggregate\": [\n{}\n  ]\n}}\n",
         kernels_json.join(",\n"),
+        scaling_json.join(",\n"),
         agg_json.join(",\n"),
     );
     // The emitter and the parser live in the same crate: prove the file is
     // well-formed before writing it.
-    obs::json::parse(&doc).expect("generated JSON is valid");
-    std::fs::write(OUT_FILE, &doc).expect("write profile");
-    println!("\nwrote {OUT_FILE}");
+    let parsed = obs::json::parse(&doc).expect("generated JSON is valid");
+
+    if let Some(baseline_path) = check_ops {
+        let baseline_text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let baseline = obs::json::parse(&baseline_text).expect("baseline JSON is valid");
+        let want = ops_after_map(&baseline);
+        let got = ops_after_map(&parsed);
+        let mut drift = 0;
+        for ((kernel, pass), ops) in &want {
+            match got.get(&(kernel.clone(), pass.clone())) {
+                Some(g) if g == ops => {}
+                Some(g) => {
+                    eprintln!("ops drift: {kernel} / {pass}: baseline {ops}, now {g}");
+                    drift += 1;
+                }
+                None => {
+                    eprintln!("ops drift: {kernel} / {pass}: missing from new profile");
+                    drift += 1;
+                }
+            }
+        }
+        if drift > 0 {
+            eprintln!("{drift} kernel/pass pairs drifted from {baseline_path}");
+            std::process::exit(1);
+        }
+        println!(
+            "ops check: {} kernel/pass pairs match {baseline_path}",
+            want.len()
+        );
+    }
+
+    std::fs::write(&out_file, &doc).expect("write profile");
+    println!("\nwrote {out_file}");
 }

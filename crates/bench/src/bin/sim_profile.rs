@@ -1,0 +1,65 @@
+//! Compares the bytecode simulator engine against the tree-walk oracle on
+//! the generated GEMM testbench: same design, same stimulus, both engines
+//! run to completion, and the winner is reported in cycles per second.
+//!
+//! Flags:
+//!   --quick   one repetition instead of three
+//!   --n=SIZE  GEMM size (power of two, default 16)
+
+use hir_codegen::testbench::{Harness, HarnessArg};
+use std::time::Instant;
+
+fn main() {
+    let mut reps = 3usize;
+    let mut n = 16u64;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            reps = 1;
+        } else if let Some(v) = arg.strip_prefix("--n=") {
+            n = v.parse().expect("--n=SIZE");
+        } else {
+            eprintln!("unknown flag {arg} (expected --quick, --n=)");
+            std::process::exit(2);
+        }
+    }
+
+    let nn = (n * n) as usize;
+    let mut m = kernels::gemm::hir_gemm(n, 32);
+    let (design, _) = kernels::compile_hir(&mut m, true).expect("compile");
+    let func = kernels::find_func(&m, kernels::gemm::FUNC);
+    let a: Vec<i128> = (0..nn as i128).map(|x| x % 9 - 4).collect();
+    let b: Vec<i128> = (0..nn as i128).map(|x| 2 * x % 7 - 3).collect();
+    let args = [
+        HarnessArg::mem_from(&a),
+        HarnessArg::mem_from(&b),
+        HarnessArg::zero_mem(nn),
+    ];
+    let expect = kernels::gemm::reference(n, &a, &b);
+
+    let measure = |engine: verilog::Engine, label: &str| -> f64 {
+        let mut best = f64::MAX;
+        let mut cycles = 0u64;
+        for _ in 0..reps {
+            let mut h = Harness::new(&design, &m, func, &args).expect("harness");
+            h.set_engine(engine);
+            let t0 = Instant::now();
+            let report = h.run(1_000_000).expect("run");
+            best = best.min(t0.elapsed().as_secs_f64());
+            cycles = report.cycles;
+            assert_eq!(report.mems[&2], expect, "{label}: wrong GEMM result");
+        }
+        let rate = cycles as f64 / best;
+        println!("{label:<10} {cycles:>8} cycles in {best:>8.4}s  ({rate:>12.0} cycles/s)");
+        rate
+    };
+
+    {
+        let h = Harness::new(&design, &m, func, &args).expect("harness");
+        let (na, st, nal, sp, nr) = h.sim().tape_stats();
+        println!("assigns {na} (settle tape {st}), always {nal} (step tape {sp}), regs {nr}");
+    }
+    println!("GEMM N={n} testbench, best of {reps}");
+    let bc = measure(verilog::Engine::Bytecode, "bytecode");
+    let tw = measure(verilog::Engine::TreeWalk, "tree-walk");
+    println!("speedup    {:.1}x", bc / tw);
+}

@@ -186,6 +186,17 @@ impl Harness {
         })
     }
 
+    /// Select the simulator execution engine (bytecode by default; the
+    /// tree-walk oracle is used for differential testing).
+    pub fn set_engine(&mut self, engine: verilog::Engine) {
+        self.sim.set_engine(engine);
+    }
+
+    /// Borrow the underlying simulator (engine selection, tape statistics).
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
     /// Dump a VCD waveform of the whole run to `path`.
     ///
     /// # Errors

@@ -101,24 +101,39 @@ impl PortDemotePass {
                 accesses.push((root, offset, port == ports[r_idx]));
             }
         }
-        // Reads must provably never coincide with writes.
-        for i in 0..accesses.len() {
-            for j in (i + 1)..accesses.len() {
-                let (ra, oa, is_read_a) = accesses[i];
-                let (rb, ob, is_read_b) = accesses[j];
-                if is_read_a == is_read_b {
-                    continue; // same-direction conflicts are the verifier's job
-                }
-                if ra != rb {
-                    return false; // different scopes: cannot prove disjoint
-                }
-                let collide = match sched.root_ii.get(&ra) {
-                    Some(&ii) => (oa - ob).rem_euclid(ii) == 0,
-                    None => oa == ob,
-                };
-                if collide {
-                    return false;
-                }
+        // Reads must provably never coincide with writes. (Same-direction
+        // conflicts are the verifier's job.) When both directions are
+        // present, every cross pair must share one schedule root — so all
+        // accesses must — and a read collides with a write iff their offsets
+        // coincide modulo that root's II (exact equality when unpipelined).
+        // Sort-and-sweep over the residues instead of comparing all pairs.
+        let has_read = accesses.iter().any(|&(_, _, is_read)| is_read);
+        let has_write = accesses.iter().any(|&(_, _, is_read)| !is_read);
+        if has_read && has_write {
+            let root = accesses[0].0;
+            if accesses.iter().any(|&(r, _, _)| r != root) {
+                return false; // different scopes: cannot prove disjoint
+            }
+            let ii = sched.root_ii.get(&root).copied();
+            let mut keys: Vec<(i64, bool)> = accesses
+                .iter()
+                .map(|&(_, offset, is_read)| {
+                    let key = match ii {
+                        Some(ii) => offset.rem_euclid(ii),
+                        None => offset,
+                    };
+                    (key, is_read)
+                })
+                .collect();
+            keys.sort_unstable();
+            // Sorting groups equal residues, writes (false) before reads
+            // (true): any cross-direction collision appears at an adjacent
+            // boundary.
+            if keys
+                .windows(2)
+                .any(|w| w[0].0 == w[1].0 && w[0].1 != w[1].1)
+            {
+                return false;
             }
         }
 

@@ -15,7 +15,7 @@ use hir::types::MemrefInfo;
 use ir::{Diagnostic, DiagnosticEngine, Module, OpId, ValueId};
 use std::collections::HashMap;
 
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 enum Index {
     /// Statically known (a `hir.constant` operand).
     Const(i64),
@@ -91,71 +91,176 @@ pub fn check_port_conflicts(
         let Some(memref_info) = MemrefInfo::from_type(&m.value_type(mem)) else {
             continue;
         };
-        for i in 0..accesses.len() {
-            for j in (i + 1)..accesses.len() {
-                let (a, b) = (&accesses[i], &accesses[j]);
-                if a.predicated || b.predicated {
-                    // Gated by runtime conditions; the interpreter and the
-                    // generated RTL assertions check these dynamically.
-                    continue;
-                }
-                if a.root != b.root {
-                    // Different scopes: cannot reason statically; the
-                    // interpreter/Verilog assertions check at runtime.
-                    continue;
-                }
-                // Inside a loop with static II the port is exercised every II
-                // cycles: offsets collide iff congruent mod II. Elsewhere the
-                // schedule runs once: offsets collide iff equal.
-                let collide = match info.root_ii.get(&a.root) {
-                    Some(&ii) => (a.offset - b.offset).rem_euclid(ii) == 0,
-                    None => a.offset == b.offset,
-                };
-                if !collide {
-                    continue;
-                }
-                // Exemption 1: a distributed dimension differs statically.
-                let different_bank = memref_info
-                    .dims
-                    .iter()
-                    .zip(a.indices.iter().zip(&b.indices))
-                    .any(|(dim, (ia, ib))| {
-                        dim.is_distributed()
-                            && matches!((ia, ib), (Index::Const(x), Index::Const(y)) if x != y)
-                    });
-                if different_bank {
-                    continue;
-                }
-                // Exemption 2: provably the same address (all indices equal).
-                let same_address = a.indices == b.indices;
-                if same_address && a.is_read && b.is_read {
-                    continue;
-                }
-                conflicts += 1;
-                let what = match (a.is_read, b.is_read) {
-                    (true, true) => "reads",
-                    (false, false) => "writes",
-                    _ => "a read and a write",
-                };
-                diags.emit(
-                    Diagnostic::error(
-                        m.op(b.op).loc().clone(),
-                        format!(
-                            "Schedule error: two {what} on the same memory port in the same \
-                             cycle (offsets {} and {})!",
-                            a.offset, b.offset
-                        ),
-                    )
-                    .with_snippet(hir::pretty_op(m, b.op))
-                    .with_note_snippet(
-                        m.op(a.op).loc().clone(),
-                        "Conflicting access here.",
-                        hir::pretty_op(m, a.op),
-                    ),
-                );
-            }
-        }
+        conflicts += check_port(m, &memref_info, &accesses, info, diags);
     }
     obs::counter_add("verify", "port_conflicts", conflicts as u64);
     conflicts
+}
+
+/// Check one port's accesses with a grouping sweep instead of an all-pairs
+/// scan: accesses only collide timewise within one (root, offset mod II)
+/// bucket, and inside a bucket they are partitioned into same-address
+/// classes and bank-signature groups so that provably-exempt pairs are
+/// never enumerated. A conflict-free port costs O(k) hashing; only actual
+/// conflicts pay per-pair diagnostics.
+fn check_port(
+    m: &Module,
+    memref_info: &MemrefInfo,
+    accesses: &[Access],
+    info: &ScheduleInfo,
+    diags: &mut DiagnosticEngine,
+) -> usize {
+    // Predicated accesses are gated by runtime conditions; the interpreter
+    // and the generated RTL assertions check those dynamically. Accesses
+    // under different roots are in different scopes: nothing can be proven
+    // statically, so only same-root accesses are compared. Inside a loop
+    // with static II the port is exercised every II cycles: offsets collide
+    // iff congruent mod II. Elsewhere the schedule runs once: offsets
+    // collide iff equal.
+    let mut buckets: HashMap<(ValueId, i64), Vec<usize>> = HashMap::new();
+    for (idx, a) in accesses.iter().enumerate() {
+        if a.predicated {
+            continue;
+        }
+        let key = match info.root_ii.get(&a.root) {
+            Some(&ii) => a.offset.rem_euclid(ii),
+            None => a.offset,
+        };
+        buckets.entry((a.root, key)).or_default().push(idx);
+    }
+
+    let dist_dims: Vec<usize> = memref_info
+        .dims
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_distributed())
+        .map(|(k, _)| k)
+        .collect();
+
+    let mut conflicts = 0;
+    for members in buckets.into_values() {
+        if members.len() < 2 {
+            continue;
+        }
+        // Same-address classes: accesses with identical index vectors.
+        let mut classes: HashMap<&[Index], Vec<usize>> = HashMap::new();
+        for &i in &members {
+            classes.entry(&accesses[i].indices).or_default().push(i);
+        }
+        let class_list: Vec<Vec<usize>> = classes.into_values().collect();
+
+        // Within a class every pair hits the same address: parallel reads
+        // are fine, anything involving a write conflicts.
+        for class in &class_list {
+            if class.iter().all(|&i| accesses[i].is_read) {
+                continue;
+            }
+            for x in 0..class.len() {
+                for y in (x + 1)..class.len() {
+                    let (a, b) = (class[x], class[y]);
+                    if accesses[a].is_read && accesses[b].is_read {
+                        continue;
+                    }
+                    conflicts += report_conflict(m, accesses, a, b, diags);
+                }
+            }
+        }
+
+        // Across classes the addresses differ (or are not provably equal),
+        // so only the different-bank exemption applies: exempt iff some
+        // distributed dimension has two distinct constant indices. Classes
+        // whose distributed indices are all constant are grouped by that
+        // signature — distinct signatures are provably different banks and
+        // never enumerated. Classes with a dynamic distributed index must
+        // be compared against everyone.
+        let sig_of = |class: &Vec<usize>| -> Option<Vec<i64>> {
+            let ind = &accesses[class[0]].indices;
+            dist_dims
+                .iter()
+                .map(|&k| match ind.get(k) {
+                    Some(&Index::Const(x)) => Some(x),
+                    _ => None,
+                })
+                .collect()
+        };
+        let sigs: Vec<Option<Vec<i64>>> = class_list.iter().map(sig_of).collect();
+        let mut by_sig: HashMap<&[i64], Vec<usize>> = HashMap::new();
+        let mut partial: Vec<usize> = Vec::new();
+        for (c, sig) in sigs.iter().enumerate() {
+            match sig {
+                Some(s) => by_sig.entry(s).or_default().push(c),
+                None => partial.push(c),
+            }
+        }
+        let mut conflicting_class_pairs: Vec<(usize, usize)> = Vec::new();
+        for group in by_sig.values() {
+            for x in 0..group.len() {
+                for y in (x + 1)..group.len() {
+                    conflicting_class_pairs.push((group[x], group[y]));
+                }
+            }
+        }
+        for (pi, &c1) in partial.iter().enumerate() {
+            // Partial vs every class after it (and vs all full-constant
+            // classes), using the exact per-dimension exemption.
+            let rep1 = &accesses[class_list[c1][0]].indices;
+            let mut against: Vec<usize> = partial[(pi + 1)..].to_vec();
+            against.extend(by_sig.values().flatten().copied());
+            for c2 in against {
+                let rep2 = &accesses[class_list[c2][0]].indices;
+                let different_bank = dist_dims.iter().any(|&k| {
+                    matches!(
+                        (rep1.get(k), rep2.get(k)),
+                        (Some(Index::Const(x)), Some(Index::Const(y))) if x != y
+                    )
+                });
+                if !different_bank {
+                    conflicting_class_pairs.push((c1, c2));
+                }
+            }
+        }
+        for (c1, c2) in conflicting_class_pairs {
+            for &a in &class_list[c1] {
+                for &b in &class_list[c2] {
+                    conflicts += report_conflict(m, accesses, a, b, diags);
+                }
+            }
+        }
+    }
+    conflicts
+}
+
+/// Emit the diagnostic for one conflicting access pair; returns 1.
+fn report_conflict(
+    m: &Module,
+    accesses: &[Access],
+    i: usize,
+    j: usize,
+    diags: &mut DiagnosticEngine,
+) -> usize {
+    // Report in program-collection order: the earlier access is the note.
+    let (i, j) = if i < j { (i, j) } else { (j, i) };
+    let (a, b) = (&accesses[i], &accesses[j]);
+    let what = match (a.is_read, b.is_read) {
+        (true, true) => "reads",
+        (false, false) => "writes",
+        _ => "a read and a write",
+    };
+    diags.emit(
+        Diagnostic::error(
+            m.op(b.op).loc().clone(),
+            format!(
+                "Schedule error: two {what} on the same memory port in the same \
+                 cycle (offsets {} and {})!",
+                a.offset, b.offset
+            ),
+        )
+        .with_snippet(hir::pretty_op(m, b.op))
+        .with_note_snippet(
+            m.op(a.op).loc().clone(),
+            "Conflicting access here.",
+            hir::pretty_op(m, a.op),
+        ),
+    );
+    1
 }

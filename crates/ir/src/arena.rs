@@ -99,6 +99,13 @@ impl<T> Arena<T> {
         self.live
     }
 
+    /// Exclusive upper bound on raw slot indices ever handed out, including
+    /// freed slots. Side tables indexed by [`Id::index`] can size themselves
+    /// with this.
+    pub fn slot_bound(&self) -> usize {
+        self.slots.len()
+    }
+
     pub fn is_empty(&self) -> bool {
         self.live == 0
     }

@@ -14,6 +14,7 @@ use crate::arena::{Arena, Id};
 use crate::attributes::{AttrMap, Attribute};
 use crate::location::Location;
 use crate::types::Type;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
@@ -204,7 +205,19 @@ pub struct Module {
     blocks: Arena<BlockData>,
     regions: Arena<RegionData>,
     top: Vec<OpId>,
+    /// Bumped by every mutation that changes op placement or order; stamps
+    /// [`Self::pos_cache`] entries so stale positions are never served.
+    layout_stamp: Cell<u64>,
+    /// Lazily-built op-position cache: slot-indexed `(stamp, position)`
+    /// pairs, rebuilt one block at a time on demand. Makes
+    /// [`Module::position_in_block`] (and through it the verifier's
+    /// dominance check) O(1) amortized instead of a linear scan per query.
+    pos_cache: RefCell<Vec<(u64, u32)>>,
 }
+
+/// Stamp value that never matches [`Module::layout_stamp`]: fresh cache
+/// slots start invalid.
+const NEVER_STAMP: u64 = u64::MAX;
 
 impl Module {
     pub fn new() -> Self {
@@ -354,6 +367,7 @@ impl Module {
     /// Append a detached op to the end of `block`.
     pub fn append_op(&mut self, block: BlockId, op: OpId) {
         assert!(self.op(op).parent.is_none(), "op is already inside a block");
+        self.bump_layout();
         self.ops.get_mut(op).parent = Some(block);
         self.blocks.get_mut(block).ops.push(op);
     }
@@ -361,6 +375,7 @@ impl Module {
     /// Insert a detached op into `block` at position `index`.
     pub fn insert_op(&mut self, block: BlockId, index: usize, op: OpId) {
         assert!(self.op(op).parent.is_none(), "op is already inside a block");
+        self.bump_layout();
         self.ops.get_mut(op).parent = Some(block);
         self.blocks.get_mut(block).ops.insert(index, op);
     }
@@ -379,13 +394,39 @@ impl Module {
     }
 
     /// Position of an op inside its parent block.
+    ///
+    /// O(1) amortized: answered from [`Self::pos_cache`] when the layout has
+    /// not changed since the op's block was last indexed; a miss re-indexes
+    /// just that block.
     pub fn position_in_block(&self, op: OpId) -> usize {
+        let stamp = self.layout_stamp.get();
+        if let Some(&(s, p)) = self.pos_cache.borrow().get(op.index()) {
+            if s == stamp {
+                return p as usize;
+            }
+        }
         let block = self.op(op).parent.expect("op has no parent block");
-        self.block(block)
-            .ops
-            .iter()
-            .position(|&o| o == op)
-            .expect("op missing from its parent block list")
+        let mut cache = self.pos_cache.borrow_mut();
+        let bound = self.ops.slot_bound();
+        if cache.len() < bound {
+            cache.resize(bound, (NEVER_STAMP, 0));
+        }
+        for (i, &o) in self.block(block).ops.iter().enumerate() {
+            cache[o.index()] = (stamp, i as u32);
+        }
+        let (s, p) = cache[op.index()];
+        assert!(s == stamp, "op missing from its parent block list");
+        p as usize
+    }
+
+    /// Invalidate [`Self::pos_cache`] after any change to op placement.
+    #[inline]
+    fn bump_layout(&mut self) {
+        let stamp = self.layout_stamp.get();
+        // Wrapping to NEVER_STAMP would validate every stale entry at once;
+        // practically unreachable (2^64 mutations) but cheap to rule out.
+        assert!(stamp < NEVER_STAMP - 1, "layout stamp overflow");
+        self.layout_stamp.set(stamp + 1);
     }
 
     // ------------------------------------------------------------- mutation
@@ -434,6 +475,7 @@ impl Module {
 
     /// Detach `op` from its parent block (or the top level) without erasing.
     pub fn detach_op(&mut self, op: OpId) {
+        self.bump_layout();
         match self.op(op).parent {
             Some(block) => {
                 self.blocks.get_mut(block).ops.retain(|&o| o != op);
@@ -459,12 +501,87 @@ impl Module {
         self.erase_op_inner(op);
     }
 
+    /// Erase a batch of ops (each with use-free results) in one sweep.
+    ///
+    /// Equivalent to [`Module::erase_op`] on each, but every affected block
+    /// list is compacted exactly once, so erasing `k` ops out of a block of
+    /// `n` costs O(n + k) instead of the O(n·k) that per-op removal pays.
+    /// Bulk-erasing passes (CSE, DCE) depend on this for linear hot paths.
+    ///
+    /// # Panics
+    /// Panics if any result of a listed op still has uses after the whole
+    /// batch is accounted for (uses *between* listed ops are fine only when
+    /// the user is also erasing the user, which `erase_op` would reject too).
+    pub fn erase_ops(&mut self, ops: &[OpId]) {
+        if ops.is_empty() {
+            return;
+        }
+        let doomed: std::collections::HashSet<OpId> = ops.iter().copied().collect();
+        for &op in &doomed {
+            for &r in self.op(op).results() {
+                assert!(
+                    self.value(r).uses.iter().all(|u| doomed.contains(&u.op)),
+                    "erasing op {} whose result still has uses",
+                    self.op(op).name()
+                );
+            }
+        }
+        self.bump_layout();
+        let parents: std::collections::HashSet<Option<BlockId>> =
+            doomed.iter().map(|&op| self.op(op).parent).collect();
+        for parent in parents {
+            match parent {
+                Some(block) => self
+                    .blocks
+                    .get_mut(block)
+                    .ops
+                    .retain(|o| !doomed.contains(o)),
+                None => self.top.retain(|o| !doomed.contains(o)),
+            }
+        }
+        // Remove all doomed uses from each operand value in ONE retain per
+        // value: per-op removal would rescan a shared operand's use list
+        // (think a constant feeding thousands of ops) once per erased op.
+        let operand_values: std::collections::HashSet<ValueId> = doomed
+            .iter()
+            .flat_map(|&op| self.op(op).operands().iter().copied())
+            .collect();
+        for v in operand_values {
+            self.values
+                .get_mut(v)
+                .uses
+                .retain(|u| !doomed.contains(&u.op));
+        }
+        for &op in &doomed {
+            // An op nested in another doomed op's region is erased by the
+            // recursive sweep before we reach it here.
+            if !self.ops.contains(op) {
+                continue;
+            }
+            let data = self.ops.get(op);
+            let results = data.results.clone();
+            let regions = data.regions.clone();
+            for r in regions {
+                self.erase_region_inner(r);
+            }
+            for v in results {
+                self.values.erase(v);
+            }
+            self.ops.erase(op);
+        }
+    }
+
     fn erase_op_inner(&mut self, op: OpId) {
         let data = self.ops.get(op);
         let operands = data.operands.clone();
         let results = data.results.clone();
         let regions = data.regions.clone();
         for (i, v) in operands.into_iter().enumerate() {
+            // A batch erase may have already dropped the defining op (and its
+            // result values) of an operand that only doomed ops consumed.
+            if !self.values.contains(v) {
+                continue;
+            }
             self.values
                 .get_mut(v)
                 .uses
@@ -742,6 +859,57 @@ mod tests {
             .collect();
         assert_eq!(names, vec!["t.one", "t.two", "t.three"]);
         assert_eq!(m.position_in_block(o2), 1);
+    }
+
+    #[test]
+    fn position_cache_invalidated_on_layout_change() {
+        let mut m = mk();
+        let f = m.create_op(
+            "t.func",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        let r = m.add_region(f);
+        let b = m.add_block(r, vec![]);
+        let o1 = m.create_op("t.one", vec![], vec![], AttrMap::new(), Location::unknown());
+        let o2 = m.create_op("t.two", vec![], vec![], AttrMap::new(), Location::unknown());
+        m.append_op(b, o1);
+        m.append_op(b, o2);
+        // Prime the cache.
+        assert_eq!(m.position_in_block(o1), 0);
+        assert_eq!(m.position_in_block(o2), 1);
+        // Insert in front: cached positions must shift.
+        let o0 = m.create_op(
+            "t.zero",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.insert_op(b, 0, o0);
+        assert_eq!(m.position_in_block(o0), 0);
+        assert_eq!(m.position_in_block(o1), 1);
+        assert_eq!(m.position_in_block(o2), 2);
+        // Detach and re-append: position moves to the end.
+        m.detach_op(o0);
+        m.append_op(b, o0);
+        assert_eq!(m.position_in_block(o1), 0);
+        assert_eq!(m.position_in_block(o0), 2);
+        // Slot reuse: erase an op, allocate a new one into (possibly) the
+        // same slot, place it elsewhere — must not see the stale position.
+        m.detach_op(o0);
+        m.erase_op(o0);
+        let o4 = m.create_op(
+            "t.four",
+            vec![],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.insert_op(b, 0, o4);
+        assert_eq!(m.position_in_block(o4), 0);
     }
 
     #[test]

@@ -142,6 +142,582 @@ enum CStmt {
     },
 }
 
+/// Which execution engine drives `settle`/`step`.
+///
+/// `Bytecode` is the default: the design is lowered once into flat
+/// register-machine tapes and each cycle is a linear sweep with no
+/// allocation and no recursion. `TreeWalk` is the original recursive
+/// evaluator, kept as a differential-testing oracle; building with the
+/// `treewalk-sim` feature makes it the default instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    Bytecode,
+    TreeWalk,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        if cfg!(feature = "treewalk-sim") {
+            Engine::TreeWalk
+        } else {
+            Engine::Bytecode
+        }
+    }
+}
+
+// One bytecode instruction. Operands name registers in a flat `u64` file;
+// every compiled expression node writes its own dedicated register before
+// any reader, so registers never need clearing between cycles. Constants
+// live in registers preloaded at build time.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Insn {
+    /// regs[dst] = values[net]
+    LoadNet { dst: u32, net: u32 },
+    /// regs[dst] = memories[mem][regs[addr]] (0 when out of range) & m
+    MemRead {
+        dst: u32,
+        mem: u32,
+        addr: u32,
+        m: u64,
+    },
+    /// regs[dst] = (regs[src] >> lo) & m
+    Slice { dst: u32, src: u32, lo: u32, m: u64 },
+    /// regs[dst] = !regs[src] & m
+    Not { dst: u32, src: u32, m: u64 },
+    /// regs[dst] = (regs[src] == 0) as u64
+    LNot { dst: u32, src: u32 },
+    /// regs[dst] = (regs[src] != 0) as u64
+    RedOr { dst: u32, src: u32 },
+    /// regs[dst] = eval_binary(op, regs[a], regs[b], aw, bw) & m
+    Binary {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+        aw: u32,
+        bw: u32,
+        m: u64,
+    },
+    /// regs[dst] = (if regs[cond] != 0 { regs[then] } else { regs[els] }) & m
+    /// Eager select: both arms are pure, so evaluating both is sound.
+    Select {
+        dst: u32,
+        cond: u32,
+        then: u32,
+        els: u32,
+        m: u64,
+    },
+    /// regs[dst] = regs[src] & m (first concat part)
+    ConcatFirst { dst: u32, src: u32, m: u64 },
+    /// regs[dst] = (regs[dst] << shift) | (regs[src] & m)
+    ConcatPush {
+        dst: u32,
+        src: u32,
+        shift: u32,
+        m: u64,
+    },
+    /// regs[dst] &= m (final concat width clamp)
+    MaskReg { dst: u32, m: u64 },
+    /// regs[dst] = sign_extend(regs[src] & fm, from) & m
+    SignExtend {
+        dst: u32,
+        src: u32,
+        from: u32,
+        fm: u64,
+        m: u64,
+    },
+    /// values[net] = regs[src] & m (settle tape: continuous assign)
+    StoreNet { net: u32, src: u32, m: u64 },
+    /// pend_nets.push((net, regs[src])) (step tape: non-blocking assign)
+    EmitNet { net: u32, src: u32 },
+    /// pend_mems.push((mem, regs[addr], regs[src]))
+    EmitMem { mem: u32, addr: u32, src: u32 },
+    /// if regs[guard] != 0 && regs[cond] == 0 { fail with msgs[msg] }
+    Assert { guard: u32, cond: u32, msg: u32 },
+    /// pc = target
+    Jump { target: u32 },
+    /// if regs[src] == 0 { pc = target }
+    JumpIfZero { src: u32, target: u32 },
+}
+
+/// Lowers compiled expression trees into [`Insn`] tapes. One builder is
+/// shared by the settle and step tapes so they share the register file and
+/// constant pool.
+#[derive(Default)]
+struct TapeBuilder {
+    insns: Vec<Insn>,
+    next_reg: u32,
+    /// Masked constant value -> preloaded register.
+    consts: HashMap<u64, u32>,
+    const_init: Vec<(u32, u64)>,
+    msgs: Vec<String>,
+}
+
+impl TapeBuilder {
+    fn reg(&mut self) -> u32 {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    /// Register preloaded with `value` (already masked).
+    fn konst(&mut self, value: u64) -> u32 {
+        if let Some(&r) = self.consts.get(&value) {
+            return r;
+        }
+        let r = self.reg();
+        self.consts.insert(value, r);
+        self.const_init.push((r, value));
+        r
+    }
+
+    /// Lower `e`, returning the register holding its (masked) value.
+    fn expr(&mut self, e: &CExpr) -> u32 {
+        match e {
+            CExpr::Const { value, width } => self.konst(value & mask(*width)),
+            CExpr::Net { index, .. } => {
+                let dst = self.reg();
+                self.insns.push(Insn::LoadNet {
+                    dst,
+                    net: *index as u32,
+                });
+                dst
+            }
+            CExpr::MemRead { mem, addr, width } => {
+                let addr = self.expr(addr);
+                let dst = self.reg();
+                self.insns.push(Insn::MemRead {
+                    dst,
+                    mem: *mem as u32,
+                    addr,
+                    m: mask(*width),
+                });
+                dst
+            }
+            CExpr::Slice { base, hi, lo } => {
+                let src = self.expr(base);
+                let dst = self.reg();
+                self.insns.push(Insn::Slice {
+                    dst,
+                    src,
+                    lo: *lo,
+                    m: mask(hi - lo + 1),
+                });
+                dst
+            }
+            CExpr::Unary { op, arg, width } => {
+                let src = self.expr(arg);
+                let dst = self.reg();
+                self.insns.push(match op {
+                    UnOp::Not => Insn::Not {
+                        dst,
+                        src,
+                        m: mask(*width),
+                    },
+                    UnOp::LNot => Insn::LNot { dst, src },
+                    UnOp::RedOr => Insn::RedOr { dst, src },
+                });
+                dst
+            }
+            CExpr::Binary {
+                op,
+                lhs,
+                rhs,
+                width,
+            } => {
+                let (aw, bw) = (lhs.width(), rhs.width());
+                let a = self.expr(lhs);
+                let b = self.expr(rhs);
+                let dst = self.reg();
+                self.insns.push(Insn::Binary {
+                    op: *op,
+                    dst,
+                    a,
+                    b,
+                    aw,
+                    bw,
+                    m: mask(*width),
+                });
+                dst
+            }
+            CExpr::Ternary {
+                cond,
+                then,
+                els,
+                width,
+            } => {
+                let cond = self.expr(cond);
+                let then = self.expr(then);
+                let els = self.expr(els);
+                let dst = self.reg();
+                self.insns.push(Insn::Select {
+                    dst,
+                    cond,
+                    then,
+                    els,
+                    m: mask(*width),
+                });
+                dst
+            }
+            CExpr::Concat { parts, width } => {
+                let dst = self.reg();
+                if parts.is_empty() {
+                    return self.konst(0);
+                }
+                for (i, p) in parts.iter().enumerate() {
+                    let w = p.width().min(63);
+                    let src = self.expr(p);
+                    if i == 0 {
+                        self.insns.push(Insn::ConcatFirst {
+                            dst,
+                            src,
+                            m: mask(w),
+                        });
+                    } else {
+                        self.insns.push(Insn::ConcatPush {
+                            dst,
+                            src,
+                            shift: w,
+                            m: mask(w),
+                        });
+                    }
+                }
+                self.insns.push(Insn::MaskReg {
+                    dst,
+                    m: mask(*width),
+                });
+                dst
+            }
+            CExpr::SignExtend { arg, from, to } => {
+                let src = self.expr(arg);
+                let dst = self.reg();
+                self.insns.push(Insn::SignExtend {
+                    dst,
+                    src,
+                    from: *from,
+                    fm: mask(*from),
+                    m: mask(*to),
+                });
+                dst
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &CStmt) {
+        match s {
+            CStmt::AssignNet { net, rhs } => {
+                let src = self.expr(rhs);
+                self.insns.push(Insn::EmitNet {
+                    net: *net as u32,
+                    src,
+                });
+            }
+            CStmt::AssignMem { mem, addr, rhs } => {
+                let addr = self.expr(addr);
+                let src = self.expr(rhs);
+                self.insns.push(Insn::EmitMem {
+                    mem: *mem as u32,
+                    addr,
+                    src,
+                });
+            }
+            CStmt::If { cond, then, els } => {
+                let cond = self.expr(cond);
+                let to_else = self.insns.len();
+                self.insns.push(Insn::JumpIfZero {
+                    src: cond,
+                    target: 0, // patched below
+                });
+                for t in then {
+                    self.stmt(t);
+                }
+                if els.is_empty() {
+                    let end = self.insns.len() as u32;
+                    self.patch_jump(to_else, end);
+                } else {
+                    let to_end = self.insns.len();
+                    self.insns.push(Insn::Jump { target: 0 });
+                    let else_start = self.insns.len() as u32;
+                    self.patch_jump(to_else, else_start);
+                    for t in els {
+                        self.stmt(t);
+                    }
+                    let end = self.insns.len() as u32;
+                    self.patch_jump(to_end, end);
+                }
+            }
+            CStmt::Assert {
+                guard,
+                cond,
+                message,
+            } => {
+                let guard = self.expr(guard);
+                let cond = self.expr(cond);
+                let msg = self.msgs.len() as u32;
+                self.msgs.push(message.clone());
+                self.insns.push(Insn::Assert { guard, cond, msg });
+            }
+        }
+    }
+
+    fn patch_jump(&mut self, at: usize, to: u32) {
+        match &mut self.insns[at] {
+            Insn::Jump { target } | Insn::JumpIfZero { target, .. } => *target = to,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    /// Take the instructions lowered so far as one finished tape.
+    fn take_tape(&mut self) -> Vec<Insn> {
+        std::mem::take(&mut self.insns)
+    }
+}
+
+/// Compile-time common-subexpression elimination over one tape.
+///
+/// Generated RTL recomputes the same guard and index expressions once per
+/// process (one per processing element in an unrolled design); on the flat
+/// tape those become literally identical pure instructions. Every register
+/// has a single static writer except concat accumulators, so a pure insn is
+/// fully described by its opcode + canonicalized operand registers, and a
+/// duplicate's destination can simply be renamed to the first occurrence.
+///
+/// Soundness:
+/// - Only *unconditionally executed* insns (outside every jump-delimited
+///   region) publish into the table, so a reuse always reads a register
+///   that was recomputed earlier in the same run of the tape.
+/// - Effects (`StoreNet`/`EmitNet`/`EmitMem`/`Assert`/jumps) are never
+///   removed; their operands are just renamed.
+/// - `LoadNet` entries are invalidated when the settle tape stores to that
+///   net (blocking-assign order matters there); the step tape reads a
+///   stable pre-edge snapshot, so loads and memory reads dedupe globally.
+/// - Concat accumulators mutate their destination across several insns, so
+///   `ConcatFirst`/`ConcatPush`/`MaskReg` never publish (their consumers
+///   may: the accumulator is stable once the chain is done).
+/// - Store-to-load forwarding: after an unconditional `StoreNet` whose
+///   source register provably fits the net's mask (the store is a plain
+///   copy), later loads of that net rename to the source register instead
+///   of re-reading the net. Mask confinement holds even for conditionally
+///   executed defs: a skipped insn leaves the register at a value a prior
+///   run of the same insn produced (or the 0 it was initialised with),
+///   which is confined to the same mask.
+///
+/// `consts` carries the preloaded constant registers so their (exact)
+/// values participate in the mask analysis.
+fn cse_tape(tape: Vec<Insn>, consts: &[(u32, u64)]) -> Vec<Insn> {
+    use Insn::*;
+    let mut rep: HashMap<u32, u32> = HashMap::new();
+    let resolve = |rep: &HashMap<u32, u32>, r: u32| -> u32 { *rep.get(&r).unwrap_or(&r) };
+    let mut table: HashMap<Insn, u32> = HashMap::new();
+    // Net index -> table key currently caching a load of that net.
+    let mut net_loads: HashMap<u32, Insn> = HashMap::new();
+    // Net index -> register known to hold exactly the net's current value.
+    let mut net_fwd: HashMap<u32, u32> = HashMap::new();
+    // Register -> mask its value is always confined to (reg & !mask == 0).
+    let mut known: HashMap<u32, u64> = consts.iter().map(|&(r, v)| (r, v)).collect();
+    let mut out: Vec<Insn> = Vec::with_capacity(tape.len());
+    // old pc -> new pc, for patching forward jump targets afterward.
+    let mut pc_map: Vec<u32> = Vec::with_capacity(tape.len() + 1);
+    // Ends (old pcs) of the conditional regions currently open.
+    let mut region_ends: Vec<u32> = Vec::new();
+
+    for (pc, insn) in tape.into_iter().enumerate() {
+        let pc = pc as u32;
+        region_ends.retain(|&e| e > pc);
+        pc_map.push(out.len() as u32);
+        // Canonicalize operands through the representative map; dst fields
+        // stay untouched (they are defs, not uses).
+        let mut insn = insn;
+        match &mut insn {
+            LoadNet { .. } => {}
+            MemRead { addr, .. } => *addr = resolve(&rep, *addr),
+            Slice { src, .. }
+            | Not { src, .. }
+            | LNot { src, .. }
+            | RedOr { src, .. }
+            | SignExtend { src, .. }
+            | ConcatFirst { src, .. }
+            | ConcatPush { src, .. } => *src = resolve(&rep, *src),
+            Binary { a, b, .. } => {
+                *a = resolve(&rep, *a);
+                *b = resolve(&rep, *b);
+            }
+            Select {
+                cond, then, els, ..
+            } => {
+                *cond = resolve(&rep, *cond);
+                *then = resolve(&rep, *then);
+                *els = resolve(&rep, *els);
+            }
+            MaskReg { .. } => {}
+            StoreNet { src, .. } | EmitNet { src, .. } => *src = resolve(&rep, *src),
+            EmitMem { addr, src, .. } => {
+                *addr = resolve(&rep, *addr);
+                *src = resolve(&rep, *src);
+            }
+            Assert { guard, cond, .. } => {
+                *guard = resolve(&rep, *guard);
+                *cond = resolve(&rep, *cond);
+            }
+            Jump { .. } => {}
+            JumpIfZero { src, .. } => *src = resolve(&rep, *src),
+        }
+        // Store-to-load forwarding: the net provably holds `src` verbatim.
+        if let LoadNet { dst, net } = insn {
+            if let Some(&src) = net_fwd.get(&net) {
+                rep.insert(dst, src);
+                continue;
+            }
+        }
+        // Pure single-def insns: key = insn with dst zeroed, plus the mask
+        // the result is confined to.
+        let keyed: Option<(Insn, u32, u64)> = match insn.clone() {
+            LoadNet { dst, net } => Some((LoadNet { dst: 0, net }, dst, u64::MAX)),
+            MemRead { dst, mem, addr, m } => Some((
+                MemRead {
+                    dst: 0,
+                    mem,
+                    addr,
+                    m,
+                },
+                dst,
+                m,
+            )),
+            Slice { dst, src, lo, m } => Some((Slice { dst: 0, src, lo, m }, dst, m)),
+            Not { dst, src, m } => Some((Not { dst: 0, src, m }, dst, m)),
+            LNot { dst, src } => Some((LNot { dst: 0, src }, dst, 1)),
+            RedOr { dst, src } => Some((RedOr { dst: 0, src }, dst, 1)),
+            Binary {
+                op,
+                dst,
+                a,
+                b,
+                aw,
+                bw,
+                m,
+            } => Some((
+                Binary {
+                    op,
+                    dst: 0,
+                    a,
+                    b,
+                    aw,
+                    bw,
+                    m,
+                },
+                dst,
+                m,
+            )),
+            Select {
+                dst,
+                cond,
+                then,
+                els,
+                m,
+            } => Some((
+                Select {
+                    dst: 0,
+                    cond,
+                    then,
+                    els,
+                    m,
+                },
+                dst,
+                m,
+            )),
+            SignExtend {
+                dst,
+                src,
+                from,
+                fm,
+                m,
+            } => Some((
+                SignExtend {
+                    dst: 0,
+                    src,
+                    from,
+                    fm,
+                    m,
+                },
+                dst,
+                m,
+            )),
+            _ => None,
+        };
+        match keyed {
+            Some((key, dst, result_mask)) => {
+                if let Some(&prev) = table.get(&key) {
+                    rep.insert(dst, prev);
+                    continue; // drop the duplicate
+                }
+                if region_ends.is_empty() {
+                    if let LoadNet { net, .. } = key {
+                        net_loads.insert(net, key.clone());
+                    }
+                    table.insert(key, dst);
+                }
+                if result_mask != u64::MAX {
+                    known.insert(dst, result_mask);
+                }
+                out.push(insn);
+            }
+            None => {
+                match insn {
+                    StoreNet { net, src, m } => {
+                        // Blocking assign: later loads of this net see the
+                        // new value, so the cached load (if any) is stale.
+                        if let Some(key) = net_loads.remove(&net) {
+                            table.remove(&key);
+                        }
+                        if region_ends.is_empty() && known.get(&src).is_some_and(|&km| km & !m == 0)
+                        {
+                            net_fwd.insert(net, src);
+                        } else {
+                            net_fwd.remove(&net);
+                        }
+                    }
+                    ConcatFirst { dst, m, .. } => {
+                        known.insert(dst, m);
+                    }
+                    ConcatPush { dst, .. } => {
+                        // Accumulator grows past its own push mask.
+                        known.remove(&dst);
+                    }
+                    MaskReg { dst, m } => {
+                        known.insert(dst, m);
+                    }
+                    Jump { target } | JumpIfZero { target, .. } => {
+                        region_ends.push(target);
+                    }
+                    _ => {}
+                }
+                out.push(insn);
+            }
+        }
+    }
+    pc_map.push(out.len() as u32);
+
+    for insn in &mut out {
+        if let Jump { target } | JumpIfZero { target, .. } = insn {
+            *target = pc_map[*target as usize];
+        }
+    }
+    out
+}
+
+impl Simulator {
+    /// (assigns, settle-tape insns, always stmts, step-tape insns, regs).
+    pub fn tape_stats(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.assigns.len(),
+            self.settle_tape.len(),
+            self.always.len(),
+            self.step_tape.len(),
+            self.regs.len(),
+        )
+    }
+}
+
 /// VCD (value-change-dump) waveform recording state.
 struct Vcd {
     out: Box<dyn std::io::Write>,
@@ -163,6 +739,18 @@ pub struct Simulator {
     /// Continuous assigns in topological order: (net, expr).
     assigns: Vec<(usize, CExpr)>,
     always: Vec<CStmt>,
+    /// Bytecode lowering of `assigns` (StoreNet per assign, in topo order).
+    settle_tape: Vec<Insn>,
+    /// Bytecode lowering of `always` (EmitNet/EmitMem/Assert + jumps).
+    step_tape: Vec<Insn>,
+    /// Register file shared by both tapes; constants preloaded at build.
+    regs: Vec<u64>,
+    /// Assertion messages referenced by `Insn::Assert`.
+    msgs: Vec<String>,
+    /// Reusable non-blocking update buffers (allocation-free stepping).
+    pending_nets: Vec<(u32, u64)>,
+    pending_mems: Vec<(u32, u64, u64)>,
+    engine: Engine,
     /// Memory read ports appearing in the assign network: each is sampled
     /// once per settled cycle (reported as `sim.mem_read_events`).
     mem_read_ports: u64,
@@ -197,6 +785,13 @@ impl Simulator {
             memories: Vec::new(),
             assigns: Vec::new(),
             always: Vec::new(),
+            settle_tape: Vec::new(),
+            step_tape: Vec::new(),
+            regs: Vec::new(),
+            msgs: Vec::new(),
+            pending_nets: Vec::new(),
+            pending_mems: Vec::new(),
+            engine: Engine::default(),
             mem_read_ports: 0,
             cycle: 0,
             cycle_budget: None,
@@ -234,7 +829,44 @@ impl Simulator {
                 sim.always.push(c);
             }
         }
+
+        // Lower both phases to bytecode. The tapes share one register file
+        // and constant pool.
+        let mut tb = TapeBuilder::default();
+        for (net, expr) in &sim.assigns {
+            let src = tb.expr(expr);
+            tb.insns.push(Insn::StoreNet {
+                net: *net as u32,
+                src,
+                m: mask(sim.net_width[*net]),
+            });
+        }
+        let settle = tb.take_tape();
+        sim.settle_tape = cse_tape(settle, &tb.const_init);
+        for s in &sim.always {
+            tb.stmt(s);
+        }
+        let step = tb.take_tape();
+        sim.step_tape = cse_tape(step, &tb.const_init);
+        sim.regs = vec![0; tb.next_reg as usize];
+        for (r, v) in &tb.const_init {
+            sim.regs[*r as usize] = *v;
+        }
+        sim.msgs = tb.msgs;
         Ok(sim)
+    }
+
+    /// Select the execution engine (defaults to [`Engine::Bytecode`], or
+    /// [`Engine::TreeWalk`] when built with the `treewalk-sim` feature).
+    /// Both produce bit-identical results; the tree-walk evaluator exists
+    /// as a differential-testing oracle.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     fn add_net(&mut self, name: &str, width: u32, init: u64) {
@@ -495,10 +1127,28 @@ impl Simulator {
     pub fn settle(&mut self) {
         // Two iterations would be needed only for stale memory reads; assigns
         // are topologically ordered so one pass suffices.
-        for i in 0..self.assigns.len() {
-            let (net, expr) = (self.assigns[i].0, &self.assigns[i].1);
-            let v = eval(expr, &self.values, &self.memories);
-            self.values[net] = v & mask(self.net_width[net]);
+        match self.engine {
+            Engine::Bytecode => {
+                let mut failure = None;
+                run_tape(
+                    &self.settle_tape,
+                    &mut self.regs,
+                    &mut self.values,
+                    &self.memories,
+                    &self.msgs,
+                    &mut self.pending_nets,
+                    &mut self.pending_mems,
+                    &mut failure,
+                );
+                debug_assert!(failure.is_none(), "settle tape has no assertions");
+            }
+            Engine::TreeWalk => {
+                for i in 0..self.assigns.len() {
+                    let (net, expr) = (self.assigns[i].0, &self.assigns[i].1);
+                    let v = eval(expr, &self.values, &self.memories);
+                    self.values[net] = v & mask(self.net_width[net]);
+                }
+            }
         }
         self.dirty = false;
     }
@@ -523,14 +1173,38 @@ impl Simulator {
         if self.dirty {
             self.settle();
         }
-        let mut net_updates: Vec<(usize, u64)> = Vec::new();
-        let mut mem_updates: Vec<(usize, u64, u64)> = Vec::new();
+        // Reuse the pending-update buffers across steps: stepping allocates
+        // nothing in either engine.
+        let mut net_updates = std::mem::take(&mut self.pending_nets);
+        let mut mem_updates = std::mem::take(&mut self.pending_mems);
+        net_updates.clear();
+        mem_updates.clear();
         let mut failure: Option<String> = None;
-        for i in 0..self.always.len() {
-            let stmt = self.always[i].clone();
-            self.exec(&stmt, &mut net_updates, &mut mem_updates, &mut failure);
+        match self.engine {
+            Engine::Bytecode => run_tape(
+                &self.step_tape,
+                &mut self.regs,
+                &mut self.values,
+                &self.memories,
+                &self.msgs,
+                &mut net_updates,
+                &mut mem_updates,
+                &mut failure,
+            ),
+            Engine::TreeWalk => {
+                for i in 0..self.always.len() {
+                    self.exec(
+                        &self.always[i],
+                        &mut net_updates,
+                        &mut mem_updates,
+                        &mut failure,
+                    );
+                }
+            }
         }
         if let Some(message) = failure {
+            self.pending_nets = net_updates;
+            self.pending_mems = mem_updates;
             return Err(VSimError {
                 cycle: self.cycle,
                 message,
@@ -540,16 +1214,20 @@ impl Simulator {
         obs::counter_add("sim", "net_updates", net_updates.len() as u64);
         obs::counter_add("sim", "mem_write_events", mem_updates.len() as u64);
         obs::counter_add("sim", "mem_read_events", self.mem_read_ports);
-        for (net, v) in net_updates {
+        for &(net, v) in &net_updates {
+            let net = net as usize;
             self.values[net] = v & mask(self.net_width[net]);
         }
-        for (mem, addr, v) in mem_updates {
+        for &(mem, addr, v) in &mem_updates {
+            let mem = mem as usize;
             let depth = self.memories[mem].len() as u64;
             if addr < depth {
                 self.memories[mem][addr as usize] = v & mask(self.mem_width[mem]);
             }
             // Out-of-range writes are dropped; assertions catch them first.
         }
+        self.pending_nets = net_updates;
+        self.pending_mems = mem_updates;
         self.cycle += 1;
         self.settle();
         if self.vcd.is_some() {
@@ -592,18 +1270,18 @@ impl Simulator {
     fn exec(
         &self,
         stmt: &CStmt,
-        net_updates: &mut Vec<(usize, u64)>,
-        mem_updates: &mut Vec<(usize, u64, u64)>,
+        net_updates: &mut Vec<(u32, u64)>,
+        mem_updates: &mut Vec<(u32, u64, u64)>,
         failure: &mut Option<String>,
     ) {
         match stmt {
             CStmt::AssignNet { net, rhs } => {
-                net_updates.push((*net, eval(rhs, &self.values, &self.memories)));
+                net_updates.push((*net as u32, eval(rhs, &self.values, &self.memories)));
             }
             CStmt::AssignMem { mem, addr, rhs } => {
                 let a = eval(addr, &self.values, &self.memories);
                 let v = eval(rhs, &self.values, &self.memories);
-                mem_updates.push((*mem, a, v));
+                mem_updates.push((*mem as u32, a, v));
             }
             CStmt::If { cond, then, els } => {
                 let branch = if eval(cond, &self.values, &self.memories) != 0 {
@@ -693,42 +1371,7 @@ fn eval(e: &CExpr, values: &[u64], memories: &[Vec<u64>]) -> u64 {
         } => {
             let a = eval(lhs, values, memories);
             let b = eval(rhs, values, memories);
-            let (aw, bw) = (lhs.width(), rhs.width());
-            let r: u64 = match op {
-                BinOp::Add => a.wrapping_add(b),
-                BinOp::Sub => a.wrapping_sub(b),
-                BinOp::Mul => a.wrapping_mul(b),
-                BinOp::And => a & b,
-                BinOp::Or => a | b,
-                BinOp::Xor => a ^ b,
-                BinOp::Shl => {
-                    if b >= 64 {
-                        0
-                    } else {
-                        a.wrapping_shl(b as u32)
-                    }
-                }
-                BinOp::LShr => {
-                    if b >= 64 {
-                        0
-                    } else {
-                        a.wrapping_shr(b as u32)
-                    }
-                }
-                BinOp::AShr => {
-                    let sa = sign_extend(a, aw);
-                    (sa >> b.min(127) as i32) as u64
-                }
-                BinOp::Eq => u64::from(a == b),
-                BinOp::Ne => u64::from(a != b),
-                BinOp::SLt => u64::from(sign_extend(a, aw) < sign_extend(b, bw)),
-                BinOp::SLe => u64::from(sign_extend(a, aw) <= sign_extend(b, bw)),
-                BinOp::SGt => u64::from(sign_extend(a, aw) > sign_extend(b, bw)),
-                BinOp::SGe => u64::from(sign_extend(a, aw) >= sign_extend(b, bw)),
-                BinOp::ULt => u64::from(a < b),
-                BinOp::ULe => u64::from(a <= b),
-            };
-            r & mask(*width)
+            eval_binary(*op, a, b, lhs.width(), rhs.width()) & mask(*width)
         }
         CExpr::Ternary {
             cond,
@@ -755,6 +1398,138 @@ fn eval(e: &CExpr, values: &[u64], memories: &[Vec<u64>]) -> u64 {
             let v = eval(arg, values, memories);
             (sign_extend(v & mask(*from), *from) as u64) & mask(*to)
         }
+    }
+}
+
+/// Unmasked binary-op semantics, shared by the tree-walk evaluator and the
+/// bytecode executor so the two engines agree bit for bit by construction.
+#[inline]
+fn eval_binary(op: BinOp, a: u64, b: u64, aw: u32, bw: u32) -> u64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if b >= 64 {
+                0
+            } else {
+                a.wrapping_shl(b as u32)
+            }
+        }
+        BinOp::LShr => {
+            if b >= 64 {
+                0
+            } else {
+                a.wrapping_shr(b as u32)
+            }
+        }
+        BinOp::AShr => {
+            let sa = sign_extend(a, aw);
+            (sa >> b.min(127) as i32) as u64
+        }
+        BinOp::Eq => u64::from(a == b),
+        BinOp::Ne => u64::from(a != b),
+        BinOp::SLt => u64::from(sign_extend(a, aw) < sign_extend(b, bw)),
+        BinOp::SLe => u64::from(sign_extend(a, aw) <= sign_extend(b, bw)),
+        BinOp::SGt => u64::from(sign_extend(a, aw) > sign_extend(b, bw)),
+        BinOp::SGe => u64::from(sign_extend(a, aw) >= sign_extend(b, bw)),
+        BinOp::ULt => u64::from(a < b),
+        BinOp::ULe => u64::from(a <= b),
+    }
+}
+
+/// Execute one bytecode tape: a linear sweep over preallocated buffers with
+/// no recursion and no allocation (assertion failure aside).
+#[allow(clippy::too_many_arguments)]
+fn run_tape(
+    tape: &[Insn],
+    regs: &mut [u64],
+    values: &mut [u64],
+    memories: &[Vec<u64>],
+    msgs: &[String],
+    pend_nets: &mut Vec<(u32, u64)>,
+    pend_mems: &mut Vec<(u32, u64, u64)>,
+    failure: &mut Option<String>,
+) {
+    let mut pc = 0usize;
+    while pc < tape.len() {
+        match tape[pc] {
+            Insn::LoadNet { dst, net } => regs[dst as usize] = values[net as usize],
+            Insn::MemRead { dst, mem, addr, m } => {
+                let a = regs[addr as usize] as usize;
+                regs[dst as usize] = memories[mem as usize].get(a).copied().unwrap_or(0) & m;
+            }
+            Insn::Slice { dst, src, lo, m } => {
+                regs[dst as usize] = (regs[src as usize] >> lo) & m;
+            }
+            Insn::Not { dst, src, m } => regs[dst as usize] = !regs[src as usize] & m,
+            Insn::LNot { dst, src } => regs[dst as usize] = u64::from(regs[src as usize] == 0),
+            Insn::RedOr { dst, src } => regs[dst as usize] = u64::from(regs[src as usize] != 0),
+            Insn::Binary {
+                op,
+                dst,
+                a,
+                b,
+                aw,
+                bw,
+                m,
+            } => {
+                regs[dst as usize] =
+                    eval_binary(op, regs[a as usize], regs[b as usize], aw, bw) & m;
+            }
+            Insn::Select {
+                dst,
+                cond,
+                then,
+                els,
+                m,
+            } => {
+                let v = if regs[cond as usize] != 0 {
+                    regs[then as usize]
+                } else {
+                    regs[els as usize]
+                };
+                regs[dst as usize] = v & m;
+            }
+            Insn::ConcatFirst { dst, src, m } => regs[dst as usize] = regs[src as usize] & m,
+            Insn::ConcatPush { dst, src, shift, m } => {
+                regs[dst as usize] = (regs[dst as usize] << shift) | (regs[src as usize] & m);
+            }
+            Insn::MaskReg { dst, m } => regs[dst as usize] &= m,
+            Insn::SignExtend {
+                dst,
+                src,
+                from,
+                fm,
+                m,
+            } => {
+                regs[dst as usize] = (sign_extend(regs[src as usize] & fm, from) as u64) & m;
+            }
+            Insn::StoreNet { net, src, m } => values[net as usize] = regs[src as usize] & m,
+            Insn::EmitNet { net, src } => pend_nets.push((net, regs[src as usize])),
+            Insn::EmitMem { mem, addr, src } => {
+                pend_mems.push((mem, regs[addr as usize], regs[src as usize]));
+            }
+            Insn::Assert { guard, cond, msg } => {
+                if failure.is_none() && regs[guard as usize] != 0 && regs[cond as usize] == 0 {
+                    *failure = Some(msgs[msg as usize].clone());
+                }
+            }
+            Insn::Jump { target } => {
+                pc = target as usize;
+                continue;
+            }
+            Insn::JumpIfZero { src, target } => {
+                if regs[src as usize] == 0 {
+                    pc = target as usize;
+                    continue;
+                }
+            }
+        }
+        pc += 1;
     }
 }
 
@@ -1101,6 +1876,141 @@ mod tests {
         sim.set("en", 0);
         let err = sim.step_until("count", 10).unwrap_err();
         assert!(err.message.contains("did not assert"), "{err}");
+    }
+
+    #[test]
+    fn engines_agree_on_counter() {
+        let d = counter();
+        let mut a = Simulator::new(&d, "counter").expect("build");
+        let mut b = Simulator::new(&d, "counter").expect("build");
+        a.set_engine(Engine::Bytecode);
+        b.set_engine(Engine::TreeWalk);
+        for cyc in 0..300u64 {
+            let en = u64::from(cyc % 3 != 0);
+            a.set("en", en);
+            b.set("en", en);
+            assert_eq!(a.get("count"), b.get("count"), "cycle {cyc}");
+            a.step().unwrap();
+            b.step().unwrap();
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_memory_and_assert_design() {
+        let mut m = VModule::new("mx");
+        m.port("clk", Dir::Input, 1);
+        m.port("we", Dir::Input, 1);
+        m.port("waddr", Dir::Input, 4);
+        m.port("wdata", Dir::Input, 16);
+        m.port("raddr", Dir::Input, 4);
+        m.port("rdata", Dir::Output, 16);
+        m.port("sum", Dir::Output, 16);
+        m.memory("ram", 16, 16, None);
+        m.reg("rdata_r", 16);
+        m.assign("rdata", Expr::r("rdata_r"));
+        // Exercise ternary, concat, slice, sign-extend in the comb network.
+        m.wire("sx", 16);
+        m.assign(
+            "sx",
+            Expr::SignExtend {
+                arg: Box::new(Expr::Slice {
+                    base: Box::new(Expr::r("wdata")),
+                    hi: 7,
+                    lo: 0,
+                }),
+                from: 8,
+                to: 16,
+            },
+        );
+        m.assign(
+            "sum",
+            Expr::Ternary {
+                cond: Box::new(Expr::r("we")),
+                then: Box::new(Expr::add(Expr::r("sx"), Expr::r("rdata_r"))),
+                els: Box::new(Expr::Concat(vec![
+                    Expr::Slice {
+                        base: Box::new(Expr::r("rdata_r")),
+                        hi: 7,
+                        lo: 0,
+                    },
+                    Expr::Slice {
+                        base: Box::new(Expr::r("wdata")),
+                        hi: 7,
+                        lo: 0,
+                    },
+                ])),
+            },
+        );
+        m.main_always().stmts.push(Stmt::If {
+            cond: Expr::r("we"),
+            then: vec![Stmt::NonBlocking {
+                lhs: LValue::MemElem {
+                    mem: "ram".into(),
+                    addr: Expr::r("waddr"),
+                },
+                rhs: Expr::r("wdata"),
+            }],
+            els: vec![Stmt::NonBlocking {
+                lhs: LValue::Net("rdata_r".into()),
+                rhs: Expr::MemRead {
+                    mem: "ram".into(),
+                    addr: Box::new(Expr::r("raddr")),
+                },
+            }],
+        });
+        let mut d = Design::new();
+        d.add(m);
+        let mut a = Simulator::new(&d, "mx").expect("build");
+        let mut b = Simulator::new(&d, "mx").expect("build");
+        a.set_engine(Engine::Bytecode);
+        b.set_engine(Engine::TreeWalk);
+        // Deterministic LCG stimulus.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for cyc in 0..500u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            for (port, width) in [("we", 1), ("waddr", 4), ("wdata", 16), ("raddr", 4)] {
+                let v = (state >> 24) & mask(width);
+                a.set(port, v);
+                b.set(port, v);
+                state = state.rotate_left(17);
+            }
+            for out in ["rdata", "sum"] {
+                assert_eq!(a.get(out), b.get(out), "net {out} at cycle {cyc}");
+            }
+            a.step().unwrap();
+            b.step().unwrap();
+        }
+        for addr in 0..16 {
+            assert_eq!(a.read_mem("ram", addr), b.read_mem("ram", addr));
+        }
+    }
+
+    #[test]
+    fn bytecode_assertion_fires_like_treewalk() {
+        let mut m = VModule::new("guarded");
+        m.port("clk", Dir::Input, 1);
+        m.port("en", Dir::Input, 1);
+        m.port("addr", Dir::Input, 8);
+        m.main_always().stmts.push(Stmt::Assert {
+            guard: Expr::r("en"),
+            cond: Expr::bin(BinOp::ULt, Expr::r("addr"), Expr::c(16, 8)),
+            message: "address out of bounds".into(),
+        });
+        let mut d = Design::new();
+        d.add(m);
+        for engine in [Engine::Bytecode, Engine::TreeWalk] {
+            let mut sim = Simulator::new(&d, "guarded").expect("build");
+            sim.set_engine(engine);
+            sim.set("en", 0);
+            sim.set("addr", 200);
+            sim.step().expect("guard off: no failure");
+            sim.set("en", 1);
+            let err = sim.step().unwrap_err();
+            assert!(err.message.contains("address out of bounds"), "{err}");
+            assert_eq!(err.cycle, 1);
+        }
     }
 
     #[test]

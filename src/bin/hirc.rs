@@ -38,6 +38,9 @@ options:
   -o PATH                  write output to PATH instead of stdout
   --sim-max-cycles=N       cycle watchdog for the smoke simulation run under
                            --stats/--profile (default 64)
+  --sim-engine=ENGINE      simulator engine for the smoke run: bytecode
+                           (default; flat compiled tapes) or treewalk (the
+                           reference expression-tree evaluator)
   --timing                 per-pass wall time and op-count deltas (stderr)
   --stats                  counter/statistic table from every stage (stderr)
   --profile=PATH           write a Chrome trace-event JSON profile to PATH
@@ -72,6 +75,7 @@ struct Options {
     crash_reproducer: Option<String>,
     error_limit: usize,
     sim_max_cycles: Option<u64>,
+    sim_engine: verilog::Engine,
     timing: bool,
     stats: bool,
     profile: Option<String>,
@@ -92,6 +96,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         crash_reproducer: None,
         error_limit: 0, // 0 = parser default
         sim_max_cycles: None,
+        sim_engine: verilog::Engine::default(),
         timing: false,
         stats: false,
         profile: None,
@@ -144,6 +149,18 @@ fn parse_args() -> Result<Option<Options>, String> {
                     n.parse::<u64>()
                         .map_err(|_| format!("--sim-max-cycles needs a number, got '{n}'"))?,
                 );
+            }
+            _ if a.starts_with("--sim-engine=") => {
+                let name = &a["--sim-engine=".len()..];
+                opts.sim_engine = match name {
+                    "bytecode" => verilog::Engine::Bytecode,
+                    "treewalk" => verilog::Engine::TreeWalk,
+                    _ => {
+                        return Err(format!(
+                            "unknown --sim-engine '{name}' (expected bytecode or treewalk)"
+                        ))
+                    }
+                };
             }
             _ if a.starts_with("--profile=") => {
                 opts.profile = Some(a["--profile=".len()..].to_string());
@@ -373,6 +390,7 @@ fn main() -> ExitCode {
             s.arg("top", &top.name).arg("cycles", cycles);
             match verilog::sim::Simulator::new(design, &top.name) {
                 Ok(mut sim) => {
+                    sim.set_engine(opts.sim_engine);
                     // The watchdog guards the run even if the step loop is
                     // ever replaced by an open-ended one.
                     sim.set_cycle_budget(Some(cycles));
