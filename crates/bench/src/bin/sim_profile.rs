@@ -1,24 +1,40 @@
 //! Compares the bytecode simulator engine against the tree-walk oracle on
 //! the generated GEMM testbench: same design, same stimulus, both engines
-//! run to completion, and the winner is reported in cycles per second.
+//! run to completion, and the winner is reported in cycles per second. The
+//! measurements are also written to `BENCH_sim_profile.json` so CI can
+//! archive engine-throughput baselines next to the pass profile.
 //!
 //! Flags:
-//!   --quick   one repetition instead of three
-//!   --n=SIZE  GEMM size (power of two, default 16)
+//!   --quick     one repetition instead of three
+//!   --n=SIZE    GEMM size (power of two, default 16)
+//!   --out=PATH  write the JSON somewhere other than the default
 
 use hir_codegen::testbench::{Harness, HarnessArg};
+use obs::json::escape;
 use std::time::Instant;
+
+const OUT_FILE: &str = "BENCH_sim_profile.json";
+
+struct EngineRun {
+    label: &'static str,
+    cycles: u64,
+    best_ns: u128,
+    cycles_per_s: f64,
+}
 
 fn main() {
     let mut reps = 3usize;
     let mut n = 16u64;
+    let mut out_file = OUT_FILE.to_string();
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             reps = 1;
         } else if let Some(v) = arg.strip_prefix("--n=") {
             n = v.parse().expect("--n=SIZE");
+        } else if let Some(path) = arg.strip_prefix("--out=") {
+            out_file = path.to_string();
         } else {
-            eprintln!("unknown flag {arg} (expected --quick, --n=)");
+            eprintln!("unknown flag {arg} (expected --quick, --n=, --out=)");
             std::process::exit(2);
         }
     }
@@ -36,30 +52,67 @@ fn main() {
     ];
     let expect = kernels::gemm::reference(n, &a, &b);
 
-    let measure = |engine: verilog::Engine, label: &str| -> f64 {
-        let mut best = f64::MAX;
+    let measure = |engine: verilog::Engine, label: &'static str| -> EngineRun {
+        let mut best = u128::MAX;
         let mut cycles = 0u64;
         for _ in 0..reps {
             let mut h = Harness::new(&design, &m, func, &args).expect("harness");
             h.set_engine(engine);
             let t0 = Instant::now();
             let report = h.run(1_000_000).expect("run");
-            best = best.min(t0.elapsed().as_secs_f64());
+            best = best.min(t0.elapsed().as_nanos());
             cycles = report.cycles;
             assert_eq!(report.mems[&2], expect, "{label}: wrong GEMM result");
         }
-        let rate = cycles as f64 / best;
-        println!("{label:<10} {cycles:>8} cycles in {best:>8.4}s  ({rate:>12.0} cycles/s)");
-        rate
+        let rate = cycles as f64 / (best as f64 / 1e9);
+        println!(
+            "{label:<10} {cycles:>8} cycles in {:>8.4}s  ({rate:>12.0} cycles/s)",
+            best as f64 / 1e9
+        );
+        EngineRun {
+            label,
+            cycles,
+            best_ns: best,
+            cycles_per_s: rate,
+        }
     };
 
-    {
+    let tape = {
         let h = Harness::new(&design, &m, func, &args).expect("harness");
         let (na, st, nal, sp, nr) = h.sim().tape_stats();
         println!("assigns {na} (settle tape {st}), always {nal} (step tape {sp}), regs {nr}");
-    }
+        (na, st, nal, sp, nr)
+    };
     println!("GEMM N={n} testbench, best of {reps}");
     let bc = measure(verilog::Engine::Bytecode, "bytecode");
     let tw = measure(verilog::Engine::TreeWalk, "tree-walk");
-    println!("speedup    {:.1}x", bc / tw);
+    let speedup = bc.cycles_per_s / tw.cycles_per_s;
+    println!("speedup    {speedup:.1}x");
+
+    let engines: Vec<String> = [&bc, &tw]
+        .iter()
+        .map(|r| {
+            format!(
+                r#"    {{"engine":"{}","cycles":{},"best_ns":{},"cycles_per_s":{:.0}}}"#,
+                escape(r.label),
+                r.cycles,
+                r.best_ns,
+                r.cycles_per_s,
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"gemm_n\": {n},\n  \"reps\": {reps},\n  \"tape\": {{\"assigns\":{},\"settle_tape\":{},\"always\":{},\"step_tape\":{},\"regs\":{}}},\n  \"engines\": [\n{}\n  ],\n  \"speedup_bytecode_vs_treewalk\": {:.2}\n}}\n",
+        tape.0,
+        tape.1,
+        tape.2,
+        tape.3,
+        tape.4,
+        engines.join(",\n"),
+        speedup,
+    );
+    // Same rule as pass_profile: prove the document parses before writing.
+    obs::json::parse(&doc).expect("generated JSON is valid");
+    std::fs::write(&out_file, &doc).expect("write profile");
+    println!("wrote {out_file}");
 }

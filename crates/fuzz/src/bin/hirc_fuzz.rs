@@ -11,7 +11,7 @@
 //! 1 means at least one crash (saved under `--save` for `hirc-reduce`);
 //! 2 means usage error.
 
-use hir_fuzz::{load_corpus, mutant, run_pipeline};
+use hir_fuzz::{load_corpus, mutant, run_pipeline_with_threads, synth_multi_func};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::process::ExitCode;
 
@@ -23,6 +23,8 @@ options:
   --corpus=DIR   directory of .mlir seed files (default examples)
   --save=DIR     write crashing inputs here (default fuzz-crashes)
   --max-mutations=N  max stacked mutations per input (default 4)
+  --threads=N    worker threads for the verify/optimize stages: a positive
+                 integer or 'max' (all cores; default 1)
   --help, -h     show this help
 ";
 
@@ -32,6 +34,7 @@ struct Options {
     corpus: String,
     save: String,
     max_mutations: usize,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
@@ -41,12 +44,25 @@ fn parse_args() -> Result<Option<Options>, String> {
         corpus: "examples".into(),
         save: "fuzz-crashes".into(),
         max_mutations: 4,
+        threads: 1,
     };
     for a in std::env::args().skip(1) {
         if let Some(v) = a.strip_prefix("--iters=") {
             opts.iters = v.parse().map_err(|_| format!("bad --iters '{v}'"))?;
         } else if let Some(v) = a.strip_prefix("--seed=") {
             opts.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            opts.threads = if v == "max" {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            } else {
+                let n: usize = v.parse().map_err(|_| format!("bad --threads '{v}'"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1 (or 'max')".into());
+                }
+                n
+            };
         } else if let Some(v) = a.strip_prefix("--corpus=") {
             opts.corpus = v.to_string();
         } else if let Some(v) = a.strip_prefix("--save=") {
@@ -86,10 +102,11 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "hirc-fuzz: {} corpus file(s), {} iterations, seed {}",
+        "hirc-fuzz: {} corpus file(s), {} iterations, seed {}, {} thread(s)",
         corpus.len(),
         opts.iters,
-        opts.seed
+        opts.seed,
+        opts.threads
     );
 
     let mut crashes: u64 = 0;
@@ -98,9 +115,17 @@ fn main() -> ExitCode {
         // Fresh RNG per iteration: any crash reproduces from (seed, iter)
         // without replaying the previous iterations.
         let mut rng = StdRng::seed_from_u64(opts.seed ^ (iter.wrapping_mul(0x9E37_79B9)));
-        let (_, base) = &corpus[rng.gen_range(0..corpus.len())];
-        let input = mutant(base, opts.max_mutations, &mut rng);
-        match run_pipeline(&input) {
+        // One iteration in four starts from a synthesized multi-function
+        // module (cross-calls, 2-8 funcs) to drive the parallel pipeline's
+        // split/splice path; the rest mutate the on-disk corpus.
+        let input = if rng.gen_bool(0.25) {
+            let base = synth_multi_func(&mut rng);
+            mutant(base.as_bytes(), opts.max_mutations, &mut rng)
+        } else {
+            let (_, base) = &corpus[rng.gen_range(0..corpus.len())];
+            mutant(base, opts.max_mutations, &mut rng)
+        };
+        match run_pipeline_with_threads(&input, opts.threads) {
             Ok(o) => {
                 let bucket = if o.codegen_ok {
                     2

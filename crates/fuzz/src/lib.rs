@@ -82,6 +82,19 @@ fn guard<T>(stage: &'static str, f: impl FnOnce() -> T) -> Result<T, PanicReport
 /// # Errors
 /// A [`PanicReport`] for the first stage whose code panics.
 pub fn run_pipeline(source: &str) -> Result<PipelineOutcome, PanicReport> {
+    run_pipeline_with_threads(source, 1)
+}
+
+/// [`run_pipeline`] with an explicit worker-thread count for the verify and
+/// optimize stages (`0` = auto), exercising the parallel per-function
+/// pipeline's split/splice path on multi-function mutants.
+///
+/// # Errors
+/// A [`PanicReport`] for the first stage whose code panics.
+pub fn run_pipeline_with_threads(
+    source: &str,
+    threads: usize,
+) -> Result<PipelineOutcome, PanicReport> {
     let mut outcome = PipelineOutcome::default();
 
     // Same front-end dispatch as hirc: pretty form vs generic form.
@@ -105,7 +118,7 @@ pub fn run_pipeline(source: &str) -> Result<PipelineOutcome, PanicReport> {
     outcome.verified = guard("verify", || {
         let mut diags = ir::DiagnosticEngine::new();
         ir::verify_module(&module, &registry, &mut diags).is_ok()
-            && hir_verify::verify_schedule(&module, &mut diags).is_ok()
+            && hir_verify::verify_schedule_with_threads(&module, &mut diags, threads).is_ok()
     })?;
 
     // Printers must handle anything the parser produced, including partially
@@ -123,9 +136,11 @@ pub fn run_pipeline(source: &str) -> Result<PipelineOutcome, PanicReport> {
     // modules that passed both verifiers.
     if outcome.verified && n_errors == 0 {
         outcome.optimized = guard("optimize", || {
-            let mut pm = hir_opt::standard_pipeline();
+            // The per-function pipeline: exercises split/splice and the
+            // worker pool on multi-function mutants.
+            let mut fp = hir_opt::standard_function_pipeline(threads);
             let mut diags = ir::DiagnosticEngine::new();
-            pm.run(&mut module, &registry, &mut diags).is_ok()
+            fp.run(&mut module, &registry, &mut diags).is_ok()
         })?;
         outcome.codegen_ok = guard("codegen", || {
             hir_codegen::generate_design(&module, &hir_codegen::CodegenOptions::default()).is_ok()
@@ -269,6 +284,50 @@ pub fn mutant(base: &[u8], rounds: usize, rng: &mut StdRng) -> String {
         data = mutate(&data, rng);
     }
     String::from_utf8_lossy(&data).into_owned()
+}
+
+// ---------------------------------------------------------------------------
+// Multi-function module synthesis
+// ---------------------------------------------------------------------------
+
+/// Synthesize a *valid* module of 2–8 functions with cross-function
+/// `hir.call`s, deterministically from `rng`.
+///
+/// The first function is an external declaration; every later function has a
+/// body that calls one randomly chosen earlier function (delays balanced with
+/// `hir.delay` so the module passes schedule verification). Seeding the
+/// mutator with these drives the per-function parallel pipeline — split,
+/// worker pool, deterministic splice/merge — instead of the single-function
+/// path the `examples/` corpus mostly covers.
+pub fn synth_multi_func(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2..9usize);
+    // delays[k] = declared result delay of function k.
+    let mut delays: Vec<u64> = Vec::with_capacity(n);
+    let mut out = String::new();
+    let d0 = rng.gen_range(1..4u64);
+    out.push_str(&format!(
+        "\"hir.func\"() {{arg_types = [i32, i32], external = unit, \
+         result_delays = [{d0} : index], result_types = [i32], \
+         sym_name = \"f0\"}} : () -> ()\n"
+    ));
+    delays.push(d0);
+    for k in 1..n {
+        // Call any earlier function; the callee's latency becomes this
+        // function's latency (the add after the call is combinational).
+        let callee = rng.gen_range(0..k);
+        let d = delays[callee];
+        out.push_str(&format!(
+            "\"hir.func\"() ({{\n\
+             ^bb(%0: i32, %1: i32, %2: i32, %3: !hir.time):\n\
+             \x20 %4 = \"hir.call\"(%0, %1, %3) {{callee = @f{callee}, offset = 0 : index}} : (i32, i32, !hir.time) -> (i32)\n\
+             \x20 %5 = \"hir.delay\"(%2, %3) {{by = {d} : index, offset = 0 : index}} : (i32, !hir.time) -> (i32)\n\
+             \x20 %6 = \"hir.add\"(%4, %5) : (i32, i32) -> (i32)\n\
+             \x20 \"hir.return\"(%6) : (i32) -> ()\n\
+             }}) {{arg_names = [\"a\", \"b\", \"c\"], result_delays = [{d} : index], sym_name = \"f{k}\"}} : () -> ()\n"
+        ));
+        delays.push(d);
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -425,6 +484,34 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let input = mutant(base, 4, &mut rng);
                 if let Err(report) = run_pipeline(&input) {
+                    panic!("seed {seed}: {report}\ninput:\n{input}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn synthesized_multi_func_modules_compile_clean() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let src = synth_multi_func(&mut rng);
+            assert!(src.matches("hir.func").count() >= 2, "seed {seed}:\n{src}");
+            assert!(src.contains("hir.call"), "seed {seed}: no cross-call");
+            let outcome = run_pipeline(&src).expect("no panic");
+            assert_eq!(outcome.parse_errors, 0, "seed {seed}:\n{src}");
+            assert!(outcome.verified, "seed {seed}:\n{src}");
+            assert!(outcome.optimized, "seed {seed}:\n{src}");
+        }
+    }
+
+    #[test]
+    fn multi_func_mutants_hold_the_contract_at_max_threads() {
+        quiet(|| {
+            for seed in 0..30u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let base = synth_multi_func(&mut rng);
+                let input = mutant(base.as_bytes(), 4, &mut rng);
+                if let Err(report) = run_pipeline_with_threads(&input, 4) {
                     panic!("seed {seed}: {report}\ninput:\n{input}");
                 }
             }

@@ -73,12 +73,14 @@ impl<T> fmt::Debug for Id<T> {
     }
 }
 
+#[derive(Clone)]
 enum Slot<T> {
     Occupied { generation: u32, data: T },
     Free { next_generation: u32 },
 }
 
 /// Generational arena. See module docs.
+#[derive(Clone)]
 pub struct Arena<T> {
     slots: Vec<Slot<T>>,
     free: Vec<u32>,

@@ -35,6 +35,7 @@ pub mod diagnostics;
 pub mod dialect;
 pub mod location;
 pub mod module;
+pub mod parallel;
 pub mod parser;
 pub mod pass;
 pub mod printer;
@@ -51,6 +52,10 @@ pub use dialect::{traits, Arity, Dialect, DialectRegistry, OpSpec};
 pub use location::Location;
 pub use module::{
     BlockId, Module, OpData, OpId, OpName, RegionId, Use, ValueData, ValueDef, ValueId,
+};
+pub use parallel::{
+    default_thread_count, resolve_thread_count, FunctionPipeline, FunctionReport, PassFactory,
+    WORKER_TID_BASE,
 };
 pub use parser::{
     parse_module, parse_module_recover, ParseError, RecoveredParse, DEFAULT_ERROR_LIMIT,

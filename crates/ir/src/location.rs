@@ -2,7 +2,7 @@
 //! HIR uses location info to map generated Verilog back to IR constructs).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A source location attached to every operation.
 #[derive(Clone, Default, PartialEq, Eq, Hash)]
@@ -11,9 +11,12 @@ pub enum Location {
     #[default]
     Unknown,
     /// `file:line:col`.
-    FileLineCol { file: Rc<str>, line: u32, col: u32 },
+    FileLineCol { file: Arc<str>, line: u32, col: u32 },
     /// A named location wrapping another (e.g. `loc("fused")`).
-    Name { name: Rc<str>, child: Rc<Location> },
+    Name {
+        name: Arc<str>,
+        child: Arc<Location>,
+    },
 }
 
 impl Location {
@@ -23,7 +26,7 @@ impl Location {
     }
 
     /// A `file:line:col` location.
-    pub fn file_line_col(file: impl Into<Rc<str>>, line: u32, col: u32) -> Self {
+    pub fn file_line_col(file: impl Into<Arc<str>>, line: u32, col: u32) -> Self {
         Location::FileLineCol {
             file: file.into(),
             line,
@@ -32,10 +35,10 @@ impl Location {
     }
 
     /// Wrap a location with a name.
-    pub fn named(name: impl Into<Rc<str>>, child: Location) -> Self {
+    pub fn named(name: impl Into<Arc<str>>, child: Location) -> Self {
         Location::Name {
             name: name.into(),
-            child: Rc::new(child),
+            child: Arc::new(child),
         }
     }
 

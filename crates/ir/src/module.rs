@@ -16,7 +16,7 @@ use crate::location::Location;
 use crate::types::Type;
 use std::cell::{Cell, RefCell};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Id of an operation.
 pub type OpId = Id<OpData>;
@@ -29,11 +29,11 @@ pub type RegionId = Id<RegionData>;
 
 /// Fully-qualified operation name, e.g. `hir.for`.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct OpName(Rc<str>);
+pub struct OpName(Arc<str>);
 
 impl OpName {
     pub fn new(full: impl AsRef<str>) -> Self {
-        OpName(Rc::from(full.as_ref()))
+        OpName(Arc::from(full.as_ref()))
     }
 
     /// The full `dialect.op` string.
@@ -85,7 +85,7 @@ pub struct Use {
 }
 
 /// Payload of an SSA value.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ValueData {
     ty: Type,
     def: ValueDef,
@@ -105,7 +105,7 @@ impl ValueData {
 }
 
 /// Payload of an operation.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct OpData {
     name: OpName,
     operands: Vec<ValueId>,
@@ -145,7 +145,7 @@ impl OpData {
 }
 
 /// Payload of a block.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct BlockData {
     args: Vec<ValueId>,
     ops: Vec<OpId>,
@@ -165,7 +165,7 @@ impl BlockData {
 }
 
 /// Payload of a region.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RegionData {
     blocks: Vec<BlockId>,
     parent: OpId,
@@ -198,7 +198,7 @@ impl RegionData {
 /// m.push_top(c);
 /// assert_eq!(m.op(c).results().len(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Module {
     ops: Arena<OpData>,
     values: Arena<ValueData>,
@@ -610,6 +610,144 @@ impl Module {
         self.regions.erase(region);
     }
 
+    // ------------------------------------------------------- extract/splice
+
+    /// Deep-clone the op tree rooted at `root` of `src` into this module,
+    /// returning the new (detached) root op id.
+    ///
+    /// The tree must be *isolated from above*: every operand must be defined
+    /// by an op or block argument inside the tree (HIR functions satisfy
+    /// this; cross-function references go through symbol attributes). This is
+    /// the primitive behind [`Module::split_top`] / [`Module::splice_top`],
+    /// which hand whole functions to pass-pipeline worker threads as owned
+    /// sub-modules with their own layout-stamp caches.
+    ///
+    /// # Panics
+    /// Panics if an operand of a cloned op is defined outside the tree.
+    pub fn clone_op_from(&mut self, src: &Module, root: OpId) -> OpId {
+        self.bump_layout();
+        let mut value_map: std::collections::HashMap<ValueId, ValueId> =
+            std::collections::HashMap::new();
+        let mut pairs: Vec<(OpId, OpId)> = Vec::new();
+        let new_root = self.clone_structure(src, root, None, &mut value_map, &mut pairs);
+        // Second pass: operands may reference results of ops cloned later in
+        // the same region (use-before-def across blocks), so the whole tree's
+        // values must exist before any operand list is resolved.
+        for (s, d) in pairs {
+            let operands: Vec<ValueId> = src
+                .op(s)
+                .operands()
+                .iter()
+                .map(|v| {
+                    *value_map
+                        .get(v)
+                        .expect("cloned op tree is not isolated from above")
+                })
+                .collect();
+            for (i, &v) in operands.iter().enumerate() {
+                self.values.get_mut(v).uses.push(Use {
+                    op: d,
+                    operand_index: i,
+                });
+            }
+            self.ops.get_mut(d).operands = operands;
+        }
+        new_root
+    }
+
+    /// First clone pass: ops, results, regions, blocks and block arguments,
+    /// recording old→new value mappings. Operands stay empty until pass two.
+    fn clone_structure(
+        &mut self,
+        src: &Module,
+        op: OpId,
+        parent: Option<BlockId>,
+        value_map: &mut std::collections::HashMap<ValueId, ValueId>,
+        pairs: &mut Vec<(OpId, OpId)>,
+    ) -> OpId {
+        let sd = src.op(op);
+        let name = sd.name().clone();
+        let attrs = sd.attrs().clone();
+        let loc = sd.loc().clone();
+        let id = self.ops.alloc(OpData {
+            name,
+            operands: Vec::new(),
+            results: Vec::new(),
+            attrs,
+            regions: Vec::new(),
+            loc,
+            parent,
+        });
+        let results: Vec<ValueId> = src
+            .op(op)
+            .results()
+            .iter()
+            .enumerate()
+            .map(|(index, &r)| {
+                let nv = self.values.alloc(ValueData {
+                    ty: src.value(r).ty().clone(),
+                    def: ValueDef::OpResult { op: id, index },
+                    uses: Vec::new(),
+                });
+                value_map.insert(r, nv);
+                nv
+            })
+            .collect();
+        self.ops.get_mut(id).results = results;
+        pairs.push((op, id));
+        for &r in src.op(op).regions() {
+            let nr = self.add_region(id);
+            for &b in src.region(r).blocks() {
+                let arg_types: Vec<Type> = src
+                    .block(b)
+                    .args()
+                    .iter()
+                    .map(|&a| src.value(a).ty().clone())
+                    .collect();
+                let nb = self.add_block(nr, arg_types);
+                for (&old, &new) in src.block(b).args().iter().zip(self.block(nb).args()) {
+                    value_map.insert(old, new);
+                }
+                for &o in src.block(b).ops() {
+                    let no = self.clone_structure(src, o, Some(nb), value_map, pairs);
+                    self.blocks.get_mut(nb).ops.push(no);
+                }
+            }
+        }
+        id
+    }
+
+    /// Split each top-level op into its own freshly-arena'd module, in
+    /// module order. Sub-modules are `Send`, own all their storage, and carry
+    /// fresh layout-stamp caches, so a worker pool can run pass pipelines
+    /// over them concurrently with no shared state.
+    pub fn split_top(&self) -> Vec<Module> {
+        self.top
+            .iter()
+            .map(|&t| {
+                let mut sub = Module::new();
+                let op = sub.clone_op_from(self, t);
+                sub.top.push(op);
+                sub
+            })
+            .collect()
+    }
+
+    /// Rebuild a module from per-function sub-modules, splicing every
+    /// sub-module's top-level ops back in slice order. Inverse of
+    /// [`Module::split_top`] (up to arena ids; the printed form is
+    /// identical because value names are assigned positionally).
+    pub fn splice_top(subs: &[Module]) -> Module {
+        let mut m = Module::new();
+        for sub in subs {
+            for &t in sub.top_ops() {
+                let op = m.clone_op_from(sub, t);
+                m.top.push(op);
+            }
+        }
+        m
+    }
+
     // ----------------------------------------------------------------- walk
 
     /// Pre-order walk of `root` and every op nested in its regions.
@@ -679,6 +817,13 @@ impl Module {
         }
     }
 }
+
+/// Compile-time proof that modules (and thus per-function sub-modules) can
+/// move to pass-pipeline worker threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Module>()
+};
 
 #[cfg(test)]
 mod tests {
@@ -977,6 +1122,133 @@ mod tests {
         assert!(!m.is_ancestor(leaf, f));
         assert_eq!(m.enclosing_op(leaf, "t.func"), Some(f));
         assert_eq!(m.enclosing_op(leaf, "t.other"), None);
+    }
+
+    /// A two-function module with bodies, block args, nested regions and
+    /// operand chains, for clone/split/splice tests.
+    fn two_func_module() -> Module {
+        let mut m = mk();
+        for fname in ["alpha", "beta"] {
+            let f = m.create_op(
+                "t.func",
+                vec![],
+                vec![],
+                [(
+                    crate::symbol::SYM_NAME.to_string(),
+                    Attribute::string(fname),
+                )]
+                .into_iter()
+                .collect(),
+                Location::file_line_col("split.mlir", 1, 1),
+            );
+            let r = m.add_region(f);
+            let b = m.add_block(r, vec![Type::int(32)]);
+            let arg = m.block(b).args()[0];
+            let c = m.create_op(
+                "t.const",
+                vec![],
+                vec![Type::int(32)],
+                AttrMap::new(),
+                Location::unknown(),
+            );
+            m.append_op(b, c);
+            let cv = m.op(c).results()[0];
+            let add = m.create_op(
+                "t.add",
+                vec![arg, cv],
+                vec![Type::int(32)],
+                AttrMap::new(),
+                Location::unknown(),
+            );
+            m.append_op(b, add);
+            let loop_op = m.create_op(
+                "t.loop",
+                vec![m.op(add).results()[0]],
+                vec![],
+                AttrMap::new(),
+                Location::unknown(),
+            );
+            let lr = m.add_region(loop_op);
+            let lb = m.add_block(lr, vec![Type::index()]);
+            let use_outer = m.create_op(
+                "t.use",
+                vec![cv, m.block(lb).args()[0]],
+                vec![],
+                AttrMap::new(),
+                Location::unknown(),
+            );
+            m.append_op(lb, use_outer);
+            m.append_op(b, loop_op);
+            m.push_top(f);
+        }
+        m
+    }
+
+    #[test]
+    fn split_splice_roundtrips_printed_form() {
+        let m = two_func_module();
+        let subs = m.split_top();
+        assert_eq!(subs.len(), 2);
+        for sub in &subs {
+            assert_eq!(sub.top_ops().len(), 1);
+        }
+        let merged = Module::splice_top(&subs);
+        assert_eq!(
+            crate::printer::print_module(&m),
+            crate::printer::print_module(&merged)
+        );
+        assert_eq!(m.op_count(), merged.op_count());
+    }
+
+    #[test]
+    fn clone_op_from_rebuilds_use_def_chains() {
+        let m = two_func_module();
+        let mut dst = mk();
+        let root = dst.clone_op_from(&m, m.top_ops()[0]);
+        dst.push_top(root);
+        // Every operand in the clone must be a live value whose use list
+        // points back at the using op.
+        for op in dst.collect_ops(root) {
+            for (i, &v) in dst.op(op).operands().iter().enumerate() {
+                assert!(dst
+                    .value(v)
+                    .uses()
+                    .iter()
+                    .any(|u| u.op == op && u.operand_index == i));
+            }
+        }
+        // Mutating the clone leaves the source untouched.
+        let ops = dst.collect_ops(root);
+        let last = *ops.last().unwrap();
+        dst.detach_op(last);
+        dst.erase_op(last);
+        assert_eq!(m.op_count(), 2 * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated from above")]
+    fn clone_non_isolated_tree_panics() {
+        let mut m = mk();
+        let c = m.create_op(
+            "t.const",
+            vec![],
+            vec![Type::int(32)],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.push_top(c);
+        let v = m.op(c).results()[0];
+        let user = m.create_op(
+            "t.use",
+            vec![v],
+            vec![],
+            AttrMap::new(),
+            Location::unknown(),
+        );
+        m.push_top(user);
+        let mut dst = mk();
+        // `user` references a value defined outside its own tree.
+        dst.clone_op_from(&m, user);
     }
 
     #[test]

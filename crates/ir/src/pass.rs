@@ -434,64 +434,70 @@ impl PassManager {
     /// Render the last `run` as an aligned table: per-pass wall time, live
     /// op-count delta, and result, with a `total` footer row.
     pub fn timing_report(&self) -> String {
-        let name_w = self
-            .timings
-            .iter()
-            .map(|t| t.name.len())
-            .max()
-            .unwrap_or(4)
-            .max("total".len());
-        let mut rows: Vec<(String, String, String, String)> = self
-            .timings
-            .iter()
-            .map(|t| {
-                (
-                    t.name.clone(),
-                    obs::format_duration_ns(t.duration.as_nanos() as u64),
-                    format_delta(t.op_delta()),
-                    t.result.label().to_string(),
-                )
-            })
-            .collect();
-        let total_delta: i64 = self.timings.iter().map(PassTiming::op_delta).sum();
-        let total = (
-            "total".to_string(),
-            obs::format_duration_ns(self.total_time().as_nanos() as u64),
-            format_delta(total_delta),
-            String::new(),
-        );
-        let time_w = rows
-            .iter()
-            .map(|r| r.1.len())
-            .chain([total.1.len(), "time".len()])
-            .max()
-            .unwrap();
-        let delta_w = rows
-            .iter()
-            .map(|r| r.2.len())
-            .chain([total.2.len(), "Δops".chars().count()])
-            .max()
-            .unwrap();
-        rows.push(total);
-
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{:<name_w$}  {:>time_w$}  {:>delta_w$}  result\n",
-            "pass", "time", "Δops",
-        ));
-        let rule_len = name_w + time_w + delta_w + 12;
-        out.push_str(&format!("{}\n", "-".repeat(rule_len)));
-        let n = rows.len();
-        for (i, (name, time, delta, result)) in rows.into_iter().enumerate() {
-            if i + 1 == n {
-                out.push_str(&format!("{}\n", "-".repeat(rule_len)));
-            }
-            let line = format!("{name:<name_w$}  {time:>time_w$}  {delta:>delta_w$}  {result}");
-            out.push_str(line.trim_end());
-            out.push('\n');
-        }
-        out
+        render_timing_report(&self.timings)
     }
+}
+
+/// Render a timing table for any pipeline (serial [`PassManager`] or the
+/// parallel function pipeline): per-pass wall time, live op-count delta, and
+/// result, with a `total` footer row.
+pub fn render_timing_report(timings: &[PassTiming]) -> String {
+    let name_w = timings
+        .iter()
+        .map(|t| t.name.len())
+        .max()
+        .unwrap_or(4)
+        .max("total".len());
+    let mut rows: Vec<(String, String, String, String)> = timings
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                obs::format_duration_ns(t.duration.as_nanos() as u64),
+                format_delta(t.op_delta()),
+                t.result.label().to_string(),
+            )
+        })
+        .collect();
+    let total_delta: i64 = timings.iter().map(PassTiming::op_delta).sum();
+    let total_time: Duration = timings.iter().map(|t| t.duration).sum();
+    let total = (
+        "total".to_string(),
+        obs::format_duration_ns(total_time.as_nanos() as u64),
+        format_delta(total_delta),
+        String::new(),
+    );
+    let time_w = rows
+        .iter()
+        .map(|r| r.1.len())
+        .chain([total.1.len(), "time".len()])
+        .max()
+        .unwrap();
+    let delta_w = rows
+        .iter()
+        .map(|r| r.2.len())
+        .chain([total.2.len(), "Δops".chars().count()])
+        .max()
+        .unwrap();
+    rows.push(total);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>time_w$}  {:>delta_w$}  result\n",
+        "pass", "time", "Δops",
+    ));
+    let rule_len = name_w + time_w + delta_w + 12;
+    out.push_str(&format!("{}\n", "-".repeat(rule_len)));
+    let n = rows.len();
+    for (i, (name, time, delta, result)) in rows.into_iter().enumerate() {
+        if i + 1 == n {
+            out.push_str(&format!("{}\n", "-".repeat(rule_len)));
+        }
+        let line = format!("{name:<name_w$}  {time:>time_w$}  {delta:>delta_w$}  {result}");
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
 }
 
 /// Extract a human-readable message from a `catch_unwind` payload.

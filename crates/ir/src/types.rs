@@ -5,12 +5,12 @@
 //! mnemonic, and a list of [`Attribute`] parameters; dialects (such as HIR)
 //! layer typed accessors on top.
 //!
-//! [`Type`] is a cheap handle (`Rc` internally) with structural equality, so
+//! [`Type`] is a cheap handle (`Arc` internally) with structural equality, so
 //! it can be cloned freely and used as a map key.
 
 use crate::attributes::Attribute;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Signedness of an integer type.
 ///
@@ -74,12 +74,12 @@ pub enum TypeKind {
 
 /// A handle to a type. Cheap to clone; equality is structural.
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Type(Rc<TypeKind>);
+pub struct Type(Arc<TypeKind>);
 
 impl Type {
     /// Create a type from a raw [`TypeKind`].
     pub fn from_kind(kind: TypeKind) -> Self {
-        Type(Rc::new(kind))
+        Type(Arc::new(kind))
     }
 
     /// Signless integer of the given width.

@@ -10,10 +10,14 @@ use crate::SpanRecord;
 
 /// Serialize spans as a Chrome trace-event JSON document.
 ///
-/// Tracks are assigned thread ids in order of first appearance; every track
-/// gets a `thread_name` metadata record so viewers show stage names instead
-/// of numeric tids. Timestamps are microseconds with nanosecond precision
-/// kept in the fraction.
+/// By default tracks are assigned `pid` 1 and thread ids in order of first
+/// appearance. A track whose spans carry an explicit
+/// [`SpanRecord::pid_tid`] (see [`crate::SpanGuard::pid_tid`]) uses that id
+/// instead — the first pinned span seen wins for the whole track — which is
+/// how pass-pipeline worker threads each get their own named row. Every
+/// track gets a `thread_name` metadata record so viewers show stage/worker
+/// names instead of numeric tids. Timestamps are microseconds with
+/// nanosecond precision kept in the fraction.
 pub fn chrome_trace(spans: &[SpanRecord]) -> String {
     let mut tracks: Vec<&str> = Vec::new();
     for s in spans {
@@ -21,13 +25,22 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
             tracks.push(&s.track);
         }
     }
-    let tid = |track: &str| tracks.iter().position(|t| *t == track).unwrap() + 1;
+    let ids: Vec<(u32, u32)> = tracks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            spans
+                .iter()
+                .find_map(|s| (s.track == **t).then_some(s.pid_tid).flatten())
+                .unwrap_or((1, i as u32 + 1))
+        })
+        .collect();
+    let id_of = |track: &str| ids[tracks.iter().position(|t| *t == track).unwrap()];
 
     let mut events: Vec<String> = Vec::new();
-    for (i, t) in tracks.iter().enumerate() {
+    for (t, (pid, tid)) in tracks.iter().zip(&ids) {
         events.push(format!(
-            r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"{}"}}}}"#,
-            i + 1,
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
             escape(t)
         ));
     }
@@ -43,13 +56,13 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
             }
             args.push_str(&format!(r#""{}":"{}""#, escape(k), escape(v)));
         }
+        let (pid, tid) = id_of(&s.track);
         events.push(format!(
-            r#"{{"name":"{}","cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":1,"tid":{},"args":{{{}}}}}"#,
+            r#"{{"name":"{}","cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":{pid},"tid":{tid},"args":{{{}}}}}"#,
             escape(&s.name),
             escape(&s.track),
             s.start_ns as f64 / 1e3,
             s.dur_ns as f64 / 1e3,
-            tid(&s.track),
             args
         ));
     }
@@ -73,6 +86,7 @@ mod tests {
             dur_ns,
             depth: 0,
             args: vec![("k".into(), "v\"1".into())],
+            pid_tid: None,
         }
     }
 
@@ -124,5 +138,76 @@ mod tests {
     fn empty_trace_is_valid_json() {
         let doc = json::parse(&chrome_trace(&[])).unwrap();
         assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn default_tracks_keep_sequential_tids() {
+        // Regression: with no explicit ids the old one-track-per-stage
+        // numbering (pid 1, tids 1..) must be preserved exactly.
+        let spans = vec![
+            record("parse", "parse file", 0, 1_000),
+            record("opt", "pass cse", 2_000, 500),
+        ];
+        let text = chrome_trace(&spans);
+        let doc = json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        for e in events {
+            assert_eq!(e.get("pid").unwrap().as_f64(), Some(1.0));
+        }
+        let tid_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && e.get("name").unwrap().as_str() == Some(name)
+                })
+                .unwrap()
+                .get("tid")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert_eq!(tid_of("parse file"), 1.0);
+        assert_eq!(tid_of("pass cse"), 2.0);
+    }
+
+    #[test]
+    fn explicit_pid_tid_pins_the_whole_track() {
+        let mut w0 = record("worker 0", "@gemm pipeline", 0, 900);
+        w0.pid_tid = Some((1, 1001));
+        // A nested pass span on the same track without an explicit id still
+        // inherits the worker's pinned tid.
+        let inner = record("worker 0", "pass hir-cse", 100, 200);
+        let auto = record("opt", "pass fold", 2_000, 100);
+        let text = chrome_trace(&[w0, inner, auto]);
+        let doc = json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let span_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        let tid_of = |name: &str| {
+            span_events
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(name))
+                .unwrap()
+                .get("tid")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert_eq!(tid_of("@gemm pipeline"), 1001.0);
+        assert_eq!(tid_of("pass hir-cse"), 1001.0);
+        assert_eq!(tid_of("pass fold"), 2.0, "auto track keeps its position");
+        // The worker track's thread_name metadata carries the pinned tid.
+        let meta = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("M")
+                    && e.get("args").and_then(|a| a.get("name")).unwrap().as_str()
+                        == Some("worker 0")
+            })
+            .unwrap();
+        assert_eq!(meta.get("tid").unwrap().as_f64(), Some(1001.0));
     }
 }

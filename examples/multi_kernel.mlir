@@ -1,0 +1,26 @@
+// Multi-kernel module: four functions with cross-function calls, used by
+// the CI determinism job to check that hirc --threads=1 and --threads=4
+// produce byte-identical IR and diagnostics, and by the fuzz corpus to
+// seed multi-function mutants.
+"hir.func"() {arg_types = [i32, i32], external = unit, result_delays = [2 : index], result_types = [i32], sym_name = "mult"} : () -> ()
+"hir.func"() ({
+^bb(%0: i32, %1: i32, %2: i32, %3: !hir.time):
+  %4 = "hir.call"(%0, %1, %3) {callee = @mult, offset = 0 : index} : (i32, i32, !hir.time) -> (i32)
+  %5 = "hir.delay"(%2, %3) {by = 2 : index, offset = 0 : index} : (i32, !hir.time) -> (i32)
+  %6 = "hir.add"(%4, %5) : (i32, i32) -> (i32)
+  "hir.return"(%6) : (i32) -> ()
+}) {arg_names = ["a", "b", "c"], result_delays = [2 : index], sym_name = "mac0"} : () -> ()
+"hir.func"() ({
+^bb(%0: i32, %1: i32, %2: i32, %3: !hir.time):
+  %4 = "hir.call"(%0, %1, %2, %3) {callee = @mac0, offset = 0 : index} : (i32, i32, i32, !hir.time) -> (i32)
+  %5 = "hir.delay"(%2, %3) {by = 2 : index, offset = 0 : index} : (i32, !hir.time) -> (i32)
+  %6 = "hir.add"(%4, %5) : (i32, i32) -> (i32)
+  "hir.return"(%6) : (i32) -> ()
+}) {arg_names = ["a", "b", "c"], result_delays = [2 : index], sym_name = "mac1"} : () -> ()
+"hir.func"() ({
+^bb(%0: i32, %1: i32, %2: i32, %3: !hir.time):
+  %4 = "hir.call"(%1, %0, %3) {callee = @mult, offset = 0 : index} : (i32, i32, !hir.time) -> (i32)
+  %5 = "hir.delay"(%0, %3) {by = 2 : index, offset = 0 : index} : (i32, !hir.time) -> (i32)
+  %6 = "hir.add"(%4, %5) : (i32, i32) -> (i32)
+  "hir.return"(%6) : (i32) -> ()
+}) {arg_names = ["a", "b", "c"], result_delays = [2 : index], sym_name = "mac2"} : () -> ()

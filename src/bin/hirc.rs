@@ -28,6 +28,11 @@ const USAGE: &str = "usage: hirc <input.mlir> [options]
 options:
   --opt                    run the standard optimization pipeline
   --pipeline=a,b,c         run an explicit comma-separated pass pipeline
+  --threads=N              worker threads for the per-function pass pipeline
+                           and schedule verification: a positive integer or
+                           'max' (all cores). Default: HIRC_THREADS if set
+                           to a positive integer, else all available cores.
+                           Output is byte-identical at every thread count.
   --verify-only            stop after verification
   --verify-each            re-verify the module after every pass
   --crash-reproducer=PATH  on pass panic or verifier failure, write an
@@ -70,6 +75,7 @@ struct Options {
     emit: String,
     optimize: bool,
     pipeline: Option<Vec<String>>,
+    threads: usize,
     verify_only: bool,
     verify_each: bool,
     crash_reproducer: Option<String>,
@@ -91,6 +97,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         emit: "verilog".into(),
         optimize: false,
         pipeline: None,
+        threads: 0, // 0 = auto (HIRC_THREADS, then available cores)
         verify_only: false,
         verify_each: false,
         crash_reproducer: None,
@@ -126,6 +133,22 @@ fn parse_args() -> Result<Option<Options>, String> {
                     return Err("--pipeline needs at least one pass name".into());
                 }
                 opts.pipeline = Some(names);
+            }
+            _ if a.starts_with("--threads=") => {
+                let n = &a["--threads=".len()..];
+                opts.threads = if n == "max" {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                } else {
+                    let v = n.parse::<usize>().map_err(|_| {
+                        format!("--threads needs a positive integer or 'max', got '{n}'")
+                    })?;
+                    if v == 0 {
+                        return Err("--threads must be at least 1 (or 'max')".into());
+                    }
+                    v
+                };
             }
             _ if a.starts_with("--crash-reproducer=") => {
                 let path = &a["--crash-reproducer=".len()..];
@@ -278,7 +301,7 @@ fn main() -> ExitCode {
     let verify_failed = {
         let _s = obs::span_in("verify", "verify module");
         ir::verify_module(&module, &registry, &mut diags).is_err()
-            || hir_verify::verify_schedule(&module, &mut diags).is_err()
+            || hir_verify::verify_schedule_with_threads(&module, &mut diags, opts.threads).is_err()
     };
     if verify_failed {
         eprintln!("{}", diags.render());
@@ -287,40 +310,58 @@ fn main() -> ExitCode {
     let t_verify = t0.elapsed();
 
     // Pipeline selection: an explicit --pipeline wins, then a reproducer's
-    // recorded pipeline, then the standard pipeline under --opt.
+    // recorded pipeline, then the standard pipeline under --opt. The passes
+    // run through the per-function parallel pipeline unless --print-ir-*-all
+    // asks for the serial pass manager's instrumentation hooks.
     let explicit = opts.pipeline.clone().or(reproducer_pipeline);
     let run_passes = opts.optimize || explicit.is_some();
+    let serial = opts.print_ir_before_all || opts.print_ir_after_all;
     let t0 = std::time::Instant::now();
-    let mut pm = match &explicit {
-        Some(names) => match hir_opt::pipeline_from_names(names) {
-            Ok(pm) => pm,
-            Err(e) => {
-                eprintln!("hirc: {e}");
-                return ExitCode::from(EXIT_USAGE);
-            }
-        },
-        None => hir_opt::standard_pipeline(),
-    };
-    pm.verify_each = opts.verify_each;
-    pm.crash_reproducer = opts.crash_reproducer.clone().map(Into::into);
-    if opts.print_ir_before_all || opts.print_ir_after_all {
+    let mut pipeline = if serial {
+        let mut pm = match &explicit {
+            Some(names) => match hir_opt::pipeline_from_names(names) {
+                Ok(pm) => pm,
+                Err(e) => {
+                    eprintln!("hirc: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            None => hir_opt::standard_pipeline(),
+        };
+        pm.verify_each = opts.verify_each;
+        pm.crash_reproducer = opts.crash_reproducer.clone().map(Into::into);
         pm.add_instrumentation(ir::IrPrintInstrumentation::to_stderr(
             opts.print_ir_before_all,
             opts.print_ir_after_all,
         ));
-    }
+        Pipeline::Serial(pm)
+    } else {
+        let mut fp = match &explicit {
+            Some(names) => match hir_opt::function_pipeline_from_names(names, opts.threads) {
+                Ok(fp) => fp,
+                Err(e) => {
+                    eprintln!("hirc: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            None => hir_opt::standard_function_pipeline(opts.threads),
+        };
+        fp.verify_each = opts.verify_each;
+        fp.crash_reproducer = opts.crash_reproducer.clone().map(Into::into);
+        Pipeline::PerFunction(fp)
+    };
     if run_passes {
         let mut opt_diags = ir::DiagnosticEngine::new();
         let run = {
             let _s = obs::span_in("opt", "optimization pipeline");
-            pm.run(&mut module, &registry, &mut opt_diags)
+            pipeline.run(&mut module, &registry, &mut opt_diags)
         };
         if !opt_diags.diagnostics().is_empty() {
             eprintln!("{}", opt_diags.render());
         }
         if let Err(err) = run {
             eprintln!("hirc: {err}");
-            if let Some(path) = pm.reproducer_path() {
+            if let Some(path) = pipeline.reproducer_path() {
                 eprintln!("hirc: crash reproducer written to {}", path.display());
             }
             let code = if err.is_internal() {
@@ -332,7 +373,7 @@ fn main() -> ExitCode {
         }
         // Re-verify: passes must preserve schedule validity.
         let mut diags = ir::DiagnosticEngine::new();
-        if hir_verify::verify_schedule(&module, &mut diags).is_err() {
+        if hir_verify::verify_schedule_with_threads(&module, &mut diags, opts.threads).is_err() {
             eprintln!("hirc: internal error — optimized module fails verification:");
             eprintln!("{}", diags.render());
             return ExitCode::from(EXIT_INTERNAL);
@@ -348,7 +389,7 @@ fn main() -> ExitCode {
             t_verify,
             t_opt,
             std::time::Duration::ZERO,
-            &pm,
+            &pipeline,
         );
     }
 
@@ -413,7 +454,50 @@ fn main() -> ExitCode {
         eprintln!("hirc: {e}");
         return ExitCode::from(EXIT_DIAGNOSTICS);
     }
-    finish(&opts, t_parse, t_verify, t_opt, t_emit, &pm)
+    finish(&opts, t_parse, t_verify, t_opt, t_emit, &pipeline)
+}
+
+/// The driver's pass-running strategy: the serial [`ir::PassManager`] when
+/// `--print-ir-*-all` instrumentation is requested, otherwise the parallel
+/// per-function [`ir::FunctionPipeline`].
+enum Pipeline {
+    Serial(ir::PassManager),
+    PerFunction(ir::FunctionPipeline),
+}
+
+impl Pipeline {
+    fn run(
+        &mut self,
+        module: &mut ir::Module,
+        registry: &ir::DialectRegistry,
+        diags: &mut ir::DiagnosticEngine,
+    ) -> Result<(), ir::PipelineError> {
+        match self {
+            Pipeline::Serial(pm) => pm.run(module, registry, diags),
+            Pipeline::PerFunction(fp) => fp.run(module, registry, diags),
+        }
+    }
+
+    fn reproducer_path(&self) -> Option<&std::path::Path> {
+        match self {
+            Pipeline::Serial(pm) => pm.reproducer_path(),
+            Pipeline::PerFunction(fp) => fp.reproducer_path(),
+        }
+    }
+
+    fn timings_empty(&self) -> bool {
+        match self {
+            Pipeline::Serial(pm) => pm.timings().is_empty(),
+            Pipeline::PerFunction(fp) => fp.timings().is_empty(),
+        }
+    }
+
+    fn timing_report(&self) -> String {
+        match self {
+            Pipeline::Serial(pm) => pm.timing_report(),
+            Pipeline::PerFunction(fp) => fp.timing_report(),
+        }
+    }
 }
 
 /// Render the requested reports (timing, stats, profile) and exit.
@@ -423,14 +507,14 @@ fn finish(
     t_verify: std::time::Duration,
     t_opt: std::time::Duration,
     t_emit: std::time::Duration,
-    pm: &ir::PassManager,
+    pipeline: &Pipeline,
 ) -> ExitCode {
     if opts.timing {
         eprintln!(
             "hirc timing: parse {t_parse:?}, verify {t_verify:?}, optimize {t_opt:?}, emit {t_emit:?}"
         );
-        if !pm.timings().is_empty() {
-            eprint!("{}", pm.timing_report());
+        if !pipeline.timings_empty() {
+            eprint!("{}", pipeline.timing_report());
         }
     }
     if opts.stats {

@@ -260,7 +260,7 @@ fn profile_emits_valid_chrome_trace_with_one_span_per_pass() {
 #[test]
 fn checked_in_example_mlir_files_compile() {
     let root = env!("CARGO_MANIFEST_DIR");
-    for name in ["transpose", "mac", "stencil"] {
+    for name in ["transpose", "mac", "stencil", "multi_kernel"] {
         let out = hirc()
             .arg(format!("{root}/examples/{name}.mlir"))
             .arg("--opt")
@@ -272,6 +272,40 @@ fn checked_in_example_mlir_files_compile() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
+}
+
+#[test]
+fn threads_flag_is_byte_identical_across_counts() {
+    // The multi-kernel example has four functions; compiling it at any
+    // worker count must produce byte-identical output on both streams.
+    let root = env!("CARGO_MANIFEST_DIR");
+    let input = format!("{root}/examples/multi_kernel.mlir");
+    let run = |threads: &str| {
+        let out = hirc()
+            .arg(&input)
+            .arg("--opt")
+            .arg("--verify-each")
+            .arg("--emit=ir")
+            .arg(format!("--threads={threads}"))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--threads={threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.stdout, out.stderr)
+    };
+    let base = run("1");
+    for threads in ["2", "4", "max"] {
+        assert_eq!(run(threads), base, "--threads={threads} diverged");
+    }
+
+    // Bad values are usage errors.
+    let out = hirc().arg(&input).arg("--threads=0").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = hirc().arg(&input).arg("--threads=lots").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
@@ -351,10 +385,20 @@ fn panicking_pass_writes_reproducer_that_retriggers_the_crash() {
     assert!(err.contains("pass 'test-panic' panicked"), "{err}");
     assert!(err.contains("crash reproducer written"), "{err}");
 
-    // ...and the reproducer file records IR + the remaining pipeline.
+    // ...and the reproducer file records the failing function's
+    // pre-pipeline IR plus the full pipeline (the snapshot is taken before
+    // any pass runs on that function, so the whole pipeline replays).
     let text = std::fs::read_to_string(&repro).unwrap();
     let parsed = ir::parse_reproducer(&text).expect("reproducer header");
-    assert_eq!(parsed.pipeline, vec!["test-panic", "hir-canonicalize"]);
+    assert_eq!(
+        parsed.pipeline,
+        vec!["hir-cse", "test-panic", "hir-canonicalize"]
+    );
+    assert!(
+        parsed.error.contains("function '@transpose'"),
+        "reproducer must name the failing function: {}",
+        parsed.error
+    );
 
     // Feeding the reproducer back re-triggers the recorded crash (exit 3).
     let out = hirc().arg(&repro).arg("--emit=ir").output().unwrap();
