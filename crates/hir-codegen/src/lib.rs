@@ -25,7 +25,10 @@
 //! (out-of-bounds indices, same-port conflicts), which [`verilog::Simulator`]
 //! enforces during RTL simulation.
 
+pub mod resources;
 pub mod testbench;
+
+pub use resources::{FuncResources, ResourceReport};
 
 use hir::dialect::opname;
 use hir::ops::{
@@ -82,8 +85,21 @@ pub fn module_name(func: &str) -> String {
 /// Fails on constructs the generator cannot lower (e.g. dynamic distributed
 /// indices), which the verifier rejects first in normal pipelines.
 pub fn generate_design(m: &Module, options: &CodegenOptions) -> Result<Design> {
+    generate_design_with_report(m, options).map(|(design, _)| design)
+}
+
+/// Like [`generate_design`], but also returns the hardware resource report
+/// tallied during emission (`hirc --resource-report`).
+///
+/// # Errors
+/// Same failure modes as [`generate_design`].
+pub fn generate_design_with_report(
+    m: &Module,
+    options: &CodegenOptions,
+) -> Result<(Design, ResourceReport)> {
     let _span = obs::span("generate_design");
     let mut design = Design::new();
+    let mut report = ResourceReport::default();
     for &top in m.top_ops() {
         let Some(func) = FuncOp::wrap(m, top) else {
             continue;
@@ -91,15 +107,129 @@ pub fn generate_design(m: &Module, options: &CodegenOptions) -> Result<Design> {
         if func.is_external(m) {
             continue; // provided as a blackbox by the environment
         }
-        let vm = generate_func(m, func, options)?;
+        let (vm, res) = generate_func_with_resources(m, func, options)?;
         obs::counter_add("codegen", "modules", 1);
         obs::counter_add("codegen", "nets", vm.nets.len() as u64);
         obs::counter_add("codegen", "memories", vm.memories.len() as u64);
         obs::counter_add("codegen", "instances", vm.instances.len() as u64);
         obs::counter_add("codegen", "assigns", vm.assigns.len() as u64);
         design.add(vm);
+        report.functions.push(res);
     }
-    Ok(design)
+    Ok((design, report))
+}
+
+/// Behavioral placeholder modules for the external (blackbox) functions of
+/// `m`, named exactly as [`FuncCodegen`] instantiates them, so a design that
+/// calls external IP can still be elaborated and simulated (`--emit=sim`).
+///
+/// A stub registers the sum of its scalar arguments through `result_delays`
+/// stages — deterministic waveform activity with the declared latency, *not*
+/// the real IP's function. Memref bus outputs are tied low.
+///
+/// # Errors
+/// Fails when an external argument or result type has no bit width.
+pub fn extern_stubs(m: &Module) -> Result<Vec<VModule>> {
+    let mut out = Vec::new();
+    for &top in m.top_ops() {
+        let Some(func) = FuncOp::wrap(m, top) else {
+            continue;
+        };
+        if !func.is_external(m) {
+            continue;
+        }
+        let name = func.name(m);
+        let mut vm = VModule::new(sanitize(&name));
+        vm.comments.push(format!(
+            "behavioral placeholder for external @{name}: results are the sum \
+             of the scalar arguments, delayed by the declared result delay"
+        ));
+        vm.port("clk", Dir::Input, 1);
+        vm.port("start", Dir::Input, 1);
+
+        let arg_types = func.arg_types(m);
+        let mut arg_names: Vec<String> = func
+            .arg_names(m)
+            .unwrap_or_default()
+            .iter()
+            .map(|n| sanitize(n))
+            .collect();
+        while arg_names.len() < arg_types.len() {
+            arg_names.push(format!("arg{}", arg_names.len()));
+        }
+        let mut scalars: Vec<(String, u32)> = Vec::new();
+        for (ty, pname) in arg_types.iter().zip(&arg_names) {
+            if let Some(info) = MemrefInfo::from_type(ty) {
+                let banks = info.num_banks();
+                let width = info.elem.bit_width().unwrap_or(32);
+                let addr_w = info.addr_bits().max(1);
+                for b in 0..banks {
+                    let mk = |sig: &str| bus(pname, b, banks, sig);
+                    if info.port.can_read() {
+                        vm.port(mk("addr"), Dir::Output, addr_w);
+                        vm.port(mk("rd_en"), Dir::Output, 1);
+                        vm.port(mk("rd_data"), Dir::Input, width);
+                        vm.assign(mk("addr"), Expr::c(0, addr_w));
+                        vm.assign(mk("rd_en"), Expr::c(0, 1));
+                    }
+                    if info.port.can_write() {
+                        vm.port(mk("waddr"), Dir::Output, addr_w);
+                        vm.port(mk("wr_en"), Dir::Output, 1);
+                        vm.port(mk("wr_data"), Dir::Output, width);
+                        vm.assign(mk("waddr"), Expr::c(0, addr_w));
+                        vm.assign(mk("wr_en"), Expr::c(0, 1));
+                        vm.assign(mk("wr_data"), Expr::c(0, width));
+                    }
+                }
+            } else {
+                let w = ty.bit_width().ok_or_else(|| {
+                    CodegenError(format!("external @{name}: argument {pname} has no width"))
+                })?;
+                vm.port(pname, Dir::Input, w);
+                scalars.push((pname.clone(), w));
+            }
+        }
+
+        let delays = func.result_delays(m);
+        for (i, rty) in func.result_types(m).iter().enumerate() {
+            let w = rty.bit_width().ok_or_else(|| {
+                CodegenError(format!("external @{name}: result {i} has no width"))
+            })?;
+            let mut value = Expr::c(0, w);
+            for (sname, sw) in &scalars {
+                let s = if *sw == w {
+                    Expr::r(sname)
+                } else if *sw > w {
+                    Expr::Slice {
+                        base: Box::new(Expr::r(sname)),
+                        hi: w - 1,
+                        lo: 0,
+                    }
+                } else {
+                    Expr::SignExtend {
+                        arg: Box::new(Expr::r(sname)),
+                        from: *sw,
+                        to: w,
+                    }
+                };
+                value = Expr::add(value, s);
+            }
+            let d = delays.get(i).copied().unwrap_or(0).max(0) as u64;
+            for k in 0..d {
+                let reg = vm.reg(format!("r{i}_d{k}"), w);
+                vm.main_always().stmts.push(Stmt::NonBlocking {
+                    lhs: LValue::Net(reg.clone()),
+                    rhs: value,
+                });
+                value = Expr::r(&reg);
+            }
+            let port = format!("result{i}");
+            vm.port(&port, Dir::Output, w);
+            vm.assign(&port, value);
+        }
+        out.push(vm);
+    }
+    Ok(out)
 }
 
 // ----------------------------------------------------------------- codegen
@@ -203,10 +333,24 @@ struct FuncCodegen<'m> {
     /// Roots whose chains carry condition VALUES, not activity pulses —
     /// excluded from `busy`.
     condition_roots: std::collections::HashSet<String>,
+    /// Resource tally filled in as hardware is emitted.
+    res: FuncResources,
 }
 
 /// Generate the module for one function.
 pub fn generate_func(m: &Module, func: FuncOp, options: &CodegenOptions) -> Result<VModule> {
+    generate_func_with_resources(m, func, options).map(|(vm, _)| vm)
+}
+
+/// Like [`generate_func`], but also returns the function's resource tally.
+///
+/// # Errors
+/// Same failure modes as [`generate_func`].
+pub fn generate_func_with_resources(
+    m: &Module,
+    func: FuncOp,
+    options: &CodegenOptions,
+) -> Result<(VModule, FuncResources)> {
     let mut cg = FuncCodegen {
         m,
         symbols: SymbolTable::build(m),
@@ -218,9 +362,15 @@ pub fn generate_func(m: &Module, func: FuncOp, options: &CodegenOptions) -> Resu
         instance_count: 0,
         busy: Vec::new(),
         condition_roots: std::collections::HashSet::new(),
+        res: FuncResources {
+            function: func.name(m),
+            ..FuncResources::default()
+        },
     };
     cg.run(func)?;
-    Ok(cg.module)
+    cg.res.pulse_regs = cg.chains.values().map(|c| c.len() as u64).sum();
+    cg.res.finalize(&cg.module);
+    Ok((cg.module, cg.res))
 }
 
 impl<'m> FuncCodegen<'m> {
@@ -543,6 +693,11 @@ impl<'m> FuncCodegen<'m> {
             env.insert(result, CgVal::Const(folded));
             return Ok(());
         }
+        *self
+            .res
+            .arith
+            .entry(resources::kind_label(kind).to_string())
+            .or_insert(0) += 1;
 
         let width = res_ty
             .bit_width()
@@ -672,6 +827,8 @@ impl<'m> FuncCodegen<'m> {
             return Ok(());
         }
         let width = self.width_of(result);
+        self.res.delay_lines += 1;
+        self.res.delay_line_bits += by as u64 * u64::from(width);
         let mut prev = self.to_expr(&input, width);
         let stem = self.fresh("dly");
         let mut last = String::new();
@@ -869,6 +1026,7 @@ impl<'m> FuncCodegen<'m> {
         let start_pulse = self.pulse(&t, lp.offset(m));
         let start_pulse = self.gated(start_pulse, gate, &t.root, t.extra + lp.offset(m));
         let start_sig = self.materialize(start_pulse);
+        self.res.loops += 1;
         let iv_width = self.width_of(lp.induction_var(m));
 
         let lb = self.value(lp.lower_bound(m), env)?;
@@ -1202,6 +1360,16 @@ impl<'m> FuncCodegen<'m> {
     fn emit_port(&mut self, port_id: ValueId) -> Result<()> {
         let port = self.ports[&port_id].clone();
         let banks = port.info.num_banks();
+        let dir = match port.info.port {
+            hir::types::Port::Read => "read",
+            hir::types::Port::Write => "write",
+            hir::types::Port::ReadWrite => "rw",
+        };
+        *self
+            .res
+            .mem_ports
+            .entry(format!("{}.{dir}", port.info.kind.mnemonic()))
+            .or_insert(0) += banks;
         let width = port.info.elem.bit_width().unwrap_or(32);
         let addr_w = port.info.addr_bits().max(1);
         let depth = port.info.bank_size();
@@ -1486,6 +1654,63 @@ mod tests {
             text.contains("demo.mlir:9:1"),
             "location comments (§5.5): {text}"
         );
+    }
+
+    /// The resource report's semantic tallies line up with the hardware the
+    /// generator actually emitted.
+    #[test]
+    fn resource_report_counts_emitted_hardware() {
+        let mut hb = HirBuilder::new();
+        let f = hb.func("r", &[("x", ir::Type::int(16))], &[2]);
+        let t = f.time_var(hb.module());
+        let x = f.args(hb.module())[0];
+        let y = hb.add(x, x);
+        let d = hb.delay(y, 2, t, 0);
+        hb.return_(&[d]);
+        let m = hb.finish();
+        let func = hir::ops::FuncOp::wrap(&m, m.top_ops()[0]).unwrap();
+        let (vm, res) = generate_func_with_resources(&m, func, &CodegenOptions::default()).unwrap();
+        assert_eq!(res.function, "r");
+        assert_eq!(res.module, "hir_r");
+        assert_eq!(res.arith.get("add"), Some(&1));
+        assert_eq!(res.delay_lines, 1);
+        assert_eq!(res.delay_line_bits, 32, "2 stages x 16 bits");
+        assert_eq!(
+            res.pulse_regs, 2,
+            "result_valid pulses 2 cycles after start"
+        );
+        let regs = vm
+            .nets
+            .iter()
+            .filter(|n| n.kind == verilog::NetKind::Reg)
+            .count() as u64;
+        assert_eq!(res.registers, regs);
+    }
+
+    /// Extern stubs carry the instantiated name and the declared latency, so
+    /// designs with blackbox calls elaborate and simulate.
+    #[test]
+    fn extern_stubs_make_blackbox_designs_simulable() {
+        let mut hb = HirBuilder::new();
+        hb.extern_func(
+            "mult",
+            &[ir::Type::int(32), ir::Type::int(32)],
+            &[ir::Type::int(32)],
+            &[2],
+        );
+        let f = hb.func("use_mult", &[("a", ir::Type::int(32))], &[2]);
+        let t = f.time_var(hb.module());
+        let a = f.args(hb.module())[0];
+        let r = hb.call("mult", &[a, a], t, 0);
+        hb.return_(&[r[0]]);
+        let m = hb.finish();
+        let mut design = generate_design(&m, &CodegenOptions::default()).unwrap();
+        for stub in extern_stubs(&m).unwrap() {
+            design.add(stub);
+        }
+        if let Err(e) = verilog::Simulator::new(&design, "hir_use_mult") {
+            panic!("stubbed design must elaborate: {e}");
+        }
     }
 
     #[test]

@@ -38,11 +38,33 @@ impl RewritePattern for FoldConstants {
         }
         let folded = match eval(kind, &ints, m, op) {
             Some(v) => v,
-            None => return RewriteStatus::NoMatch,
+            None => {
+                if obs::remarks_enabled() {
+                    obs::emit_remark(obs::Remark::missed(
+                        "hir-fold-constants",
+                        m.op(op).loc().to_string(),
+                        format!(
+                            "{} not folded: evaluation overflows",
+                            m.op(op).name().as_str()
+                        ),
+                    ));
+                }
+                return RewriteStatus::NoMatch;
+            }
         };
         let result = m.op(op).results()[0];
         let ty = m.value_type(result);
         let loc = m.op(op).loc().clone();
+        if obs::remarks_enabled() {
+            obs::emit_remark(
+                obs::Remark::applied(
+                    "hir-fold-constants",
+                    loc.to_string(),
+                    format!("folded {} to constant {folded}", m.op(op).name().as_str()),
+                )
+                .arg_int("value", folded),
+            );
+        }
         let mut attrs = AttrMap::new();
         attrs.insert(attrkey::VALUE.into(), Attribute::Int(folded, ty.clone()));
         let m = rw.module_mut();
@@ -135,6 +157,13 @@ impl RewritePattern for AlgebraicSimplify {
         };
         match replacement {
             Some(v) => {
+                if obs::remarks_enabled() {
+                    obs::emit_remark(obs::Remark::applied(
+                        "hir-algebraic-simplify",
+                        m.op(op).loc().to_string(),
+                        format!("{name} simplified away by an algebraic identity"),
+                    ));
+                }
                 rw.replace_op(op, &[v]);
                 RewriteStatus::Changed
             }
@@ -166,6 +195,13 @@ impl RewritePattern for Dce {
             .any(|&r| !m.value(r).uses().is_empty())
         {
             return RewriteStatus::NoMatch;
+        }
+        if obs::remarks_enabled() {
+            obs::emit_remark(obs::Remark::applied(
+                "hir-dce",
+                m.op(op).loc().to_string(),
+                format!("erased dead {name}"),
+            ));
         }
         rw.erase_op(op);
         RewriteStatus::Changed
@@ -256,6 +292,20 @@ fn structurally_equal(module: &Module, a: OpId, b: OpId) -> bool {
         && module.value(da.results()[0]).ty() == module.value(db.results()[0]).ty()
 }
 
+/// Record an applied CSE remark for the doomed duplicate `op`.
+fn emit_cse_remark(module: &Module, op: OpId) {
+    if obs::remarks_enabled() {
+        obs::emit_remark(obs::Remark::applied(
+            "hir-cse",
+            module.op(op).loc().to_string(),
+            format!(
+                "merged duplicate {} with an identical earlier value",
+                module.op(op).name().as_str()
+            ),
+        ));
+    }
+}
+
 /// Whether `op` is eligible for CSE: a pure single-result op, or a delay
 /// (identical delays on the same input are interchangeable, §6.4).
 fn cse_key(module: &Module, registry: &ir::DialectRegistry, op: OpId) -> Option<(u64, ValueId)> {
@@ -284,6 +334,7 @@ impl CsePass {
         for op in module.block(block).ops().to_vec() {
             if let Some((hash, result)) = cse_key(module, registry, op) {
                 if let Some(prev_result) = vn.lookup(module, hash, op) {
+                    emit_cse_remark(module, op);
                     module.replace_all_uses(result, prev_result);
                     // Erasure is deferred to one batch sweep at the end of
                     // the pass: per-op removal from a block's op list is
@@ -337,6 +388,7 @@ impl Pass for CsePass {
             }
             if let Some((hash, result)) = cse_key(module, cx.registry, op) {
                 if let Some(prev_result) = vn.lookup(module, hash, op) {
+                    emit_cse_remark(module, op);
                     module.replace_all_uses(result, prev_result);
                     doomed.push(op);
                     continue;

@@ -237,6 +237,64 @@ mod tests {
         assert_eq!(count_ops(&m, hir::opname::ADD), 1);
     }
 
+    /// With recording on, the standard pipeline reports applied remarks from
+    /// folding, strength reduction and CSE, and a missed remark explaining
+    /// the value×value multiply it left alone.
+    #[test]
+    fn passes_emit_applied_and_missed_remarks() {
+        let mut hb = HirBuilder::new();
+        let f = hb.func("k", &[("x", Type::int(32)), ("y", Type::int(32))], &[0]);
+        let args = f.args(hb.module());
+        let (x, y) = (args[0], args[1]);
+        let a = hb.typed_const(3, Type::int(32));
+        let b = hb.typed_const(4, Type::int(32));
+        let ab = hb.mult(a, b); // folds to 12
+        let c8 = hb.typed_const(8, Type::int(32));
+        let s = hb.mult(x, c8); // strength-reduces to x << 3
+        let vv = hb.mult(x, y); // stride unknown: stays a multiplier
+        let d1 = hb.add(x, x);
+        let d2 = hb.add(x, x); // CSE fodder
+        let t1 = hb.xor(d1, d2);
+        let t2 = hb.add(t1, ab);
+        let t3 = hb.add(t2, s);
+        let t4 = hb.add(t3, vv);
+        hb.return_(&[t4]);
+        let mut m = hb.finish();
+
+        let registry = hir::hir_registry();
+        let mut diags = DiagnosticEngine::new();
+        let was = obs::set_remarks_enabled(true);
+        let mut pm = standard_pipeline();
+        let run = pm.run(&mut m, &registry, &mut diags);
+        obs::set_remarks_enabled(was);
+        run.unwrap();
+        let remarks = pm.take_remarks();
+
+        let has = |pass: &str, kind: obs::RemarkKind| {
+            remarks.iter().any(|r| r.pass == pass && r.kind == kind)
+        };
+        assert!(
+            has("hir-fold-constants", obs::RemarkKind::Applied),
+            "no fold remark in {remarks:?}"
+        );
+        assert!(
+            has("hir-strength-reduce", obs::RemarkKind::Applied),
+            "no strength remark in {remarks:?}"
+        );
+        assert!(
+            has("hir-cse", obs::RemarkKind::Applied),
+            "no cse remark in {remarks:?}"
+        );
+        assert!(
+            remarks.iter().any(|r| {
+                r.pass == "hir-strength-reduce"
+                    && r.kind == obs::RemarkKind::Missed
+                    && r.message.contains("stride unknown")
+            }),
+            "no stride-unknown missed remark in {remarks:?}"
+        );
+    }
+
     #[test]
     fn standard_pass_names_match_standard_pipeline() {
         assert_eq!(standard_pipeline().pass_names(), STANDARD_PASS_NAMES);

@@ -61,11 +61,29 @@ impl Pass for PortDemotePass {
     }
 }
 
+/// Record a missed-optimization remark for an alloc the pass left alone.
+fn miss(module: &Module, alloc_op: OpId, why: impl Into<String>) {
+    if obs::remarks_enabled() {
+        obs::emit_remark(obs::Remark::missed(
+            "hir-port-demote",
+            module.op(alloc_op).loc().to_string(),
+            format!("alloc not demoted to a single port: {}", why.into()),
+        ));
+    }
+}
+
 impl PortDemotePass {
     fn try_demote(&self, module: &mut Module, alloc_op: OpId, sched: &ScheduleInfo) -> bool {
         let alloc = AllocOp(alloc_op);
         let ports = alloc.ports(module);
         if ports.len() != 2 {
+            if ports.len() > 2 {
+                miss(
+                    module,
+                    alloc_op,
+                    format!("alloc exposes {} ports, not a read/write pair", ports.len()),
+                );
+            }
             return false;
         }
         // Non-memref port types mean malformed-but-unverified IR; skip the
@@ -81,10 +99,15 @@ impl PortDemotePass {
         let (r_idx, w_idx) = match (infos[0].port, infos[1].port) {
             (Port::Read, Port::Write) => (0, 1),
             (Port::Write, Port::Read) => (1, 0),
-            _ => return false,
+            _ => {
+                miss(module, alloc_op, "ports are not one read + one write");
+                return false;
+            }
         };
         if infos[0].kind == MemKind::Reg {
-            return false; // register files have no port economics to win
+            // Register files have no port economics to win.
+            miss(module, alloc_op, "register-file allocs have free ports");
+            return false;
         }
         // Collect all access instants per port.
         let mut accesses: Vec<(ValueId, i64, bool)> = Vec::new(); // (root, offset, ok)
@@ -96,6 +119,11 @@ impl PortDemotePass {
                     (w.time(module), w.offset(module))
                 } else {
                     // Escapes (e.g. passed to a call): give up.
+                    miss(
+                        module,
+                        alloc_op,
+                        "memref escapes through a non-access use (e.g. a call)",
+                    );
                     return false;
                 };
                 accesses.push((root, offset, port == ports[r_idx]));
@@ -112,7 +140,9 @@ impl PortDemotePass {
         if has_read && has_write {
             let root = accesses[0].0;
             if accesses.iter().any(|&(r, _, _)| r != root) {
-                return false; // different scopes: cannot prove disjoint
+                // Different scopes: cannot prove disjoint.
+                miss(module, alloc_op, "accesses lie on different schedule roots");
+                return false;
             }
             let ii = sched.root_ii.get(&root).copied();
             let mut keys: Vec<(i64, bool)> = accesses
@@ -129,10 +159,22 @@ impl PortDemotePass {
             // Sorting groups equal residues, writes (false) before reads
             // (true): any cross-direction collision appears at an adjacent
             // boundary.
-            if keys
+            if let Some(w) = keys
                 .windows(2)
-                .any(|w| w[0].0 == w[1].0 && w[0].1 != w[1].1)
+                .find(|w| w[0].0 == w[1].0 && w[0].1 != w[1].1)
             {
+                let modulus = match ii {
+                    Some(ii) => format!(" (mod II {ii})"),
+                    None => String::new(),
+                };
+                miss(
+                    module,
+                    alloc_op,
+                    format!(
+                        "a read and a write coincide at schedule offset {}{modulus}",
+                        w[0].0
+                    ),
+                );
                 return false;
             }
         }
@@ -140,6 +182,13 @@ impl PortDemotePass {
         // Rewrite: one read-write port replaces both.
         let rw_info = infos[0].with_port(Port::ReadWrite);
         let loc = module.op(alloc_op).loc().clone();
+        if obs::remarks_enabled() {
+            obs::emit_remark(obs::Remark::applied(
+                "hir-port-demote",
+                loc.to_string(),
+                "demoted dual-port RAM to a single read-write port",
+            ));
+        }
         let mut attrs = AttrMap::new();
         attrs.insert(
             attrkey::KIND.into(),

@@ -25,22 +25,55 @@ impl RewritePattern for StrengthReduce {
         let const_of = |m: &Module, v: ValueId| -> Option<i128> {
             ConstantOp::wrap(m, m.defining_op(v)?).and_then(|c| c.value_attr(m).as_int())
         };
+        let missed = |m: &Module, message: String| {
+            if obs::remarks_enabled() {
+                obs::emit_remark(obs::Remark::missed(
+                    "hir-strength-reduce",
+                    m.op(op).loc().to_string(),
+                    message,
+                ));
+            }
+        };
         // Normalize: (value, constant).
         let (value, constant) = match (const_of(m, operands[0]), const_of(m, operands[1])) {
             (None, Some(c)) => (operands[0], c),
             (Some(c), None) => (operands[1], c),
-            // Two constants fold elsewhere; two values are a real multiply.
-            _ => return RewriteStatus::NoMatch,
+            // Two constants fold elsewhere.
+            (Some(_), Some(_)) => return RewriteStatus::NoMatch,
+            // Two values are a real multiply: nothing to reduce against.
+            (None, None) => {
+                missed(
+                    m,
+                    "multiply not strength-reduced: stride unknown (no constant operand)"
+                        .to_string(),
+                );
+                return RewriteStatus::NoMatch;
+            }
         };
         if constant <= 0 {
+            missed(
+                m,
+                format!("multiply not strength-reduced: non-positive constant {constant}"),
+            );
             return RewriteStatus::NoMatch;
         }
         let ones = constant.count_ones();
         if ones > 2 {
+            missed(
+                m,
+                format!(
+                    "multiply not strength-reduced: constant {constant} has {ones} set bits \
+                     (a real multiplier is the better trade)"
+                ),
+            );
             return RewriteStatus::NoMatch;
         }
         // The value operand must be a real (sized) integer for shifting.
         if m.value_type(value).int_width().is_none() {
+            missed(
+                m,
+                "multiply not strength-reduced: operand has no fixed integer width".to_string(),
+            );
             return RewriteStatus::NoMatch;
         }
         let result = m.op(op).results()[0];
@@ -50,6 +83,20 @@ impl RewritePattern for StrengthReduce {
             return RewriteStatus::NoMatch;
         }
         let loc = m.op(op).loc().clone();
+        if obs::remarks_enabled() {
+            obs::emit_remark(
+                obs::Remark::applied(
+                    "hir-strength-reduce",
+                    loc.to_string(),
+                    format!(
+                        "multiply by {constant} lowered to {ones} shift(s){}",
+                        if ones > 1 { " and an add" } else { "" }
+                    ),
+                )
+                .arg_int("constant", constant)
+                .arg_int("shifts", i128::from(ones)),
+            );
+        }
 
         let mut shifts: Vec<u32> = Vec::new();
         for b in 0..127 {

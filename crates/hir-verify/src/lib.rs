@@ -17,9 +17,11 @@
 //! [`verify_schedule`] directly.
 
 pub mod conflict;
+pub mod report;
 pub mod validity;
 
 pub use conflict::check_port_conflicts;
+pub use report::{schedule_report, FunctionSchedule, LoopSchedule, OpSchedule, ScheduleReport};
 pub use validity::{analyze_function, ScheduleInfo, Validity};
 
 use hir::ops::FuncOp;

@@ -29,9 +29,41 @@ pub mod schedule;
 pub use ast::{ArrayDecl, ArrayDir, KExpr, KOp, KStmt, Kernel, LoopPragmas, ScalarDecl};
 pub use emit::{array_memkind, emit_kernel, CompileStats};
 pub use frontend::run_frontend;
+pub use hir_codegen::testbench::{HarnessArg, HarnessReport};
 pub use schedule::{SchedOptions, ScheduleError};
 
 use std::time::{Duration, Instant};
+
+/// Run a generated design under the RTL testbench harness, optionally
+/// dumping a VCD waveform of the entire run (this is the crate's doorway to
+/// [`verilog::Simulator::start_vcd`] for examples and evaluation scripts).
+///
+/// `func` is the HIR function name (not the Verilog module name).
+///
+/// # Errors
+/// Fails when the function is missing, the design does not elaborate, the
+/// VCD file cannot be created, or the run does not quiesce in `max_cycles`.
+pub fn simulate_with_vcd(
+    module: &ir::Module,
+    design: &verilog::Design,
+    func: &str,
+    args: &[HarnessArg],
+    max_cycles: u64,
+    vcd: Option<&std::path::Path>,
+) -> Result<HarnessReport, ScheduleError> {
+    let table = ir::SymbolTable::build(module);
+    let op = table
+        .lookup(func)
+        .ok_or_else(|| ScheduleError(format!("no function @{func} in module")))?;
+    let f = hir::ops::FuncOp::wrap(module, op)
+        .ok_or_else(|| ScheduleError(format!("@{func} is not a hir.func")))?;
+    let mut h = hir_codegen::testbench::Harness::new(design, module, f, args)
+        .map_err(|e| ScheduleError(e.to_string()))?;
+    if let Some(path) = vcd {
+        h.dump_vcd(path).map_err(|e| ScheduleError(e.to_string()))?;
+    }
+    h.run(max_cycles).map_err(|e| ScheduleError(e.to_string()))
+}
 
 /// A compiled kernel: the scheduled HIR, the generated RTL, and statistics.
 #[derive(Debug)]
@@ -75,6 +107,22 @@ pub fn compile(kernel: &Kernel, opts: &SchedOptions) -> Result<Compiled, Schedul
         stats,
         elapsed: start.elapsed(),
     })
+}
+
+impl Compiled {
+    /// RTL-simulate this compiled kernel, optionally dumping a VCD waveform.
+    ///
+    /// # Errors
+    /// Same failure modes as [`simulate_with_vcd`].
+    pub fn simulate_with_vcd(
+        &self,
+        args: &[HarnessArg],
+        max_cycles: u64,
+        vcd: Option<&std::path::Path>,
+    ) -> Result<HarnessReport, ScheduleError> {
+        let func = self.top.strip_prefix("hir_").unwrap_or(&self.top);
+        simulate_with_vcd(&self.hir_module, &self.design, func, args, max_cycles, vcd)
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,16 @@ impl Diagnostic {
         }
     }
 
+    /// Create an optimization-remark diagnostic ([`Severity::Remark`]).
+    /// Remarks are opt-in: drivers only surface them behind an explicit
+    /// filter (`hirc --rpass=REGEX`), never in default output.
+    pub fn remark(loc: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Remark,
+            ..Diagnostic::error(loc, message)
+        }
+    }
+
     /// Attach the offending IR snippet.
     pub fn with_snippet(mut self, snippet: impl Into<String>) -> Self {
         self.snippet = Some(snippet.into());
@@ -240,6 +250,19 @@ mod tests {
         assert!(text.starts_with("test/HIR/err_add.mlir:13:5: error:\n"));
         assert!(text.contains("mismatched delay (0 vs 1)"));
         assert!(text.contains("test/HIR/err_add.mlir:8:3: note: Prior definition here."));
+    }
+
+    #[test]
+    fn remark_renders_with_remark_severity_and_is_not_an_error() {
+        let d = Diagnostic::remark(
+            Location::file_line_col("k.mlir", 3, 7),
+            "[hir-cse] merged duplicate hir.add",
+        );
+        assert_eq!(d.severity, Severity::Remark);
+        assert!(d.to_string().starts_with("k.mlir:3:7: remark:\n"));
+        let mut eng = DiagnosticEngine::new();
+        eng.emit(d);
+        assert!(!eng.has_errors());
     }
 
     #[test]

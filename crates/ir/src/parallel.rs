@@ -77,6 +77,9 @@ struct FuncOutcome {
     func: String,
     sub: Module,
     diags: Vec<Diagnostic>,
+    /// Remarks the function's pipeline emitted, drained from the worker's
+    /// thread-local buffer right after its `PassManager::run` returned.
+    remarks: Vec<obs::Remark>,
     timings: Vec<PassTiming>,
     error: Option<PipelineError>,
     /// Pre-pipeline IR of the function, captured only when a crash
@@ -125,6 +128,10 @@ pub struct FunctionPipeline {
     timings: Vec<PassTiming>,
     reports: Vec<FunctionReport>,
     reproducer_written: Option<PathBuf>,
+    /// Remarks from every function, merged in module order (same
+    /// determinism scheme as diagnostics: per-function slots, merged by
+    /// module position — byte-identical at any thread count).
+    remarks: Vec<obs::Remark>,
 }
 
 impl FunctionPipeline {
@@ -159,6 +166,17 @@ impl FunctionPipeline {
         &self.reports
     }
 
+    /// Optimization remarks of the last `run`, merged in module order
+    /// (independent of worker interleaving).
+    pub fn remarks(&self) -> &[obs::Remark] {
+        &self.remarks
+    }
+
+    /// Take ownership of the last run's remarks (module order).
+    pub fn take_remarks(&mut self) -> Vec<obs::Remark> {
+        std::mem::take(&mut self.remarks)
+    }
+
     /// Path of the reproducer written by the last `run`, if any.
     pub fn reproducer_path(&self) -> Option<&Path> {
         self.reproducer_written.as_deref()
@@ -178,6 +196,7 @@ impl FunctionPipeline {
         self.timings.clear();
         self.reports.clear();
         self.reproducer_written = None;
+        self.remarks.clear();
 
         let subs = module.split_top();
         let n = subs.len();
@@ -230,6 +249,7 @@ impl FunctionPipeline {
             for d in outcome.diags {
                 diags.emit(d);
             }
+            self.remarks.extend(outcome.remarks);
             self.fold_timings(&outcome.timings);
             if outcome.error.is_some() && first_error.is_none() {
                 first_error = Some((
@@ -291,6 +311,7 @@ impl FunctionPipeline {
             func,
             sub,
             diags: local.take(),
+            remarks: pm.take_remarks(),
             timings: pm.timings().to_vec(),
             error,
             snapshot,
@@ -554,6 +575,56 @@ mod tests {
             crate::printer::print_module(&m1),
             crate::printer::print_module(&m8),
         );
+    }
+
+    /// Emits one applied remark naming the function.
+    struct Remarker;
+    impl Pass for Remarker {
+        fn name(&self) -> &str {
+            "remarker"
+        }
+        fn run(&mut self, m: &mut Module, _cx: &mut PassContext<'_>) -> PassResult {
+            let func = m
+                .top_ops()
+                .first()
+                .and_then(|&t| m.op(t).attr(SYM_NAME))
+                .and_then(|a| a.as_str())
+                .unwrap_or("?")
+                .to_string();
+            obs::emit_remark(obs::Remark::applied(
+                "remarker",
+                "test:1:1",
+                format!("visited @{func}"),
+            ));
+            PassResult::Unchanged
+        }
+    }
+
+    #[test]
+    fn remarks_merge_in_module_order_at_any_thread_count() {
+        let names = ["f0", "f1", "f2", "f3", "f4", "f5"];
+        let prev = obs::set_remarks_enabled(true);
+        let run = |threads: usize| {
+            let mut m = funcs_module(&names);
+            let reg = DialectRegistry::new();
+            let mut diags = DiagnosticEngine::new();
+            let mut fp = FunctionPipeline::new();
+            fp.add_factory(|| Box::new(Remarker));
+            fp.threads = threads;
+            fp.run(&mut m, &reg, &mut diags).unwrap();
+            fp.remarks().to_vec()
+        };
+        let r1 = run(1);
+        let r8 = run(8);
+        obs::set_remarks_enabled(prev);
+        assert_eq!(
+            r1.iter().map(|r| r.message.as_str()).collect::<Vec<_>>(),
+            names
+                .iter()
+                .map(|n| format!("visited @{n}"))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(r1, r8, "remark order must not depend on threads");
     }
 
     #[test]

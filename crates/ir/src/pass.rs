@@ -227,6 +227,9 @@ pub struct PassManager {
     pub crash_reproducer: Option<PathBuf>,
     /// Where the last `run` actually wrote a reproducer, if it did.
     reproducer_written: Option<PathBuf>,
+    /// Optimization remarks drained from the thread-local buffer after each
+    /// pass of the last `run`, in emission order (pass-major).
+    remarks: Vec<obs::Remark>,
 }
 
 impl PassManager {
@@ -239,6 +242,7 @@ impl PassManager {
             verify_each: false,
             crash_reproducer: None,
             reproducer_written: None,
+            remarks: Vec::new(),
         }
     }
 
@@ -288,6 +292,10 @@ impl PassManager {
     ) -> Result<(), PipelineError> {
         self.timings.clear();
         self.reproducer_written = None;
+        self.remarks.clear();
+        // Discard any stale remarks a previous (aborted) run left in this
+        // thread's buffer so they cannot leak into this run's output.
+        let _ = obs::take_thread_remarks();
         let n_passes = self.passes.len();
         for idx in 0..n_passes {
             // Snapshot the IR before the pass only when a reproducer was
@@ -319,6 +327,9 @@ impl PassManager {
                 Err(payload) => (PassResult::Failed, Some(panic_message(payload.as_ref()))),
             };
             let ops_after = module.op_count();
+            // Drain this pass's remarks (deduplicated per pass) even when it
+            // panicked or failed, so partial runs still explain themselves.
+            self.remarks.extend(obs::take_thread_remarks());
             if let Some(msg) = &panic_msg {
                 diags.emit(
                     crate::diagnostics::Diagnostic::error(
@@ -424,6 +435,17 @@ impl PassManager {
     /// Per-pass timings of the last `run`.
     pub fn timings(&self) -> &[PassTiming] {
         &self.timings
+    }
+
+    /// Optimization remarks recorded by the last `run`, in emission order.
+    pub fn remarks(&self) -> &[obs::Remark] {
+        &self.remarks
+    }
+
+    /// Take ownership of the last `run`'s remarks (the parallel function
+    /// pipeline moves them into per-function outcome slots).
+    pub fn take_remarks(&mut self) -> Vec<obs::Remark> {
+        std::mem::take(&mut self.remarks)
     }
 
     /// Total wall time of the last `run`.

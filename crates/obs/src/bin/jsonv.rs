@@ -1,0 +1,72 @@
+//! `jsonv` — strict JSON artifact validator for CI.
+//!
+//! Validates that each file argument parses with the same strict
+//! [`obs::json`] parser the toolchain's own tests use, so the JSON the
+//! compiler publishes (`--remarks`, `--schedule-report`,
+//! `--resource-report`, `--stats`, `--profile`) is held to the grammar it
+//! claims. `--jsonl` switches to line-delimited mode (one object per line)
+//! for the files that follow; `--json` switches back.
+//!
+//! Exit codes: 0 all files valid, 1 any file invalid or unreadable,
+//! 2 usage error (no files given).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut jsonl = false;
+    let mut failed = false;
+    let mut checked = 0usize;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--jsonl" => {
+                jsonl = true;
+                continue;
+            }
+            "--json" => {
+                jsonl = false;
+                continue;
+            }
+            _ => {}
+        }
+        checked += 1;
+        let text = match std::fs::read_to_string(&arg) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("jsonv: {arg}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        if jsonl {
+            let mut bad = 0usize;
+            for (i, line) in text.lines().enumerate() {
+                if let Err(e) = obs::json::parse(line) {
+                    eprintln!("jsonv: {arg}:{}: {e}", i + 1);
+                    bad += 1;
+                }
+            }
+            if bad > 0 {
+                failed = true;
+            } else {
+                println!("jsonv: {arg}: ok ({} JSONL records)", text.lines().count());
+            }
+        } else {
+            match obs::json::parse(&text) {
+                Ok(_) => println!("jsonv: {arg}: ok"),
+                Err(e) => {
+                    eprintln!("jsonv: {arg}: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("usage: jsonv [--json|--jsonl] FILE...");
+        return ExitCode::from(2);
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

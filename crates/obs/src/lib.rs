@@ -24,7 +24,14 @@
 //! subsequent performance PR report against the numbers this crate emits.
 
 pub mod json;
+pub mod remark;
+pub mod rex;
 pub mod trace;
+
+pub use remark::{
+    emit_remark, remarks_enabled, set_remarks_enabled, take_thread as take_thread_remarks, Remark,
+    RemarkKind, RemarkValue,
+};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -341,6 +348,38 @@ pub fn stats_table() -> String {
 /// Serialize all recorded spans as Chrome trace-event JSON (see [`trace`]).
 pub fn chrome_trace() -> String {
     trace::chrome_trace(&spans())
+}
+
+/// Machine-readable counterpart of [`stats_table`]: every counter and stat
+/// as one JSON object, keys sorted, parseable by the strict [`json`] parser.
+///
+/// ```json
+/// {"counters":{"codegen.modules":3},"stats":{"ir.ops":"42"}}
+/// ```
+pub fn stats_json() -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, c) in counters().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json::escape(&format!("{}.{}", c.scope, c.name)));
+        out.push_str("\":");
+        out.push_str(&c.value.to_string());
+    }
+    out.push_str("},\"stats\":{");
+    for (i, (s, k, v)) in stats().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json::escape(&format!("{s}.{k}")));
+        out.push_str("\":\"");
+        out.push_str(&json::escape(v));
+        out.push('"');
+    }
+    out.push_str("}}\n");
+    out
 }
 
 #[cfg(test)]

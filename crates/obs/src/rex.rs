@@ -1,0 +1,348 @@
+//! A tiny dependency-free regular-expression engine for `--rpass` filters.
+//!
+//! Supports the subset CLI filters actually use: literals, `.`, `*`, `+`,
+//! `?`, alternation `|`, grouping `(...)`, character classes `[a-z]` /
+//! `[^0-9]`, anchors `^` / `$`, and the escapes `\d` `\w` `\s` (plus `\x`
+//! for any literal special). Matching is *unanchored search* (like
+//! `grep`/LLVM's `-Rpass`): anchor explicitly with `^`/`$`.
+//!
+//! The matcher simulates the pattern over **sets of positions** (an NFA
+//! subset construction evaluated on the fly), so pathological patterns like
+//! `(a*)*` cannot blow up: every step is bounded by the text length.
+
+use std::collections::BTreeSet;
+
+/// A compiled pattern.
+#[derive(Clone, Debug)]
+pub struct Regex {
+    root: Node,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// Ordered alternatives, each a sequence.
+    Alt(Vec<Vec<Node>>),
+    Lit(char),
+    Any,
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
+    Star(Box<Node>),
+    Plus(Box<Node>),
+    Opt(Box<Node>),
+    Start,
+    End,
+}
+
+impl Regex {
+    /// Compile a pattern.
+    ///
+    /// # Errors
+    /// Returns a human-readable message on malformed syntax (unbalanced
+    /// parens, unterminated class, dangling quantifier or escape).
+    pub fn new(pattern: &str) -> Result<Regex, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let root = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(format!(
+                "unexpected '{}' at offset {}",
+                p.chars[p.pos], p.pos
+            ));
+        }
+        Ok(Regex { root })
+    }
+
+    /// Unanchored search: does any substring of `text` match?
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        for start in 0..=chars.len() {
+            let starts: BTreeSet<usize> = [start].into();
+            if !ends_of(&self.root, &chars, &starts).is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// All positions the single node can end at, starting from any of `starts`.
+fn ends_of(node: &Node, text: &[char], starts: &BTreeSet<usize>) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    match node {
+        Node::Alt(branches) => {
+            for seq in branches {
+                out.extend(ends_of_seq(seq, text, starts));
+            }
+        }
+        Node::Lit(c) => {
+            for &i in starts {
+                if text.get(i) == Some(c) {
+                    out.insert(i + 1);
+                }
+            }
+        }
+        Node::Any => {
+            for &i in starts {
+                if i < text.len() {
+                    out.insert(i + 1);
+                }
+            }
+        }
+        Node::Class { negated, ranges } => {
+            for &i in starts {
+                if let Some(&c) = text.get(i) {
+                    let inside = ranges.iter().any(|&(a, b)| a <= c && c <= b);
+                    if inside != *negated {
+                        out.insert(i + 1);
+                    }
+                }
+            }
+        }
+        Node::Star(inner) => {
+            // Reflexive-transitive closure: keep applying `inner` to the
+            // frontier until no new position appears. Bounded by text length.
+            out.extend(starts);
+            let mut frontier = starts.clone();
+            while !frontier.is_empty() {
+                let next = ends_of(inner, text, &frontier);
+                frontier = next.difference(&out).copied().collect();
+                out.extend(frontier.iter().copied());
+            }
+        }
+        Node::Plus(inner) => {
+            let once = ends_of(inner, text, starts);
+            out.extend(ends_of(&Node::Star(inner.clone()), text, &once));
+        }
+        Node::Opt(inner) => {
+            out.extend(starts);
+            out.extend(ends_of(inner, text, starts));
+        }
+        Node::Start => {
+            if starts.contains(&0) {
+                out.insert(0);
+            }
+        }
+        Node::End => {
+            if starts.contains(&text.len()) {
+                out.insert(text.len());
+            }
+        }
+    }
+    out
+}
+
+fn ends_of_seq(seq: &[Node], text: &[char], starts: &BTreeSet<usize>) -> BTreeSet<usize> {
+    let mut current = starts.clone();
+    for node in seq {
+        if current.is_empty() {
+            break;
+        }
+        current = ends_of(node, text, &current);
+    }
+    current
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, String> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq()?);
+        }
+        Ok(Node::Alt(branches))
+    }
+
+    fn parse_seq(&mut self) -> Result<Vec<Node>, String> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let atom = match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    Node::Star(Box::new(atom))
+                }
+                Some('+') => {
+                    self.bump();
+                    Node::Plus(Box::new(atom))
+                }
+                Some('?') => {
+                    self.bump();
+                    Node::Opt(Box::new(atom))
+                }
+                _ => atom,
+            };
+            seq.push(atom);
+        }
+        Ok(seq)
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, String> {
+        let at = self.pos;
+        match self.bump() {
+            None => Err("pattern ended unexpectedly".into()),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(format!("unclosed '(' at offset {at}"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(at),
+            Some('.') => Ok(Node::Any),
+            Some('^') => Ok(Node::Start),
+            Some('$') => Ok(Node::End),
+            Some('*') | Some('+') | Some('?') => Err(format!("dangling quantifier at offset {at}")),
+            Some('\\') => match self.bump() {
+                None => Err("dangling '\\' at end of pattern".into()),
+                Some('d') => Ok(Node::Class {
+                    negated: false,
+                    ranges: vec![('0', '9')],
+                }),
+                Some('w') => Ok(Node::Class {
+                    negated: false,
+                    ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                }),
+                Some('s') => Ok(Node::Class {
+                    negated: false,
+                    ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                }),
+                Some(c) => Ok(Node::Lit(c)),
+            },
+            Some(c) => Ok(Node::Lit(c)),
+        }
+    }
+
+    fn parse_class(&mut self, open_at: usize) -> Result<Node, String> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        let mut first = true;
+        loop {
+            let c = match self.bump() {
+                None => return Err(format!("unclosed '[' at offset {open_at}")),
+                // A leading `]` is a literal, like POSIX.
+                Some(']') if !first => break,
+                Some(c) => {
+                    if c == '\\' {
+                        self.bump()
+                            .ok_or("dangling '\\' in character class".to_string())?
+                    } else {
+                        c
+                    }
+                }
+            };
+            first = false;
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']') {
+                self.bump(); // '-'
+                let hi = self.bump().expect("checked above");
+                if hi < c {
+                    return Err(format!("inverted range '{c}-{hi}' in character class"));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Ok(Node::Class { negated, ranges })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_are_unanchored() {
+        assert!(m("cse", "hir-cse"));
+        assert!(m("hir", "hir-fold-constants"));
+        assert!(!m("dce", "hir-cse"));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^hir-", "hir-cse"));
+        assert!(!m("^cse", "hir-cse"));
+        assert!(m("cse$", "hir-cse"));
+        assert!(!m("hir$", "hir-cse"));
+        assert!(m("^hir-cse$", "hir-cse"));
+    }
+
+    #[test]
+    fn quantifiers_and_any() {
+        assert!(m("a*b", "b"));
+        assert!(m("a*b", "aaab"));
+        assert!(m("a+b", "aab"));
+        assert!(!m("^a+b$", "b"));
+        assert!(m("colou?r", "color"));
+        assert!(m("colou?r", "colour"));
+        assert!(m("f.ld", "fold"));
+        assert!(!m("^f.ld$", "fld"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cse|strength", "hir-strength-reduce"));
+        assert!(m("^hir-(cse|dce)$", "hir-dce"));
+        assert!(!m("^hir-(cse|dce)$", "hir-fold"));
+        assert!(m("(ab)+c", "ababc"));
+        assert!(!m("^(ab)+c$", "abac"));
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        assert!(m("[a-z]+-[a-z]+", "strength-reduce"));
+        assert!(m("[^0-9]", "abc"));
+        assert!(!m("^[^0-9]+$", "ab3c"));
+        assert!(m("\\d\\d", "port42x"));
+        assert!(m("\\w+", "fold_constants"));
+        assert!(m("a\\.b", "a.b"));
+        assert!(!m("^a\\.b$", "axb"));
+    }
+
+    #[test]
+    fn pathological_nesting_terminates() {
+        assert!(m("(a*)*b", "aaaaaaaaaaaaaaaaaaaab"));
+        assert!(!m("^(a*)*$", "aaaaaaaaaaaaaaaaaaaab"));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(Regex::new("(ab").is_err());
+        assert!(Regex::new("[ab").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a\\").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("ab)").is_err());
+    }
+}

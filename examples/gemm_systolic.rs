@@ -3,6 +3,9 @@
 //! accumulating every cycle, fed from banked buffers.
 //!
 //! Run with: `cargo run --release --example gemm_systolic`
+//!
+//! Pass `--vcd=PATH` to additionally run the generated RTL in the simulator
+//! and dump a VCD waveform of the whole run (viewable in GTKWave).
 
 use hir_suite::hir::interp::{ArgValue, Interpreter};
 use hir_suite::kernels::gemm;
@@ -61,4 +64,37 @@ fn main() {
         n * n,
         r.dsp
     );
+
+    // Waveform dump: re-run the same workload through the RTL simulator.
+    if let Some(path) =
+        std::env::args().find_map(|arg| arg.strip_prefix("--vcd=").map(std::path::PathBuf::from))
+    {
+        use hir_suite::hir::types::MemrefInfo;
+        use hir_suite::hir_codegen::testbench::to_bank_major;
+        use hir_suite::hls::HarnessArg;
+        let func = hir_suite::kernels::find_func(&m2, gemm::FUNC);
+        let tys = func.arg_types(&m2);
+        let mem = |data: &[i128], ty: &hir_suite::ir::Type| {
+            let info = MemrefInfo::from_type(ty).expect("gemm args are memrefs");
+            HarnessArg::Mem(to_bank_major(&info, data))
+        };
+        let sim = hir_suite::hls::simulate_with_vcd(
+            &m2,
+            &design,
+            gemm::FUNC,
+            &[
+                mem(&a, &tys[0]),
+                mem(&b, &tys[1]),
+                mem(&vec![0; nn], &tys[2]),
+            ],
+            100_000,
+            Some(&path),
+        )
+        .expect("RTL simulation");
+        println!(
+            "\nVCD waveform of the RTL run written to {} ({} cycles)",
+            path.display(),
+            sim.cycles
+        );
+    }
 }

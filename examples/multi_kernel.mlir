@@ -1,7 +1,9 @@
-// Multi-kernel module: four functions with cross-function calls, used by
+// Multi-kernel module: five functions with cross-function calls, used by
 // the CI determinism job to check that hirc --threads=1 and --threads=4
 // produce byte-identical IR and diagnostics, and by the fuzz corpus to
-// seed multi-function mutants.
+// seed multi-function mutants. The trailing @alu function is deliberate
+// remark fodder: it folds (3*4), strength-reduces (x*12), misses (x*y),
+// and CSEs two identical adds, so --remarks output exercises every kind.
 "hir.func"() {arg_types = [i32, i32], external = unit, result_delays = [2 : index], result_types = [i32], sym_name = "mult"} : () -> ()
 "hir.func"() ({
 ^bb(%0: i32, %1: i32, %2: i32, %3: !hir.time):
@@ -24,3 +26,15 @@
   %6 = "hir.add"(%4, %5) : (i32, i32) -> (i32)
   "hir.return"(%6) : (i32) -> ()
 }) {arg_names = ["a", "b", "c"], result_delays = [2 : index], sym_name = "mac2"} : () -> ()
+"hir.func"() ({
+^bb(%0: i32, %1: i32, %2: !hir.time):
+  %3 = "hir.constant"() {value = 3 : index} : () -> (!hir.const)
+  %4 = "hir.constant"() {value = 4 : index} : () -> (!hir.const)
+  %5 = "hir.mult"(%3, %4) : (!hir.const, !hir.const) -> (!hir.const)
+  %6 = "hir.mult"(%0, %5) : (i32, !hir.const) -> (i32)
+  %7 = "hir.mult"(%0, %1) : (i32, i32) -> (i32)
+  %8 = "hir.add"(%6, %7) : (i32, i32) -> (i32)
+  %9 = "hir.add"(%6, %7) : (i32, i32) -> (i32)
+  %10 = "hir.add"(%8, %9) : (i32, i32) -> (i32)
+  "hir.return"(%10) : (i32) -> ()
+}) {arg_names = ["x", "y"], result_delays = [0 : index], sym_name = "alu"} : () -> ()

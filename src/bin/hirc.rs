@@ -39,15 +39,32 @@ options:
                            MLIR-style reproducer (pre-pass IR + remaining
                            pipeline) to PATH
   --error-limit=N          stop reporting parse errors after N (default 20)
-  --emit=KIND              output kind: verilog (default), pretty, ir
+  --emit=KIND              output kind: verilog (default), pretty, ir, or
+                           sim (generate the design, run it in the RTL
+                           harness, and print a deterministic run summary)
   -o PATH                  write output to PATH instead of stdout
-  --sim-max-cycles=N       cycle watchdog for the smoke simulation run under
-                           --stats/--profile (default 64)
+  --sim-vcd=PATH           with --emit=sim, dump a VCD waveform of the whole
+                           harness run to PATH
+  --sim-max-cycles=N       cycle watchdog for simulation runs: the smoke run
+                           under --stats/--profile (default 64) and the
+                           harness run under --emit=sim (default 100000)
   --sim-engine=ENGINE      simulator engine for the smoke run: bytecode
                            (default; flat compiled tapes) or treewalk (the
                            reference expression-tree evaluator)
+  --remarks=PATH           stream optimization remarks (applied AND missed)
+                           from the pass pipeline as JSON lines to PATH
+  --rpass=REGEX            echo remarks whose pass name matches REGEX as
+                           `remark:` diagnostics on stderr
+  --schedule-report[=PATH] per-function schedule timeline (each op's time
+                           root, offset, latency, loop IIs, pipeline depth):
+                           ASCII Gantt chart on stderr, or JSON to PATH
+  --resource-report[=PATH] hardware resources tallied during Verilog
+                           emission (registers, memory ports by kind,
+                           arithmetic units, delay-line bits): table on
+                           stderr, or JSON to PATH
   --timing                 per-pass wall time and op-count deltas (stderr)
   --stats                  counter/statistic table from every stage (stderr)
+  --stats=PATH             machine-readable JSON counters/statistics to PATH
   --profile=PATH           write a Chrome trace-event JSON profile to PATH
   --print-ir-before-all    dump IR to stderr before each pass
   --print-ir-after-all     dump IR to stderr after each pass
@@ -82,8 +99,15 @@ struct Options {
     error_limit: usize,
     sim_max_cycles: Option<u64>,
     sim_engine: verilog::Engine,
+    sim_vcd: Option<String>,
+    remarks: Option<String>,
+    rpass: Option<obs::rex::Regex>,
+    /// `Some(None)` = report to stderr, `Some(Some(path))` = JSON to file.
+    schedule_report: Option<Option<String>>,
+    resource_report: Option<Option<String>>,
     timing: bool,
     stats: bool,
+    stats_file: Option<String>,
     profile: Option<String>,
     print_ir_before_all: bool,
     print_ir_after_all: bool,
@@ -104,8 +128,14 @@ fn parse_args() -> Result<Option<Options>, String> {
         error_limit: 0, // 0 = parser default
         sim_max_cycles: None,
         sim_engine: verilog::Engine::default(),
+        sim_vcd: None,
+        remarks: None,
+        rpass: None,
+        schedule_report: None,
+        resource_report: None,
         timing: false,
         stats: false,
+        stats_file: None,
         profile: None,
         print_ir_before_all: false,
         print_ir_after_all: false,
@@ -118,6 +148,8 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--verify-each" => opts.verify_each = true,
             "--timing" => opts.timing = true,
             "--stats" => opts.stats = true,
+            "--schedule-report" => opts.schedule_report = Some(None),
+            "--resource-report" => opts.resource_report = Some(None),
             "--print-ir-before-all" => opts.print_ir_before_all = true,
             "--print-ir-after-all" => opts.print_ir_after_all = true,
             "-o" => opts.output = Some(args.next().ok_or("-o needs a path")?),
@@ -191,9 +223,51 @@ fn parse_args() -> Result<Option<Options>, String> {
                     return Err("--profile needs a path".into());
                 }
             }
+            _ if a.starts_with("--stats=") => {
+                let path = &a["--stats=".len()..];
+                if path.is_empty() {
+                    return Err("--stats= needs a path (or use bare --stats)".into());
+                }
+                opts.stats_file = Some(path.to_string());
+            }
+            _ if a.starts_with("--remarks=") => {
+                let path = &a["--remarks=".len()..];
+                if path.is_empty() {
+                    return Err("--remarks needs a path".into());
+                }
+                opts.remarks = Some(path.to_string());
+            }
+            _ if a.starts_with("--rpass=") => {
+                let pattern = &a["--rpass=".len()..];
+                opts.rpass = Some(
+                    obs::rex::Regex::new(pattern)
+                        .map_err(|e| format!("--rpass: bad regex '{pattern}': {e}"))?,
+                );
+            }
+            _ if a.starts_with("--schedule-report=") => {
+                let path = &a["--schedule-report=".len()..];
+                if path.is_empty() {
+                    return Err("--schedule-report= needs a path".into());
+                }
+                opts.schedule_report = Some(Some(path.to_string()));
+            }
+            _ if a.starts_with("--resource-report=") => {
+                let path = &a["--resource-report=".len()..];
+                if path.is_empty() {
+                    return Err("--resource-report= needs a path".into());
+                }
+                opts.resource_report = Some(Some(path.to_string()));
+            }
+            _ if a.starts_with("--sim-vcd=") => {
+                let path = &a["--sim-vcd=".len()..];
+                if path.is_empty() {
+                    return Err("--sim-vcd needs a path".into());
+                }
+                opts.sim_vcd = Some(path.to_string());
+            }
             _ if a.starts_with("--emit=") => {
                 opts.emit = a["--emit=".len()..].to_string();
-                if !["verilog", "pretty", "ir"].contains(&opts.emit.as_str()) {
+                if !["verilog", "pretty", "ir", "sim"].contains(&opts.emit.as_str()) {
                     return Err(format!("unknown --emit kind '{}'", opts.emit));
                 }
             }
@@ -207,6 +281,9 @@ fn parse_args() -> Result<Option<Options>, String> {
     }
     if opts.input.is_empty() {
         return Err("no input file (try --help)".into());
+    }
+    if opts.sim_vcd.is_some() && opts.emit != "sim" {
+        return Err("--sim-vcd requires --emit=sim".into());
     }
     Ok(Some(opts))
 }
@@ -225,8 +302,12 @@ fn main() -> ExitCode {
         }
     };
     // Recording costs nothing unless a reporting flag asks for it.
-    let observing = opts.stats || opts.profile.is_some() || opts.timing;
+    let observing =
+        opts.stats || opts.stats_file.is_some() || opts.profile.is_some() || opts.timing;
     obs::set_enabled(observing);
+    // Remark recording is gated separately so --remarks/--rpass work without
+    // paying for span/counter instrumentation (and vice versa).
+    obs::set_remarks_enabled(opts.remarks.is_some() || opts.rpass.is_some());
 
     let source = match std::fs::read_to_string(&opts.input) {
         Ok(s) => s,
@@ -381,6 +462,45 @@ fn main() -> ExitCode {
     }
     let t_opt = t0.elapsed();
 
+    // Optimization remarks: stream as JSONL and/or echo the passes the user
+    // asked about. The pipeline merged per-function remarks in module order,
+    // so both outputs are byte-identical at every --threads value.
+    if opts.remarks.is_some() || opts.rpass.is_some() {
+        let remarks = pipeline.take_remarks();
+        if let Some(path) = &opts.remarks {
+            let mut out = String::with_capacity(remarks.len() * 96);
+            for r in &remarks {
+                out.push_str(&r.to_json());
+                out.push('\n');
+            }
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("hirc: cannot write remarks '{path}': {e}");
+                return ExitCode::from(EXIT_DIAGNOSTICS);
+            }
+        }
+        if let Some(re) = &opts.rpass {
+            let mut engine = ir::DiagnosticEngine::new();
+            for r in remarks.iter().filter(|r| re.is_match(&r.pass)) {
+                let mut msg = format!("[{}] {}", r.pass, r.message);
+                if !r.args.is_empty() {
+                    let rendered: Vec<String> = r
+                        .args
+                        .iter()
+                        .map(|(k, v)| match v {
+                            obs::RemarkValue::Int(i) => format!("{k}={i}"),
+                            obs::RemarkValue::Str(s) => format!("{k}={s}"),
+                        })
+                        .collect();
+                    msg.push_str(&format!(" ({})", rendered.join(", ")));
+                }
+                engine.emit(ir::Diagnostic::remark(parse_loc(&r.loc), msg));
+            }
+            if !engine.diagnostics().is_empty() {
+                eprintln!("{}", engine.render());
+            }
+        }
+    }
+
     if opts.verify_only {
         eprintln!("hirc: ok");
         return finish(
@@ -393,21 +513,51 @@ fn main() -> ExitCode {
         );
     }
 
+    // Schedule report: recomputed from the (verified, possibly optimized)
+    // module, so offsets agree with what codegen will implement.
+    if let Some(dest) = &opts.schedule_report {
+        let report = hir_verify::schedule_report(&module);
+        match dest {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("hirc: cannot write schedule report '{path}': {e}");
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
+                }
+            }
+            None => eprint!("{}", report.gantt()),
+        }
+    }
+
     let t0 = std::time::Instant::now();
     let mut design = None;
+    let mut resources: Option<hir_codegen::ResourceReport> = None;
     let text = match opts.emit.as_str() {
         "pretty" => hir::pretty_module(&module),
         "ir" => ir::print_module(&module),
+        "sim" => match run_sim(&opts, &module) {
+            Ok((summary, report)) => {
+                resources = Some(report);
+                summary
+            }
+            Err(e) => {
+                eprintln!("hirc: {e}");
+                return ExitCode::from(EXIT_DIAGNOSTICS);
+            }
+        },
         _ => {
             let generated = {
                 let _s = obs::span_in("codegen", "generate design");
-                hir_codegen::generate_design(&module, &hir_codegen::CodegenOptions::default())
+                hir_codegen::generate_design_with_report(
+                    &module,
+                    &hir_codegen::CodegenOptions::default(),
+                )
             };
             match generated {
-                Ok(d) => {
+                Ok((d, report)) => {
                     let _s = obs::span_in("emit", "print verilog");
                     let text = verilog::print_design(&d);
                     design = Some(d);
+                    resources = Some(report);
                     text
                 }
                 Err(e) => {
@@ -418,6 +568,33 @@ fn main() -> ExitCode {
         }
     };
     let t_emit = t0.elapsed();
+
+    // Resource report: reuse the tallies from the emission above, or run
+    // codegen just for the report when emitting pretty/ir.
+    if let Some(dest) = &opts.resource_report {
+        let report = match resources.take() {
+            Some(r) => r,
+            None => match hir_codegen::generate_design_with_report(
+                &module,
+                &hir_codegen::CodegenOptions::default(),
+            ) {
+                Ok((_, r)) => r,
+                Err(e) => {
+                    eprintln!("hirc: {e}");
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
+                }
+            },
+        };
+        match dest {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("hirc: cannot write resource report '{path}': {e}");
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
+                }
+            }
+            None => eprint!("{}", report.table()),
+        }
+    }
 
     // Under --stats/--profile, exercise the emitted design in the simulator
     // for a bounded number of cycles so the report covers the sim stage too.
@@ -498,6 +675,89 @@ impl Pipeline {
             Pipeline::PerFunction(fp) => fp.timing_report(),
         }
     }
+
+    fn take_remarks(&mut self) -> Vec<obs::Remark> {
+        match self {
+            Pipeline::Serial(pm) => pm.take_remarks(),
+            Pipeline::PerFunction(fp) => fp.take_remarks(),
+        }
+    }
+}
+
+/// Recover an [`ir::Location`] from a remark's rendered `file:line:col`
+/// string (remarks store locations as text so `obs` stays IR-agnostic).
+fn parse_loc(s: &str) -> ir::Location {
+    let mut parts = s.rsplitn(3, ':');
+    if let (Some(col), Some(line), Some(file)) = (parts.next(), parts.next(), parts.next()) {
+        if let (Ok(line), Ok(col)) = (line.parse(), col.parse()) {
+            return ir::Location::file_line_col(file, line, col);
+        }
+    }
+    ir::Location::unknown()
+}
+
+/// `--emit=sim`: generate the design, add behavioral stubs for external
+/// functions, and run the last non-external function under the RTL harness
+/// with deterministic arguments. Returns the run summary (the stdout
+/// artifact) and the resource report tallied during generation.
+fn run_sim(
+    opts: &Options,
+    module: &ir::Module,
+) -> Result<(String, hir_codegen::ResourceReport), String> {
+    use hir_codegen::testbench::{Harness, HarnessArg, DEFAULT_SIM_MAX_CYCLES};
+    let (mut design, report) = {
+        let _s = obs::span_in("codegen", "generate design");
+        hir_codegen::generate_design_with_report(module, &hir_codegen::CodegenOptions::default())
+            .map_err(|e| e.to_string())?
+    };
+    for stub in hir_codegen::extern_stubs(module).map_err(|e| e.to_string())? {
+        design.add(stub);
+    }
+    let func = module
+        .top_ops()
+        .iter()
+        .filter_map(|&t| hir::ops::FuncOp::wrap(module, t))
+        .rfind(|f| !f.is_external(module))
+        .ok_or("nothing to simulate: module has no non-external functions")?;
+    let name = func.name(module);
+    // Deterministic stimulus: scalars count up from 3 in steps of 3, and
+    // memories hold a small repeating ramp, so waveforms and results are
+    // byte-identical across runs and thread counts.
+    let mut args = Vec::new();
+    for (i, v) in func.args(module).iter().enumerate() {
+        let ty = module.value_type(*v);
+        if let Some(info) = hir::types::MemrefInfo::from_type(&ty) {
+            let n = info.num_elements() as usize;
+            args.push(HarnessArg::Mem(
+                (0..n).map(|k| (k % 17) as i128 + 1).collect(),
+            ));
+        } else {
+            args.push(HarnessArg::Int(3 * (i as i128 + 1)));
+        }
+    }
+    let mut harness = Harness::new(&design, module, func, &args).map_err(|e| e.to_string())?;
+    harness.set_engine(opts.sim_engine);
+    if let Some(path) = &opts.sim_vcd {
+        harness
+            .dump_vcd(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+    }
+    let max = opts.sim_max_cycles.unwrap_or(DEFAULT_SIM_MAX_CYCLES);
+    let rep = {
+        // The cycle-stamped span lands on the same Chrome-trace timeline as
+        // the compiler passes, correlating sim activity with compile stages.
+        let mut s = obs::span_in("sim", "harness run");
+        s.arg("top", hir_codegen::module_name(&name))
+            .arg("max_cycles", max);
+        harness.run(max).map_err(|e| e.to_string())?
+    };
+    obs::counter_add("sim", "cycles", rep.cycles);
+    obs::set_stat("sim", "top", hir_codegen::module_name(&name));
+    let mut summary = format!("sim @{name}: quiescent after cycle {}\n", rep.cycles);
+    for (i, r) in rep.results.iter().enumerate() {
+        summary.push_str(&format!("result{i} = {r}\n"));
+    }
+    Ok((summary, report))
 }
 
 /// Render the requested reports (timing, stats, profile) and exit.
@@ -519,6 +779,12 @@ fn finish(
     }
     if opts.stats {
         eprint!("{}", obs::stats_table());
+    }
+    if let Some(path) = &opts.stats_file {
+        if let Err(e) = std::fs::write(path, obs::stats_json()) {
+            eprintln!("hirc: cannot write stats '{path}': {e}");
+            return ExitCode::from(EXIT_DIAGNOSTICS);
+        }
     }
     if let Some(path) = &opts.profile {
         if let Err(e) = std::fs::write(path, obs::chrome_trace()) {

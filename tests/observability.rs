@@ -1,0 +1,352 @@
+//! End-to-end tests of the observability surface: optimization remarks,
+//! schedule/resource reports, machine-readable stats, and simulator VCD
+//! waveforms, all driven through the `hirc` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hirc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hirc"))
+}
+
+fn example(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(name)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hirc_obs_{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Satellite (c): golden VCD for `examples/mac.mlir`. The simulated design
+/// is fully deterministic, so two runs must produce byte-identical
+/// waveforms with the expected structure and the known result value.
+#[test]
+fn mac_example_dumps_golden_vcd() {
+    let dir = tmp("vcd");
+    let run = |path: &PathBuf| {
+        let out = hirc()
+            .arg(example("mac.mlir"))
+            .arg("--emit=sim")
+            .arg(format!("--sim-vcd={}", path.display()))
+            .output()
+            .expect("run hirc");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let (w1, w2) = (dir.join("w1.vcd"), dir.join("w2.vcd"));
+    let stdout = run(&w1);
+    // mac(3, 6, 0): call @mult(3, 6) -> 18, + c delayed = 18.
+    assert!(stdout.contains("sim @mac"), "{stdout}");
+    assert!(stdout.contains("result0 = 18"), "{stdout}");
+
+    let vcd = std::fs::read_to_string(&w1).unwrap();
+    assert!(vcd.contains("$timescale 1ns $end"), "missing timescale");
+    assert!(vcd.contains("$var wire 1"), "missing 1-bit vars (clk)");
+    assert!(vcd.contains(" clk "), "clk not declared:\n{vcd}");
+    assert!(
+        vcd.contains("$enddefinitions $end"),
+        "missing enddefinitions"
+    );
+    assert!(vcd.contains("\n#0\n"), "missing time-zero marker");
+    // 18 = 0b10010 must appear as a bus value change once the result lands.
+    assert!(
+        vcd.contains("b10010 "),
+        "result value 18 never appears:\n{vcd}"
+    );
+
+    run(&w2);
+    let a = std::fs::read(&w1).unwrap();
+    let b = std::fs::read(&w2).unwrap();
+    assert_eq!(a, b, "VCD dumps must be byte-identical across runs");
+}
+
+/// Satellite (c): `--remarks` JSONL is byte-identical whether the pass
+/// pipeline runs serially or across four worker threads, every line is
+/// strict JSON, and the multi_kernel example produces at least one applied
+/// remark from each of CSE, constant folding, and strength reduction.
+#[test]
+fn remarks_jsonl_is_deterministic_across_threads() {
+    let dir = tmp("remarks");
+    let run = |threads: u32, path: &PathBuf| {
+        let out = hirc()
+            .arg(example("multi_kernel.mlir"))
+            .arg("--opt")
+            .arg(format!("--threads={threads}"))
+            .arg(format!("--remarks={}", path.display()))
+            .arg("--emit=ir")
+            .output()
+            .expect("run hirc");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let (r1, r4) = (dir.join("t1.jsonl"), dir.join("t4.jsonl"));
+    run(1, &r1);
+    run(4, &r4);
+    let t1 = std::fs::read_to_string(&r1).unwrap();
+    let t4 = std::fs::read_to_string(&r4).unwrap();
+    assert_eq!(t1, t4, "remark stream must not depend on --threads");
+
+    let mut applied_cse = 0;
+    let mut applied_fold = 0;
+    let mut applied_strength = 0;
+    let mut missed = 0;
+    for line in t1.lines() {
+        let v = obs::json::parse(line).unwrap_or_else(|e| panic!("bad JSONL: {e}\n{line}"));
+        let o = v.as_object().expect("remark is an object");
+        let pass = o.get("pass").and_then(|p| p.as_str()).expect("pass field");
+        let status = o
+            .get("status")
+            .and_then(|s| s.as_str())
+            .expect("status field");
+        assert!(
+            status == "applied" || status == "missed",
+            "unknown status {status}"
+        );
+        match (pass, status) {
+            ("hir-cse", "applied") => applied_cse += 1,
+            ("hir-fold-constants", "applied") => applied_fold += 1,
+            ("hir-strength-reduce", "applied") => applied_strength += 1,
+            _ => {}
+        }
+        if status == "missed" {
+            missed += 1;
+        }
+    }
+    assert!(applied_cse >= 1, "no applied CSE remark:\n{t1}");
+    assert!(applied_fold >= 1, "no applied fold remark:\n{t1}");
+    assert!(applied_strength >= 1, "no applied strength remark:\n{t1}");
+    assert!(missed >= 1, "no missed remark:\n{t1}");
+}
+
+/// The full acceptance invocation: all three report artifacts in one run,
+/// each strict-JSON-parseable, with the expected shape.
+#[test]
+fn report_flags_write_strict_json_artifacts() {
+    let dir = tmp("reports");
+    let (r, s, u, st, v) = (
+        dir.join("r.jsonl"),
+        dir.join("s.json"),
+        dir.join("u.json"),
+        dir.join("stats.json"),
+        dir.join("out.v"),
+    );
+    let out = hirc()
+        .arg(example("multi_kernel.mlir"))
+        .arg("--opt")
+        .arg(format!("--remarks={}", r.display()))
+        .arg(format!("--schedule-report={}", s.display()))
+        .arg(format!("--resource-report={}", u.display()))
+        .arg(format!("--stats={}", st.display()))
+        .arg("--emit=verilog")
+        .arg("-o")
+        .arg(&v)
+        .output()
+        .expect("run hirc");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(std::fs::read_to_string(&v).unwrap().contains("module "));
+
+    // Schedule report: one entry per non-external function, each op row
+    // carrying root/offset/latency.
+    let sched = obs::json::parse(&std::fs::read_to_string(&s).unwrap()).expect("schedule JSON");
+    let funcs = sched
+        .as_object()
+        .unwrap()
+        .get("functions")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(funcs.len(), 4, "mac0..mac2 + alu (extern mult excluded)");
+    for f in funcs {
+        let f = f.as_object().unwrap();
+        assert!(f.get("pipeline_depth").unwrap().as_f64().is_some());
+        for op in f.get("ops").unwrap().as_array().unwrap() {
+            let op = op.as_object().unwrap();
+            for key in ["op", "root"] {
+                assert!(op.get(key).unwrap().as_str().is_some(), "missing {key}");
+            }
+            for key in ["offset", "latency"] {
+                assert!(op.get(key).unwrap().as_f64().is_some(), "missing {key}");
+            }
+        }
+    }
+
+    // Resource report: same function set, with register and arithmetic
+    // counts; the alu function keeps at least one adder after CSE.
+    let res = obs::json::parse(&std::fs::read_to_string(&u).unwrap()).expect("resource JSON");
+    let rfuncs = res
+        .as_object()
+        .unwrap()
+        .get("functions")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(rfuncs.len(), 4);
+    let alu = rfuncs
+        .iter()
+        .find(|f| {
+            f.as_object()
+                .and_then(|o| o.get("function"))
+                .and_then(|n| n.as_str())
+                == Some("alu")
+        })
+        .expect("alu in resource report");
+    let alu = alu.as_object().unwrap();
+    let arith = alu.get("arith").unwrap().as_object().unwrap();
+    assert!(arith.get("add").unwrap().as_f64().unwrap() >= 1.0);
+    // x*12 strength-reduces to shift-adds, visible as shifter units.
+    assert!(arith.get("shl").unwrap().as_f64().unwrap() >= 1.0);
+    // The mac functions register their delayed operands and call results.
+    let mac0 = rfuncs[0].as_object().unwrap();
+    assert!(mac0.get("registers").unwrap().as_f64().unwrap() >= 1.0);
+    assert!(mac0.get("delay_lines").unwrap().as_f64().unwrap() >= 1.0);
+
+    // Stats file: strict JSON from the obs layer.
+    let stats = obs::json::parse(&std::fs::read_to_string(&st).unwrap()).expect("stats JSON");
+    assert!(stats.as_object().is_some());
+
+    // Remarks: at least one line, all parseable (detail covered above).
+    let remarks = std::fs::read_to_string(&r).unwrap();
+    assert!(remarks.lines().count() >= 3, "{remarks}");
+    for line in remarks.lines() {
+        obs::json::parse(line).expect("remark line");
+    }
+}
+
+/// Satellite (a): `--rpass=REGEX` echoes matching remarks through the
+/// diagnostic engine with `remark:` severity.
+#[test]
+fn rpass_echoes_matching_remarks_as_diagnostics() {
+    let out = hirc()
+        .arg(example("multi_kernel.mlir"))
+        .arg("--opt")
+        .arg("--rpass=strength")
+        .arg("--emit=ir")
+        .output()
+        .expect("run hirc");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("remark:"), "no remark diagnostics:\n{err}");
+    assert!(err.contains("hir-strength-reduce"), "{err}");
+    assert!(
+        !err.contains("hir-cse"),
+        "--rpass=strength must filter out CSE remarks:\n{err}"
+    );
+
+    // Without --rpass (and without --remarks) nothing is echoed.
+    let out = hirc()
+        .arg(example("multi_kernel.mlir"))
+        .arg("--opt")
+        .arg("--emit=ir")
+        .output()
+        .expect("run hirc");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("remark:"), "{err}");
+}
+
+/// Acceptance: the schedule report's per-op offsets agree with the validity
+/// analysis on the `examples/schedule_errors.rs` fixtures (the valid
+/// variants of the paper's Figure 1 and Figure 2 designs).
+#[test]
+fn schedule_report_agrees_with_validity_on_figure_fixtures() {
+    for m in [
+        kernels::errors::figure1_array_add(true),
+        kernels::errors::figure2_mac(2),
+    ] {
+        let report = hir_verify::schedule_report(&m);
+        let symbols = ir::SymbolTable::build(&m);
+        for &top in m.top_ops() {
+            let Some(func) = hir::ops::FuncOp::wrap(&m, top) else {
+                continue;
+            };
+            if func.is_external(&m) {
+                continue;
+            }
+            let mut diags = ir::DiagnosticEngine::new();
+            let info = hir_verify::analyze_function(&m, func, &symbols, &mut diags);
+            assert!(!diags.has_errors(), "{}", diags.render());
+            let fr = report
+                .functions
+                .iter()
+                .find(|f| f.name == func.name(&m))
+                .expect("function in report");
+            assert!(!fr.ops.is_empty(), "no rows for {}", fr.name);
+            for row in &fr.ops {
+                // Only ops that produce a value whose validity the analysis
+                // tracks at a known latency.
+                if row.op != hir::opname::DELAY
+                    && row.op != hir::opname::MEM_READ
+                    && row.op != hir::opname::CALL
+                {
+                    continue;
+                }
+                let op = m
+                    .collect_all_ops()
+                    .into_iter()
+                    .find(|&o| {
+                        m.is_live(o)
+                            && m.op(o).name().as_str() == row.op
+                            && m.op(o).loc().to_string() == row.loc
+                            && hir::ops::time_operand(&m, o) == Some(row.root_value)
+                            && hir::ops::time_offset(&m, o) == row.offset
+                    })
+                    .expect("report row corresponds to a live op");
+                let result = m.op(op).results()[0];
+                match info.validity.get(&result) {
+                    Some(hir_verify::Validity::At { root, offset }) => {
+                        assert_eq!(*root, row.root_value, "root mismatch on {}", row.op);
+                        assert_eq!(
+                            *offset,
+                            row.offset + row.latency,
+                            "offset mismatch on {} at {}",
+                            row.op,
+                            row.loc
+                        );
+                    }
+                    other => panic!("unexpected validity {other:?} for {}", row.op),
+                }
+            }
+        }
+    }
+}
+
+/// Flag validation: `--sim-vcd` is meaningless without the simulator
+/// backend and must be rejected as a usage error (exit code 2).
+#[test]
+fn sim_vcd_requires_sim_emit() {
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--sim-vcd=/tmp/never.vcd")
+        .output()
+        .expect("run hirc");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--sim-vcd requires --emit=sim"), "{err}");
+}
+
+/// A bad `--rpass` pattern is a usage error, not a crash.
+#[test]
+fn rpass_rejects_bad_regex() {
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--rpass=[unclosed")
+        .output()
+        .expect("run hirc");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--rpass"));
+}
