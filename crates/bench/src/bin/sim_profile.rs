@@ -52,29 +52,42 @@ fn main() {
     ];
     let expect = kernels::gemm::reference(n, &a, &b);
 
-    let measure = |engine: verilog::Engine, label: &'static str| -> EngineRun {
+    let measure = |engine: verilog::Engine,
+                   label: &'static str,
+                   telemetry: bool|
+     -> (EngineRun, Option<verilog::TelemetryReport>) {
         let mut best = u128::MAX;
         let mut cycles = 0u64;
+        let mut telem = None;
         for _ in 0..reps {
             let mut h = Harness::new(&design, &m, func, &args).expect("harness");
             h.set_engine(engine);
+            if telemetry {
+                h.enable_telemetry(false);
+            }
             let t0 = Instant::now();
             let report = h.run(1_000_000).expect("run");
             best = best.min(t0.elapsed().as_nanos());
             cycles = report.cycles;
             assert_eq!(report.mems[&2], expect, "{label}: wrong GEMM result");
+            if telemetry {
+                telem = h.telemetry_report(None);
+            }
         }
         let rate = cycles as f64 / (best as f64 / 1e9);
         println!(
             "{label:<10} {cycles:>8} cycles in {:>8.4}s  ({rate:>12.0} cycles/s)",
             best as f64 / 1e9
         );
-        EngineRun {
-            label,
-            cycles,
-            best_ns: best,
-            cycles_per_s: rate,
-        }
+        (
+            EngineRun {
+                label,
+                cycles,
+                best_ns: best,
+                cycles_per_s: rate,
+            },
+            telem,
+        )
     };
 
     let tape = {
@@ -84,12 +97,24 @@ fn main() {
         (na, st, nal, sp, nr)
     };
     println!("GEMM N={n} testbench, best of {reps}");
-    let bc = measure(verilog::Engine::Bytecode, "bytecode");
-    let tw = measure(verilog::Engine::TreeWalk, "tree-walk");
+    let (bc, _) = measure(verilog::Engine::Bytecode, "bytecode", false);
+    let (tw, _) = measure(verilog::Engine::TreeWalk, "tree-walk", false);
+    let (bt, telem) = measure(verilog::Engine::Bytecode, "bc+telem", true);
     let speedup = bc.cycles_per_s / tw.cycles_per_s;
     println!("speedup    {speedup:.1}x");
+    // Telemetry slowdown (counters on vs off, same engine): the instrumented
+    // interpreter replaces the plain tape loop, so this measures its full cost.
+    let overhead_pct = 100.0 * (1.0 - bt.cycles_per_s / bc.cycles_per_s);
+    println!("telemetry overhead {overhead_pct:.1}%");
+    let telem = telem.expect("telemetry report from instrumented run");
+    let overall = telem.overall_quiescence();
+    let (worst_name, worst_frac) = telem
+        .worst_cone()
+        .map(|(name, frac)| (name.to_string(), frac))
+        .unwrap_or_default();
+    println!("quiescence overall {overall:.3}, worst cone {worst_name} ({worst_frac:.3})");
 
-    let engines: Vec<String> = [&bc, &tw]
+    let engines: Vec<String> = [&bc, &tw, &bt]
         .iter()
         .map(|r| {
             format!(
@@ -102,7 +127,7 @@ fn main() {
         })
         .collect();
     let doc = format!(
-        "{{\n  \"gemm_n\": {n},\n  \"reps\": {reps},\n  \"tape\": {{\"assigns\":{},\"settle_tape\":{},\"always\":{},\"step_tape\":{},\"regs\":{}}},\n  \"engines\": [\n{}\n  ],\n  \"speedup_bytecode_vs_treewalk\": {:.2}\n}}\n",
+        "{{\n  \"gemm_n\": {n},\n  \"reps\": {reps},\n  \"tape\": {{\"assigns\":{},\"settle_tape\":{},\"always\":{},\"step_tape\":{},\"regs\":{}}},\n  \"engines\": [\n{}\n  ],\n  \"speedup_bytecode_vs_treewalk\": {:.2},\n  \"telemetry\": {{\"overhead_pct\":{:.1},\"toggle_coverage\":{:.6}}},\n  \"quiescence\": {{\"overall\":{:.6},\"worst_cone\":\"{}\",\"worst_fraction\":{:.6}}}\n}}\n",
         tape.0,
         tape.1,
         tape.2,
@@ -110,6 +135,11 @@ fn main() {
         tape.4,
         engines.join(",\n"),
         speedup,
+        overhead_pct,
+        telem.toggle_coverage(),
+        overall,
+        escape(&worst_name),
+        worst_frac,
     );
     // Same rule as pass_profile: prove the document parses before writing.
     obs::json::parse(&doc).expect("generated JSON is valid");

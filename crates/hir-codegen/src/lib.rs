@@ -28,7 +28,7 @@
 pub mod resources;
 pub mod testbench;
 
-pub use resources::{FuncResources, ResourceReport};
+pub use resources::{ActivityMode, FuncResources, ResourceReport, UnitNet};
 
 use hir::dialect::opname;
 use hir::ops::{
@@ -807,6 +807,11 @@ impl<'m> FuncCodegen<'m> {
         };
         let wire = self.fresh("v");
         self.module.wire(&wire, width);
+        self.res.unit_nets.push(resources::UnitNet {
+            unit: format!("arith.{}", resources::kind_label(kind)),
+            net: wire.clone(),
+            mode: resources::ActivityMode::Toggle,
+        });
         if self.options.location_comments {
             let c = self.loc_comment(op);
             self.module.assign_with_comment(&wire, expr, c);
@@ -842,6 +847,11 @@ impl<'m> FuncCodegen<'m> {
             prev = Expr::r(&reg);
             last = reg;
         }
+        self.res.unit_nets.push(resources::UnitNet {
+            unit: "delay".into(),
+            net: last.clone(),
+            mode: resources::ActivityMode::Toggle,
+        });
         env.insert(result, CgVal::Wire(last, width));
         Ok(())
     }
@@ -1044,6 +1054,11 @@ impl<'m> FuncCodegen<'m> {
         let iter = self.module.wire(format!("{stem}_iter"), 1);
         let done = self.module.wire(format!("{stem}_done"), 1);
         let iv_sig = self.module.wire(format!("{stem}_i"), iv_width);
+        self.res.unit_nets.push(resources::UnitNet {
+            unit: "loop".into(),
+            net: iter.clone(),
+            mode: resources::ActivityMode::High,
+        });
 
         let try_ = Expr::or(Expr::r(&start_sig), Expr::r(&again));
         self.module.assign(
@@ -1202,16 +1217,33 @@ impl<'m> FuncCodegen<'m> {
             }
         }
         // Results.
+        let mut first_result = None;
         for (i, &res) in m.op(call.id()).results().iter().enumerate() {
             let w = self.width_of(res);
             let wire = self.module.wire(format!("{inst_name}_r{i}"), w);
             connections.push((format!("result{i}"), Expr::r(&wire)));
+            if i == 0 {
+                first_result = Some(wire.clone());
+            }
             env.insert(res, CgVal::Wire(wire, w));
         }
         if !callee.is_external(m) {
             let b = self.module.wire(format!("{inst_name}_busy"), 1);
             connections.push(("busy".into(), Expr::r(&b)));
+            self.res.unit_nets.push(resources::UnitNet {
+                unit: "instance".into(),
+                net: b.clone(),
+                mode: resources::ActivityMode::High,
+            });
             self.busy.push(Expr::r(&b));
+        } else if let Some(r0) = first_result {
+            // External IP exposes no busy signal: its first result wire
+            // stands in (toggle-counted).
+            self.res.unit_nets.push(resources::UnitNet {
+                unit: "instance".into(),
+                net: r0,
+                mode: resources::ActivityMode::Toggle,
+            });
         }
         let target_module = if callee.is_external(m) {
             sanitize(&call.callee(m))
@@ -1404,20 +1436,36 @@ impl<'m> FuncCodegen<'m> {
             match &port.kind {
                 PortKind::External { base } => {
                     let mk = |sig: &str| bus(base, b, banks, sig);
+                    let unit = format!("port.{}.{dir}", port.info.kind.mnemonic());
                     if port.info.port.can_read() {
                         self.module.assign(mk("addr"), rd_addr);
                         self.module.assign(mk("rd_en"), rd_en);
+                        self.res.unit_nets.push(resources::UnitNet {
+                            unit: unit.clone(),
+                            net: mk("rd_en"),
+                            mode: resources::ActivityMode::High,
+                        });
                     }
                     if port.info.port.can_write() {
                         self.module.assign(mk("waddr"), wr_addr);
                         self.module.assign(mk("wr_en"), wr_en.clone());
                         self.module.assign(mk("wr_data"), wr_data);
+                        self.res.unit_nets.push(resources::UnitNet {
+                            unit: unit.clone(),
+                            net: mk("wr_en"),
+                            mode: resources::ActivityMode::High,
+                        });
                     }
                 }
                 PortKind::Internal { alloc, port_index } => {
                     let mem = self.internal_memory(*alloc, b, width, depth, port.info.kind);
                     if port.info.port.can_read() && !reads.is_empty() {
                         let rdata = format!("m{}_{}_b{b}_rdata", alloc.index(), port_index);
+                        self.res.unit_nets.push(resources::UnitNet {
+                            unit: format!("port.{}.{dir}", port.info.kind.mnemonic()),
+                            net: rdata.clone(),
+                            mode: resources::ActivityMode::Toggle,
+                        });
                         match port.info.kind {
                             MemKind::Reg => {
                                 // Asynchronous (zero-latency) read.

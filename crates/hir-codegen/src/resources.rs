@@ -8,6 +8,40 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// How a unit's representative net translates to "the unit was active".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActivityMode {
+    /// Datapath unit: active in cycles where the net's value changed.
+    Toggle,
+    /// Control signal: active in cycles where the net was non-zero.
+    High,
+}
+
+impl ActivityMode {
+    /// Stable lower-case label (used in JSON and telemetry reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            ActivityMode::Toggle => "toggle",
+            ActivityMode::High => "high",
+        }
+    }
+}
+
+/// A scheduled resource unit joined to the generated net that witnesses its
+/// activity, so a simulation's telemetry counters can report dynamic
+/// utilization per unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitNet {
+    /// Unit label, matching the tally keys (`arith.add`, `delay`, `loop`,
+    /// `instance`, `port.bram.read`, …).
+    pub unit: String,
+    /// Net name inside the generated module. Nets of the *top* simulated
+    /// module keep their names through flattening, so these resolve
+    /// directly in the simulator.
+    pub net: String,
+    pub mode: ActivityMode,
+}
+
 /// Resource tally for one generated function module.
 ///
 /// Semantic counts (`arith`, `delay_lines`, `mem_ports`, …) are recorded at
@@ -46,6 +80,9 @@ pub struct FuncResources {
     pub memory_bits: u64,
     /// Module instances (calls to other functions / external IP).
     pub instances: u64,
+    /// Units joined to representative nets for dynamic utilization (one
+    /// entry per emitted unit, in emission order).
+    pub unit_nets: Vec<UnitNet>,
 }
 
 impl FuncResources {
@@ -98,7 +135,20 @@ impl FuncResources {
             }
             out.push('}');
         }
-        out.push('}');
+        out.push_str(",\"unit_nets\":[");
+        for (i, u) in self.unit_nets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"unit\":\"{}\",\"net\":\"{}\",\"mode\":\"{}\"}}",
+                obs::json::escape(&u.unit),
+                obs::json::escape(&u.net),
+                u.mode.label()
+            );
+        }
+        out.push_str("]}");
     }
 }
 

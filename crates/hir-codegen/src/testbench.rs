@@ -6,6 +6,7 @@
 //! paper's evaluation flow). Functional results are compared elsewhere
 //! against the HIR interpreter and software references.
 
+use crate::resources::{ActivityMode, FuncResources};
 use crate::{bus, module_name, CodegenError};
 use hir::ops::FuncOp;
 use hir::types::MemrefInfo;
@@ -52,22 +53,43 @@ pub struct HarnessReport {
     pub mems: HashMap<usize, Vec<i128>>,
 }
 
+/// Pre-resolved simulator net ids for one bank of a memref bus. `None`
+/// where the bus direction does not exist.
+#[derive(Clone, Copy, Default)]
+struct BankNets {
+    addr: Option<usize>,
+    rd_en: Option<usize>,
+    rd_data: Option<usize>,
+    waddr: Option<usize>,
+    wr_en: Option<usize>,
+    wr_data: Option<usize>,
+}
+
 struct MemModel {
     arg_index: usize,
-    base: String,
-    info: MemrefInfo,
     /// Flat storage: bank-major (`bank * bank_size + addr`).
     data: Vec<i128>,
     shared_with: Option<usize>,
+    /// Cached memref geometry so the per-cycle loops touch no `MemrefInfo`.
+    bank_size: u64,
+    elem_width: u32,
+    read_latency: u32,
+    can_read: bool,
+    can_write: bool,
+    /// One entry per bank, nets resolved to simulator ids at build time.
+    bank_nets: Vec<BankNets>,
 }
 
 /// Runs a generated HIR function module under RTL simulation.
 pub struct Harness {
     sim: Simulator,
     mems: Vec<MemModel>,
-    scalar_ports: Vec<(String, i128, u32)>,
-    result_ports: Vec<(String, String, u32)>,
-    activity_nets: Vec<String>,
+    /// (net id, value, width) per scalar argument port.
+    scalar_ports: Vec<(usize, i128, u32)>,
+    /// (result net id, valid net id, width) per function result.
+    result_ports: Vec<(usize, usize, u32)>,
+    /// Pre-resolved activity-indicator net ids (no per-cycle name lookups).
+    activity_ids: Vec<usize>,
 }
 
 impl Harness {
@@ -98,7 +120,14 @@ impl Harness {
             .arg_names(m)
             .unwrap_or_else(|| (0..formal.len()).map(|i| format!("arg{i}")).collect());
 
-        let mut mems = Vec::new();
+        // All net names are resolved to simulator ids here, once; the
+        // per-cycle loops in `run` never format a name or clone a string.
+        let nid = |name: &str| -> Result<usize, CodegenError> {
+            sim.net_id(name)
+                .ok_or_else(|| CodegenError(format!("net '{name}' not found in module {top}")))
+        };
+
+        let mut mems: Vec<MemModel> = Vec::new();
         let mut scalar_ports = Vec::new();
         let mut mem_index_by_arg: HashMap<usize, usize> = HashMap::new();
         for (i, (formal_v, actual)) in formal.iter().zip(args).enumerate() {
@@ -107,6 +136,37 @@ impl Harness {
                 .chars()
                 .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
                 .collect();
+            // Empty (no data, unshared) model with the geometry cached and
+            // every bus net resolved; the match arms below fill in storage.
+            let build = |info: &MemrefInfo| -> Result<MemModel, CodegenError> {
+                let banks = info.num_banks();
+                let mut bank_nets = Vec::with_capacity(banks as usize);
+                for b in 0..banks {
+                    let mut bn = BankNets::default();
+                    if info.port.can_read() {
+                        bn.addr = Some(nid(&bus(&base, b, banks, "addr"))?);
+                        bn.rd_en = Some(nid(&bus(&base, b, banks, "rd_en"))?);
+                        bn.rd_data = Some(nid(&bus(&base, b, banks, "rd_data"))?);
+                    }
+                    if info.port.can_write() {
+                        bn.waddr = Some(nid(&bus(&base, b, banks, "waddr"))?);
+                        bn.wr_en = Some(nid(&bus(&base, b, banks, "wr_en"))?);
+                        bn.wr_data = Some(nid(&bus(&base, b, banks, "wr_data"))?);
+                    }
+                    bank_nets.push(bn);
+                }
+                Ok(MemModel {
+                    arg_index: i,
+                    data: Vec::new(),
+                    shared_with: None,
+                    bank_size: info.bank_size(),
+                    elem_width: info.elem.bit_width().unwrap_or(32),
+                    read_latency: info.kind.read_latency(),
+                    can_read: info.port.can_read(),
+                    can_write: info.port.can_write(),
+                    bank_nets,
+                })
+            };
             match (MemrefInfo::from_type(&ty), actual) {
                 (Some(info), HarnessArg::Mem(data)) => {
                     if data.len() as u64 != info.num_elements() {
@@ -116,30 +176,22 @@ impl Harness {
                             info.num_elements()
                         )));
                     }
+                    let mut mm = build(&info)?;
+                    mm.data = data.clone();
                     mem_index_by_arg.insert(i, mems.len());
-                    mems.push(MemModel {
-                        arg_index: i,
-                        base,
-                        info,
-                        data: data.clone(),
-                        shared_with: None,
-                    });
+                    mems.push(mm);
                 }
                 (Some(info), HarnessArg::SharedWith(j)) => {
                     let &target = mem_index_by_arg
                         .get(j)
                         .ok_or_else(|| CodegenError(format!("SharedWith({j}) is not a memory")))?;
-                    mems.push(MemModel {
-                        arg_index: i,
-                        base,
-                        info,
-                        data: Vec::new(),
-                        shared_with: Some(target),
-                    });
+                    let mut mm = build(&info)?;
+                    mm.shared_with = Some(target);
+                    mems.push(mm);
                 }
                 (None, HarnessArg::Int(v)) => {
                     let width = ty.bit_width().unwrap_or(32);
-                    scalar_ports.push((base, *v, width));
+                    scalar_ports.push((nid(&base)?, *v, width));
                 }
                 _ => {
                     return Err(CodegenError(format!(
@@ -152,37 +204,36 @@ impl Harness {
         let mut result_ports = Vec::new();
         for (i, rty) in func.result_types(m).iter().enumerate() {
             result_ports.push((
-                format!("result{i}"),
-                format!("result{i}_valid"),
+                nid(&format!("result{i}"))?,
+                nid(&format!("result{i}_valid"))?,
                 rty.bit_width().unwrap_or(32),
             ));
         }
 
         // Activity: every memref bus enable in either direction.
-        let mut activity_nets = Vec::new();
+        let mut activity_ids = Vec::new();
         for mm in &mems {
-            let banks = mm.info.num_banks();
-            for b in 0..banks {
-                if mm.info.port.can_read() {
-                    activity_nets.push(bus(&mm.base, b, banks, "rd_en"));
+            for bn in &mm.bank_nets {
+                if let Some(id) = bn.rd_en {
+                    activity_ids.push(id);
                 }
-                if mm.info.port.can_write() {
-                    activity_nets.push(bus(&mm.base, b, banks, "wr_en"));
+                if let Some(id) = bn.wr_en {
+                    activity_ids.push(id);
                 }
             }
         }
-        for (_, valid, _) in &result_ports {
-            activity_nets.push(valid.clone());
+        for &(_, valid, _) in &result_ports {
+            activity_ids.push(valid);
         }
         // The design's own busy indicator covers internal-only phases.
-        activity_nets.push("busy".to_string());
+        activity_ids.push(nid("busy")?);
 
         Ok(Harness {
             sim,
             mems,
             scalar_ports,
             result_ports,
-            activity_nets,
+            activity_ids,
         })
     }
 
@@ -224,8 +275,8 @@ impl Harness {
                 .saturating_add(max_cycles)
                 .saturating_add(1),
         ));
-        for (name, v, w) in self.scalar_ports.clone() {
-            self.sim.set(&name, (v as u64) & mask(w));
+        for &(id, v, w) in &self.scalar_ports {
+            self.sim.set_id(id, (v as u64) & mask(w));
         }
         self.sim.set("start", 1);
 
@@ -237,14 +288,14 @@ impl Harness {
             self.serve_reads_pre();
             // Observe activity + capture results before the edge.
             let mut active = false;
-            for net in self.activity_nets.clone() {
-                if self.sim.get(&net) != 0 {
+            for &id in &self.activity_ids {
+                if self.sim.get_id(id) != 0 {
                     active = true;
                 }
             }
-            for (i, (port, valid, w)) in self.result_ports.clone().into_iter().enumerate() {
-                if self.sim.get(&valid) != 0 {
-                    let raw = self.sim.get(&port);
+            for (i, &(port, valid, w)) in self.result_ports.iter().enumerate() {
+                if self.sim.get_id(valid) != 0 {
+                    let raw = self.sim.get_id(port);
                     results[i] = Some(sign(raw, w));
                     active = true;
                 }
@@ -290,22 +341,20 @@ impl Harness {
     /// be visible combinationally in the same cycle.
     fn serve_reads_pre(&mut self) {
         for i in 0..self.mems.len() {
-            let (base, info, shared) = (
-                self.mems[i].base.clone(),
-                self.mems[i].info.clone(),
-                self.mems[i].shared_with,
-            );
-            if info.kind.read_latency() != 0 || !info.port.can_read() {
+            if self.mems[i].read_latency != 0 || !self.mems[i].can_read {
                 continue;
             }
-            let banks = info.num_banks();
-            let bank_size = info.bank_size();
-            for b in 0..banks {
-                let addr = self.sim.get(&bus(&base, b, banks, "addr"));
-                let idx = (b * bank_size + addr) as usize;
-                let store = shared.unwrap_or(i);
+            let store = self.mems[i].shared_with.unwrap_or(i);
+            let bank_size = self.mems[i].bank_size;
+            for b in 0..self.mems[i].bank_nets.len() {
+                let bn = self.mems[i].bank_nets[b];
+                let (Some(addr_id), Some(rd_data_id)) = (bn.addr, bn.rd_data) else {
+                    continue;
+                };
+                let addr = self.sim.get_id(addr_id);
+                let idx = (b as u64 * bank_size + addr) as usize;
                 let v = self.mems[store].data.get(idx).copied().unwrap_or(0);
-                self.sim.set(&bus(&base, b, banks, "rd_data"), v as u64);
+                self.sim.set_id(rd_data_id, v as u64);
             }
         }
     }
@@ -314,28 +363,33 @@ impl Harness {
     fn sample_requests(&mut self) -> Vec<Request> {
         let mut out = Vec::new();
         for i in 0..self.mems.len() {
-            let (base, info) = (self.mems[i].base.clone(), self.mems[i].info.clone());
-            let banks = info.num_banks();
-            for b in 0..banks {
-                if info.port.can_read() && info.kind.read_latency() > 0 {
-                    let en = self.sim.get(&bus(&base, b, banks, "rd_en"));
-                    if en != 0 {
-                        let addr = self.sim.get(&bus(&base, b, banks, "addr"));
+            for b in 0..self.mems[i].bank_nets.len() {
+                let bn = self.mems[i].bank_nets[b];
+                if self.mems[i].can_read && self.mems[i].read_latency > 0 {
+                    let (Some(en_id), Some(addr_id)) = (bn.rd_en, bn.addr) else {
+                        continue;
+                    };
+                    if self.sim.get_id(en_id) != 0 {
+                        let addr = self.sim.get_id(addr_id);
                         out.push(Request::Read {
                             mem: i,
-                            bank: b,
+                            bank: b as u64,
                             addr,
                         });
                     }
                 }
-                if info.port.can_write() {
-                    let en = self.sim.get(&bus(&base, b, banks, "wr_en"));
-                    if en != 0 {
-                        let addr = self.sim.get(&bus(&base, b, banks, "waddr"));
-                        let data = self.sim.get(&bus(&base, b, banks, "wr_data"));
+                if self.mems[i].can_write {
+                    let (Some(en_id), Some(waddr_id), Some(data_id)) =
+                        (bn.wr_en, bn.waddr, bn.wr_data)
+                    else {
+                        continue;
+                    };
+                    if self.sim.get_id(en_id) != 0 {
+                        let addr = self.sim.get_id(waddr_id);
+                        let data = self.sim.get_id(data_id);
                         out.push(Request::Write {
                             mem: i,
-                            bank: b,
+                            bank: b as u64,
                             addr,
                             data,
                         });
@@ -359,18 +413,14 @@ impl Harness {
         for r in ordered {
             match r {
                 Request::Read { mem, bank, addr } => {
-                    let (base, info, shared) = (
-                        self.mems[mem].base.clone(),
-                        self.mems[mem].info.clone(),
-                        self.mems[mem].shared_with,
-                    );
-                    let banks = info.num_banks();
-                    let idx = (bank * info.bank_size() + addr) as usize;
-                    let store = shared.unwrap_or(mem);
+                    let idx = (bank * self.mems[mem].bank_size + addr) as usize;
+                    let store = self.mems[mem].shared_with.unwrap_or(mem);
                     let v = self.mems[store].data.get(idx).copied().unwrap_or(0);
-                    let w = info.elem.bit_width().unwrap_or(32);
-                    self.sim
-                        .set(&bus(&base, bank, banks, "rd_data"), (v as u64) & mask(w));
+                    let w = self.mems[mem].elem_width;
+                    let Some(rd_data_id) = self.mems[mem].bank_nets[bank as usize].rd_data else {
+                        continue;
+                    };
+                    self.sim.set_id(rd_data_id, (v as u64) & mask(w));
                 }
                 Request::Write {
                     mem,
@@ -378,16 +428,68 @@ impl Harness {
                     addr,
                     data,
                 } => {
-                    let info = self.mems[mem].info.clone();
-                    let idx = (bank * info.bank_size() + addr) as usize;
+                    let idx = (bank * self.mems[mem].bank_size + addr) as usize;
                     let store = self.mems[mem].shared_with.unwrap_or(mem);
-                    let w = info.elem.bit_width().unwrap_or(32);
+                    let w = self.mems[mem].elem_width;
                     if idx < self.mems[store].data.len() {
                         self.mems[store].data[idx] = sign(data & mask(w), w);
                     }
                 }
             }
         }
+    }
+
+    // ---------------------------------------------------------- telemetry
+
+    /// Turn on the simulator's telemetry plane (call before [`run`]). With
+    /// `record_trace`, per-cone busy/quiescent intervals are kept for
+    /// [`telemetry_trace`].
+    ///
+    /// [`run`]: Self::run
+    /// [`telemetry_trace`]: Self::telemetry_trace
+    pub fn enable_telemetry(&mut self, record_trace: bool) {
+        self.sim.enable_telemetry(record_trace);
+    }
+
+    /// Snapshot the telemetry counters. When the function's static
+    /// [`FuncResources`] are given, its unit→net map is joined with the
+    /// measured counters into per-unit dynamic utilization (`units`).
+    pub fn telemetry_report(
+        &self,
+        resources: Option<&FuncResources>,
+    ) -> Option<verilog::TelemetryReport> {
+        let mut report = self.sim.telemetry_report()?;
+        if let Some(res) = resources {
+            let by_name: HashMap<&str, (u64, u64)> = report
+                .nets
+                .iter()
+                .map(|n| (n.name.as_str(), (n.toggle_cycles, n.high_cycles)))
+                .collect();
+            let mut units = Vec::new();
+            for un in &res.unit_nets {
+                // Units whose nets were optimized away (or belong to a
+                // different module) are skipped, not zero-filled.
+                if let Some(&(toggles, highs)) = by_name.get(un.net.as_str()) {
+                    units.push(verilog::UnitActivity {
+                        unit: un.unit.clone(),
+                        net: un.net.clone(),
+                        mode: un.mode.label().to_string(),
+                        active_cycles: match un.mode {
+                            ActivityMode::Toggle => toggles,
+                            ActivityMode::High => highs,
+                        },
+                    });
+                }
+            }
+            report.units = units;
+        }
+        Some(report)
+    }
+
+    /// Chrome-trace JSON of per-cone busy/quiescent periods (see
+    /// [`verilog::Simulator::telemetry_trace`]).
+    pub fn telemetry_trace(&self) -> Option<String> {
+        self.sim.telemetry_trace()
     }
 }
 

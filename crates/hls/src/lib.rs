@@ -65,6 +65,64 @@ pub fn simulate_with_vcd(
     h.run(max_cycles).map_err(|e| ScheduleError(e.to_string()))
 }
 
+/// Everything a telemetry-instrumented RTL run produces.
+#[derive(Debug)]
+pub struct TelemetryRun {
+    /// Functional results of the run (same as [`simulate_with_vcd`]).
+    pub report: HarnessReport,
+    /// Runtime counters: toggles, cone quiescence, per-unit utilization.
+    pub telemetry: verilog::TelemetryReport,
+    /// Chrome-trace JSON of per-cone busy/quiescent periods, when requested.
+    pub trace: Option<String>,
+}
+
+/// Like [`simulate_with_vcd`], but with the simulator's telemetry plane
+/// enabled: the returned [`verilog::TelemetryReport`] carries toggle and
+/// activity counters, per-cone quiescence, and — joined through the
+/// function's static resource tally — dynamic utilization per scheduled
+/// unit. With `record_trace`, a Chrome-trace JSON of busy/quiescent periods
+/// per cone is also produced.
+///
+/// # Errors
+/// Same failure modes as [`simulate_with_vcd`].
+pub fn simulate_with_telemetry(
+    module: &ir::Module,
+    design: &verilog::Design,
+    func: &str,
+    args: &[HarnessArg],
+    max_cycles: u64,
+    record_trace: bool,
+) -> Result<TelemetryRun, ScheduleError> {
+    let table = ir::SymbolTable::build(module);
+    let op = table
+        .lookup(func)
+        .ok_or_else(|| ScheduleError(format!("no function @{func} in module")))?;
+    let f = hir::ops::FuncOp::wrap(module, op)
+        .ok_or_else(|| ScheduleError(format!("@{func} is not a hir.func")))?;
+    let resources = hir_codegen::generate_func_with_resources(
+        module,
+        f,
+        &hir_codegen::CodegenOptions::default(),
+    )
+    .map(|(_, r)| r)
+    .map_err(|e| ScheduleError(e.to_string()))?;
+    let mut h = hir_codegen::testbench::Harness::new(design, module, f, args)
+        .map_err(|e| ScheduleError(e.to_string()))?;
+    h.enable_telemetry(record_trace);
+    let report = h
+        .run(max_cycles)
+        .map_err(|e| ScheduleError(e.to_string()))?;
+    let telemetry = h
+        .telemetry_report(Some(&resources))
+        .expect("telemetry was enabled");
+    let trace = h.telemetry_trace();
+    Ok(TelemetryRun {
+        report,
+        telemetry,
+        trace,
+    })
+}
+
 /// A compiled kernel: the scheduled HIR, the generated RTL, and statistics.
 #[derive(Debug)]
 pub struct Compiled {
@@ -122,6 +180,27 @@ impl Compiled {
     ) -> Result<HarnessReport, ScheduleError> {
         let func = self.top.strip_prefix("hir_").unwrap_or(&self.top);
         simulate_with_vcd(&self.hir_module, &self.design, func, args, max_cycles, vcd)
+    }
+
+    /// RTL-simulate this compiled kernel with runtime telemetry enabled.
+    ///
+    /// # Errors
+    /// Same failure modes as [`simulate_with_telemetry`].
+    pub fn simulate_with_telemetry(
+        &self,
+        args: &[HarnessArg],
+        max_cycles: u64,
+        record_trace: bool,
+    ) -> Result<TelemetryRun, ScheduleError> {
+        let func = self.top.strip_prefix("hir_").unwrap_or(&self.top);
+        simulate_with_telemetry(
+            &self.hir_module,
+            &self.design,
+            func,
+            args,
+            max_cycles,
+            record_trace,
+        )
     }
 }
 
@@ -345,5 +424,38 @@ mod tests {
         .expect("harness");
         let r = h.run(10_000).expect("RTL sim");
         assert!(r.mems[&2].iter().all(|&v| v == 50), "{:?}", r.mems[&2]);
+    }
+
+    #[test]
+    fn telemetry_run_reports_unit_utilization() {
+        let k = vadd_kernel(8);
+        let c = compile(&k, &SchedOptions::default()).expect("compile");
+        let a: Vec<i128> = (0..8).collect();
+        let b: Vec<i128> = (0..8).map(|x| 50 - x).collect();
+        let run = c
+            .simulate_with_telemetry(
+                &[
+                    HarnessArg::mem_from(&a),
+                    HarnessArg::mem_from(&b),
+                    HarnessArg::zero_mem(8),
+                ],
+                10_000,
+                true,
+            )
+            .expect("telemetry sim");
+        // Telemetry must not disturb the functional result.
+        assert!(run.report.mems[&2].iter().all(|&v| v == 50));
+        assert!(run.telemetry.cycles > 0);
+        assert!(
+            run.telemetry
+                .units
+                .iter()
+                .any(|u| u.unit.starts_with("arith.")),
+            "unit utilization should include the adder: {:?}",
+            run.telemetry.units
+        );
+        obs::json::parse(&run.telemetry.to_json()).expect("strict telemetry JSON");
+        let trace = run.trace.expect("trace was requested");
+        obs::json::parse(&trace).expect("strict trace JSON");
     }
 }

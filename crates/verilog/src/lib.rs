@@ -39,4 +39,7 @@ pub use ast::{
 };
 pub use elaborate::{flatten, ElabError};
 pub use printer::{print_design, print_expr, print_module};
-pub use sim::{BuildError, Engine, Simulator, VSimError};
+pub use sim::{
+    BuildError, ConeTelemetry, Engine, InsnTelemetry, NetTelemetry, Simulator, TelemetryReport,
+    UnitActivity, VSimError,
+};

@@ -9,7 +9,8 @@
 
 use crate::ast::*;
 use crate::elaborate::{flatten, ElabError};
-use std::collections::HashMap;
+use obs::json::escape as json_escape;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// A runtime simulation failure (a fired assertion or an engine limit).
@@ -760,6 +761,10 @@ pub struct Simulator {
     cycle_budget: Option<u64>,
     dirty: bool,
     vcd: Option<Vcd>,
+    /// Opt-in telemetry plane (toggle counters, cone quiescence, per-insn
+    /// counters). `None` (the default) keeps the hot loop unperturbed: the
+    /// only cost is this Option check in `settle`/`step`.
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl Simulator {
@@ -797,6 +802,7 @@ impl Simulator {
             cycle_budget: None,
             dirty: true,
             vcd: None,
+            telemetry: None,
         };
         for p in &flat.ports {
             sim.add_net(&p.name, p.width, 0);
@@ -1130,19 +1136,63 @@ impl Simulator {
         match self.engine {
             Engine::Bytecode => {
                 let mut failure = None;
-                run_tape(
-                    &self.settle_tape,
-                    &mut self.regs,
-                    &mut self.values,
-                    &self.memories,
-                    &self.msgs,
-                    &mut self.pending_nets,
-                    &mut self.pending_mems,
-                    &mut failure,
-                );
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    // The counting interpreter IS the executor here: it runs
+                    // the instrumented clone of the tape against the live
+                    // state, so results stay bit-identical.
+                    run_tape_counting(
+                        &t.settle_tape,
+                        &mut self.regs,
+                        &mut self.values,
+                        &self.memories,
+                        &self.msgs,
+                        &mut self.pending_nets,
+                        &mut self.pending_mems,
+                        &mut failure,
+                        &mut t.settle_exec,
+                        &mut t.settle_changed,
+                        &t.net_masks,
+                        &t.mem_masks,
+                    );
+                } else {
+                    run_tape(
+                        &self.settle_tape,
+                        &mut self.regs,
+                        &mut self.values,
+                        &self.memories,
+                        &self.msgs,
+                        &mut self.pending_nets,
+                        &mut self.pending_mems,
+                        &mut failure,
+                    );
+                }
                 debug_assert!(failure.is_none(), "settle tape has no assertions");
             }
             Engine::TreeWalk => {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    // Counts come from a scratch run of the same tape the
+                    // bytecode engine would execute, so both engines report
+                    // identical telemetry; the tree-walk below still drives
+                    // the real state.
+                    t.scratch_values.copy_from_slice(&self.values);
+                    t.scratch_pend_nets.clear();
+                    t.scratch_pend_mems.clear();
+                    let mut failure = None;
+                    run_tape_counting(
+                        &t.settle_tape,
+                        &mut t.scratch_regs,
+                        &mut t.scratch_values,
+                        &self.memories,
+                        &self.msgs,
+                        &mut t.scratch_pend_nets,
+                        &mut t.scratch_pend_mems,
+                        &mut failure,
+                        &mut t.settle_exec,
+                        &mut t.settle_changed,
+                        &t.net_masks,
+                        &t.mem_masks,
+                    );
+                }
                 for i in 0..self.assigns.len() {
                     let (net, expr) = (self.assigns[i].0, &self.assigns[i].1);
                     let v = eval(expr, &self.values, &self.memories);
@@ -1181,17 +1231,56 @@ impl Simulator {
         mem_updates.clear();
         let mut failure: Option<String> = None;
         match self.engine {
-            Engine::Bytecode => run_tape(
-                &self.step_tape,
-                &mut self.regs,
-                &mut self.values,
-                &self.memories,
-                &self.msgs,
-                &mut net_updates,
-                &mut mem_updates,
-                &mut failure,
-            ),
+            Engine::Bytecode => {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    run_tape_counting(
+                        &t.step_tape,
+                        &mut self.regs,
+                        &mut self.values,
+                        &self.memories,
+                        &self.msgs,
+                        &mut net_updates,
+                        &mut mem_updates,
+                        &mut failure,
+                        &mut t.step_exec,
+                        &mut t.step_changed,
+                        &t.net_masks,
+                        &t.mem_masks,
+                    );
+                } else {
+                    run_tape(
+                        &self.step_tape,
+                        &mut self.regs,
+                        &mut self.values,
+                        &self.memories,
+                        &self.msgs,
+                        &mut net_updates,
+                        &mut mem_updates,
+                        &mut failure,
+                    );
+                }
+            }
             Engine::TreeWalk => {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.scratch_values.copy_from_slice(&self.values);
+                    t.scratch_pend_nets.clear();
+                    t.scratch_pend_mems.clear();
+                    let mut scratch_failure = None;
+                    run_tape_counting(
+                        &t.step_tape,
+                        &mut t.scratch_regs,
+                        &mut t.scratch_values,
+                        &self.memories,
+                        &self.msgs,
+                        &mut t.scratch_pend_nets,
+                        &mut t.scratch_pend_mems,
+                        &mut scratch_failure,
+                        &mut t.step_exec,
+                        &mut t.step_changed,
+                        &t.net_masks,
+                        &t.mem_masks,
+                    );
+                }
                 for i in 0..self.always.len() {
                     self.exec(
                         &self.always[i],
@@ -1223,6 +1312,9 @@ impl Simulator {
             let depth = self.memories[mem].len() as u64;
             if addr < depth {
                 self.memories[mem][addr as usize] = v & mask(self.mem_width[mem]);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.mems_written[mem] = true;
+                }
             }
             // Out-of-range writes are dropped; assertions catch them first.
         }
@@ -1230,10 +1322,58 @@ impl Simulator {
         self.pending_mems = mem_updates;
         self.cycle += 1;
         self.settle();
+        if self.telemetry.is_some() {
+            self.telemetry_account();
+        }
         if self.vcd.is_some() {
             self.emit_vcd();
         }
         Ok(())
+    }
+
+    /// One telemetry accounting point: called at the end of each `step`,
+    /// after the post-edge settle, comparing the newly settled values
+    /// against the previous accounting point's snapshot.
+    fn telemetry_account(&mut self) {
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        t.cycles += 1;
+        let cyc = t.cycles - 1; // 0-based index of the cycle just completed
+        for i in 0..self.values.len() {
+            let new = self.values[i];
+            let old = t.prev[i];
+            if new != old {
+                t.toggle_cycles[i] += 1;
+                t.bit_toggles[i] += u64::from((new ^ old).count_ones());
+            }
+            if new != 0 {
+                t.high_cycles[i] += 1;
+            }
+        }
+        for cone in t.settle_cones.iter_mut().chain(t.step_cones.iter_mut()) {
+            let mut quiet = cone
+                .inputs
+                .iter()
+                .all(|&n| self.values[n as usize] == t.prev[n as usize]);
+            if quiet {
+                quiet = cone.mem_inputs.iter().all(|&m| !t.mems_written[m as usize]);
+            }
+            if quiet {
+                cone.quiescent_cycles += 1;
+                if t.record_trace {
+                    if let Some(start) = cone.busy_since.take() {
+                        cone.busy_intervals.push((start, cyc));
+                    }
+                }
+            } else if t.record_trace && cone.busy_since.is_none() {
+                cone.busy_since = Some(cyc);
+            }
+        }
+        t.prev.copy_from_slice(&self.values);
+        for w in &mut t.mems_written {
+            *w = false;
+        }
     }
 
     /// Run `n` clock cycles.
@@ -1625,6 +1765,870 @@ fn topo_sort(
     Ok(result)
 }
 
+// ------------------------------------------------------------- telemetry
+
+/// Opt-in runtime telemetry state. Lives behind an `Option<Box<_>>` on the
+/// simulator so the disabled path costs one pointer check per phase and the
+/// original tapes stay byte-identical: counting runs on private clones
+/// compiled on demand by [`Simulator::enable_telemetry`].
+struct Telemetry {
+    /// Settled values at the previous accounting point (end of each step).
+    prev: Vec<u64>,
+    /// Per-net: cycles in which the net's value changed.
+    toggle_cycles: Vec<u64>,
+    /// Per-net: total bit flips across all cycles.
+    bit_toggles: Vec<u64>,
+    /// Per-net: cycles in which the net was non-zero.
+    high_cycles: Vec<u64>,
+    /// Accounting points seen (== steps since telemetry was enabled).
+    cycles: u64,
+    settle_cones: Vec<Cone>,
+    step_cones: Vec<Cone>,
+    /// Memories written during the current cycle (cleared each accounting).
+    mems_written: Vec<bool>,
+    /// Private clones of the tapes, executed by the counting interpreter.
+    settle_tape: Vec<Insn>,
+    step_tape: Vec<Insn>,
+    /// Per-insn counters, indexed by pc in the cloned tapes.
+    settle_exec: Vec<u64>,
+    settle_changed: Vec<u64>,
+    step_exec: Vec<u64>,
+    step_changed: Vec<u64>,
+    net_masks: Vec<u64>,
+    mem_masks: Vec<u64>,
+    /// Scratch state for counting under the tree-walk engine: the counting
+    /// tape runs here (counts only) while the tree-walk drives the real
+    /// state, so both engines report identical numbers.
+    scratch_regs: Vec<u64>,
+    scratch_values: Vec<u64>,
+    scratch_pend_nets: Vec<(u32, u64)>,
+    scratch_pend_mems: Vec<(u32, u64, u64)>,
+    record_trace: bool,
+}
+
+/// One static fanin cone: a connected group of settle assigns (or step
+/// statements) together with the external inputs whose stability implies
+/// the whole group would recompute to its previous result.
+struct Cone {
+    name: String,
+    /// Number of assigns / always-statements grouped into this cone.
+    units: u32,
+    /// Net ids read by the cone (for settle cones: minus its own outputs).
+    inputs: Vec<u32>,
+    /// Memory ids whose contents the cone reads.
+    mem_inputs: Vec<u32>,
+    quiescent_cycles: u64,
+    /// Open busy interval start (0-based cycle), when trace recording.
+    busy_since: Option<u64>,
+    /// Closed busy intervals, half-open `[start, end)` in cycles.
+    busy_intervals: Vec<(u64, u64)>,
+}
+
+/// Per-net counters in a [`TelemetryReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetTelemetry {
+    pub name: String,
+    pub width: u32,
+    /// Cycles in which the value changed.
+    pub toggle_cycles: u64,
+    /// Total bit flips.
+    pub bit_toggles: u64,
+    /// Cycles in which the value was non-zero.
+    pub high_cycles: u64,
+}
+
+/// Per-cone quiescence statistics in a [`TelemetryReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConeTelemetry {
+    pub name: String,
+    /// Assigns (settle) or always-statements (step) in the cone.
+    pub units: u64,
+    /// Distinct external inputs (nets + memories).
+    pub inputs: u64,
+    /// Cycles in which every input was unchanged.
+    pub quiescent_cycles: u64,
+}
+
+impl ConeTelemetry {
+    /// Fraction of observed cycles this cone was quiescent.
+    pub fn quiescent_fraction(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.quiescent_cycles as f64 / cycles as f64
+        }
+    }
+}
+
+/// Aggregate per-instruction counters for one bytecode tape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InsnTelemetry {
+    /// Tape length in instructions.
+    pub len: u64,
+    /// Total instructions executed.
+    pub executed: u64,
+    /// Executions that produced a different value than the previous one at
+    /// the same destination (register, net, pending slot, or memory word).
+    pub changed: u64,
+}
+
+/// Measured activity of one scheduled resource unit, joined with the static
+/// resource report via its representative net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitActivity {
+    /// Unit label as reported by the resource estimator (e.g. `arith.mult`).
+    pub unit: String,
+    /// The net whose activity stands in for the unit.
+    pub net: String,
+    /// `"toggle"` (datapath: counted when the value changes) or `"high"`
+    /// (control: counted when the net is non-zero).
+    pub mode: String,
+    /// Cycles the unit was active under its mode.
+    pub active_cycles: u64,
+}
+
+/// Everything the telemetry plane measured, ready for serialization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetryReport {
+    /// Accounting points observed (steps since telemetry was enabled).
+    pub cycles: u64,
+    pub nets: Vec<NetTelemetry>,
+    pub settle_cones: Vec<ConeTelemetry>,
+    pub step_cones: Vec<ConeTelemetry>,
+    pub settle_insns: InsnTelemetry,
+    pub step_insns: InsnTelemetry,
+    /// Filled by callers that hold a resource report (see
+    /// `hir_codegen::testbench::Harness::telemetry_report`).
+    pub units: Vec<UnitActivity>,
+}
+
+impl TelemetryReport {
+    /// Fraction of nets (excluding the clock) that toggled at least once.
+    pub fn toggle_coverage(&self) -> f64 {
+        let eligible: Vec<&NetTelemetry> = self.nets.iter().filter(|n| n.name != "clk").collect();
+        if eligible.is_empty() {
+            return 1.0;
+        }
+        let toggled = eligible.iter().filter(|n| n.toggle_cycles > 0).count();
+        toggled as f64 / eligible.len() as f64
+    }
+
+    /// Mean quiescent fraction across all cones (settle + step).
+    pub fn overall_quiescence(&self) -> f64 {
+        let cones = self.settle_cones.len() + self.step_cones.len();
+        if cones == 0 || self.cycles == 0 {
+            return 0.0;
+        }
+        let quiet: u64 = self
+            .settle_cones
+            .iter()
+            .chain(self.step_cones.iter())
+            .map(|c| c.quiescent_cycles)
+            .sum();
+        quiet as f64 / (cones as u64 * self.cycles) as f64
+    }
+
+    /// The least-quiescent cone: `(name, quiescent fraction)`.
+    pub fn worst_cone(&self) -> Option<(&str, f64)> {
+        self.settle_cones
+            .iter()
+            .chain(self.step_cones.iter())
+            .map(|c| (c.name.as_str(), c.quiescent_fraction(self.cycles)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(b.0)))
+    }
+
+    /// Strict JSON document (parseable by `obs::json`), newline-terminated.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"cycles\":{},\"toggle_coverage\":{:.6}",
+            self.cycles,
+            self.toggle_coverage()
+        );
+        let _ = write!(
+            s,
+            ",\"overall_quiescence\":{:.6}",
+            self.overall_quiescence()
+        );
+        for (key, cones) in [
+            ("settle_cones", &self.settle_cones),
+            ("step_cones", &self.step_cones),
+        ] {
+            let _ = write!(s, ",\"{key}\":[");
+            for (i, c) in cones.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"{}\",\"units\":{},\"inputs\":{},\
+                     \"quiescent_cycles\":{},\"quiescent_fraction\":{:.6}}}",
+                    json_escape(&c.name),
+                    c.units,
+                    c.inputs,
+                    c.quiescent_cycles,
+                    c.quiescent_fraction(self.cycles)
+                );
+            }
+            s.push(']');
+        }
+        for (key, t) in [
+            ("settle_insns", &self.settle_insns),
+            ("step_insns", &self.step_insns),
+        ] {
+            let _ = write!(
+                s,
+                ",\"{key}\":{{\"len\":{},\"executed\":{},\"changed\":{}}}",
+                t.len, t.executed, t.changed
+            );
+        }
+        let _ = write!(s, ",\"units\":[");
+        for (i, u) in self.units.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let frac = if self.cycles == 0 {
+                0.0
+            } else {
+                u.active_cycles as f64 / self.cycles as f64
+            };
+            let _ = write!(
+                s,
+                "{{\"unit\":\"{}\",\"net\":\"{}\",\"mode\":\"{}\",\
+                 \"active_cycles\":{},\"active_fraction\":{:.6}}}",
+                json_escape(&u.unit),
+                json_escape(&u.net),
+                u.mode,
+                u.active_cycles,
+                frac
+            );
+        }
+        s.push_str("],\"nets\":[");
+        for (i, n) in self.nets.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"width\":{},\"toggle_cycles\":{},\
+                 \"bit_toggles\":{},\"high_cycles\":{}}}",
+                json_escape(&n.name),
+                n.width,
+                n.toggle_cycles,
+                n.bit_toggles,
+                n.high_cycles
+            );
+        }
+        s.push_str("]}\n");
+        s
+    }
+
+    /// Short human-readable summary (for `--sim-telemetry` without a file).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "telemetry: {} cycles, toggle coverage {:.1}%, overall quiescence {:.1}%",
+            self.cycles,
+            self.toggle_coverage() * 100.0,
+            self.overall_quiescence() * 100.0
+        );
+        if let Some((name, frac)) = self.worst_cone() {
+            let _ = writeln!(s, "  busiest cone: {name} ({:.1}% quiescent)", frac * 100.0);
+        }
+        let _ = writeln!(
+            s,
+            "  settle tape: {} insns, {} executed, {} changed ({:.1}%)",
+            self.settle_insns.len,
+            self.settle_insns.executed,
+            self.settle_insns.changed,
+            pct(self.settle_insns.changed, self.settle_insns.executed)
+        );
+        let _ = writeln!(
+            s,
+            "  step tape:   {} insns, {} executed, {} changed ({:.1}%)",
+            self.step_insns.len,
+            self.step_insns.executed,
+            self.step_insns.changed,
+            pct(self.step_insns.changed, self.step_insns.executed)
+        );
+        for u in &self.units {
+            let frac = if self.cycles == 0 {
+                0.0
+            } else {
+                u.active_cycles as f64 / self.cycles as f64
+            };
+            let _ = writeln!(
+                s,
+                "  unit {:<16} {:>6.1}% active  ({} via {})",
+                u.unit,
+                frac * 100.0,
+                u.mode,
+                u.net
+            );
+        }
+        s
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let r = self.find(self.parent[i]);
+            self.parent[i] = r;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Lower root wins so group order follows first appearance.
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+
+    /// Groups of member indices, ordered by each group's first member.
+    fn groups(&mut self, n: usize) -> Vec<Vec<usize>> {
+        let mut by_root: HashMap<usize, usize> = HashMap::new();
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let r = self.find(i);
+            let g = *by_root.entry(r).or_insert_with(|| {
+                out.push(Vec::new());
+                out.len() - 1
+            });
+            out[g].push(i);
+        }
+        out
+    }
+}
+
+fn collect_mem_reads_into(e: &CExpr, out: &mut BTreeSet<usize>) {
+    match e {
+        CExpr::Const { .. } | CExpr::Net { .. } => {}
+        CExpr::MemRead { mem, addr, .. } => {
+            out.insert(*mem);
+            collect_mem_reads_into(addr, out);
+        }
+        CExpr::Slice { base, .. } => collect_mem_reads_into(base, out),
+        CExpr::Unary { arg, .. } => collect_mem_reads_into(arg, out),
+        CExpr::Binary { lhs, rhs, .. } => {
+            collect_mem_reads_into(lhs, out);
+            collect_mem_reads_into(rhs, out);
+        }
+        CExpr::Ternary {
+            cond, then, els, ..
+        } => {
+            collect_mem_reads_into(cond, out);
+            collect_mem_reads_into(then, out);
+            collect_mem_reads_into(els, out);
+        }
+        CExpr::Concat { parts, .. } => {
+            for p in parts {
+                collect_mem_reads_into(p, out);
+            }
+        }
+        CExpr::SignExtend { arg, .. } => collect_mem_reads_into(arg, out),
+    }
+}
+
+/// Partition the topo-ordered assigns into connected fanin cones: two
+/// assigns share a cone when one reads the other's target. A cone's inputs
+/// are the nets it reads but does not produce, plus every memory it reads;
+/// if none of those changed over a cycle, re-running the cone would
+/// reproduce its previous outputs.
+fn partition_settle(assigns: &[(usize, CExpr)], net_names: &[String]) -> Vec<Cone> {
+    let n = assigns.len();
+    let mut uf = UnionFind::new(n);
+    let producer: HashMap<usize, usize> = assigns
+        .iter()
+        .enumerate()
+        .map(|(i, (net, _))| (*net, i))
+        .collect();
+    let mut deps_per: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for (i, (_, e)) in assigns.iter().enumerate() {
+        let mut deps = Vec::new();
+        collect_deps(e, &mut deps);
+        for &d in &deps {
+            if let Some(&p) = producer.get(&d) {
+                uf.union(i, p);
+            }
+        }
+        deps_per.push(deps);
+    }
+    let mut cones = Vec::new();
+    for members in uf.groups(n) {
+        let written: HashSet<usize> = members.iter().map(|&i| assigns[i].0).collect();
+        let mut inputs = BTreeSet::new();
+        let mut mem_inputs = BTreeSet::new();
+        for &i in &members {
+            for &d in &deps_per[i] {
+                if !written.contains(&d) {
+                    inputs.insert(d as u32);
+                }
+            }
+            collect_mem_reads_into(&assigns[i].1, &mut mem_inputs);
+        }
+        cones.push(Cone {
+            name: net_names[assigns[members[0]].0].clone(),
+            units: members.len() as u32,
+            inputs: inputs.into_iter().collect(),
+            mem_inputs: mem_inputs.into_iter().map(|m| m as u32).collect(),
+            quiescent_cycles: 0,
+            busy_since: None,
+            busy_intervals: Vec::new(),
+        });
+    }
+    cones
+}
+
+fn stmt_effects(
+    s: &CStmt,
+    reads: &mut BTreeSet<usize>,
+    writes: &mut BTreeSet<usize>,
+    mreads: &mut BTreeSet<usize>,
+    mwrites: &mut BTreeSet<usize>,
+) {
+    let expr = |e: &CExpr, reads: &mut BTreeSet<usize>, mreads: &mut BTreeSet<usize>| {
+        let mut deps = Vec::new();
+        collect_deps(e, &mut deps);
+        reads.extend(deps);
+        collect_mem_reads_into(e, mreads);
+    };
+    match s {
+        CStmt::AssignNet { net, rhs } => {
+            writes.insert(*net);
+            expr(rhs, reads, mreads);
+        }
+        CStmt::AssignMem { mem, addr, rhs } => {
+            mwrites.insert(*mem);
+            expr(addr, reads, mreads);
+            expr(rhs, reads, mreads);
+        }
+        CStmt::If { cond, then, els } => {
+            expr(cond, reads, mreads);
+            for t in then.iter().chain(els.iter()) {
+                stmt_effects(t, reads, writes, mreads, mwrites);
+            }
+        }
+        CStmt::Assert { guard, cond, .. } => {
+            expr(guard, reads, mreads);
+            expr(cond, reads, mreads);
+        }
+    }
+}
+
+/// Partition the always-statements into cones: two statements share a cone
+/// when they write the same register or the same memory (so their combined
+/// next-state is a function of the union of their reads). A step cone's
+/// inputs are everything it reads; registers it updates from their own old
+/// value count as inputs too, keeping self-incrementing state "busy".
+fn partition_step(always: &[CStmt], net_names: &[String], mem_names: &[String]) -> Vec<Cone> {
+    let n = always.len();
+    let mut effects = Vec::with_capacity(n);
+    for s in always {
+        let mut reads = BTreeSet::new();
+        let mut writes = BTreeSet::new();
+        let mut mreads = BTreeSet::new();
+        let mut mwrites = BTreeSet::new();
+        stmt_effects(s, &mut reads, &mut writes, &mut mreads, &mut mwrites);
+        effects.push((reads, writes, mreads, mwrites));
+    }
+    let mut uf = UnionFind::new(n);
+    let mut net_writer: HashMap<usize, usize> = HashMap::new();
+    let mut mem_writer: HashMap<usize, usize> = HashMap::new();
+    for (i, (_, writes, _, mwrites)) in effects.iter().enumerate() {
+        for &w in writes {
+            match net_writer.get(&w) {
+                Some(&j) => uf.union(i, j),
+                None => {
+                    net_writer.insert(w, i);
+                }
+            }
+        }
+        for &m in mwrites {
+            match mem_writer.get(&m) {
+                Some(&j) => uf.union(i, j),
+                None => {
+                    mem_writer.insert(m, i);
+                }
+            }
+        }
+    }
+    let mut cones = Vec::new();
+    let mut used_names: HashSet<String> = HashSet::new();
+    for members in uf.groups(n) {
+        let mut inputs = BTreeSet::new();
+        let mut mem_inputs = BTreeSet::new();
+        for &i in &members {
+            let (reads, _, mreads, _) = &effects[i];
+            inputs.extend(reads.iter().map(|&r| r as u32));
+            mem_inputs.extend(mreads.iter().map(|&m| m as u32));
+        }
+        let first = &effects[members[0]];
+        let mut name = first
+            .1
+            .iter()
+            .next()
+            .map(|&w| net_names[w].clone())
+            .or_else(|| first.3.iter().next().map(|&m| mem_names[m].clone()))
+            .or_else(|| {
+                first
+                    .0
+                    .iter()
+                    .next()
+                    .map(|&r| format!("assert@{}", net_names[r]))
+            })
+            .unwrap_or_else(|| "cone".to_string());
+        if !used_names.insert(name.clone()) {
+            name = format!("{name}#{}", members[0]);
+            used_names.insert(name.clone());
+        }
+        cones.push(Cone {
+            name,
+            units: members.len() as u32,
+            inputs: inputs.into_iter().collect(),
+            mem_inputs: mem_inputs.into_iter().collect(),
+            quiescent_cycles: 0,
+            busy_since: None,
+            busy_intervals: Vec::new(),
+        });
+    }
+    cones
+}
+
+/// The counting twin of [`run_tape`]: identical semantics, plus per-insn
+/// executed/changed counters. Kept separate so the uninstrumented hot loop
+/// pays nothing for telemetry support.
+#[allow(clippy::too_many_arguments)]
+fn run_tape_counting(
+    tape: &[Insn],
+    regs: &mut [u64],
+    values: &mut [u64],
+    memories: &[Vec<u64>],
+    msgs: &[String],
+    pend_nets: &mut Vec<(u32, u64)>,
+    pend_mems: &mut Vec<(u32, u64, u64)>,
+    failure: &mut Option<String>,
+    exec: &mut [u64],
+    changed: &mut [u64],
+    net_masks: &[u64],
+    mem_masks: &[u64],
+) {
+    let mut pc = 0usize;
+    // regs[dst] = v, counting a change when the register held a different
+    // value (from the previous cycle, or an earlier conditional path).
+    macro_rules! put {
+        ($dst:expr, $v:expr) => {{
+            let v = $v;
+            let d = $dst as usize;
+            if regs[d] != v {
+                changed[pc] += 1;
+            }
+            regs[d] = v;
+        }};
+    }
+    while pc < tape.len() {
+        exec[pc] += 1;
+        match tape[pc] {
+            Insn::LoadNet { dst, net } => put!(dst, values[net as usize]),
+            Insn::MemRead { dst, mem, addr, m } => {
+                let a = regs[addr as usize] as usize;
+                put!(dst, memories[mem as usize].get(a).copied().unwrap_or(0) & m);
+            }
+            Insn::Slice { dst, src, lo, m } => put!(dst, (regs[src as usize] >> lo) & m),
+            Insn::Not { dst, src, m } => put!(dst, !regs[src as usize] & m),
+            Insn::LNot { dst, src } => put!(dst, u64::from(regs[src as usize] == 0)),
+            Insn::RedOr { dst, src } => put!(dst, u64::from(regs[src as usize] != 0)),
+            Insn::Binary {
+                op,
+                dst,
+                a,
+                b,
+                aw,
+                bw,
+                m,
+            } => put!(
+                dst,
+                eval_binary(op, regs[a as usize], regs[b as usize], aw, bw) & m
+            ),
+            Insn::Select {
+                dst,
+                cond,
+                then,
+                els,
+                m,
+            } => {
+                let v = if regs[cond as usize] != 0 {
+                    regs[then as usize]
+                } else {
+                    regs[els as usize]
+                };
+                put!(dst, v & m);
+            }
+            Insn::ConcatFirst { dst, src, m } => put!(dst, regs[src as usize] & m),
+            Insn::ConcatPush { dst, src, shift, m } => {
+                put!(
+                    dst,
+                    (regs[dst as usize] << shift) | (regs[src as usize] & m)
+                );
+            }
+            Insn::MaskReg { dst, m } => put!(dst, regs[dst as usize] & m),
+            Insn::SignExtend {
+                dst,
+                src,
+                from,
+                fm,
+                m,
+            } => put!(dst, (sign_extend(regs[src as usize] & fm, from) as u64) & m),
+            Insn::StoreNet { net, src, m } => {
+                let v = regs[src as usize] & m;
+                if values[net as usize] != v {
+                    changed[pc] += 1;
+                }
+                values[net as usize] = v;
+            }
+            Insn::EmitNet { net, src } => {
+                let v = regs[src as usize];
+                if (v & net_masks[net as usize]) != values[net as usize] {
+                    changed[pc] += 1;
+                }
+                pend_nets.push((net, v));
+            }
+            Insn::EmitMem { mem, addr, src } => {
+                let a = regs[addr as usize];
+                let v = regs[src as usize];
+                if let Some(&cur) = memories[mem as usize].get(a as usize) {
+                    if (v & mem_masks[mem as usize]) != cur {
+                        changed[pc] += 1;
+                    }
+                }
+                pend_mems.push((mem, a, v));
+            }
+            Insn::Assert { guard, cond, msg } => {
+                if failure.is_none() && regs[guard as usize] != 0 && regs[cond as usize] == 0 {
+                    *failure = Some(msgs[msg as usize].clone());
+                }
+            }
+            Insn::Jump { target } => {
+                pc = target as usize;
+                continue;
+            }
+            Insn::JumpIfZero { src, target } => {
+                if regs[src as usize] == 0 {
+                    pc = target as usize;
+                    continue;
+                }
+            }
+        }
+        pc += 1;
+    }
+}
+
+impl Simulator {
+    /// Turn on the telemetry plane. Idempotent; settles first so counting
+    /// starts from a consistent baseline. With `record_trace`, per-cone
+    /// busy/quiescent intervals are kept for [`telemetry_trace`].
+    ///
+    /// Counting runs on private clones of the tapes: the original tapes and
+    /// the untelemetered execution path are untouched. When telemetry is
+    /// enabled before the first `step`, both engines report identical
+    /// counts.
+    ///
+    /// [`telemetry_trace`]: Self::telemetry_trace
+    pub fn enable_telemetry(&mut self, record_trace: bool) {
+        if self.telemetry.is_some() {
+            return;
+        }
+        self.settle();
+        let settle_tape = self.settle_tape.clone();
+        let step_tape = self.step_tape.clone();
+        let mut scratch_regs = self.regs.clone();
+        let mut scratch_values = self.values.clone();
+        // Warm the counting register file: one uncounted run of the settle
+        // tape brings it to the state the bytecode engine's file holds
+        // after the settle above (a no-op under `Engine::Bytecode`), so
+        // `changed` counters start from the same baseline under either
+        // engine.
+        {
+            let mut pn = Vec::new();
+            let mut pm = Vec::new();
+            let mut f = None;
+            run_tape(
+                &settle_tape,
+                &mut scratch_regs,
+                &mut scratch_values,
+                &self.memories,
+                &self.msgs,
+                &mut pn,
+                &mut pm,
+                &mut f,
+            );
+        }
+        let settle_cones = partition_settle(&self.assigns, &self.net_names);
+        let step_cones = partition_step(&self.always, &self.net_names, &self.mem_names);
+        self.telemetry = Some(Box::new(Telemetry {
+            prev: self.values.clone(),
+            toggle_cycles: vec![0; self.values.len()],
+            bit_toggles: vec![0; self.values.len()],
+            high_cycles: vec![0; self.values.len()],
+            cycles: 0,
+            settle_cones,
+            step_cones,
+            mems_written: vec![false; self.memories.len()],
+            settle_exec: vec![0; settle_tape.len()],
+            settle_changed: vec![0; settle_tape.len()],
+            step_exec: vec![0; step_tape.len()],
+            step_changed: vec![0; step_tape.len()],
+            net_masks: self.net_width.iter().map(|&w| mask(w)).collect(),
+            mem_masks: self.mem_width.iter().map(|&w| mask(w)).collect(),
+            settle_tape,
+            step_tape,
+            scratch_regs,
+            scratch_values,
+            scratch_pend_nets: Vec::new(),
+            scratch_pend_mems: Vec::new(),
+            record_trace,
+        }));
+    }
+
+    /// Whether the telemetry plane is active.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Snapshot the telemetry counters (`None` when telemetry is off). The
+    /// `units` field is left empty; callers holding a resource report join
+    /// it themselves.
+    pub fn telemetry_report(&self) -> Option<TelemetryReport> {
+        let t = self.telemetry.as_deref()?;
+        let nets = (0..self.net_names.len())
+            .map(|i| NetTelemetry {
+                name: self.net_names[i].clone(),
+                width: self.net_width[i],
+                toggle_cycles: t.toggle_cycles[i],
+                bit_toggles: t.bit_toggles[i],
+                high_cycles: t.high_cycles[i],
+            })
+            .collect();
+        let cone_report = |cones: &[Cone]| {
+            cones
+                .iter()
+                .map(|c| ConeTelemetry {
+                    name: c.name.clone(),
+                    units: u64::from(c.units),
+                    inputs: (c.inputs.len() + c.mem_inputs.len()) as u64,
+                    quiescent_cycles: c.quiescent_cycles,
+                })
+                .collect()
+        };
+        let insn_report = |tape: &[Insn], exec: &[u64], changed: &[u64]| InsnTelemetry {
+            len: tape.len() as u64,
+            executed: exec.iter().sum(),
+            changed: changed.iter().sum(),
+        };
+        Some(TelemetryReport {
+            cycles: t.cycles,
+            nets,
+            settle_cones: cone_report(&t.settle_cones),
+            step_cones: cone_report(&t.step_cones),
+            settle_insns: insn_report(&t.settle_tape, &t.settle_exec, &t.settle_changed),
+            step_insns: insn_report(&t.step_tape, &t.step_exec, &t.step_changed),
+            units: Vec::new(),
+        })
+    }
+
+    /// Chrome-trace JSON of per-cone busy/quiescent periods, one track per
+    /// cone, 1 µs per cycle. `None` unless telemetry was enabled with
+    /// `record_trace`.
+    pub fn telemetry_trace(&self) -> Option<String> {
+        let t = self.telemetry.as_deref()?;
+        if !t.record_trace {
+            return None;
+        }
+        let mut spans = Vec::new();
+        let mut emit = |phase: &str, cones: &[Cone]| {
+            for c in cones {
+                let track = format!("{phase}/{}", c.name);
+                let mut cursor = 0u64;
+                let mut intervals = c.busy_intervals.clone();
+                if let Some(start) = c.busy_since {
+                    intervals.push((start, t.cycles));
+                }
+                let mut push = |name: &str, s: u64, e: u64| {
+                    spans.push(obs::SpanRecord {
+                        track: track.clone(),
+                        name: name.to_string(),
+                        start_ns: s * 1000,
+                        dur_ns: (e - s) * 1000,
+                        depth: 0,
+                        args: vec![
+                            ("start_cycle".to_string(), s.to_string()),
+                            ("cycles".to_string(), (e - s).to_string()),
+                        ],
+                        pid_tid: None,
+                    });
+                };
+                for (s, e) in intervals {
+                    if s > cursor {
+                        push("quiescent", cursor, s);
+                    }
+                    push("busy", s, e);
+                    cursor = e;
+                }
+                if cursor < t.cycles {
+                    push("quiescent", cursor, t.cycles);
+                }
+            }
+        };
+        emit("settle", &t.settle_cones);
+        emit("step", &t.step_cones);
+        Some(obs::trace::chrome_trace(&spans))
+    }
+
+    /// Resolve a net name to its index, for allocation-free hot-loop access
+    /// via [`get_id`](Self::get_id) / [`set_id`](Self::set_id).
+    pub fn net_id(&self, name: &str) -> Option<usize> {
+        self.net_index.get(name).copied()
+    }
+
+    /// Read a net by pre-resolved id (settling first when needed).
+    pub fn get_id(&mut self, id: usize) -> u64 {
+        if self.dirty {
+            self.settle();
+        }
+        self.values[id]
+    }
+
+    /// Drive a net by pre-resolved id. Takes effect at the next settle.
+    pub fn set_id(&mut self, id: usize, value: u64) {
+        self.values[id] = value & mask(self.net_width[id]);
+        self.dirty = true;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1895,8 +2899,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn engines_agree_on_memory_and_assert_design() {
+    fn mx_design() -> Design {
         let mut m = VModule::new("mx");
         m.port("clk", Dir::Input, 1);
         m.port("we", Dir::Input, 1);
@@ -1960,6 +2963,12 @@ mod tests {
         });
         let mut d = Design::new();
         d.add(m);
+        d
+    }
+
+    #[test]
+    fn engines_agree_on_memory_and_assert_design() {
+        let d = mx_design();
         let mut a = Simulator::new(&d, "mx").expect("build");
         let mut b = Simulator::new(&d, "mx").expect("build");
         a.set_engine(Engine::Bytecode);
@@ -2029,5 +3038,116 @@ mod tests {
         sim.set_cycle_budget(None);
         sim.run(5).unwrap();
         assert_eq!(sim.cycle(), 17);
+    }
+
+    #[test]
+    fn telemetry_leaves_tapes_and_results_untouched() {
+        let d = counter();
+        let mut plain = Simulator::new(&d, "counter").expect("build");
+        let mut telem = Simulator::new(&d, "counter").expect("build");
+        telem.enable_telemetry(true);
+        for cyc in 0..50u64 {
+            let en = u64::from(cyc % 3 != 0);
+            plain.set("en", en);
+            telem.set("en", en);
+            assert_eq!(plain.get("count"), telem.get("count"), "cycle {cyc}");
+            plain.step().unwrap();
+            telem.step().unwrap();
+        }
+        // The executable tapes are byte-identical: counting runs on clones.
+        assert_eq!(plain.settle_tape, telem.settle_tape);
+        assert_eq!(plain.step_tape, telem.step_tape);
+        assert_eq!(plain.get("count"), telem.get("count"));
+    }
+
+    #[test]
+    fn telemetry_counts_on_counter_are_exact() {
+        let d = counter();
+        let mut sim = Simulator::new(&d, "counter").expect("build");
+        sim.set("en", 1);
+        sim.enable_telemetry(false);
+        sim.run(10).unwrap();
+        let r = sim.telemetry_report().expect("enabled");
+        assert_eq!(r.cycles, 10);
+        let net = |name: &str| r.nets.iter().find(|n| n.name == name).unwrap();
+        // value increments every cycle, so value and count toggle each cycle.
+        assert_eq!(net("value").toggle_cycles, 10);
+        assert_eq!(net("count").toggle_cycles, 10);
+        // en was driven high before enabling and never changed.
+        assert_eq!(net("en").toggle_cycles, 0);
+        assert_eq!(net("en").high_cycles, 10);
+        assert_eq!(net("clk").toggle_cycles, 0);
+        // Coverage excludes clk: en never toggled -> 2 of 3 nets.
+        assert!((r.toggle_coverage() - 2.0 / 3.0).abs() < 1e-9);
+        // Everything depends on the always-changing value: never quiescent.
+        assert!(r
+            .settle_cones
+            .iter()
+            .chain(r.step_cones.iter())
+            .all(|c| c.quiescent_cycles == 0));
+        // Disabling en freezes the design: every later cycle is quiescent.
+        sim.set("en", 0);
+        sim.step().unwrap(); // en toggles this cycle
+        sim.run(9).unwrap();
+        let r2 = sim.telemetry_report().expect("enabled");
+        assert_eq!(r2.cycles, 20);
+        // Settle cones read only `value`, frozen from the en-toggle cycle on;
+        // step cones also read `en`, which changed on that one cycle.
+        assert!(r2.settle_cones.iter().all(|c| c.quiescent_cycles == 10));
+        assert!(r2.step_cones.iter().all(|c| c.quiescent_cycles == 9));
+    }
+
+    #[test]
+    fn engines_report_identical_telemetry() {
+        let d = mx_design();
+        let mut a = Simulator::new(&d, "mx").expect("build");
+        let mut b = Simulator::new(&d, "mx").expect("build");
+        a.set_engine(Engine::Bytecode);
+        b.set_engine(Engine::TreeWalk);
+        a.enable_telemetry(true);
+        b.enable_telemetry(true);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for _ in 0..200u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            for (port, width) in [("we", 1), ("waddr", 4), ("wdata", 16), ("raddr", 4)] {
+                let v = (state >> 24) & mask(width);
+                a.set(port, v);
+                b.set(port, v);
+                state = state.rotate_left(17);
+            }
+            a.step().unwrap();
+            b.step().unwrap();
+        }
+        let ra = a.telemetry_report().expect("enabled");
+        let rb = b.telemetry_report().expect("enabled");
+        assert_eq!(ra, rb);
+        assert_eq!(ra.to_json(), rb.to_json());
+        assert_eq!(a.telemetry_trace(), b.telemetry_trace());
+        obs::json::parse(&ra.to_json()).expect("telemetry JSON is strict");
+    }
+
+    #[test]
+    fn telemetry_trace_is_chrome_trace_json() {
+        let d = counter();
+        let mut sim = Simulator::new(&d, "counter").expect("build");
+        sim.enable_telemetry(true);
+        sim.set("en", 1);
+        sim.run(5).unwrap();
+        sim.set("en", 0);
+        sim.step().unwrap();
+        sim.run(4).unwrap();
+        let trace = sim.telemetry_trace().expect("trace recording on");
+        let doc = obs::json::parse(&trace).expect("trace is strict JSON");
+        assert!(doc.get("traceEvents").is_some());
+        assert!(trace.contains("\"busy\""));
+        assert!(trace.contains("\"quiescent\""));
+        // Without record_trace there is no trace, but reports still work.
+        let mut plain = Simulator::new(&d, "counter").expect("build");
+        plain.enable_telemetry(false);
+        plain.run(3).unwrap();
+        assert!(plain.telemetry_trace().is_none());
+        assert!(plain.telemetry_report().is_some());
     }
 }

@@ -51,6 +51,14 @@ options:
   --sim-engine=ENGINE      simulator engine for the smoke run: bytecode
                            (default; flat compiled tapes) or treewalk (the
                            reference expression-tree evaluator)
+  --sim-telemetry[=PATH]   with --emit=sim, run with the simulator's
+                           telemetry plane on: per-net toggle/activity
+                           counters, per-cone quiescence, and per-unit
+                           dynamic utilization. Human summary on stderr, or
+                           strict JSON to PATH
+  --sim-trace=PATH         with --emit=sim, write a Chrome trace-event JSON
+                           of per-cone busy/quiescent periods to PATH
+                           (open in a trace viewer; 1 µs = 1 cycle)
   --remarks=PATH           stream optimization remarks (applied AND missed)
                            from the pass pipeline as JSON lines to PATH
   --rpass=REGEX            echo remarks whose pass name matches REGEX as
@@ -100,6 +108,9 @@ struct Options {
     sim_max_cycles: Option<u64>,
     sim_engine: verilog::Engine,
     sim_vcd: Option<String>,
+    /// `Some(None)` = summary to stderr, `Some(Some(path))` = JSON to file.
+    sim_telemetry: Option<Option<String>>,
+    sim_trace: Option<String>,
     remarks: Option<String>,
     rpass: Option<obs::rex::Regex>,
     /// `Some(None)` = report to stderr, `Some(Some(path))` = JSON to file.
@@ -129,6 +140,8 @@ fn parse_args() -> Result<Option<Options>, String> {
         sim_max_cycles: None,
         sim_engine: verilog::Engine::default(),
         sim_vcd: None,
+        sim_telemetry: None,
+        sim_trace: None,
         remarks: None,
         rpass: None,
         schedule_report: None,
@@ -149,6 +162,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--timing" => opts.timing = true,
             "--stats" => opts.stats = true,
             "--schedule-report" => opts.schedule_report = Some(None),
+            "--sim-telemetry" => opts.sim_telemetry = Some(None),
             "--resource-report" => opts.resource_report = Some(None),
             "--print-ir-before-all" => opts.print_ir_before_all = true,
             "--print-ir-after-all" => opts.print_ir_after_all = true,
@@ -258,6 +272,22 @@ fn parse_args() -> Result<Option<Options>, String> {
                 }
                 opts.resource_report = Some(Some(path.to_string()));
             }
+            _ if a.starts_with("--sim-telemetry=") => {
+                let path = &a["--sim-telemetry=".len()..];
+                if path.is_empty() {
+                    return Err(
+                        "--sim-telemetry= needs a path (or use bare --sim-telemetry)".into(),
+                    );
+                }
+                opts.sim_telemetry = Some(Some(path.to_string()));
+            }
+            _ if a.starts_with("--sim-trace=") => {
+                let path = &a["--sim-trace=".len()..];
+                if path.is_empty() {
+                    return Err("--sim-trace needs a path".into());
+                }
+                opts.sim_trace = Some(path.to_string());
+            }
             _ if a.starts_with("--sim-vcd=") => {
                 let path = &a["--sim-vcd=".len()..];
                 if path.is_empty() {
@@ -284,6 +314,12 @@ fn parse_args() -> Result<Option<Options>, String> {
     }
     if opts.sim_vcd.is_some() && opts.emit != "sim" {
         return Err("--sim-vcd requires --emit=sim".into());
+    }
+    if opts.sim_telemetry.is_some() && opts.emit != "sim" {
+        return Err("--sim-telemetry requires --emit=sim".into());
+    }
+    if opts.sim_trace.is_some() && opts.emit != "sim" {
+        return Err("--sim-trace requires --emit=sim".into());
     }
     Ok(Some(opts))
 }
@@ -737,6 +773,12 @@ fn run_sim(
     }
     let mut harness = Harness::new(&design, module, func, &args).map_err(|e| e.to_string())?;
     harness.set_engine(opts.sim_engine);
+    // Enable telemetry before any cycle runs so counters cover the whole run
+    // and both engines report identical counts.
+    let telemetry_on = opts.sim_telemetry.is_some() || opts.sim_trace.is_some();
+    if telemetry_on {
+        harness.enable_telemetry(opts.sim_trace.is_some());
+    }
     if let Some(path) = &opts.sim_vcd {
         harness
             .dump_vcd(std::path::Path::new(path))
@@ -753,6 +795,27 @@ fn run_sim(
     };
     obs::counter_add("sim", "cycles", rep.cycles);
     obs::set_stat("sim", "top", hir_codegen::module_name(&name));
+    if telemetry_on {
+        // Join the static unit→net map of the simulated function into the
+        // counters so the report carries per-unit dynamic utilization.
+        let func_resources = report.functions.iter().find(|f| f.function == name);
+        let t = harness
+            .telemetry_report(func_resources)
+            .ok_or("internal: telemetry enabled but no report produced")?;
+        match &opts.sim_telemetry {
+            Some(Some(path)) => std::fs::write(path, t.to_json())
+                .map_err(|e| format!("cannot write telemetry '{path}': {e}"))?,
+            Some(None) => eprint!("{}", t.summary()),
+            None => {}
+        }
+        if let Some(path) = &opts.sim_trace {
+            let trace = harness
+                .telemetry_trace()
+                .ok_or("internal: trace requested but not recorded")?;
+            std::fs::write(path, trace)
+                .map_err(|e| format!("cannot write sim trace '{path}': {e}"))?;
+        }
+    }
     let mut summary = format!("sim @{name}: quiescent after cycle {}\n", rep.cycles);
     for (i, r) in rep.results.iter().enumerate() {
         summary.push_str(&format!("result{i} = {r}\n"));

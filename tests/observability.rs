@@ -339,6 +339,217 @@ fn sim_vcd_requires_sim_emit() {
     assert!(err.contains("--sim-vcd requires --emit=sim"), "{err}");
 }
 
+/// Golden telemetry counts for the mac example: the design and stimulus are
+/// fully deterministic, so the counter values are exact, and two runs must
+/// produce byte-identical JSON.
+#[test]
+fn mac_example_emits_golden_telemetry() {
+    let dir = tmp("telemetry");
+    let run = |path: &PathBuf| {
+        let out = hirc()
+            .arg(example("mac.mlir"))
+            .arg("--emit=sim")
+            .arg(format!("--sim-telemetry={}", path.display()))
+            .output()
+            .expect("run hirc");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let (t1, t2) = (dir.join("t1.json"), dir.join("t2.json"));
+    run(&t1);
+    run(&t2);
+    assert_eq!(
+        std::fs::read(&t1).unwrap(),
+        std::fs::read(&t2).unwrap(),
+        "telemetry JSON must be byte-identical across runs"
+    );
+
+    let text = std::fs::read_to_string(&t1).unwrap();
+    let doc = obs::json::parse(&text).expect("strict telemetry JSON");
+    let num = |key: &str| doc.get(key).and_then(|v| v.as_f64()).expect(key);
+    // mac latency is 2, the harness runs 8 drain cycles past quiescence.
+    assert_eq!(num("cycles"), 11.0, "{text}");
+    // Every net except the two clocks toggles during the mult(3,6)+9 run.
+    assert!(num("toggle_coverage") >= 0.9, "{text}");
+    let insns = |key: &str, field: &str| {
+        doc.get(key)
+            .and_then(|v| v.get(field))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("{key}.{field}"))
+    };
+    // Golden instruction counters: 23 settle insns × 11 cycles (+ 3 warm-up
+    // evaluations at t=0), 15 step insns × 11 cycles.
+    assert_eq!(insns("settle_insns", "len"), 23.0, "{text}");
+    assert_eq!(insns("settle_insns", "executed"), 299.0, "{text}");
+    assert_eq!(insns("settle_insns", "changed"), 29.0, "{text}");
+    assert_eq!(insns("step_insns", "len"), 15.0, "{text}");
+    assert_eq!(insns("step_insns", "executed"), 165.0, "{text}");
+    assert_eq!(insns("step_insns", "changed"), 19.0, "{text}");
+
+    // Dynamic utilization joins the resource report's units to nets: the
+    // mac adder produces exactly one new sum in the whole run.
+    let units = doc.get("units").and_then(|u| u.as_array()).expect("units");
+    let adder = units
+        .iter()
+        .find(|u| u.get("unit").and_then(|v| v.as_str()) == Some("arith.add"))
+        .unwrap_or_else(|| panic!("no arith.add unit: {text}"));
+    assert_eq!(adder.get("mode").and_then(|v| v.as_str()), Some("toggle"));
+    assert_eq!(
+        adder.get("active_cycles").and_then(|v| v.as_f64()),
+        Some(1.0),
+        "{text}"
+    );
+    // The result lands once: result0 toggles in exactly one cycle.
+    let nets = doc.get("nets").and_then(|n| n.as_array()).expect("nets");
+    let result0 = nets
+        .iter()
+        .find(|n| n.get("name").and_then(|v| v.as_str()) == Some("result0"))
+        .expect("result0 net");
+    assert_eq!(
+        result0.get("toggle_cycles").and_then(|v| v.as_f64()),
+        Some(1.0),
+        "{text}"
+    );
+    // Per-cone quiescence fractions are present and sane.
+    let cones = doc
+        .get("settle_cones")
+        .and_then(|c| c.as_array())
+        .expect("settle_cones");
+    assert!(!cones.is_empty(), "{text}");
+    for c in cones {
+        let f = c
+            .get("quiescent_fraction")
+            .and_then(|v| v.as_f64())
+            .expect("fraction");
+        assert!((0.0..=1.0).contains(&f), "{text}");
+    }
+}
+
+/// The differential check behind the telemetry plane: the bytecode
+/// interpreter and the tree-walk oracle must report identical counters and
+/// identical traces on the paper's Figure 1 and Figure 2 designs.
+#[test]
+fn engines_report_identical_telemetry_on_figure_fixtures() {
+    use hir_codegen::testbench::{Harness, HarnessArg};
+    let a: Vec<i128> = (0..128).map(|x| x % 23 - 11).collect();
+    let b: Vec<i128> = (0..128).map(|x| 3 * x % 17 - 8).collect();
+    let fixtures: Vec<(ir::Module, &str, Vec<HarnessArg>)> = vec![
+        (
+            kernels::errors::figure1_array_add(true),
+            "Array_Add",
+            vec![
+                HarnessArg::mem_from(&a),
+                HarnessArg::mem_from(&b),
+                HarnessArg::zero_mem(128),
+            ],
+        ),
+        (
+            kernels::errors::figure2_mac(2),
+            "mac",
+            vec![HarnessArg::Int(3), HarnessArg::Int(6), HarnessArg::Int(9)],
+        ),
+    ];
+    for (mut m, name, args) in fixtures {
+        let (mut design, _) = kernels::compile_hir(&mut m, true).expect("compile");
+        for stub in hir_codegen::extern_stubs(&m).expect("stubs") {
+            design.add(stub);
+        }
+        let mut run = |engine: verilog::Engine| {
+            let func = kernels::find_func(&m, name);
+            let mut h = Harness::new(&design, &m, func, &args).expect("harness");
+            h.set_engine(engine);
+            h.enable_telemetry(true);
+            let rep = h.run(100_000).expect("run");
+            (
+                rep,
+                h.telemetry_report(None).expect("report"),
+                h.telemetry_trace().expect("trace"),
+            )
+        };
+        let (rep_b, telem_b, trace_b) = run(verilog::Engine::Bytecode);
+        let (rep_t, telem_t, trace_t) = run(verilog::Engine::TreeWalk);
+        assert_eq!(rep_b.results, rep_t.results, "{name}: results differ");
+        assert_eq!(telem_b, telem_t, "{name}: engines must count identically");
+        assert_eq!(trace_b, trace_t, "{name}: traces must be identical");
+        assert_eq!(
+            telem_b.to_json(),
+            telem_t.to_json(),
+            "{name}: JSON must match"
+        );
+    }
+}
+
+/// Telemetry is a pure observer: a combined telemetry+VCD run must produce
+/// a waveform byte-identical to a VCD-only run.
+#[test]
+fn telemetry_does_not_perturb_vcd_waveforms() {
+    let dir = tmp("telem_vcd");
+    let (plain, combined, telem, trace) = (
+        dir.join("plain.vcd"),
+        dir.join("combined.vcd"),
+        dir.join("telem.json"),
+        dir.join("trace.json"),
+    );
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--emit=sim")
+        .arg(format!("--sim-vcd={}", plain.display()))
+        .output()
+        .expect("run hirc");
+    assert!(out.status.success());
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--emit=sim")
+        .arg(format!("--sim-vcd={}", combined.display()))
+        .arg(format!("--sim-telemetry={}", telem.display()))
+        .arg(format!("--sim-trace={}", trace.display()))
+        .output()
+        .expect("run hirc");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&plain).unwrap(),
+        std::fs::read(&combined).unwrap(),
+        "telemetry must not change the waveform"
+    );
+    obs::json::parse(&std::fs::read_to_string(&telem).unwrap()).expect("telemetry JSON");
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let doc = obs::json::parse(&trace_text).expect("trace JSON");
+    assert!(doc.get("traceEvents").is_some(), "{trace_text}");
+    assert!(trace_text.contains("\"busy\""), "{trace_text}");
+    assert!(trace_text.contains("\"quiescent\""), "{trace_text}");
+}
+
+/// Flag validation: the telemetry flags are meaningless without the
+/// simulator backend and must be rejected as usage errors (exit code 2).
+#[test]
+fn sim_telemetry_flags_require_sim_emit() {
+    for flag in ["--sim-telemetry", "--sim-telemetry=/tmp/never.json"] {
+        let out = hirc()
+            .arg(example("mac.mlir"))
+            .arg(flag)
+            .output()
+            .expect("run hirc");
+        assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--sim-telemetry requires --emit=sim"), "{err}");
+    }
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--sim-trace=/tmp/never.json")
+        .output()
+        .expect("run hirc");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--sim-trace requires --emit=sim"), "{err}");
+}
+
 /// A bad `--rpass` pattern is a usage error, not a crash.
 #[test]
 fn rpass_rejects_bad_regex() {
