@@ -11,7 +11,10 @@
 //! 1 means at least one crash (saved under `--save` for `hirc-reduce`);
 //! 2 means usage error.
 
-use hir_fuzz::{load_corpus, mutant, run_pipeline_with_threads, synth_multi_func};
+use hir_fuzz::{
+    check_equivalence, load_corpus, mutant, run_pipeline_with_threads, synth_multi_func,
+    EquivOracle,
+};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::process::ExitCode;
 
@@ -25,6 +28,12 @@ options:
   --max-mutations=N  max stacked mutations per input (default 4)
   --threads=N    worker threads for the verify/optimize stages: a positive
                  integer or 'max' (all cores; default 1)
+  --check-equiv[=K]  for every mutant that survives through codegen, also run
+                 the BMC miter as an oracle: prove (bounded to K cycles,
+                 default 8) that the standard pipeline preserved its
+                 semantics. Replay-confirmed miscompiles are saved like
+                 crashes and fail the run. Conflict-only budgets keep the
+                 verdict deterministic per (seed, iteration).
   --help, -h     show this help
 ";
 
@@ -35,6 +44,7 @@ struct Options {
     save: String,
     max_mutations: usize,
     threads: usize,
+    check_equiv: Option<u32>,
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
@@ -45,6 +55,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         save: "fuzz-crashes".into(),
         max_mutations: 4,
         threads: 1,
+        check_equiv: None,
     };
     for a in std::env::args().skip(1) {
         if let Some(v) = a.strip_prefix("--iters=") {
@@ -71,6 +82,14 @@ fn parse_args() -> Result<Option<Options>, String> {
             opts.max_mutations = v
                 .parse()
                 .map_err(|_| format!("bad --max-mutations '{v}'"))?;
+        } else if a == "--check-equiv" {
+            opts.check_equiv = Some(8);
+        } else if let Some(v) = a.strip_prefix("--check-equiv=") {
+            let k: u32 = v.parse().map_err(|_| format!("bad --check-equiv '{v}'"))?;
+            if k == 0 {
+                return Err("--check-equiv needs at least 1 cycle".into());
+            }
+            opts.check_equiv = Some(k);
         } else if a == "--help" || a == "-h" {
             print!("{USAGE}");
             return Ok(None);
@@ -110,7 +129,9 @@ fn main() -> ExitCode {
     );
 
     let mut crashes: u64 = 0;
+    let mut miscompiles: u64 = 0;
     let mut outcomes = [0u64; 3]; // [rejected, verified, codegen_ok]
+    let mut equiv = [0u64; 3]; // [proved, sampled, skipped]
     for iter in 0..opts.iters {
         // Fresh RNG per iteration: any crash reproduces from (seed, iter)
         // without replaying the previous iterations.
@@ -135,21 +156,36 @@ fn main() -> ExitCode {
                     0
                 };
                 outcomes[bucket] += 1;
+                // The translation-validation oracle: only inputs that compile
+                // all the way through codegen have two designs to compare.
+                if let (Some(k), true) = (opts.check_equiv, o.codegen_ok) {
+                    match check_equivalence(&input, k, opts.threads) {
+                        Ok(EquivOracle::Proved) => equiv[0] += 1,
+                        Ok(EquivOracle::Sampled) => equiv[1] += 1,
+                        Ok(EquivOracle::Skipped(_)) => equiv[2] += 1,
+                        Ok(EquivOracle::Miscompile(detail)) => {
+                            miscompiles += 1;
+                            let msg = format!("miscompile (replay-confirmed): {detail}");
+                            save_finding(&opts.save, "miscompile", opts.seed, iter, &input, &msg);
+                        }
+                        Err(report) => {
+                            crashes += 1;
+                            let msg = format!("equiv oracle {report}");
+                            save_finding(&opts.save, "crash", opts.seed, iter, &input, &msg);
+                        }
+                    }
+                }
             }
             Err(report) => {
                 crashes += 1;
-                let dir = std::path::Path::new(&opts.save);
-                let _ = std::fs::create_dir_all(dir);
-                let path = dir.join(format!("crash-seed{}-iter{iter}.mlir", opts.seed));
-                match std::fs::write(&path, &input) {
-                    Ok(()) => eprintln!(
-                        "hirc-fuzz: iter {iter}: {report} -- input saved to {}",
-                        path.display()
-                    ),
-                    Err(e) => {
-                        eprintln!("hirc-fuzz: iter {iter}: {report} -- could not save input: {e}")
-                    }
-                }
+                save_finding(
+                    &opts.save,
+                    "crash",
+                    opts.seed,
+                    iter,
+                    &input,
+                    &report.to_string(),
+                );
             }
         }
     }
@@ -157,9 +193,29 @@ fn main() -> ExitCode {
         "hirc-fuzz: {} iterations: {} rejected/partial, {} verified, {} through codegen, {} panic(s)",
         opts.iters, outcomes[0], outcomes[1], outcomes[2], crashes
     );
-    if crashes > 0 {
+    if opts.check_equiv.is_some() {
+        eprintln!(
+            "hirc-fuzz: equiv oracle: {} proved, {} sampled, {} skipped, {} miscompile(s)",
+            equiv[0], equiv[1], equiv[2], miscompiles
+        );
+    }
+    if crashes > 0 || miscompiles > 0 {
         eprintln!("hirc-fuzz: contract violated; reduce with: hirc-reduce <saved-input>");
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS
+}
+
+/// Persist a finding's input under `save_dir` and log a one-line report.
+fn save_finding(save_dir: &str, kind: &str, seed: u64, iter: u64, input: &str, msg: &str) {
+    let dir = std::path::Path::new(save_dir);
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{kind}-seed{seed}-iter{iter}.mlir"));
+    match std::fs::write(&path, input) {
+        Ok(()) => eprintln!(
+            "hirc-fuzz: iter {iter}: {msg} -- input saved to {}",
+            path.display()
+        ),
+        Err(e) => eprintln!("hirc-fuzz: iter {iter}: {msg} -- could not save input: {e}"),
+    }
 }

@@ -150,6 +150,104 @@ pub fn run_pipeline_with_threads(
 }
 
 // ---------------------------------------------------------------------------
+// Translation-validation oracle
+// ---------------------------------------------------------------------------
+
+/// Verdict of the bounded-equivalence fuzz oracle on one input.
+#[derive(Clone, Debug)]
+pub enum EquivOracle {
+    /// All functions proved equivalent across the standard pipeline.
+    Proved,
+    /// At least one function degraded to a sampled differential (budget
+    /// exhausted); the samples agreed, so no miscompile was *observed*.
+    Sampled,
+    /// Replay-confirmed miscompile: the standard pipeline changed the
+    /// semantics of this input. The payload describes the divergence.
+    Miscompile(String),
+    /// The oracle could not run on this input (e.g. a construct the
+    /// transition-system lowering rejects); not a finding.
+    Skipped(String),
+}
+
+/// Run the BMC miter as a fuzz oracle: prove (bounded to `k` cycles) that the
+/// standard pipeline preserved the semantics of `source`.
+///
+/// The budget is conflict-only — no wall clock — so a `(seed, iteration)`
+/// pair yields the same verdict on every machine and the fixed-seed CI smoke
+/// stays deterministic. Counterexamples are replay-confirmed inside `bmc`
+/// before being reported, so a [`EquivOracle::Miscompile`] is a real,
+/// reproducible compiler bug, not a solver artifact.
+///
+/// # Errors
+/// A [`PanicReport`] if the oracle itself panics — that is a fuzz finding in
+/// its own right, not an input rejection.
+pub fn check_equivalence(source: &str, k: u32, threads: usize) -> Result<EquivOracle, PanicReport> {
+    guard("equiv", || {
+        // Same front-end dispatch as `run_pipeline`.
+        let pretty_input = source
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with("//"))
+            .is_some_and(|l| l.starts_with("hir.func"));
+        let (base, n_errors) = if pretty_input {
+            let r = hir::parse_pretty_recover(source, 0);
+            (r.module, r.errors.len())
+        } else {
+            let r = ir::parse_module_recover(source, 0);
+            (r.module, r.errors.len())
+        };
+        if n_errors != 0 {
+            return EquivOracle::Skipped("parse errors".to_string());
+        }
+        let registry = hir::hir_registry();
+        let mut diags = ir::DiagnosticEngine::new();
+        if ir::verify_module(&base, &registry, &mut diags).is_err()
+            || hir_verify::verify_schedule_with_threads(&base, &mut diags, threads).is_err()
+        {
+            return EquivOracle::Skipped("verification failed".to_string());
+        }
+
+        let mut opt = base.clone();
+        let mut fp = hir_opt::standard_function_pipeline(threads);
+        let mut diags = ir::DiagnosticEngine::new();
+        if fp.run(&mut opt, &registry, &mut diags).is_err() {
+            return EquivOracle::Skipped("optimization failed".to_string());
+        }
+
+        let opts = bmc::EquivOptions {
+            k_cycles: k,
+            conflict_budget: 200_000,
+            time_budget_ms: None, // determinism: conflict-only budget
+            samples: 4,
+            replay_max_cycles: 100_000,
+        };
+        match bmc::check_module_equivalence(&base, &opt, &opts) {
+            Ok(reports) => {
+                let mut sampled = false;
+                for r in reports {
+                    match r.status {
+                        bmc::EquivStatus::Counterexample(cex) => {
+                            return EquivOracle::Miscompile(format!(
+                                "@{} cycle {}: {}",
+                                r.func, cex.cycle, cex.detail
+                            ));
+                        }
+                        bmc::EquivStatus::Sampled { .. } => sampled = true,
+                        bmc::EquivStatus::Proved => {}
+                    }
+                }
+                if sampled {
+                    EquivOracle::Sampled
+                } else {
+                    EquivOracle::Proved
+                }
+            }
+            Err(e) => EquivOracle::Skipped(e.to_string()),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Mutation engine
 // ---------------------------------------------------------------------------
 

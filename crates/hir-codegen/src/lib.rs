@@ -1548,7 +1548,10 @@ fn sanitize(s: &str) -> String {
         .collect()
 }
 
-pub(crate) fn bus(base: &str, bank: u64, banks: u64, sig: &str) -> String {
+/// Name of one signal of a memref argument bus as emitted by codegen
+/// (`{base}_{sig}` for single-bank, `{base}_b{bank}_{sig}` for multi-bank).
+/// Public so formal backends can locate the bus nets of a generated module.
+pub fn bus(base: &str, bank: u64, banks: u64, sig: &str) -> String {
     if banks <= 1 {
         format!("{base}_{sig}")
     } else {

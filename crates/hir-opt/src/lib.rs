@@ -69,6 +69,38 @@ impl ir::Pass for PanicTestPass {
     }
 }
 
+/// Deliberately-miscompiling pass, registered as `test-miscompile`: rewrites
+/// the first live `hir.add` into an `hir.sub` — schedule-preserving but
+/// semantics-changing. This is the test hook for the translation-validation
+/// machinery (`--verify-equiv` must catch it with a replay-confirmed
+/// counterexample), mirroring what `test-panic` is for crash containment.
+pub struct MiscompileTestPass;
+
+impl ir::Pass for MiscompileTestPass {
+    fn name(&self) -> &str {
+        "test-miscompile"
+    }
+    fn run(&mut self, m: &mut ir::Module, _cx: &mut ir::PassContext<'_>) -> ir::PassResult {
+        for op in m.collect_all_ops() {
+            if !m.is_live(op) || m.op(op).name().as_str() != hir::opname::ADD {
+                continue;
+            }
+            let operands = m.op(op).operands().to_vec();
+            let rty = m.value_type(m.op(op).results()[0]);
+            let attrs = m.op(op).attrs().clone();
+            let loc = m.op(op).loc().clone();
+            let sub = m.create_op(hir::opname::SUB, operands, vec![rty], attrs, loc);
+            m.insert_op_before(op, sub);
+            let new_res = m.op(sub).results()[0];
+            let old_res = m.op(op).results()[0];
+            m.replace_all_uses(old_res, new_res);
+            m.erase_op(op);
+            return ir::PassResult::Changed;
+        }
+        ir::PassResult::Unchanged
+    }
+}
+
 /// Look up a pass by its stable name (the name each pass reports via
 /// [`ir::Pass::name`]). This is the registry behind `--pipeline=` and crash
 /// reproducer re-execution.
@@ -81,6 +113,7 @@ pub fn pass_by_name(name: &str) -> Option<Box<dyn ir::Pass>> {
         "hir-precision-opt" => Box::new(PrecisionPass::new()),
         "hir-port-demote" => Box::new(PortDemotePass::new()),
         "test-panic" => Box::new(PanicTestPass),
+        "test-miscompile" => Box::new(MiscompileTestPass),
         _ => return None,
     })
 }
@@ -97,7 +130,39 @@ pub fn registered_pass_names() -> &'static [&'static str] {
         "hir-precision-opt",
         "hir-port-demote",
         "test-panic",
+        "test-miscompile",
     ]
+}
+
+/// Translation validation of the standard pipeline: clone `m`, optimize the
+/// clone, and bounded-model-check that every function's generated design is
+/// observably equivalent before and after (see the `bmc` crate). Returns one
+/// proof report per function.
+///
+/// # Errors
+/// Only for failures to pose or replay the question; a real divergence or a
+/// budget-degraded proof is reported inside the [`bmc::FuncReport`]s.
+pub fn verify_equivalence(
+    m: &ir::Module,
+    opts: &bmc::EquivOptions,
+) -> Result<Vec<bmc::FuncReport>, bmc::EquivError> {
+    let mut optimized = m.clone();
+    optimize(&mut optimized).map_err(bmc::EquivError::Codegen)?;
+    verify_equivalence_with(m, &optimized, opts)
+}
+
+/// Translation validation between two explicit module states (e.g. the
+/// driver's pre-pipeline snapshot vs its post-pipeline result, so the exact
+/// artifact being emitted is the one proved).
+///
+/// # Errors
+/// See [`verify_equivalence`].
+pub fn verify_equivalence_with(
+    unopt: &ir::Module,
+    opt: &ir::Module,
+    opts: &bmc::EquivOptions,
+) -> Result<Vec<bmc::FuncReport>, bmc::EquivError> {
+    bmc::check_module_equivalence(unopt, opt, opts)
 }
 
 /// Build a pipeline from pass names (comma-split `--pipeline=` values or a
@@ -552,6 +617,54 @@ mod tests {
             .find(|&o| m.is_live(o) && m.op(o).name().as_str() == hir::opname::ALLOC)
             .unwrap();
         assert_eq!(m.op(alloc).results().len(), 2, "ports must be preserved");
+    }
+
+    /// End-to-end translation validation on a scalar kernel: the standard
+    /// pipeline must be *proved* equivalent, and the deliberate
+    /// `test-miscompile` pass must be caught with a replay-confirmed
+    /// counterexample.
+    #[test]
+    fn equivalence_proved_for_pipeline_and_refuted_for_miscompile() {
+        let build = || {
+            let mut hb = HirBuilder::new();
+            let f = hb.func("k", &[("x", Type::int(8)), ("y", Type::int(8))], &[0]);
+            let args = f.args(hb.module());
+            let (x, y) = (args[0], args[1]);
+            let c3 = hb.typed_const(3, Type::int(8));
+            let s = hb.mult(x, c3); // strength-reduced by the pipeline
+            let out = hb.add(s, y);
+            hb.return_(&[out]);
+            hb.finish()
+        };
+        let opts = bmc::EquivOptions {
+            k_cycles: 8,
+            ..Default::default()
+        };
+
+        let m = build();
+        let reports = verify_equivalence(&m, &opts).expect("check runs");
+        assert_eq!(reports.len(), 1);
+        assert!(
+            matches!(reports[0].status, bmc::EquivStatus::Proved),
+            "pipeline must prove equivalent, got {:?}",
+            reports[0].status
+        );
+
+        // Now inject the miscompile and demand a confirmed counterexample.
+        let m = build();
+        let mut bad = m.clone();
+        let registry = hir::hir_registry();
+        let mut diags = DiagnosticEngine::new();
+        let mut pm = pipeline_from_names(&["test-miscompile"]).unwrap();
+        pm.run(&mut bad, &registry, &mut diags).unwrap();
+        let reports = verify_equivalence_with(&m, &bad, &opts).expect("check runs");
+        match &reports[0].status {
+            bmc::EquivStatus::Counterexample(cex) => {
+                assert_eq!(cex.stimulus.len(), 2, "one stimulus per argument");
+                assert!(!cex.detail.is_empty());
+            }
+            other => panic!("miscompile must be refuted, got {other:?}"),
+        }
     }
 
     #[test]

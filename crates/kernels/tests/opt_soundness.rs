@@ -99,3 +99,119 @@ fn sim_engines_agree_on_generated_gemm() {
     let expect = kernels::gemm::reference(n, &a, &b);
     assert_eq!(r_bc.mems[&2], expect, "bytecode result is wrong");
 }
+
+// ------------------------------------------------- translation validation
+
+/// Deterministic conflict-only budget: no wall clock, so the verdict is the
+/// same on every machine.
+fn bmc_opts(k: u32) -> bmc::EquivOptions {
+    bmc::EquivOptions {
+        k_cycles: k,
+        conflict_budget: 5_000_000,
+        time_budget_ms: None,
+        samples: 4,
+        replay_max_cycles: 100_000,
+    }
+}
+
+/// Prove a function equivalent across an optimization and insist on a full
+/// proof — a budget degradation here is a test failure, not a pass.
+fn assert_proved(base: &Module, opt: &Module, func: &str, k: u32, what: &str) {
+    let report = bmc::check_func_equivalence(base, opt, func, &bmc_opts(k))
+        .unwrap_or_else(|e| panic!("{what}: equivalence check failed to run: {e}"));
+    match report.status {
+        bmc::EquivStatus::Proved => {}
+        other => panic!(
+            "{what}: expected a K={k} proof, got {:?} ({} conflicts)",
+            other, report.conflicts
+        ),
+    }
+}
+
+/// Reduced-size instances of every benchmark, sized so bounded proofs stay
+/// fast while still exercising banked memories, accumulators and delays.
+fn small_benchmarks() -> Vec<(&'static str, Module, &'static str)> {
+    vec![
+        (
+            "transpose",
+            kernels::transpose::hir_transpose(4, 8),
+            kernels::transpose::FUNC,
+        ),
+        (
+            "stencil",
+            kernels::stencil::hir_stencil(8, 8),
+            kernels::stencil::FUNC,
+        ),
+        (
+            "histogram",
+            kernels::histogram::hir_histogram(8, 8, 8),
+            kernels::histogram::FUNC,
+        ),
+        ("gemm", kernels::gemm::hir_gemm(2, 8), kernels::gemm::FUNC),
+        (
+            "conv",
+            kernels::conv::hir_conv(4, 4, 8),
+            kernels::conv::FUNC,
+        ),
+    ]
+}
+
+/// The tentpole guarantee, at benchmark level: the whole standard pipeline
+/// is *proved* (not sampled, not assumed) equivalent on every kernel.
+#[test]
+fn bmc_proves_standard_pipeline_on_every_benchmark() {
+    for (name, base, func) in small_benchmarks() {
+        let mut opt = base.clone();
+        hir_opt::optimize(&mut opt)
+            .unwrap_or_else(|e| panic!("{name}: standard pipeline failed: {e}"));
+        assert_proved(&base, &opt, func, 12, name);
+    }
+}
+
+/// Per-pass bisection coverage: every cumulative prefix of the standard
+/// pipeline must also be proved equivalent, so a future miscompile is
+/// attributable to the exact pass that introduced it.
+#[test]
+fn bmc_proves_every_standard_pipeline_prefix() {
+    let registry = hir::hir_registry();
+    for end in 1..=hir_opt::STANDARD_PASS_NAMES.len() {
+        let subset = &hir_opt::STANDARD_PASS_NAMES[..end];
+        let base = kernels::gemm::hir_gemm(2, 8);
+        let mut opt = base.clone();
+        let mut diags = ir::DiagnosticEngine::new();
+        hir_opt::pipeline_from_names(subset)
+            .unwrap()
+            .run(&mut opt, &registry, &mut diags)
+            .unwrap_or_else(|e| panic!("prefix {subset:?} failed: {e}"));
+        assert_proved(
+            &base,
+            &opt,
+            kernels::gemm::FUNC,
+            10,
+            &format!("pipeline prefix {subset:?}"),
+        );
+    }
+}
+
+/// The negative control: a deliberately miscompiled kernel must be refuted
+/// with a replay-confirmed counterexample, never "proved".
+#[test]
+fn bmc_refutes_miscompiled_benchmark() {
+    let registry = hir::hir_registry();
+    let base = kernels::gemm::hir_gemm(2, 8);
+    let mut bad = base.clone();
+    let mut diags = ir::DiagnosticEngine::new();
+    hir_opt::pipeline_from_names(&["test-miscompile"])
+        .unwrap()
+        .run(&mut bad, &registry, &mut diags)
+        .unwrap();
+    let report =
+        bmc::check_func_equivalence(&base, &bad, kernels::gemm::FUNC, &bmc_opts(24)).unwrap();
+    match report.status {
+        bmc::EquivStatus::Counterexample(cex) => {
+            assert!(!cex.stimulus.is_empty());
+            assert!(!cex.detail.is_empty());
+        }
+        other => panic!("miscompiled gemm must be refuted, got {other:?}"),
+    }
+}

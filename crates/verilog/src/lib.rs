@@ -32,6 +32,7 @@ pub mod ast;
 pub mod elaborate;
 pub mod printer;
 pub mod sim;
+pub mod tsys;
 
 pub use ast::{
     AlwaysBlock, Assign, BinOp, Design, Dir, Expr, Instance, LValue, MemDecl, NetDecl, NetKind,
@@ -43,3 +44,4 @@ pub use sim::{
     BuildError, ConeTelemetry, Engine, InsnTelemetry, NetTelemetry, Simulator, TelemetryReport,
     UnitActivity, VSimError,
 };
+pub use tsys::{to_btor2, InputVar, Node, NodeId, StateVar, TOp, TransitionSystem};

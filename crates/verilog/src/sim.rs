@@ -33,6 +33,9 @@ pub enum BuildError {
     Elab(ElabError),
     UnknownNet(String),
     CombinationalLoop(Vec<String>),
+    /// The design is valid for simulation but outside the fragment the
+    /// transition-system lowering ([`crate::tsys`]) supports.
+    Unsupported(String),
 }
 
 impl fmt::Display for BuildError {
@@ -42,6 +45,9 @@ impl fmt::Display for BuildError {
             BuildError::UnknownNet(n) => write!(f, "reference to undeclared net '{n}'"),
             BuildError::CombinationalLoop(nets) => {
                 write!(f, "combinational loop through: {}", nets.join(" -> "))
+            }
+            BuildError::Unsupported(what) => {
+                write!(f, "unsupported for transition-system lowering: {what}")
             }
         }
     }
@@ -171,7 +177,7 @@ impl Default for Engine {
 // any reader, so registers never need clearing between cycles. Constants
 // live in registers preloaded at build time.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum Insn {
+pub(crate) enum Insn {
     /// regs[dst] = values[net]
     LoadNet { dst: u32, net: u32 },
     /// regs[dst] = memories[mem][regs[addr]] (0 when out of range) & m
@@ -704,6 +710,41 @@ fn cse_tape(tape: Vec<Insn>, consts: &[(u32, u64)]) -> Vec<Insn> {
         }
     }
     out
+}
+
+/// Read-only view of the compiled tapes and name tables, consumed by the
+/// transition-system lowering in [`crate::tsys`]. `values`, `memories` and
+/// `regs` carry the *reset-state* contents (initial net values, zeroed
+/// memories, preloaded constant registers) — the view must be taken from a
+/// freshly built simulator, before any `step`.
+pub(crate) struct TapeView<'a> {
+    pub net_names: &'a [String],
+    pub net_width: &'a [u32],
+    pub values: &'a [u64],
+    pub mem_names: &'a [String],
+    pub mem_width: &'a [u32],
+    pub memories: &'a [Vec<u64>],
+    pub settle_tape: &'a [Insn],
+    pub step_tape: &'a [Insn],
+    pub regs: &'a [u64],
+    pub msgs: &'a [String],
+}
+
+impl Simulator {
+    pub(crate) fn tape_view(&self) -> TapeView<'_> {
+        TapeView {
+            net_names: &self.net_names,
+            net_width: &self.net_width,
+            values: &self.values,
+            mem_names: &self.mem_names,
+            mem_width: &self.mem_width,
+            memories: &self.memories,
+            settle_tape: &self.settle_tape,
+            step_tape: &self.step_tape,
+            regs: &self.regs,
+            msgs: &self.msgs,
+        }
+    }
 }
 
 impl Simulator {
@@ -1462,7 +1503,7 @@ fn vcd_code(mut i: usize) -> String {
     s
 }
 
-fn mask(width: u32) -> u64 {
+pub(crate) fn mask(width: u32) -> u64 {
     if width >= 64 {
         u64::MAX
     } else {

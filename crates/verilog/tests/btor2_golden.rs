@@ -1,0 +1,50 @@
+//! Golden BTOR2 export: the word-level transition system emitted for a
+//! hand-built counter design must match the checked-in `.btor2` file byte
+//! for byte. Set `BLESS_BTOR2=1` to regenerate the golden after an
+//! intentional format change.
+
+use verilog::ast::{BinOp, Design, Dir, Expr, LValue, Stmt, VModule};
+
+/// The same 8-bit wrap-around counter the tsys unit tests use: one state,
+/// one enable input, a combinational rollover flag.
+fn counter_design() -> Design {
+    let mut m = VModule::new("counter8");
+    m.port("clk", Dir::Input, 1);
+    m.port("en", Dir::Input, 1);
+    m.port("count", Dir::Output, 8);
+    m.port("wrapped", Dir::Output, 1);
+    m.reg("cnt", 8);
+    m.assign("count", Expr::r("cnt"));
+    m.assign(
+        "wrapped",
+        Expr::bin(BinOp::Eq, Expr::r("cnt"), Expr::c(0xFF, 8)),
+    );
+    m.main_always().stmts.push(Stmt::If {
+        cond: Expr::r("en"),
+        then: vec![Stmt::NonBlocking {
+            lhs: LValue::Net("cnt".into()),
+            rhs: Expr::bin(BinOp::Add, Expr::r("cnt"), Expr::c(1, 8)),
+        }],
+        els: vec![],
+    });
+    let mut d = Design::new();
+    d.add(m);
+    d
+}
+
+#[test]
+fn counter_btor2_matches_golden() {
+    let ts = verilog::tsys::lower(&counter_design(), "counter8").expect("lower");
+    let got = verilog::to_btor2(&ts);
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/counter8.btor2");
+    if std::env::var_os("BLESS_BTOR2").is_some() {
+        std::fs::write(golden_path, &got).expect("bless golden");
+        return;
+    }
+    let want = include_str!("golden/counter8.btor2");
+    assert_eq!(
+        got, want,
+        "BTOR2 export drifted from {golden_path}; \
+         rerun with BLESS_BTOR2=1 if the change is intentional"
+    );
+}

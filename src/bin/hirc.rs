@@ -39,9 +39,11 @@ options:
                            MLIR-style reproducer (pre-pass IR + remaining
                            pipeline) to PATH
   --error-limit=N          stop reporting parse errors after N (default 20)
-  --emit=KIND              output kind: verilog (default), pretty, ir, or
+  --emit=KIND              output kind: verilog (default), pretty, ir,
                            sim (generate the design, run it in the RTL
-                           harness, and print a deterministic run summary)
+                           harness, and print a deterministic run summary),
+                           or btor2 (word-level transition system of the
+                           last function's generated design, BTOR2 format)
   -o PATH                  write output to PATH instead of stdout
   --sim-vcd=PATH           with --emit=sim, dump a VCD waveform of the whole
                            harness run to PATH
@@ -59,6 +61,27 @@ options:
   --sim-trace=PATH         with --emit=sim, write a Chrome trace-event JSON
                            of per-cone busy/quiescent periods to PATH
                            (open in a trace viewer; 1 µs = 1 cycle)
+  --verify-equiv[=K]       translation validation: bounded-model-check that
+                           the optimized module is observably equivalent to
+                           the pre-optimization module for K cycles
+                           (default 16) on every function, via the in-house
+                           SAT backend. Counterexamples are replay-confirmed
+                           in the RTL simulator before being reported (exit
+                           1); proof-budget exhaustion loudly degrades to a
+                           sampled differential (remark on stderr), never a
+                           silent pass. Requires --opt or --pipeline.
+  --verify-equiv-report=F  write a strict-JSON proof report (per-function
+                           status, conflicts, time) to F
+  --equiv-conflicts=N      SAT conflict budget per function (default 500000)
+  --equiv-time-ms=N        wall-clock budget per function in ms (default
+                           60000; 0 disables the clock for deterministic
+                           verdicts)
+  --equiv-samples=N        stimulus vectors for the degraded differential
+                           (default 8)
+  --equiv-corpus-dir=DIR   on a confirmed counterexample, ddmin-reduce the
+                           input to the smallest program that still
+                           miscompiles and save it under DIR as a fuzz
+                           regression
   --remarks=PATH           stream optimization remarks (applied AND missed)
                            from the pass pipeline as JSON lines to PATH
   --rpass=REGEX            echo remarks whose pass name matches REGEX as
@@ -122,6 +145,14 @@ struct Options {
     profile: Option<String>,
     print_ir_before_all: bool,
     print_ir_after_all: bool,
+    /// `Some(K)` = prove optimized ≡ unoptimized for K cycles.
+    verify_equiv: Option<u32>,
+    verify_equiv_report: Option<String>,
+    equiv_conflicts: u64,
+    /// `None` = no wall clock (deterministic verdicts).
+    equiv_time_ms: Option<u64>,
+    equiv_samples: u32,
+    equiv_corpus_dir: Option<String>,
 }
 
 /// `Ok(None)` means `--help`: usage has been printed to stdout, exit 0.
@@ -152,11 +183,18 @@ fn parse_args() -> Result<Option<Options>, String> {
         profile: None,
         print_ir_before_all: false,
         print_ir_after_all: false,
+        verify_equiv: None,
+        verify_equiv_report: None,
+        equiv_conflicts: 500_000,
+        equiv_time_ms: Some(60_000),
+        equiv_samples: 8,
+        equiv_corpus_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--opt" => opts.optimize = true,
+            "--verify-equiv" => opts.verify_equiv = Some(16),
             "--verify-only" => opts.verify_only = true,
             "--verify-each" => opts.verify_each = true,
             "--timing" => opts.timing = true,
@@ -211,6 +249,55 @@ fn parse_args() -> Result<Option<Options>, String> {
                 if opts.error_limit == 0 {
                     return Err("--error-limit must be at least 1".into());
                 }
+            }
+            _ if a.starts_with("--verify-equiv=") => {
+                let n = &a["--verify-equiv=".len()..];
+                let k = n
+                    .parse::<u32>()
+                    .map_err(|_| format!("--verify-equiv needs a cycle count, got '{n}'"))?;
+                if k == 0 {
+                    return Err("--verify-equiv needs at least 1 cycle".into());
+                }
+                opts.verify_equiv = Some(k);
+            }
+            _ if a.starts_with("--verify-equiv-report=") => {
+                let path = &a["--verify-equiv-report=".len()..];
+                if path.is_empty() {
+                    return Err("--verify-equiv-report needs a path".into());
+                }
+                opts.verify_equiv_report = Some(path.to_string());
+            }
+            _ if a.starts_with("--equiv-conflicts=") => {
+                let n = &a["--equiv-conflicts=".len()..];
+                opts.equiv_conflicts = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("--equiv-conflicts needs a number, got '{n}'"))?;
+                if opts.equiv_conflicts == 0 {
+                    return Err("--equiv-conflicts must be at least 1".into());
+                }
+            }
+            _ if a.starts_with("--equiv-time-ms=") => {
+                let n = &a["--equiv-time-ms=".len()..];
+                let ms = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("--equiv-time-ms needs a number, got '{n}'"))?;
+                opts.equiv_time_ms = if ms == 0 { None } else { Some(ms) };
+            }
+            _ if a.starts_with("--equiv-samples=") => {
+                let n = &a["--equiv-samples=".len()..];
+                opts.equiv_samples = n
+                    .parse::<u32>()
+                    .map_err(|_| format!("--equiv-samples needs a number, got '{n}'"))?;
+                if opts.equiv_samples == 0 {
+                    return Err("--equiv-samples must be at least 1".into());
+                }
+            }
+            _ if a.starts_with("--equiv-corpus-dir=") => {
+                let dir = &a["--equiv-corpus-dir=".len()..];
+                if dir.is_empty() {
+                    return Err("--equiv-corpus-dir needs a path".into());
+                }
+                opts.equiv_corpus_dir = Some(dir.to_string());
             }
             _ if a.starts_with("--sim-max-cycles=") => {
                 let n = &a["--sim-max-cycles=".len()..];
@@ -297,7 +384,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             _ if a.starts_with("--emit=") => {
                 opts.emit = a["--emit=".len()..].to_string();
-                if !["verilog", "pretty", "ir", "sim"].contains(&opts.emit.as_str()) {
+                if !["verilog", "pretty", "ir", "sim", "btor2"].contains(&opts.emit.as_str()) {
                     return Err(format!("unknown --emit kind '{}'", opts.emit));
                 }
             }
@@ -320,6 +407,17 @@ fn parse_args() -> Result<Option<Options>, String> {
     }
     if opts.sim_trace.is_some() && opts.emit != "sim" {
         return Err("--sim-trace requires --emit=sim".into());
+    }
+    if opts.verify_equiv.is_some() && !(opts.optimize || opts.pipeline.is_some()) {
+        return Err("--verify-equiv requires --opt or --pipeline (nothing to validate)".into());
+    }
+    if opts.verify_equiv.is_none() {
+        if opts.verify_equiv_report.is_some() {
+            return Err("--verify-equiv-report requires --verify-equiv".into());
+        }
+        if opts.equiv_corpus_dir.is_some() {
+            return Err("--equiv-corpus-dir requires --verify-equiv".into());
+        }
     }
     Ok(Some(opts))
 }
@@ -467,6 +565,9 @@ fn main() -> ExitCode {
         fp.crash_reproducer = opts.crash_reproducer.clone().map(Into::into);
         Pipeline::PerFunction(fp)
     };
+    // Snapshot for translation validation: the proof must compare the exact
+    // pre-pipeline module against the exact artifact being emitted.
+    let pre_opt = opts.verify_equiv.map(|_| module.clone());
     if run_passes {
         let mut opt_diags = ir::DiagnosticEngine::new();
         let run = {
@@ -497,6 +598,23 @@ fn main() -> ExitCode {
         }
     }
     let t_opt = t0.elapsed();
+
+    // Translation validation: prove the optimized module equivalent to the
+    // snapshot. A confirmed counterexample is a diagnostic (exit 1); an
+    // exhausted proof budget degrades loudly to sampling but still exits 0.
+    if let Some(k) = opts.verify_equiv {
+        let pre = pre_opt
+            .as_ref()
+            .expect("snapshot exists under --verify-equiv");
+        match run_verify_equiv(&opts, pre, &module, k, &source, explicit.as_deref()) {
+            Ok(true) => {}
+            Ok(false) => return ExitCode::from(EXIT_DIAGNOSTICS),
+            Err(e) => {
+                eprintln!("hirc: error: {e}");
+                return ExitCode::from(EXIT_DIAGNOSTICS);
+            }
+        }
+    }
 
     // Optimization remarks: stream as JSONL and/or echo the passes the user
     // asked about. The pipeline merged per-function remarks in module order,
@@ -570,6 +688,25 @@ fn main() -> ExitCode {
     let text = match opts.emit.as_str() {
         "pretty" => hir::pretty_module(&module),
         "ir" => ir::print_module(&module),
+        "btor2" => {
+            let func = module
+                .top_ops()
+                .iter()
+                .filter_map(|&t| hir::ops::FuncOp::wrap(&module, t))
+                .rfind(|f| !f.is_external(&module));
+            let Some(func) = func else {
+                eprintln!("hirc: nothing to export: module has no non-external functions");
+                return ExitCode::from(EXIT_DIAGNOSTICS);
+            };
+            let _s = obs::span_in("emit", "export btor2");
+            match bmc::export_btor2(&module, &func.name(&module)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("hirc: {e}");
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
+                }
+            }
+        }
         "sim" => match run_sim(&opts, &module) {
             Ok((summary, report)) => {
                 resources = Some(report);
@@ -730,6 +867,235 @@ fn parse_loc(s: &str) -> ir::Location {
         }
     }
     ir::Location::unknown()
+}
+
+/// `--verify-equiv`: prove `optimized` observably equivalent to `pre` for
+/// `k` cycles per function. Prints per-function verdicts to stderr, writes
+/// the machine-readable report if requested, harvests reduced regressions
+/// on confirmed counterexamples. Returns `Ok(false)` when a counterexample
+/// was confirmed (caller exits 1).
+fn run_verify_equiv(
+    opts: &Options,
+    pre: &ir::Module,
+    optimized: &ir::Module,
+    k: u32,
+    source: &str,
+    explicit_pipeline: Option<&[String]>,
+) -> Result<bool, String> {
+    let eopts = bmc::EquivOptions {
+        k_cycles: k,
+        conflict_budget: opts.equiv_conflicts,
+        time_budget_ms: opts.equiv_time_ms,
+        samples: opts.equiv_samples,
+        replay_max_cycles: opts
+            .sim_max_cycles
+            .unwrap_or(hir_codegen::testbench::DEFAULT_SIM_MAX_CYCLES),
+    };
+    let reports = {
+        let _s = obs::span_in("equiv", "verify equivalence");
+        hir_opt::verify_equivalence_with(pre, optimized, &eopts).map_err(|e| e.to_string())?
+    };
+
+    let mut all_equivalent = true;
+    for r in &reports {
+        match &r.status {
+            bmc::EquivStatus::Proved => {
+                obs::counter_add("equiv", "functions_proved", 1);
+                eprintln!(
+                    "hirc: verify-equiv @{}: proved equivalent for K={} cycles \
+                     ({} conflicts, {} ms)",
+                    r.func, r.k, r.conflicts, r.time_ms
+                );
+            }
+            bmc::EquivStatus::Sampled { samples, reason } => {
+                obs::counter_add("equiv", "functions_sampled", 1);
+                eprintln!(
+                    "hirc: remark: verify-equiv @{}: {reason}; degraded to a \
+                     {samples}-sample differential (all samples agree, but \
+                     equivalence is NOT proved)",
+                    r.func
+                );
+            }
+            bmc::EquivStatus::Counterexample(cex) => {
+                obs::counter_add("equiv", "counterexamples_confirmed", 1);
+                all_equivalent = false;
+                eprintln!(
+                    "hirc: error: verify-equiv @{}: optimized design diverges \
+                     from the unoptimized design (replay-confirmed): {}",
+                    r.func, cex.detail
+                );
+                eprintln!(
+                    "hirc: counterexample stimulus for @{}: {}",
+                    r.func,
+                    render_stimulus(&cex.stimulus)
+                );
+                if let Some(dir) = &opts.equiv_corpus_dir {
+                    match harvest_regression(source, explicit_pipeline, &eopts, dir) {
+                        Ok(path) => {
+                            eprintln!("hirc: reduced miscompile regression written to {path}");
+                        }
+                        Err(e) => eprintln!("hirc: regression harvesting failed: {e}"),
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &opts.verify_equiv_report {
+        std::fs::write(path, equiv_report_json(k, &reports))
+            .map_err(|e| format!("cannot write equivalence report '{path}': {e}"))?;
+    }
+    Ok(all_equivalent)
+}
+
+fn render_stimulus(stimulus: &[bmc::StimulusArg]) -> String {
+    let parts: Vec<String> = stimulus
+        .iter()
+        .map(|s| match s {
+            bmc::StimulusArg::Int(v) => v.to_string(),
+            bmc::StimulusArg::Mem(words) => format!(
+                "[{}]",
+                words
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        })
+        .collect();
+    parts.join(", ")
+}
+
+/// Strict-JSON proof report for `--verify-equiv-report` (validated by the
+/// `jsonv` parser in CI).
+fn equiv_report_json(k: u32, reports: &[bmc::FuncReport]) -> String {
+    let mut proved = 0u32;
+    let mut sampled = 0u32;
+    let mut counterexamples = 0u32;
+    let mut funcs = Vec::with_capacity(reports.len());
+    for r in reports {
+        let detail = match &r.status {
+            bmc::EquivStatus::Proved => String::new(),
+            bmc::EquivStatus::Sampled { reason, .. } => reason.clone(),
+            bmc::EquivStatus::Counterexample(cex) => cex.detail.clone(),
+        };
+        match &r.status {
+            bmc::EquivStatus::Proved => proved += 1,
+            bmc::EquivStatus::Sampled { .. } => sampled += 1,
+            bmc::EquivStatus::Counterexample(_) => counterexamples += 1,
+        }
+        funcs.push(format!(
+            "{{\"func\":\"{}\",\"status\":\"{}\",\"k\":{},\"conflicts\":{},\
+             \"vars\":{},\"time_ms\":{},\"detail\":\"{}\"}}",
+            obs::json::escape(&r.func),
+            r.status.label(),
+            r.k,
+            r.conflicts,
+            r.vars,
+            r.time_ms,
+            obs::json::escape(&detail),
+        ));
+    }
+    format!(
+        "{{\"k\":{k},\"proved\":{proved},\"sampled\":{sampled},\
+         \"counterexamples\":{counterexamples},\"functions\":[{}]}}\n",
+        funcs.join(",")
+    )
+}
+
+/// Shrink a confirmed-miscompiling input with ddmin (reusing the fuzzer's
+/// reducer) and save it as a fuzz regression. The oracle re-runs the same
+/// pipeline and BMC check on every candidate, so the reduced program still
+/// miscompiles by construction.
+fn harvest_regression(
+    source: &str,
+    explicit_pipeline: Option<&[String]>,
+    eopts: &bmc::EquivOptions,
+    dir: &str,
+) -> Result<String, String> {
+    // Cheaper per-candidate budget: reduction runs the check many times.
+    let oracle_opts = bmc::EquivOptions {
+        conflict_budget: eopts.conflict_budget.min(50_000),
+        time_budget_ms: eopts.time_budget_ms.map(|ms| ms.min(5_000)),
+        ..eopts.clone()
+    };
+    let still = |candidate: &str| candidate_miscompiles(candidate, explicit_pipeline, &oracle_opts);
+    if !still(source) {
+        return Err("original input no longer reproduces under the reduction oracle".into());
+    }
+    let reduced = hir_fuzz::reduce_lines(source, still);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create '{dir}': {e}"))?;
+    let path = format!(
+        "{dir}/equiv_miscompile_{:016x}.mlir",
+        fnv1a(reduced.as_bytes())
+    );
+    let mut text = reduced;
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    std::fs::write(&path, text).map_err(|e| format!("cannot write '{path}': {e}"))?;
+    Ok(path)
+}
+
+/// Reduction oracle: does the pipeline still miscompile this candidate?
+/// Any failure along the way (parse, verify, pass, check) means "no".
+fn candidate_miscompiles(
+    source: &str,
+    explicit_pipeline: Option<&[String]>,
+    eopts: &bmc::EquivOptions,
+) -> bool {
+    let pretty = source
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with("//"))
+        .is_some_and(|l| l.starts_with("hir.func"));
+    let module = if pretty {
+        let r = hir::parse_pretty_recover(source, 1);
+        if !r.errors.is_empty() {
+            return false;
+        }
+        r.module
+    } else {
+        let r = ir::parse_module_recover(source, 1);
+        if !r.errors.is_empty() {
+            return false;
+        }
+        r.module
+    };
+    let registry = hir::hir_registry();
+    let mut diags = ir::DiagnosticEngine::new();
+    if ir::verify_module(&module, &registry, &mut diags).is_err()
+        || hir_verify::verify_schedule(&module, &mut diags).is_err()
+    {
+        return false;
+    }
+    let mut optimized = module.clone();
+    let mut pm = match explicit_pipeline {
+        Some(names) => match hir_opt::pipeline_from_names(names) {
+            Ok(pm) => pm,
+            Err(_) => return false,
+        },
+        None => hir_opt::standard_pipeline(),
+    };
+    let mut diags = ir::DiagnosticEngine::new();
+    if pm.run(&mut optimized, &registry, &mut diags).is_err() {
+        return false;
+    }
+    matches!(
+        hir_opt::verify_equivalence_with(&module, &optimized, eopts),
+        Ok(reports) if reports
+            .iter()
+            .any(|r| matches!(r.status, bmc::EquivStatus::Counterexample(_)))
+    )
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// `--emit=sim`: generate the design, add behavioral stubs for external

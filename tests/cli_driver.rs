@@ -513,3 +513,201 @@ fn stencil_and_unrolled_designs_compile_and_run() {
         r.cycles
     );
 }
+
+// ------------------------------------------------- translation validation
+
+fn example(name: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(name)
+}
+
+#[test]
+fn verify_equiv_flag_validation() {
+    let dir = std::env::temp_dir().join("hirc_test_equiv_flags");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("t.mlir");
+    std::fs::write(&input, transpose_source()).unwrap();
+
+    // --verify-equiv compares against the *optimized* module, so it needs
+    // --opt or --pipeline.
+    let out = hirc().arg(&input).arg("--verify-equiv").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "verify-equiv without passes");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--verify-equiv"), "{err}");
+
+    // K = 0 proves nothing.
+    let out = hirc()
+        .arg(&input)
+        .arg("--opt")
+        .arg("--verify-equiv=0")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "K=0 is a usage error");
+
+    // Report and corpus flags are meaningless without the check itself.
+    for flag in ["--verify-equiv-report=r.json", "--equiv-corpus-dir=corpus"] {
+        let out = hirc().arg(&input).arg("--opt").arg(flag).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} without --verify-equiv");
+    }
+}
+
+#[test]
+fn verify_equiv_proves_optimized_example_and_writes_report() {
+    let dir = std::env::temp_dir().join("hirc_test_equiv_prove");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("equiv.json");
+    let out = hirc()
+        .arg(example("transpose.mlir"))
+        .arg("--opt")
+        .arg("--verify-equiv=8")
+        .arg(format!("--verify-equiv-report={}", report.display()))
+        .arg("-o")
+        .arg(dir.join("t.v"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("proved equivalent for K=8 cycles"),
+        "proof must be reported: {err}"
+    );
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"k\":8"), "{json}");
+    assert!(json.contains("\"proved\":1"), "{json}");
+    assert!(json.contains("\"counterexamples\":0"), "{json}");
+    assert!(json.contains("\"status\":\"proved\""), "{json}");
+}
+
+#[test]
+fn verify_equiv_refutes_miscompile_and_harvests_regression() {
+    let dir = std::env::temp_dir().join("hirc_test_equiv_cex");
+    let corpus = dir.join("harvest");
+    let _ = std::fs::remove_dir_all(&corpus);
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("equiv.json");
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--pipeline=test-miscompile")
+        .arg("--verify-equiv")
+        .arg(format!("--verify-equiv-report={}", report.display()))
+        .arg(format!("--equiv-corpus-dir={}", corpus.display()))
+        .arg("-o")
+        .arg(dir.join("t.v"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a confirmed miscompile is a diagnostic, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("replay-confirmed"), "{err}");
+    assert!(err.contains("counterexample stimulus for @mac"), "{err}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"counterexamples\":1"), "{json}");
+    assert!(json.contains("\"status\":\"counterexample\""), "{json}");
+
+    // The counterexample was ddmin-reduced into a fuzz regression, and the
+    // reduced input still parses.
+    let files: Vec<_> = std::fs::read_dir(&corpus)
+        .expect("harvest dir created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(
+        files.len(),
+        1,
+        "exactly one harvested regression: {files:?}"
+    );
+    let name = files[0].file_name().unwrap().to_string_lossy().to_string();
+    assert!(name.starts_with("equiv_miscompile_"), "{name}");
+    let reduced = std::fs::read_to_string(&files[0]).unwrap();
+    assert!(
+        ir::parse_module(&reduced).is_ok(),
+        "reduced case must parse"
+    );
+}
+
+#[test]
+fn verify_equiv_budget_exhaustion_degrades_loudly() {
+    let dir = std::env::temp_dir().join("hirc_test_equiv_budget");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("equiv.json");
+    // A 1 ms wall-clock budget cannot complete a K=16 proof of the
+    // transpose design; the driver must say so out loud, fall back to the
+    // sampled differential, and still exit 0 (no divergence observed).
+    let out = hirc()
+        .arg(example("transpose.mlir"))
+        .arg("--opt")
+        .arg("--verify-equiv")
+        .arg("--equiv-time-ms=1")
+        .arg(format!("--verify-equiv-report={}", report.display()))
+        .arg("-o")
+        .arg(dir.join("t.v"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("hirc: remark:"), "degradation is loud: {err}");
+    assert!(err.contains("NOT proved"), "{err}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"sampled\":1"), "{json}");
+}
+
+#[test]
+fn verify_equiv_sim_budget_exhaustion_is_a_diagnostic_not_a_pass() {
+    // The bugfix satellite: when --sim-max-cycles starves the replay of a
+    // counterexample, the driver must exit 1 with a structured diagnostic —
+    // never panic, and never silently report success.
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--pipeline=test-miscompile")
+        .arg("--verify-equiv")
+        .arg("--sim-max-cycles=2")
+        .arg("-o")
+        .arg(std::env::temp_dir().join("hirc_test_equiv_simbudget.v"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("simulation budget exhausted"), "{err}");
+}
+
+#[test]
+fn emit_btor2_matches_golden_across_thread_counts() {
+    let golden = include_str!("golden/mac.btor2");
+    let run = |threads: &str| {
+        let out = hirc()
+            .arg(example("mac.mlir"))
+            .arg("--emit=btor2")
+            .arg(format!("--threads={threads}"))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let t1 = run("1");
+    assert_eq!(t1, golden, "BTOR2 drifted from tests/golden/mac.btor2");
+    assert_eq!(t1, run("4"), "BTOR2 must not depend on --threads");
+    assert_eq!(t1, run("1"), "BTOR2 must be byte-identical across runs");
+}
