@@ -1,13 +1,18 @@
-//! Compares the bytecode simulator engine against the tree-walk oracle on
-//! the generated GEMM testbench: same design, same stimulus, both engines
-//! run to completion, and the winner is reported in cycles per second. The
-//! measurements are also written to `BENCH_sim_profile.json` so CI can
-//! archive engine-throughput baselines next to the pass profile.
+//! Profiles every simulator engine on the generated GEMM testbench: the
+//! bytecode baseline, the tree-walk oracle, the event-driven scheduler
+//! (quiescent cones skipped), and the batched engine (N independent
+//! stimulus lanes evaluated bit-parallel). Same design, same stimulus
+//! (lane 0), every engine runs to completion and must produce the reference
+//! GEMM result. The measurements are written to `BENCH_sim_profile.json` so
+//! CI can archive engine-throughput baselines next to the pass profile.
 //!
 //! Flags:
-//!   --quick     one repetition instead of three
-//!   --n=SIZE    GEMM size (power of two, default 16)
-//!   --out=PATH  write the JSON somewhere other than the default
+//!   --quick       one repetition instead of three
+//!   --n=SIZE      GEMM size (power of two, default 16)
+//!   --lanes=N     stimulus lanes for the batched engine (default 16)
+//!   --out=PATH    write the JSON somewhere other than the default
+//!   --gate-event  exit 1 unless event-driven cycles/s >= bytecode cycles/s
+//!                 (the CI no-regression drift gate)
 
 use hir_codegen::testbench::{Harness, HarnessArg};
 use obs::json::escape;
@@ -20,21 +25,33 @@ struct EngineRun {
     cycles: u64,
     best_ns: u128,
     cycles_per_s: f64,
+    lanes: usize,
+    /// Aggregate throughput: (cycles x lanes) per second.
+    lane_cycles_per_s: f64,
 }
 
 fn main() {
     let mut reps = 3usize;
     let mut n = 16u64;
+    let mut lanes = 16usize;
     let mut out_file = OUT_FILE.to_string();
+    let mut gate_event = false;
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             reps = 1;
+        } else if arg == "--gate-event" {
+            gate_event = true;
         } else if let Some(v) = arg.strip_prefix("--n=") {
             n = v.parse().expect("--n=SIZE");
+        } else if let Some(v) = arg.strip_prefix("--lanes=") {
+            lanes = v.parse().expect("--lanes=N");
+            assert!((1..=64).contains(&lanes), "--lanes accepts 1..=64");
         } else if let Some(path) = arg.strip_prefix("--out=") {
             out_file = path.to_string();
         } else {
-            eprintln!("unknown flag {arg} (expected --quick, --n=, --out=)");
+            eprintln!(
+                "unknown flag {arg} (expected --quick, --n=, --lanes=, --out=, --gate-event)"
+            );
             std::process::exit(2);
         }
     }
@@ -51,6 +68,17 @@ fn main() {
         HarnessArg::zero_mem(nn),
     ];
     let expect = kernels::gemm::reference(n, &a, &b);
+
+    let report_row = |r: &EngineRun| {
+        println!(
+            "{:<12} {:>8} cycles in {:>8.4}s  ({:>12.0} cycles/s, {:>14.0} lane-cycles/s)",
+            r.label,
+            r.cycles,
+            r.best_ns as f64 / 1e9,
+            r.cycles_per_s,
+            r.lane_cycles_per_s
+        );
+    };
 
     let measure = |engine: verilog::Engine,
                    label: &'static str,
@@ -75,19 +103,63 @@ fn main() {
             }
         }
         let rate = cycles as f64 / (best as f64 / 1e9);
-        println!(
-            "{label:<10} {cycles:>8} cycles in {:>8.4}s  ({rate:>12.0} cycles/s)",
-            best as f64 / 1e9
-        );
-        (
-            EngineRun {
-                label,
-                cycles,
-                best_ns: best,
-                cycles_per_s: rate,
-            },
-            telem,
-        )
+        let run = EngineRun {
+            label,
+            cycles,
+            best_ns: best,
+            cycles_per_s: rate,
+            lanes: 1,
+            lane_cycles_per_s: rate,
+        };
+        report_row(&run);
+        (run, telem)
+    };
+
+    // One batched pass simulates `lanes` independent GEMMs: lane 0 carries
+    // the baseline stimulus, later lanes offset matrix A per lane so every
+    // lane computes (and checks) a different product.
+    let measure_batched = || -> EngineRun {
+        let lane_args: Vec<Vec<HarnessArg>> = (0..lanes)
+            .map(|lane| {
+                let al: Vec<i128> = a.iter().map(|v| v + lane as i128).collect();
+                vec![
+                    HarnessArg::mem_from(&al),
+                    HarnessArg::mem_from(&b),
+                    HarnessArg::zero_mem(nn),
+                ]
+            })
+            .collect();
+        let expects: Vec<Vec<i128>> = lane_args
+            .iter()
+            .map(|la| match &la[0] {
+                HarnessArg::Mem(al) => kernels::gemm::reference(n, al, &b),
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut best = u128::MAX;
+        let mut cycles = 0u64;
+        for _ in 0..reps {
+            let mut h =
+                Harness::new_batched(&design, &m, func, &lane_args).expect("batched harness");
+            let t0 = Instant::now();
+            let reports = h.run_batched(1_000_000).expect("batched run");
+            best = best.min(t0.elapsed().as_nanos());
+            cycles = reports[0].cycles;
+            for (lane, (rep, exp)) in reports.iter().zip(&expects).enumerate() {
+                assert_eq!(rep.mems[&2], *exp, "batched lane {lane}: wrong GEMM result");
+            }
+        }
+        let rate = cycles as f64 / (best as f64 / 1e9);
+        let run = EngineRun {
+            label: "batched",
+            cycles,
+            best_ns: best,
+            cycles_per_s: rate,
+            lanes,
+            lane_cycles_per_s: rate * lanes as f64,
+        };
+        report_row(&run);
+        run
     };
 
     let tape = {
@@ -96,16 +168,54 @@ fn main() {
         println!("assigns {na} (settle tape {st}), always {nal} (step tape {sp}), regs {nr}");
         (na, st, nal, sp, nr)
     };
-    println!("GEMM N={n} testbench, best of {reps}");
+    println!("GEMM N={n} testbench, best of {reps}, {lanes} batched lanes");
     let (bc, _) = measure(verilog::Engine::Bytecode, "bytecode", false);
     let (tw, _) = measure(verilog::Engine::TreeWalk, "tree-walk", false);
-    let (bt, telem) = measure(verilog::Engine::Bytecode, "bc+telem", true);
+    let (ev, _) = measure(verilog::Engine::Event, "event", false);
+    {
+        // Scheduler activity: how much of the cone graph the event engine
+        // actually runs per cycle (the skip ratio the speedup comes from).
+        let mut h = Harness::new(&design, &m, func, &args).expect("harness");
+        h.set_engine(verilog::Engine::Event);
+        let rep = h.run(1_000_000).expect("run");
+        {
+            // Quiescent floor: cost of a step when nothing is pending.
+            let t0 = Instant::now();
+            h.sim_mut().run(532).expect("idle run");
+            println!(
+                "event quiescent floor: {:.0} ns/cycle",
+                t0.elapsed().as_nanos() as f64 / 532.0
+            );
+        }
+        if let Some((sruns, pruns, scones, pcones, sinsns, pinsns)) = h.sim().event_activity() {
+            let cy = rep.cycles as f64;
+            println!(
+                "event activity: {:.1}/{} settle cones ({:.0} insns) and {:.1}/{} step cones ({:.0} insns) per cycle",
+                sruns as f64 / cy,
+                scones,
+                sinsns as f64 / cy,
+                pruns as f64 / cy,
+                pcones,
+                pinsns as f64 / cy,
+            );
+        }
+    }
+    let bt = measure_batched();
+    let (bct, _) = measure(verilog::Engine::Bytecode, "bc+telem", true);
+    let (evt, telem) = measure(verilog::Engine::Event, "ev+telem", true);
     let speedup = bc.cycles_per_s / tw.cycles_per_s;
-    println!("speedup    {speedup:.1}x");
-    // Telemetry slowdown (counters on vs off, same engine): the instrumented
-    // interpreter replaces the plain tape loop, so this measures its full cost.
-    let overhead_pct = 100.0 * (1.0 - bt.cycles_per_s / bc.cycles_per_s);
-    println!("telemetry overhead {overhead_pct:.1}%");
+    let speedup_event = ev.cycles_per_s / bc.cycles_per_s;
+    let speedup_batched = bt.lane_cycles_per_s / bc.cycles_per_s;
+    println!("speedup    bytecode/tree-walk {speedup:.1}x, event/bytecode {speedup_event:.1}x, batched lane-cycles/bytecode {speedup_batched:.1}x");
+    // Telemetry slowdown (counters on vs off, same engine). Under the
+    // bytecode engine the counting interpreter replaces the plain tape loop;
+    // under the event engine telemetry piggybacks on the dirty-set, so the
+    // recorded overhead is the event-mode figure.
+    let overhead_bc_pct = 100.0 * (1.0 - bct.cycles_per_s / bc.cycles_per_s);
+    let overhead_pct = 100.0 * (1.0 - evt.cycles_per_s / ev.cycles_per_s);
+    println!(
+        "telemetry overhead {overhead_pct:.1}% (event-driven; bytecode {overhead_bc_pct:.1}%)"
+    );
     let telem = telem.expect("telemetry report from instrumented run");
     let overall = telem.overall_quiescence();
     let (worst_name, worst_frac) = telem
@@ -114,20 +224,22 @@ fn main() {
         .unwrap_or_default();
     println!("quiescence overall {overall:.3}, worst cone {worst_name} ({worst_frac:.3})");
 
-    let engines: Vec<String> = [&bc, &tw, &bt]
+    let engines: Vec<String> = [&bc, &tw, &ev, &bt, &bct, &evt]
         .iter()
         .map(|r| {
             format!(
-                r#"    {{"engine":"{}","cycles":{},"best_ns":{},"cycles_per_s":{:.0}}}"#,
+                r#"    {{"engine":"{}","cycles":{},"best_ns":{},"cycles_per_s":{:.0},"lanes":{},"lane_cycles_per_s":{:.0}}}"#,
                 escape(r.label),
                 r.cycles,
                 r.best_ns,
                 r.cycles_per_s,
+                r.lanes,
+                r.lane_cycles_per_s,
             )
         })
         .collect();
     let doc = format!(
-        "{{\n  \"gemm_n\": {n},\n  \"reps\": {reps},\n  \"tape\": {{\"assigns\":{},\"settle_tape\":{},\"always\":{},\"step_tape\":{},\"regs\":{}}},\n  \"engines\": [\n{}\n  ],\n  \"speedup_bytecode_vs_treewalk\": {:.2},\n  \"telemetry\": {{\"overhead_pct\":{:.1},\"toggle_coverage\":{:.6}}},\n  \"quiescence\": {{\"overall\":{:.6},\"worst_cone\":\"{}\",\"worst_fraction\":{:.6}}}\n}}\n",
+        "{{\n  \"gemm_n\": {n},\n  \"reps\": {reps},\n  \"tape\": {{\"assigns\":{},\"settle_tape\":{},\"always\":{},\"step_tape\":{},\"regs\":{}}},\n  \"engines\": [\n{}\n  ],\n  \"speedup_bytecode_vs_treewalk\": {:.2},\n  \"speedup_event_vs_bytecode\": {:.2},\n  \"speedup_batched_lane_cycles_vs_bytecode\": {:.2},\n  \"telemetry\": {{\"overhead_pct\":{:.1},\"overhead_pct_bytecode\":{:.1},\"toggle_coverage\":{:.6}}},\n  \"quiescence\": {{\"overall\":{:.6},\"worst_cone\":\"{}\",\"worst_fraction\":{:.6}}}\n}}\n",
         tape.0,
         tape.1,
         tape.2,
@@ -135,7 +247,10 @@ fn main() {
         tape.4,
         engines.join(",\n"),
         speedup,
+        speedup_event,
+        speedup_batched,
         overhead_pct,
+        overhead_bc_pct,
         telem.toggle_coverage(),
         overall,
         escape(&worst_name),
@@ -145,4 +260,12 @@ fn main() {
     obs::json::parse(&doc).expect("generated JSON is valid");
     std::fs::write(&out_file, &doc).expect("write profile");
     println!("wrote {out_file}");
+
+    if gate_event && ev.cycles_per_s < bc.cycles_per_s {
+        eprintln!(
+            "sim_profile: REGRESSION: event engine ({:.0} cycles/s) is slower than bytecode ({:.0} cycles/s)",
+            ev.cycles_per_s, bc.cycles_per_s
+        );
+        std::process::exit(1);
+    }
 }

@@ -12,8 +12,8 @@
 //! 2 means usage error.
 
 use hir_fuzz::{
-    check_equivalence, load_corpus, mutant, run_pipeline_with_threads, synth_multi_func,
-    EquivOracle,
+    check_equivalence, check_sim_engines, load_corpus, mutant, run_pipeline_with_threads,
+    synth_multi_func, EquivOracle, SimOracle,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::process::ExitCode;
@@ -34,6 +34,12 @@ options:
                  semantics. Replay-confirmed miscompiles are saved like
                  crashes and fail the run. Conflict-only budgets keep the
                  verdict deterministic per (seed, iteration).
+  --check-sim[=LANES]  for every mutant that survives through codegen, run the
+                 simulator-engine differential oracle: bytecode vs
+                 event-driven on every function, plus one batched pass with
+                 LANES random stimulus lanes (default 4) that must reproduce
+                 every scalar run bit for bit. Divergences are saved like
+                 crashes and fail the run.
   --help, -h     show this help
 ";
 
@@ -45,6 +51,7 @@ struct Options {
     max_mutations: usize,
     threads: usize,
     check_equiv: Option<u32>,
+    check_sim: Option<usize>,
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
@@ -56,6 +63,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         max_mutations: 4,
         threads: 1,
         check_equiv: None,
+        check_sim: None,
     };
     for a in std::env::args().skip(1) {
         if let Some(v) = a.strip_prefix("--iters=") {
@@ -90,6 +98,14 @@ fn parse_args() -> Result<Option<Options>, String> {
                 return Err("--check-equiv needs at least 1 cycle".into());
             }
             opts.check_equiv = Some(k);
+        } else if a == "--check-sim" {
+            opts.check_sim = Some(4);
+        } else if let Some(v) = a.strip_prefix("--check-sim=") {
+            let lanes: usize = v.parse().map_err(|_| format!("bad --check-sim '{v}'"))?;
+            if lanes == 0 || lanes > 64 {
+                return Err("--check-sim needs 1..=64 lanes".into());
+            }
+            opts.check_sim = Some(lanes);
         } else if a == "--help" || a == "-h" {
             print!("{USAGE}");
             return Ok(None);
@@ -130,8 +146,10 @@ fn main() -> ExitCode {
 
     let mut crashes: u64 = 0;
     let mut miscompiles: u64 = 0;
+    let mut divergences: u64 = 0;
     let mut outcomes = [0u64; 3]; // [rejected, verified, codegen_ok]
     let mut equiv = [0u64; 3]; // [proved, sampled, skipped]
+    let mut sim = [0u64; 2]; // [agreed, skipped]
     for iter in 0..opts.iters {
         // Fresh RNG per iteration: any crash reproduces from (seed, iter)
         // without replaying the previous iterations.
@@ -175,6 +193,24 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+                // The engine differential oracle: bytecode vs event-driven vs
+                // batched, on random stimuli derived from (seed, iteration).
+                if let (Some(lanes), true) = (opts.check_sim, o.codegen_ok) {
+                    match check_sim_engines(&input, opts.seed ^ iter, lanes) {
+                        Ok(SimOracle::Agreed { .. }) => sim[0] += 1,
+                        Ok(SimOracle::Skipped(_)) => sim[1] += 1,
+                        Ok(SimOracle::Divergence(detail)) => {
+                            divergences += 1;
+                            let msg = format!("engine divergence: {detail}");
+                            save_finding(&opts.save, "divergence", opts.seed, iter, &input, &msg);
+                        }
+                        Err(report) => {
+                            crashes += 1;
+                            let msg = format!("sim oracle {report}");
+                            save_finding(&opts.save, "crash", opts.seed, iter, &input, &msg);
+                        }
+                    }
+                }
             }
             Err(report) => {
                 crashes += 1;
@@ -199,7 +235,13 @@ fn main() -> ExitCode {
             equiv[0], equiv[1], equiv[2], miscompiles
         );
     }
-    if crashes > 0 || miscompiles > 0 {
+    if opts.check_sim.is_some() {
+        eprintln!(
+            "hirc-fuzz: sim oracle: {} agreed, {} skipped, {} divergence(s)",
+            sim[0], sim[1], divergences
+        );
+    }
+    if crashes > 0 || miscompiles > 0 || divergences > 0 {
         eprintln!("hirc-fuzz: contract violated; reduce with: hirc-reduce <saved-input>");
         return ExitCode::from(1);
     }

@@ -248,6 +248,193 @@ pub fn check_equivalence(source: &str, k: u32, threads: usize) -> Result<EquivOr
 }
 
 // ---------------------------------------------------------------------------
+// Simulator-engine differential oracle
+// ---------------------------------------------------------------------------
+
+/// Verdict of the simulator-engine differential oracle on one input.
+#[derive(Clone, Debug)]
+pub enum SimOracle {
+    /// Every simulable function agreed across bytecode, event-driven, and
+    /// batched engines on every random stimulus lane.
+    Agreed {
+        /// Functions that were actually simulated.
+        functions: usize,
+        /// Stimulus lanes checked per function.
+        lanes: usize,
+    },
+    /// Two engines disagreed on results, latency, memory contents, or
+    /// failure behavior: a simulator bug. The payload describes where.
+    Divergence(String),
+    /// The oracle could not run on this input; not a finding.
+    Skipped(String),
+}
+
+/// Deterministic random harness arguments for `func`: readable memrefs get
+/// small non-negative words (some kernels index memory with data values),
+/// write-only memrefs start zeroed, scalars get small integers.
+fn random_args(
+    m: &ir::Module,
+    func: hir::ops::FuncOp,
+    rng: &mut StdRng,
+) -> Vec<hir_codegen::testbench::HarnessArg> {
+    use hir_codegen::testbench::HarnessArg;
+    func.args(m)
+        .iter()
+        .map(|&v| {
+            let ty = m.value_type(v);
+            match hir::types::MemrefInfo::from_type(&ty) {
+                Some(info) => {
+                    let n = info.num_elements() as usize;
+                    if info.port.can_read() {
+                        HarnessArg::Mem((0..n).map(|_| rng.gen_range(0..16i128)).collect())
+                    } else {
+                        HarnessArg::zero_mem(n)
+                    }
+                }
+                None => HarnessArg::Int(rng.gen_range(0..8i128)),
+            }
+        })
+        .collect()
+}
+
+/// Run the engine differential as a fuzz oracle: simulate every function of
+/// a compiled input under the bytecode engine, the event-driven engine, and
+/// — when all scalar runs succeed — one batched pass with `lanes` random
+/// stimulus lanes, requiring bit-identical results, latency, and memories
+/// lane for lane. Deterministic per `(source, seed, lanes)`.
+///
+/// # Errors
+/// A [`PanicReport`] if a simulator engine itself panics — a fuzz finding,
+/// not an input rejection.
+pub fn check_sim_engines(source: &str, seed: u64, lanes: usize) -> Result<SimOracle, PanicReport> {
+    use hir_codegen::testbench::{Harness, HarnessReport, DEFAULT_SIM_MAX_CYCLES};
+    use rand::SeedableRng;
+    guard("sim-diff", || {
+        // Same front-end dispatch as `run_pipeline`.
+        let pretty_input = source
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with("//"))
+            .is_some_and(|l| l.starts_with("hir.func"));
+        let (module, n_errors) = if pretty_input {
+            let r = hir::parse_pretty_recover(source, 0);
+            (r.module, r.errors.len())
+        } else {
+            let r = ir::parse_module_recover(source, 0);
+            (r.module, r.errors.len())
+        };
+        if n_errors != 0 {
+            return SimOracle::Skipped("parse errors".to_string());
+        }
+        let registry = hir::hir_registry();
+        let mut diags = ir::DiagnosticEngine::new();
+        if ir::verify_module(&module, &registry, &mut diags).is_err()
+            || hir_verify::verify_schedule_with_threads(&module, &mut diags, 1).is_err()
+        {
+            return SimOracle::Skipped("verification failed".to_string());
+        }
+        let mut design =
+            match hir_codegen::generate_design(&module, &hir_codegen::CodegenOptions::default()) {
+                Ok(d) => d,
+                Err(e) => return SimOracle::Skipped(format!("codegen failed: {e}")),
+            };
+        // Behavioral stubs for external callees, as `hirc --emit=sim` does.
+        match hir_codegen::extern_stubs(&module) {
+            Ok(stubs) => {
+                for stub in stubs {
+                    design.add(stub);
+                }
+            }
+            Err(e) => return SimOracle::Skipped(format!("extern stubs failed: {e}")),
+        }
+
+        let same = |a: &HarnessReport, b: &HarnessReport| -> bool {
+            a.cycles == b.cycles && a.results == b.results && a.mems == b.mems
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut functions = 0usize;
+        for &op in module.top_ops() {
+            let Some(f) = hir::ops::FuncOp::wrap(&module, op) else {
+                continue;
+            };
+            if f.is_external(&module) {
+                continue;
+            }
+            let name = f.name(&module);
+            let lane_args: Vec<Vec<_>> = (0..lanes.max(1))
+                .map(|_| random_args(&module, f, &mut rng))
+                .collect();
+            // External declarations and functions whose ports the harness
+            // cannot model are skipped, not findings.
+            if Harness::new(&design, &module, f, &lane_args[0]).is_err() {
+                continue;
+            }
+            // Scalar differential: bytecode vs event-driven, lane by lane.
+            let mut scalar: Vec<Result<HarnessReport, String>> = Vec::new();
+            for (lane, args) in lane_args.iter().enumerate() {
+                let mut runs = Vec::new();
+                for engine in [verilog::Engine::Bytecode, verilog::Engine::Event] {
+                    let mut h = Harness::new(&design, &module, f, args).expect("probed above");
+                    h.set_engine(engine);
+                    runs.push(h.run(DEFAULT_SIM_MAX_CYCLES).map_err(|e| e.to_string()));
+                }
+                match (&runs[0], &runs[1]) {
+                    (Ok(bc), Ok(ev)) if same(bc, ev) => {}
+                    (Err(be), Err(ee)) if be == ee => {}
+                    _ => {
+                        return SimOracle::Divergence(format!(
+                            "@{name} lane {lane}: bytecode vs event: {:?} vs {:?}",
+                            runs[0], runs[1]
+                        ))
+                    }
+                }
+                scalar.push(runs.swap_remove(0));
+            }
+            // Batched differential: only meaningful when every scalar lane
+            // completed (a failing lane aborts the whole batch by design).
+            if scalar.iter().all(Result::is_ok) {
+                let mut bh = match Harness::new_batched(&design, &module, f, &lane_args) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        return SimOracle::Divergence(format!(
+                            "@{name}: batched harness failed where scalar succeeded: {e}"
+                        ))
+                    }
+                };
+                match bh.run_batched(DEFAULT_SIM_MAX_CYCLES) {
+                    Ok(batch) => {
+                        for (lane, (b, s)) in batch.iter().zip(&scalar).enumerate() {
+                            let s = s.as_ref().expect("all lanes ok");
+                            if !same(b, s) {
+                                return SimOracle::Divergence(format!(
+                                    "@{name} lane {lane}: batched diverged from scalar \
+                                     (cycles {} vs {})",
+                                    b.cycles, s.cycles
+                                ));
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        return SimOracle::Divergence(format!(
+                            "@{name}: batched run failed where every scalar lane \
+                             succeeded: {e}"
+                        ))
+                    }
+                }
+            }
+            functions += 1;
+        }
+        if functions == 0 {
+            return SimOracle::Skipped("no simulable functions".to_string());
+        }
+        SimOracle::Agreed {
+            functions,
+            lanes: lanes.max(1),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Mutation engine
 // ---------------------------------------------------------------------------
 
@@ -614,6 +801,30 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn sim_oracle_agrees_on_valid_corpus_file() {
+        // The mac example exercises scalars, a memref, and a result port.
+        let src = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/mac.mlir"),
+        )
+        .expect("examples/mac.mlir");
+        match check_sim_engines(&src, 42, 3).expect("no panic") {
+            SimOracle::Agreed { functions, lanes } => {
+                assert!(functions >= 1);
+                assert_eq!(lanes, 3);
+            }
+            other => panic!("expected agreement on a shipped example, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sim_oracle_skips_garbage() {
+        match quiet(|| check_sim_engines("}}}}((((", 1, 2)).expect("no panic") {
+            SimOracle::Skipped(_) => {}
+            other => panic!("garbage must be skipped, got {other:?}"),
+        }
     }
 
     #[test]

@@ -67,8 +67,9 @@ struct BankNets {
 
 struct MemModel {
     arg_index: usize,
-    /// Flat storage: bank-major (`bank * bank_size + addr`).
-    data: Vec<i128>,
+    /// Flat storage, one buffer per stimulus lane (a single entry for
+    /// scalar harnesses): bank-major (`bank * bank_size + addr`).
+    data: Vec<Vec<i128>>,
     shared_with: Option<usize>,
     /// Cached memref geometry so the per-cycle loops touch no `MemrefInfo`.
     bank_size: u64,
@@ -84,12 +85,14 @@ struct MemModel {
 pub struct Harness {
     sim: Simulator,
     mems: Vec<MemModel>,
-    /// (net id, value, width) per scalar argument port.
-    scalar_ports: Vec<(usize, i128, u32)>,
+    /// (net id, per-lane values, width) per scalar argument port.
+    scalar_ports: Vec<(usize, Vec<i128>, u32)>,
     /// (result net id, valid net id, width) per function result.
     result_ports: Vec<(usize, usize, u32)>,
     /// Pre-resolved activity-indicator net ids (no per-cycle name lookups).
     activity_ids: Vec<usize>,
+    /// Number of batched stimulus lanes (1 for a scalar harness).
+    lanes: usize,
 }
 
 impl Harness {
@@ -105,8 +108,44 @@ impl Harness {
         func: FuncOp,
         args: &[HarnessArg],
     ) -> Result<Self, CodegenError> {
+        Self::build(design, m, func, std::slice::from_ref(&args))
+    }
+
+    /// Build a harness that simulates one stimulus set *per lane* in a single
+    /// batched pass (`verilog::Engine::Batched`). Every lane must supply the
+    /// same argument shapes (scalar vs memory, memory sizes, sharing); only
+    /// the values differ. Lane 0's run is bit-identical to a scalar
+    /// [`Harness::new`] run with the same arguments.
+    ///
+    /// # Errors
+    /// Fails on elaboration errors, shape mismatches between lanes, or a
+    /// lane count outside `1..=64`.
+    pub fn new_batched(
+        design: &Design,
+        m: &Module,
+        func: FuncOp,
+        lane_args: &[Vec<HarnessArg>],
+    ) -> Result<Self, CodegenError> {
+        if lane_args.is_empty() || lane_args.len() > 64 {
+            return Err(CodegenError(format!(
+                "batched harness needs 1..=64 lanes, got {}",
+                lane_args.len()
+            )));
+        }
+        let views: Vec<&[HarnessArg]> = lane_args.iter().map(Vec::as_slice).collect();
+        Self::build(design, m, func, &views)
+    }
+
+    fn build(
+        design: &Design,
+        m: &Module,
+        func: FuncOp,
+        lane_args: &[&[HarnessArg]],
+    ) -> Result<Self, CodegenError> {
+        let lanes = lane_args.len();
+        let args = lane_args[0];
         let top = module_name(&func.name(m));
-        let sim = Simulator::new(design, &top)
+        let mut sim = Simulator::new(design, &top)
             .map_err(|e| CodegenError(format!("failed to build simulator: {e}")))?;
         let formal = func.args(m);
         if formal.len() != args.len() {
@@ -128,7 +167,8 @@ impl Harness {
         };
 
         let mut mems: Vec<MemModel> = Vec::new();
-        let mut scalar_ports = Vec::new();
+        let mut scalar_ports: Vec<(usize, Vec<i128>, u32)> = Vec::new();
+        let mut scalar_arg_idx: Vec<usize> = Vec::new();
         let mut mem_index_by_arg: HashMap<usize, usize> = HashMap::new();
         for (i, (formal_v, actual)) in formal.iter().zip(args).enumerate() {
             let ty = m.value_type(*formal_v);
@@ -177,7 +217,7 @@ impl Harness {
                         )));
                     }
                     let mut mm = build(&info)?;
-                    mm.data = data.clone();
+                    mm.data = vec![data.clone()];
                     mem_index_by_arg.insert(i, mems.len());
                     mems.push(mm);
                 }
@@ -191,7 +231,8 @@ impl Harness {
                 }
                 (None, HarnessArg::Int(v)) => {
                     let width = ty.bit_width().unwrap_or(32);
-                    scalar_ports.push((nid(&base)?, *v, width));
+                    scalar_ports.push((nid(&base)?, vec![*v], width));
+                    scalar_arg_idx.push(i);
                 }
                 _ => {
                     return Err(CodegenError(format!(
@@ -201,6 +242,41 @@ impl Harness {
             }
         }
 
+        // Fold lanes 1.. into the lane-major storage, checking that every
+        // lane drives the same argument shapes as lane 0.
+        for (lane, &largs) in lane_args.iter().enumerate().skip(1) {
+            if largs.len() != args.len() {
+                return Err(CodegenError(format!(
+                    "lane {lane} has {} arguments, lane 0 has {}",
+                    largs.len(),
+                    args.len()
+                )));
+            }
+            for (i, (a0, al)) in args.iter().zip(largs).enumerate() {
+                match (a0, al) {
+                    (HarnessArg::Mem(d0), HarnessArg::Mem(dl)) => {
+                        if dl.len() != d0.len() {
+                            return Err(CodegenError(format!(
+                                "lane {lane} argument {i}: memory has {} words, lane 0 has {}",
+                                dl.len(),
+                                d0.len()
+                            )));
+                        }
+                        mems[mem_index_by_arg[&i]].data.push(dl.clone());
+                    }
+                    (HarnessArg::SharedWith(j0), HarnessArg::SharedWith(jl)) if j0 == jl => {}
+                    (HarnessArg::Int(_), HarnessArg::Int(vl)) => {
+                        let slot = scalar_arg_idx.iter().position(|&k| k == i).unwrap();
+                        scalar_ports[slot].1.push(*vl);
+                    }
+                    _ => {
+                        return Err(CodegenError(format!(
+                            "lane {lane} argument {i}: kind differs from lane 0"
+                        )))
+                    }
+                }
+            }
+        }
         let mut result_ports = Vec::new();
         for (i, rty) in func.result_types(m).iter().enumerate() {
             result_ports.push((
@@ -228,13 +304,24 @@ impl Harness {
         // The design's own busy indicator covers internal-only phases.
         activity_ids.push(nid("busy")?);
 
+        if lanes > 1 {
+            sim.set_batch_lanes(lanes);
+            sim.set_engine(verilog::Engine::Batched);
+        }
+
         Ok(Harness {
             sim,
             mems,
             scalar_ports,
             result_ports,
             activity_ids,
+            lanes,
         })
+    }
+
+    /// Number of batched stimulus lanes (1 for a scalar harness).
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// Select the simulator execution engine (bytecode by default; the
@@ -246,6 +333,11 @@ impl Harness {
     /// Borrow the underlying simulator (engine selection, tape statistics).
     pub fn sim(&self) -> &Simulator {
         &self.sim
+    }
+
+    /// Mutably borrow the underlying simulator (manual stepping, pokes).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
     }
 
     /// Dump a VCD waveform of the whole run to `path`.
@@ -262,11 +354,31 @@ impl Harness {
 
     /// Run the design: one `start` pulse at cycle 0, then clock until the
     /// design is quiescent (no activity for a grace period) or `max_cycles`.
+    /// On a batched harness this runs every lane and reports lane 0.
     ///
     /// # Errors
     /// Propagates RTL assertion failures; times out after `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> Result<HarnessReport, CodegenError> {
+        Ok(self.run_lanes(max_cycles)?.swap_remove(0))
+    }
+
+    /// Run every stimulus lane of a batched harness (see
+    /// [`Harness::new_batched`]) in one bit-parallel pass and return one
+    /// report per lane. All lanes share the clock; the run ends when *every*
+    /// lane has been quiescent for the grace period. On a scalar harness
+    /// this returns a single report, identical to [`Harness::run`].
+    ///
+    /// # Errors
+    /// Same failure modes as [`Harness::run`]; an assertion failure in any
+    /// lane aborts the whole batch.
+    pub fn run_batched(&mut self, max_cycles: u64) -> Result<Vec<HarnessReport>, CodegenError> {
+        self.run_lanes(max_cycles)
+    }
+
+    fn run_lanes(&mut self, max_cycles: u64) -> Result<Vec<HarnessReport>, CodegenError> {
         const QUIESCENT_GRACE: u64 = 8;
+        let lanes = self.lanes;
+        let batched = lanes > 1;
         // Belt and braces: arm the simulator's own watchdog too, so even a
         // future loop in this harness cannot spin past the caller's bound.
         self.sim.set_cycle_budget(Some(
@@ -275,33 +387,57 @@ impl Harness {
                 .saturating_add(max_cycles)
                 .saturating_add(1),
         ));
-        for &(id, v, w) in &self.scalar_ports {
-            self.sim.set_id(id, (v as u64) & mask(w));
+        for &(id, ref vs, w) in &self.scalar_ports {
+            if batched {
+                for (lane, &v) in vs.iter().enumerate() {
+                    self.sim.set_lane_id(id, lane, (v as u64) & mask(w));
+                }
+            } else {
+                self.sim.set_id(id, (vs[0] as u64) & mask(w));
+            }
         }
         self.sim.set("start", 1);
 
-        let mut results: Vec<Option<i128>> = vec![None; self.result_ports.len()];
-        let mut last_activity: u64 = 0;
+        let mut results: Vec<Vec<Option<i128>>> = vec![vec![None; self.result_ports.len()]; lanes];
+        let mut last_activity: Vec<u64> = vec![0; lanes];
+        let mut last_any: u64 = 0;
         let mut cycle: u64 = 0;
         loop {
             // Serve memories combinationally-visible state for this cycle.
             self.serve_reads_pre();
             // Observe activity + capture results before the edge.
-            let mut active = false;
-            for &id in &self.activity_ids {
-                if self.sim.get_id(id) != 0 {
-                    active = true;
+            for lane in 0..lanes {
+                let mut active = false;
+                for &id in &self.activity_ids {
+                    let v = if batched {
+                        self.sim.get_lane_id(id, lane)
+                    } else {
+                        self.sim.get_id(id)
+                    };
+                    if v != 0 {
+                        active = true;
+                    }
                 }
-            }
-            for (i, &(port, valid, w)) in self.result_ports.iter().enumerate() {
-                if self.sim.get_id(valid) != 0 {
-                    let raw = self.sim.get_id(port);
-                    results[i] = Some(sign(raw, w));
-                    active = true;
+                for (i, &(port, valid, w)) in self.result_ports.iter().enumerate() {
+                    let v = if batched {
+                        self.sim.get_lane_id(valid, lane)
+                    } else {
+                        self.sim.get_id(valid)
+                    };
+                    if v != 0 {
+                        let raw = if batched {
+                            self.sim.get_lane_id(port, lane)
+                        } else {
+                            self.sim.get_id(port)
+                        };
+                        results[lane][i] = Some(sign(raw, w));
+                        active = true;
+                    }
                 }
-            }
-            if active {
-                last_activity = cycle;
+                if active {
+                    last_activity[lane] = cycle;
+                    last_any = cycle;
+                }
             }
             // Sample bus requests, clock, then apply them (sync RAM).
             let requests = self.sample_requests();
@@ -318,28 +454,32 @@ impl Harness {
                     "simulation did not quiesce within {max_cycles} cycles"
                 )));
             }
-            if cycle > last_activity + QUIESCENT_GRACE && cycle > 2 {
+            if cycle > last_any + QUIESCENT_GRACE && cycle > 2 {
                 break;
             }
         }
 
-        let mut mems_out = HashMap::new();
-        for i in 0..self.mems.len() {
-            let mm = &self.mems[i];
-            if mm.shared_with.is_none() {
-                mems_out.insert(mm.arg_index, mm.data.clone());
+        let mut reports = Vec::with_capacity(lanes);
+        for (lane, res) in results.into_iter().enumerate() {
+            let mut mems_out = HashMap::new();
+            for mm in &self.mems {
+                if mm.shared_with.is_none() {
+                    mems_out.insert(mm.arg_index, mm.data[lane].clone());
+                }
             }
+            reports.push(HarnessReport {
+                cycles: last_activity[lane],
+                results: res.into_iter().map(|r| r.unwrap_or(0)).collect(),
+                mems: mems_out,
+            });
         }
-        Ok(HarnessReport {
-            cycles: last_activity,
-            results: results.into_iter().map(|r| r.unwrap_or(0)).collect(),
-            mems: mems_out,
-        })
+        Ok(reports)
     }
 
     /// For zero-latency (register-kind) argument memories, the read data must
     /// be visible combinationally in the same cycle.
     fn serve_reads_pre(&mut self) {
+        let batched = self.lanes > 1;
         for i in 0..self.mems.len() {
             if self.mems[i].read_latency != 0 || !self.mems[i].can_read {
                 continue;
@@ -351,48 +491,81 @@ impl Harness {
                 let (Some(addr_id), Some(rd_data_id)) = (bn.addr, bn.rd_data) else {
                     continue;
                 };
-                let addr = self.sim.get_id(addr_id);
-                let idx = (b as u64 * bank_size + addr) as usize;
-                let v = self.mems[store].data.get(idx).copied().unwrap_or(0);
-                self.sim.set_id(rd_data_id, v as u64);
+                for lane in 0..self.lanes {
+                    let addr = if batched {
+                        self.sim.get_lane_id(addr_id, lane)
+                    } else {
+                        self.sim.get_id(addr_id)
+                    };
+                    let idx = (b as u64 * bank_size + addr) as usize;
+                    let v = self.mems[store].data[lane].get(idx).copied().unwrap_or(0);
+                    if batched {
+                        self.sim.set_lane_id(rd_data_id, lane, v as u64);
+                    } else {
+                        self.sim.set_id(rd_data_id, v as u64);
+                    }
+                }
             }
         }
     }
 
     /// Capture all bus requests during the current cycle.
     fn sample_requests(&mut self) -> Vec<Request> {
+        let batched = self.lanes > 1;
         let mut out = Vec::new();
         for i in 0..self.mems.len() {
             for b in 0..self.mems[i].bank_nets.len() {
                 let bn = self.mems[i].bank_nets[b];
-                if self.mems[i].can_read && self.mems[i].read_latency > 0 {
-                    let (Some(en_id), Some(addr_id)) = (bn.rd_en, bn.addr) else {
-                        continue;
-                    };
-                    if self.sim.get_id(en_id) != 0 {
-                        let addr = self.sim.get_id(addr_id);
-                        out.push(Request::Read {
-                            mem: i,
-                            bank: b as u64,
-                            addr,
-                        });
+                for lane in 0..self.lanes {
+                    if self.mems[i].can_read && self.mems[i].read_latency > 0 {
+                        if let (Some(en_id), Some(addr_id)) = (bn.rd_en, bn.addr) {
+                            let en = if batched {
+                                self.sim.get_lane_id(en_id, lane)
+                            } else {
+                                self.sim.get_id(en_id)
+                            };
+                            if en != 0 {
+                                let addr = if batched {
+                                    self.sim.get_lane_id(addr_id, lane)
+                                } else {
+                                    self.sim.get_id(addr_id)
+                                };
+                                out.push(Request::Read {
+                                    mem: i,
+                                    bank: b as u64,
+                                    addr,
+                                    lane,
+                                });
+                            }
+                        }
                     }
-                }
-                if self.mems[i].can_write {
-                    let (Some(en_id), Some(waddr_id), Some(data_id)) =
-                        (bn.wr_en, bn.waddr, bn.wr_data)
-                    else {
-                        continue;
-                    };
-                    if self.sim.get_id(en_id) != 0 {
-                        let addr = self.sim.get_id(waddr_id);
-                        let data = self.sim.get_id(data_id);
-                        out.push(Request::Write {
-                            mem: i,
-                            bank: b as u64,
-                            addr,
-                            data,
-                        });
+                    if self.mems[i].can_write {
+                        if let (Some(en_id), Some(waddr_id), Some(data_id)) =
+                            (bn.wr_en, bn.waddr, bn.wr_data)
+                        {
+                            let en = if batched {
+                                self.sim.get_lane_id(en_id, lane)
+                            } else {
+                                self.sim.get_id(en_id)
+                            };
+                            if en != 0 {
+                                let (addr, data) = if batched {
+                                    (
+                                        self.sim.get_lane_id(waddr_id, lane),
+                                        self.sim.get_lane_id(data_id, lane),
+                                    )
+                                } else {
+                                    (self.sim.get_id(waddr_id), self.sim.get_id(data_id))
+                                };
+                                out.push(Request::Write {
+                                    mem: i,
+                                    bank: b as u64,
+                                    addr,
+                                    data,
+                                    lane,
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -404,6 +577,7 @@ impl Harness {
     /// Reads are served before writes land, so a same-cycle read at a
     /// written address returns the old value (read-first RAM).
     fn apply_requests(&mut self, requests: Vec<Request>) {
+        let batched = self.lanes > 1;
         let mut ordered: Vec<Request> = Vec::with_capacity(requests.len());
         let (reads, writes): (Vec<_>, Vec<_>) = requests
             .into_iter()
@@ -412,27 +586,37 @@ impl Harness {
         ordered.extend(writes);
         for r in ordered {
             match r {
-                Request::Read { mem, bank, addr } => {
+                Request::Read {
+                    mem,
+                    bank,
+                    addr,
+                    lane,
+                } => {
                     let idx = (bank * self.mems[mem].bank_size + addr) as usize;
                     let store = self.mems[mem].shared_with.unwrap_or(mem);
-                    let v = self.mems[store].data.get(idx).copied().unwrap_or(0);
+                    let v = self.mems[store].data[lane].get(idx).copied().unwrap_or(0);
                     let w = self.mems[mem].elem_width;
                     let Some(rd_data_id) = self.mems[mem].bank_nets[bank as usize].rd_data else {
                         continue;
                     };
-                    self.sim.set_id(rd_data_id, (v as u64) & mask(w));
+                    if batched {
+                        self.sim.set_lane_id(rd_data_id, lane, (v as u64) & mask(w));
+                    } else {
+                        self.sim.set_id(rd_data_id, (v as u64) & mask(w));
+                    }
                 }
                 Request::Write {
                     mem,
                     bank,
                     addr,
                     data,
+                    lane,
                 } => {
                     let idx = (bank * self.mems[mem].bank_size + addr) as usize;
                     let store = self.mems[mem].shared_with.unwrap_or(mem);
                     let w = self.mems[mem].elem_width;
-                    if idx < self.mems[store].data.len() {
-                        self.mems[store].data[idx] = sign(data & mask(w), w);
+                    if idx < self.mems[store].data[lane].len() {
+                        self.mems[store].data[lane][idx] = sign(data & mask(w), w);
                     }
                 }
             }
@@ -498,12 +682,14 @@ enum Request {
         mem: usize,
         bank: u64,
         addr: u64,
+        lane: usize,
     },
     Write {
         mem: usize,
         bank: u64,
         addr: u64,
         data: u64,
+        lane: usize,
     },
 }
 

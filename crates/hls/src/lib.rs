@@ -65,6 +65,33 @@ pub fn simulate_with_vcd(
     h.run(max_cycles).map_err(|e| ScheduleError(e.to_string()))
 }
 
+/// Run N independent stimulus sets through one batched (bit-parallel) RTL
+/// simulation — one lane per stimulus set, all lanes sharing the clock —
+/// and return one report per lane. Lane 0 is bit-identical to a scalar
+/// [`simulate_with_vcd`] run with the same arguments.
+///
+/// # Errors
+/// Same failure modes as [`simulate_with_vcd`], plus lane-shape mismatches;
+/// an RTL assertion failure in any lane aborts the whole batch.
+pub fn simulate_batched(
+    module: &ir::Module,
+    design: &verilog::Design,
+    func: &str,
+    lane_args: &[Vec<HarnessArg>],
+    max_cycles: u64,
+) -> Result<Vec<HarnessReport>, ScheduleError> {
+    let table = ir::SymbolTable::build(module);
+    let op = table
+        .lookup(func)
+        .ok_or_else(|| ScheduleError(format!("no function @{func} in module")))?;
+    let f = hir::ops::FuncOp::wrap(module, op)
+        .ok_or_else(|| ScheduleError(format!("@{func} is not a hir.func")))?;
+    let mut h = hir_codegen::testbench::Harness::new_batched(design, module, f, lane_args)
+        .map_err(|e| ScheduleError(e.to_string()))?;
+    h.run_batched(max_cycles)
+        .map_err(|e| ScheduleError(e.to_string()))
+}
+
 /// Everything a telemetry-instrumented RTL run produces.
 #[derive(Debug)]
 pub struct TelemetryRun {
@@ -180,6 +207,20 @@ impl Compiled {
     ) -> Result<HarnessReport, ScheduleError> {
         let func = self.top.strip_prefix("hir_").unwrap_or(&self.top);
         simulate_with_vcd(&self.hir_module, &self.design, func, args, max_cycles, vcd)
+    }
+
+    /// RTL-simulate N independent stimulus sets in one batched pass (one
+    /// bit-parallel lane per set).
+    ///
+    /// # Errors
+    /// Same failure modes as [`simulate_batched`].
+    pub fn simulate_batched(
+        &self,
+        lane_args: &[Vec<HarnessArg>],
+        max_cycles: u64,
+    ) -> Result<Vec<HarnessReport>, ScheduleError> {
+        let func = self.top.strip_prefix("hir_").unwrap_or(&self.top);
+        simulate_batched(&self.hir_module, &self.design, func, lane_args, max_cycles)
     }
 
     /// RTL-simulate this compiled kernel with runtime telemetry enabled.
@@ -424,6 +465,32 @@ mod tests {
         .expect("harness");
         let r = h.run(10_000).expect("RTL sim");
         assert!(r.mems[&2].iter().all(|&v| v == 50), "{:?}", r.mems[&2]);
+    }
+
+    #[test]
+    fn batched_lanes_match_scalar_runs() {
+        let k = vadd_kernel(8);
+        let c = compile(&k, &SchedOptions::default()).expect("compile");
+        // Three stimulus sets, one lane each.
+        let lane_args: Vec<Vec<HarnessArg>> = (0..3)
+            .map(|lane| {
+                let a: Vec<i128> = (0..8).map(|x| x + lane as i128 * 10).collect();
+                let b: Vec<i128> = (0..8).map(|x| 50 - x * (lane as i128 + 1)).collect();
+                vec![
+                    HarnessArg::mem_from(&a),
+                    HarnessArg::mem_from(&b),
+                    HarnessArg::zero_mem(8),
+                ]
+            })
+            .collect();
+        let batched = c.simulate_batched(&lane_args, 10_000).expect("batched sim");
+        assert_eq!(batched.len(), 3);
+        for (lane, args) in lane_args.iter().enumerate() {
+            let scalar = c.simulate_with_vcd(args, 10_000, None).expect("scalar sim");
+            assert_eq!(batched[lane].cycles, scalar.cycles, "lane {lane} latency");
+            assert_eq!(batched[lane].results, scalar.results, "lane {lane}");
+            assert_eq!(batched[lane].mems, scalar.mems, "lane {lane} memories");
+        }
     }
 
     #[test]

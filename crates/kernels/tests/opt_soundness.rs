@@ -90,14 +90,74 @@ fn sim_engines_agree_on_generated_gemm() {
         h.run(20_000).expect("run")
     };
     let r_bc = run(verilog::Engine::Bytecode);
-    let r_tw = run(verilog::Engine::TreeWalk);
-
-    // Identical per-cycle behavior implies identical latency and memories.
-    assert_eq!(r_bc.cycles, r_tw.cycles, "latency diverged between engines");
-    assert_eq!(r_bc.results, r_tw.results);
-    assert_eq!(r_bc.mems, r_tw.mems, "memory contents diverged");
+    for engine in [
+        verilog::Engine::TreeWalk,
+        verilog::Engine::Event,
+        verilog::Engine::Batched,
+    ] {
+        let r = run(engine);
+        // Identical per-cycle behavior implies identical latency and memories.
+        assert_eq!(r_bc.cycles, r.cycles, "{engine:?}: latency diverged");
+        assert_eq!(r_bc.results, r.results, "{engine:?}: results diverged");
+        assert_eq!(r_bc.mems, r.mems, "{engine:?}: memory contents diverged");
+    }
     let expect = kernels::gemm::reference(n, &a, &b);
     assert_eq!(r_bc.mems[&2], expect, "bytecode result is wrong");
+}
+
+/// N random seeds in ONE batched pass: every lane of a batched GEMM run
+/// must reproduce its scalar bytecode run bit for bit — this is the
+/// multi-stimulus differential harness the batched engine exists for.
+#[test]
+fn batched_lanes_agree_with_scalar_runs_on_gemm() {
+    let n = 4u64;
+    let nn = (n * n) as usize;
+    let mut m = kernels::gemm::hir_gemm(n, 32);
+    let (design, _) = kernels::compile_hir(&mut m, true).expect("compile");
+    let func = kernels::find_func(&m, kernels::gemm::FUNC);
+
+    // Deterministic LCG-seeded stimulus per lane.
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 17) as i128 - 8
+    };
+    const LANES: usize = 6;
+    let lane_args: Vec<Vec<HarnessArg>> = (0..LANES)
+        .map(|_| {
+            let a: Vec<i128> = (0..nn).map(|_| next()).collect();
+            let b: Vec<i128> = (0..nn).map(|_| next()).collect();
+            vec![
+                HarnessArg::mem_from(&a),
+                HarnessArg::mem_from(&b),
+                HarnessArg::zero_mem(nn),
+            ]
+        })
+        .collect();
+
+    let mut bh = Harness::new_batched(&design, &m, func, &lane_args).expect("batched harness");
+    assert_eq!(bh.lanes(), LANES);
+    let batched = bh.run_batched(20_000).expect("batched run");
+
+    for (lane, args) in lane_args.iter().enumerate() {
+        let mut h = Harness::new(&design, &m, func, args).expect("scalar harness");
+        let scalar = h.run(20_000).expect("scalar run");
+        assert_eq!(batched[lane].cycles, scalar.cycles, "lane {lane} latency");
+        assert_eq!(batched[lane].results, scalar.results, "lane {lane} results");
+        assert_eq!(batched[lane].mems, scalar.mems, "lane {lane} memories");
+        // And both must match the software reference.
+        let (a, b) = match (&args[0], &args[1]) {
+            (HarnessArg::Mem(a), HarnessArg::Mem(b)) => (a, b),
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            batched[lane].mems[&2],
+            kernels::gemm::reference(n, a, b),
+            "lane {lane} GEMM result is wrong"
+        );
+    }
 }
 
 // ------------------------------------------------- translation validation

@@ -156,10 +156,20 @@ enum CStmt {
 /// allocation and no recursion. `TreeWalk` is the original recursive
 /// evaluator, kept as a differential-testing oracle; building with the
 /// `treewalk-sim` feature makes it the default instead.
+///
+/// `Event` turns the static union-find cone partition into the scheduler:
+/// each settle/step cone executes as a slice of the same tapes, activated
+/// by a dirty-set of nets changed this cycle; quiescent cones are skipped
+/// entirely. `Batched` layers N independent stimulus lanes on top of the
+/// same cone scheduling (see [`Simulator::set_batch_lanes`]); lane 0 is
+/// bit-identical to a scalar run. All engines produce byte-identical
+/// results, VCD, telemetry reports, and watchdog behavior.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Engine {
     Bytecode,
     TreeWalk,
+    Event,
+    Batched,
 }
 
 impl Default for Engine {
@@ -511,7 +521,11 @@ impl TapeBuilder {
 ///
 /// `consts` carries the preloaded constant registers so their (exact)
 /// values participate in the mask analysis.
-fn cse_tape(tape: Vec<Insn>, consts: &[(u32, u64)]) -> Vec<Insn> {
+///
+/// Returns the optimized tape plus the old-pc -> new-pc map (length
+/// `tape.len() + 1`; dropped insns map to the position of their successor),
+/// so callers can remap chain boundaries recorded before CSE.
+fn cse_tape(tape: Vec<Insn>, consts: &[(u32, u64)]) -> (Vec<Insn>, Vec<u32>) {
     use Insn::*;
     let mut rep: HashMap<u32, u32> = HashMap::new();
     let resolve = |rep: &HashMap<u32, u32>, r: u32| -> u32 { *rep.get(&r).unwrap_or(&r) };
@@ -709,7 +723,7 @@ fn cse_tape(tape: Vec<Insn>, consts: &[(u32, u64)]) -> Vec<Insn> {
             *target = pc_map[*target as usize];
         }
     }
-    out
+    (out, pc_map)
 }
 
 /// Read-only view of the compiled tapes and name tables, consumed by the
@@ -757,6 +771,24 @@ impl Simulator {
             self.step_tape.len(),
             self.regs.len(),
         )
+    }
+
+    /// Event-scheduler activity since the engine was (last) enabled:
+    /// `(settle cone runs, step cone runs, settle cones, step cones,
+    /// settle insns dispatched, step insns dispatched)`.
+    /// `None` unless the event or batched engine has been selected.
+    #[allow(clippy::type_complexity)]
+    pub fn event_activity(&self) -> Option<(u64, u64, usize, usize, u64, u64)> {
+        self.ev.as_deref().map(|ev| {
+            (
+                ev.stat_settle_runs,
+                ev.stat_step_runs,
+                ev.settle_chains.len(),
+                ev.step_members_off.len() - 1,
+                ev.stat_settle_insns,
+                ev.stat_step_insns,
+            )
+        })
     }
 }
 
@@ -806,6 +838,19 @@ pub struct Simulator {
     /// counters). `None` (the default) keeps the hot loop unperturbed: the
     /// only cost is this Option check in `settle`/`step`.
     telemetry: Option<Box<Telemetry>>,
+    /// Per-assign chain start pcs in the (CSE'd) settle tape, in tape order.
+    settle_chain_starts: Vec<u32>,
+    /// Per-statement chain start pcs in the (CSE'd) step tape.
+    step_chain_starts: Vec<u32>,
+    /// Event-driven scheduler state; `Some` iff `engine` is `Event` or
+    /// `Batched`. Rebuilt (all cones pending) on every switch into those
+    /// engines, so stale register files from other engines never leak in.
+    ev: Option<Box<EventState>>,
+    /// Per-lane state for `Engine::Batched`; `Some` iff that engine is
+    /// active. Lane 0 mirrors `values`/`memories` exactly.
+    batch: Option<Box<BatchState>>,
+    /// Requested lane count for `Engine::Batched` (1..=64).
+    batch_lanes: usize,
 }
 
 impl Simulator {
@@ -844,6 +889,11 @@ impl Simulator {
             dirty: true,
             vcd: None,
             telemetry: None,
+            settle_chain_starts: Vec::new(),
+            step_chain_starts: Vec::new(),
+            ev: None,
+            batch: None,
+            batch_lanes: 8,
         };
         for p in &flat.ports {
             sim.add_net(&p.name, p.width, 0);
@@ -880,7 +930,9 @@ impl Simulator {
         // Lower both phases to bytecode. The tapes share one register file
         // and constant pool.
         let mut tb = TapeBuilder::default();
+        let mut settle_starts: Vec<u32> = Vec::with_capacity(sim.assigns.len());
         for (net, expr) in &sim.assigns {
+            settle_starts.push(tb.insns.len() as u32);
             let src = tb.expr(expr);
             tb.insns.push(Insn::StoreNet {
                 net: *net as u32,
@@ -889,12 +941,21 @@ impl Simulator {
             });
         }
         let settle = tb.take_tape();
-        sim.settle_tape = cse_tape(settle, &tb.const_init);
+        let (settle_tape, settle_map) = cse_tape(settle, &tb.const_init);
+        sim.settle_tape = settle_tape;
+        sim.settle_chain_starts = settle_starts
+            .iter()
+            .map(|&s| settle_map[s as usize])
+            .collect();
+        let mut step_starts: Vec<u32> = Vec::with_capacity(sim.always.len());
         for s in &sim.always {
+            step_starts.push(tb.insns.len() as u32);
             tb.stmt(s);
         }
         let step = tb.take_tape();
-        sim.step_tape = cse_tape(step, &tb.const_init);
+        let (step_tape, step_map) = cse_tape(step, &tb.const_init);
+        sim.step_tape = step_tape;
+        sim.step_chain_starts = step_starts.iter().map(|&s| step_map[s as usize]).collect();
         sim.regs = vec![0; tb.next_reg as usize];
         for (r, v) in &tb.const_init {
             sim.regs[*r as usize] = *v;
@@ -905,15 +966,71 @@ impl Simulator {
 
     /// Select the execution engine (defaults to [`Engine::Bytecode`], or
     /// [`Engine::TreeWalk`] when built with the `treewalk-sim` feature).
-    /// Both produce bit-identical results; the tree-walk evaluator exists
-    /// as a differential-testing oracle.
+    /// All engines produce bit-identical results, VCD, and telemetry; the
+    /// tree-walk evaluator exists as a differential-testing oracle.
+    ///
+    /// Switching to [`Engine::Event`] or [`Engine::Batched`] (re)builds the
+    /// scheduler tables with every cone pending, so the first settle runs
+    /// everything and the register file is consistent regardless of the
+    /// previous engine.
     pub fn set_engine(&mut self, engine: Engine) {
         self.engine = engine;
+        match engine {
+            Engine::Event => {
+                self.batch = None;
+                let mut ev = EventState::build(self);
+                ev.track = self.telemetry.is_some();
+                self.ev = Some(ev);
+                self.dirty = true;
+            }
+            Engine::Batched => {
+                let mut ev = EventState::build(self);
+                ev.track = false;
+                self.ev = Some(ev);
+                self.batch = Some(BatchState::build(self, self.batch_lanes));
+                self.dirty = true;
+            }
+            Engine::Bytecode | Engine::TreeWalk => {
+                self.ev = None;
+                self.batch = None;
+            }
+        }
     }
 
     /// The currently selected execution engine.
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Number of stimulus lanes evaluated per step (1 unless
+    /// [`Engine::Batched`] is active).
+    pub fn lanes(&self) -> usize {
+        match self.engine {
+            Engine::Batched => self.batch_lanes,
+            _ => 1,
+        }
+    }
+
+    /// Set the batched-stimulus lane count (1..=64). Rebuilds the lane
+    /// state when [`Engine::Batched`] is active: every lane restarts from
+    /// the current scalar state.
+    ///
+    /// # Panics
+    /// Panics when `lanes` is 0 or exceeds 64 (lane dirty masks are packed
+    /// into one 64-bit word).
+    pub fn set_batch_lanes(&mut self, lanes: usize) {
+        assert!(
+            (1..=64).contains(&lanes),
+            "batch lanes must be in 1..=64, got {lanes}"
+        );
+        self.batch_lanes = lanes;
+        if self.engine == Engine::Batched {
+            self.batch = Some(BatchState::build(self, lanes));
+            if let Some(ev) = self.ev.as_deref_mut() {
+                ev.mark_all_pending();
+            }
+            self.dirty = true;
+        }
     }
 
     fn add_net(&mut self, name: &str, width: u32, init: u64) {
@@ -1057,14 +1174,14 @@ impl Simulator {
 
     // ------------------------------------------------------------------ API
 
-    /// Drive an input port. Takes effect at the next settle.
+    /// Drive an input port (every lane under [`Engine::Batched`]). Takes
+    /// effect at the next settle.
     ///
     /// # Panics
     /// Panics on an unknown net name.
     pub fn set(&mut self, name: &str, value: u64) {
         let idx = self.net_index[name];
-        self.values[idx] = value & mask(self.net_width[idx]);
-        self.dirty = true;
+        self.set_id(idx, value);
     }
 
     /// Read a net's current value (settling combinational logic first).
@@ -1086,14 +1203,143 @@ impl Simulator {
         sign_extend(v, w) as i64
     }
 
-    /// Preload a memory word (testbench initialization).
+    /// Preload a memory word (every lane under [`Engine::Batched`]).
     ///
     /// # Panics
     /// Panics on unknown memory or out-of-range address.
     pub fn write_mem(&mut self, name: &str, addr: u64, value: u64) {
         let m = self.mem_index[name];
-        let w = self.mem_width[m];
-        self.memories[m][addr as usize] = value & mask(w);
+        let v = value & mask(self.mem_width[m]);
+        if let Some(b) = self.batch.as_deref_mut() {
+            let l = b.lanes;
+            let slot = addr as usize * l;
+            let mut changed = 0u64;
+            for k in 0..l {
+                if b.mems[m][slot + k] != v {
+                    b.mems[m][slot + k] = v;
+                    changed |= 1u64 << k;
+                }
+            }
+            self.memories[m][addr as usize] = v;
+            if changed != 0 {
+                if let Some(ev) = self.ev.as_deref_mut() {
+                    ev.note_mem_poked(m, changed);
+                }
+            }
+        } else if self.memories[m][addr as usize] != v {
+            self.memories[m][addr as usize] = v;
+            if let Some(ev) = self.ev.as_deref_mut() {
+                ev.note_mem_poked(m, ALL_LANES);
+            }
+        }
+    }
+
+    /// Preload one lane's copy of a memory word ([`Engine::Batched`] only;
+    /// lane 0 also mirrors into the scalar memory).
+    ///
+    /// # Panics
+    /// Panics on unknown memory, out-of-range address or lane, or when the
+    /// batched engine is not active.
+    pub fn write_mem_lane(&mut self, name: &str, lane: usize, addr: u64, value: u64) {
+        let m = self.mem_index[name];
+        let v = value & mask(self.mem_width[m]);
+        let b = self
+            .batch
+            .as_deref_mut()
+            .expect("batched engine not active");
+        let l = b.lanes;
+        assert!(lane < l, "lane {lane} out of range (lanes = {l})");
+        let slot = addr as usize * l + lane;
+        if b.mems[m][slot] != v {
+            b.mems[m][slot] = v;
+            if lane == 0 {
+                self.memories[m][addr as usize] = v;
+            }
+            if let Some(ev) = self.ev.as_deref_mut() {
+                ev.note_mem_poked(m, 1u64 << lane);
+            }
+        }
+    }
+
+    /// Read one lane's copy of a memory word ([`Engine::Batched`] only).
+    ///
+    /// # Panics
+    /// Panics on unknown memory, out-of-range address or lane, or when the
+    /// batched engine is not active.
+    pub fn read_mem_lane(&self, name: &str, lane: usize, addr: u64) -> u64 {
+        let m = self.mem_index[name];
+        let b = self.batch.as_deref().expect("batched engine not active");
+        assert!(
+            lane < b.lanes,
+            "lane {lane} out of range (lanes = {})",
+            b.lanes
+        );
+        b.mems[m][addr as usize * b.lanes + lane]
+    }
+
+    /// Drive one lane of an input net ([`Engine::Batched`] only; lane 0
+    /// also mirrors into the scalar values). Takes effect at the next
+    /// settle.
+    ///
+    /// # Panics
+    /// Panics on an unknown net name, an out-of-range lane, or when the
+    /// batched engine is not active.
+    pub fn set_lane(&mut self, name: &str, lane: usize, value: u64) {
+        let idx = self.net_index[name];
+        self.set_lane_id(idx, lane, value);
+    }
+
+    /// [`set_lane`](Self::set_lane) by pre-resolved net id.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range lane or when the batched engine is not
+    /// active.
+    pub fn set_lane_id(&mut self, id: usize, lane: usize, value: u64) {
+        let v = value & mask(self.net_width[id]);
+        let b = self
+            .batch
+            .as_deref_mut()
+            .expect("batched engine not active");
+        let l = b.lanes;
+        assert!(lane < l, "lane {lane} out of range (lanes = {l})");
+        if b.values[id * l + lane] != v {
+            b.values[id * l + lane] = v;
+            if lane == 0 {
+                self.values[id] = v;
+            }
+            if let Some(ev) = self.ev.as_deref_mut() {
+                ev.note_net_poked(id, 1u64 << lane);
+            }
+        }
+        self.dirty = true;
+    }
+
+    /// Read one lane's settled value of a net ([`Engine::Batched`] only).
+    ///
+    /// # Panics
+    /// Panics on an unknown net name, an out-of-range lane, or when the
+    /// batched engine is not active.
+    pub fn get_lane(&mut self, name: &str, lane: usize) -> u64 {
+        let idx = self.net_index[name];
+        self.get_lane_id(idx, lane)
+    }
+
+    /// [`get_lane`](Self::get_lane) by pre-resolved net id.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range lane or when the batched engine is not
+    /// active.
+    pub fn get_lane_id(&mut self, id: usize, lane: usize) -> u64 {
+        if self.dirty {
+            self.settle();
+        }
+        let b = self.batch.as_deref().expect("batched engine not active");
+        assert!(
+            lane < b.lanes,
+            "lane {lane} out of range (lanes = {})",
+            b.lanes
+        );
+        b.values[id * b.lanes + lane]
     }
 
     /// Read a memory word.
@@ -1183,6 +1429,8 @@ impl Simulator {
                     // state, so results stay bit-identical.
                     run_tape_counting(
                         &t.settle_tape,
+                        0,
+                        t.settle_tape.len(),
                         &mut self.regs,
                         &mut self.values,
                         &self.memories,
@@ -1198,6 +1446,8 @@ impl Simulator {
                 } else {
                     run_tape(
                         &self.settle_tape,
+                        0,
+                        self.settle_tape.len(),
                         &mut self.regs,
                         &mut self.values,
                         &self.memories,
@@ -1221,6 +1471,8 @@ impl Simulator {
                     let mut failure = None;
                     run_tape_counting(
                         &t.settle_tape,
+                        0,
+                        t.settle_tape.len(),
                         &mut t.scratch_regs,
                         &mut t.scratch_values,
                         &self.memories,
@@ -1239,6 +1491,178 @@ impl Simulator {
                     let v = eval(expr, &self.values, &self.memories);
                     self.values[net] = v & mask(self.net_width[net]);
                 }
+            }
+            Engine::Event => {
+                let mut ev = self.ev.take().expect("event state built on engine switch");
+                let telem = self.telemetry.is_some();
+                let mut exec_extra = 0u64;
+                let mut changed_extra = 0u64;
+                // Worklist to fixpoint. Units are dispatched in ascending
+                // index order, which is tape order, which is topological
+                // order — so a unit's readers always sit ahead of it and
+                // one in-order sweep converges; the outer loop guards that
+                // invariant (external pokes are the only way bits appear
+                // behind the cursor).
+                if !telem {
+                    // Fast path: coalesced worklist sweep — consecutive
+                    // pending units collapse into single interpreter calls
+                    // (see `settle_sweep`).
+                    settle_sweep(
+                        &self.settle_tape,
+                        &mut self.regs,
+                        &mut self.values,
+                        &self.memories,
+                        &mut ev,
+                    );
+                } else {
+                    loop {
+                        let mut any = false;
+                        for w in 0..ev.settle_pending.len() {
+                            while ev.settle_pending[w] != 0 {
+                                let c = (w << 6) | ev.settle_pending[w].trailing_zeros() as usize;
+                                ev.settle_pending[w] &= ev.settle_pending[w] - 1;
+                                any = true;
+                                ev.stat_settle_runs += 1;
+                                ev.settle_ran[c] = true;
+                                ev.settle_stale[c] = true;
+                                // Unit c is settle chain c: one assign, one chain.
+                                {
+                                    let (s, e) = ev.settle_chains[c];
+                                    ev.stat_settle_insns += (e - s) as u64;
+                                    let (ex, ch) = run_settle_chain_counting(
+                                        &self.settle_tape,
+                                        s as usize,
+                                        e as usize,
+                                        &mut self.regs,
+                                        &mut self.values,
+                                        &self.memories,
+                                        &mut ev.store_changed,
+                                    );
+                                    exec_extra += ex;
+                                    changed_extra += ch;
+                                }
+                                let mut i = 0;
+                                while i < ev.store_changed.len() {
+                                    let net = ev.store_changed[i] as usize;
+                                    i += 1;
+                                    ev.note_net_change(net, ALL_LANES);
+                                }
+                                ev.store_changed.clear();
+                            }
+                        }
+                        if !any {
+                            break;
+                        }
+                    }
+                }
+                if telem {
+                    // Skipped cones still contribute the counts a full-tape
+                    // run would record: steady-state counts, cached per
+                    // cone and refreshed by one idempotent live re-run
+                    // after each execution.
+                    for c in 0..ev.settle_chains.len() {
+                        if ev.settle_ran[c] {
+                            ev.settle_ran[c] = false;
+                            continue;
+                        }
+                        if ev.settle_stale[c] {
+                            let (s, e) = ev.settle_chains[c];
+                            let (ex_sum, ch_sum) = run_settle_chain_counting(
+                                &self.settle_tape,
+                                s as usize,
+                                e as usize,
+                                &mut self.regs,
+                                &mut self.values,
+                                &self.memories,
+                                &mut ev.store_changed,
+                            );
+                            debug_assert!(ev.store_changed.is_empty());
+                            ev.settle_cache[c] = (ex_sum, ch_sum);
+                            ev.settle_stale[c] = false;
+                        }
+                        exec_extra += ev.settle_cache[c].0;
+                        changed_extra += ev.settle_cache[c].1;
+                    }
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.settle_exec_extra += exec_extra;
+                        t.settle_changed_extra += changed_extra;
+                    }
+                }
+                self.ev = Some(ev);
+            }
+            Engine::Batched => {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    // Counts from a scratch full-tape run mirroring lane 0,
+                    // exactly as under the tree-walk oracle.
+                    t.scratch_values.copy_from_slice(&self.values);
+                    t.scratch_pend_nets.clear();
+                    t.scratch_pend_mems.clear();
+                    let mut failure = None;
+                    run_tape_counting(
+                        &t.settle_tape,
+                        0,
+                        t.settle_tape.len(),
+                        &mut t.scratch_regs,
+                        &mut t.scratch_values,
+                        &self.memories,
+                        &self.msgs,
+                        &mut t.scratch_pend_nets,
+                        &mut t.scratch_pend_mems,
+                        &mut failure,
+                        &mut t.settle_exec,
+                        &mut t.settle_changed,
+                        &t.net_masks,
+                        &t.mem_masks,
+                    );
+                }
+                let mut ev = self.ev.take().expect("event state built on engine switch");
+                let mut b = self
+                    .batch
+                    .take()
+                    .expect("batch state built on engine switch");
+                // Same run-coalesced sweep as the scalar event engine: every
+                // lane of a merged range sees its in-range producers' final
+                // values (tape order), so in-range re-wakes are cleared.
+                loop {
+                    let mut any = false;
+                    let mut w = 0;
+                    while w < ev.settle_pending.len() {
+                        if ev.settle_pending[w] == 0 {
+                            w += 1;
+                            continue;
+                        }
+                        let (c0, c1) = pop_pending_run(&mut ev.settle_pending, w);
+                        any = true;
+                        ev.stat_settle_runs += (c1 - c0 + 1) as u64;
+                        let s = ev.settle_chains[c0].0 as usize;
+                        let e = ev.settle_chains[c1].1 as usize;
+                        ev.stat_settle_insns += (e - s) as u64;
+                        run_settle_range_batched(
+                            &self.settle_tape,
+                            s,
+                            e,
+                            b.lanes,
+                            &mut b.regs,
+                            &mut b.values,
+                            &mut self.values,
+                            &b.mems,
+                            &mut ev.store_changed_lanes,
+                        );
+                        let mut i = 0;
+                        while i < ev.store_changed_lanes.len() {
+                            let (net, lanes_mask) = ev.store_changed_lanes[i];
+                            i += 1;
+                            ev.note_net_change(net as usize, lanes_mask);
+                        }
+                        ev.store_changed_lanes.clear();
+                        clear_bit_range(&mut ev.settle_pending, c0, c1);
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+                self.ev = Some(ev);
+                self.batch = Some(b);
             }
         }
         self.dirty = false;
@@ -1276,6 +1700,8 @@ impl Simulator {
                 if let Some(t) = self.telemetry.as_deref_mut() {
                     run_tape_counting(
                         &t.step_tape,
+                        0,
+                        t.step_tape.len(),
                         &mut self.regs,
                         &mut self.values,
                         &self.memories,
@@ -1291,6 +1717,8 @@ impl Simulator {
                 } else {
                     run_tape(
                         &self.step_tape,
+                        0,
+                        self.step_tape.len(),
                         &mut self.regs,
                         &mut self.values,
                         &self.memories,
@@ -1309,6 +1737,8 @@ impl Simulator {
                     let mut scratch_failure = None;
                     run_tape_counting(
                         &t.step_tape,
+                        0,
+                        t.step_tape.len(),
                         &mut t.scratch_regs,
                         &mut t.scratch_values,
                         &self.memories,
@@ -1331,8 +1761,282 @@ impl Simulator {
                     );
                 }
             }
+            Engine::Event => {
+                let mut ev = self.ev.take().expect("event state built on engine switch");
+                let telem = self.telemetry.is_some();
+                if !telem {
+                    // Fast path: pop pending cones off the summary bitset in
+                    // tape order (quiescent cones cost ~1/64 load each) and
+                    // merge member chains that sit back-to-back in the tape
+                    // into one interpreter call. Step chains are independent
+                    // (non-blocking semantics: every write lands in the
+                    // pending-update buffers, not the live state), so the
+                    // merge never reorders an observable read after a write.
+                    let mut rs = usize::MAX;
+                    let mut re = 0usize;
+                    for w in 0..ev.step_dirty.len() {
+                        while ev.step_dirty[w] != 0 {
+                            let c = (w << 6) | ev.step_dirty[w].trailing_zeros() as usize;
+                            ev.step_dirty[w] &= ev.step_dirty[w] - 1;
+                            ev.step_pending[c] = 0;
+                            ev.stat_step_runs += 1;
+                            let (ms, me) = (
+                                ev.step_members_off[c] as usize,
+                                ev.step_members_off[c + 1] as usize,
+                            );
+                            for mi in ms..me {
+                                let chain = ev.step_members_flat[mi] as usize;
+                                let (s, e) = ev.step_chains[chain];
+                                ev.stat_step_insns += (e - s) as u64;
+                                let (s, e) = (s as usize, e as usize);
+                                if rs == usize::MAX {
+                                    (rs, re) = (s, e);
+                                } else if s == re {
+                                    re = e;
+                                } else {
+                                    run_tape(
+                                        &self.step_tape,
+                                        rs,
+                                        re,
+                                        &mut self.regs,
+                                        &mut self.values,
+                                        &self.memories,
+                                        &self.msgs,
+                                        &mut net_updates,
+                                        &mut mem_updates,
+                                        &mut failure,
+                                    );
+                                    (rs, re) = (s, e);
+                                }
+                            }
+                        }
+                    }
+                    if rs != usize::MAX {
+                        run_tape(
+                            &self.step_tape,
+                            rs,
+                            re,
+                            &mut self.regs,
+                            &mut self.values,
+                            &self.memories,
+                            &self.msgs,
+                            &mut net_updates,
+                            &mut mem_updates,
+                            &mut failure,
+                        );
+                    }
+                    self.ev = Some(ev);
+                    // Telemetry-instrumented dispatch below is skipped.
+                } else {
+                    for c in 0..(ev.step_members_off.len() - 1) {
+                        if ev.step_pending[c] != 0 {
+                            ev.step_pending[c] = 0;
+                            ev.stat_step_runs += 1;
+                            if telem {
+                                ev.step_stale[c] = true;
+                            }
+                            let (ms, me) = (
+                                ev.step_members_off[c] as usize,
+                                ev.step_members_off[c + 1] as usize,
+                            );
+                            for mi in ms..me {
+                                let chain = ev.step_members_flat[mi] as usize;
+                                let (s, e) = ev.step_chains[chain];
+                                ev.stat_step_insns += (e - s) as u64;
+                                if let Some(t) = self.telemetry.as_deref_mut() {
+                                    let (ex, ch) = run_step_chain_counting(
+                                        &self.step_tape,
+                                        s as usize,
+                                        e as usize,
+                                        &mut self.regs,
+                                        &self.values,
+                                        &self.memories,
+                                        &self.msgs,
+                                        &mut net_updates,
+                                        &mut mem_updates,
+                                        &mut failure,
+                                        &t.net_masks,
+                                        &t.mem_masks,
+                                    );
+                                    t.step_exec_extra += ex;
+                                    t.step_changed_extra += ch;
+                                } else {
+                                    run_tape(
+                                        &self.step_tape,
+                                        s as usize,
+                                        e as usize,
+                                        &mut self.regs,
+                                        &mut self.values,
+                                        &self.memories,
+                                        &self.msgs,
+                                        &mut net_updates,
+                                        &mut mem_updates,
+                                        &mut failure,
+                                    );
+                                }
+                            }
+                        } else if telem {
+                            if ev.step_stale[c] {
+                                // Refresh the steady counts with one idempotent
+                                // re-run on the live state (inputs unchanged):
+                                // emissions go to scratch buffers.
+                                let mut ex_sum = 0u64;
+                                let mut ch_sum = 0u64;
+                                let (ms, me) = (
+                                    ev.step_members_off[c] as usize,
+                                    ev.step_members_off[c + 1] as usize,
+                                );
+                                for mi in ms..me {
+                                    let chain = ev.step_members_flat[mi] as usize;
+                                    let (s, e) = ev.step_chains[chain];
+                                    let t = self.telemetry.as_deref_mut().expect("telem checked");
+                                    t.scratch_pend_nets.clear();
+                                    t.scratch_pend_mems.clear();
+                                    let mut scratch_failure = None;
+                                    let (ex, ch) = run_step_chain_counting(
+                                        &self.step_tape,
+                                        s as usize,
+                                        e as usize,
+                                        &mut self.regs,
+                                        &self.values,
+                                        &self.memories,
+                                        &self.msgs,
+                                        &mut t.scratch_pend_nets,
+                                        &mut t.scratch_pend_mems,
+                                        &mut scratch_failure,
+                                        &t.net_masks,
+                                        &t.mem_masks,
+                                    );
+                                    ex_sum += ex;
+                                    ch_sum += ch;
+                                }
+                                ev.step_cache[c] = (ex_sum, ch_sum);
+                                ev.step_stale[c] = false;
+                            }
+                            let t = self.telemetry.as_deref_mut().expect("telem checked");
+                            t.step_exec_extra += ev.step_cache[c].0;
+                            t.step_changed_extra += ev.step_cache[c].1;
+                        }
+                    }
+                    for w in &mut ev.step_dirty {
+                        *w = 0;
+                    }
+                    self.ev = Some(ev);
+                }
+            }
+            Engine::Batched => {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.scratch_values.copy_from_slice(&self.values);
+                    t.scratch_pend_nets.clear();
+                    t.scratch_pend_mems.clear();
+                    let mut scratch_failure = None;
+                    run_tape_counting(
+                        &t.step_tape,
+                        0,
+                        t.step_tape.len(),
+                        &mut t.scratch_regs,
+                        &mut t.scratch_values,
+                        &self.memories,
+                        &self.msgs,
+                        &mut t.scratch_pend_nets,
+                        &mut t.scratch_pend_mems,
+                        &mut scratch_failure,
+                        &mut t.step_exec,
+                        &mut t.step_changed,
+                        &t.net_masks,
+                        &t.mem_masks,
+                    );
+                }
+                let mut ev = self.ev.take().expect("event state built on engine switch");
+                let mut b = self
+                    .batch
+                    .take()
+                    .expect("batch state built on engine switch");
+                for k in 1..b.lanes {
+                    b.pend_nets[k].clear();
+                    b.pend_mems[k].clear();
+                    b.failures[k] = None;
+                }
+                // Adjacent regions with the same dirty-lane mask merge into
+                // one interpreter call per lane (chains are independent:
+                // non-blocking writes land in the pending buffers).
+                let mut rs = usize::MAX;
+                let mut re = 0usize;
+                let mut rmask = 0u64;
+                macro_rules! flush_lanes {
+                    () => {
+                        if rs != usize::MAX {
+                            run_tape_lanes(
+                                &self.step_tape,
+                                rs,
+                                re,
+                                rmask,
+                                b.lanes,
+                                &mut b.regs,
+                                &b.values,
+                                &b.mems,
+                                &self.msgs,
+                                &mut net_updates,
+                                &mut mem_updates,
+                                &mut failure,
+                                &mut b.pend_nets,
+                                &mut b.pend_mems,
+                                &mut b.failures,
+                                &mut b.work,
+                            );
+                        }
+                    };
+                }
+                for w in 0..ev.step_dirty.len() {
+                    while ev.step_dirty[w] != 0 {
+                        let c = (w << 6) | ev.step_dirty[w].trailing_zeros() as usize;
+                        ev.step_dirty[w] &= ev.step_dirty[w] - 1;
+                        let pend = ev.step_pending[c];
+                        ev.step_pending[c] = 0;
+                        ev.stat_step_runs += 1;
+                        let (ms, me) = (
+                            ev.step_members_off[c] as usize,
+                            ev.step_members_off[c + 1] as usize,
+                        );
+                        for mi in ms..me {
+                            let chain = ev.step_members_flat[mi] as usize;
+                            let (s, e) = ev.step_chains[chain];
+                            ev.stat_step_insns += (e - s) as u64;
+                            let (s, e) = (s as usize, e as usize);
+                            if rs == usize::MAX {
+                                (rs, re, rmask) = (s, e, pend);
+                            } else if s == re && pend == rmask {
+                                re = e;
+                            } else {
+                                flush_lanes!();
+                                (rs, re, rmask) = (s, e, pend);
+                            }
+                        }
+                    }
+                }
+                flush_lanes!();
+                self.ev = Some(ev);
+                self.batch = Some(b);
+            }
+        }
+        if self.engine == Engine::Batched && failure.is_none() {
+            // Report the lowest failing lane; lane 0 keeps the scalar
+            // message verbatim, other lanes are suffixed with their index.
+            if let Some(b) = self.batch.as_deref_mut() {
+                for k in 1..b.lanes {
+                    if let Some(msg) = b.failures[k].take() {
+                        failure = Some(format!("{msg} [lane {k}]"));
+                        break;
+                    }
+                }
+            }
         }
         if let Some(message) = failure {
+            // A failed step does not complete the cycle; re-arm every cone
+            // so a retry re-executes like the full-tape engines would.
+            if let Some(ev) = self.ev.as_deref_mut() {
+                ev.mark_all_pending();
+            }
             self.pending_nets = net_updates;
             self.pending_mems = mem_updates;
             return Err(VSimError {
@@ -1344,20 +2048,126 @@ impl Simulator {
         obs::counter_add("sim", "net_updates", net_updates.len() as u64);
         obs::counter_add("sim", "mem_write_events", mem_updates.len() as u64);
         obs::counter_add("sim", "mem_read_events", self.mem_read_ports);
-        for &(net, v) in &net_updates {
-            let net = net as usize;
-            self.values[net] = v & mask(self.net_width[net]);
-        }
-        for &(mem, addr, v) in &mem_updates {
-            let mem = mem as usize;
-            let depth = self.memories[mem].len() as u64;
-            if addr < depth {
-                self.memories[mem][addr as usize] = v & mask(self.mem_width[mem]);
-                if let Some(t) = self.telemetry.as_deref_mut() {
-                    t.mems_written[mem] = true;
+        if self.engine == Engine::Batched {
+            let mut ev = self.ev.take().expect("event state built on engine switch");
+            let mut b = self
+                .batch
+                .take()
+                .expect("batch state built on engine switch");
+            let l = b.lanes;
+            // Accumulate a changed-lane mask per net/memory first, then
+            // wake readers once per net with the combined mask — the
+            // reader walk is the expensive part, and at 64 lanes it
+            // would otherwise run per (net, lane) pair.
+            for &(net, v) in &net_updates {
+                let n = net as usize;
+                let nv = v & mask(self.net_width[n]);
+                if b.values[n * l] != nv {
+                    b.values[n * l] = nv;
+                    self.values[n] = nv;
+                    if b.note_net_mask[n] == 0 {
+                        b.note_nets.push(net);
+                    }
+                    b.note_net_mask[n] |= 1;
                 }
             }
-            // Out-of-range writes are dropped; assertions catch them first.
+            for k in 1..l {
+                for i in 0..b.pend_nets[k].len() {
+                    let (net, v) = b.pend_nets[k][i];
+                    let n = net as usize;
+                    let nv = v & mask(self.net_width[n]);
+                    if b.values[n * l + k] != nv {
+                        b.values[n * l + k] = nv;
+                        if b.note_net_mask[n] == 0 {
+                            b.note_nets.push(net);
+                        }
+                        b.note_net_mask[n] |= 1u64 << k;
+                    }
+                }
+            }
+            for &(mem, addr, v) in &mem_updates {
+                let m = mem as usize;
+                let depth = self.memories[m].len() as u64;
+                if addr < depth {
+                    let nv = v & mask(self.mem_width[m]);
+                    let slot = addr as usize * l;
+                    if b.mems[m][slot] != nv {
+                        b.mems[m][slot] = nv;
+                        self.memories[m][addr as usize] = nv;
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.mems_written[m] = true;
+                        }
+                        if b.note_mem_mask[m] == 0 {
+                            b.note_mems.push(mem);
+                        }
+                        b.note_mem_mask[m] |= 1;
+                    }
+                }
+            }
+            for k in 1..l {
+                for i in 0..b.pend_mems[k].len() {
+                    let (mem, addr, v) = b.pend_mems[k][i];
+                    let m = mem as usize;
+                    let depth = self.memories[m].len() as u64;
+                    if addr < depth {
+                        let nv = v & mask(self.mem_width[m]);
+                        let slot = addr as usize * l + k;
+                        if b.mems[m][slot] != nv {
+                            b.mems[m][slot] = nv;
+                            if b.note_mem_mask[m] == 0 {
+                                b.note_mems.push(mem);
+                            }
+                            b.note_mem_mask[m] |= 1u64 << k;
+                        }
+                    }
+                }
+            }
+            for i in 0..b.note_nets.len() {
+                let n = b.note_nets[i] as usize;
+                ev.note_net_change(n, b.note_net_mask[n]);
+                b.note_net_mask[n] = 0;
+            }
+            b.note_nets.clear();
+            for i in 0..b.note_mems.len() {
+                let m = b.note_mems[i] as usize;
+                ev.note_mem_change(m, b.note_mem_mask[m]);
+                b.note_mem_mask[m] = 0;
+            }
+            b.note_mems.clear();
+            self.ev = Some(ev);
+            self.batch = Some(b);
+        } else {
+            for &(net, v) in &net_updates {
+                let net = net as usize;
+                let nv = v & mask(self.net_width[net]);
+                if self.values[net] != nv {
+                    self.values[net] = nv;
+                    if let Some(ev) = self.ev.as_deref_mut() {
+                        ev.note_net_change(net, ALL_LANES);
+                    }
+                }
+            }
+            for &(mem, addr, v) in &mem_updates {
+                let mem = mem as usize;
+                let depth = self.memories[mem].len() as u64;
+                if addr < depth {
+                    let nv = v & mask(self.mem_width[mem]);
+                    // `mems_written` records writes that change the stored
+                    // word — identical under every engine, including the
+                    // event scheduler, which never re-executes a cone whose
+                    // memory writes rewrite the same values.
+                    if self.memories[mem][addr as usize] != nv {
+                        self.memories[mem][addr as usize] = nv;
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.mems_written[mem] = true;
+                        }
+                        if let Some(ev) = self.ev.as_deref_mut() {
+                            ev.note_mem_change(mem, ALL_LANES);
+                        }
+                    }
+                }
+                // Out-of-range writes are dropped; assertions catch them first.
+            }
         }
         self.pending_nets = net_updates;
         self.pending_mems = mem_updates;
@@ -1376,6 +2186,10 @@ impl Simulator {
     /// after the post-edge settle, comparing the newly settled values
     /// against the previous accounting point's snapshot.
     fn telemetry_account(&mut self) {
+        if self.engine == Engine::Event && self.ev.is_some() {
+            self.telemetry_account_dirty();
+            return;
+        }
         let Some(t) = self.telemetry.as_deref_mut() else {
             return;
         };
@@ -1387,9 +2201,19 @@ impl Simulator {
             if new != old {
                 t.toggle_cycles[i] += 1;
                 t.bit_toggles[i] += u64::from((new ^ old).count_ones());
-            }
-            if new != 0 {
-                t.high_cycles[i] += 1;
+                // Lazy high accounting: credit the run of unchanged cycles
+                // the old value was held for, then this point's new value;
+                // [`telemetry_report`](Self::telemetry_report) credits the
+                // still-open run. Identical totals to eager per-cycle
+                // accounting, but change-driven, so the event engine's
+                // dirty-set covers it.
+                if old != 0 {
+                    t.high_cycles[i] += (t.cycles - 1) - t.high_since[i];
+                }
+                if new != 0 {
+                    t.high_cycles[i] += 1;
+                }
+                t.high_since[i] = t.cycles;
             }
         }
         for cone in t.settle_cones.iter_mut().chain(t.step_cones.iter_mut()) {
@@ -1415,6 +2239,98 @@ impl Simulator {
         for w in &mut t.mems_written {
             *w = false;
         }
+    }
+
+    /// Dirty-set accounting for [`Engine::Event`]: instead of re-deriving
+    /// per-net change detection with a full scan, visit only the nets the
+    /// scheduler recorded as possibly-changed (a sound superset, filtered
+    /// here by an exact compare against the previous snapshot) and mark
+    /// reader cones busy through the same sensitivity lists that drive
+    /// scheduling. Counter totals are byte-identical to the eager path.
+    fn telemetry_account_dirty(&mut self) {
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        let mut ev = self.ev.take().expect("event state built on engine switch");
+        t.cycles += 1;
+        let cyc = t.cycles - 1;
+        for idx in 0..ev.changed_nets.len() {
+            let i = ev.changed_nets[idx] as usize;
+            ev.changed_flag[i] = false;
+            let new = self.values[i];
+            let old = t.prev[i];
+            if new != old {
+                t.toggle_cycles[i] += 1;
+                t.bit_toggles[i] += u64::from((new ^ old).count_ones());
+                if old != 0 {
+                    t.high_cycles[i] += (t.cycles - 1) - t.high_since[i];
+                }
+                if new != 0 {
+                    t.high_cycles[i] += 1;
+                }
+                t.high_since[i] = t.cycles;
+                t.prev[i] = new;
+                let (a, b) = (
+                    ev.settle_readers.off[i] as usize,
+                    ev.settle_readers.off[i + 1] as usize,
+                );
+                for j in a..b {
+                    let c = ev.settle_readers.flat[j];
+                    ev.settle_busy[ev.settle_unit_cone[c as usize] as usize] = true;
+                }
+                let (a, b) = (
+                    ev.step_readers.off[i] as usize,
+                    ev.step_readers.off[i + 1] as usize,
+                );
+                for j in a..b {
+                    let c = ev.step_readers.flat[j];
+                    ev.step_busy[c as usize] = true;
+                }
+            }
+        }
+        ev.changed_nets.clear();
+        for m in 0..t.mems_written.len() {
+            if t.mems_written[m] {
+                t.mems_written[m] = false;
+                let (a, b) = (
+                    ev.settle_mem_readers.off[m] as usize,
+                    ev.settle_mem_readers.off[m + 1] as usize,
+                );
+                for j in a..b {
+                    let c = ev.settle_mem_readers.flat[j];
+                    ev.settle_busy[ev.settle_unit_cone[c as usize] as usize] = true;
+                }
+                let (a, b) = (
+                    ev.step_mem_readers.off[m] as usize,
+                    ev.step_mem_readers.off[m + 1] as usize,
+                );
+                for j in a..b {
+                    let c = ev.step_mem_readers.flat[j];
+                    ev.step_busy[c as usize] = true;
+                }
+            }
+        }
+        for (cones, busy) in [
+            (&mut t.settle_cones, &mut ev.settle_busy),
+            (&mut t.step_cones, &mut ev.step_busy),
+        ] {
+            for (c, cone) in cones.iter_mut().enumerate() {
+                if busy[c] {
+                    busy[c] = false;
+                    if t.record_trace && cone.busy_since.is_none() {
+                        cone.busy_since = Some(cyc);
+                    }
+                } else {
+                    cone.quiescent_cycles += 1;
+                    if t.record_trace {
+                        if let Some(start) = cone.busy_since.take() {
+                            cone.busy_intervals.push((start, cyc));
+                        }
+                    }
+                }
+            }
+        }
+        self.ev = Some(ev);
     }
 
     /// Run `n` clock cycles.
@@ -1622,11 +2538,17 @@ fn eval_binary(op: BinOp, a: u64, b: u64, aw: u32, bw: u32) -> u64 {
     }
 }
 
-/// Execute one bytecode tape: a linear sweep over preallocated buffers with
-/// no recursion and no allocation (assertion failure aside).
+/// Execute bytecode tape pcs `[start, end)`: a linear sweep over
+/// preallocated buffers with no recursion and no allocation (assertion
+/// failure aside). Jump targets are absolute pcs and never leave the range
+/// (ranges follow statement boundaries). Returns the number of instructions
+/// executed (branch-dependent for step chains; the event scheduler caches
+/// it per chain for exact telemetry on skipped cones).
 #[allow(clippy::too_many_arguments)]
 fn run_tape(
     tape: &[Insn],
+    start: usize,
+    end: usize,
     regs: &mut [u64],
     values: &mut [u64],
     memories: &[Vec<u64>],
@@ -1634,9 +2556,11 @@ fn run_tape(
     pend_nets: &mut Vec<(u32, u64)>,
     pend_mems: &mut Vec<(u32, u64, u64)>,
     failure: &mut Option<String>,
-) {
-    let mut pc = 0usize;
-    while pc < tape.len() {
+) -> u64 {
+    let mut executed = 0u64;
+    let mut pc = start;
+    while pc < end {
+        executed += 1;
         match tape[pc] {
             Insn::LoadNet { dst, net } => regs[dst as usize] = values[net as usize],
             Insn::MemRead { dst, mem, addr, m } => {
@@ -1712,6 +2636,7 @@ fn run_tape(
         }
         pc += 1;
     }
+    executed
 }
 
 fn count_mem_reads(e: &CExpr) -> u64 {
@@ -1806,6 +2731,1476 @@ fn topo_sort(
     Ok(result)
 }
 
+// ------------------------------------------------- event-driven scheduler
+
+/// Lane mask covering every possible stimulus lane (the scalar event
+/// engine passes this; the batched engine masks individual lanes).
+const ALL_LANES: u64 = u64::MAX;
+
+/// Scheduling tables for [`Engine::Event`] and [`Engine::Batched`]: the
+/// static union-find cone partition turned into the scheduler. Each cone
+/// executes as a set of pc ranges (chains) of the *unchanged* settle/step
+/// tapes; a dirty-set of nets changed this cycle activates exactly the
+/// cones whose sensitivity lists intersect it, and quiescent cones are
+/// skipped entirely.
+///
+/// Soundness invariants (see DESIGN.md §11):
+/// - a cone's sensitivity list is a sound over-approximation of its true
+///   dependence set;
+/// - the dirty-set is a superset of the nets whose settled value changed;
+/// - a skipped chain's registers hold exactly the values a re-execution
+///   would produce (its inputs are unchanged), so shared-CSE registers
+///   read across chain boundaries are never stale;
+/// - external pokes additionally wake the *writers* of the poked net or
+///   memory, which the full-tape engines would rerun to overwrite it.
+struct EventState {
+    /// Per-assign chain bounds `[start, end)` in the settle tape.
+    settle_chains: Vec<(u32, u32)>,
+    /// Per-statement chain bounds `[start, end)` in the step tape.
+    step_chains: Vec<(u32, u32)>,
+    /// Chain indices per step cone in tape order, CSR layout: cone `c`
+    /// owns `step_members_flat[off[c]..off[c+1]]`. (Settle needs no such
+    /// table — settle scheduler unit `c` is exactly settle chain `c`.)
+    step_members_off: Vec<u32>,
+    step_members_flat: Vec<u32>,
+    /// net -> settle scheduler units with the net in their sensitivity list.
+    settle_readers: Csr,
+    /// net -> settle scheduler unit producing it (`u32::MAX` when none).
+    settle_writer: Vec<u32>,
+    /// mem -> settle scheduler units reading it (latency-0 read ports).
+    settle_mem_readers: Csr,
+    /// settle scheduler unit -> coarse union-find cone (telemetry index).
+    settle_unit_cone: Vec<u32>,
+    /// net -> step cones reading it.
+    step_readers: Csr,
+    /// net -> step cones writing it (woken on external pokes only).
+    step_writers: Csr,
+    step_mem_readers: Csr,
+    step_mem_writers: Csr,
+    /// Pending settle units as a bitset (bit c of word c/64): the dispatch
+    /// loop scans words and pops bits in ascending order, which is tape
+    /// order, so skipping costs ~n/64 loads per sweep instead of n.
+    settle_pending: Vec<u64>,
+    /// Per-cone dirty lane mask (bit i = lane i). The scalar event engine
+    /// treats any non-zero mask as pending; the batched engine
+    /// re-evaluates only the dirty lanes (per-lane divergence masks).
+    step_pending: Vec<u64>,
+    /// Summary bitset over `step_pending` (bit c set iff the cone's lane
+    /// mask is non-zero), giving the step dispatch the same ~n/64 scan.
+    step_dirty: Vec<u64>,
+    /// Whether to record changed nets for the telemetry piggyback (set iff
+    /// telemetry is enabled): `changed_nets` then holds a deduplicated
+    /// superset of the nets whose settled value differs from the previous
+    /// accounting point's snapshot.
+    track: bool,
+    changed_nets: Vec<u32>,
+    changed_flag: Vec<bool>,
+    /// Scratch: nets changed by the settle cone currently being drained.
+    store_changed: Vec<u32>,
+    /// Scratch: (net, changed-lane-mask) pairs from a batched settle cone.
+    store_changed_lanes: Vec<(u32, u64)>,
+    /// Scratch: per-cone busy marks for telemetry accounting.
+    settle_busy: Vec<bool>,
+    step_busy: Vec<bool>,
+    /// Scratch: cones executed during the current settle call.
+    settle_ran: Vec<bool>,
+    /// Per-cone steady-state (exec, changed) instruction counts: what the
+    /// full-tape counting interpreter would record for a quiescent cone.
+    /// Exact for skipped cones — with unchanged inputs a re-execution
+    /// repeats the same path and register trajectory — so summing cache
+    /// entries for skipped cones plus live counts for executed ones equals
+    /// the bytecode engine's totals. A cache entry is stale after the cone
+    /// executes (its next steady counts may differ) and is refreshed by
+    /// one idempotent re-run on the live state.
+    settle_cache: Vec<(u64, u64)>,
+    settle_stale: Vec<bool>,
+    step_cache: Vec<(u64, u64)>,
+    step_stale: Vec<bool>,
+    /// Scheduler activity counters: cone executions (settle, step) since
+    /// construction. Cheap enough to keep unconditionally; surfaced through
+    /// [`Simulator::event_activity`] for profiling and reports.
+    stat_settle_runs: u64,
+    stat_step_runs: u64,
+    /// Tape instructions dispatched by those runs (chain lengths summed).
+    stat_settle_insns: u64,
+    stat_step_insns: u64,
+}
+
+/// A bitset of `n` bits, all set (tail bits beyond `n` stay clear so a
+/// word scan never dispatches a nonexistent unit).
+fn full_bitset(n: usize) -> Vec<u64> {
+    let mut words = vec![u64::MAX; n.div_ceil(64)];
+    if !n.is_multiple_of(64) {
+        if let Some(last) = words.last_mut() {
+            *last = (1u64 << (n % 64)) - 1;
+        }
+    }
+    words
+}
+
+/// `net/mem -> unit` adjacency lists in CSR layout: row `i` is
+/// `flat[off[i]..off[i+1]]`. One contiguous allocation instead of a
+/// `Vec<Vec<_>>` — the wake walks in `note_net_change` run once per changed
+/// net per cycle, so the two dependent loads of the nested layout were a
+/// measurable share of the event engine's settle time.
+struct Csr {
+    off: Vec<u32>,
+    flat: Vec<u32>,
+}
+
+impl Csr {
+    fn from_lists(lists: &[Vec<u32>]) -> Csr {
+        let mut off = Vec::with_capacity(lists.len() + 1);
+        let mut flat = Vec::new();
+        off.push(0);
+        for l in lists {
+            flat.extend_from_slice(l);
+            off.push(flat.len() as u32);
+        }
+        Csr { off, flat }
+    }
+}
+
+/// The event engine's settle worklist sweep: dispatch maximal runs of
+/// consecutive pending units as single contiguous tape ranges (settle
+/// chains are laid out back-to-back). A range executes in tape order, so
+/// every unit inside it has already seen its in-range producers' final
+/// values; wakes the drain re-raises inside the range are therefore
+/// satisfied and cleared again. When `record_slot` names a memo slot,
+/// the executed ranges and changed-net trace are recorded into it.
+fn settle_sweep(
+    tape: &[Insn],
+    regs: &mut [u64],
+    values: &mut [u64],
+    memories: &[Vec<u64>],
+    ev: &mut EventState,
+) {
+    loop {
+        let mut any = false;
+        let mut w = 0;
+        while w < ev.settle_pending.len() {
+            if ev.settle_pending[w] == 0 {
+                w += 1;
+                continue;
+            }
+            let (c0, c1) = pop_pending_run(&mut ev.settle_pending, w);
+            any = true;
+            ev.stat_settle_runs += (c1 - c0 + 1) as u64;
+            let s = ev.settle_chains[c0].0 as usize;
+            let e = ev.settle_chains[c1].1 as usize;
+            ev.stat_settle_insns += (e - s) as u64;
+            run_settle_range(tape, s, e, regs, values, memories, &mut ev.store_changed);
+            let mut i = 0;
+            while i < ev.store_changed.len() {
+                let net = ev.store_changed[i];
+                i += 1;
+                ev.note_net_change(net as usize, ALL_LANES);
+            }
+            ev.store_changed.clear();
+            clear_bit_range(&mut ev.settle_pending, c0, c1);
+        }
+        if !any {
+            break;
+        }
+    }
+}
+
+/// Pop the lowest run of consecutive set bits from `words`, starting the
+/// scan inside word `w` (which must be non-zero). Returns the inclusive
+/// bit-index range of the run and clears its bits. Runs may span words.
+///
+/// Settle chains are laid out back-to-back in the tape, so a run of
+/// consecutive pending units is a single contiguous pc range — one
+/// interpreter call instead of one per unit.
+fn pop_pending_run(words: &mut [u64], w: usize) -> (usize, usize) {
+    let b0 = words[w].trailing_zeros() as usize;
+    let first = (w << 6) + b0;
+    let mut wi = w;
+    let mut b = b0;
+    loop {
+        let shifted = words[wi] >> b;
+        let r = (!shifted).trailing_zeros() as usize; // consecutive ones at b
+        let r = r.min(64 - b);
+        let mask = if r == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << r) - 1) << b
+        };
+        words[wi] &= !mask;
+        if b + r == 64 && wi + 1 < words.len() && words[wi + 1] & 1 != 0 {
+            wi += 1;
+            b = 0;
+            continue;
+        }
+        return (first, (wi << 6) + b + r - 1);
+    }
+}
+
+/// Clear bits `[a, b]` (inclusive) of the bitset.
+fn clear_bit_range(words: &mut [u64], a: usize, b: usize) {
+    for c in a..=b {
+        words[c >> 6] &= !(1u64 << (c & 63));
+    }
+}
+
+impl EventState {
+    fn build(sim: &Simulator) -> Box<EventState> {
+        let n_nets = sim.values.len();
+        let n_mems = sim.memories.len();
+        let chain_bounds = |starts: &[u32], len: usize| -> Vec<(u32, u32)> {
+            (0..starts.len())
+                .map(|i| {
+                    let end = starts.get(i + 1).copied().unwrap_or(len as u32);
+                    (starts[i], end)
+                })
+                .collect()
+        };
+        // Settle is scheduled at per-assign granularity: the tape is
+        // topologically ordered, so an in-order worklist sweep converges
+        // without merging producer-consumer pairs, and fine units mean a
+        // changed net re-evaluates only its actual readers instead of the
+        // whole connected netlist (the union-find cone, which on HLS output
+        // typically spans nearly every assign through the shared FSM). The
+        // coarse cones remain the telemetry reporting unit;
+        // `settle_unit_cone` maps scheduler units onto them.
+        let n_assigns = sim.assigns.len();
+        let settle_cones = partition_settle(&sim.assigns, &sim.net_names);
+        let step_cones = partition_step(&sim.always, &sim.net_names, &sim.mem_names);
+        let mut ev = EventState {
+            settle_chains: chain_bounds(&sim.settle_chain_starts, sim.settle_tape.len()),
+            step_chains: chain_bounds(&sim.step_chain_starts, sim.step_tape.len()),
+            step_members_off: Vec::new(),
+            step_members_flat: Vec::new(),
+            settle_readers: Csr::from_lists(&[]),
+            settle_writer: vec![u32::MAX; n_nets],
+            settle_mem_readers: Csr::from_lists(&[]),
+            step_readers: Csr::from_lists(&[]),
+            step_writers: Csr::from_lists(&[]),
+            step_mem_readers: Csr::from_lists(&[]),
+            step_mem_writers: Csr::from_lists(&[]),
+            settle_unit_cone: vec![0; n_assigns],
+            settle_pending: full_bitset(n_assigns),
+            step_pending: vec![ALL_LANES; step_cones.len()],
+            step_dirty: full_bitset(step_cones.len()),
+            track: sim.telemetry.is_some(),
+            changed_nets: Vec::new(),
+            changed_flag: vec![false; n_nets],
+            store_changed: Vec::new(),
+            store_changed_lanes: Vec::new(),
+            settle_busy: vec![false; settle_cones.len()],
+            step_busy: vec![false; step_cones.len()],
+            settle_ran: vec![false; n_assigns],
+            settle_cache: vec![(0, 0); n_assigns],
+            settle_stale: vec![true; n_assigns],
+            step_cache: vec![(0, 0); step_cones.len()],
+            step_stale: vec![true; step_cones.len()],
+            stat_settle_runs: 0,
+            stat_step_runs: 0,
+            stat_settle_insns: 0,
+            stat_step_insns: 0,
+        };
+        let mut settle_readers = vec![Vec::new(); n_nets];
+        let mut settle_mem_readers = vec![Vec::new(); n_mems];
+        let mut step_readers = vec![Vec::new(); n_nets];
+        let mut step_writers: Vec<Vec<u32>> = vec![Vec::new(); n_nets];
+        let mut step_mem_readers = vec![Vec::new(); n_mems];
+        let mut step_mem_writers: Vec<Vec<u32>> = vec![Vec::new(); n_mems];
+        for (i, (net, e)) in sim.assigns.iter().enumerate() {
+            let mut deps = Vec::new();
+            collect_deps(e, &mut deps);
+            deps.sort_unstable();
+            deps.dedup();
+            for d in deps {
+                settle_readers[d].push(i as u32);
+            }
+            let mut mems = BTreeSet::new();
+            collect_mem_reads_into(e, &mut mems);
+            for m in mems {
+                settle_mem_readers[m].push(i as u32);
+            }
+            ev.settle_writer[*net] = i as u32;
+        }
+        for (c, cone) in settle_cones.iter().enumerate() {
+            for &a in &cone.members {
+                ev.settle_unit_cone[a as usize] = c as u32;
+            }
+        }
+        for (c, cone) in step_cones.iter().enumerate() {
+            for &net in &cone.inputs {
+                step_readers[net as usize].push(c as u32);
+            }
+            for &m in &cone.mem_inputs {
+                step_mem_readers[m as usize].push(c as u32);
+            }
+            for &i in &cone.members {
+                let mut reads = BTreeSet::new();
+                let mut writes = BTreeSet::new();
+                let mut mreads = BTreeSet::new();
+                let mut mwrites = BTreeSet::new();
+                stmt_effects(
+                    &sim.always[i as usize],
+                    &mut reads,
+                    &mut writes,
+                    &mut mreads,
+                    &mut mwrites,
+                );
+                for w in writes {
+                    if step_writers[w].last() != Some(&(c as u32)) {
+                        step_writers[w].push(c as u32);
+                    }
+                }
+                for m in mwrites {
+                    if step_mem_writers[m].last() != Some(&(c as u32)) {
+                        step_mem_writers[m].push(c as u32);
+                    }
+                }
+            }
+        }
+        ev.step_members_off.push(0);
+        for cone in &step_cones {
+            ev.step_members_flat.extend_from_slice(&cone.members);
+            ev.step_members_off.push(ev.step_members_flat.len() as u32);
+        }
+        ev.settle_readers = Csr::from_lists(&settle_readers);
+        ev.settle_mem_readers = Csr::from_lists(&settle_mem_readers);
+        ev.step_readers = Csr::from_lists(&step_readers);
+        ev.step_writers = Csr::from_lists(&step_writers);
+        ev.step_mem_readers = Csr::from_lists(&step_mem_readers);
+        ev.step_mem_writers = Csr::from_lists(&step_mem_writers);
+        Box::new(ev)
+    }
+
+    /// A net's settled value changed (settle store, edge update): wake
+    /// every cone that reads it. `lane_mask` limits which batched lanes
+    /// re-evaluate.
+    fn note_net_change(&mut self, net: usize, lane_mask: u64) {
+        if self.track && !self.changed_flag[net] {
+            self.changed_flag[net] = true;
+            self.changed_nets.push(net as u32);
+        }
+        let (a, b) = (
+            self.settle_readers.off[net] as usize,
+            self.settle_readers.off[net + 1] as usize,
+        );
+        for i in a..b {
+            let c = self.settle_readers.flat[i];
+            self.wake_settle(c);
+        }
+        let (a, b) = (
+            self.step_readers.off[net] as usize,
+            self.step_readers.off[net + 1] as usize,
+        );
+        for i in a..b {
+            let c = self.step_readers.flat[i];
+            self.wake_step(c, lane_mask);
+        }
+    }
+
+    /// A net was driven externally (`set`/`set_id`): additionally wake its
+    /// producers, which the full-tape engines would rerun to overwrite it.
+    fn note_net_poked(&mut self, net: usize, lane_mask: u64) {
+        self.note_net_change(net, lane_mask);
+        let w = self.settle_writer[net];
+        if w != u32::MAX {
+            self.wake_settle(w);
+        }
+        let (a, b) = (
+            self.step_writers.off[net] as usize,
+            self.step_writers.off[net + 1] as usize,
+        );
+        for i in a..b {
+            let c = self.step_writers.flat[i];
+            self.wake_step(c, lane_mask);
+        }
+    }
+
+    /// A memory word changed at the clock edge: wake readers.
+    fn note_mem_change(&mut self, mem: usize, lane_mask: u64) {
+        let (a, b) = (
+            self.settle_mem_readers.off[mem] as usize,
+            self.settle_mem_readers.off[mem + 1] as usize,
+        );
+        for i in a..b {
+            let c = self.settle_mem_readers.flat[i];
+            self.wake_settle(c);
+        }
+        let (a, b) = (
+            self.step_mem_readers.off[mem] as usize,
+            self.step_mem_readers.off[mem + 1] as usize,
+        );
+        for i in a..b {
+            let c = self.step_mem_readers.flat[i];
+            self.wake_step(c, lane_mask);
+        }
+    }
+
+    /// A memory word was written externally (`write_mem`): wake readers
+    /// and writers.
+    fn note_mem_poked(&mut self, mem: usize, lane_mask: u64) {
+        self.note_mem_change(mem, lane_mask);
+        let (a, b) = (
+            self.step_mem_writers.off[mem] as usize,
+            self.step_mem_writers.off[mem + 1] as usize,
+        );
+        for i in a..b {
+            let c = self.step_mem_writers.flat[i];
+            self.wake_step(c, lane_mask);
+        }
+    }
+
+    #[inline]
+    fn wake_settle(&mut self, c: u32) {
+        self.settle_pending[(c >> 6) as usize] |= 1u64 << (c & 63);
+    }
+
+    #[inline]
+    fn wake_step(&mut self, c: u32, lane_mask: u64) {
+        self.step_pending[c as usize] |= lane_mask;
+        self.step_dirty[(c >> 6) as usize] |= 1u64 << (c & 63);
+    }
+
+    /// Force a full re-evaluation (engine switch, lane rebuild).
+    fn mark_all_pending(&mut self) {
+        let n = self.settle_chains.len();
+        self.settle_pending.copy_from_slice(&full_bitset(n));
+        for p in &mut self.step_pending {
+            *p = ALL_LANES;
+        }
+        let n = self.step_members_off.len() - 1;
+        self.step_dirty.copy_from_slice(&full_bitset(n));
+    }
+}
+
+/// Execute settle-tape pcs `[start, end)` — pure ops plus `StoreNet`, no
+/// jumps. Like [`run_tape`], but every store compares-and-sets, pushing the
+/// ids of nets whose value actually changed into `changed_out`; that
+/// dirty-set is what drives the event scheduler.
+fn run_settle_range(
+    tape: &[Insn],
+    start: usize,
+    end: usize,
+    regs: &mut [u64],
+    values: &mut [u64],
+    memories: &[Vec<u64>],
+    changed_out: &mut Vec<u32>,
+) -> u64 {
+    for insn in &tape[start..end] {
+        match *insn {
+            Insn::LoadNet { dst, net } => regs[dst as usize] = values[net as usize],
+            Insn::MemRead { dst, mem, addr, m } => {
+                let a = regs[addr as usize] as usize;
+                regs[dst as usize] = memories[mem as usize].get(a).copied().unwrap_or(0) & m;
+            }
+            Insn::Slice { dst, src, lo, m } => {
+                regs[dst as usize] = (regs[src as usize] >> lo) & m;
+            }
+            Insn::Not { dst, src, m } => regs[dst as usize] = !regs[src as usize] & m,
+            Insn::LNot { dst, src } => regs[dst as usize] = u64::from(regs[src as usize] == 0),
+            Insn::RedOr { dst, src } => regs[dst as usize] = u64::from(regs[src as usize] != 0),
+            Insn::Binary {
+                op,
+                dst,
+                a,
+                b,
+                aw,
+                bw,
+                m,
+            } => {
+                regs[dst as usize] =
+                    eval_binary(op, regs[a as usize], regs[b as usize], aw, bw) & m;
+            }
+            Insn::Select {
+                dst,
+                cond,
+                then,
+                els,
+                m,
+            } => {
+                let v = if regs[cond as usize] != 0 {
+                    regs[then as usize]
+                } else {
+                    regs[els as usize]
+                };
+                regs[dst as usize] = v & m;
+            }
+            Insn::ConcatFirst { dst, src, m } => regs[dst as usize] = regs[src as usize] & m,
+            Insn::ConcatPush { dst, src, shift, m } => {
+                regs[dst as usize] = (regs[dst as usize] << shift) | (regs[src as usize] & m);
+            }
+            Insn::MaskReg { dst, m } => regs[dst as usize] &= m,
+            Insn::SignExtend {
+                dst,
+                src,
+                from,
+                fm,
+                m,
+            } => {
+                regs[dst as usize] = (sign_extend(regs[src as usize] & fm, from) as u64) & m;
+            }
+            Insn::StoreNet { net, src, m } => {
+                let v = regs[src as usize] & m;
+                let n = net as usize;
+                if values[n] != v {
+                    values[n] = v;
+                    changed_out.push(net);
+                }
+            }
+            _ => debug_assert!(false, "settle tape holds only pure ops and StoreNet"),
+        }
+    }
+    (end - start) as u64
+}
+
+/// Telemetry twin of [`run_settle_range`]: the counting interpreter is the
+/// executor (exactly as under the full-tape bytecode engine), returning
+/// aggregate `(executed, changed)` counts with the same per-destination
+/// change semantics as [`run_tape_counting`]. Also serves as the
+/// steady-count refresh for a quiescent cone: re-running with unchanged
+/// inputs is idempotent on registers and nets (no `changed_out` pushes)
+/// and measures what the bytecode engine would count this cycle.
+fn run_settle_chain_counting(
+    tape: &[Insn],
+    start: usize,
+    end: usize,
+    regs: &mut [u64],
+    values: &mut [u64],
+    memories: &[Vec<u64>],
+    changed_out: &mut Vec<u32>,
+) -> (u64, u64) {
+    let mut n_changed = 0u64;
+    macro_rules! put {
+        ($dst:expr, $v:expr) => {{
+            let v = $v;
+            let d = $dst as usize;
+            if regs[d] != v {
+                n_changed += 1;
+            }
+            regs[d] = v;
+        }};
+    }
+    for insn in &tape[start..end] {
+        match *insn {
+            Insn::LoadNet { dst, net } => put!(dst, values[net as usize]),
+            Insn::MemRead { dst, mem, addr, m } => {
+                let a = regs[addr as usize] as usize;
+                put!(dst, memories[mem as usize].get(a).copied().unwrap_or(0) & m);
+            }
+            Insn::Slice { dst, src, lo, m } => put!(dst, (regs[src as usize] >> lo) & m),
+            Insn::Not { dst, src, m } => put!(dst, !regs[src as usize] & m),
+            Insn::LNot { dst, src } => put!(dst, u64::from(regs[src as usize] == 0)),
+            Insn::RedOr { dst, src } => put!(dst, u64::from(regs[src as usize] != 0)),
+            Insn::Binary {
+                op,
+                dst,
+                a,
+                b,
+                aw,
+                bw,
+                m,
+            } => put!(
+                dst,
+                eval_binary(op, regs[a as usize], regs[b as usize], aw, bw) & m
+            ),
+            Insn::Select {
+                dst,
+                cond,
+                then,
+                els,
+                m,
+            } => {
+                let v = if regs[cond as usize] != 0 {
+                    regs[then as usize]
+                } else {
+                    regs[els as usize]
+                };
+                put!(dst, v & m);
+            }
+            Insn::ConcatFirst { dst, src, m } => put!(dst, regs[src as usize] & m),
+            Insn::ConcatPush { dst, src, shift, m } => {
+                put!(
+                    dst,
+                    (regs[dst as usize] << shift) | (regs[src as usize] & m)
+                );
+            }
+            Insn::MaskReg { dst, m } => put!(dst, regs[dst as usize] & m),
+            Insn::SignExtend {
+                dst,
+                src,
+                from,
+                fm,
+                m,
+            } => put!(dst, (sign_extend(regs[src as usize] & fm, from) as u64) & m),
+            Insn::StoreNet { net, src, m } => {
+                let v = regs[src as usize] & m;
+                let n = net as usize;
+                if values[n] != v {
+                    n_changed += 1;
+                    values[n] = v;
+                    changed_out.push(net);
+                }
+            }
+            _ => debug_assert!(false, "settle tape holds only pure ops and StoreNet"),
+        }
+    }
+    ((end - start) as u64, n_changed)
+}
+
+/// Aggregate-counting twin of [`run_tape_counting`] over a pc range of the
+/// step tape: same change semantics, but totals instead of per-pc arrays.
+/// Used both as the executor for activated step cones (emissions go to the
+/// real pending buffers) and as the steady-count refresh for skipped ones
+/// (emissions to scratch buffers; register effects are idempotent because
+/// the cone's inputs are unchanged).
+#[allow(clippy::too_many_arguments)]
+fn run_step_chain_counting(
+    tape: &[Insn],
+    start: usize,
+    end: usize,
+    regs: &mut [u64],
+    values: &[u64],
+    memories: &[Vec<u64>],
+    msgs: &[String],
+    pend_nets: &mut Vec<(u32, u64)>,
+    pend_mems: &mut Vec<(u32, u64, u64)>,
+    failure: &mut Option<String>,
+    net_masks: &[u64],
+    mem_masks: &[u64],
+) -> (u64, u64) {
+    let mut executed = 0u64;
+    let mut n_changed = 0u64;
+    let mut pc = start;
+    macro_rules! put {
+        ($dst:expr, $v:expr) => {{
+            let v = $v;
+            let d = $dst as usize;
+            if regs[d] != v {
+                n_changed += 1;
+            }
+            regs[d] = v;
+        }};
+    }
+    while pc < end {
+        executed += 1;
+        match tape[pc] {
+            Insn::LoadNet { dst, net } => put!(dst, values[net as usize]),
+            Insn::MemRead { dst, mem, addr, m } => {
+                let a = regs[addr as usize] as usize;
+                put!(dst, memories[mem as usize].get(a).copied().unwrap_or(0) & m);
+            }
+            Insn::Slice { dst, src, lo, m } => put!(dst, (regs[src as usize] >> lo) & m),
+            Insn::Not { dst, src, m } => put!(dst, !regs[src as usize] & m),
+            Insn::LNot { dst, src } => put!(dst, u64::from(regs[src as usize] == 0)),
+            Insn::RedOr { dst, src } => put!(dst, u64::from(regs[src as usize] != 0)),
+            Insn::Binary {
+                op,
+                dst,
+                a,
+                b,
+                aw,
+                bw,
+                m,
+            } => put!(
+                dst,
+                eval_binary(op, regs[a as usize], regs[b as usize], aw, bw) & m
+            ),
+            Insn::Select {
+                dst,
+                cond,
+                then,
+                els,
+                m,
+            } => {
+                let v = if regs[cond as usize] != 0 {
+                    regs[then as usize]
+                } else {
+                    regs[els as usize]
+                };
+                put!(dst, v & m);
+            }
+            Insn::ConcatFirst { dst, src, m } => put!(dst, regs[src as usize] & m),
+            Insn::ConcatPush { dst, src, shift, m } => {
+                put!(
+                    dst,
+                    (regs[dst as usize] << shift) | (regs[src as usize] & m)
+                );
+            }
+            Insn::MaskReg { dst, m } => put!(dst, regs[dst as usize] & m),
+            Insn::SignExtend {
+                dst,
+                src,
+                from,
+                fm,
+                m,
+            } => put!(dst, (sign_extend(regs[src as usize] & fm, from) as u64) & m),
+            Insn::StoreNet { .. } => {
+                debug_assert!(false, "step tape has no StoreNet");
+            }
+            Insn::EmitNet { net, src } => {
+                let v = regs[src as usize];
+                if (v & net_masks[net as usize]) != values[net as usize] {
+                    n_changed += 1;
+                }
+                pend_nets.push((net, v));
+            }
+            Insn::EmitMem { mem, addr, src } => {
+                let a = regs[addr as usize];
+                let v = regs[src as usize];
+                if let Some(&cur) = memories[mem as usize].get(a as usize) {
+                    if (v & mem_masks[mem as usize]) != cur {
+                        n_changed += 1;
+                    }
+                }
+                pend_mems.push((mem, a, v));
+            }
+            Insn::Assert { guard, cond, msg } => {
+                if failure.is_none() && regs[guard as usize] != 0 && regs[cond as usize] == 0 {
+                    *failure = Some(msgs[msg as usize].clone());
+                }
+            }
+            Insn::Jump { target } => {
+                pc = target as usize;
+                continue;
+            }
+            Insn::JumpIfZero { src, target } => {
+                if regs[src as usize] == 0 {
+                    pc = target as usize;
+                    continue;
+                }
+            }
+        }
+        pc += 1;
+    }
+    (executed, n_changed)
+}
+
+// ----------------------------------------------- batched stimulus lanes
+
+/// Per-lane state for [`Engine::Batched`]: N independent 2-state stimulus
+/// lanes evaluated in one pass over the cone tapes. Storage is lane-major
+/// (`slot = index * lanes + lane`) so each instruction's inner lane loop
+/// is one contiguous sweep the compiler auto-vectorizes — logic ops
+/// evaluate bit-parallel across lanes in SIMD words, while step-tape
+/// control flow runs per lane under the cone's dirty-lane divergence mask.
+/// Lane 0 mirrors the scalar `values`/`memories` arrays exactly, so VCD,
+/// telemetry, and the scalar accessors observe a bit-identical scalar run.
+struct BatchState {
+    lanes: usize,
+    /// Lane-major net values (`net * lanes + lane`).
+    values: Vec<u64>,
+    /// Lane-major registers (`reg * lanes + lane`).
+    regs: Vec<u64>,
+    /// Lane-major memory words (`addr * lanes + lane`).
+    mems: Vec<Vec<u64>>,
+    /// Per-lane non-blocking update buffers.
+    pend_nets: Vec<Vec<(u32, u64)>>,
+    pend_mems: Vec<Vec<(u32, u64, u64)>>,
+    /// First assertion failure per lane this step.
+    failures: Vec<Option<String>>,
+    /// Scratch worklist of `(pc, lane-mask)` segments for the SIMT step
+    /// interpreter (empty between steps).
+    work: Vec<(u32, u64)>,
+    /// Commit scratch: per-net changed-lane mask plus the list of nets
+    /// touched this cycle, so each changed net wakes its readers with
+    /// one combined mask instead of one walk per lane (zeroed between
+    /// cycles).
+    note_net_mask: Vec<u64>,
+    note_nets: Vec<u32>,
+    note_mem_mask: Vec<u64>,
+    note_mems: Vec<u32>,
+}
+
+impl BatchState {
+    fn build(sim: &Simulator, lanes: usize) -> Box<BatchState> {
+        let rep = |xs: &[u64]| -> Vec<u64> {
+            let mut out = Vec::with_capacity(xs.len() * lanes);
+            for &x in xs {
+                out.extend(std::iter::repeat_n(x, lanes));
+            }
+            out
+        };
+        Box::new(BatchState {
+            lanes,
+            values: rep(&sim.values),
+            regs: rep(&sim.regs),
+            mems: sim.memories.iter().map(|m| rep(m)).collect(),
+            pend_nets: vec![Vec::new(); lanes],
+            pend_mems: vec![Vec::new(); lanes],
+            failures: vec![None; lanes],
+            work: Vec::new(),
+            note_net_mask: vec![0; sim.values.len()],
+            note_nets: Vec::new(),
+            note_mem_mask: vec![0; sim.memories.len()],
+            note_mems: Vec::new(),
+        })
+    }
+}
+
+/// Vector twin of [`run_settle_range`]: evaluates every lane of each
+/// instruction in one contiguous lane-major sweep. Stores compare per
+/// lane, mirror lane 0 into the scalar `values`, and report
+/// `(net, changed-lane-mask)` pairs.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn run_settle_range_batched_body<const L: usize>(
+    tape: &[Insn],
+    start: usize,
+    end: usize,
+    lanes: usize,
+    regs: &mut [u64],
+    values: &mut [u64],
+    scalar_values: &mut [u64],
+    mems: &[Vec<u64>],
+    changed_out: &mut Vec<(u32, u64)>,
+) {
+    let l = if L == 0 { lanes } else { L };
+    for insn in &tape[start..end] {
+        match *insn {
+            Insn::LoadNet { dst, net } => {
+                let (d, n) = (dst as usize * l, net as usize * l);
+                assert!(d + l <= regs.len() && n + l <= values.len());
+                regs[d..d + l].copy_from_slice(&values[n..n + l]);
+            }
+            Insn::MemRead { dst, mem, addr, m } => {
+                let (d, a) = (dst as usize * l, addr as usize * l);
+                let mm = &mems[mem as usize];
+                let depth = mm.len() / l;
+                assert!(d + l <= regs.len() && a + l <= regs.len());
+                for k in 0..l {
+                    let idx = regs[a + k] as usize;
+                    regs[d + k] = if idx < depth { mm[idx * l + k] & m } else { 0 };
+                }
+            }
+            Insn::Slice { dst, src, lo, m } => {
+                let (d, s) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && s + l <= regs.len());
+                for k in 0..l {
+                    regs[d + k] = (regs[s + k] >> lo) & m;
+                }
+            }
+            Insn::Not { dst, src, m } => {
+                let (d, s) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && s + l <= regs.len());
+                for k in 0..l {
+                    regs[d + k] = !regs[s + k] & m;
+                }
+            }
+            Insn::LNot { dst, src } => {
+                let (d, s) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && s + l <= regs.len());
+                for k in 0..l {
+                    regs[d + k] = u64::from(regs[s + k] == 0);
+                }
+            }
+            Insn::RedOr { dst, src } => {
+                let (d, s) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && s + l <= regs.len());
+                for k in 0..l {
+                    regs[d + k] = u64::from(regs[s + k] != 0);
+                }
+            }
+            Insn::Binary {
+                op,
+                dst,
+                a,
+                b,
+                aw,
+                bw,
+                m,
+            } => {
+                let (d, ra, rb) = (dst as usize * l, a as usize * l, b as usize * l);
+                binary_lanes_dense(op, regs, d, ra, rb, l, aw, bw, m);
+            }
+            Insn::Select {
+                dst,
+                cond,
+                then,
+                els,
+                m,
+            } => {
+                let (d, c, t, e) = (
+                    dst as usize * l,
+                    cond as usize * l,
+                    then as usize * l,
+                    els as usize * l,
+                );
+                assert!(
+                    d + l <= regs.len()
+                        && c + l <= regs.len()
+                        && t + l <= regs.len()
+                        && e + l <= regs.len()
+                );
+                for k in 0..l {
+                    let v = if regs[c + k] != 0 {
+                        regs[t + k]
+                    } else {
+                        regs[e + k]
+                    };
+                    regs[d + k] = v & m;
+                }
+            }
+            Insn::ConcatFirst { dst, src, m } => {
+                let (d, s) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && s + l <= regs.len());
+                for k in 0..l {
+                    regs[d + k] = regs[s + k] & m;
+                }
+            }
+            Insn::ConcatPush { dst, src, shift, m } => {
+                let (d, s) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && s + l <= regs.len());
+                for k in 0..l {
+                    regs[d + k] = (regs[d + k] << shift) | (regs[s + k] & m);
+                }
+            }
+            Insn::MaskReg { dst, m } => {
+                let d = dst as usize * l;
+                assert!(d + l <= regs.len());
+                for k in 0..l {
+                    regs[d + k] &= m;
+                }
+            }
+            Insn::SignExtend {
+                dst,
+                src,
+                from,
+                fm,
+                m,
+            } => {
+                let (d, s) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && s + l <= regs.len());
+                for k in 0..l {
+                    regs[d + k] = (sign_extend(regs[s + k] & fm, from) as u64) & m;
+                }
+            }
+            Insn::StoreNet { net, src, m } => {
+                let (n, s) = (net as usize * l, src as usize * l);
+                assert!(n + l <= values.len() && s + l <= regs.len());
+                let mut mask_changed = 0u64;
+                for k in 0..l {
+                    let v = regs[s + k] & m;
+                    if values[n + k] != v {
+                        values[n + k] = v;
+                        mask_changed |= 1u64 << k;
+                    }
+                }
+                scalar_values[net as usize] = values[n];
+                if mask_changed != 0 {
+                    changed_out.push((net, mask_changed));
+                }
+            }
+            _ => debug_assert!(false, "settle tape holds only pure ops and StoreNet"),
+        }
+    }
+}
+
+/// [`run_settle_range_batched_body`] compiled with AVX2 enabled: the
+/// dense per-lane loops auto-vectorize to 256-bit ops. Safety: caller
+/// checked the CPU feature at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_settle_range_batched_avx2<const L: usize>(
+    tape: &[Insn],
+    start: usize,
+    end: usize,
+    lanes: usize,
+    regs: &mut [u64],
+    values: &mut [u64],
+    scalar_values: &mut [u64],
+    mems: &[Vec<u64>],
+    changed_out: &mut Vec<(u32, u64)>,
+) {
+    run_settle_range_batched_body::<L>(
+        tape,
+        start,
+        end,
+        lanes,
+        regs,
+        values,
+        scalar_values,
+        mems,
+        changed_out,
+    )
+}
+
+/// Runtime-dispatching front end for the batched settle interpreter.
+/// Dispatches on the CPU's vector features and specializes the common
+/// lane counts so the per-lane loops get compile-time trip counts.
+#[allow(clippy::too_many_arguments)]
+fn run_settle_range_batched(
+    tape: &[Insn],
+    start: usize,
+    end: usize,
+    lanes: usize,
+    regs: &mut [u64],
+    values: &mut [u64],
+    scalar_values: &mut [u64],
+    mems: &[Vec<u64>],
+    changed_out: &mut Vec<(u32, u64)>,
+) {
+    macro_rules! go {
+        ($l:literal) => {{
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature checked above.
+                unsafe {
+                    return run_settle_range_batched_avx2::<$l>(
+                        tape,
+                        start,
+                        end,
+                        lanes,
+                        regs,
+                        values,
+                        scalar_values,
+                        mems,
+                        changed_out,
+                    );
+                }
+            }
+            run_settle_range_batched_body::<$l>(
+                tape,
+                start,
+                end,
+                lanes,
+                regs,
+                values,
+                scalar_values,
+                mems,
+                changed_out,
+            )
+        }};
+    }
+    match lanes {
+        64 => go!(64),
+        32 => go!(32),
+        16 => go!(16),
+        8 => go!(8),
+        _ => go!(0),
+    }
+}
+
+/// Dense-lane binary op: the operator match is hoisted out of the lane
+/// loop so each arm is a flat, auto-vectorizable sweep over the
+/// lane-major rows. Semantics are exactly [`eval_binary`] per lane.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn binary_lanes_dense(
+    op: BinOp,
+    regs: &mut [u64],
+    d: usize,
+    ra: usize,
+    rb: usize,
+    l: usize,
+    aw: u32,
+    bw: u32,
+    m: u64,
+) {
+    macro_rules! lane_op {
+        (|$a:ident, $b:ident| $e:expr) => {{
+            assert!(d + l <= regs.len() && ra + l <= regs.len() && rb + l <= regs.len());
+            for k in 0..l {
+                let $a = regs[ra + k];
+                let $b = regs[rb + k];
+                regs[d + k] = ($e) & m;
+            }
+        }};
+    }
+    match op {
+        BinOp::Add => lane_op!(|a, b| a.wrapping_add(b)),
+        BinOp::Sub => lane_op!(|a, b| a.wrapping_sub(b)),
+        BinOp::Mul => lane_op!(|a, b| a.wrapping_mul(b)),
+        BinOp::And => lane_op!(|a, b| a & b),
+        BinOp::Or => lane_op!(|a, b| a | b),
+        BinOp::Xor => lane_op!(|a, b| a ^ b),
+        BinOp::Shl => lane_op!(|a, b| if b >= 64 { 0 } else { a.wrapping_shl(b as u32) }),
+        BinOp::LShr => lane_op!(|a, b| if b >= 64 { 0 } else { a.wrapping_shr(b as u32) }),
+        BinOp::AShr => lane_op!(|a, b| (sign_extend(a, aw) >> b.min(127) as i32) as u64),
+        BinOp::Eq => lane_op!(|a, b| u64::from(a == b)),
+        BinOp::Ne => lane_op!(|a, b| u64::from(a != b)),
+        BinOp::SLt => lane_op!(|a, b| u64::from(sign_extend(a, aw) < sign_extend(b, bw))),
+        BinOp::SLe => lane_op!(|a, b| u64::from(sign_extend(a, aw) <= sign_extend(b, bw))),
+        BinOp::SGt => lane_op!(|a, b| u64::from(sign_extend(a, aw) > sign_extend(b, bw))),
+        BinOp::SGe => lane_op!(|a, b| u64::from(sign_extend(a, aw) >= sign_extend(b, bw))),
+        BinOp::ULt => lane_op!(|a, b| u64::from(a < b)),
+        BinOp::ULe => lane_op!(|a, b| u64::from(a <= b)),
+    }
+}
+
+/// Iterate the active lanes of `mask`: a dense loop when every lane is
+/// active (the auto-vectorizable common case) and a set-bit walk otherwise.
+#[inline(always)]
+fn for_lanes(mask: u64, lanes: usize, full: u64, mut f: impl FnMut(usize)) {
+    if mask == full {
+        for k in 0..lanes {
+            f(k);
+        }
+    } else {
+        let mut m = mask;
+        while m != 0 {
+            let k = m.trailing_zeros() as usize;
+            m &= m - 1;
+            f(k);
+        }
+    }
+}
+
+/// Decode-once twin of [`run_tape_lane`]: executes step-tape pcs
+/// `[start, end)` for every lane in `mask0` at once over the lane-major
+/// state. Control flow is SIMT-style — when a `JumpIfZero` condition
+/// differs across active lanes, the taken subset is parked on the `work`
+/// list and the fall-through subset continues; each lane still traverses
+/// its own path in tape order, so per-lane emission order and
+/// first-failure semantics match the one-lane-at-a-time interpreter
+/// exactly. Lane 0 emits into the scalar engine's buffers (`lane0_*`),
+/// other lanes into their per-lane buffers.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn run_tape_lanes_body<const L: usize>(
+    tape: &[Insn],
+    start: usize,
+    end: usize,
+    mask0: u64,
+    lanes: usize,
+    regs: &mut [u64],
+    values: &[u64],
+    mems: &[Vec<u64>],
+    msgs: &[String],
+    lane0_nets: &mut Vec<(u32, u64)>,
+    lane0_mems: &mut Vec<(u32, u64, u64)>,
+    lane0_failure: &mut Option<String>,
+    pend_nets: &mut [Vec<(u32, u64)>],
+    pend_mems: &mut [Vec<(u32, u64, u64)>],
+    failures: &mut [Option<String>],
+    work: &mut Vec<(u32, u64)>,
+) {
+    let l = if L == 0 { lanes } else { L };
+    let full = if l >= 64 { u64::MAX } else { (1u64 << l) - 1 };
+    debug_assert!(work.is_empty());
+    let mut pc = start;
+    let mut mask = mask0 & full;
+    loop {
+        if mask == 0 || pc >= end {
+            match work.pop() {
+                Some((p, m)) => {
+                    pc = p as usize;
+                    mask = m;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        match tape[pc] {
+            Insn::LoadNet { dst, net } => {
+                let (d, n) = (dst as usize * l, net as usize * l);
+                assert!(d + l <= regs.len() && n + l <= values.len());
+                for_lanes(mask, l, full, |k| regs[d + k] = values[n + k]);
+            }
+            Insn::MemRead { dst, mem, addr, m } => {
+                let (d, a) = (dst as usize * l, addr as usize * l);
+                let mm = &mems[mem as usize];
+                let depth = mm.len() / l;
+                assert!(d + l <= regs.len() && a + l <= regs.len());
+                for_lanes(mask, l, full, |k| {
+                    let idx = regs[a + k] as usize;
+                    regs[d + k] = if idx < depth { mm[idx * l + k] & m } else { 0 };
+                });
+            }
+            Insn::Slice { dst, src, lo, m } => {
+                let (d, sr) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && sr + l <= regs.len());
+                for_lanes(mask, l, full, |k| regs[d + k] = (regs[sr + k] >> lo) & m);
+            }
+            Insn::Not { dst, src, m } => {
+                let (d, sr) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && sr + l <= regs.len());
+                for_lanes(mask, l, full, |k| regs[d + k] = !regs[sr + k] & m);
+            }
+            Insn::LNot { dst, src } => {
+                let (d, sr) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && sr + l <= regs.len());
+                for_lanes(mask, l, full, |k| {
+                    regs[d + k] = u64::from(regs[sr + k] == 0);
+                });
+            }
+            Insn::RedOr { dst, src } => {
+                let (d, sr) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && sr + l <= regs.len());
+                for_lanes(mask, l, full, |k| {
+                    regs[d + k] = u64::from(regs[sr + k] != 0);
+                });
+            }
+            Insn::Binary {
+                op,
+                dst,
+                a,
+                b,
+                aw,
+                bw,
+                m,
+            } => {
+                let (d, ra, rb) = (dst as usize * l, a as usize * l, b as usize * l);
+                if mask == full {
+                    binary_lanes_dense(op, regs, d, ra, rb, l, aw, bw, m);
+                } else {
+                    let mut mm = mask;
+                    while mm != 0 {
+                        let k = mm.trailing_zeros() as usize;
+                        mm &= mm - 1;
+                        regs[d + k] = eval_binary(op, regs[ra + k], regs[rb + k], aw, bw) & m;
+                    }
+                }
+            }
+            Insn::Select {
+                dst,
+                cond,
+                then,
+                els,
+                m,
+            } => {
+                let (d, c, t, e) = (
+                    dst as usize * l,
+                    cond as usize * l,
+                    then as usize * l,
+                    els as usize * l,
+                );
+                assert!(
+                    d + l <= regs.len()
+                        && c + l <= regs.len()
+                        && t + l <= regs.len()
+                        && e + l <= regs.len()
+                );
+                for_lanes(mask, l, full, |k| {
+                    let v = if regs[c + k] != 0 {
+                        regs[t + k]
+                    } else {
+                        regs[e + k]
+                    };
+                    regs[d + k] = v & m;
+                });
+            }
+            Insn::ConcatFirst { dst, src, m } => {
+                let (d, sr) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && sr + l <= regs.len());
+                for_lanes(mask, l, full, |k| regs[d + k] = regs[sr + k] & m);
+            }
+            Insn::ConcatPush { dst, src, shift, m } => {
+                let (d, sr) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && sr + l <= regs.len());
+                for_lanes(mask, l, full, |k| {
+                    regs[d + k] = (regs[d + k] << shift) | (regs[sr + k] & m);
+                });
+            }
+            Insn::MaskReg { dst, m } => {
+                let d = dst as usize * l;
+                assert!(d + l <= regs.len());
+                for_lanes(mask, l, full, |k| regs[d + k] &= m);
+            }
+            Insn::SignExtend {
+                dst,
+                src,
+                from,
+                fm,
+                m,
+            } => {
+                let (d, sr) = (dst as usize * l, src as usize * l);
+                assert!(d + l <= regs.len() && sr + l <= regs.len());
+                for_lanes(mask, l, full, |k| {
+                    regs[d + k] = (sign_extend(regs[sr + k] & fm, from) as u64) & m;
+                });
+            }
+            Insn::StoreNet { .. } => {
+                debug_assert!(false, "step tape has no StoreNet");
+            }
+            Insn::EmitNet { net, src } => {
+                let sr = src as usize * l;
+                let mut m = mask;
+                while m != 0 {
+                    let k = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if k == 0 {
+                        lane0_nets.push((net, regs[sr]));
+                    } else {
+                        pend_nets[k].push((net, regs[sr + k]));
+                    }
+                }
+            }
+            Insn::EmitMem { mem, addr, src } => {
+                let (a, sr) = (addr as usize * l, src as usize * l);
+                let mut m = mask;
+                while m != 0 {
+                    let k = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if k == 0 {
+                        lane0_mems.push((mem, regs[a], regs[sr]));
+                    } else {
+                        pend_mems[k].push((mem, regs[a + k], regs[sr + k]));
+                    }
+                }
+            }
+            Insn::Assert { guard, cond, msg } => {
+                let (g, c) = (guard as usize * l, cond as usize * l);
+                let mut m = mask;
+                while m != 0 {
+                    let k = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if regs[g + k] != 0 && regs[c + k] == 0 {
+                        let slot = if k == 0 {
+                            &mut *lane0_failure
+                        } else {
+                            &mut failures[k]
+                        };
+                        if slot.is_none() {
+                            *slot = Some(msgs[msg as usize].clone());
+                        }
+                    }
+                }
+            }
+            Insn::Jump { target } => {
+                pc = target as usize;
+                continue;
+            }
+            Insn::JumpIfZero { src, target } => {
+                let sr = src as usize * l;
+                assert!(sr + l <= regs.len());
+                let mut taken = 0u64;
+                for_lanes(mask, l, full, |k| {
+                    taken |= u64::from(regs[sr + k] == 0) << k;
+                });
+                if taken == mask {
+                    pc = target as usize;
+                    continue;
+                }
+                if taken != 0 {
+                    work.push((target, taken));
+                    mask &= !taken;
+                }
+            }
+        }
+        pc += 1;
+    }
+}
+
+/// [`run_tape_lanes_body`] compiled with AVX2 enabled: the dense lane
+/// loops auto-vectorize to 256-bit ops. Safety: caller checked the CPU
+/// feature at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_tape_lanes_avx2<const L: usize>(
+    tape: &[Insn],
+    start: usize,
+    end: usize,
+    mask0: u64,
+    lanes: usize,
+    regs: &mut [u64],
+    values: &[u64],
+    mems: &[Vec<u64>],
+    msgs: &[String],
+    lane0_nets: &mut Vec<(u32, u64)>,
+    lane0_mems: &mut Vec<(u32, u64, u64)>,
+    lane0_failure: &mut Option<String>,
+    pend_nets: &mut [Vec<(u32, u64)>],
+    pend_mems: &mut [Vec<(u32, u64, u64)>],
+    failures: &mut [Option<String>],
+    work: &mut Vec<(u32, u64)>,
+) {
+    run_tape_lanes_body::<L>(
+        tape,
+        start,
+        end,
+        mask0,
+        lanes,
+        regs,
+        values,
+        mems,
+        msgs,
+        lane0_nets,
+        lane0_mems,
+        lane0_failure,
+        pend_nets,
+        pend_mems,
+        failures,
+        work,
+    )
+}
+
+/// Runtime-dispatching front end for the SIMT step interpreter.
+/// Dispatches on the CPU's vector features and specializes the common
+/// lane counts so the per-lane loops get compile-time trip counts.
+#[allow(clippy::too_many_arguments)]
+fn run_tape_lanes(
+    tape: &[Insn],
+    start: usize,
+    end: usize,
+    mask0: u64,
+    lanes: usize,
+    regs: &mut [u64],
+    values: &[u64],
+    mems: &[Vec<u64>],
+    msgs: &[String],
+    lane0_nets: &mut Vec<(u32, u64)>,
+    lane0_mems: &mut Vec<(u32, u64, u64)>,
+    lane0_failure: &mut Option<String>,
+    pend_nets: &mut [Vec<(u32, u64)>],
+    pend_mems: &mut [Vec<(u32, u64, u64)>],
+    failures: &mut [Option<String>],
+    work: &mut Vec<(u32, u64)>,
+) {
+    macro_rules! go {
+        ($l:literal) => {{
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature checked above.
+                unsafe {
+                    return run_tape_lanes_avx2::<$l>(
+                        tape,
+                        start,
+                        end,
+                        mask0,
+                        lanes,
+                        regs,
+                        values,
+                        mems,
+                        msgs,
+                        lane0_nets,
+                        lane0_mems,
+                        lane0_failure,
+                        pend_nets,
+                        pend_mems,
+                        failures,
+                        work,
+                    );
+                }
+            }
+            run_tape_lanes_body::<$l>(
+                tape,
+                start,
+                end,
+                mask0,
+                lanes,
+                regs,
+                values,
+                mems,
+                msgs,
+                lane0_nets,
+                lane0_mems,
+                lane0_failure,
+                pend_nets,
+                pend_mems,
+                failures,
+                work,
+            )
+        }};
+    }
+    match lanes {
+        64 => go!(64),
+        32 => go!(32),
+        16 => go!(16),
+        8 => go!(8),
+        _ => go!(0),
+    }
+}
+
 // ------------------------------------------------------------- telemetry
 
 /// Opt-in runtime telemetry state. Lives behind an `Option<Box<_>>` on the
@@ -1819,8 +4214,13 @@ struct Telemetry {
     toggle_cycles: Vec<u64>,
     /// Per-net: total bit flips across all cycles.
     bit_toggles: Vec<u64>,
-    /// Per-net: cycles in which the net was non-zero.
+    /// Per-net: cycles in which the net was non-zero. Maintained lazily:
+    /// exact only through the accounting point recorded in `high_since`;
+    /// the still-open run of unchanged cycles is credited at report time.
     high_cycles: Vec<u64>,
+    /// Per-net: accounting point (1-based `cycles` value) up to which
+    /// `high_cycles` has been credited; `prev` has held its value since.
+    high_since: Vec<u64>,
     /// Accounting points seen (== steps since telemetry was enabled).
     cycles: u64,
     settle_cones: Vec<Cone>,
@@ -1835,6 +4235,14 @@ struct Telemetry {
     settle_changed: Vec<u64>,
     step_exec: Vec<u64>,
     step_changed: Vec<u64>,
+    /// Aggregate instruction counts accumulated by the event engine (live
+    /// counting on activated cones plus cached steady counts for skipped
+    /// ones); added to the per-pc sums at report time so totals stay
+    /// byte-identical to the full-tape engines.
+    settle_exec_extra: u64,
+    settle_changed_extra: u64,
+    step_exec_extra: u64,
+    step_changed_extra: u64,
     net_masks: Vec<u64>,
     mem_masks: Vec<u64>,
     /// Scratch state for counting under the tree-walk engine: the counting
@@ -1854,6 +4262,10 @@ struct Cone {
     name: String,
     /// Number of assigns / always-statements grouped into this cone.
     units: u32,
+    /// Assign indices (settle) or always-statement indices (step) grouped
+    /// into this cone, in tape order. The event scheduler executes exactly
+    /// these chains when the cone is activated.
+    members: Vec<u32>,
     /// Net ids read by the cone (for settle cones: minus its own outputs).
     inputs: Vec<u32>,
     /// Memory ids whose contents the cone reads.
@@ -2237,6 +4649,7 @@ fn partition_settle(assigns: &[(usize, CExpr)], net_names: &[String]) -> Vec<Con
             units: members.len() as u32,
             inputs: inputs.into_iter().collect(),
             mem_inputs: mem_inputs.into_iter().map(|m| m as u32).collect(),
+            members: members.into_iter().map(|i| i as u32).collect(),
             quiescent_cycles: 0,
             busy_since: None,
             busy_intervals: Vec::new(),
@@ -2352,6 +4765,7 @@ fn partition_step(always: &[CStmt], net_names: &[String], mem_names: &[String]) 
             units: members.len() as u32,
             inputs: inputs.into_iter().collect(),
             mem_inputs: mem_inputs.into_iter().collect(),
+            members: members.into_iter().map(|i| i as u32).collect(),
             quiescent_cycles: 0,
             busy_since: None,
             busy_intervals: Vec::new(),
@@ -2366,6 +4780,8 @@ fn partition_step(always: &[CStmt], net_names: &[String], mem_names: &[String]) 
 #[allow(clippy::too_many_arguments)]
 fn run_tape_counting(
     tape: &[Insn],
+    start: usize,
+    end: usize,
     regs: &mut [u64],
     values: &mut [u64],
     memories: &[Vec<u64>],
@@ -2377,8 +4793,9 @@ fn run_tape_counting(
     changed: &mut [u64],
     net_masks: &[u64],
     mem_masks: &[u64],
-) {
-    let mut pc = 0usize;
+) -> u64 {
+    let mut executed = 0u64;
+    let mut pc = start;
     // regs[dst] = v, counting a change when the register held a different
     // value (from the previous cycle, or an earlier conditional path).
     macro_rules! put {
@@ -2391,7 +4808,8 @@ fn run_tape_counting(
             regs[d] = v;
         }};
     }
-    while pc < tape.len() {
+    while pc < end {
+        executed += 1;
         exec[pc] += 1;
         match tape[pc] {
             Insn::LoadNet { dst, net } => put!(dst, values[net as usize]),
@@ -2486,6 +4904,7 @@ fn run_tape_counting(
         }
         pc += 1;
     }
+    executed
 }
 
 impl Simulator {
@@ -2519,6 +4938,8 @@ impl Simulator {
             let mut f = None;
             run_tape(
                 &settle_tape,
+                0,
+                settle_tape.len(),
                 &mut scratch_regs,
                 &mut scratch_values,
                 &self.memories,
@@ -2535,6 +4956,7 @@ impl Simulator {
             toggle_cycles: vec![0; self.values.len()],
             bit_toggles: vec![0; self.values.len()],
             high_cycles: vec![0; self.values.len()],
+            high_since: vec![0; self.values.len()],
             cycles: 0,
             settle_cones,
             step_cones,
@@ -2543,6 +4965,10 @@ impl Simulator {
             settle_changed: vec![0; settle_tape.len()],
             step_exec: vec![0; step_tape.len()],
             step_changed: vec![0; step_tape.len()],
+            settle_exec_extra: 0,
+            settle_changed_extra: 0,
+            step_exec_extra: 0,
+            step_changed_extra: 0,
             net_masks: self.net_width.iter().map(|&w| mask(w)).collect(),
             mem_masks: self.mem_width.iter().map(|&w| mask(w)).collect(),
             settle_tape,
@@ -2553,6 +4979,15 @@ impl Simulator {
             scratch_pend_mems: Vec::new(),
             record_trace,
         }));
+        if let Some(ev) = self.ev.as_deref_mut() {
+            ev.track = self.engine == Engine::Event;
+            for s in &mut ev.settle_stale {
+                *s = true;
+            }
+            for s in &mut ev.step_stale {
+                *s = true;
+            }
+        }
     }
 
     /// Whether the telemetry plane is active.
@@ -2571,7 +5006,14 @@ impl Simulator {
                 width: self.net_width[i],
                 toggle_cycles: t.toggle_cycles[i],
                 bit_toggles: t.bit_toggles[i],
-                high_cycles: t.high_cycles[i],
+                // Credit the still-open run of unchanged cycles (lazy high
+                // accounting; see `Telemetry::high_since`).
+                high_cycles: t.high_cycles[i]
+                    + if t.prev[i] != 0 {
+                        t.cycles - t.high_since[i]
+                    } else {
+                        0
+                    },
             })
             .collect();
         let cone_report = |cones: &[Cone]| {
@@ -2585,18 +5027,31 @@ impl Simulator {
                 })
                 .collect()
         };
-        let insn_report = |tape: &[Insn], exec: &[u64], changed: &[u64]| InsnTelemetry {
-            len: tape.len() as u64,
-            executed: exec.iter().sum(),
-            changed: changed.iter().sum(),
-        };
+        let insn_report =
+            |tape: &[Insn], exec: &[u64], changed: &[u64], ex: u64, ch: u64| InsnTelemetry {
+                len: tape.len() as u64,
+                executed: exec.iter().sum::<u64>() + ex,
+                changed: changed.iter().sum::<u64>() + ch,
+            };
         Some(TelemetryReport {
             cycles: t.cycles,
             nets,
             settle_cones: cone_report(&t.settle_cones),
             step_cones: cone_report(&t.step_cones),
-            settle_insns: insn_report(&t.settle_tape, &t.settle_exec, &t.settle_changed),
-            step_insns: insn_report(&t.step_tape, &t.step_exec, &t.step_changed),
+            settle_insns: insn_report(
+                &t.settle_tape,
+                &t.settle_exec,
+                &t.settle_changed,
+                t.settle_exec_extra,
+                t.settle_changed_extra,
+            ),
+            step_insns: insn_report(
+                &t.step_tape,
+                &t.step_exec,
+                &t.step_changed,
+                t.step_exec_extra,
+                t.step_changed_extra,
+            ),
             units: Vec::new(),
         })
     }
@@ -2663,9 +5118,31 @@ impl Simulator {
         self.values[id]
     }
 
-    /// Drive a net by pre-resolved id. Takes effect at the next settle.
+    /// Drive a net by pre-resolved id (every lane under
+    /// [`Engine::Batched`]). Takes effect at the next settle.
     pub fn set_id(&mut self, id: usize, value: u64) {
-        self.values[id] = value & mask(self.net_width[id]);
+        let v = value & mask(self.net_width[id]);
+        if let Some(b) = self.batch.as_deref_mut() {
+            let l = b.lanes;
+            let mut changed = 0u64;
+            for k in 0..l {
+                if b.values[id * l + k] != v {
+                    b.values[id * l + k] = v;
+                    changed |= 1u64 << k;
+                }
+            }
+            self.values[id] = v;
+            if changed != 0 {
+                if let Some(ev) = self.ev.as_deref_mut() {
+                    ev.note_net_poked(id, changed);
+                }
+            }
+        } else if self.values[id] != v {
+            self.values[id] = v;
+            if let Some(ev) = self.ev.as_deref_mut() {
+                ev.note_net_poked(id, ALL_LANES);
+            }
+        }
         self.dirty = true;
     }
 }
@@ -3167,6 +5644,432 @@ mod tests {
         assert_eq!(ra.to_json(), rb.to_json());
         assert_eq!(a.telemetry_trace(), b.telemetry_trace());
         obs::json::parse(&ra.to_json()).expect("telemetry JSON is strict");
+    }
+
+    const ALL_ENGINES: [Engine; 4] = [
+        Engine::Bytecode,
+        Engine::TreeWalk,
+        Engine::Event,
+        Engine::Batched,
+    ];
+
+    #[test]
+    fn all_engines_agree_on_counter() {
+        let d = counter();
+        let mut sims: Vec<Simulator> = ALL_ENGINES
+            .iter()
+            .map(|&e| {
+                let mut s = Simulator::new(&d, "counter").expect("build");
+                s.set_engine(e);
+                s
+            })
+            .collect();
+        for cyc in 0..300u64 {
+            let en = u64::from(cyc % 3 != 0);
+            let expect = sims[0].get("count");
+            for s in &mut sims {
+                s.set("en", en);
+                assert_eq!(
+                    s.get("count"),
+                    expect,
+                    "engine {:?} cycle {cyc}",
+                    s.engine()
+                );
+                s.step().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_on_memory_and_assert_design() {
+        let d = mx_design();
+        let mut sims: Vec<Simulator> = ALL_ENGINES
+            .iter()
+            .map(|&e| {
+                let mut s = Simulator::new(&d, "mx").expect("build");
+                s.set_engine(e);
+                s
+            })
+            .collect();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for cyc in 0..500u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mut drive = state;
+            for s in &mut sims {
+                let mut st = drive;
+                for (port, width) in [("we", 1), ("waddr", 4), ("wdata", 16), ("raddr", 4)] {
+                    s.set(port, (st >> 24) & mask(width));
+                    st = st.rotate_left(17);
+                }
+                drive = state; // same stimulus for every engine
+            }
+            state = {
+                let mut st = state;
+                for _ in 0..4 {
+                    st = st.rotate_left(17);
+                }
+                st
+            };
+            for out in ["rdata", "sum"] {
+                let expect = sims[0].get(out);
+                for s in &mut sims {
+                    assert_eq!(
+                        s.get(out),
+                        expect,
+                        "{out} engine {:?} cycle {cyc}",
+                        s.engine()
+                    );
+                }
+            }
+            for s in &mut sims {
+                s.step().unwrap();
+            }
+        }
+        for addr in 0..16 {
+            let expect = sims[0].read_mem("ram", addr);
+            for s in &sims {
+                assert_eq!(s.read_mem("ram", addr), expect, "engine {:?}", s.engine());
+            }
+        }
+    }
+
+    #[test]
+    fn all_engines_emit_identical_vcd_bytes() {
+        let d = mx_design();
+        let mut dumps: Vec<String> = Vec::new();
+        for &engine in &ALL_ENGINES {
+            let mut sim = Simulator::new(&d, "mx").expect("build");
+            sim.set_engine(engine);
+            let shared = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            struct W(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+            impl std::io::Write for W {
+                fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                    self.0.borrow_mut().extend_from_slice(b);
+                    Ok(b.len())
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    Ok(())
+                }
+            }
+            sim.start_vcd(Box::new(W(shared.clone()))).unwrap();
+            let mut state = 0x9E3779B97F4A7C15u64;
+            for _ in 0..100u64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let mut st = state;
+                for (port, width) in [("we", 1), ("waddr", 4), ("wdata", 16), ("raddr", 4)] {
+                    sim.set(port, (st >> 24) & mask(width));
+                    st = st.rotate_left(17);
+                }
+                sim.step().unwrap();
+            }
+            drop(sim);
+            dumps.push(String::from_utf8(shared.borrow().clone()).unwrap());
+        }
+        for (i, d) in dumps.iter().enumerate().skip(1) {
+            assert_eq!(d, &dumps[0], "VCD of {:?} differs", ALL_ENGINES[i]);
+        }
+    }
+
+    #[test]
+    fn event_and_batched_report_identical_telemetry() {
+        let d = mx_design();
+        let mut sims: Vec<Simulator> = ALL_ENGINES
+            .iter()
+            .map(|&e| {
+                let mut s = Simulator::new(&d, "mx").expect("build");
+                s.set_engine(e);
+                s.enable_telemetry(true);
+                s
+            })
+            .collect();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for _ in 0..200u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            for s in &mut sims {
+                let mut st = state;
+                for (port, width) in [("we", 1), ("waddr", 4), ("wdata", 16), ("raddr", 4)] {
+                    s.set(port, (st >> 24) & mask(width));
+                    st = st.rotate_left(17);
+                }
+                s.step().unwrap();
+            }
+        }
+        let base = sims[0].telemetry_report().expect("enabled");
+        let base_trace = sims[0].telemetry_trace();
+        for s in &sims[1..] {
+            let r = s.telemetry_report().expect("enabled");
+            assert_eq!(r, base, "telemetry of {:?} differs", s.engine());
+            assert_eq!(r.to_json(), base.to_json());
+            assert_eq!(s.telemetry_trace(), base_trace);
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_identically_in_every_engine() {
+        let d = counter();
+        for &engine in &ALL_ENGINES {
+            let mut sim = Simulator::new(&d, "counter").expect("build");
+            sim.set_engine(engine);
+            // en = 0: every cone is quiescent, yet skipped cycles still
+            // count against the budget.
+            sim.set("en", 0);
+            sim.set_cycle_budget(Some(10));
+            sim.run(10).unwrap();
+            let err = sim.step().unwrap_err();
+            assert_eq!(err.cycle, 10, "engine {engine:?}");
+            assert!(err.message.contains("cycle budget"), "{engine:?}: {err}");
+            sim.set_cycle_budget(Some(12));
+            sim.run(2).unwrap();
+            assert_eq!(sim.cycle(), 12, "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn assertion_fires_identically_in_every_engine() {
+        let mut m = VModule::new("guarded");
+        m.port("clk", Dir::Input, 1);
+        m.port("en", Dir::Input, 1);
+        m.port("addr", Dir::Input, 8);
+        m.main_always().stmts.push(Stmt::Assert {
+            guard: Expr::r("en"),
+            cond: Expr::bin(BinOp::ULt, Expr::r("addr"), Expr::c(16, 8)),
+            message: "address out of bounds".into(),
+        });
+        let mut d = Design::new();
+        d.add(m);
+        for &engine in &ALL_ENGINES {
+            let mut sim = Simulator::new(&d, "guarded").expect("build");
+            sim.set_engine(engine);
+            sim.set("en", 0);
+            sim.set("addr", 200);
+            sim.step().expect("guard off: no failure");
+            sim.set("en", 1);
+            let err = sim.step().unwrap_err();
+            assert!(err.message.contains("address out of bounds"), "{err}");
+            assert_eq!(err.cycle, 1, "engine {engine:?}");
+            // A failed step does not complete; retrying fails again.
+            let err2 = sim.step().unwrap_err();
+            assert_eq!(err2.cycle, 1, "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn external_pokes_wake_event_cones() {
+        let d = counter();
+        for engine in [Engine::Bytecode, Engine::Event] {
+            let mut sim = Simulator::new(&d, "counter").expect("build");
+            sim.set_engine(engine);
+            sim.set("en", 1);
+            sim.run(3).unwrap();
+            assert_eq!(sim.get("count"), 3, "engine {engine:?}");
+            // Poke the register net directly: the settle cone producing
+            // `count` must recompute, and the next step must increment
+            // from the poked value.
+            sim.set("value", 40);
+            assert_eq!(sim.get("count"), 40, "engine {engine:?}");
+            sim.step().unwrap();
+            assert_eq!(sim.get("count"), 41, "engine {engine:?}");
+            // Memoryless quiescence after freezing still works.
+            sim.set("en", 0);
+            sim.run(5).unwrap();
+            assert_eq!(sim.get("count"), 41, "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn write_mem_wakes_event_readers() {
+        let d = mx_design();
+        for engine in [Engine::Bytecode, Engine::Event, Engine::Batched] {
+            let mut sim = Simulator::new(&d, "mx").expect("build");
+            sim.set_engine(engine);
+            sim.set("we", 0);
+            sim.set("raddr", 5);
+            sim.run(2).unwrap();
+            assert_eq!(sim.get("rdata"), 0, "engine {engine:?}");
+            sim.write_mem("ram", 5, 0x1234);
+            sim.step().unwrap(); // rdata_r latches the poked word
+            assert_eq!(sim.get("rdata"), 0x1234, "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn batched_lanes_run_independent_stimuli() {
+        let d = counter();
+        let mut batched = Simulator::new(&d, "counter").expect("build");
+        batched.set_batch_lanes(4);
+        batched.set_engine(Engine::Batched);
+        assert_eq!(batched.lanes(), 4);
+        let mut scalars: Vec<Simulator> = (0..4)
+            .map(|_| Simulator::new(&d, "counter").expect("build"))
+            .collect();
+        for cyc in 0..200u64 {
+            for lane in 0..4usize {
+                // Divergent per-lane enables.
+                let en = u64::from(cyc % (lane as u64 + 2) != 0);
+                batched.set_lane("en", lane, en);
+                scalars[lane].set("en", en);
+            }
+            for lane in 0..4usize {
+                assert_eq!(
+                    batched.get_lane("count", lane),
+                    scalars[lane].get("count"),
+                    "lane {lane} cycle {cyc}"
+                );
+            }
+            // Lane 0 mirrors the scalar accessors exactly.
+            assert_eq!(batched.get("count"), batched.get_lane("count", 0));
+            batched.step().unwrap();
+            for s in &mut scalars {
+                s.step().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lanes_run_independent_memory_stimuli() {
+        let d = mx_design();
+        const L: usize = 3;
+        let mut batched = Simulator::new(&d, "mx").expect("build");
+        batched.set_batch_lanes(L);
+        batched.set_engine(Engine::Batched);
+        let mut scalars: Vec<Simulator> = (0..L)
+            .map(|_| Simulator::new(&d, "mx").expect("build"))
+            .collect();
+        let mut state = 0x0123456789ABCDEFu64;
+        for cyc in 0..300u64 {
+            for (lane, s) in scalars.iter_mut().enumerate() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let mut st = state;
+                for (port, width) in [("we", 1), ("waddr", 4), ("wdata", 16), ("raddr", 4)] {
+                    let v = (st >> 24) & mask(width);
+                    batched.set_lane(port, lane, v);
+                    s.set(port, v);
+                    st = st.rotate_left(17);
+                }
+            }
+            for out in ["rdata", "sum"] {
+                for (lane, s) in scalars.iter_mut().enumerate() {
+                    assert_eq!(
+                        batched.get_lane(out, lane),
+                        s.get(out),
+                        "{out} lane {lane} cycle {cyc}"
+                    );
+                }
+            }
+            batched.step().unwrap();
+            for s in &mut scalars {
+                s.step().unwrap();
+            }
+        }
+        for addr in 0..16u64 {
+            for (lane, s) in scalars.iter().enumerate() {
+                assert_eq!(
+                    batched.read_mem_lane("ram", lane, addr),
+                    s.read_mem("ram", addr),
+                    "ram[{addr}] lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_assertion_reports_lowest_failing_lane() {
+        let mut m = VModule::new("guarded");
+        m.port("clk", Dir::Input, 1);
+        m.port("en", Dir::Input, 1);
+        m.port("addr", Dir::Input, 8);
+        m.main_always().stmts.push(Stmt::Assert {
+            guard: Expr::r("en"),
+            cond: Expr::bin(BinOp::ULt, Expr::r("addr"), Expr::c(16, 8)),
+            message: "address out of bounds".into(),
+        });
+        let mut d = Design::new();
+        d.add(m);
+        let mut sim = Simulator::new(&d, "guarded").expect("build");
+        sim.set_batch_lanes(4);
+        sim.set_engine(Engine::Batched);
+        sim.set("en", 1);
+        for lane in 0..4usize {
+            sim.set_lane("addr", lane, if lane >= 2 { 200 } else { 3 });
+        }
+        let err = sim.step().unwrap_err();
+        assert!(err.message.contains("[lane 2]"), "{err}");
+        // Lane-0 failures keep the scalar message verbatim.
+        let mut sim0 = Simulator::new(&d, "guarded").expect("build");
+        sim0.set_batch_lanes(2);
+        sim0.set_engine(Engine::Batched);
+        sim0.set("en", 1);
+        sim0.set("addr", 77);
+        let err0 = sim0.step().unwrap_err();
+        assert_eq!(err0.message, "address out of bounds");
+    }
+
+    #[test]
+    fn engine_switch_mid_run_stays_consistent() {
+        let d = mx_design();
+        let mut a = Simulator::new(&d, "mx").expect("build");
+        let mut b = Simulator::new(&d, "mx").expect("build");
+        let mut state = 0xDEADBEEFCAFEF00Du64;
+        let mut drive = |s: &mut Simulator, st: u64| {
+            let mut st = st;
+            for (port, width) in [("we", 1), ("waddr", 4), ("wdata", 16), ("raddr", 4)] {
+                s.set(port, (st >> 24) & mask(width));
+                st = st.rotate_left(17);
+            }
+        };
+        for cyc in 0..240u64 {
+            // b hops engines every 40 cycles; a stays on bytecode.
+            if cyc % 40 == 0 {
+                let e = ALL_ENGINES[(cyc / 40) as usize % ALL_ENGINES.len()];
+                b.set_engine(e);
+            }
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            drive(&mut a, state);
+            drive(&mut b, state);
+            assert_eq!(a.get("sum"), b.get("sum"), "cycle {cyc}");
+            assert_eq!(a.get("rdata"), b.get("rdata"), "cycle {cyc}");
+            a.step().unwrap();
+            b.step().unwrap();
+        }
+        for addr in 0..16 {
+            assert_eq!(a.read_mem("ram", addr), b.read_mem("ram", addr));
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_exact_under_event_engine() {
+        // The golden-count scenario from telemetry_counts_on_counter_are_exact,
+        // replayed on the event engine: identical numbers while most cones
+        // are skipped.
+        let d = counter();
+        let mut sim = Simulator::new(&d, "counter").expect("build");
+        sim.set_engine(Engine::Event);
+        sim.set("en", 1);
+        sim.enable_telemetry(false);
+        sim.run(10).unwrap();
+        let r = sim.telemetry_report().expect("enabled");
+        let net = |r: &TelemetryReport, name: &str| {
+            r.nets.iter().find(|n| n.name == name).cloned().unwrap()
+        };
+        assert_eq!(net(&r, "value").toggle_cycles, 10);
+        assert_eq!(net(&r, "en").high_cycles, 10);
+        sim.set("en", 0);
+        sim.step().unwrap();
+        sim.run(9).unwrap();
+        let r2 = sim.telemetry_report().expect("enabled");
+        assert_eq!(r2.cycles, 20);
+        assert!(r2.settle_cones.iter().all(|c| c.quiescent_cycles == 10));
+        assert!(r2.step_cones.iter().all(|c| c.quiescent_cycles == 9));
     }
 
     #[test]

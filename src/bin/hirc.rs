@@ -50,9 +50,15 @@ options:
   --sim-max-cycles=N       cycle watchdog for simulation runs: the smoke run
                            under --stats/--profile (default 64) and the
                            harness run under --emit=sim (default 100000)
-  --sim-engine=ENGINE      simulator engine for the smoke run: bytecode
-                           (default; flat compiled tapes) or treewalk (the
-                           reference expression-tree evaluator)
+  --sim-engine=ENGINE      simulator engine: bytecode (default; flat
+                           compiled tapes), treewalk (the reference
+                           expression-tree evaluator), event (event-driven:
+                           only cones whose inputs changed re-execute), or
+                           batched (event-driven with N independent stimulus
+                           lanes evaluated bit-parallel; see --sim-batch)
+  --sim-batch=N            with --emit=sim, simulate N independent stimulus
+                           lanes (1..=64) in one batched run; implies
+                           --sim-engine=batched (default lanes: 8)
   --sim-telemetry[=PATH]   with --emit=sim, run with the simulator's
                            telemetry plane on: per-net toggle/activity
                            counters, per-cone quiescence, and per-unit
@@ -129,7 +135,10 @@ struct Options {
     crash_reproducer: Option<String>,
     error_limit: usize,
     sim_max_cycles: Option<u64>,
-    sim_engine: verilog::Engine,
+    /// `None` = unset: bytecode, or batched when `--sim-batch` is given.
+    sim_engine: Option<verilog::Engine>,
+    /// Stimulus lanes for the batched engine (implies `--sim-engine=batched`).
+    sim_batch: Option<usize>,
     sim_vcd: Option<String>,
     /// `Some(None)` = summary to stderr, `Some(Some(path))` = JSON to file.
     sim_telemetry: Option<Option<String>>,
@@ -155,6 +164,18 @@ struct Options {
     equiv_corpus_dir: Option<String>,
 }
 
+impl Options {
+    /// The engine the simulator should run: `--sim-engine` when given,
+    /// otherwise batched if `--sim-batch` was requested, otherwise bytecode.
+    fn resolved_sim_engine(&self) -> verilog::Engine {
+        self.sim_engine.unwrap_or(if self.sim_batch.is_some() {
+            verilog::Engine::Batched
+        } else {
+            verilog::Engine::default()
+        })
+    }
+}
+
 /// `Ok(None)` means `--help`: usage has been printed to stdout, exit 0.
 fn parse_args() -> Result<Option<Options>, String> {
     let mut opts = Options {
@@ -169,7 +190,8 @@ fn parse_args() -> Result<Option<Options>, String> {
         crash_reproducer: None,
         error_limit: 0, // 0 = parser default
         sim_max_cycles: None,
-        sim_engine: verilog::Engine::default(),
+        sim_engine: None,
+        sim_batch: None,
         sim_vcd: None,
         sim_telemetry: None,
         sim_trace: None,
@@ -308,15 +330,28 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             _ if a.starts_with("--sim-engine=") => {
                 let name = &a["--sim-engine=".len()..];
-                opts.sim_engine = match name {
+                opts.sim_engine = Some(match name {
                     "bytecode" => verilog::Engine::Bytecode,
                     "treewalk" => verilog::Engine::TreeWalk,
+                    "event" => verilog::Engine::Event,
+                    "batched" => verilog::Engine::Batched,
                     _ => {
                         return Err(format!(
-                            "unknown --sim-engine '{name}' (expected bytecode or treewalk)"
+                            "unknown --sim-engine '{name}' (expected bytecode, treewalk, \
+                             event, or batched)"
                         ))
                     }
-                };
+                });
+            }
+            _ if a.starts_with("--sim-batch=") => {
+                let n = &a["--sim-batch=".len()..];
+                let lanes = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--sim-batch needs a lane count, got '{n}'"))?;
+                if lanes == 0 || lanes > 64 {
+                    return Err(format!("--sim-batch accepts 1..=64 lanes, got {lanes}"));
+                }
+                opts.sim_batch = Some(lanes);
             }
             _ if a.starts_with("--profile=") => {
                 opts.profile = Some(a["--profile=".len()..].to_string());
@@ -407,6 +442,19 @@ fn parse_args() -> Result<Option<Options>, String> {
     }
     if opts.sim_trace.is_some() && opts.emit != "sim" {
         return Err("--sim-trace requires --emit=sim".into());
+    }
+    if opts.sim_batch.is_some() {
+        if opts.emit != "sim" {
+            return Err("--sim-batch requires --emit=sim".into());
+        }
+        if opts
+            .sim_engine
+            .is_some_and(|e| e != verilog::Engine::Batched)
+        {
+            return Err(
+                "--sim-batch requires --sim-engine=batched (or leave --sim-engine unset)".into(),
+            );
+        }
     }
     if opts.verify_equiv.is_some() && !(opts.optimize || opts.pipeline.is_some()) {
         return Err("--verify-equiv requires --opt or --pipeline (nothing to validate)".into());
@@ -781,7 +829,7 @@ fn main() -> ExitCode {
             s.arg("top", &top.name).arg("cycles", cycles);
             match verilog::sim::Simulator::new(design, &top.name) {
                 Ok(mut sim) => {
-                    sim.set_engine(opts.sim_engine);
+                    sim.set_engine(opts.resolved_sim_engine());
                     // The watchdog guards the run even if the step loop is
                     // ever replaced by an open-ended one.
                     sim.set_cycle_budget(Some(cycles));
@@ -1137,8 +1185,32 @@ fn run_sim(
             args.push(HarnessArg::Int(3 * (i as i128 + 1)));
         }
     }
-    let mut harness = Harness::new(&design, module, func, &args).map_err(|e| e.to_string())?;
-    harness.set_engine(opts.sim_engine);
+    let engine = opts.resolved_sim_engine();
+    let mut harness = if engine == verilog::Engine::Batched {
+        // Deterministic per-lane stimulus: lane 0 carries exactly the scalar
+        // stimulus above (so its results match a non-batched run bit for
+        // bit), later lanes offset every scalar and memory word by the lane
+        // index.
+        let lanes = opts.sim_batch.unwrap_or(8);
+        let lane_args: Vec<Vec<HarnessArg>> = (0..lanes)
+            .map(|lane| {
+                args.iter()
+                    .map(|a| match a {
+                        HarnessArg::Mem(d) => {
+                            HarnessArg::Mem(d.iter().map(|v| v + lane as i128).collect())
+                        }
+                        HarnessArg::Int(v) => HarnessArg::Int(v + lane as i128),
+                        other => other.clone(),
+                    })
+                    .collect()
+            })
+            .collect();
+        Harness::new_batched(&design, module, func, &lane_args).map_err(|e| e.to_string())?
+    } else {
+        let mut h = Harness::new(&design, module, func, &args).map_err(|e| e.to_string())?;
+        h.set_engine(engine);
+        h
+    };
     // Enable telemetry before any cycle runs so counters cover the whole run
     // and both engines report identical counts.
     let telemetry_on = opts.sim_telemetry.is_some() || opts.sim_trace.is_some();
@@ -1151,14 +1223,16 @@ fn run_sim(
             .map_err(|e| e.to_string())?;
     }
     let max = opts.sim_max_cycles.unwrap_or(DEFAULT_SIM_MAX_CYCLES);
-    let rep = {
+    let reps = {
         // The cycle-stamped span lands on the same Chrome-trace timeline as
         // the compiler passes, correlating sim activity with compile stages.
         let mut s = obs::span_in("sim", "harness run");
         s.arg("top", hir_codegen::module_name(&name))
-            .arg("max_cycles", max);
-        harness.run(max).map_err(|e| e.to_string())?
+            .arg("max_cycles", max)
+            .arg("lanes", harness.lanes() as u64);
+        harness.run_batched(max).map_err(|e| e.to_string())?
     };
+    let rep = &reps[0];
     obs::counter_add("sim", "cycles", rep.cycles);
     obs::set_stat("sim", "top", hir_codegen::module_name(&name));
     if telemetry_on {
@@ -1185,6 +1259,16 @@ fn run_sim(
     let mut summary = format!("sim @{name}: quiescent after cycle {}\n", rep.cycles);
     for (i, r) in rep.results.iter().enumerate() {
         summary.push_str(&format!("result{i} = {r}\n"));
+    }
+    // Further batched lanes, each a full independent stimulus set.
+    for (lane, lrep) in reps.iter().enumerate().skip(1) {
+        summary.push_str(&format!(
+            "lane {lane}: quiescent after cycle {}\n",
+            lrep.cycles
+        ));
+        for (i, r) in lrep.results.iter().enumerate() {
+            summary.push_str(&format!("lane {lane} result{i} = {r}\n"));
+        }
     }
     Ok((summary, report))
 }

@@ -711,3 +711,147 @@ fn emit_btor2_matches_golden_across_thread_counts() {
     assert_eq!(t1, run("4"), "BTOR2 must not depend on --threads");
     assert_eq!(t1, run("1"), "BTOR2 must be byte-identical across runs");
 }
+
+#[test]
+fn sim_engine_flag_accepts_all_engines_and_rejects_unknown_names() {
+    // Every engine produces the same run summary on the same input.
+    let run = |engine: &str| {
+        let out = hirc()
+            .arg(example("mac.mlir"))
+            .arg("--emit=sim")
+            .arg(format!("--sim-engine={engine}"))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--sim-engine={engine} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let base = run("bytecode");
+    assert!(base.contains("result0 ="), "{base}");
+    for engine in ["treewalk", "event"] {
+        assert_eq!(run(engine), base, "--sim-engine={engine} diverged");
+    }
+    // The batched engine's lane 0 reproduces the scalar run; later lanes
+    // append their own summaries.
+    let batched = run("batched");
+    assert!(batched.starts_with(&base), "{batched}");
+    assert!(batched.contains("lane 1:"), "{batched}");
+
+    // Unknown engine names are usage errors listing the accepted values.
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--emit=sim")
+        .arg("--sim-engine=verilator")
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown engine is a usage error"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    for accepted in ["bytecode", "treewalk", "event", "batched"] {
+        assert!(err.contains(accepted), "{err}");
+    }
+}
+
+#[test]
+fn sim_batch_flag_validation() {
+    // --sim-batch without --emit=sim is a usage error.
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--sim-batch=4")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--sim-batch requires --emit=sim"), "{err}");
+
+    // --sim-batch with a non-batched engine is a usage error.
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--emit=sim")
+        .arg("--sim-batch=4")
+        .arg("--sim-engine=event")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--sim-engine=batched"), "{err}");
+
+    // Lane counts outside 1..=64 are usage errors.
+    for bad in ["0", "65", "lots"] {
+        let out = hirc()
+            .arg(example("mac.mlir"))
+            .arg("--emit=sim")
+            .arg(format!("--sim-batch={bad}"))
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--sim-batch={bad} must be rejected"
+        );
+    }
+
+    // A valid lane count prints one summary block per lane.
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--emit=sim")
+        .arg("--sim-batch=3")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("lane 1:") && text.contains("lane 2:"),
+        "{text}"
+    );
+    assert!(!text.contains("lane 3:"), "{text}");
+}
+
+#[test]
+fn sim_engines_agree_on_vcd_and_telemetry_through_the_cli() {
+    let dir = std::env::temp_dir().join("hirc_test_engine_matrix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |engine: &str| {
+        let vcd = dir.join(format!("{engine}.vcd"));
+        let telem = dir.join(format!("{engine}.json"));
+        let out = hirc()
+            .arg(example("multi_kernel.mlir"))
+            .arg("--emit=sim")
+            .arg(format!("--sim-engine={engine}"))
+            .arg(format!("--sim-vcd={}", vcd.display()))
+            .arg(format!("--sim-telemetry={}", telem.display()))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--sim-engine={engine} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            std::fs::read(&vcd).expect("vcd written"),
+            std::fs::read_to_string(&telem).expect("telemetry written"),
+        )
+    };
+    let (base_out, base_vcd, base_telem) = run("bytecode");
+    for engine in ["event", "batched"] {
+        let (o, v, t) = run(engine);
+        // Batched appends per-lane blocks after the (identical) lane-0 lines.
+        assert!(
+            o.starts_with(&base_out),
+            "--sim-engine={engine}: summary diverged"
+        );
+        assert_eq!(v, base_vcd, "--sim-engine={engine}: VCD bytes diverged");
+        assert_eq!(t, base_telem, "--sim-engine={engine}: telemetry diverged");
+    }
+}
