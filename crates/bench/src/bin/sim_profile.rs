@@ -13,6 +13,12 @@
 //!   --out=PATH    write the JSON somewhere other than the default
 //!   --gate-event  exit 1 unless event-driven cycles/s >= bytecode cycles/s
 //!                 (the CI no-regression drift gate)
+//!   --gate-sched-off=PCT
+//!                 exit 1 if a stats-off event run re-measured *after* the
+//!                 sched-stats runs is more than PCT% slower than the
+//!                 recorded event row (the zero-cost-when-off gate: the
+//!                 compiled-in scheduler-stats plane must not tax the off
+//!                 path)
 
 use hir_codegen::testbench::{Harness, HarnessArg};
 use obs::json::escape;
@@ -36,11 +42,14 @@ fn main() {
     let mut lanes = 16usize;
     let mut out_file = OUT_FILE.to_string();
     let mut gate_event = false;
+    let mut gate_sched_off: Option<f64> = None;
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             reps = 1;
         } else if arg == "--gate-event" {
             gate_event = true;
+        } else if let Some(v) = arg.strip_prefix("--gate-sched-off=") {
+            gate_sched_off = Some(v.parse().expect("--gate-sched-off=PCT"));
         } else if let Some(v) = arg.strip_prefix("--n=") {
             n = v.parse().expect("--n=SIZE");
         } else if let Some(v) = arg.strip_prefix("--lanes=") {
@@ -50,7 +59,7 @@ fn main() {
             out_file = path.to_string();
         } else {
             eprintln!(
-                "unknown flag {arg} (expected --quick, --n=, --lanes=, --out=, --gate-event)"
+                "unknown flag {arg} (expected --quick, --n=, --lanes=, --out=, --gate-event, --gate-sched-off=)"
             );
             std::process::exit(2);
         }
@@ -80,40 +89,50 @@ fn main() {
         );
     };
 
-    let measure = |engine: verilog::Engine,
-                   label: &'static str,
-                   telemetry: bool|
-     -> (EngineRun, Option<verilog::TelemetryReport>) {
-        let mut best = u128::MAX;
-        let mut cycles = 0u64;
-        let mut telem = None;
-        for _ in 0..reps {
-            let mut h = Harness::new(&design, &m, func, &args).expect("harness");
-            h.set_engine(engine);
-            if telemetry {
-                h.enable_telemetry(false);
+    type Measured = (
+        EngineRun,
+        Option<verilog::TelemetryReport>,
+        Option<verilog::SchedStatsReport>,
+    );
+    let measure =
+        |engine: verilog::Engine, label: &'static str, telemetry: bool, sched: bool| -> Measured {
+            let mut best = u128::MAX;
+            let mut cycles = 0u64;
+            let mut telem = None;
+            let mut sched_rep = None;
+            for _ in 0..reps {
+                let mut h = Harness::new(&design, &m, func, &args).expect("harness");
+                h.set_engine(engine);
+                if telemetry {
+                    h.enable_telemetry(false);
+                }
+                if sched {
+                    h.enable_sched_stats();
+                }
+                let t0 = Instant::now();
+                let report = h.run(1_000_000).expect("run");
+                best = best.min(t0.elapsed().as_nanos());
+                cycles = report.cycles;
+                assert_eq!(report.mems[&2], expect, "{label}: wrong GEMM result");
+                if telemetry {
+                    telem = h.telemetry_report(None);
+                }
+                if sched {
+                    sched_rep = h.sched_stats_report();
+                }
             }
-            let t0 = Instant::now();
-            let report = h.run(1_000_000).expect("run");
-            best = best.min(t0.elapsed().as_nanos());
-            cycles = report.cycles;
-            assert_eq!(report.mems[&2], expect, "{label}: wrong GEMM result");
-            if telemetry {
-                telem = h.telemetry_report(None);
-            }
-        }
-        let rate = cycles as f64 / (best as f64 / 1e9);
-        let run = EngineRun {
-            label,
-            cycles,
-            best_ns: best,
-            cycles_per_s: rate,
-            lanes: 1,
-            lane_cycles_per_s: rate,
+            let rate = cycles as f64 / (best as f64 / 1e9);
+            let run = EngineRun {
+                label,
+                cycles,
+                best_ns: best,
+                cycles_per_s: rate,
+                lanes: 1,
+                lane_cycles_per_s: rate,
+            };
+            report_row(&run);
+            (run, telem, sched_rep)
         };
-        report_row(&run);
-        (run, telem)
-    };
 
     // One batched pass simulates `lanes` independent GEMMs: lane 0 carries
     // the baseline stimulus, later lanes offset matrix A per lane so every
@@ -169,9 +188,9 @@ fn main() {
         (na, st, nal, sp, nr)
     };
     println!("GEMM N={n} testbench, best of {reps}, {lanes} batched lanes");
-    let (bc, _) = measure(verilog::Engine::Bytecode, "bytecode", false);
-    let (tw, _) = measure(verilog::Engine::TreeWalk, "tree-walk", false);
-    let (ev, _) = measure(verilog::Engine::Event, "event", false);
+    let (bc, _, _) = measure(verilog::Engine::Bytecode, "bytecode", false, false);
+    let (tw, _, _) = measure(verilog::Engine::TreeWalk, "tree-walk", false, false);
+    let (ev, _, _) = measure(verilog::Engine::Event, "event", false, false);
     {
         // Scheduler activity: how much of the cone graph the event engine
         // actually runs per cycle (the skip ratio the speedup comes from).
@@ -201,8 +220,11 @@ fn main() {
         }
     }
     let bt = measure_batched();
-    let (bct, _) = measure(verilog::Engine::Bytecode, "bc+telem", true);
-    let (evt, telem) = measure(verilog::Engine::Event, "ev+telem", true);
+    let (bct, _, _) = measure(verilog::Engine::Bytecode, "bc+telem", true, false);
+    let (evt, telem, _) = measure(verilog::Engine::Event, "ev+telem", true, false);
+    // The scheduler's own statistics plane, measured like telemetry: the
+    // event engine with `--sched-stats` on, against the plain event row.
+    let (evs, _, sched) = measure(verilog::Engine::Event, "ev+sched", false, true);
     let speedup = bc.cycles_per_s / tw.cycles_per_s;
     let speedup_event = ev.cycles_per_s / bc.cycles_per_s;
     let speedup_batched = bt.lane_cycles_per_s / bc.cycles_per_s;
@@ -223,8 +245,33 @@ fn main() {
         .map(|(name, frac)| (name.to_string(), frac))
         .unwrap_or_default();
     println!("quiescence overall {overall:.3}, worst cone {worst_name} ({worst_frac:.3})");
+    // Scheduler-overhead baseline for the ROADMAP item 2 hunt: how much of
+    // the event engine's cycle goes to wake walks and commit compares, how
+    // many wakes were spurious, and what the stats plane itself costs.
+    let sched = sched.expect("sched stats report from instrumented run");
+    let overhead_sched_pct = 100.0 * (1.0 - evs.cycles_per_s / ev.cycles_per_s);
+    let share = sched.cycle_share();
+    println!(
+        "sched stats overhead {overhead_sched_pct:.1}% (event-driven); spurious wake rate {:.1}%",
+        sched.spurious_wake_rate() * 100.0
+    );
+    println!(
+        "sched cycle share: interpreter {:.1}% | wake walks {:.1}% | commit compares {:.1}%",
+        share[0].2 * 100.0,
+        share[1].2 * 100.0,
+        share[2].2 * 100.0
+    );
+    println!(
+        "reader walks: {} net wakes (mean len {} max {}), {} mem wakes (mean len {} max {})",
+        sched.net_wake_walk.count(),
+        sched.net_wake_walk.mean(),
+        sched.net_wake_walk.max(),
+        sched.mem_wake_walk.count(),
+        sched.mem_wake_walk.mean(),
+        sched.mem_wake_walk.max()
+    );
 
-    let engines: Vec<String> = [&bc, &tw, &ev, &bt, &bct, &evt]
+    let engines: Vec<String> = [&bc, &tw, &ev, &bt, &bct, &evt, &evs]
         .iter()
         .map(|r| {
             format!(
@@ -238,8 +285,19 @@ fn main() {
             )
         })
         .collect();
+    let sched_json = format!(
+        "{{\"overhead_on_pct\":{:.1},\"spurious_wake_rate\":{:.6},\"cycle_share\":{{\"interpreter\":{:.6},\"wake_walks\":{:.6},\"commit_compares\":{:.6}}},\"net_wake_walk\":{},\"mem_wake_walk\":{},\"dirty_cones\":{}}}",
+        overhead_sched_pct,
+        sched.spurious_wake_rate(),
+        share[0].2,
+        share[1].2,
+        share[2].2,
+        sched.net_wake_walk.to_json(),
+        sched.mem_wake_walk.to_json(),
+        sched.dirty_cones.to_json(),
+    );
     let doc = format!(
-        "{{\n  \"gemm_n\": {n},\n  \"reps\": {reps},\n  \"tape\": {{\"assigns\":{},\"settle_tape\":{},\"always\":{},\"step_tape\":{},\"regs\":{}}},\n  \"engines\": [\n{}\n  ],\n  \"speedup_bytecode_vs_treewalk\": {:.2},\n  \"speedup_event_vs_bytecode\": {:.2},\n  \"speedup_batched_lane_cycles_vs_bytecode\": {:.2},\n  \"telemetry\": {{\"overhead_pct\":{:.1},\"overhead_pct_bytecode\":{:.1},\"toggle_coverage\":{:.6}}},\n  \"quiescence\": {{\"overall\":{:.6},\"worst_cone\":\"{}\",\"worst_fraction\":{:.6}}}\n}}\n",
+        "{{\n  \"gemm_n\": {n},\n  \"reps\": {reps},\n  \"tape\": {{\"assigns\":{},\"settle_tape\":{},\"always\":{},\"step_tape\":{},\"regs\":{}}},\n  \"engines\": [\n{}\n  ],\n  \"speedup_bytecode_vs_treewalk\": {:.2},\n  \"speedup_event_vs_bytecode\": {:.2},\n  \"speedup_batched_lane_cycles_vs_bytecode\": {:.2},\n  \"telemetry\": {{\"overhead_pct\":{:.1},\"overhead_pct_bytecode\":{:.1},\"toggle_coverage\":{:.6}}},\n  \"quiescence\": {{\"overall\":{:.6},\"worst_cone\":\"{}\",\"worst_fraction\":{:.6}}},\n  \"sched\": {}\n}}\n",
         tape.0,
         tape.1,
         tape.2,
@@ -255,6 +313,7 @@ fn main() {
         overall,
         escape(&worst_name),
         worst_frac,
+        sched_json,
     );
     // Same rule as pass_profile: prove the document parses before writing.
     obs::json::parse(&doc).expect("generated JSON is valid");
@@ -267,5 +326,28 @@ fn main() {
             ev.cycles_per_s, bc.cycles_per_s
         );
         std::process::exit(1);
+    }
+    if let Some(pct) = gate_sched_off {
+        // Zero-cost-when-off check: re-measure the plain event row now that
+        // the stats plane has been exercised; it must sit within the noise
+        // band of the row recorded above, or the off path grew a tax. A
+        // real tax fails every attempt; scheduler/frequency noise does not,
+        // so the gate takes the best of a few tries before failing.
+        let mut slowdown_pct = f64::INFINITY;
+        for attempt in 1..=3 {
+            let (off, _, _) = measure(verilog::Engine::Event, "ev (off)", false, false);
+            slowdown_pct = slowdown_pct.min(100.0 * (1.0 - off.cycles_per_s / ev.cycles_per_s));
+            println!("sched-stats-off re-measurement #{attempt}: {slowdown_pct:+.1}% vs recorded event row (gate {pct}%)");
+            if slowdown_pct <= pct {
+                break;
+            }
+        }
+        if slowdown_pct > pct {
+            eprintln!(
+                "sim_profile: REGRESSION: stats-off event runs stayed {slowdown_pct:.1}% slower than the recorded event row ({:.0} cycles/s); --gate-sched-off={pct}",
+                ev.cycles_per_s
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -25,6 +25,10 @@ pub struct Blaster {
     and_cache: HashMap<(Lit, Lit), Lit>,
     xor_cache: HashMap<(Lit, Lit), Lit>,
     ite_cache: HashMap<(Lit, Lit, Lit), Lit>,
+    /// Structural-hash statistics: gate lookups served from a cache vs
+    /// gates that allocated a fresh variable and clauses.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
 }
 
 impl Default for Blaster {
@@ -44,6 +48,8 @@ impl Blaster {
             and_cache: HashMap::new(),
             xor_cache: HashMap::new(),
             ite_cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -91,8 +97,10 @@ impl Blaster {
         }
         let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
         if let Some(&x) = self.and_cache.get(&key) {
+            self.cache_hits += 1;
             return x;
         }
+        self.cache_misses += 1;
         let x = self.fresh();
         self.solver.add_clause(&[a.flip(), b.flip(), x]);
         self.solver.add_clause(&[a, x.flip()]);
@@ -140,8 +148,10 @@ impl Blaster {
         }
         let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
         let x = if let Some(&x) = self.xor_cache.get(&key) {
+            self.cache_hits += 1;
             x
         } else {
+            self.cache_misses += 1;
             let x = self.fresh();
             self.solver.add_clause(&[a.flip(), b.flip(), x.flip()]);
             self.solver.add_clause(&[a, b, x.flip()]);
@@ -184,8 +194,10 @@ impl Blaster {
             return self.xor(c, e);
         }
         if let Some(&x) = self.ite_cache.get(&(c, t, e)) {
+            self.cache_hits += 1;
             return x;
         }
+        self.cache_misses += 1;
         let x = self.fresh();
         self.solver.add_clause(&[c.flip(), t.flip(), x]);
         self.solver.add_clause(&[c.flip(), t, x.flip()]);

@@ -128,6 +128,90 @@ pub struct FuncReport {
     pub vars: u32,
     /// Wall-clock time spent, in milliseconds.
     pub time_ms: u64,
+    /// Solver, blaster, and per-phase statistics for this proof.
+    pub solver: SolverStats,
+}
+
+/// CNF size snapshot after unrolling (and solving) one cycle of the miter.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameStats {
+    /// Unroll cycle this frame corresponds to.
+    pub cycle: u32,
+    /// Problem + learnt clauses added while blasting this frame.
+    pub clauses_added: u64,
+    /// SAT variables allocated while blasting this frame.
+    pub vars_added: u64,
+}
+
+/// Solver/blaster counters and per-phase wall-clock times for one proof.
+/// Everything except the `*_ms` fields is deterministic for a fixed input.
+#[derive(Clone, Debug, Default)]
+pub struct SolverStats {
+    pub conflicts: u64,
+    pub decisions: u64,
+    pub propagations: u64,
+    pub restarts: u64,
+    /// Length distribution of learnt clauses.
+    pub learnt_len: obs::Histogram,
+    /// Decision-level distribution at each decision.
+    pub decision_depth: obs::Histogram,
+    /// Structural-hash gate cache hits/misses in the blaster.
+    pub blast_cache_hits: u64,
+    pub blast_cache_misses: u64,
+    /// Final clause-database size (problem + surviving learnts).
+    pub clauses: u64,
+    /// Final variable count.
+    pub vars: u64,
+    /// Per-unroll-frame CNF growth.
+    pub frames: Vec<FrameStats>,
+    /// Wall-clock per phase, in milliseconds.
+    pub lower_ms: u64,
+    pub blast_ms: u64,
+    pub solve_ms: u64,
+    pub replay_ms: u64,
+}
+
+impl SolverStats {
+    /// Strict single-line JSON object (no trailing newline); embeddable in
+    /// a larger report. `*_ms` fields are wall clock and vary run to run;
+    /// every other field is deterministic.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str(&format!(
+            "{{\"conflicts\":{},\"decisions\":{},\"propagations\":{},\"restarts\":{},\
+             \"clauses\":{},\"vars\":{}",
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.restarts,
+            self.clauses,
+            self.vars
+        ));
+        s.push_str(&format!(
+            ",\"blast_cache\":{{\"hits\":{},\"misses\":{}}}",
+            self.blast_cache_hits, self.blast_cache_misses
+        ));
+        s.push_str(&format!(",\"learnt_len\":{}", self.learnt_len.to_json()));
+        s.push_str(&format!(
+            ",\"decision_depth\":{}",
+            self.decision_depth.to_json()
+        ));
+        s.push_str(",\"frames\":[");
+        for (i, f) in self.frames.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"cycle\":{},\"clauses_added\":{},\"vars_added\":{}}}",
+                f.cycle, f.clauses_added, f.vars_added
+            ));
+        }
+        s.push_str(&format!(
+            "],\"phase_ms\":{{\"lower\":{},\"blast\":{},\"solve\":{},\"replay\":{}}}}}",
+            self.lower_ms, self.blast_ms, self.solve_ms, self.replay_ms
+        ));
+        s
+    }
 }
 
 /// Failure to even *pose* the equivalence question (distinct from a
@@ -441,11 +525,22 @@ pub fn check_func_equivalence(
         )));
     }
 
-    let design_a = build_design(unopt)?;
-    let design_b = build_design(opt)?;
-    let top = module_name(func_name);
-    let ts_a = lower(&design_a, &top).map_err(|e| EquivError::Lower(e.to_string()))?;
-    let ts_b = lower(&design_b, &top).map_err(|e| EquivError::Lower(e.to_string()))?;
+    let lower_started = Instant::now();
+    let (ts_a, ts_b) = {
+        let _sp = obs::span("equiv_lower");
+        let design_a = build_design(unopt)?;
+        let design_b = build_design(opt)?;
+        let top = module_name(func_name);
+        let ts_a = lower(&design_a, &top).map_err(|e| EquivError::Lower(e.to_string()))?;
+        let ts_b = lower(&design_b, &top).map_err(|e| EquivError::Lower(e.to_string()))?;
+        (ts_a, ts_b)
+    };
+    let mut phases = PhaseMs {
+        lower: lower_started.elapsed().as_millis() as u64,
+        blast: 0,
+        solve: 0,
+        replay: 0,
+    };
 
     let mut bl = Blaster::new();
     let start_conflicts = bl.solver.conflicts;
@@ -472,42 +567,83 @@ pub fn check_func_equivalence(
     let mut side_a = make_side(&bl, &ts_a, &env, &init_words);
     let mut side_b = make_side(&bl, &ts_b, &env, &init_words);
 
-    let report = |status: EquivStatus, bl: &Blaster| FuncReport {
-        func: func_name.to_string(),
-        k: opts.k_cycles,
-        status,
-        conflicts: bl.solver.conflicts - start_conflicts,
-        vars: bl.solver.num_vars(),
-        time_ms: started.elapsed().as_millis() as u64,
-    };
+    let report =
+        |status: EquivStatus, bl: &Blaster, phases: &PhaseMs, frames: &[FrameStats]| FuncReport {
+            func: func_name.to_string(),
+            k: opts.k_cycles,
+            status,
+            conflicts: bl.solver.conflicts - start_conflicts,
+            vars: bl.solver.num_vars(),
+            time_ms: started.elapsed().as_millis() as u64,
+            solver: SolverStats {
+                conflicts: bl.solver.conflicts - start_conflicts,
+                decisions: bl.solver.decisions,
+                propagations: bl.solver.propagations,
+                restarts: bl.solver.restarts,
+                learnt_len: bl.solver.learnt_len.clone(),
+                decision_depth: bl.solver.decision_depth.clone(),
+                blast_cache_hits: bl.cache_hits,
+                blast_cache_misses: bl.cache_misses,
+                clauses: bl.solver.num_clauses() as u64,
+                vars: u64::from(bl.solver.num_vars()),
+                frames: frames.to_vec(),
+                lower_ms: phases.lower,
+                blast_ms: phases.blast,
+                solve_ms: phases.solve,
+                replay_ms: phases.replay,
+            },
+        };
+
+    let mut frames: Vec<FrameStats> = Vec::new();
+    // CNF-size baseline per frame, re-snapshotted after each solve so the
+    // deltas attribute blasted clauses (not learnts) to each unroll cycle.
+    let mut last_clauses = bl.solver.num_clauses() as u64;
+    let mut last_vars = u64::from(bl.solver.num_vars());
 
     for cycle in 0..opts.k_cycles {
-        let fa = step_side(&mut bl, &mut side_a, &env, &scalars, cycle)?;
-        let fb = step_side(&mut bl, &mut side_b, &env, &scalars, cycle)?;
-        let obs = observe_diff(&mut bl, &env, &side_a, &fa, &side_b, &fb)?;
+        let blast_started = Instant::now();
+        let obs = {
+            let _sp = obs::span("equiv_blast");
+            let fa = step_side(&mut bl, &mut side_a, &env, &scalars, cycle)?;
+            let fb = step_side(&mut bl, &mut side_b, &env, &scalars, cycle)?;
+            observe_diff(&mut bl, &env, &side_a, &fa, &side_b, &fb)?
+        };
+        phases.blast += blast_started.elapsed().as_millis() as u64;
+        frames.push(FrameStats {
+            cycle,
+            clauses_added: bl.solver.num_clauses() as u64 - last_clauses,
+            vars_added: u64::from(bl.solver.num_vars()) - last_vars,
+        });
 
         let spent = bl.solver.conflicts - start_conflicts;
         let budget = Budget {
             max_conflicts: opts.conflict_budget.saturating_sub(spent).max(1),
             deadline,
         };
-        match bl.solver.solve(&[obs.diff], budget) {
+        let solve_started = Instant::now();
+        let res = {
+            let _sp = obs::span("equiv_solve");
+            bl.solver.solve(&[obs.diff], budget)
+        };
+        phases.solve += solve_started.elapsed().as_millis() as u64;
+        match res {
             SatResult::Unsat => {
                 // Proven no divergence at this cycle; pin it for the rest
                 // of the unrolling.
                 bl.solver.add_clause(&[obs.diff.flip()]);
+                last_clauses = bl.solver.num_clauses() as u64;
+                last_vars = u64::from(bl.solver.num_vars());
             }
             SatResult::Sat => {
                 let stimulus = extract_stimulus(&bl, &env, &scalars, &init_words);
-                return match replay(unopt, opt, func_name, &stimulus, opts)? {
-                    Some(detail) => Ok(report(
-                        EquivStatus::Counterexample(Counterexample {
-                            cycle,
-                            stimulus,
-                            detail,
-                        }),
-                        &bl,
-                    )),
+                let replay_started = Instant::now();
+                let _rsp = obs::span("equiv_replay");
+                let status = match replay(unopt, opt, func_name, &stimulus, opts)? {
+                    Some(detail) => EquivStatus::Counterexample(Counterexample {
+                        cycle,
+                        stimulus,
+                        detail,
+                    }),
                     None => {
                         // The model did not reproduce: the abstraction is
                         // off somewhere. Never report an unconfirmed
@@ -515,10 +651,12 @@ pub fn check_func_equivalence(
                         let reason = format!(
                             "candidate counterexample at cycle {cycle} did not reproduce in replay"
                         );
-                        let st = sampled_fallback(unopt, opt, func_name, opts, reason)?;
-                        Ok(report(st, &bl))
+                        sampled_fallback(unopt, opt, func_name, opts, reason)?
                     }
                 };
+                drop(_rsp);
+                phases.replay += replay_started.elapsed().as_millis() as u64;
+                return Ok(report(status, &bl, &phases, &frames));
             }
             SatResult::Unknown => {
                 let reason = format!(
@@ -526,12 +664,25 @@ pub fn check_func_equivalence(
                     opts.k_cycles,
                     bl.solver.conflicts - start_conflicts,
                 );
-                let st = sampled_fallback(unopt, opt, func_name, opts, reason)?;
-                return Ok(report(st, &bl));
+                let replay_started = Instant::now();
+                let st = {
+                    let _sp = obs::span("equiv_replay");
+                    sampled_fallback(unopt, opt, func_name, opts, reason)?
+                };
+                phases.replay += replay_started.elapsed().as_millis() as u64;
+                return Ok(report(st, &bl, &phases, &frames));
             }
         }
     }
-    Ok(report(EquivStatus::Proved, &bl))
+    Ok(report(EquivStatus::Proved, &bl, &phases, &frames))
+}
+
+/// Wall-clock accumulators per proof phase, in milliseconds.
+struct PhaseMs {
+    lower: u64,
+    blast: u64,
+    solve: u64,
+    replay: u64,
 }
 
 /// Check every non-external function the two modules share.

@@ -22,6 +22,7 @@ pub mod unroll;
 
 pub use equiv::{
     check_func_equivalence, check_module_equivalence, export_btor2, sampled_divergence,
-    Counterexample, EquivError, EquivOptions, EquivStatus, FuncReport, StimulusArg,
+    Counterexample, EquivError, EquivOptions, EquivStatus, FrameStats, FuncReport, SolverStats,
+    StimulusArg,
 };
 pub use sat::{Budget, Lit, SatResult, Solver};

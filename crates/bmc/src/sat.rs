@@ -143,6 +143,11 @@ pub struct Solver {
     pub conflicts: u64,
     pub decisions: u64,
     pub propagations: u64,
+    pub restarts: u64,
+    /// Length of every learnt clause (including unit learnts).
+    pub learnt_len: obs::Histogram,
+    /// Decision level at each decision (trail depth in levels).
+    pub decision_depth: obs::Histogram,
 }
 
 const NO_REASON: u32 = u32::MAX;
@@ -172,6 +177,9 @@ impl Solver {
             conflicts: 0,
             decisions: 0,
             propagations: 0,
+            restarts: 0,
+            learnt_len: obs::Histogram::new(),
+            decision_depth: obs::Histogram::new(),
         }
     }
 
@@ -191,6 +199,11 @@ impl Solver {
 
     pub fn num_vars(&self) -> u32 {
         self.num_vars
+    }
+
+    /// Total clauses in the database (problem + surviving learnts).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
     }
 
     fn value(&self, l: Lit) -> Assign {
@@ -547,6 +560,7 @@ impl Solver {
             return false;
         };
         self.decisions += 1;
+        self.decision_depth.record(self.trail_lim.len() as u64);
         self.trail_lim.push(self.trail.len() as u32);
         let l = if self.phase[v as usize] {
             Lit::pos(v)
@@ -611,6 +625,7 @@ impl Solver {
                         return SatResult::Unsat;
                     }
                     let (learnt, bt) = self.analyze(confl);
+                    self.learnt_len.record(learnt.len() as u64);
                     self.var_inc *= 1.0 / 0.95;
                     self.backtrack_to(bt.max(assumption_level));
                     if learnt.len() == 1 {
@@ -640,6 +655,7 @@ impl Solver {
                         }
                     }
                     if conflicts_this_round >= restart_limit {
+                        self.restarts += 1;
                         restart_round += 1;
                         conflicts_this_round = 0;
                         restart_limit = Self::luby(restart_round) * 256;

@@ -675,6 +675,20 @@ impl Harness {
     pub fn telemetry_trace(&self) -> Option<String> {
         self.sim.telemetry_trace()
     }
+
+    /// Turn on the simulator's scheduler-statistics plane (call before
+    /// [`run`]). A pure observer: results, VCD, and telemetry are unchanged.
+    ///
+    /// [`run`]: Self::run
+    pub fn enable_sched_stats(&mut self) {
+        self.sim.enable_sched_stats();
+    }
+
+    /// Snapshot the scheduler statistics (see
+    /// [`verilog::Simulator::sched_stats_report`]).
+    pub fn sched_stats_report(&self) -> Option<verilog::SchedStatsReport> {
+        self.sim.sched_stats_report()
+    }
 }
 
 enum Request {

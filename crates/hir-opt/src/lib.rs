@@ -649,6 +649,11 @@ mod tests {
             "pipeline must prove equivalent, got {:?}",
             reports[0].status
         );
+        // Every proof carries nonzero solver statistics.
+        let st = &reports[0].solver;
+        assert!(st.propagations > 0 && st.clauses > 0 && st.vars > 0);
+        assert_eq!(st.frames.len(), opts.k_cycles as usize);
+        assert!(st.blast_cache_misses > 0);
 
         // Now inject the miscompile and demand a confirmed counterexample.
         let m = build();

@@ -101,6 +101,9 @@ pub struct TelemetryRun {
     pub telemetry: verilog::TelemetryReport,
     /// Chrome-trace JSON of per-cone busy/quiescent periods, when requested.
     pub trace: Option<String>,
+    /// Scheduler statistics (dirty-set occupancy, wake walks, commit
+    /// compares), when requested.
+    pub sched: Option<verilog::SchedStatsReport>,
 }
 
 /// Like [`simulate_with_vcd`], but with the simulator's telemetry plane
@@ -108,7 +111,8 @@ pub struct TelemetryRun {
 /// activity counters, per-cone quiescence, and — joined through the
 /// function's static resource tally — dynamic utilization per scheduled
 /// unit. With `record_trace`, a Chrome-trace JSON of busy/quiescent periods
-/// per cone is also produced.
+/// per cone is also produced. With `sched_stats`, the simulator's
+/// scheduler-statistics plane is enabled too and its report returned.
 ///
 /// # Errors
 /// Same failure modes as [`simulate_with_vcd`].
@@ -119,6 +123,7 @@ pub fn simulate_with_telemetry(
     args: &[HarnessArg],
     max_cycles: u64,
     record_trace: bool,
+    sched_stats: bool,
 ) -> Result<TelemetryRun, ScheduleError> {
     let table = ir::SymbolTable::build(module);
     let op = table
@@ -136,6 +141,9 @@ pub fn simulate_with_telemetry(
     let mut h = hir_codegen::testbench::Harness::new(design, module, f, args)
         .map_err(|e| ScheduleError(e.to_string()))?;
     h.enable_telemetry(record_trace);
+    if sched_stats {
+        h.enable_sched_stats();
+    }
     let report = h
         .run(max_cycles)
         .map_err(|e| ScheduleError(e.to_string()))?;
@@ -143,10 +151,12 @@ pub fn simulate_with_telemetry(
         .telemetry_report(Some(&resources))
         .expect("telemetry was enabled");
     let trace = h.telemetry_trace();
+    let sched = h.sched_stats_report();
     Ok(TelemetryRun {
         report,
         telemetry,
         trace,
+        sched,
     })
 }
 
@@ -232,6 +242,7 @@ impl Compiled {
         args: &[HarnessArg],
         max_cycles: u64,
         record_trace: bool,
+        sched_stats: bool,
     ) -> Result<TelemetryRun, ScheduleError> {
         let func = self.top.strip_prefix("hir_").unwrap_or(&self.top);
         simulate_with_telemetry(
@@ -241,6 +252,7 @@ impl Compiled {
             args,
             max_cycles,
             record_trace,
+            sched_stats,
         )
     }
 }
@@ -508,11 +520,15 @@ mod tests {
                 ],
                 10_000,
                 true,
+                true,
             )
             .expect("telemetry sim");
         // Telemetry must not disturb the functional result.
         assert!(run.report.mems[&2].iter().all(|&v| v == 50));
         assert!(run.telemetry.cycles > 0);
+        let sched = run.sched.expect("sched stats were requested");
+        assert!(sched.cycles > 0);
+        obs::json::parse(&sched.to_json()).expect("strict sched-stats JSON");
         assert!(
             run.telemetry
                 .units

@@ -274,4 +274,14 @@ fn bmc_refutes_miscompiled_benchmark() {
         }
         other => panic!("miscompiled gemm must be refuted, got {other:?}"),
     }
+    // The proof attempt must export nonzero solver stats as strict JSON.
+    let st = &report.solver;
+    assert!(st.propagations > 0, "solver ran, propagations must be > 0");
+    assert!(st.blast_cache_misses > 0, "blasting allocated gates");
+    assert!(st.clauses > 0 && st.vars > 0);
+    assert!(!st.frames.is_empty(), "at least one frame was unrolled");
+    // Structural hashing lets a frame reuse the previous frame's gates
+    // wholesale (clauses_added == 0); at least one frame must build CNF.
+    assert!(st.frames.iter().any(|f| f.clauses_added > 0));
+    obs::json::parse(&st.to_json()).expect("strict solver-stats JSON");
 }

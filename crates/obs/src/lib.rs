@@ -23,10 +23,13 @@
 //! experiment (code-generation time vs. the HLS baseline) and every
 //! subsequent performance PR report against the numbers this crate emits.
 
+pub mod hist;
 pub mod json;
 pub mod remark;
 pub mod rex;
 pub mod trace;
+
+pub use hist::Histogram;
 
 pub use remark::{
     emit_remark, remarks_enabled, set_remarks_enabled, take_thread as take_thread_remarks, Remark,

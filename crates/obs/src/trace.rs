@@ -4,9 +4,27 @@
 //! array of complete (`"ph":"X"`) events plus `thread_name` metadata, one
 //! *thread* (track) per pipeline stage, so `chrome://tracing` and Perfetto
 //! render each stage as its own row with passes nested inside it by time.
+//! Counter tracks (`"ph":"C"`) can ride along via
+//! [`chrome_trace_with_counters`], rendering as stacked area charts.
 
 use crate::json::escape;
 use crate::SpanRecord;
+
+/// One sample on a Chrome counter track (`"ph":"C"`): the values of one or
+/// more named series at a point in time. Consecutive points on the same
+/// track draw as a step chart in the viewer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterPoint {
+    /// Counter track name (the `name` of the `"C"` event).
+    pub track: String,
+    /// Sample time in nanoseconds since the process epoch.
+    pub ts_ns: u64,
+    /// `(series, value)` pairs plotted together on this track.
+    pub series: Vec<(String, u64)>,
+    /// Explicit `(pid, tid)`; `None` places the counter on pid 1, tid 0
+    /// (counters are process-scoped in the viewer, the tid is cosmetic).
+    pub pid_tid: Option<(u32, u32)>,
+}
 
 /// Serialize spans as a Chrome trace-event JSON document.
 ///
@@ -14,11 +32,20 @@ use crate::SpanRecord;
 /// appearance. A track whose spans carry an explicit
 /// [`SpanRecord::pid_tid`] (see [`crate::SpanGuard::pid_tid`]) uses that id
 /// instead — the first pinned span seen wins for the whole track — which is
-/// how pass-pipeline worker threads each get their own named row. Every
-/// track gets a `thread_name` metadata record so viewers show stage/worker
-/// names instead of numeric tids. Timestamps are microseconds with
-/// nanosecond precision kept in the fraction.
+/// how pass-pipeline worker threads each get their own named row. Each
+/// distinct `(pid, tid)` gets exactly one `thread_name` metadata record (the
+/// first track claiming the id names it), so viewers show stage/worker
+/// names instead of numeric tids without duplicate metadata when several
+/// tracks share an id. Timestamps are microseconds with nanosecond
+/// precision kept in the fraction.
 pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    chrome_trace_with_counters(spans, &[])
+}
+
+/// [`chrome_trace`] plus counter (`"ph":"C"`) events appended after the
+/// span events, sorted by timestamp then input order. Series values are
+/// emitted in the order given on each [`CounterPoint`].
+pub fn chrome_trace_with_counters(spans: &[SpanRecord], counters: &[CounterPoint]) -> String {
     let mut tracks: Vec<&str> = Vec::new();
     for s in spans {
         if !tracks.iter().any(|t| *t == s.track) {
@@ -38,7 +65,14 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
     let id_of = |track: &str| ids[tracks.iter().position(|t| *t == track).unwrap()];
 
     let mut events: Vec<String> = Vec::new();
-    for (t, (pid, tid)) in tracks.iter().zip(&ids) {
+    // One thread_name record per (pid, tid): the first track claiming an id
+    // names it; later tracks resolving to the same id emit no duplicate.
+    let mut named: Vec<(u32, u32)> = Vec::new();
+    for (t, &(pid, tid)) in tracks.iter().zip(&ids) {
+        if named.contains(&(pid, tid)) {
+            continue;
+        }
+        named.push((pid, tid));
         events.push(format!(
             r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
             escape(t)
@@ -63,6 +97,25 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
             escape(&s.track),
             s.start_ns as f64 / 1e3,
             s.dur_ns as f64 / 1e3,
+            args
+        ));
+    }
+
+    let mut ordered_counters: Vec<&CounterPoint> = counters.iter().collect();
+    ordered_counters.sort_by_key(|c| c.ts_ns);
+    for c in ordered_counters {
+        let (pid, tid) = c.pid_tid.unwrap_or((1, 0));
+        let mut args = String::new();
+        for (k, v) in &c.series {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            args.push_str(&format!(r#""{}":{v}"#, escape(k)));
+        }
+        events.push(format!(
+            r#"{{"name":"{}","ph":"C","ts":{:.3},"pid":{pid},"tid":{tid},"args":{{{}}}}}"#,
+            escape(&c.track),
+            c.ts_ns as f64 / 1e3,
             args
         ));
     }
@@ -209,5 +262,61 @@ mod tests {
             })
             .unwrap();
         assert_eq!(meta.get("tid").unwrap().as_f64(), Some(1001.0));
+    }
+
+    #[test]
+    fn shared_pid_tid_emits_metadata_once() {
+        // Two distinct tracks pinned to the same (pid, tid): only the first
+        // names the thread; no duplicate thread_name records.
+        let mut a = record("worker 0", "@a pipeline", 0, 100);
+        a.pid_tid = Some((1, 7));
+        let mut b = record("worker 0 (retry)", "@b pipeline", 200, 100);
+        b.pid_tid = Some((1, 7));
+        let text = chrome_trace(&[a, b]);
+        let doc = json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 1, "one metadata record per (pid,tid)");
+        assert_eq!(
+            metas[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("worker 0")
+        );
+    }
+
+    #[test]
+    fn counter_events_parse_and_sort_by_time() {
+        let spans = vec![record("sim", "run", 0, 10_000)];
+        let counters = vec![
+            CounterPoint {
+                track: "sched/dirty".into(),
+                ts_ns: 4_000,
+                series: vec![("cones".into(), 3)],
+                pid_tid: None,
+            },
+            CounterPoint {
+                track: "sched/dirty".into(),
+                ts_ns: 1_000,
+                series: vec![("cones".into(), 5)],
+                pid_tid: None,
+            },
+        ];
+        let text = chrome_trace_with_counters(&spans, &counters);
+        let doc = json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let cs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .collect();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cs[1].get("ts").unwrap().as_f64(), Some(4.0));
+        assert_eq!(
+            cs[0].get("args").unwrap().get("cones").unwrap().as_f64(),
+            Some(5.0)
+        );
+        assert_eq!(cs[0].get("name").unwrap().as_str(), Some("sched/dirty"));
     }
 }

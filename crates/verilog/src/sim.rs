@@ -838,6 +838,11 @@ pub struct Simulator {
     /// counters). `None` (the default) keeps the hot loop unperturbed: the
     /// only cost is this Option check in `settle`/`step`.
     telemetry: Option<Box<Telemetry>>,
+    /// Opt-in scheduler-statistics plane (self-profiling of the *engine*:
+    /// dirty-set occupancy, commit-compare outcomes). Same zero-cost-when-
+    /// off discipline as `telemetry`; the event-engine share (wake walks,
+    /// run lengths) lives in `EventState::sched`.
+    sched: Option<Box<SchedStats>>,
     /// Per-assign chain start pcs in the (CSE'd) settle tape, in tape order.
     settle_chain_starts: Vec<u32>,
     /// Per-statement chain start pcs in the (CSE'd) step tape.
@@ -889,6 +894,7 @@ impl Simulator {
             dirty: true,
             vcd: None,
             telemetry: None,
+            sched: None,
             settle_chain_starts: Vec::new(),
             step_chain_starts: Vec::new(),
             ev: None,
@@ -1523,6 +1529,9 @@ impl Simulator {
                                 ev.settle_pending[w] &= ev.settle_pending[w] - 1;
                                 any = true;
                                 ev.stat_settle_runs += 1;
+                                if let Some(sc) = ev.sched.as_deref_mut() {
+                                    sc.settle_run_len.record(1);
+                                }
                                 ev.settle_ran[c] = true;
                                 ev.settle_stale[c] = true;
                                 // Unit c is settle chain c: one assign, one chain.
@@ -1634,6 +1643,9 @@ impl Simulator {
                         let (c0, c1) = pop_pending_run(&mut ev.settle_pending, w);
                         any = true;
                         ev.stat_settle_runs += (c1 - c0 + 1) as u64;
+                        if let Some(sc) = ev.sched.as_deref_mut() {
+                            sc.settle_run_len.record((c1 - c0 + 1) as u64);
+                        }
                         let s = ev.settle_chains[c0].0 as usize;
                         let e = ev.settle_chains[c1].1 as usize;
                         ev.stat_settle_insns += (e - s) as u64;
@@ -1665,6 +1677,13 @@ impl Simulator {
                 self.batch = Some(b);
             }
         }
+        if self.ev.is_none() {
+            // Full-tape engines: every settle re-evaluates every assign, so
+            // the sched-stats plane records one maximal "run".
+            if let Some(sc) = self.sched.as_deref_mut() {
+                sc.full_settles += 1;
+            }
+        }
         self.dirty = false;
     }
 
@@ -1687,6 +1706,10 @@ impl Simulator {
         }
         if self.dirty {
             self.settle();
+        }
+        if self.sched.is_some() {
+            // Sample the dirty set before dispatch consumes it.
+            self.sched_sample_step_entry();
         }
         // Reuse the pending-update buffers across steps: stepping allocates
         // nothing in either engine.
@@ -1774,6 +1797,7 @@ impl Simulator {
                     // merge never reorders an observable read after a write.
                     let mut rs = usize::MAX;
                     let mut re = 0usize;
+                    let mut run_chains = 0u64;
                     for w in 0..ev.step_dirty.len() {
                         while ev.step_dirty[w] != 0 {
                             let c = (w << 6) | ev.step_dirty[w].trailing_zeros() as usize;
@@ -1791,8 +1815,10 @@ impl Simulator {
                                 let (s, e) = (s as usize, e as usize);
                                 if rs == usize::MAX {
                                     (rs, re) = (s, e);
+                                    run_chains = 1;
                                 } else if s == re {
                                     re = e;
+                                    run_chains += 1;
                                 } else {
                                     run_tape(
                                         &self.step_tape,
@@ -1806,7 +1832,11 @@ impl Simulator {
                                         &mut mem_updates,
                                         &mut failure,
                                     );
+                                    if let Some(sc) = ev.sched.as_deref_mut() {
+                                        sc.step_run_len.record(run_chains);
+                                    }
                                     (rs, re) = (s, e);
+                                    run_chains = 1;
                                 }
                             }
                         }
@@ -1824,6 +1854,9 @@ impl Simulator {
                             &mut mem_updates,
                             &mut failure,
                         );
+                        if let Some(sc) = ev.sched.as_deref_mut() {
+                            sc.step_run_len.record(run_chains);
+                        }
                     }
                     self.ev = Some(ev);
                     // Telemetry-instrumented dispatch below is skipped.
@@ -1843,6 +1876,10 @@ impl Simulator {
                                 let chain = ev.step_members_flat[mi] as usize;
                                 let (s, e) = ev.step_chains[chain];
                                 ev.stat_step_insns += (e - s) as u64;
+                                if let Some(sc) = ev.sched.as_deref_mut() {
+                                    // Telemetry dispatch runs chains singly.
+                                    sc.step_run_len.record(1);
+                                }
                                 if let Some(t) = self.telemetry.as_deref_mut() {
                                     let (ex, ch) = run_step_chain_counting(
                                         &self.step_tape,
@@ -1963,6 +2000,7 @@ impl Simulator {
                 let mut rs = usize::MAX;
                 let mut re = 0usize;
                 let mut rmask = 0u64;
+                let mut run_chains = 0u64;
                 macro_rules! flush_lanes {
                     () => {
                         if rs != usize::MAX {
@@ -1984,6 +2022,9 @@ impl Simulator {
                                 &mut b.failures,
                                 &mut b.work,
                             );
+                            if let Some(sc) = ev.sched.as_deref_mut() {
+                                sc.step_run_len.record(run_chains);
+                            }
                         }
                     };
                 }
@@ -2005,11 +2046,14 @@ impl Simulator {
                             let (s, e) = (s as usize, e as usize);
                             if rs == usize::MAX {
                                 (rs, re, rmask) = (s, e, pend);
+                                run_chains = 1;
                             } else if s == re && pend == rmask {
                                 re = e;
+                                run_chains += 1;
                             } else {
                                 flush_lanes!();
                                 (rs, re, rmask) = (s, e, pend);
+                                run_chains = 1;
                             }
                         }
                     }
@@ -2059,12 +2103,17 @@ impl Simulator {
             // wake readers once per net with the combined mask — the
             // reader walk is the expensive part, and at 64 lanes it
             // would otherwise run per (net, lane) pair.
+            let mut net_compares = net_updates.len() as u64;
+            let mut mem_compares = mem_updates.len() as u64;
+            let mut net_changes = 0u64;
+            let mut mem_changes = 0u64;
             for &(net, v) in &net_updates {
                 let n = net as usize;
                 let nv = v & mask(self.net_width[n]);
                 if b.values[n * l] != nv {
                     b.values[n * l] = nv;
                     self.values[n] = nv;
+                    net_changes += 1;
                     if b.note_net_mask[n] == 0 {
                         b.note_nets.push(net);
                     }
@@ -2072,12 +2121,14 @@ impl Simulator {
                 }
             }
             for k in 1..l {
+                net_compares += b.pend_nets[k].len() as u64;
                 for i in 0..b.pend_nets[k].len() {
                     let (net, v) = b.pend_nets[k][i];
                     let n = net as usize;
                     let nv = v & mask(self.net_width[n]);
                     if b.values[n * l + k] != nv {
                         b.values[n * l + k] = nv;
+                        net_changes += 1;
                         if b.note_net_mask[n] == 0 {
                             b.note_nets.push(net);
                         }
@@ -2094,6 +2145,7 @@ impl Simulator {
                     if b.mems[m][slot] != nv {
                         b.mems[m][slot] = nv;
                         self.memories[m][addr as usize] = nv;
+                        mem_changes += 1;
                         if let Some(t) = self.telemetry.as_deref_mut() {
                             t.mems_written[m] = true;
                         }
@@ -2105,6 +2157,7 @@ impl Simulator {
                 }
             }
             for k in 1..l {
+                mem_compares += b.pend_mems[k].len() as u64;
                 for i in 0..b.pend_mems[k].len() {
                     let (mem, addr, v) = b.pend_mems[k][i];
                     let m = mem as usize;
@@ -2114,6 +2167,7 @@ impl Simulator {
                         let slot = addr as usize * l + k;
                         if b.mems[m][slot] != nv {
                             b.mems[m][slot] = nv;
+                            mem_changes += 1;
                             if b.note_mem_mask[m] == 0 {
                                 b.note_mems.push(mem);
                             }
@@ -2121,6 +2175,12 @@ impl Simulator {
                         }
                     }
                 }
+            }
+            if let Some(sc) = self.sched.as_deref_mut() {
+                sc.commit_net_compares += net_compares;
+                sc.commit_net_changes += net_changes;
+                sc.commit_mem_compares += mem_compares;
+                sc.commit_mem_changes += mem_changes;
             }
             for i in 0..b.note_nets.len() {
                 let n = b.note_nets[i] as usize;
@@ -2137,11 +2197,14 @@ impl Simulator {
             self.ev = Some(ev);
             self.batch = Some(b);
         } else {
+            let mut net_changes = 0u64;
+            let mut mem_changes = 0u64;
             for &(net, v) in &net_updates {
                 let net = net as usize;
                 let nv = v & mask(self.net_width[net]);
                 if self.values[net] != nv {
                     self.values[net] = nv;
+                    net_changes += 1;
                     if let Some(ev) = self.ev.as_deref_mut() {
                         ev.note_net_change(net, ALL_LANES);
                     }
@@ -2158,6 +2221,7 @@ impl Simulator {
                     // memory writes rewrite the same values.
                     if self.memories[mem][addr as usize] != nv {
                         self.memories[mem][addr as usize] = nv;
+                        mem_changes += 1;
                         if let Some(t) = self.telemetry.as_deref_mut() {
                             t.mems_written[mem] = true;
                         }
@@ -2167,6 +2231,12 @@ impl Simulator {
                     }
                 }
                 // Out-of-range writes are dropped; assertions catch them first.
+            }
+            if let Some(sc) = self.sched.as_deref_mut() {
+                sc.commit_net_compares += net_updates.len() as u64;
+                sc.commit_net_changes += net_changes;
+                sc.commit_mem_compares += mem_updates.len() as u64;
+                sc.commit_mem_changes += mem_changes;
             }
         }
         self.pending_nets = net_updates;
@@ -2824,6 +2894,45 @@ struct EventState {
     /// Tape instructions dispatched by those runs (chain lengths summed).
     stat_settle_insns: u64,
     stat_step_insns: u64,
+    /// Event-engine share of the sched-stats plane (`Some` iff the
+    /// simulator's plane is on): wake-walk and dispatch distributions,
+    /// recorded here because the wake methods run while the event state is
+    /// detached from the simulator.
+    sched: Option<Box<EvSchedStats>>,
+}
+
+/// Event-scheduler distributions for the sched-stats plane. Every field is
+/// a pure observation of work the scheduler already did — recording never
+/// changes which units run or what the tapes compute.
+struct EvSchedStats {
+    /// Reader-list entries walked per `note_net_change`/`note_net_poked`
+    /// wake (settle-reader + step-reader CSR rows; poked nets add their
+    /// writer rows as a separate sample).
+    net_wake_walk: obs::Histogram,
+    /// Reader-list entries walked per `note_mem_change`/`note_mem_poked`.
+    mem_wake_walk: obs::Histogram,
+    /// Units per coalesced settle dispatch (`pop_pending_run` run length).
+    settle_run_len: obs::Histogram,
+    /// Back-to-back chains merged per step-tape interpreter call.
+    step_run_len: obs::Histogram,
+    /// Wake deliveries per settle scheduler unit (may exceed activations:
+    /// several inputs of one unit can change in the same sweep).
+    settle_unit_wakes: Vec<u64>,
+    /// Wake deliveries per step cone.
+    step_cone_wakes: Vec<u64>,
+}
+
+impl EvSchedStats {
+    fn new(n_settle_units: usize, n_step_cones: usize) -> Box<EvSchedStats> {
+        Box::new(EvSchedStats {
+            net_wake_walk: obs::Histogram::new(),
+            mem_wake_walk: obs::Histogram::new(),
+            settle_run_len: obs::Histogram::new(),
+            step_run_len: obs::Histogram::new(),
+            settle_unit_wakes: vec![0; n_settle_units],
+            step_cone_wakes: vec![0; n_step_cones],
+        })
+    }
 }
 
 /// A bitset of `n` bits, all set (tail bits beyond `n` stay clear so a
@@ -2886,6 +2995,9 @@ fn settle_sweep(
             let (c0, c1) = pop_pending_run(&mut ev.settle_pending, w);
             any = true;
             ev.stat_settle_runs += (c1 - c0 + 1) as u64;
+            if let Some(sc) = ev.sched.as_deref_mut() {
+                sc.settle_run_len.record((c1 - c0 + 1) as u64);
+            }
             let s = ev.settle_chains[c0].0 as usize;
             let e = ev.settle_chains[c1].1 as usize;
             ev.stat_settle_insns += (e - s) as u64;
@@ -2998,6 +3110,10 @@ impl EventState {
             stat_step_runs: 0,
             stat_settle_insns: 0,
             stat_step_insns: 0,
+            sched: sim
+                .sched
+                .as_ref()
+                .map(|_| EvSchedStats::new(n_assigns, step_cones.len())),
         };
         let mut settle_readers = vec![Vec::new(); n_nets];
         let mut settle_mem_readers = vec![Vec::new(); n_mems];
@@ -3094,6 +3210,23 @@ impl EventState {
             let c = self.step_readers.flat[i];
             self.wake_step(c, lane_mask);
         }
+        if let Some(sc) = self.sched.as_deref_mut() {
+            let (s0, s1) = (
+                self.settle_readers.off[net] as usize,
+                self.settle_readers.off[net + 1] as usize,
+            );
+            let (t0, t1) = (
+                self.step_readers.off[net] as usize,
+                self.step_readers.off[net + 1] as usize,
+            );
+            sc.net_wake_walk.record((s1 - s0 + t1 - t0) as u64);
+            for i in s0..s1 {
+                sc.settle_unit_wakes[self.settle_readers.flat[i] as usize] += 1;
+            }
+            for i in t0..t1 {
+                sc.step_cone_wakes[self.step_readers.flat[i] as usize] += 1;
+            }
+        }
     }
 
     /// A net was driven externally (`set`/`set_id`): additionally wake its
@@ -3111,6 +3244,10 @@ impl EventState {
         for i in a..b {
             let c = self.step_writers.flat[i];
             self.wake_step(c, lane_mask);
+        }
+        if let Some(sc) = self.sched.as_deref_mut() {
+            let extra = u64::from(self.settle_writer[net] != u32::MAX) + (b - a) as u64;
+            sc.net_wake_walk.record(extra);
         }
     }
 
@@ -3132,6 +3269,23 @@ impl EventState {
             let c = self.step_mem_readers.flat[i];
             self.wake_step(c, lane_mask);
         }
+        if let Some(sc) = self.sched.as_deref_mut() {
+            let (s0, s1) = (
+                self.settle_mem_readers.off[mem] as usize,
+                self.settle_mem_readers.off[mem + 1] as usize,
+            );
+            let (t0, t1) = (
+                self.step_mem_readers.off[mem] as usize,
+                self.step_mem_readers.off[mem + 1] as usize,
+            );
+            sc.mem_wake_walk.record((s1 - s0 + t1 - t0) as u64);
+            for i in s0..s1 {
+                sc.settle_unit_wakes[self.settle_mem_readers.flat[i] as usize] += 1;
+            }
+            for i in t0..t1 {
+                sc.step_cone_wakes[self.step_mem_readers.flat[i] as usize] += 1;
+            }
+        }
     }
 
     /// A memory word was written externally (`write_mem`): wake readers
@@ -3145,6 +3299,9 @@ impl EventState {
         for i in a..b {
             let c = self.step_mem_writers.flat[i];
             self.wake_step(c, lane_mask);
+        }
+        if let Some(sc) = self.sched.as_deref_mut() {
+            sc.mem_wake_walk.record((b - a) as u64);
         }
     }
 
@@ -4255,6 +4412,257 @@ struct Telemetry {
     record_trace: bool,
 }
 
+/// Simulator-level share of the sched-stats plane: per-cycle dirty-set
+/// occupancy and commit-phase compare outcomes (both engine-independent
+/// observation points). The event-engine distributions live in
+/// [`EvSchedStats`] because the wake methods run on a detached
+/// `EventState`.
+struct SchedStats {
+    /// Steps observed since the plane was enabled.
+    cycles: u64,
+    /// Step-cone dirty-set occupancy, sampled once per step before
+    /// dispatch (full-tape engines sample the trivially-full count).
+    dirty_cones: obs::Histogram,
+    /// The same occupancy as a per-cycle series, for `--sim-trace` counter
+    /// tracks (4 bytes/cycle).
+    dirty_series: Vec<u32>,
+    /// Non-blocking commit outcomes: every pending update is compared
+    /// against the live state; only actual changes wake readers. A high
+    /// compare-to-change ratio is scheduling overhead (spurious wakes).
+    commit_net_compares: u64,
+    commit_net_changes: u64,
+    commit_mem_compares: u64,
+    commit_mem_changes: u64,
+    /// Full-tape settles observed (bytecode/tree-walk engines only).
+    full_settles: u64,
+    /// Step-cone count, cached for the trivially-full occupancy sample.
+    n_step_cones: usize,
+}
+
+/// Wake attribution for one telemetry cone in a [`SchedStatsReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchedConeWakes {
+    /// Cone name (same partition as [`ConeTelemetry`], so callers can join
+    /// wake counts with quiescence/utilization).
+    pub cone: String,
+    /// Assigns (settle) or always-statements (step) in the cone.
+    pub units: u64,
+    /// Wake deliveries to the cone's scheduler units (event engines) or
+    /// unconditional activations (full-tape engines).
+    pub wakes: u64,
+}
+
+/// Everything the scheduler-statistics plane measured. All counts are
+/// deterministic functions of the stimulus — serialization is
+/// byte-identical across runs and thread counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedStatsReport {
+    /// Engine the stats were collected under (`"bytecode"`, `"treewalk"`,
+    /// `"event"`, `"batched"`).
+    pub engine: String,
+    /// Steps observed since the plane was enabled.
+    pub cycles: u64,
+    /// Settle scheduler units (assigns) in the design.
+    pub settle_units: u64,
+    /// Step cones in the design.
+    pub step_cone_count: u64,
+    /// Settle unit executions (full-tape: units × settles).
+    pub settle_runs: u64,
+    /// Step cone activations (full-tape: cones × cycles).
+    pub step_runs: u64,
+    /// Tape instructions dispatched by settle runs.
+    pub settle_insns: u64,
+    /// Tape instructions dispatched by step runs.
+    pub step_insns: u64,
+    /// Per-cycle step-cone dirty-set occupancy.
+    pub dirty_cones: obs::Histogram,
+    /// Reader-list entries walked per net wake.
+    pub net_wake_walk: obs::Histogram,
+    /// Reader-list entries walked per memory wake.
+    pub mem_wake_walk: obs::Histogram,
+    /// Units per coalesced settle dispatch.
+    pub settle_run_len: obs::Histogram,
+    /// Back-to-back chains merged per step-tape interpreter call.
+    pub step_run_len: obs::Histogram,
+    pub commit_net_compares: u64,
+    pub commit_net_changes: u64,
+    pub commit_mem_compares: u64,
+    pub commit_mem_changes: u64,
+    /// Per-cone wake attribution, same partition as the telemetry report.
+    pub settle_cones: Vec<SchedConeWakes>,
+    pub step_cones: Vec<SchedConeWakes>,
+}
+
+impl SchedStatsReport {
+    /// Fraction of commit compares that did **not** change the committed
+    /// value: pure scheduling overhead (the wake that produced the update
+    /// was spurious). 0.0 when nothing was committed.
+    pub fn spurious_wake_rate(&self) -> f64 {
+        let compares = self.commit_net_compares + self.commit_mem_compares;
+        if compares == 0 {
+            return 0.0;
+        }
+        let changes = self.commit_net_changes + self.commit_mem_changes;
+        (compares - changes) as f64 / compares as f64
+    }
+
+    /// Deterministic cycle-share breakdown of where the engine's time goes,
+    /// in fixed per-event cost units: one unit ≈ one dispatched tape
+    /// instruction ≈ one reader-list entry walked ≈ one commit compare
+    /// (each ~2 ns on the ROADMAP reference machine — this is the model
+    /// behind the 16×-instruction-skip vs 5×-wall-clock gap). Returns
+    /// `(label, cost units, share)` rows; shares sum to 1. Computed purely
+    /// from event counts, never wall clock, so the breakdown is
+    /// byte-identical across runs.
+    pub fn cycle_share(&self) -> [(&'static str, u64, f64); 3] {
+        let interp = self.settle_insns + self.step_insns;
+        let walks = self.net_wake_walk.sum() + self.mem_wake_walk.sum();
+        let commits = self.commit_net_compares + self.commit_mem_compares;
+        let total = (interp + walks + commits).max(1);
+        let f = |x: u64| x as f64 / total as f64;
+        [
+            ("interpreter", interp, f(interp)),
+            ("wake_walks", walks, f(walks)),
+            ("commit_compares", commits, f(commits)),
+        ]
+    }
+
+    /// Strict single-line JSON (newline-terminated), parseable by
+    /// `obs::json` / `jsonv`. Byte-identical across runs and `--threads`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str(&format!(
+            "{{\"engine\":\"{}\",\"cycles\":{},\"settle_units\":{},\"step_cones\":{}",
+            json_escape(&self.engine),
+            self.cycles,
+            self.settle_units,
+            self.step_cone_count
+        ));
+        s.push_str(&format!(
+            ",\"interp\":{{\"settle_runs\":{},\"step_runs\":{},\"settle_insns\":{},\"step_insns\":{}}}",
+            self.settle_runs, self.step_runs, self.settle_insns, self.step_insns
+        ));
+        s.push_str(&format!(",\"dirty_cones\":{}", self.dirty_cones.to_json()));
+        s.push_str(&format!(
+            ",\"net_wake_walk\":{}",
+            self.net_wake_walk.to_json()
+        ));
+        s.push_str(&format!(
+            ",\"mem_wake_walk\":{}",
+            self.mem_wake_walk.to_json()
+        ));
+        s.push_str(&format!(
+            ",\"settle_run_len\":{}",
+            self.settle_run_len.to_json()
+        ));
+        s.push_str(&format!(
+            ",\"step_run_len\":{}",
+            self.step_run_len.to_json()
+        ));
+        s.push_str(&format!(
+            ",\"commit\":{{\"net_compares\":{},\"net_changes\":{},\"mem_compares\":{},\"mem_changes\":{},\"spurious_wake_rate\":{:.6}}}",
+            self.commit_net_compares,
+            self.commit_net_changes,
+            self.commit_mem_compares,
+            self.commit_mem_changes,
+            self.spurious_wake_rate()
+        ));
+        s.push_str(",\"cycle_share\":{");
+        for (i, (label, units, share)) in self.cycle_share().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{label}\":{{\"cost_units\":{units},\"share\":{share:.6}}}"
+            ));
+        }
+        s.push('}');
+        let cones = |s: &mut String, key: &str, list: &[SchedConeWakes]| {
+            s.push_str(&format!("\"{key}\":["));
+            for (i, c) in list.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"cone\":\"{}\",\"units\":{},\"wakes\":{}}}",
+                    json_escape(&c.cone),
+                    c.units,
+                    c.wakes
+                ));
+            }
+            s.push(']');
+        };
+        s.push_str(",\"wakes\":{");
+        cones(&mut s, "settle", &self.settle_cones);
+        s.push(',');
+        cones(&mut s, "step", &self.step_cones);
+        s.push_str("}}\n");
+        s
+    }
+
+    /// Human-readable multi-line summary for `--sched-stats` without a
+    /// file argument.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scheduler stats: engine={} cycles={}\n",
+            self.engine, self.cycles
+        ));
+        out.push_str(&format!(
+            "  settle: {} units, {} runs, {} insns (run-len mean {} max {})\n",
+            self.settle_units,
+            self.settle_runs,
+            self.settle_insns,
+            self.settle_run_len.mean(),
+            self.settle_run_len.max()
+        ));
+        out.push_str(&format!(
+            "  step:   {} cones, {} runs, {} insns (merged chains/call mean {} max {})\n",
+            self.step_cone_count,
+            self.step_runs,
+            self.step_insns,
+            self.step_run_len.mean(),
+            self.step_run_len.max()
+        ));
+        out.push_str(&format!(
+            "  dirty cones/cycle: mean {} max {} (of {})\n",
+            self.dirty_cones.mean(),
+            self.dirty_cones.max(),
+            self.step_cone_count
+        ));
+        out.push_str(&format!(
+            "  wake walks: {} net wakes ({} entries), {} mem wakes ({} entries)\n",
+            self.net_wake_walk.count(),
+            self.net_wake_walk.sum(),
+            self.mem_wake_walk.count(),
+            self.mem_wake_walk.sum()
+        ));
+        out.push_str(&format!(
+            "  commits: {} compares, {} changes (spurious wake rate {:.1}%)\n",
+            self.commit_net_compares + self.commit_mem_compares,
+            self.commit_net_changes + self.commit_mem_changes,
+            self.spurious_wake_rate() * 100.0
+        ));
+        let share = self.cycle_share();
+        out.push_str(&format!(
+            "  cycle share (2ns/event model): interpreter {:.1}% | wake walks {:.1}% | commit compares {:.1}%\n",
+            share[0].2 * 100.0,
+            share[1].2 * 100.0,
+            share[2].2 * 100.0
+        ));
+        let mut top: Vec<&SchedConeWakes> = self
+            .settle_cones
+            .iter()
+            .chain(self.step_cones.iter())
+            .collect();
+        top.sort_by(|a, b| b.wakes.cmp(&a.wakes).then(a.cone.cmp(&b.cone)));
+        for c in top.iter().take(4).filter(|c| c.wakes > 0) {
+            out.push_str(&format!("  wakes: {:>8}  {}\n", c.wakes, c.cone));
+        }
+        out
+    }
+}
+
 /// One static fanin cone: a connected group of settle assigns (or step
 /// statements) together with the external inputs whose stability implies
 /// the whole group would recompute to its previous result.
@@ -5101,7 +5509,187 @@ impl Simulator {
         };
         emit("settle", &t.settle_cones);
         emit("step", &t.step_cones);
-        Some(obs::trace::chrome_trace(&spans))
+        // When the sched-stats plane is also on, ride its per-cycle dirty-
+        // set occupancy along as a Chrome counter track ("ph":"C").
+        let counters: Vec<obs::trace::CounterPoint> = match self.sched.as_deref() {
+            Some(sc) => sc
+                .dirty_series
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| obs::trace::CounterPoint {
+                    track: "sched/dirty_cones".to_string(),
+                    ts_ns: i as u64 * 1000,
+                    series: vec![("dirty".to_string(), u64::from(v))],
+                    pid_tid: None,
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        Some(obs::trace::chrome_trace_with_counters(&spans, &counters))
+    }
+
+    /// Turn on the scheduler-statistics plane. Idempotent; settles first so
+    /// counting starts from a quiescent baseline (the initial full
+    /// evaluation is not attributed to any cycle).
+    ///
+    /// The plane is a pure observer of the *engine*: with it off, every hot
+    /// path pays exactly one `Option` check and the tapes are untouched;
+    /// with it on, simulation results, VCD output, and telemetry counters
+    /// are unchanged. Works under every engine — the full-tape engines
+    /// (bytecode, tree-walk) report a trivially-full dirty set and empty
+    /// wake-walk histograms, which is exactly what their schedule does.
+    pub fn enable_sched_stats(&mut self) {
+        if self.sched.is_some() {
+            return;
+        }
+        self.settle();
+        let n_step_cones = partition_step(&self.always, &self.net_names, &self.mem_names).len();
+        self.sched = Some(Box::new(SchedStats {
+            cycles: 0,
+            dirty_cones: obs::Histogram::new(),
+            dirty_series: Vec::new(),
+            commit_net_compares: 0,
+            commit_net_changes: 0,
+            commit_mem_compares: 0,
+            commit_mem_changes: 0,
+            full_settles: 0,
+            n_step_cones,
+        }));
+        if let Some(ev) = self.ev.as_deref_mut() {
+            ev.sched = Some(EvSchedStats::new(
+                ev.settle_chains.len(),
+                ev.step_members_off.len() - 1,
+            ));
+        }
+    }
+
+    /// Whether the scheduler-statistics plane is active.
+    pub fn sched_stats_enabled(&self) -> bool {
+        self.sched.is_some()
+    }
+
+    /// Per-step sample for the sched-stats plane: dirty-set occupancy
+    /// before dispatch consumes the bitset. Callers check `sched.is_some()`
+    /// first, keeping the off path at one branch.
+    fn sched_sample_step_entry(&mut self) {
+        let occ = match self.ev.as_deref() {
+            Some(ev) => ev
+                .step_dirty
+                .iter()
+                .map(|w| u64::from(w.count_ones()))
+                .sum::<u64>(),
+            // Full-tape engines re-execute every statement each cycle: the
+            // dirty set is trivially full.
+            None => self.sched.as_deref().map_or(0, |s| s.n_step_cones as u64),
+        };
+        let sc = self.sched.as_deref_mut().expect("sched checked by caller");
+        sc.cycles += 1;
+        sc.dirty_cones.record(occ);
+        sc.dirty_series.push(occ as u32);
+    }
+
+    /// Snapshot the scheduler statistics (`None` when the plane is off).
+    ///
+    /// Every field is derived from deterministic event counts — never wall
+    /// clock — so serializing the report is byte-identical across runs and
+    /// `--threads` values for the same stimulus.
+    pub fn sched_stats_report(&self) -> Option<SchedStatsReport> {
+        let sc = self.sched.as_deref()?;
+        let engine = match self.engine {
+            Engine::Bytecode => "bytecode",
+            Engine::TreeWalk => "treewalk",
+            Engine::Event => "event",
+            Engine::Batched => "batched",
+        };
+        let settle_cones = partition_settle(&self.assigns, &self.net_names);
+        let step_cones = partition_step(&self.always, &self.net_names, &self.mem_names);
+        let n_settle_units = self.assigns.len() as u64;
+        let n_step_cones = step_cones.len() as u64;
+        let mut rep = SchedStatsReport {
+            engine: engine.to_string(),
+            cycles: sc.cycles,
+            settle_units: n_settle_units,
+            step_cone_count: n_step_cones,
+            settle_runs: 0,
+            step_runs: 0,
+            settle_insns: 0,
+            step_insns: 0,
+            dirty_cones: sc.dirty_cones.clone(),
+            net_wake_walk: obs::Histogram::new(),
+            mem_wake_walk: obs::Histogram::new(),
+            settle_run_len: obs::Histogram::new(),
+            step_run_len: obs::Histogram::new(),
+            commit_net_compares: sc.commit_net_compares,
+            commit_net_changes: sc.commit_net_changes,
+            commit_mem_compares: sc.commit_mem_compares,
+            commit_mem_changes: sc.commit_mem_changes,
+            settle_cones: Vec::new(),
+            step_cones: Vec::new(),
+        };
+        if let Some(ev) = self.ev.as_deref() {
+            rep.settle_runs = ev.stat_settle_runs;
+            rep.step_runs = ev.stat_step_runs;
+            rep.settle_insns = ev.stat_settle_insns;
+            rep.step_insns = ev.stat_step_insns;
+            if let Some(es) = ev.sched.as_deref() {
+                rep.net_wake_walk = es.net_wake_walk.clone();
+                rep.mem_wake_walk = es.mem_wake_walk.clone();
+                rep.settle_run_len = es.settle_run_len.clone();
+                rep.step_run_len = es.step_run_len.clone();
+                // Attribute scheduler-unit wakes to the coarse telemetry
+                // cones so the report joins with `telemetry_report`.
+                let mut cone_wakes = vec![0u64; settle_cones.len()];
+                for (u, &w) in es.settle_unit_wakes.iter().enumerate() {
+                    cone_wakes[ev.settle_unit_cone[u] as usize] += w;
+                }
+                rep.settle_cones = settle_cones
+                    .iter()
+                    .zip(&cone_wakes)
+                    .map(|(c, &w)| SchedConeWakes {
+                        cone: c.name.clone(),
+                        units: u64::from(c.units),
+                        wakes: w,
+                    })
+                    .collect();
+                rep.step_cones = step_cones
+                    .iter()
+                    .zip(&es.step_cone_wakes)
+                    .map(|(c, &w)| SchedConeWakes {
+                        cone: c.name.clone(),
+                        units: u64::from(c.units),
+                        wakes: w,
+                    })
+                    .collect();
+            }
+        } else {
+            // Full-tape engines: synthesize the trivially-full schedule —
+            // every unit runs every settle, every cone every cycle, and no
+            // wake walks happen at all.
+            rep.settle_runs = sc.full_settles * n_settle_units;
+            rep.settle_insns = sc.full_settles * self.settle_tape.len() as u64;
+            rep.step_runs = sc.cycles * n_step_cones;
+            rep.step_insns = sc.cycles * self.step_tape.len() as u64;
+            rep.settle_run_len.record_n(n_settle_units, sc.full_settles);
+            rep.step_run_len
+                .record_n(self.step_chain_starts.len() as u64, sc.cycles);
+            rep.settle_cones = settle_cones
+                .iter()
+                .map(|c| SchedConeWakes {
+                    cone: c.name.clone(),
+                    units: u64::from(c.units),
+                    wakes: sc.full_settles,
+                })
+                .collect();
+            rep.step_cones = step_cones
+                .iter()
+                .map(|c| SchedConeWakes {
+                    cone: c.name.clone(),
+                    units: u64::from(c.units),
+                    wakes: sc.cycles,
+                })
+                .collect();
+        }
+        Some(rep)
     }
 
     /// Resolve a net name to its index, for allocation-free hot-loop access
@@ -5576,6 +6164,97 @@ mod tests {
         assert_eq!(plain.settle_tape, telem.settle_tape);
         assert_eq!(plain.step_tape, telem.step_tape);
         assert_eq!(plain.get("count"), telem.get("count"));
+    }
+
+    #[test]
+    fn sched_stats_is_a_pure_observer() {
+        let d = counter();
+        let mut plain = Simulator::new(&d, "counter").expect("build");
+        let mut stats = Simulator::new(&d, "counter").expect("build");
+        plain.set_engine(Engine::Event);
+        stats.set_engine(Engine::Event);
+        stats.enable_sched_stats();
+        for cyc in 0..50u64 {
+            let en = u64::from(cyc % 3 != 0);
+            plain.set("en", en);
+            stats.set("en", en);
+            assert_eq!(plain.get("count"), stats.get("count"), "cycle {cyc}");
+            plain.step().unwrap();
+            stats.step().unwrap();
+        }
+        assert_eq!(plain.get("count"), stats.get("count"));
+        assert_eq!(plain.settle_tape, stats.settle_tape);
+        assert_eq!(plain.step_tape, stats.step_tape);
+        let r = stats.sched_stats_report().expect("enabled");
+        assert_eq!(r.engine, "event");
+        assert_eq!(r.cycles, 50);
+        assert!(r.commit_net_compares > 0);
+        assert!(r.commit_net_changes <= r.commit_net_compares);
+        assert!(r.net_wake_walk.count() > 0, "wakes were walked");
+        let rate = r.spurious_wake_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        let shares: f64 = r.cycle_share().iter().map(|s| s.2).sum();
+        assert!((shares - 1.0).abs() < 1e-9);
+        obs::json::parse(&r.to_json()).expect("strict JSON");
+    }
+
+    #[test]
+    fn sched_stats_full_tape_reports_trivially_full_dirty_set() {
+        let d = counter();
+        let mut sim = Simulator::new(&d, "counter").expect("build");
+        sim.enable_sched_stats();
+        sim.set("en", 1);
+        sim.run(10).unwrap();
+        let r = sim.sched_stats_report().expect("enabled");
+        assert_eq!(r.engine, "bytecode");
+        assert_eq!(r.cycles, 10);
+        // Full-tape schedule: every cone dirty every cycle, no wake walks.
+        assert_eq!(r.dirty_cones.min(), r.step_cone_count);
+        assert_eq!(r.dirty_cones.max(), r.step_cone_count);
+        assert_eq!(r.dirty_cones.count(), 10);
+        assert_eq!(r.net_wake_walk.count(), 0);
+        assert_eq!(r.mem_wake_walk.count(), 0);
+        assert_eq!(r.step_runs, 10 * r.step_cone_count);
+        assert!(r.step_cones.iter().all(|c| c.wakes == 10));
+        obs::json::parse(&r.to_json()).expect("strict JSON");
+    }
+
+    #[test]
+    fn sched_stats_json_is_deterministic_across_runs() {
+        let run = |engine: Engine| {
+            let d = mx_design();
+            let mut sim = Simulator::new(&d, "mx").expect("build");
+            sim.set_engine(engine);
+            sim.enable_sched_stats();
+            for cyc in 0..32u64 {
+                sim.set("we", cyc % 2);
+                sim.set("waddr", cyc % 16);
+                sim.set("wdata", cyc * 3 & 0xffff);
+                sim.set("raddr", (cyc + 1) % 16);
+                sim.step().unwrap();
+            }
+            sim.sched_stats_report().expect("enabled").to_json()
+        };
+        for engine in [Engine::Bytecode, Engine::Event, Engine::Batched] {
+            assert_eq!(run(engine), run(engine), "{engine:?}");
+        }
+        // The event engine's commit plane compares exactly what the
+        // full-tape engine commits (same pending updates), so the
+        // spurious-wake accounting is engine-comparable.
+        let parse = |j: String| obs::json::parse(&j).expect("strict JSON");
+        let (b, e) = (parse(run(Engine::Bytecode)), parse(run(Engine::Event)));
+        assert_eq!(
+            b.get("commit")
+                .unwrap()
+                .get("net_changes")
+                .unwrap()
+                .as_f64(),
+            e.get("commit")
+                .unwrap()
+                .get("net_changes")
+                .unwrap()
+                .as_f64()
+        );
     }
 
     #[test]

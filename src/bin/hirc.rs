@@ -66,7 +66,19 @@ options:
                            strict JSON to PATH
   --sim-trace=PATH         with --emit=sim, write a Chrome trace-event JSON
                            of per-cone busy/quiescent periods to PATH
-                           (open in a trace viewer; 1 µs = 1 cycle)
+                           (open in a trace viewer; 1 µs = 1 cycle). With
+                           --sched-stats also on, a per-cycle dirty-cone
+                           counter track rides along
+  --sched-stats[=FILE]     with --emit=sim, run with the simulator's
+                           scheduler-statistics plane on: per-cycle dirty-set
+                           occupancy, reader-list walk lengths, coalesced run
+                           lengths, commit-compare outcomes (spurious-wake
+                           rate), per-unit wake attribution, and a cycle-share
+                           breakdown (interpreter vs wake walks vs commit
+                           compares). Human summary on stderr, or strict JSON
+                           to FILE. A pure observer: results, VCD, and
+                           telemetry are unchanged, and the JSON is
+                           byte-identical across runs and --threads values
   --verify-equiv[=K]       translation validation: bounded-model-check that
                            the optimized module is observably equivalent to
                            the pre-optimization module for K cycles
@@ -77,7 +89,10 @@ options:
                            sampled differential (remark on stderr), never a
                            silent pass. Requires --opt or --pipeline.
   --verify-equiv-report=F  write a strict-JSON proof report (per-function
-                           status, conflicts, time) to F
+                           status, conflicts, time, and solver statistics:
+                           restarts, learnt-clause/decision-depth histograms,
+                           blast-cache hit rate, per-frame CNF sizes,
+                           per-phase timing) to F
   --equiv-conflicts=N      SAT conflict budget per function (default 500000)
   --equiv-time-ms=N        wall-clock budget per function in ms (default
                            60000; 0 disables the clock for deterministic
@@ -143,6 +158,8 @@ struct Options {
     /// `Some(None)` = summary to stderr, `Some(Some(path))` = JSON to file.
     sim_telemetry: Option<Option<String>>,
     sim_trace: Option<String>,
+    /// `Some(None)` = summary to stderr, `Some(Some(path))` = JSON to file.
+    sched_stats: Option<Option<String>>,
     remarks: Option<String>,
     rpass: Option<obs::rex::Regex>,
     /// `Some(None)` = report to stderr, `Some(Some(path))` = JSON to file.
@@ -195,6 +212,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         sim_vcd: None,
         sim_telemetry: None,
         sim_trace: None,
+        sched_stats: None,
         remarks: None,
         rpass: None,
         schedule_report: None,
@@ -223,6 +241,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--stats" => opts.stats = true,
             "--schedule-report" => opts.schedule_report = Some(None),
             "--sim-telemetry" => opts.sim_telemetry = Some(None),
+            "--sched-stats" => opts.sched_stats = Some(None),
             "--resource-report" => opts.resource_report = Some(None),
             "--print-ir-before-all" => opts.print_ir_before_all = true,
             "--print-ir-after-all" => opts.print_ir_after_all = true,
@@ -410,6 +429,13 @@ fn parse_args() -> Result<Option<Options>, String> {
                 }
                 opts.sim_trace = Some(path.to_string());
             }
+            _ if a.starts_with("--sched-stats=") => {
+                let path = &a["--sched-stats=".len()..];
+                if path.is_empty() {
+                    return Err("--sched-stats= needs a path (or use bare --sched-stats)".into());
+                }
+                opts.sched_stats = Some(Some(path.to_string()));
+            }
             _ if a.starts_with("--sim-vcd=") => {
                 let path = &a["--sim-vcd=".len()..];
                 if path.is_empty() {
@@ -434,27 +460,28 @@ fn parse_args() -> Result<Option<Options>, String> {
     if opts.input.is_empty() {
         return Err("no input file (try --help)".into());
     }
-    if opts.sim_vcd.is_some() && opts.emit != "sim" {
-        return Err("--sim-vcd requires --emit=sim".into());
-    }
-    if opts.sim_telemetry.is_some() && opts.emit != "sim" {
-        return Err("--sim-telemetry requires --emit=sim".into());
-    }
-    if opts.sim_trace.is_some() && opts.emit != "sim" {
-        return Err("--sim-trace requires --emit=sim".into());
-    }
-    if opts.sim_batch.is_some() {
-        if opts.emit != "sim" {
-            return Err("--sim-batch requires --emit=sim".into());
+    // Every flag that only makes sense for a simulation run is validated
+    // through one helper so the exit-2 usage errors stay uniform.
+    let sim_only: [(&str, bool); 5] = [
+        ("--sim-vcd", opts.sim_vcd.is_some()),
+        ("--sim-telemetry", opts.sim_telemetry.is_some()),
+        ("--sim-trace", opts.sim_trace.is_some()),
+        ("--sched-stats", opts.sched_stats.is_some()),
+        ("--sim-batch", opts.sim_batch.is_some()),
+    ];
+    for (flag, given) in sim_only {
+        if given && opts.emit != "sim" {
+            return Err(format!("{flag} requires --emit=sim"));
         }
-        if opts
+    }
+    if opts.sim_batch.is_some()
+        && opts
             .sim_engine
             .is_some_and(|e| e != verilog::Engine::Batched)
-        {
-            return Err(
-                "--sim-batch requires --sim-engine=batched (or leave --sim-engine unset)".into(),
-            );
-        }
+    {
+        return Err(
+            "--sim-batch requires --sim-engine=batched (or leave --sim-engine unset)".into(),
+        );
     }
     if opts.verify_equiv.is_some() && !(opts.optimize || opts.pipeline.is_some()) {
         return Err("--verify-equiv requires --opt or --pipeline (nothing to validate)".into());
@@ -1034,7 +1061,7 @@ fn equiv_report_json(k: u32, reports: &[bmc::FuncReport]) -> String {
         }
         funcs.push(format!(
             "{{\"func\":\"{}\",\"status\":\"{}\",\"k\":{},\"conflicts\":{},\
-             \"vars\":{},\"time_ms\":{},\"detail\":\"{}\"}}",
+             \"vars\":{},\"time_ms\":{},\"detail\":\"{}\",\"solver\":{}}}",
             obs::json::escape(&r.func),
             r.status.label(),
             r.k,
@@ -1042,6 +1069,7 @@ fn equiv_report_json(k: u32, reports: &[bmc::FuncReport]) -> String {
             r.vars,
             r.time_ms,
             obs::json::escape(&detail),
+            r.solver.to_json(),
         ));
     }
     format!(
@@ -1217,6 +1245,11 @@ fn run_sim(
     if telemetry_on {
         harness.enable_telemetry(opts.sim_trace.is_some());
     }
+    // Scheduler stats are a pure observer: enabled before any cycle runs so
+    // histograms cover the whole run; results/VCD/telemetry are unchanged.
+    if opts.sched_stats.is_some() {
+        harness.enable_sched_stats();
+    }
     if let Some(path) = &opts.sim_vcd {
         harness
             .dump_vcd(std::path::Path::new(path))
@@ -1254,6 +1287,22 @@ fn run_sim(
                 .ok_or("internal: trace requested but not recorded")?;
             std::fs::write(path, trace)
                 .map_err(|e| format!("cannot write sim trace '{path}': {e}"))?;
+        }
+    }
+    if opts.sched_stats.is_some() {
+        let s = harness
+            .sched_stats_report()
+            .ok_or("internal: sched stats enabled but no report produced")?;
+        obs::counter_add(
+            "sim",
+            "sched_commit_compares",
+            s.commit_net_compares + s.commit_mem_compares,
+        );
+        match &opts.sched_stats {
+            Some(Some(path)) => std::fs::write(path, s.to_json())
+                .map_err(|e| format!("cannot write sched stats '{path}': {e}"))?,
+            Some(None) => eprint!("{}", s.summary()),
+            None => {}
         }
     }
     let mut summary = format!("sim @{name}: quiescent after cycle {}\n", rep.cycles);

@@ -457,7 +457,7 @@ fn engines_report_identical_telemetry_on_figure_fixtures() {
         for stub in hir_codegen::extern_stubs(&m).expect("stubs") {
             design.add(stub);
         }
-        let mut run = |engine: verilog::Engine| {
+        let run = |engine: verilog::Engine| {
             let func = kernels::find_func(&m, name);
             let mut h = Harness::new(&design, &m, func, &args).expect("harness");
             h.set_engine(engine);
@@ -548,6 +548,180 @@ fn sim_telemetry_flags_require_sim_emit() {
     assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--sim-trace requires --emit=sim"), "{err}");
+}
+
+/// Flag validation: scheduler statistics ride the simulator, so both forms
+/// of `--sched-stats` are usage errors (exit 2) without `--emit=sim`.
+#[test]
+fn sched_stats_requires_sim_emit() {
+    for flag in ["--sched-stats", "--sched-stats=/tmp/never.json"] {
+        let out = hirc()
+            .arg(example("mac.mlir"))
+            .arg(flag)
+            .output()
+            .expect("run hirc");
+        assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--sched-stats requires --emit=sim"), "{err}");
+    }
+}
+
+/// Golden scheduler statistics for the mac example: the report is derived
+/// purely from deterministic event counts, so for each engine two runs must
+/// be byte-identical; the bytecode engine must report the trivially-full
+/// dirty set (every cone runs every cycle, no wake walks); and the event
+/// engine's dirty set must be bounded by it.
+#[test]
+fn mac_example_emits_golden_sched_stats() {
+    let dir = tmp("sched_stats");
+    let run = |engine: &str, threads: u32, path: &PathBuf| {
+        let out = hirc()
+            .arg(example("mac.mlir"))
+            .arg("--emit=sim")
+            .arg(format!("--sim-engine={engine}"))
+            .arg(format!("--threads={threads}"))
+            .arg(format!("--sched-stats={}", path.display()))
+            .output()
+            .expect("run hirc");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let mut docs = Vec::new();
+    for engine in ["bytecode", "event"] {
+        let (p1, p2, p4) = (
+            dir.join(format!("{engine}_1.json")),
+            dir.join(format!("{engine}_2.json")),
+            dir.join(format!("{engine}_t4.json")),
+        );
+        run(engine, 1, &p1);
+        run(engine, 1, &p2);
+        run(engine, 4, &p4);
+        let text = std::fs::read_to_string(&p1).unwrap();
+        assert_eq!(
+            text,
+            std::fs::read_to_string(&p2).unwrap(),
+            "{engine}: sched stats must be byte-identical across runs"
+        );
+        assert_eq!(
+            text,
+            std::fs::read_to_string(&p4).unwrap(),
+            "{engine}: sched stats must not depend on --threads"
+        );
+        let doc = obs::json::parse(&text).expect("strict sched-stats JSON");
+        assert_eq!(
+            doc.get("engine").and_then(|v| v.as_str()),
+            Some(engine),
+            "{text}"
+        );
+        // Same deterministic run the telemetry test pins: 11 cycles.
+        assert_eq!(doc.get("cycles").and_then(|v| v.as_f64()), Some(11.0));
+        let num = |path: &[&str]| {
+            let mut v = &doc;
+            for key in path {
+                v = v.get(key).unwrap_or_else(|| panic!("{}: {text}", key));
+            }
+            v.as_f64()
+                .unwrap_or_else(|| panic!("{}: {text}", path.join(".")))
+        };
+        // The 2ns/event cost model must account for all engine work.
+        let share = num(&["cycle_share", "interpreter", "share"])
+            + num(&["cycle_share", "wake_walks", "share"])
+            + num(&["cycle_share", "commit_compares", "share"]);
+        assert!((share - 1.0).abs() < 1e-4, "shares must sum to 1: {text}");
+        // Wake attribution covers both planes of the design.
+        for plane in ["settle", "step"] {
+            let cones = doc
+                .get("wakes")
+                .and_then(|w| w.get(plane))
+                .and_then(|v| v.as_array())
+                .unwrap_or_else(|| panic!("wakes.{plane}: {text}"));
+            assert!(!cones.is_empty(), "wakes.{plane} empty: {text}");
+        }
+        docs.push((engine, doc, text));
+    }
+    let (_, bc, bc_text) = &docs[0];
+    let (_, ev, ev_text) = &docs[1];
+    let hist = |doc: &obs::json::Value, text: &str, field: &str| {
+        let h = doc.get("dirty_cones").unwrap_or_else(|| panic!("{text}"));
+        h.get(field)
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("dirty_cones.{field}: {text}"))
+    };
+    // Full-tape engines re-run every step cone every cycle: the per-cycle
+    // dirty-set occupancy histogram is a spike at the total cone count.
+    let total = bc
+        .get("step_cones")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("{bc_text}"));
+    assert!(total > 0.0, "{bc_text}");
+    assert_eq!(hist(bc, bc_text, "min"), total, "{bc_text}");
+    assert_eq!(hist(bc, bc_text, "max"), total, "{bc_text}");
+    // ... and perform no wake-list walks at all.
+    assert_eq!(
+        bc.get("net_wake_walk")
+            .and_then(|v| v.get("count"))
+            .and_then(|v| v.as_f64()),
+        Some(0.0),
+        "{bc_text}"
+    );
+    // The event scheduler only ever wakes a subset of that.
+    assert!(hist(ev, ev_text, "max") <= total, "{ev_text}");
+    assert_eq!(
+        ev.get("step_cones").and_then(|v| v.as_f64()),
+        Some(total),
+        "same design, same cone partition: {ev_text}"
+    );
+}
+
+/// Scheduler statistics are a pure observer: a combined stats+VCD run must
+/// produce a waveform byte-identical to a VCD-only run, and the Chrome
+/// trace gains a dirty-cone counter track.
+#[test]
+fn sched_stats_do_not_perturb_waveforms() {
+    let dir = tmp("sched_vcd");
+    let (plain, combined, stats, trace) = (
+        dir.join("plain.vcd"),
+        dir.join("combined.vcd"),
+        dir.join("stats.json"),
+        dir.join("trace.json"),
+    );
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--emit=sim")
+        .arg("--sim-engine=event")
+        .arg(format!("--sim-vcd={}", plain.display()))
+        .output()
+        .expect("run hirc");
+    assert!(out.status.success());
+    let out = hirc()
+        .arg(example("mac.mlir"))
+        .arg("--emit=sim")
+        .arg("--sim-engine=event")
+        .arg(format!("--sim-vcd={}", combined.display()))
+        .arg(format!("--sched-stats={}", stats.display()))
+        .arg(format!("--sim-trace={}", trace.display()))
+        .output()
+        .expect("run hirc");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&plain).unwrap(),
+        std::fs::read(&combined).unwrap(),
+        "sched stats must not change the waveform"
+    );
+    obs::json::parse(&std::fs::read_to_string(&stats).unwrap()).expect("sched stats JSON");
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    obs::json::parse(&trace_text).expect("trace JSON");
+    assert!(
+        trace_text.contains("sched/dirty_cones"),
+        "missing dirty-cone counter track: {trace_text}"
+    );
 }
 
 /// A bad `--rpass` pattern is a usage error, not a crash.
